@@ -1,0 +1,119 @@
+"""A-APP -- chapter 4: real applications with documented behaviour.
+
+The paper proposes collecting applications "together with ...
+descriptions of the application's performance behavior".  For each
+bundled mini-application this bench runs the healthy and the
+pathological configuration and checks the analyzer's diagnosis against
+the documented ground truth.
+"""
+
+from repro.analysis import analyze_run
+from repro.simmpi import run_mpi
+from repro.apps import (
+    CgConfig,
+    FarmConfig,
+    JacobiConfig,
+    PipelineConfig,
+    WavefrontConfig,
+    cg_like,
+    jacobi,
+    master_worker,
+    pipeline,
+    wavefront,
+)
+
+FAST = dict(model_init_overhead=False)
+
+
+def test_jacobi_strip_imbalance(benchmark):
+    def run():
+        healthy = run_mpi(jacobi, 8, JacobiConfig(iterations=15), **FAST)
+        skewed = run_mpi(
+            jacobi, 8, JacobiConfig(iterations=15, imbalance=2.0), **FAST
+        )
+        return analyze_run(healthy), analyze_run(skewed)
+
+    healthy, skewed = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nA-APP jacobi: healthy={healthy.detected(0.02)} "
+          f"skewed={skewed.detected(0.02)}")
+    assert healthy.detected(0.02) == ()
+    assert "wait_at_nxn" in skewed.detected(0.02)
+
+
+def test_farm_master_bottleneck(benchmark):
+    def run():
+        fast = run_mpi(master_worker, 8, FarmConfig(ntasks=28), **FAST)
+        slow = run_mpi(
+            master_worker, 8,
+            FarmConfig(ntasks=28, master_service_time=0.008), **FAST,
+        )
+        return analyze_run(fast), analyze_run(slow)
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+    f = fast.severity(property="late_sender")
+    s = slow.severity(property="late_sender")
+    print(f"\nA-APP farm late_sender severity: fast={f:.2%} slow={s:.2%}")
+    assert s > max(3 * f, 0.1)
+    # the waits sit at the workers' receive from the master
+    ranks = {loc.rank for loc in slow.locations_of("late_sender")}
+    assert 0 not in ranks or len(ranks) > 1
+
+
+def test_pipeline_slow_stage(benchmark):
+    def run():
+        base = run_mpi(pipeline, 4, PipelineConfig(nitems=12), **FAST)
+        slowed = run_mpi(
+            pipeline, 4,
+            PipelineConfig(nitems=12, slow_stage=1, slow_factor=4.0),
+            **FAST,
+        )
+        return base, slowed, analyze_run(slowed)
+
+    base, slowed, analysis = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(f"\nA-APP pipeline: {base.final_time:.3f}s -> "
+          f"{slowed.final_time:.3f}s with slow stage 1")
+    assert slowed.final_time > 2 * base.final_time
+    downstream = {
+        loc.rank for loc in analysis.locations_of("late_sender")
+    }
+    print(f"  starving stages: {sorted(downstream)}")
+    assert downstream & {2, 3}
+
+
+def test_wavefront_startup_skew_amortizes(benchmark):
+    def run():
+        out = []
+        for ncols in (4, 16, 48):
+            result = run_mpi(
+                wavefront, 6,
+                WavefrontConfig(ncols=ncols, sweeps=1), **FAST,
+            )
+            out.append(
+                (ncols,
+                 analyze_run(result).severity(property="late_sender"))
+            )
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nA-APP wavefront pipeline-fill skew vs width:")
+    for ncols, sev in rows:
+        print(f"  ncols={ncols:>3} -> late_sender {sev:.2%}")
+    sevs = [sev for _, sev in rows]
+    assert sevs[0] > sevs[1] > sevs[2]
+
+
+def test_cg_imbalance_lands_on_dot_products(benchmark):
+    def run():
+        result = run_mpi(
+            cg_like, 8,
+            CgConfig(iterations=12, row_imbalance=2.0), **FAST,
+        )
+        return analyze_run(result)
+
+    analysis = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert "wait_at_nxn" in analysis.detected(0.02)
+    top_path = next(iter(analysis.callpaths_of("wait_at_nxn")))
+    print(f"\nA-APP cg_like imbalance at: {' / '.join(top_path)}")
+    assert "dot_products" in top_path

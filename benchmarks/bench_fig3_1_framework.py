@@ -1,0 +1,75 @@
+"""F3.1 -- Figure 3.1: the layered structure of the ATS framework.
+
+The figure is architectural: modules and their used-by relationships.
+This bench verifies the reproduction exposes the same layer stack with
+the same inventories (distribution functions, buffer managers,
+communication patterns, property functions, composition entry points)
+and reports the per-layer counts.
+"""
+
+import importlib
+
+from repro.core import ALL_MPI_PROPERTY_CHAIN, list_properties
+from repro.distributions import list_distributions
+
+#: figure 3.1's layers, bottom to top, as (module, required attributes)
+LAYERS = [
+    ("repro.work", ["do_work", "par_do_mpi_work", "par_do_omp_work"]),
+    ("repro.distributions", [
+        "df_same", "df_cyclic2", "df_block2", "df_linear", "df_peak",
+        "df_cyclic3", "df_block3",
+    ]),
+    ("repro.simmpi", [
+        "alloc_mpi_buf", "free_mpi_buf", "alloc_mpi_vbuf",
+        "free_mpi_vbuf", "mpi_commpattern_sendrecv",
+        "mpi_commpattern_shift",
+    ]),
+    ("repro.simomp", ["omp_parallel", "omp_barrier", "omp_for"]),
+    ("repro.core.properties", [
+        "late_sender", "late_receiver", "imbalance_at_mpi_barrier",
+        "imbalance_at_mpi_alltoall", "late_broadcast", "late_scatter",
+        "late_scatterv", "early_reduce", "early_gather",
+        "early_gatherv", "imbalance_in_omp_pregion",
+        "imbalance_at_omp_barrier", "imbalance_in_omp_loop",
+    ]),
+    ("repro.core", [
+        "run_chain", "run_split_program", "run_hybrid_composite",
+        "generate_single_property_script",
+    ]),
+]
+
+
+def check_layers():
+    report = []
+    for module_name, attrs in LAYERS:
+        module = importlib.import_module(module_name)
+        missing = [a for a in attrs if not hasattr(module, a)]
+        report.append((module_name, len(attrs), missing))
+    return report
+
+
+def test_fig3_1_layer_stack(benchmark):
+    report = benchmark.pedantic(check_layers, rounds=1, iterations=1)
+    print("\nF3.1 framework structure (paper figure 3.1):")
+    for module_name, count, missing in report:
+        status = "ok" if not missing else f"MISSING {missing}"
+        print(f"  {module_name:<28} {count:>3} interface items  {status}")
+    assert all(not missing for _, _, missing in report)
+
+
+def test_fig3_1_inventories(benchmark):
+    """The paper's concrete per-layer inventories are complete."""
+    dist_names = benchmark.pedantic(
+        lambda: {s.name for s in list_distributions()},
+        rounds=1, iterations=1,
+    )
+    assert {
+        "same", "cyclic2", "block2", "linear", "peak", "cyclic3",
+        "block3",
+    } <= dist_names
+
+    property_names = {s.name for s in list_properties()}
+    assert set(ALL_MPI_PROPERTY_CHAIN) <= property_names
+    print(f"\n  distributions: {len(dist_names)}  "
+          f"property functions: {len(property_names)} "
+          f"(paper prototype had 7 and 13)")

@@ -1,0 +1,85 @@
+"""F3.2 -- Figure 3.2: single-property test programs with different
+parameters.
+
+The paper shows two Vampir timelines of ``imbalance_at_mpi_barrier``
+generated with different command-line parameters (different
+distributions/severities) and notes a side finding: "High MPI
+Initialization/Finalization Overhead, which is hard to avoid in the
+view of the small sizes of the test programs".
+
+Shape claims reproduced here:
+
+* the same property function, under two parameter sets, yields visibly
+  different timelines and different measured severities,
+* detected severity scales with the imbalance parameter,
+* the init/finalize-overhead property is present in these small runs.
+"""
+
+from repro.analysis import analyze_run
+from repro.core import DistParam, get_property
+
+
+def run_config(dist):
+    spec = get_property("imbalance_at_mpi_barrier")
+    result = spec.run(
+        size=4, params={"dist": dist}, model_init_overhead=True
+    )
+    return result, analyze_run(result)
+
+
+def test_fig3_2_two_parameter_sets(benchmark):
+    (r_mild, a_mild), (r_severe, a_severe) = benchmark.pedantic(
+        lambda: (
+            run_config(DistParam("block2", (0.005, 0.01))),
+            run_config(DistParam("block2", (0.005, 0.04))),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nF3.2 run 1 (mild imbalance, block2 low=5ms high=10ms):")
+    print(r_mild.timeline(width=100))
+    print("F3.2 run 2 (severe imbalance, block2 low=5ms high=40ms):")
+    print(r_severe.timeline(width=100))
+    sev_mild = a_mild.severity(property="wait_at_barrier")
+    sev_severe = a_severe.severity(property="wait_at_barrier")
+    # Absolute waiting time scales with the imbalance parameter: the
+    # low-work half waits (high - low) per repetition, so 35ms vs 5ms
+    # of spread should produce ~7x the accumulated wait.
+    wait_mild = sev_mild * a_mild.total_allocation
+    wait_severe = sev_severe * a_severe.total_allocation
+    print(f"wait_at_barrier: mild {sev_mild:.2%} ({wait_mild:.4f}s), "
+          f"severe {sev_severe:.2%} ({wait_severe:.4f}s)")
+    assert sev_severe > sev_mild > 0
+    assert 5.0 < wait_severe / wait_mild < 9.0
+
+
+def test_fig3_2_distribution_shape_changes_location_pattern(benchmark):
+    """block2 loads one half; peak loads all but one rank."""
+    (_, a_block), (_, a_peak) = benchmark.pedantic(
+        lambda: (
+            run_config(DistParam("block2", (0.005, 0.03))),
+            run_config(DistParam("peak", (0.005, 0.03, 0))),
+        ),
+        rounds=1, iterations=1,
+    )
+    block_ranks = {
+        loc.rank for loc in a_block.locations_of("wait_at_barrier")
+    }
+    peak_ranks = {
+        loc.rank for loc in a_peak.locations_of("wait_at_barrier")
+    }
+    print(f"\n  block2 waiting ranks: {sorted(block_ranks)}  "
+          f"peak waiting ranks: {sorted(peak_ranks)}")
+    assert block_ranks == {0, 1}       # the low-work half waits
+    assert peak_ranks == {1, 2, 3}     # everyone but the peak rank 0
+
+
+def test_fig3_2_init_overhead_observed(benchmark):
+    """The paper's side observation about small test programs."""
+    _, analysis = benchmark.pedantic(
+        run_config, args=(DistParam("block2", (0.005, 0.01)),),
+        rounds=1, iterations=1,
+    )
+    sev = analysis.severity(property="mpi_init_overhead")
+    print(f"\n  mpi_init_overhead severity in a small run: {sev:.2%}")
+    assert sev > 0.01

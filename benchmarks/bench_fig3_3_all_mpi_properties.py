@@ -1,0 +1,69 @@
+"""F3.3 -- Figure 3.3: all MPI property functions in one program.
+
+"Figure 3.3 shows a Vampir timeline of an MPI test program which simply
+calls all currently defined MPI property functions with different
+severities and repetition factors.  This program can be used to quickly
+determine how many different performance properties can be detected by
+a performance tool."
+
+Shape claims: the chain runs to completion, every constituent property
+is detected, and each is localized at its own property function's call
+path (the phases are separable in time, as in the Vampir display).
+"""
+
+from repro.analysis import analyze_run, format_summary_table
+from repro.core import (
+    ALL_MPI_PROPERTY_CHAIN,
+    get_property,
+    run_all_mpi_properties,
+)
+
+THRESHOLD = 0.005
+
+
+def run_chain():
+    result = run_all_mpi_properties(size=8)
+    return result, analyze_run(result)
+
+
+def test_fig3_3_chain_detects_all_properties(benchmark, run_bench):
+    result, analysis = run_bench(benchmark, run_chain)
+    print("\nF3.3 timeline (all MPI property functions in sequence):")
+    print(result.timeline(width=110))
+    print(format_summary_table(analysis))
+    detected = set(analysis.detected(THRESHOLD))
+    expected = set()
+    for name in ALL_MPI_PROPERTY_CHAIN:
+        expected |= set(get_property(name).expected)
+    print(f"expected {len(expected)} properties, "
+          f"detected {len(detected & expected)} of them")
+    assert expected <= detected
+
+
+def test_fig3_3_properties_localized_at_own_functions(benchmark):
+    _, analysis = benchmark.pedantic(run_chain, rounds=1, iterations=1)
+    rows = []
+    for name in ALL_MPI_PROPERTY_CHAIN:
+        for prop in get_property(name).expected:
+            top_path = next(iter(analysis.callpaths_of(prop)))
+            rows.append((prop, " / ".join(top_path), name in top_path))
+    print("\nproperty -> located call path:")
+    for prop, path, ok in rows:
+        print(f"  {prop:<22} {path}  {'ok' if ok else 'WRONG'}")
+    assert all(ok for _, _, ok in rows)
+
+
+def test_fig3_3_phases_are_time_separated(benchmark):
+    """In the timeline, the property phases follow one another; the
+    enter times of successive property-function regions are ordered."""
+    result, _ = benchmark.pedantic(run_chain, rounds=1, iterations=1)
+    from repro.trace import Enter
+
+    first_enter = {}
+    for e in result.events:
+        if isinstance(e, Enter) and e.region in ALL_MPI_PROPERTY_CHAIN:
+            first_enter.setdefault(e.region, e.time)
+    times = [first_enter[name] for name in ALL_MPI_PROPERTY_CHAIN]
+    assert times == sorted(times)
+    print("\nphase start times:",
+          " ".join(f"{t:.3f}" for t in times))

@@ -1,0 +1,76 @@
+"""F3.4 -- Figure 3.4: two property sets concurrently in two
+communicators.
+
+"After initialization, the lower and the upper half of the
+participating MPI processes form different communicators.  Then, the
+group of processors in each communicator each call a different set of
+performance property functions.  This means that two different
+performance properties are active at the same time in parallel."
+
+Shape claims: both halves' properties are detected, each localized to
+its own half, and the two property phases overlap in time.
+"""
+
+from repro.analysis import analyze_run
+from repro.core import run_split_program
+from repro.trace import Enter
+
+LOWER = ["imbalance_at_mpi_barrier", "late_sender"]
+UPPER = ["late_broadcast", "early_reduce"]
+
+
+def run_program():
+    result = run_split_program(lower=LOWER, upper=UPPER, size=16)
+    return result, analyze_run(result)
+
+
+def test_fig3_4_concurrent_properties(benchmark, run_bench):
+    result, analysis = run_bench(benchmark, run_program)
+    print("\nF3.4 timeline (two communicator halves, two property sets):")
+    print(result.timeline(width=110))
+    detected = set(analysis.detected(0.005))
+    assert {"wait_at_barrier", "late_sender",
+            "late_broadcast", "early_reduce"} <= detected
+    lower_ranks = set(range(8))
+    upper_ranks = set(range(8, 16))
+    table = []
+    for prop, half in [
+        ("wait_at_barrier", lower_ranks),
+        ("late_sender", lower_ranks),
+        ("late_broadcast", upper_ranks),
+        ("early_reduce", upper_ranks),
+    ]:
+        ranks = {loc.rank for loc in analysis.locations_of(prop)}
+        table.append((prop, sorted(ranks), ranks <= half))
+    print("property -> waiting ranks:")
+    for prop, ranks, ok in table:
+        print(f"  {prop:<18} {ranks}  {'ok' if ok else 'LEAKED'}")
+    assert all(ok for _, _, ok in table)
+
+
+def test_fig3_4_properties_overlap_in_time(benchmark):
+    """The two halves run their pathologies simultaneously."""
+    result, _ = benchmark.pedantic(run_program, rounds=1, iterations=1)
+    spans = {}
+    for e in result.events:
+        if isinstance(e, Enter) and e.region in (
+            "imbalance_at_mpi_barrier", "late_broadcast"
+        ):
+            lo, hi = spans.get(e.region, (float("inf"), 0.0))
+            spans[e.region] = (min(lo, e.time), max(hi, e.time))
+    lower_span = spans["imbalance_at_mpi_barrier"]
+    upper_span = spans["late_broadcast"]
+    print(f"\n  lower-half phase spans {lower_span},"
+          f" upper-half {upper_span}")
+    assert lower_span[0] < upper_span[1]
+    assert upper_span[0] < lower_span[1]
+
+
+def test_fig3_4_communicator_registry_shows_the_split(benchmark):
+    result, analysis = benchmark.pedantic(
+        run_program, rounds=1, iterations=1
+    )
+    groups = set(analysis.comm_registry.values())
+    assert tuple(range(16)) in groups
+    assert tuple(range(8)) in groups
+    assert tuple(range(8, 16)) in groups

@@ -1,0 +1,80 @@
+"""F3.5 -- Figure 3.5: the EXPERT analysis of the figure-3.4 program.
+
+The paper reads the EXPERT screenshot as follows: "EXPERT found (among
+others) the Late Broadcast performance property.  The middle (call
+graph) pane shows that it located it correctly at the MPI_Bcast()
+function call inside the performance property function late_broadcast().
+The right pane shows that the performance property was located at MPI
+ranks 8 and [10] to 15 ... as late_broadcast() was executed on the
+communicator with the upper half of the MPI ranks with an
+(communicator-local) root rank 1."
+
+This bench reproduces all three panes exactly.
+"""
+
+from repro.analysis import analyze_run, format_expert_report
+from repro.core import run_split_program
+
+
+def run_and_analyze():
+    result = run_split_program(
+        lower=["imbalance_at_mpi_barrier", "late_sender"],
+        upper=["late_broadcast", "early_reduce"],
+        size=16,
+    )
+    return result, analyze_run(result)
+
+
+def test_fig3_5_expert_three_panes(benchmark, run_bench):
+    from repro.analysis import format_property_tree
+
+    _, analysis = run_bench(benchmark, run_and_analyze)
+    print("\nF3.5 EXPERT-style report:")
+    print(format_expert_report(analysis, threshold=0.005))
+    print(format_property_tree(analysis, threshold=0.005))
+
+    # Pane 1 (property tree): Late Broadcast is found, among others.
+    detected = analysis.detected(0.005)
+    assert "late_broadcast" in detected
+
+    # Pane 2 (call graph): located at MPI_Bcast inside late_broadcast().
+    (path, _), *_ = list(analysis.callpaths_of("late_broadcast").items())
+    assert path[-1] == "MPI_Bcast"
+    assert "late_broadcast" in path
+
+    # Pane 3 (locations): upper half except the communicator-local root
+    # 1, which is global rank 9 of 16.
+    ranks = sorted(
+        loc.rank for loc in analysis.locations_of("late_broadcast")
+    )
+    print(f"late_broadcast waiting ranks: {ranks}")
+    assert ranks == [8, 10, 11, 12, 13, 14, 15]
+
+
+def test_fig3_5_severity_concentrated_on_waiting_ranks(benchmark):
+    """Non-root upper ranks carry (roughly) equal severity shares."""
+    _, analysis = benchmark.pedantic(
+        run_and_analyze, rounds=1, iterations=1
+    )
+    locs = analysis.locations_of("late_broadcast")
+    values = list(locs.values())
+    assert values, "no late_broadcast locations"
+    spread = max(values) / min(values)
+    print(f"\n  per-rank severity spread factor: {spread:.2f}")
+    assert spread < 1.5  # all non-roots wait about equally
+
+
+def test_fig3_5_root_rank_translation(benchmark):
+    """Communicator-local root 1 translates to global rank 9."""
+    result, analysis = benchmark.pedantic(
+        run_and_analyze, rounds=1, iterations=1
+    )
+    upper_group = next(
+        g for g in analysis.comm_registry.values()
+        if g == tuple(range(8, 16))
+    )
+    local_root = 1
+    assert upper_group[local_root] == 9
+    assert 9 not in {
+        loc.rank for loc in analysis.locations_of("late_broadcast")
+    }

@@ -1,0 +1,104 @@
+"""A-GRIND -- the Grindstone predecessor suite (paper section 2.3).
+
+The paper's chapter 2 catalogs Grindstone ("A Test Suite for Parallel
+Performance Tools", 9 PVM programs) as the closest existing work.
+This bench runs the reimplemented Grindstone archetypes and verifies
+each one's canonical diagnosis -- plus the discrimination test: a
+profile-only tool sees the communication-bound programs but misses the
+pattern properties ATS adds.
+"""
+
+from repro.analysis import analyze_run
+from repro.analysis.tools import pattern_tool, profile_only_tool
+from repro.apps import (
+    GrindstoneConfig,
+    big_message,
+    intensive_server,
+    random_barrier,
+    small_messages,
+)
+from repro.asl import CommunicationBound, PerformanceData
+from repro.simmpi import run_mpi
+from repro.trace import comm_matrix
+
+FAST = dict(model_init_overhead=False)
+CFG = GrindstoneConfig()
+
+
+def test_grindstone_communication_bound_pair(benchmark):
+    """big_message and small_messages: same verdict, opposite cause."""
+
+    def run():
+        big = run_mpi(big_message, 4, CFG, **FAST)
+        small = run_mpi(small_messages, 4, CFG, **FAST)
+        return big, small
+
+    big, small = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, result in (("big_message", big),
+                         ("small_messages", small)):
+        data = PerformanceData.from_run(result)
+        matrix = comm_matrix(result.events)
+        rows.append((
+            name,
+            CommunicationBound().severity(data),
+            matrix.total_messages,
+            matrix.total_bytes,
+        ))
+    print("\nA-GRIND communication-bound programs:")
+    for name, sev, msgs, volume in rows:
+        print(f"  {name:<16} mpi-fraction={sev:.1%}"
+              f"  msgs={msgs}  bytes={volume}")
+    assert all(sev > 0.2 for _, sev, _, _ in rows)
+    assert rows[0][3] > 100 * rows[1][3]   # big: volume
+    assert rows[1][2] > 10 * rows[0][2]    # small: count
+
+
+def test_grindstone_intensive_server(benchmark):
+    def run():
+        return run_mpi(intensive_server, 6, CFG, **FAST)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    analysis = analyze_run(result)
+    sev = analysis.severity(property="late_sender")
+    hot = comm_matrix(result.events).hottest_receiver()
+    print(f"\nA-GRIND intensive_server: late_sender={sev:.1%}, "
+          f"hottest receiver=rank {hot}")
+    assert sev > 0.3
+    assert hot == 0
+
+
+def test_grindstone_random_barrier(benchmark):
+    def run():
+        return run_mpi(
+            random_barrier, 6, GrindstoneConfig(repetitions=24), **FAST
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    analysis = analyze_run(result)
+    locs = analysis.locations_of("wait_at_barrier")
+    print(f"\nA-GRIND random_barrier: wait spread over "
+          f"{len(locs)} of 6 ranks")
+    assert {loc.rank for loc in locs} == set(range(6))
+
+
+def test_grindstone_discriminates_tool_classes(benchmark):
+    """ATS's pattern properties go beyond what Grindstone-era
+    profile tools could check: a profile-only tool flags the
+    communication-bound programs but cannot name the server's
+    late-sender pattern."""
+
+    def run():
+        result = run_mpi(intensive_server, 6, CFG, **FAST)
+        return (
+            pattern_tool(0.05)(result),
+            profile_only_tool()(result),
+        )
+
+    pattern_verdict, profile_verdict = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(f"\n  pattern tool:      {pattern_verdict}")
+    print(f"  profile-only tool: {profile_verdict}")
+    assert "late_sender" in pattern_verdict
+    assert "late_sender" not in profile_verdict

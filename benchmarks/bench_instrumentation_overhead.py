@@ -1,0 +1,95 @@
+"""T-OVH -- instrumentation overhead and intrusiveness (paper ch. 2).
+
+"[Benchmark suites] can be used to give an idea of how much the
+instrumentation added by a tool affects performance, i.e., of the
+overhead introduced by the tool."
+
+Shape claims: zero-intrusion tracing leaves virtual timing untouched
+(the measurement ideal), while per-event intrusion dilates run time
+proportionally to event count and eventually *distorts the measured
+severities themselves* -- the paper's intrusiveness concern made
+quantitative.
+"""
+
+from repro.apps import CgConfig, JacobiConfig, cg_like, jacobi
+from repro.validation import intrusion_sweep, measure_overhead
+
+INTRUSIONS = (0.0, 1e-6, 1e-5, 1e-4)
+
+
+def test_zero_intrusion_is_perfectly_transparent(benchmark):
+    report = benchmark.pedantic(
+        measure_overhead,
+        args=(jacobi,),
+        kwargs=dict(size=8, model_init_overhead=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nT-OVH zero-intrusion tracing:")
+    print(report.format())
+    assert report.virtual_dilation == 0.0
+    assert report.events > 0
+
+
+def test_intrusion_dilates_run_time_monotonically(benchmark):
+    reports = benchmark.pedantic(
+        intrusion_sweep,
+        args=(jacobi, INTRUSIONS),
+        kwargs=dict(size=8, model_init_overhead=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nT-OVH intrusion sweep (jacobi, 8 ranks):")
+    for report in reports:
+        print("  " + report.format().strip())
+    dilations = [r.virtual_dilation for r in reports]
+    assert dilations == sorted(dilations)
+    assert dilations[0] == 0.0 and dilations[-1] > 0.01
+
+
+def test_intrusion_distorts_measured_severities(benchmark):
+    """The key intrusiveness hazard: a heavy-handed tool changes the
+    waiting pattern it is trying to measure."""
+    reports = benchmark.pedantic(
+        intrusion_sweep,
+        args=(cg_like, (0.0, 1e-4)),
+        kwargs=dict(
+            size=8, model_init_overhead=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    clean, heavy = reports
+    print("\nT-OVH severity distortion (cg_like):")
+    print("  " + clean.format().strip())
+    print("  " + heavy.format().strip())
+    assert clean.max_severity_shift == 0.0
+    assert heavy.max_severity_shift > 0.0
+
+
+def test_overhead_scales_with_event_count(benchmark):
+    """More communication -> more events -> more absolute dilation."""
+
+    def run():
+        small = measure_overhead(
+            jacobi, size=4, intrusion=1e-5,
+            model_init_overhead=False,
+        )
+        big = measure_overhead(
+            cg_like, size=4, intrusion=1e-5,
+            model_init_overhead=False,
+        )
+        return small, big
+
+    small, big = benchmark.pedantic(run, rounds=1, iterations=1)
+    denser = max((small, big), key=lambda r: r.events)
+    sparser = min((small, big), key=lambda r: r.events)
+    added_dense = (
+        denser.traced_virtual_time - denser.clean_virtual_time
+    )
+    added_sparse = (
+        sparser.traced_virtual_time - sparser.clean_virtual_time
+    )
+    print(f"\n  {sparser.events} events -> +{added_sparse:.5f}s; "
+          f"{denser.events} events -> +{added_dense:.5f}s")
+    assert added_dense > added_sparse

@@ -1,0 +1,91 @@
+"""T-SEM -- semantics preservation (paper chapter 2).
+
+"First, the test suite is executed on the target system.  Second ...
+with instrumentation added by the performance analysis tool.  The
+result of both runs must be the same."
+
+Shape claims: every application computes bit-identical results with
+and without instrumentation (even with intrusive instrumentation), and
+the harness *catches* a deliberately semantics-violating program.
+"""
+
+import pytest
+
+from repro.apps import (
+    CgConfig,
+    FarmConfig,
+    JacobiConfig,
+    PipelineConfig,
+    WavefrontConfig,
+    cg_like,
+    jacobi,
+    master_worker,
+    pipeline,
+    wavefront,
+)
+from repro.validation import check_semantics
+
+APPS = [
+    ("jacobi", jacobi, JacobiConfig(iterations=6), 4),
+    ("master_worker", master_worker, FarmConfig(ntasks=10), 4),
+    ("pipeline", pipeline, PipelineConfig(nitems=6), 4),
+    ("wavefront", wavefront, WavefrontConfig(ncols=5, sweeps=1), 4),
+    ("cg_like", cg_like, CgConfig(iterations=4), 4),
+]
+
+
+def check_all(intrusion=0.0):
+    reports = []
+    for name, fn, config, size in APPS:
+        reports.append(
+            check_semantics(
+                lambda comm, fn=fn, config=config: fn(comm, config),
+                size=size,
+                intrusion=intrusion,
+                name=name,
+                model_init_overhead=False,
+            )
+        )
+    return reports
+
+
+def test_all_apps_semantics_preserved(benchmark):
+    reports = benchmark.pedantic(check_all, rounds=1, iterations=1)
+    print("\nT-SEM semantics preservation (clean instrumentation):")
+    for report in reports:
+        print("  " + report.format().strip())
+    assert all(r.semantics_preserved for r in reports)
+    assert all(r.timing_distortion == 0.0 for r in reports)
+
+
+def test_semantics_survive_intrusive_instrumentation(benchmark):
+    reports = benchmark.pedantic(
+        check_all, args=(1e-4,), rounds=1, iterations=1
+    )
+    print("\nT-SEM with intrusive instrumentation (0.1ms/event):")
+    for report in reports:
+        print("  " + report.format().strip())
+    # results stay identical even though timing is visibly distorted
+    assert all(r.semantics_preserved for r in reports)
+    assert all(r.timing_distortion > 0 for r in reports)
+
+
+def test_harness_catches_semantics_violation(benchmark):
+    """Control experiment: a program that behaves differently when
+    instrumented must be flagged."""
+
+    def sneaky(comm):
+        from repro.trace.api import current_instrumentation
+
+        rec, _ = current_instrumentation()
+        return comm.rank() + (1000 if rec is not None else 0)
+
+    report = benchmark.pedantic(
+        check_semantics,
+        args=(sneaky,),
+        kwargs=dict(size=2, name="sneaky", model_init_overhead=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nT-SEM control: " + report.format().strip())
+    assert not report.semantics_preserved

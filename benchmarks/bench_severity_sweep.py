@@ -1,0 +1,87 @@
+"""T-SEV -- parameterized severity.
+
+Paper section 3.1: "automatic performance tools have different
+thresholds/sensitivities.  Therefore it is important that the test
+suite is parametrized so that the relative severity of the properties
+can be controlled by the user."
+
+Shape claims: for representative properties from each family, the
+measured waiting time is monotone (and near-linear) in the severity
+parameter, and a tool's detection flips from 'absent' to 'present' as
+the parameter crosses its threshold.
+"""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.core import get_property
+
+SWEEP_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+SWEEP_SPECS = [
+    # (spec name, analyzer property id)
+    ("late_sender", "late_sender"),
+    ("late_receiver", "late_receiver"),
+    ("imbalance_at_mpi_barrier", "wait_at_barrier"),
+    ("late_broadcast", "late_broadcast"),
+    ("early_reduce", "early_reduce"),
+    ("imbalance_at_omp_barrier", "imbalance_at_omp_barrier"),
+    ("imbalance_in_omp_loop", "imbalance_in_omp_loop"),
+]
+
+
+def sweep(name, prop):
+    spec = get_property(name)
+    rows = []
+    for factor in SWEEP_FACTORS:
+        result = spec.run(
+            size=8, num_threads=4, params=spec.scaled_params(factor)
+        )
+        analysis = analyze_run(result)
+        wait = (
+            analysis.severity(property=prop)
+            * analysis.total_allocation
+        )
+        rows.append((factor, wait))
+    return rows
+
+
+@pytest.mark.parametrize("name,prop", SWEEP_SPECS)
+def test_severity_monotone_in_parameter(benchmark, name, prop):
+    rows = benchmark.pedantic(
+        sweep, args=(name, prop), rounds=1, iterations=1
+    )
+    print(f"\nT-SEV {name} ({prop}): factor -> accumulated wait")
+    for factor, wait in rows:
+        print(f"  {factor:>5.2f}x  {wait:.5f}s")
+    waits = [w for _, w in rows]
+    assert all(b > a for a, b in zip(waits, waits[1:])), waits
+    # near-linear: quadrupling the parameter from 1x to 4x should
+    # multiply the wait by 2.5x-6x (work baselines dilute linearity)
+    ratio = waits[-1] / waits[2]
+    assert 2.0 < ratio < 6.5, ratio
+
+
+def test_threshold_crossing(benchmark):
+    """A tool with a 5% severity threshold flips from silent to
+    reporting as the severity parameter grows."""
+
+    def run():
+        spec = get_property("late_sender")
+        verdicts = []
+        for factor in (0.02, 0.2, 1.0, 4.0):
+            result = spec.run(
+                size=8, params=spec.scaled_params(factor)
+            )
+            detected = analyze_run(result).detected(threshold=0.05)
+            verdicts.append((factor, "late_sender" in detected))
+        return verdicts
+
+    verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nT-SEV threshold crossing (tool threshold 5%):")
+    for factor, hit in verdicts:
+        print(f"  {factor:>5.2f}x -> {'detected' if hit else 'silent'}")
+    flags = [hit for _, hit in verdicts]
+    assert flags[0] is False        # far below threshold
+    assert flags[-1] is True        # far above
+    assert flags == sorted(flags)   # monotone flip, single crossing

@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures and reporting helpers."""
+
+import pytest
+
+
+def run_once_benchmark(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic simulation with few rounds.
+
+    Simulated runs are deterministic, so statistical repetition only
+    measures host jitter; three rounds keep pytest-benchmark's
+    reporting while bounding wall time.
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=3, iterations=1,
+        warmup_rounds=0,
+    )
+
+
+@pytest.fixture
+def run_bench():
+    return run_once_benchmark

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Tool-development regression workflow.
+
+The day-to-day use of ATS for a tool developer: certify the current
+tool version, simulate a regression (a detector silently lost), catch
+it with the analysis diff, and show the certificate degrading.
+"""
+
+from repro.analysis import analyze_run, compare_analyses
+from repro.analysis.detectors import LateSenderDetector
+from repro.analysis.tools import battery_without, pattern_tool
+from repro.core import get_property
+from repro.validation import certify_tool, run_validation_matrix
+
+
+def main() -> None:
+    print("=" * 70)
+    print("step 1: certify the current tool against the full ATS suite")
+    print("=" * 70)
+    cert = certify_tool(pattern_tool())
+    print(cert.format())
+    assert cert.certified
+
+    print("=" * 70)
+    print("step 2: a 'refactor' silently drops the late-sender detector")
+    print("=" * 70)
+    broken = battery_without(LateSenderDetector)
+    broken_cert = certify_tool(broken)
+    print(broken_cert.format())
+    assert not broken_cert.certified
+
+    print("=" * 70)
+    print("step 3: pinpoint the regression on one reference program")
+    print("=" * 70)
+    run = get_property("late_sender").run(size=8)
+    good = analyze_run(run)
+    from repro.analysis.detectors import DEFAULT_DETECTORS
+
+    bad = analyze_run(
+        run,
+        detectors=[
+            d for d in DEFAULT_DETECTORS
+            if not isinstance(d, LateSenderDetector)
+        ],
+    )
+    report = compare_analyses(good, bad)
+    print(report.format())
+    assert report.is_regression
+    assert "late_sender" in report.lost
+
+    print("=" * 70)
+    print("step 4: the matrix names every failing program")
+    print("=" * 70)
+    matrix = run_validation_matrix(tool=broken, size=8)
+    failing = [row.name for row in matrix.rows if not row.passed]
+    print(f"programs failing under the broken tool: {failing}\n")
+    assert "late_sender" in failing
+
+    print("regression caught before release; ship the fixed tool.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Validate a performance tool with the ATS detection matrix.
+
+This is the workflow the test suite exists for: a tool developer plugs
+their analysis tool into the harness and gets a positive/negative
+correctness report.  Three tools are exercised:
+
+* the bundled analyzer (should pass everything),
+* a 'blind' tool that reports nothing (fails positive correctness),
+* a 'paranoid' tool that always reports late senders (fails negative
+  correctness).
+"""
+
+from repro.core import get_property
+from repro.validation import run_validation_matrix
+
+SUBSET = [
+    "late_sender",
+    "late_broadcast",
+    "early_reduce",
+    "imbalance_at_mpi_barrier",
+    "imbalance_at_omp_barrier",
+    "balanced_mpi_barrier",
+    "balanced_omp_region",
+]
+
+
+def main() -> None:
+    specs = [get_property(name) for name in SUBSET]
+
+    print("=" * 70)
+    print("tool 1: the bundled EXPERT-style analyzer")
+    print("=" * 70)
+    matrix = run_validation_matrix(specs=specs, size=8)
+    print(matrix.format_table())
+    assert matrix.all_passed
+
+    print("=" * 70)
+    print("tool 2: a blind tool (never reports anything)")
+    print("=" * 70)
+    blind = run_validation_matrix(
+        specs=specs, tool=lambda run: (), size=8
+    )
+    print(blind.format_table())
+    assert not blind.all_passed
+    assert blind.false_positive_rate == 0.0  # silent, at least
+
+    print("=" * 70)
+    print("tool 3: a paranoid tool (always cries late_sender)")
+    print("=" * 70)
+    paranoid = run_validation_matrix(
+        specs=specs, tool=lambda run: ("late_sender",), size=8
+    )
+    print(paranoid.format_table())
+    assert paranoid.false_positive_rate == 1.0
+
+    print("the matrix separates correct, blind and paranoid tools.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""ATS -- the APART Test Suite for automatic performance analysis tools.
+
+A complete Python reproduction of Mohr & Traeff, *Initial Design of a
+Test Suite for Automatic Performance Analysis Tools* (IPPS 2003 /
+APART technical report FZJ-ZAM-IB-2002-13), including the simulated
+MPI/OpenMP substrate it runs on and an EXPERT-style automatic analyzer
+that closes the evaluation loop.
+
+Quick start::
+
+    from repro import get_property, analyze_run, format_expert_report
+
+    result = get_property("late_sender").run(size=8)
+    print(result.timeline())
+    print(format_expert_report(analyze_run(result)))
+
+Package map (paper figure 3.1, bottom-up):
+
+* :mod:`repro.simkernel`   -- deterministic discrete-event kernel
+* :mod:`repro.work`        -- specification of (parallel) work
+* :mod:`repro.distributions` -- specification of distribution
+* :mod:`repro.simmpi`      -- simulated MPI (buffers, patterns, collectives)
+* :mod:`repro.simomp`      -- simulated OpenMP (teams, loops, barriers)
+* :mod:`repro.trace`       -- event traces, timelines, persistence
+* :mod:`repro.core`        -- property functions, registry, composites,
+  program generator (the paper's contribution)
+* :mod:`repro.analysis`    -- EXPERT-style automatic analyzer
+* :mod:`repro.asl`         -- ASL-style property specifications
+* :mod:`repro.validation`  -- correctness harness (positive/negative/
+  semantics/overhead)
+* :mod:`repro.apps`        -- "real world" mini-applications (chapter 4)
+"""
+
+from .analysis import (
+    AnalysisConfig,
+    AnalysisResult,
+    Finding,
+    analyze_events,
+    analyze_run,
+    format_expert_report,
+    format_summary_table,
+)
+from .core import (
+    DistParam,
+    PropertySpec,
+    Step,
+    generate_single_property_script,
+    get_property,
+    list_properties,
+    run_all_mpi_properties,
+    run_chain,
+    run_hybrid_composite,
+    run_split_program,
+    set_base_comm,
+)
+from .distributions import (
+    Val1Distr,
+    Val2Distr,
+    Val2NDistr,
+    Val3Distr,
+    df_block2,
+    df_block3,
+    df_cyclic2,
+    df_cyclic3,
+    df_linear,
+    df_peak,
+    df_same,
+)
+from .simmpi import TransportParams, run_mpi
+from .simomp import run_omp
+from .trace import read_trace, render_timeline, write_trace
+from .work import do_work, par_do_mpi_work, par_do_omp_work
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "DistParam",
+    "Finding",
+    "PropertySpec",
+    "Step",
+    "TransportParams",
+    "Val1Distr",
+    "Val2Distr",
+    "Val2NDistr",
+    "Val3Distr",
+    "__version__",
+    "analyze_events",
+    "analyze_run",
+    "df_block2",
+    "df_block3",
+    "df_cyclic2",
+    "df_cyclic3",
+    "df_linear",
+    "df_peak",
+    "df_same",
+    "do_work",
+    "format_expert_report",
+    "format_summary_table",
+    "generate_single_property_script",
+    "get_property",
+    "list_properties",
+    "par_do_mpi_work",
+    "par_do_omp_work",
+    "read_trace",
+    "render_timeline",
+    "run_all_mpi_properties",
+    "run_chain",
+    "run_hybrid_composite",
+    "run_mpi",
+    "run_omp",
+    "run_split_program",
+    "set_base_comm",
+    "write_trace",
+]

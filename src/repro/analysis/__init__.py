@@ -1,0 +1,41 @@
+"""Automatic performance analysis (the EXPERT-tool equivalent).
+
+The paper evaluates ATS by feeding its synthetic programs to automatic
+analysis tools (EXPERT in figure 3.5).  This package is a from-scratch
+implementation of that consumer: trace-pattern detectors for every ATS
+performance property, ASL-style severities, and results on EXPERT's
+three axes (property x call path x location).
+"""
+
+from .analyzer import analyze_events, analyze_run
+from .compare import ComparisonReport, PropertyDelta, compare_analyses
+from .hierarchy import (
+    HierarchyNode,
+    format_property_tree,
+    severity_tree,
+)
+from .detectors import (
+    DEFAULT_DETECTORS,
+    AnalysisConfig,
+    Detector,
+)
+from .model import AnalysisResult, Finding
+from .report import format_expert_report, format_summary_table
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "ComparisonReport",
+    "PropertyDelta",
+    "compare_analyses",
+    "DEFAULT_DETECTORS",
+    "Detector",
+    "Finding",
+    "HierarchyNode",
+    "format_property_tree",
+    "severity_tree",
+    "analyze_events",
+    "analyze_run",
+    "format_expert_report",
+    "format_summary_table",
+]

@@ -1,0 +1,74 @@
+"""The automatic analyzer entry points.
+
+``analyze_run`` (for in-process run results) and ``analyze_events``
+(for traces loaded from disk) run the detector battery over the event
+stream and assemble the EXPERT-style result cube.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..simmpi.runtime import RunResult
+from ..simomp.runtime import OmpRunResult
+from ..trace.events import Event
+from .detectors import DEFAULT_DETECTORS, AnalysisConfig
+from .model import AnalysisResult, Finding
+
+
+def analyze_events(
+    events: Sequence[Event],
+    total_time: Optional[float] = None,
+    config: Optional[AnalysisConfig] = None,
+    detectors: Optional[Sequence] = None,
+    comm_registry: Optional[dict] = None,
+) -> AnalysisResult:
+    """Analyze a raw event stream.
+
+    ``total_time`` defaults to the last event timestamp;
+    ``detectors`` defaults to the full battery.
+    """
+    config = config or AnalysisConfig()
+    detectors = DEFAULT_DETECTORS if detectors is None else detectors
+    events = sorted(events, key=lambda e: e.time)
+    findings: list[Finding] = []
+    for detector in detectors:
+        findings.extend(detector.detect(events, config))
+    if total_time is None:
+        total_time = events[-1].time if events else 0.0
+    locations = sorted({e.loc for e in events})
+    return AnalysisResult(
+        findings=findings,
+        total_time=total_time,
+        locations=locations,
+        comm_registry=dict(comm_registry or {}),
+    )
+
+
+def analyze_run(
+    result: Union[RunResult, OmpRunResult],
+    config: Optional[AnalysisConfig] = None,
+    detectors: Optional[Sequence] = None,
+) -> AnalysisResult:
+    """Analyze a finished simulated run.
+
+    The analyzer configuration inherits the run's transport parameters
+    (eager threshold) when available, like a real tool configured for
+    the system under test.
+    """
+    if result.recorder is None:
+        raise ValueError("cannot analyze an untraced run (trace=False)")
+    if config is None:
+        transport = getattr(result, "transport", None)
+        config = (
+            AnalysisConfig(eager_threshold=transport.eager_threshold)
+            if transport is not None
+            else AnalysisConfig()
+        )
+    return analyze_events(
+        result.recorder.events,
+        total_time=result.final_time,
+        config=config,
+        detectors=detectors,
+        comm_registry=result.recorder.comm_registry,
+    )

@@ -1,0 +1,105 @@
+"""Comparing analysis results.
+
+Tool developers rerun the ATS suite after every change; what they need
+is not one report but the *difference* between two: did a detector
+regress (property lost / severity collapsed), did a fix introduce
+spurious findings?  ``compare_analyses`` produces that structured diff
+and a human-readable regression report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .model import AnalysisResult
+
+
+@dataclass(frozen=True)
+class PropertyDelta:
+    """Severity change of one property between two analyses."""
+
+    property: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after > 0 else 0.0
+        return self.delta / self.before
+
+
+@dataclass
+class ComparisonReport:
+    """Structured diff between a baseline and a new analysis."""
+
+    deltas: Dict[str, PropertyDelta] = field(default_factory=dict)
+    #: properties above threshold before but not after
+    lost: Tuple[str, ...] = ()
+    #: properties above threshold after but not before
+    gained: Tuple[str, ...] = ()
+    threshold: float = 0.01
+
+    @property
+    def is_regression(self) -> bool:
+        """A detected property disappeared: the change broke a detector."""
+        return bool(self.lost)
+
+    def max_abs_shift(self) -> float:
+        return max(
+            (abs(d.delta) for d in self.deltas.values()), default=0.0
+        )
+
+    def format(self) -> str:
+        lines = [
+            f"analysis comparison (threshold {self.threshold:.1%}):"
+        ]
+        if self.lost:
+            lines.append(f"  LOST   : {', '.join(self.lost)}")
+        if self.gained:
+            lines.append(f"  GAINED : {', '.join(self.gained)}")
+        if not self.lost and not self.gained:
+            lines.append("  detected property set unchanged")
+        for name in sorted(
+            self.deltas, key=lambda n: -abs(self.deltas[n].delta)
+        ):
+            d = self.deltas[name]
+            if abs(d.delta) < 1e-12:
+                continue
+            lines.append(
+                f"  {name:<30} {d.before:8.2%} -> {d.after:8.2%} "
+                f"({d.delta:+.2%})"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def compare_analyses(
+    before: AnalysisResult,
+    after: AnalysisResult,
+    threshold: float = 0.01,
+) -> ComparisonReport:
+    """Diff two analysis results on the property axis."""
+    sev_before = before.severities_by_property()
+    sev_after = after.severities_by_property()
+    names = sorted(set(sev_before) | set(sev_after))
+    deltas = {
+        name: PropertyDelta(
+            property=name,
+            before=sev_before.get(name, 0.0),
+            after=sev_after.get(name, 0.0),
+        )
+        for name in names
+    }
+    det_before = set(before.detected(threshold))
+    det_after = set(after.detected(threshold))
+    return ComparisonReport(
+        deltas=deltas,
+        lost=tuple(sorted(det_before - det_after)),
+        gained=tuple(sorted(det_after - det_before)),
+        threshold=threshold,
+    )

@@ -1,0 +1,56 @@
+"""Pattern detectors: one class per performance-property family."""
+
+from .base import (
+    AnalysisConfig,
+    Detector,
+    RegionVisit,
+    collective_instances,
+    iter_region_visits,
+    matched_p2p_pairs,
+)
+from .collective import (
+    EarlyRootDetector,
+    InitOverheadDetector,
+    LateRootDetector,
+    WaitAtBarrierDetector,
+    WaitAtNxNDetector,
+)
+from .omp import OmpCriticalContentionDetector, OmpImbalanceDetector
+from .sequential import IoBoundDetector
+from .p2p import LateReceiverDetector, LateSenderDetector, WrongOrderDetector
+
+#: the default detector battery, covering every registry property
+DEFAULT_DETECTORS = (
+    LateSenderDetector(),
+    LateReceiverDetector(),
+    WrongOrderDetector(),
+    WaitAtBarrierDetector(),
+    WaitAtNxNDetector(),
+    LateRootDetector(),
+    EarlyRootDetector(),
+    InitOverheadDetector(),
+    OmpImbalanceDetector(),
+    OmpCriticalContentionDetector(),
+    IoBoundDetector(),
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "DEFAULT_DETECTORS",
+    "Detector",
+    "EarlyRootDetector",
+    "InitOverheadDetector",
+    "IoBoundDetector",
+    "LateReceiverDetector",
+    "LateRootDetector",
+    "LateSenderDetector",
+    "OmpCriticalContentionDetector",
+    "OmpImbalanceDetector",
+    "RegionVisit",
+    "WaitAtBarrierDetector",
+    "WaitAtNxNDetector",
+    "WrongOrderDetector",
+    "collective_instances",
+    "iter_region_visits",
+    "matched_p2p_pairs",
+]

@@ -1,0 +1,121 @@
+"""Detector infrastructure: the protocol and shared trace-replay helpers."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Protocol, Sequence, Tuple
+
+from ...trace.events import (
+    CallPath,
+    CollExit,
+    Enter,
+    Event,
+    Exit,
+    Location,
+    Recv,
+    Send,
+)
+from ..model import Finding
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Parameters the analyzer knows about the measured system.
+
+    ``eager_threshold`` mirrors the transport configuration (a real
+    tool would know the MPI library's protocol switch point);
+    ``noise_floor`` discards waits below pure transport cost so
+    microsecond-scale algorithm skew does not pollute negative tests.
+    """
+
+    eager_threshold: int = 8192
+    noise_floor: float = 5e-5
+
+
+class Detector(Protocol):
+    """A pattern detector: trace events in, findings out."""
+
+    #: analyzer property ids this detector can emit
+    produces: Tuple[str, ...]
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]: ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class RegionVisit:
+    """One completed region instance at one location."""
+
+    loc: Location
+    region: str
+    path: CallPath
+    enter: float
+    exit: float
+    child_time: float
+
+    @property
+    def inclusive(self) -> float:
+        return self.exit - self.enter
+
+    @property
+    def exclusive(self) -> float:
+        return self.inclusive - self.child_time
+
+
+def iter_region_visits(events: Sequence[Event]) -> Iterator[RegionVisit]:
+    """Replay enter/exit events into completed :class:`RegionVisit`\\ s.
+
+    Events must be time-ordered per location (they are, as recorded).
+    Unclosed regions at the end of the trace are ignored.
+    """
+    stacks: dict[Location, list[list]] = defaultdict(list)
+    # stack entry: [region, enter_time, path, child_time]
+    for event in events:
+        if isinstance(event, Enter):
+            stacks[event.loc].append([event.region, event.time, event.path, 0.0])
+        elif isinstance(event, Exit):
+            stack = stacks[event.loc]
+            if not stack or stack[-1][0] != event.region:
+                continue
+            region, enter, path, child_time = stack.pop()
+            inclusive = event.time - enter
+            if stack:
+                stack[-1][3] += inclusive
+            yield RegionVisit(
+                loc=event.loc,
+                region=region,
+                path=path,
+                enter=enter,
+                exit=event.time,
+                child_time=child_time,
+            )
+
+
+def matched_p2p_pairs(
+    events: Sequence[Event],
+) -> Iterator[Tuple[Send, Recv]]:
+    """Yield matched user-level (send, recv) event pairs by msg_id."""
+    sends: Dict[int, Send] = {}
+    recvs: Dict[int, Recv] = {}
+    for event in events:
+        if isinstance(event, Send) and not event.internal:
+            sends[event.msg_id] = event
+        elif isinstance(event, Recv) and not event.internal:
+            recvs[event.msg_id] = event
+    for msg_id, recv in recvs.items():
+        send = sends.get(msg_id)
+        if send is not None:
+            yield send, recv
+
+
+def collective_instances(
+    events: Sequence[Event],
+) -> Dict[Tuple[int, int, str], list[CollExit]]:
+    """Group CollExit events: (comm_id, instance, op) -> participants."""
+    groups: Dict[Tuple[int, int, str], list[CollExit]] = defaultdict(list)
+    for event in events:
+        if isinstance(event, CollExit):
+            groups[(event.comm_id, event.instance, event.op)].append(event)
+    return dict(groups)

@@ -1,0 +1,155 @@
+"""Collective pattern detectors.
+
+Each detector groups the per-participant ``CollExit`` events of one
+collective call (by communicator and instance) and applies the
+published waiting-time formula:
+
+* **wait at barrier / NxN**: everyone waits from their own enter until
+  the last participant enters,
+* **late broadcast/scatter(v)**: non-roots cannot proceed before the
+  root enters; their wait is the root's lateness,
+* **early reduce/gather(v)**: the root cannot complete before the last
+  contributor enters; its wait is that gap.
+
+Also here: the *MPI init/finalize overhead* property the paper observes
+in figure 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...trace.events import Event
+from ..model import Finding
+from .base import AnalysisConfig, collective_instances, iter_region_visits
+
+#: ops whose completion synchronizes all participants
+_NXN_OPS = {
+    "MPI_Alltoall": "wait_at_nxn",
+    "MPI_Allreduce": "wait_at_nxn",
+    "MPI_Allgather": "wait_at_nxn",
+    "MPI_Reduce_scatter": "wait_at_nxn",
+}
+
+#: 1-to-N ops: root is the data source; property id per op
+_LATE_ROOT_OPS = {
+    "MPI_Bcast": "late_broadcast",
+    "MPI_Scatter": "late_scatter",
+    "MPI_Scatterv": "late_scatterv",
+}
+
+#: N-to-1 ops: root is the data sink; property id per op
+_EARLY_ROOT_OPS = {
+    "MPI_Reduce": "early_reduce",
+    "MPI_Gather": "early_gather",
+    "MPI_Gatherv": "early_gatherv",
+}
+
+
+class WaitAtBarrierDetector:
+    """Imbalance observed at ``MPI_Barrier``."""
+
+    produces = ("wait_at_barrier",)
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for (_, _, op), group in collective_instances(events).items():
+            if op != "MPI_Barrier":
+                continue
+            last_enter = max(e.enter_time for e in group)
+            for e in group:
+                wait = last_enter - e.enter_time
+                if wait > config.noise_floor:
+                    yield Finding("wait_at_barrier", e.path, e.loc, wait)
+
+
+class WaitAtNxNDetector:
+    """Imbalance observed at synchronizing N-to-N collectives."""
+
+    produces = ("wait_at_nxn",)
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for (_, _, op), group in collective_instances(events).items():
+            prop = _NXN_OPS.get(op)
+            if prop is None:
+                continue
+            last_enter = max(e.enter_time for e in group)
+            for e in group:
+                wait = last_enter - e.enter_time
+                if wait > config.noise_floor:
+                    yield Finding(prop, e.path, e.loc, wait)
+
+
+class LateRootDetector:
+    """Late broadcast / scatter / scatterv: the root enters last."""
+
+    produces = tuple(sorted(set(_LATE_ROOT_OPS.values())))
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for (_, _, op), group in collective_instances(events).items():
+            prop = _LATE_ROOT_OPS.get(op)
+            if prop is None:
+                continue
+            root_events = [e for e in group if e.loc.rank == e.root]
+            if not root_events:
+                continue
+            root_enter = root_events[0].enter_time
+            for e in group:
+                if e.loc.rank == e.root:
+                    continue
+                wait = root_enter - e.enter_time
+                if wait > config.noise_floor:
+                    yield Finding(prop, e.path, e.loc, wait)
+
+
+class EarlyRootDetector:
+    """Early reduce / gather / gatherv: the root enters first."""
+
+    produces = tuple(sorted(set(_EARLY_ROOT_OPS.values())))
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for (_, _, op), group in collective_instances(events).items():
+            prop = _EARLY_ROOT_OPS.get(op)
+            if prop is None:
+                continue
+            root_events = [e for e in group if e.loc.rank == e.root]
+            others = [e for e in group if e.loc.rank != e.root]
+            if not root_events or not others:
+                continue
+            root = root_events[0]
+            last_contributor = max(e.enter_time for e in others)
+            wait = last_contributor - root.enter_time
+            if wait > config.noise_floor:
+                yield Finding(prop, root.path, root.loc, wait)
+
+
+class InitOverheadDetector:
+    """High MPI initialization/finalization overhead (figure 3.2).
+
+    The whole inclusive time of ``MPI_Init``/``MPI_Finalize`` counts:
+    it is unavoidable framework overhead, significant exactly when the
+    program is small -- the paper's observation about its own test
+    programs.
+    """
+
+    produces = ("mpi_init_overhead",)
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for visit in iter_region_visits(events):
+            if visit.region in ("MPI_Init", "MPI_Finalize"):
+                if visit.inclusive > config.noise_floor:
+                    yield Finding(
+                        "mpi_init_overhead",
+                        visit.path,
+                        visit.loc,
+                        visit.inclusive,
+                    )

@@ -1,0 +1,72 @@
+"""OpenMP pattern detectors.
+
+The simulated OpenMP barrier releases all threads exactly at the last
+arrival, so a thread's time inside a barrier region *is* its imbalance
+wait.  Which property the wait belongs to is determined by which
+construct's barrier absorbed it -- explicit barrier, or the implicit
+barrier of a parallel region / worksharing loop / sections construct
+(the distinct region names the runtime records).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...trace.events import Event
+from ..model import Finding
+from .base import AnalysisConfig, iter_region_visits
+
+#: barrier region name -> property charged with the time spent in it
+_BARRIER_PROPERTIES = {
+    "omp_barrier": "imbalance_at_omp_barrier",
+    "omp_ibarrier_parallel": "imbalance_in_omp_pregion",
+    "omp_ibarrier_for": "imbalance_in_omp_loop",
+    "omp_ibarrier_sections": "imbalance_in_omp_sections",
+    "omp_ibarrier_single": "imbalance_at_omp_single",
+    "omp_ibarrier_reduce": "imbalance_at_omp_reduce",
+}
+
+
+class OmpImbalanceDetector:
+    """Thread imbalance at OpenMP synchronization points."""
+
+    produces = tuple(sorted(set(_BARRIER_PROPERTIES.values())))
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for visit in iter_region_visits(events):
+            prop = _BARRIER_PROPERTIES.get(visit.region)
+            if prop is None:
+                continue
+            if visit.inclusive > config.noise_floor:
+                yield Finding(prop, visit.path, visit.loc, visit.inclusive)
+
+
+class OmpCriticalContentionDetector:
+    """Lock-acquisition waits in critical sections and explicit locks.
+
+    A critical region's *exclusive* time (total minus the nested work
+    executed while holding the lock) is the time spent queueing for
+    the lock; an ``omp_lock`` region covers the acquisition wait
+    directly, so its inclusive time counts in full.
+    """
+
+    produces = ("omp_critical_contention", "omp_lock_contention")
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for visit in iter_region_visits(events):
+            if visit.region == "omp_critical":
+                wait = visit.exclusive
+                prop = "omp_critical_contention"
+            elif visit.region == "omp_lock":
+                wait = visit.inclusive
+                prop = "omp_lock_contention"
+            else:
+                continue
+            if wait > config.noise_floor:
+                yield Finding(prop, visit.path, visit.loc, wait)
+
+

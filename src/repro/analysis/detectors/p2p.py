@@ -1,0 +1,102 @@
+"""Point-to-point pattern detectors: late sender, late receiver,
+messages in wrong order.
+
+These follow the published EXPERT/KOJAK pattern definitions: matched
+send/receive event pairs are inspected for the characteristic
+enter-time orderings, and the blocked interval becomes the finding's
+waiting time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from ...trace.events import Event, Recv, Send
+from ..model import Finding
+from .base import AnalysisConfig, matched_p2p_pairs
+
+
+class LateSenderDetector:
+    """Receiver blocked because the matching send started too late.
+
+    Condition: ``send.start > recv.post``.  Wait: the receiver's
+    blocked interval from posting until the send started (transfer time
+    on top of that is communication, not waiting).
+    """
+
+    produces = ("late_sender",)
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for send, recv in matched_p2p_pairs(events):
+            wait = send.time - recv.post_time
+            if wait > config.noise_floor:
+                yield Finding(
+                    "late_sender", recv.path, recv.loc, wait
+                )
+
+
+class LateReceiverDetector:
+    """Sender blocked in rendezvous because the receive was posted late.
+
+    Condition: message above the eager threshold and
+    ``recv.post > send.start``.  The wait is charged to the *sender's*
+    location and call path -- that is where the time was lost.
+    """
+
+    produces = ("late_receiver",)
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for send, recv in matched_p2p_pairs(events):
+            if send.nbytes <= config.eager_threshold:
+                continue
+            wait = recv.post_time - send.time
+            if wait > config.noise_floor:
+                yield Finding(
+                    "late_receiver", send.path, send.loc, wait
+                )
+
+
+class WrongOrderDetector:
+    """Late-sender waits caused by messages received against send order.
+
+    The EXPERT "Late Sender / Messages in Wrong Order" sub-pattern: a
+    receive that blocked on a late send while an *earlier-sent* message
+    between the same endpoints was received *later* -- the wait exists
+    only because the receives were posted in the wrong order.
+    """
+
+    produces = ("messages_in_wrong_order",)
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        by_channel: dict = defaultdict(list)
+        for send, recv in matched_p2p_pairs(events):
+            by_channel[(send.loc, recv.loc, send.comm_id)].append(
+                (send, recv)
+            )
+        for pairs in by_channel.values():
+            for send, recv in pairs:
+                wait = send.time - recv.post_time
+                if wait <= config.noise_floor:
+                    continue
+                # Is there a message sent before this one but received
+                # (posted) after it?
+                inverted = any(
+                    other_send.time < send.time
+                    and other_recv.post_time > recv.post_time
+                    for other_send, other_recv in pairs
+                    if other_send.msg_id != send.msg_id
+                )
+                if inverted:
+                    yield Finding(
+                        "messages_in_wrong_order",
+                        recv.path,
+                        recv.loc,
+                        wait,
+                    )

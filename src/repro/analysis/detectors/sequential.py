@@ -1,0 +1,33 @@
+"""Sequential pattern detectors (paper future-work item)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...trace.events import Event
+from ..model import Finding
+from .base import AnalysisConfig, iter_region_visits
+
+_IO_REGIONS = ("io_read", "io_write")
+
+
+class IoBoundDetector:
+    """Time spent in (modeled) file I/O.
+
+    Every completed ``io_read``/``io_write`` region contributes its
+    inclusive time; whether the total is a *problem* is the severity
+    threshold's call, exactly like the waiting-time properties.
+    """
+
+    produces = ("io_bound",)
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        for visit in iter_region_visits(events):
+            if visit.region not in _IO_REGIONS:
+                continue
+            if visit.inclusive > config.noise_floor:
+                yield Finding(
+                    "io_bound", visit.path, visit.loc, visit.inclusive
+                )

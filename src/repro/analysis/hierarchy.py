@@ -1,0 +1,142 @@
+"""The performance-property hierarchy.
+
+EXPERT's left pane (paper figure 3.5) is a *tree*: specific patterns
+(Late Broadcast) refine general ones (Collective Communication →
+Communication → Time).  A parent's severity includes its children's,
+so a tool user can drill down from "this program loses 25% to MPI"
+to "...specifically to late broadcasts in late_broadcast()".
+
+This module defines the hierarchy over the analyzer's property ids and
+renders the classic indented tree with inclusive severities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .model import AnalysisResult
+
+#: child property id -> parent node name.  Leaves are detector ids;
+#: inner nodes are synthetic aggregates.
+PARENT: Dict[str, str] = {
+    # p2p refinements
+    "messages_in_wrong_order": "late_sender",
+    "late_sender": "p2p_communication",
+    "late_receiver": "p2p_communication",
+    "p2p_communication": "mpi_communication",
+    # collective refinements
+    "late_broadcast": "collective_communication",
+    "late_scatter": "collective_communication",
+    "late_scatterv": "collective_communication",
+    "early_reduce": "collective_communication",
+    "early_gather": "collective_communication",
+    "early_gatherv": "collective_communication",
+    "wait_at_barrier": "collective_communication",
+    "wait_at_nxn": "collective_communication",
+    "collective_communication": "mpi_communication",
+    "mpi_init_overhead": "mpi_communication",
+    "mpi_communication": "communication",
+    # OpenMP refinements
+    "imbalance_at_omp_barrier": "omp_synchronization",
+    "imbalance_in_omp_pregion": "omp_synchronization",
+    "imbalance_in_omp_loop": "omp_synchronization",
+    "imbalance_in_omp_sections": "omp_synchronization",
+    "imbalance_at_omp_single": "omp_synchronization",
+    "imbalance_at_omp_reduce": "omp_synchronization",
+    "omp_critical_contention": "omp_synchronization",
+    "omp_lock_contention": "omp_synchronization",
+    "omp_synchronization": "parallel_inefficiency",
+    "communication": "parallel_inefficiency",
+    # sequential
+    "io_bound": "sequential_inefficiency",
+    "parallel_inefficiency": "total",
+    "sequential_inefficiency": "total",
+}
+
+ROOT = "total"
+
+
+def ancestors(prop: str) -> Tuple[str, ...]:
+    """Chain from ``prop``'s parent up to the root."""
+    chain = []
+    node = prop
+    seen = set()
+    while node in PARENT:
+        node = PARENT[node]
+        if node in seen:  # pragma: no cover - guards config mistakes
+            raise ValueError(f"cycle in property hierarchy at {node}")
+        seen.add(node)
+        chain.append(node)
+    return tuple(chain)
+
+
+def children_of(node: str) -> Tuple[str, ...]:
+    return tuple(
+        sorted(c for c, p in PARENT.items() if p == node)
+    )
+
+
+@dataclass
+class HierarchyNode:
+    """One node of the severity tree."""
+
+    name: str
+    #: severity of exactly this property (leaves; 0 for aggregates)
+    exclusive: float = 0.0
+    #: severity including all descendants
+    inclusive: float = 0.0
+    children: list = field(default_factory=list)
+
+
+def severity_tree(result: AnalysisResult) -> HierarchyNode:
+    """Aggregate an analysis into the property hierarchy."""
+    severities = result.severities_by_property()
+    # Subset refinements: their waits are already counted by the parent
+    # leaf (wrong-order waits ARE late-sender waits), so they appear in
+    # the tree but do not propagate upward.
+    subset_leaves = {"messages_in_wrong_order"}
+    inclusive: Dict[str, float] = {}
+    exclusive: Dict[str, float] = {}
+    for prop, sev in severities.items():
+        exclusive[prop] = sev
+        inclusive[prop] = inclusive.get(prop, 0.0) + sev
+        if prop in subset_leaves:
+            continue
+        for parent in ancestors(prop):
+            inclusive[parent] = inclusive.get(parent, 0.0) + sev
+
+    def build(name: str) -> HierarchyNode:
+        node = HierarchyNode(
+            name=name,
+            exclusive=exclusive.get(name, 0.0),
+            inclusive=inclusive.get(name, 0.0),
+        )
+        for child in children_of(name):
+            if inclusive.get(child, 0.0) > 0 or exclusive.get(child, 0):
+                node.children.append(build(child))
+        node.children.sort(key=lambda n: -n.inclusive)
+        return node
+
+    return build(ROOT)
+
+
+def format_property_tree(
+    result: AnalysisResult, threshold: float = 0.0
+) -> str:
+    """Render the EXPERT-style indented property tree."""
+    root = severity_tree(result)
+    lines: list[str] = ["performance property tree (inclusive severity):"]
+
+    def walk(node: HierarchyNode, depth: int) -> None:
+        if node.inclusive < threshold and depth > 0:
+            return
+        indent = "  " * depth
+        lines.append(
+            f"  {node.inclusive:7.2%}  {indent}{node.name}"
+        )
+        for child in node.children:
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,134 @@
+"""Analysis data model: findings, results, severities.
+
+Results follow EXPERT's three-dimensional structure (paper figure 3.5):
+**performance property** x **call path** x **location**.  A
+:class:`Finding` is one cell of that cube -- a waiting time attributed
+to a property at a call path and location.  Severity follows the ASL
+definition: the magnitude "specifies the importance of the property in
+terms of its contribution to limiting the performance of the program"
+-- here, waiting time as a fraction of total allocation time
+(final time x number of locations).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..trace.events import CallPath, Location
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One attributed waiting time: (property, call path, location)."""
+
+    property: str
+    callpath: CallPath
+    loc: Location
+    wait_time: float
+
+    def __post_init__(self) -> None:
+        if self.wait_time < 0:
+            raise ValueError("finding wait time must be non-negative")
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the analyzer concluded about one run."""
+
+    findings: list[Finding]
+    total_time: float
+    locations: list[Location]
+    #: comm_id -> member global ranks, from the trace
+    comm_registry: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def total_allocation(self) -> float:
+        """Total CPU allocation: run time times location count."""
+        return self.total_time * max(1, len(self.locations))
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    def severity(
+        self,
+        property: Optional[str] = None,
+        callpath: Optional[CallPath] = None,
+        loc: Optional[Location] = None,
+    ) -> float:
+        """Summed severity (fraction of allocation) of matching findings."""
+        alloc = self.total_allocation
+        if alloc <= 0:
+            return 0.0
+        total = 0.0
+        for f in self.findings:
+            if property is not None and f.property != property:
+                continue
+            if callpath is not None and f.callpath != callpath:
+                continue
+            if loc is not None and f.loc != loc:
+                continue
+            total += f.wait_time
+        return total / alloc
+
+    def severities_by_property(self) -> Dict[str, float]:
+        """Property id -> severity, descending by severity."""
+        sums: Dict[str, float] = defaultdict(float)
+        for f in self.findings:
+            sums[f.property] += f.wait_time
+        alloc = self.total_allocation
+        if alloc <= 0:
+            return {}
+        return dict(
+            sorted(
+                ((p, w / alloc) for p, w in sums.items()),
+                key=lambda kv: -kv[1],
+            )
+        )
+
+    def detected(self, threshold: float = 0.01) -> tuple[str, ...]:
+        """Property ids whose severity exceeds ``threshold`` (fraction).
+
+        The threshold models a tool's sensitivity; the paper stresses
+        that "automatic performance tools have different thresholds/
+        sensitivities", hence the parameter.
+        """
+        return tuple(
+            p
+            for p, s in self.severities_by_property().items()
+            if s >= threshold
+        )
+
+    def callpaths_of(self, property: str) -> Dict[CallPath, float]:
+        """Call path -> severity for one property (EXPERT middle pane)."""
+        sums: Dict[CallPath, float] = defaultdict(float)
+        for f in self.findings:
+            if f.property == property:
+                sums[f.callpath] += f.wait_time
+        alloc = self.total_allocation
+        return dict(
+            sorted(
+                ((c, w / alloc) for c, w in sums.items()),
+                key=lambda kv: -kv[1],
+            )
+        )
+
+    def locations_of(
+        self, property: str, callpath: Optional[CallPath] = None
+    ) -> Dict[Location, float]:
+        """Location -> severity for one property (EXPERT right pane)."""
+        sums: Dict[Location, float] = defaultdict(float)
+        for f in self.findings:
+            if f.property != property:
+                continue
+            if callpath is not None and f.callpath != callpath:
+                continue
+            sums[f.loc] += f.wait_time
+        alloc = self.total_allocation
+        return {loc: w / alloc for loc, w in sorted(sums.items())}
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Properties ranked by severity, most severe first."""
+        return list(self.severities_by_property().items())

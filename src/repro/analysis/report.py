@@ -1,0 +1,81 @@
+"""EXPERT-style result presentation (paper figure 3.5).
+
+EXPERT shows three linked panes: the performance-property tree, the
+call graph where the property was located, and the per-location
+severity distribution.  ``format_expert_report`` renders the same three
+panes as text for every property above the display threshold.
+"""
+
+from __future__ import annotations
+
+from .model import AnalysisResult
+
+_BAR_WIDTH = 30
+
+
+def _bar(fraction: float, scale: float) -> str:
+    filled = 0 if scale <= 0 else round(_BAR_WIDTH * fraction / scale)
+    return "#" * min(_BAR_WIDTH, filled)
+
+
+def format_expert_report(
+    result: AnalysisResult,
+    threshold: float = 0.005,
+    max_callpaths: int = 4,
+) -> str:
+    """Render the three-pane analysis report.
+
+    ``threshold`` hides properties below that severity fraction (the
+    tool-sensitivity knob); per property, the ``max_callpaths`` most
+    severe call paths are expanded with their location pane.
+    """
+    lines: list[str] = []
+    lines.append("=" * 72)
+    lines.append("AUTOMATIC PERFORMANCE ANALYSIS REPORT (EXPERT-style)")
+    lines.append(
+        f"run time {result.total_time:.6f} s on "
+        f"{len(result.locations)} locations "
+        f"(total allocation {result.total_allocation:.6f} s)"
+    )
+    lines.append("=" * 72)
+    ranked = [
+        (prop, sev)
+        for prop, sev in result.ranked()
+        if sev >= threshold
+    ]
+    lines.append("-- performance properties " + "-" * 45)
+    if not ranked:
+        lines.append(
+            f"  (no property above the {threshold:.1%} display threshold)"
+        )
+    top = ranked[0][1] if ranked else 0.0
+    for prop, sev in ranked:
+        lines.append(f"  {sev:7.2%}  {_bar(sev, top):<30}  {prop}")
+    for prop, sev in ranked:
+        lines.append("")
+        lines.append(f"-- call paths for {prop} " + "-" * 40)
+        callpaths = list(result.callpaths_of(prop).items())
+        for path, path_sev in callpaths[:max_callpaths]:
+            pretty = " / ".join(path) if path else "(top level)"
+            lines.append(f"  {path_sev:7.2%}  {pretty}")
+            locs = result.locations_of(prop, path)
+            loc_top = max(locs.values(), default=0.0)
+            for loc, loc_sev in locs.items():
+                lines.append(
+                    f"      {str(loc):>6}  {loc_sev:7.2%}  "
+                    f"{_bar(loc_sev, loc_top)}"
+                )
+        hidden = len(callpaths) - max_callpaths
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more call path(s)")
+    lines.append("=" * 72)
+    return "\n".join(lines) + "\n"
+
+
+def format_summary_table(result: AnalysisResult) -> str:
+    """One-line-per-property severity table (for benchmark output)."""
+    lines = [f"{'property':<32}{'severity':>10}{'locations':>11}"]
+    for prop, sev in result.ranked():
+        nloc = len(result.locations_of(prop))
+        lines.append(f"{prop:<32}{sev:>9.2%}{nloc:>11}")
+    return "\n".join(lines) + "\n"

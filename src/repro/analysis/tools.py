@@ -1,0 +1,102 @@
+"""Tool-under-test adapters for the validation harness.
+
+The harness (`repro.validation.harness`) accepts any callable mapping a
+run result to detected property ids.  This module bundles adapters
+representing realistic tool classes, so the detection matrix can be
+exercised against more than the bundled analyzer:
+
+* :func:`pattern_tool` -- the full analyzer at a chosen sensitivity,
+* :func:`profile_only_tool` -- a profile-based tool that knows region
+  times but no event patterns: it can call a program communication- or
+  synchronization-heavy but cannot name *which* wait pattern -- so it
+  fails positive correctness on pattern properties,
+* :func:`single_detector_tool` -- a tool with exactly one detector
+  (e.g. only late-sender capable), modelling partial implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from .analyzer import analyze_run
+from .detectors import DEFAULT_DETECTORS
+
+ToolFn = Callable[[object], Tuple[str, ...]]
+
+
+def pattern_tool(threshold: float = 0.01) -> ToolFn:
+    """The bundled pattern analyzer at sensitivity ``threshold``."""
+
+    def tool(run) -> Tuple[str, ...]:
+        return analyze_run(run).detected(threshold)
+
+    tool.__name__ = f"pattern_tool(threshold={threshold})"
+    return tool
+
+
+def profile_only_tool(
+    mpi_fraction_threshold: float = 0.2,
+) -> ToolFn:
+    """A summary-data tool: sees region time fractions, no patterns.
+
+    Reports the ASL summary properties ``communication_bound`` /
+    ``io_bound`` only -- never a waiting-time pattern id, because it
+    has no event-level data.  Against the ATS matrix this tool fails
+    every pattern property (missing) while staying silent on balanced
+    programs: the matrix separates "measures something" from "detects
+    the property".
+    """
+    from ..asl import CommunicationBound, PerformanceData
+
+    def tool(run) -> Tuple[str, ...]:
+        data = PerformanceData.from_run(run)
+        out = []
+        prop = CommunicationBound()
+        prop.threshold = mpi_fraction_threshold
+        if prop.condition(data):
+            out.append("communication_bound")
+        if data.region_fraction("io_read", "io_write") > 0.2:
+            out.append("io_bound")
+        return tuple(out)
+
+    tool.__name__ = "profile_only_tool"
+    return tool
+
+
+def single_detector_tool(
+    detector, threshold: float = 0.01
+) -> ToolFn:
+    """A tool implementing exactly one detector."""
+
+    def tool(run) -> Tuple[str, ...]:
+        return analyze_run(
+            run, detectors=[detector]
+        ).detected(threshold)
+
+    tool.__name__ = f"single_detector({type(detector).__name__})"
+    return tool
+
+
+def battery_without(
+    *excluded_types, threshold: float = 0.01
+) -> ToolFn:
+    """The full battery minus the given detector classes.
+
+    Models a tool version that lost a capability -- the regression case
+    :func:`repro.analysis.compare_analyses` is built for.
+    """
+
+    def tool(run) -> Tuple[str, ...]:
+        detectors = [
+            d
+            for d in DEFAULT_DETECTORS
+            if not isinstance(d, tuple(excluded_types))
+        ]
+        return analyze_run(
+            run, detectors=detectors
+        ).detected(threshold)
+
+    tool.__name__ = "battery_without(" + ",".join(
+        t.__name__ for t in excluded_types
+    ) + ")"
+    return tool

@@ -1,0 +1,62 @@
+"""Mini-applications with documented performance behaviour (chapter 4).
+
+The paper's chapter 4 asks for "real-world-size parallel applications
+... together with ... descriptions of the application's performance
+behavior".  These kernels provide exactly that on the simulated
+substrate, with ground-truth pathology knobs:
+
+==================  ===========================================  =================================
+application         communication pattern                        documented pathology (knob)
+==================  ===========================================  =================================
+:func:`jacobi`      halo sendrecv + residual allreduce           strip imbalance (``imbalance``)
+:func:`master_worker`  on-demand task farm                       master bottleneck (``master_service_time``)
+:func:`pipeline`    linear stage chain                           slow stage (``slow_stage``)
+:func:`wavefront`   diagonal dependency sweep                    pipelined startup skew (inherent)
+:func:`cg_like`     matvec halo + 2 allreduce dots per iteration  row imbalance (``row_imbalance``)
+==================  ===========================================  =================================
+"""
+
+from .cg_like import CgConfig, cg_like
+from .grindstone import (
+    GRINDSTONE_PROGRAMS,
+    GrindstoneConfig,
+    big_message,
+    diffuse_procedure,
+    hot_procedure,
+    intensive_server,
+    random_barrier,
+    small_messages,
+)
+from .jacobi import JacobiConfig, jacobi
+from .master_worker import FarmConfig, master_worker
+from .npb_like import EpConfig, IsConfig, ep_like, is_like
+from .pipeline import PipelineConfig, pipeline
+from .stencil2d import Stencil2DConfig, stencil2d
+from .wavefront import WavefrontConfig, wavefront
+
+__all__ = [
+    "CgConfig",
+    "FarmConfig",
+    "GRINDSTONE_PROGRAMS",
+    "GrindstoneConfig",
+    "big_message",
+    "diffuse_procedure",
+    "hot_procedure",
+    "intensive_server",
+    "random_barrier",
+    "small_messages",
+    "EpConfig",
+    "IsConfig",
+    "JacobiConfig",
+    "PipelineConfig",
+    "Stencil2DConfig",
+    "stencil2d",
+    "WavefrontConfig",
+    "cg_like",
+    "ep_like",
+    "is_like",
+    "jacobi",
+    "master_worker",
+    "pipeline",
+    "wavefront",
+]

@@ -1,0 +1,94 @@
+"""A CG-style iterative solver skeleton.
+
+Each iteration does the communication pattern of a conjugate-gradient
+step on a 1-D-partitioned sparse matrix: halo sendrecv for the matvec,
+computation proportional to local rows, and two dot products
+(allreduce).  The numeric content is a simple tridiagonal matvec so
+results are verifiable.  Documented performance behaviour:
+
+* balanced rows: only allreduce latency (negative case),
+* ``row_imbalance > 0``: linear row skew makes the two allreduces per
+  iteration absorb the spread -- *wait at NxN* dominating as iteration
+  count grows (the behaviour NPB CG exhibits under bad partitioning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simmpi.buffers import alloc_mpi_buf
+from ..simmpi.communicator import Communicator
+from ..simmpi.datatypes import MPI_DOUBLE, MPI_SUM
+from ..trace.api import region
+from ..work import do_work
+
+SECONDS_PER_ROW = 3e-7
+TAG_HALO_UP = 11
+TAG_HALO_DOWN = 12
+
+
+@dataclass(frozen=True)
+class CgConfig:
+    """Parameters of one CG-like run."""
+
+    total_rows: int = 8192
+    iterations: int = 8
+    row_imbalance: float = 0.0
+
+    def rows_of(self, rank: int, size: int) -> int:
+        if size == 1:
+            return self.total_rows
+        weights = [
+            1.0 + self.row_imbalance * (r / (size - 1))
+            for r in range(size)
+        ]
+        total_w = sum(weights)
+        rows = [
+            max(8, int(self.total_rows * w / total_w))
+            for w in weights
+        ]
+        rows[-1] += self.total_rows - sum(rows)
+        return rows[rank]
+
+
+def cg_like(comm: Communicator, config: CgConfig = CgConfig()) -> float:
+    """Run the solver skeleton; every rank returns the final 'rho'."""
+    me = comm.rank()
+    sz = comm.size()
+    n = config.rows_of(me, sz)
+    x = np.linspace(me, me + 1, n)
+    halo = alloc_mpi_buf(MPI_DOUBLE, 1)
+    dot_s = alloc_mpi_buf(MPI_DOUBLE, 1)
+    dot_r = alloc_mpi_buf(MPI_DOUBLE, 1)
+    rho = 0.0
+    with region("cg_like"):
+        for _ in range(config.iterations):
+            with region("matvec"):
+                lo_ghost = hi_ghost = 0.0
+                if me + 1 < sz:
+                    halo.data[0] = x[-1]
+                    comm.send(halo, me + 1, TAG_HALO_UP)
+                if me > 0:
+                    comm.recv(halo, me - 1, TAG_HALO_UP)
+                    lo_ghost = float(halo.data[0])
+                    halo.data[0] = x[0]
+                    comm.send(halo, me - 1, TAG_HALO_DOWN)
+                if me + 1 < sz:
+                    comm.recv(halo, me + 1, TAG_HALO_DOWN)
+                    hi_ghost = float(halo.data[0])
+                padded = np.concatenate(([lo_ghost], x, [hi_ghost]))
+                y = 2 * padded[1:-1] - padded[:-2] - padded[2:]
+                do_work(n * SECONDS_PER_ROW)
+            with region("dot_products"):
+                dot_s.data[0] = float(np.dot(x, y))
+                comm.allreduce(dot_s, dot_r, MPI_SUM)
+                rho = float(dot_r.data[0])
+                dot_s.data[0] = float(np.dot(y, y))
+                comm.allreduce(dot_s, dot_r, MPI_SUM)
+                norm = float(dot_r.data[0])
+            # A fake update step keeping numbers bounded.
+            if norm > 0:
+                x = x + (rho / norm) * y * 1e-3
+    return rho

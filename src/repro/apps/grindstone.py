@@ -1,0 +1,194 @@
+"""Grindstone-style test programs.
+
+The paper's chapter 2 cites *Grindstone: A Test Suite for Parallel
+Performance Tools* (Hollingsworth/Miller; 9 PVM programs) as the
+closest predecessor of ATS.  This module reimplements the Grindstone
+program archetypes on the simulated MPI substrate, each with its
+documented diagnosis:
+
+===================  =====================================================
+program              documented behaviour / expected diagnosis
+===================  =====================================================
+``big_message``      bandwidth-bound: few huge messages dominate
+                     (``communication_bound`` summary property)
+``small_messages``   latency-bound: many tiny messages dominate
+                     (``communication_bound`` + high sync rate)
+``intensive_server`` one server computes for everyone; clients block on
+                     replies (``late_sender`` concentrated at clients)
+``random_barrier``   a rotating random rank is slow before each barrier
+                     (``wait_at_barrier`` spread over *all* ranks)
+``hot_procedure``    one procedure consumes almost all CPU time
+                     (profile: dominant exclusive region)
+``diffuse_procedure`` the hot procedure's time is diffused over many
+                     call sites (same total, many paths)
+===================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simkernel import current_process
+from ..simmpi.buffers import alloc_mpi_buf
+from ..simmpi.communicator import Communicator
+from ..simmpi.datatypes import MPI_BYTE, MPI_DOUBLE
+from ..trace.api import region
+from ..work import do_work
+
+TAG_DATA = 3
+TAG_REQUEST = 4
+TAG_REPLY = 5
+
+
+@dataclass(frozen=True)
+class GrindstoneConfig:
+    """Shared knobs for the Grindstone programs."""
+
+    repetitions: int = 8
+    big_bytes: int = 4 << 20       # big_message payload
+    small_count: int = 60          # small_messages per repetition
+    server_time: float = 0.004     # intensive_server per request
+    work_time: float = 0.003
+    procedure_time: float = 0.002
+
+
+def big_message(
+    comm: Communicator, config: GrindstoneConfig = GrindstoneConfig()
+) -> int:
+    """Pairs exchange few very large messages; bandwidth dominates."""
+    me = comm.rank()
+    sz = comm.size()
+    buf = alloc_mpi_buf(MPI_BYTE, config.big_bytes)
+    moved = 0
+    with region("big_message"):
+        for _ in range(config.repetitions):
+            if sz < 2 or (sz % 2 and me == sz - 1):
+                continue
+            if me % 2 == 0:
+                comm.send(buf, me + 1, TAG_DATA)
+            else:
+                comm.recv(buf, me - 1, TAG_DATA)
+                moved += buf.nbytes
+    return moved
+
+
+def small_messages(
+    comm: Communicator, config: GrindstoneConfig = GrindstoneConfig()
+) -> int:
+    """Pairs exchange floods of tiny messages; latency dominates."""
+    me = comm.rank()
+    sz = comm.size()
+    buf = alloc_mpi_buf(MPI_BYTE, 4)
+    count = 0
+    with region("small_messages"):
+        for _ in range(config.repetitions):
+            if sz < 2 or (sz % 2 and me == sz - 1):
+                continue
+            for _ in range(config.small_count):
+                if me % 2 == 0:
+                    comm.send(buf, me + 1, TAG_DATA)
+                else:
+                    comm.recv(buf, me - 1, TAG_DATA)
+                    count += 1
+    return count
+
+
+def intensive_server(
+    comm: Communicator, config: GrindstoneConfig = GrindstoneConfig()
+) -> int:
+    """Rank 0 serves compute requests; clients block on the replies."""
+    me = comm.rank()
+    sz = comm.size()
+    if sz < 2:
+        raise ValueError("intensive_server needs at least one client")
+    msg = alloc_mpi_buf(MPI_DOUBLE, 1)
+    served = 0
+    with region("intensive_server"):
+        if me == 0:
+            from ..simmpi.status import ANY_SOURCE
+
+            for _ in range(config.repetitions * (sz - 1)):
+                status = comm.recv(msg, ANY_SOURCE, TAG_REQUEST)
+                do_work(config.server_time)  # serialized service
+                comm.send(msg, status.source, TAG_REPLY)
+                served += 1
+        else:
+            for _ in range(config.repetitions):
+                comm.send(msg, 0, TAG_REQUEST)
+                comm.recv(msg, 0, TAG_REPLY)
+    return served
+
+
+def random_barrier(
+    comm: Communicator,
+    config: GrindstoneConfig = GrindstoneConfig(),
+) -> int:
+    """Each iteration a (deterministic pseudo-)random rank is slow.
+
+    Unlike a fixed-peak imbalance, the waits spread over *all* ranks
+    across iterations -- the barrier property without a blamable rank.
+    """
+    me = comm.rank()
+    sz = comm.size()
+    # All ranks must agree on the slow rank; derive it from the shared
+    # simulation seed (same stream on every rank by construction).
+    rng = comm.world.sim.rng.spawn(987)
+    slow_ranks = [rng.randrange(sz) for _ in range(config.repetitions)]
+    with region("random_barrier"):
+        for slow in slow_ranks:
+            do_work(
+                config.work_time * (6 if me == slow else 1)
+            )
+            comm.barrier()
+    return len(slow_ranks)
+
+
+def hot_procedure(
+    comm: Communicator, config: GrindstoneConfig = GrindstoneConfig()
+) -> float:
+    """One procedure consumes ~90% of CPU time at a single call site."""
+    total = 0.0
+    with region("hot_procedure_main"):
+        for _ in range(config.repetitions):
+            with region("cold_code"):
+                do_work(config.procedure_time * 0.1)
+            with region("the_hot_procedure"):
+                do_work(config.procedure_time * 0.9)
+                total += config.procedure_time * 0.9
+    return total
+
+
+def diffuse_procedure(
+    comm: Communicator, config: GrindstoneConfig = GrindstoneConfig()
+) -> float:
+    """The same hot procedure, called from many different sites.
+
+    Total procedure time matches :func:`hot_procedure`, but no single
+    call path dominates -- tools must aggregate by procedure, not by
+    call site, to spot it.
+    """
+    total = 0.0
+
+    def the_procedure(share: float) -> float:
+        with region("the_hot_procedure"):
+            do_work(share)
+        return share
+
+    with region("diffuse_procedure_main"):
+        for i in range(config.repetitions):
+            site = f"call_site_{i % 4}"
+            with region(site):
+                total += the_procedure(config.procedure_time * 0.9)
+            with region("cold_code"):
+                do_work(config.procedure_time * 0.1)
+    return total
+
+
+GRINDSTONE_PROGRAMS = {
+    "big_message": big_message,
+    "small_messages": small_messages,
+    "intensive_server": intensive_server,
+    "random_barrier": random_barrier,
+    "hot_procedure": hot_procedure,
+    "diffuse_procedure": diffuse_procedure,
+}

@@ -1,0 +1,91 @@
+"""Master/worker task farm.
+
+Rank 0 hands out tasks on demand; workers request work, compute, and
+return results.  Documented performance behaviour:
+
+* with cheap master dispatch and many workers the farm self-balances
+  (negative case at moderate scale),
+* a non-zero ``master_service_time`` serializes dispatch: workers
+  increasingly block in their receive -- *late sender* at the workers
+  with rank 0 as the bottleneck (the classic master-bottleneck
+  pathology, Grindstone's "one heavily loaded server" case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simkernel import current_process
+from ..simmpi.buffers import alloc_mpi_buf
+from ..simmpi.communicator import Communicator
+from ..simmpi.datatypes import MPI_DOUBLE
+from ..simmpi.status import ANY_SOURCE
+from ..trace.api import region
+from ..work import do_work
+
+TAG_REQUEST = 1
+TAG_TASK = 2
+TAG_RESULT = 3
+TAG_STOP = 4
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Parameters of one task-farm run."""
+
+    ntasks: int = 24
+    task_time: float = 0.004
+    #: spread factor: task i costs task_time * (1 + spread * i/ntasks)
+    task_spread: float = 0.5
+    #: master-side dispatch cost per request (the bottleneck knob)
+    master_service_time: float = 0.0
+
+    def task_cost(self, index: int) -> float:
+        return self.task_time * (
+            1.0 + self.task_spread * index / max(1, self.ntasks)
+        )
+
+
+def master_worker(
+    comm: Communicator, config: FarmConfig = FarmConfig()
+) -> float:
+    """Run the farm; every rank returns the global result sum."""
+    me = comm.rank()
+    sz = comm.size()
+    if sz < 2:
+        raise ValueError("task farm needs at least one worker")
+    msg = alloc_mpi_buf(MPI_DOUBLE, 2)  # [task index | result]
+
+    if me == 0:
+        total = 0.0
+        with region("farm_master"):
+            next_task = 0
+            active = sz - 1
+            while active > 0:
+                status = comm.recv(msg, ANY_SOURCE)
+                if status.tag == TAG_RESULT:
+                    total += float(msg.data[1])
+                if config.master_service_time > 0:
+                    do_work(config.master_service_time)
+                if next_task < config.ntasks:
+                    msg.data[0] = next_task
+                    comm.send(msg, status.source, TAG_TASK)
+                    next_task += 1
+                else:
+                    comm.send(msg, status.source, TAG_STOP)
+                    active -= 1
+        return total
+    else:
+        with region("farm_worker"):
+            msg.data[:] = 0.0
+            comm.send(msg, 0, TAG_REQUEST)
+            while True:
+                status = comm.recv(msg, 0)
+                if status.tag == TAG_STOP:
+                    break
+                index = int(msg.data[0])
+                do_work(config.task_cost(index))
+                msg.data[1] = float(index + 1)
+                comm.send(msg, 0, TAG_RESULT)
+        # workers return their own view (0.0) -- master owns the sum
+        return 0.0

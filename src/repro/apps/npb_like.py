@@ -1,0 +1,125 @@
+"""NPB-style kernel skeletons (paper chapter 4's suggested collection).
+
+The paper points at the NAS Parallel Benchmarks as a source of
+applications with known performance behaviour.  Two archetypes that
+complement the bundled apps:
+
+* :func:`ep_like` -- "Embarrassingly Parallel": pure independent
+  computation with a single reduction at the end.  Documented
+  behaviour: near-perfect scaling, nothing to report (the large-scale
+  negative case) -- unless ``work_skew`` is set, in which case the only
+  communication point (the final reduce) absorbs all of it.
+* :func:`is_like` -- "Integer Sort": bucket exchange via alltoallv-style
+  traffic each iteration.  Documented behaviour: communication volume
+  grows with key count; uneven bucket distributions create *wait at
+  NxN* at the exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simkernel import current_process
+from ..simmpi.buffers import alloc_mpi_buf
+from ..simmpi.communicator import Communicator
+from ..simmpi.datatypes import MPI_INT, MPI_LONG, MPI_SUM
+from ..trace.api import region
+from ..work import do_work
+
+SECONDS_PER_SAMPLE = 5e-8
+SECONDS_PER_KEY = 2e-8
+
+
+@dataclass(frozen=True)
+class EpConfig:
+    """Embarrassingly-parallel kernel parameters."""
+
+    samples_per_rank: int = 65536
+    #: 0 = perfectly even; s skews per-rank sample counts linearly
+    work_skew: float = 0.0
+
+
+def ep_like(comm: Communicator, config: EpConfig = EpConfig()) -> int:
+    """Run the EP kernel; every rank returns the global hit count."""
+    me = comm.rank()
+    sz = comm.size()
+    skew = 1.0 + config.work_skew * (me / max(1, sz - 1))
+    samples = int(config.samples_per_rank * skew)
+    rng = current_process().context.get("rng")
+    with region("ep_like"):
+        with region("ep_compute"):
+            # Real computation: Monte-Carlo quarter-circle hits,
+            # deterministic per rank via the seeded stream.
+            hits = 0
+            for _ in range(min(samples, 2048)):  # bounded real part
+                x = rng.random() if rng else 0.5
+                y = rng.random() if rng else 0.5
+                if x * x + y * y <= 1.0:
+                    hits += 1
+            do_work(samples * SECONDS_PER_SAMPLE)
+        sb = alloc_mpi_buf(MPI_LONG, 1)
+        rb = alloc_mpi_buf(MPI_LONG, 1)
+        sb.data[0] = hits
+        comm.allreduce(sb, rb, MPI_SUM)
+    return int(rb.data[0])
+
+
+@dataclass(frozen=True)
+class IsConfig:
+    """Integer-sort kernel parameters."""
+
+    keys_per_rank: int = 4096
+    iterations: int = 4
+    #: 0 = uniform buckets; s skews the key distribution toward rank 0
+    bucket_skew: float = 0.0
+
+
+def is_like(comm: Communicator, config: IsConfig = IsConfig()) -> int:
+    """Run the IS kernel; every rank returns its sorted-key checksum."""
+    me = comm.rank()
+    sz = comm.size()
+    rng = current_process().context.get("rng")
+    checksum = 0
+    with region("is_like"):
+        for _ in range(config.iterations):
+            with region("is_generate"):
+                # Keys drawn so bucket owner distribution can be skewed.
+                keys = np.zeros(config.keys_per_rank, dtype=np.int64)
+                for i in range(config.keys_per_rank):
+                    u = rng.random() if rng else (i % 100) / 100
+                    u = u ** (1.0 + config.bucket_skew)
+                    keys[i] = int(u * sz * 1000) % (sz * 1000)
+                do_work(config.keys_per_rank * SECONDS_PER_KEY)
+            with region("is_exchange"):
+                counts = np.zeros(sz, dtype=np.int64)
+                owners = keys // 1000
+                for owner in owners:
+                    counts[owner] += 1
+                # Exchange bucket counts, then the keys (fixed-width
+                # slots keep the alltoall regular).
+                csend = alloc_mpi_buf(MPI_INT, sz)
+                crecv = alloc_mpi_buf(MPI_INT, sz)
+                csend.data[:] = counts
+                comm.alltoall(csend, crecv)
+                slot = config.keys_per_rank
+                ksend = alloc_mpi_buf(MPI_LONG, slot * sz)
+                for owner in range(sz):
+                    mine = keys[owners == owner]
+                    ksend.data[owner * slot : owner * slot + len(mine)] = (
+                        mine
+                    )
+                krecv = alloc_mpi_buf(MPI_LONG, slot * sz)
+                comm.alltoall(ksend, krecv)
+            with region("is_local_sort"):
+                received = []
+                for owner in range(sz):
+                    n = int(crecv.data[owner])
+                    received.append(
+                        krecv.data[owner * slot : owner * slot + n]
+                    )
+                mine = np.sort(np.concatenate(received))
+                do_work(len(mine) * SECONDS_PER_KEY)
+                checksum = int(np.sum(mine) % (1 << 31))
+    return checksum

@@ -1,0 +1,64 @@
+"""A software pipeline over the ranks.
+
+Rank ``i`` is pipeline stage ``i``: it receives an item from stage
+``i-1``, processes it and forwards it to stage ``i+1``.  Documented
+performance behaviour:
+
+* with uniform stage costs the pipeline reaches steady state after a
+  fill phase of ``size`` items; only the startup skew shows up,
+* one slow stage (``slow_stage``/``slow_factor``) throttles everything
+  behind it: upstream stages become *late receivers* of nothing -- in
+  practice downstream stages show *late sender* waits as they starve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simmpi.buffers import alloc_mpi_buf
+from ..simmpi.communicator import Communicator
+from ..simmpi.datatypes import MPI_DOUBLE
+from ..trace.api import region
+from ..work import do_work
+
+TAG_ITEM = 7
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Parameters of one pipeline run."""
+
+    nitems: int = 16
+    stage_time: float = 0.003
+    slow_stage: int = -1  # -1: no slow stage
+    slow_factor: float = 4.0
+
+    def stage_cost(self, stage: int) -> float:
+        if stage == self.slow_stage:
+            return self.stage_time * self.slow_factor
+        return self.stage_time
+
+
+def pipeline(
+    comm: Communicator, config: PipelineConfig = PipelineConfig()
+) -> float:
+    """Run the pipeline; the last stage returns the output checksum."""
+    me = comm.rank()
+    sz = comm.size()
+    item = alloc_mpi_buf(MPI_DOUBLE, 4)
+    checksum = 0.0
+    with region("pipeline_stage"):
+        for i in range(config.nitems):
+            if me == 0:
+                item.data[:] = float(i)
+            else:
+                comm.recv(item, me - 1, TAG_ITEM)
+            do_work(config.stage_cost(me))
+            item.data[:] = item.data + 1.0  # each stage increments
+            if me + 1 < sz:
+                comm.send(item, me + 1, TAG_ITEM)
+            else:
+                checksum += float(np.sum(item.data))
+    return checksum

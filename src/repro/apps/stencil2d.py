@@ -1,0 +1,106 @@
+"""A 2-D Jacobi stencil on a Cartesian process grid.
+
+The natural companion to :mod:`repro.apps.jacobi`: domain decomposed
+in two dimensions over ``MPI_Cart_create``, four-way halo exchange via
+``cart.shift`` with ``PROC_NULL`` boundaries, and a residual allreduce.
+Documented performance behaviour: with a square, balanced grid the
+program is clean; a ``hot_row`` makes one grid row compute longer, so
+its column-neighbours wait in the halo exchange and everyone meets at
+the allreduce (*wait at NxN*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simmpi.buffers import alloc_mpi_buf
+from ..simmpi.communicator import Communicator
+from ..simmpi.datatypes import MPI_DOUBLE, MPI_SUM
+from ..simmpi.topology import cart_create, dims_create
+from ..trace.api import region
+from ..work import do_work
+
+SECONDS_PER_CELL = 1e-7
+TAG_X = 21
+TAG_Y = 22
+
+
+@dataclass(frozen=True)
+class Stencil2DConfig:
+    """Parameters of one 2-D stencil run."""
+
+    local_nx: int = 24
+    local_ny: int = 24
+    iterations: int = 6
+    #: grid row whose ranks do extra work per iteration (-1: none)
+    hot_row: int = -1
+    hot_factor: float = 4.0
+
+
+def stencil2d(
+    comm: Communicator, config: Stencil2DConfig = Stencil2DConfig()
+) -> float:
+    """Run the stencil; every rank returns the global residual."""
+    sz = comm.size()
+    dims = dims_create(sz, 2)
+    cart = cart_create(comm, dims)
+    row = cart.my_coords()[0]
+    nx, ny = config.local_nx, config.local_ny
+    u = np.zeros((nx + 2, ny + 2))
+    if cart.rank() == 0:
+        u[1, 1] = 100.0
+    edge_x = alloc_mpi_buf(MPI_DOUBLE, ny)
+    edge_y = alloc_mpi_buf(MPI_DOUBLE, nx)
+    resid_s = alloc_mpi_buf(MPI_DOUBLE, 1)
+    resid_r = alloc_mpi_buf(MPI_DOUBLE, 1)
+    residual = 0.0
+
+    def exchange(dim: int, send_slice, recv_slice, buf, tag) -> None:
+        """One-directional halo exchange along ``dim``."""
+        src, dst = cart.shift(dim, 1)
+        buf.data[:] = send_slice
+        sreq = cart.isend(buf, dst, tag) if dst >= 0 else None
+        rbuf = alloc_mpi_buf(buf.type, buf.cnt)
+        rreq = cart.irecv(rbuf, src, tag) if src >= 0 else None
+        if sreq is not None:
+            cart.wait(sreq)
+        if rreq is not None:
+            cart.wait(rreq)
+            recv_slice[:] = rbuf.data
+
+    with region("stencil2d"):
+        for _ in range(config.iterations):
+            with region("halo2d"):
+                # +x direction then -x, +y then -y
+                exchange(0, u[nx, 1:-1], u[0, 1:-1], edge_x, TAG_X)
+                src, dst = cart.shift(0, -1)
+                edge_x.data[:] = u[1, 1:-1]
+                if dst >= 0:
+                    cart.send(edge_x, dst, TAG_X + 10)
+                if src >= 0:
+                    cart.recv(edge_x, src, TAG_X + 10)
+                    u[nx + 1, 1:-1] = edge_x.data
+                exchange(1, u[1:-1, ny], u[1:-1, 0], edge_y, TAG_Y)
+                src, dst = cart.shift(1, -1)
+                edge_y.data[:] = u[1:-1, 1]
+                if dst >= 0:
+                    cart.send(edge_y, dst, TAG_Y + 10)
+                if src >= 0:
+                    cart.recv(edge_y, src, TAG_Y + 10)
+                    u[1:-1, ny + 1] = edge_y.data
+            new = u[1:-1, 1:-1] + 0.25 * (
+                u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2]
+                + u[1:-1, 2:] - 4 * u[1:-1, 1:-1]
+            )
+            cost = nx * ny * SECONDS_PER_CELL
+            if row == config.hot_row:
+                cost *= config.hot_factor
+            do_work(cost)
+            local_resid = float(np.sum((new - u[1:-1, 1:-1]) ** 2))
+            u[1:-1, 1:-1] = new
+            resid_s.data[0] = local_resid
+            cart.allreduce(resid_s, resid_r, MPI_SUM)
+            residual = float(resid_r.data[0])
+    return residual

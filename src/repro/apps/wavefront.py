@@ -1,0 +1,57 @@
+"""A 2-D wavefront sweep (Sweep3D/LU-style dependency pattern).
+
+The grid's rows are distributed across the ranks; computing block
+``(row, col)`` requires block ``(row-1, col)`` from the previous rank.
+A diagonal wave therefore sweeps the grid.  Documented performance
+behaviour: pipelined startup/drain skew -- rank ``r`` idles ``r`` block
+times at the start of each sweep (*late sender* at the first columns),
+shrinking relative to total as ``ncols`` grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simmpi.buffers import alloc_mpi_buf
+from ..simmpi.communicator import Communicator
+from ..simmpi.datatypes import MPI_DOUBLE
+from ..trace.api import region
+from ..work import do_work
+
+TAG_WAVE = 9
+
+
+@dataclass(frozen=True)
+class WavefrontConfig:
+    """Parameters of one sweep."""
+
+    ncols: int = 12
+    block_time: float = 0.002
+    sweeps: int = 2
+
+
+def wavefront(
+    comm: Communicator, config: WavefrontConfig = WavefrontConfig()
+) -> float:
+    """Run the sweeps; returns this rank's accumulated boundary value."""
+    me = comm.rank()
+    sz = comm.size()
+    edge = alloc_mpi_buf(MPI_DOUBLE, 1)
+    acc = 0.0
+    with region("wavefront"):
+        for sweep in range(config.sweeps):
+            for col in range(config.ncols):
+                if me > 0:
+                    comm.recv(edge, me - 1, TAG_WAVE)
+                    upstream = float(edge.data[0])
+                else:
+                    upstream = float(sweep + col)
+                do_work(config.block_time)
+                value = upstream + 1.0  # each row adds one
+                acc += value
+                if me + 1 < sz:
+                    edge.data[0] = value
+                    comm.send(edge, me + 1, TAG_WAVE)
+    return acc

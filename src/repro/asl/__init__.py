@@ -1,0 +1,36 @@
+"""ASL: the APART Specification Language layer.
+
+The paper bases the ATS property list on the ASL catalog [7]; this
+package encodes ASL's condition/confidence/severity structure and the
+catalog itself, so test intent is machine-checkable.
+"""
+
+from .catalog import (
+    ANALYZER_PROPERTY_IDS,
+    CommunicationBound,
+    FrequentSynchronization,
+    PatternProperty,
+    SequentialBottleneck,
+    default_catalog,
+)
+from .spec import (
+    AslProperty,
+    Diagnosis,
+    PerformanceData,
+    evaluate,
+    format_diagnoses,
+)
+
+__all__ = [
+    "ANALYZER_PROPERTY_IDS",
+    "AslProperty",
+    "CommunicationBound",
+    "Diagnosis",
+    "FrequentSynchronization",
+    "PatternProperty",
+    "PerformanceData",
+    "SequentialBottleneck",
+    "default_catalog",
+    "evaluate",
+    "format_diagnoses",
+]

@@ -1,0 +1,179 @@
+"""The ASL property catalog.
+
+Two families:
+
+* **pattern-backed properties** wrap the analyzer's waiting-time
+  findings (one ASL property per detector property id) -- condition is
+  "any attributed wait", severity is the ASL fraction-of-allocation,
+* **profile-backed properties** are defined directly over region-time
+  summaries, like ASL's original summary-data properties:
+  communication-bound, synchronization-frequency, io-dominance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import AslProperty, PerformanceData
+
+#: every property id the analyzer battery can produce
+ANALYZER_PROPERTY_IDS = (
+    "late_sender",
+    "late_receiver",
+    "messages_in_wrong_order",
+    "wait_at_barrier",
+    "wait_at_nxn",
+    "late_broadcast",
+    "late_scatter",
+    "late_scatterv",
+    "early_reduce",
+    "early_gather",
+    "early_gatherv",
+    "mpi_init_overhead",
+    "imbalance_at_omp_barrier",
+    "imbalance_in_omp_pregion",
+    "imbalance_in_omp_loop",
+    "imbalance_in_omp_sections",
+    "imbalance_at_omp_single",
+    "imbalance_at_omp_reduce",
+    "omp_critical_contention",
+    "omp_lock_contention",
+    "io_bound",
+)
+
+
+@dataclass
+class PatternProperty(AslProperty):
+    """ASL wrapper over one analyzer pattern property."""
+
+    name: str = ""
+    description: str = ""
+    threshold: float = 0.0
+
+    def condition(self, data: PerformanceData) -> bool:
+        return self.severity(data) > self.threshold
+
+    def severity(self, data: PerformanceData) -> float:
+        return data.analysis.severity(property=self.name)
+
+
+class CommunicationBound(AslProperty):
+    """The program spends a large fraction of its time inside MPI calls.
+
+    A classic ASL summary property: condition over the profile, not
+    over any individual wait pattern.  Confidence is below 1 because
+    time inside MPI includes useful transfer time, not only loss.
+    """
+
+    name = "communication_bound"
+    description = "large fraction of time spent inside MPI operations"
+
+    MPI_REGION_PREFIX = "MPI_"
+    threshold = 0.2
+
+    def _mpi_fraction(self, data: PerformanceData) -> float:
+        alloc = data.total_allocation
+        if alloc <= 0:
+            return 0.0
+        total = sum(
+            data.profile.exclusive_total(region)
+            for region in data.profile.regions()
+            if region.startswith(self.MPI_REGION_PREFIX)
+        )
+        return total / alloc
+
+    def condition(self, data: PerformanceData) -> bool:
+        return self._mpi_fraction(data) > self.threshold
+
+    def confidence(self, data: PerformanceData) -> float:
+        return 0.8
+
+    def severity(self, data: PerformanceData) -> float:
+        return self._mpi_fraction(data)
+
+
+class FrequentSynchronization(AslProperty):
+    """Many synchronizing operations per unit of run time.
+
+    Condition on visit counts rather than waiting time: even a
+    perfectly balanced program pays latency per collective.
+    """
+
+    name = "frequent_synchronization"
+    description = "high rate of barriers/collective synchronizations"
+
+    SYNC_REGIONS = ("MPI_Barrier", "omp_barrier")
+    rate_threshold = 200.0  # visits per second per location
+
+    def _rate(self, data: PerformanceData) -> float:
+        if data.total_time <= 0:
+            return 0.0
+        visits = sum(
+            rp.visits
+            for (region, _), rp in data.profile.per_region.items()
+            if region in self.SYNC_REGIONS
+        )
+        nloc = max(1, len(data.analysis.locations))
+        return visits / nloc / data.total_time
+
+    def condition(self, data: PerformanceData) -> bool:
+        return self._rate(data) > self.rate_threshold
+
+    def confidence(self, data: PerformanceData) -> float:
+        return 0.5
+
+    def severity(self, data: PerformanceData) -> float:
+        # Normalized against 10x the threshold rate, capped at 1.
+        return min(1.0, self._rate(data) / (10 * self.rate_threshold))
+
+
+class SequentialBottleneck(AslProperty):
+    """One location does far more exclusive work than the average.
+
+    The summary-data view of load imbalance: useful when no explicit
+    synchronization absorbs the wait (so no pattern fires).
+    """
+
+    name = "sequential_bottleneck"
+    description = "one location dominates the computation"
+
+    ratio_threshold = 2.0
+
+    def _max_over_mean(self, data: PerformanceData) -> float:
+        per_loc: dict = {}
+        for (region, loc), rp in data.profile.per_region.items():
+            if region == "work":
+                per_loc[loc] = per_loc.get(loc, 0.0) + rp.inclusive
+        if len(per_loc) < 2:
+            return 0.0
+        values = list(per_loc.values())
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean > 0 else 0.0
+
+    def condition(self, data: PerformanceData) -> bool:
+        return self._max_over_mean(data) > self.ratio_threshold
+
+    def confidence(self, data: PerformanceData) -> float:
+        return 0.7
+
+    def severity(self, data: PerformanceData) -> float:
+        ratio = self._max_over_mean(data)
+        return max(0.0, min(1.0, (ratio - 1.0) / 4.0))
+
+
+def default_catalog() -> list[AslProperty]:
+    """The full ASL catalog: pattern wrappers + summary properties."""
+    props: list[AslProperty] = [
+        PatternProperty(
+            name=pid, description=f"pattern property {pid}"
+        )
+        for pid in ANALYZER_PROPERTY_IDS
+    ]
+    props.extend(
+        [
+            CommunicationBound(),
+            FrequentSynchronization(),
+            SequentialBottleneck(),
+        ]
+    )
+    return props

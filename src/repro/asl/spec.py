@@ -1,0 +1,135 @@
+"""A miniature ASL: APART Specification Language for properties.
+
+The paper grounds ATS in ASL [Fahringer et al., IB-2001-08]: a
+*performance property* is specified as a triple of
+
+* **condition** -- does the property hold for this program/region,
+* **confidence** -- how certain the specification is (0..1),
+* **severity** -- how much the property limits performance.
+
+This module reproduces that structure over the reproduction's own
+performance data model: an :class:`AslProperty` evaluates the three
+members against :class:`PerformanceData` (trace profile + analyzer
+results), and a catalog of concrete properties lives in
+:mod:`repro.asl.catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis.model import AnalysisResult
+from ..trace.stats import TraceProfile, profile_trace
+
+
+@dataclass
+class PerformanceData:
+    """The data model an ASL property is evaluated against."""
+
+    profile: TraceProfile
+    analysis: AnalysisResult
+
+    @property
+    def total_time(self) -> float:
+        return self.analysis.total_time
+
+    @property
+    def total_allocation(self) -> float:
+        return self.analysis.total_allocation
+
+    def region_fraction(self, *regions: str) -> float:
+        """Fraction of total allocation spent (exclusively) in regions."""
+        alloc = self.total_allocation
+        if alloc <= 0:
+            return 0.0
+        return (
+            sum(self.profile.exclusive_total(r) for r in regions) / alloc
+        )
+
+    @classmethod
+    def from_run(cls, run) -> "PerformanceData":
+        """Build from a RunResult/OmpRunResult + its analysis."""
+        from ..analysis import analyze_run
+
+        return cls(
+            profile=profile_trace(run.events),
+            analysis=analyze_run(run),
+        )
+
+
+class AslProperty:
+    """Base class: one ASL performance property specification.
+
+    Subclasses override :meth:`condition`, :meth:`severity` and
+    optionally :meth:`confidence` (default 1.0, i.e. the condition is
+    exact, not heuristic).
+    """
+
+    #: unique property identifier
+    name: str = "abstract"
+    description: str = ""
+
+    def condition(self, data: PerformanceData) -> bool:
+        raise NotImplementedError
+
+    def confidence(self, data: PerformanceData) -> float:
+        return 1.0
+
+    def severity(self, data: PerformanceData) -> float:
+        raise NotImplementedError
+
+    def holds(self, data: PerformanceData) -> bool:
+        """Condition with defensive clamping."""
+        return bool(self.condition(data))
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """One confirmed property instance in an evaluation."""
+
+    property: str
+    severity: float
+    confidence: float
+    description: str = ""
+
+
+def format_diagnoses(diagnoses: Sequence["Diagnosis"]) -> str:
+    """Render an ASL evaluation as a ranked table.
+
+    Shows all three ASL members per holding property: severity (the
+    ranking key), confidence, and the description.
+    """
+    if not diagnoses:
+        return "(no performance property holds)\n"
+    lines = [f"{'severity':>9} {'conf':>5}  property"]
+    for d in diagnoses:
+        lines.append(
+            f"{d.severity:>9.2%} {d.confidence:>5.2f}  {d.property}"
+            + (f" -- {d.description}" if d.description else "")
+        )
+    return "\n".join(lines) + "\n"
+
+
+def evaluate(
+    properties: Sequence[AslProperty], data: PerformanceData
+) -> list[Diagnosis]:
+    """Evaluate a property set; returns diagnoses ranked by severity.
+
+    This is ASL's intended use: "the magnitude [of severity] specifies
+    the importance of the property in terms of its contribution to
+    limiting the performance of the program" -- ranking follows.
+    """
+    out = []
+    for prop in properties:
+        if prop.holds(data):
+            out.append(
+                Diagnosis(
+                    property=prop.name,
+                    severity=prop.severity(data),
+                    confidence=prop.confidence(data),
+                    description=prop.description,
+                )
+            )
+    out.sort(key=lambda d: -d.severity)
+    return out

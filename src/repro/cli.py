@@ -1,0 +1,245 @@
+"""The ``ats`` command-line interface.
+
+Subcommands::
+
+    ats list                         list registered property functions
+    ats run <property> [...]         run one property function
+    ats chain [...]                  run the figure-3.3 all-MPI chain
+    ats split [...]                  run the figure-3.4 split program
+    ats generate <outdir>            emit standalone test programs
+    ats analyze <trace.jsonl>        analyze a persisted trace
+    ats matrix [...]                 run the validation matrix
+    ats suites                       print the chapter-2/4 catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import analyze_events, analyze_run, format_expert_report
+from .core import (
+    get_property,
+    list_properties,
+    run_all_mpi_properties,
+    run_split_program,
+    write_generated_programs,
+)
+from .trace import read_trace, write_trace
+from .validation import format_catalog, run_validation_matrix
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", type=int, default=8,
+                        help="simulated MPI ranks (default 8)")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="OpenMP threads per process (default 4)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeline", action="store_true",
+                        help="print an ASCII timeline")
+    parser.add_argument("--tree", action="store_true",
+                        help="print the property hierarchy tree")
+    parser.add_argument("--no-analyze", action="store_true",
+                        help="skip the automatic analysis report")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write the event trace to FILE")
+
+
+def _report(result, args) -> None:
+    print(
+        f"finished in {result.final_time:.6f} simulated seconds "
+        f"({len(result.events)} events)"
+    )
+    if args.timeline:
+        print(result.timeline(width=100))
+    if args.trace_out:
+        write_trace(args.trace_out, result.events)
+        print(f"trace written to {args.trace_out}")
+    if not args.no_analyze:
+        analysis = analyze_run(result)
+        print(format_expert_report(analysis))
+        if args.tree:
+            from .analysis import format_property_tree
+
+            print(format_property_tree(analysis, threshold=0.001))
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for spec in list_properties(
+        paradigm=args.paradigm,
+        negative=None if args.all else False,
+    ):
+        kind = "negative" if spec.negative else "positive"
+        print(
+            f"{spec.name:<34} [{spec.paradigm:>6}/{kind}] "
+            f"{spec.description}"
+        )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = get_property(args.property)
+    result = spec.run(
+        size=args.size, num_threads=args.threads, seed=args.seed
+    )
+    _report(result, args)
+    return 0
+
+
+def cmd_chain(args: argparse.Namespace) -> int:
+    result = run_all_mpi_properties(size=args.size, seed=args.seed)
+    _report(result, args)
+    return 0
+
+
+def cmd_split(args: argparse.Namespace) -> int:
+    result = run_split_program(
+        lower=args.lower.split(","),
+        upper=args.upper.split(","),
+        size=args.size,
+        seed=args.seed,
+    )
+    _report(result, args)
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    paths = write_generated_programs(args.outdir, paradigm=args.paradigm)
+    for path in paths:
+        print(path)
+    print(f"{len(paths)} programs generated in {args.outdir}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    events, metadata = read_trace(args.trace)
+    result = analyze_events(events)
+    if metadata:
+        print(f"trace metadata: {metadata}")
+    print(format_expert_report(result, threshold=args.threshold))
+    return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    matrix = run_validation_matrix(
+        size=args.size, num_threads=args.threads, seed=args.seed
+    )
+    print(matrix.format_table())
+    return 0 if matrix.all_passed else 1
+
+
+def cmd_suites(args: argparse.Namespace) -> int:
+    print(format_catalog())
+    return 0
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    from .validation import certify_tool
+
+    cert = certify_tool(
+        size=args.size, num_threads=args.threads, seed=args.seed
+    )
+    print(cert.format())
+    return 0 if cert.certified else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .validation import run_sweep
+
+    factors = [float(f) for f in args.factors.split(",")]
+    sizes = [int(s) for s in args.sizes.split(",")]
+    result = run_sweep(
+        args.property,
+        severity_factors=factors,
+        sizes=sizes,
+        num_threads=args.threads,
+        seed=args.seed,
+    )
+    print(result.to_csv())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ats",
+        description="APART Test Suite for automatic performance "
+        "analysis tools (IPPS 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list property functions")
+    p.add_argument("--paradigm", choices=("mpi", "omp", "hybrid"),
+                   default=None)
+    p.add_argument("--all", action="store_true",
+                   help="include negative test programs")
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("run", help="run one property function")
+    p.add_argument("property")
+    _add_run_options(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("chain", help="run all MPI properties (fig 3.3)")
+    _add_run_options(p)
+    p.set_defaults(fn=cmd_chain)
+
+    p = sub.add_parser("split", help="split-communicator run (fig 3.4)")
+    p.add_argument("--lower", default="imbalance_at_mpi_barrier",
+                   help="comma-separated property list for lower half")
+    p.add_argument("--upper", default="late_broadcast",
+                   help="comma-separated property list for upper half")
+    _add_run_options(p)
+    p.set_defaults(fn=cmd_split)
+
+    p = sub.add_parser("generate", help="generate standalone programs")
+    p.add_argument("outdir")
+    p.add_argument("--paradigm", choices=("mpi", "omp", "hybrid"),
+                   default=None)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("analyze", help="analyze a persisted trace")
+    p.add_argument("trace")
+    p.add_argument("--threshold", type=float, default=0.005)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("matrix", help="run the validation matrix")
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_matrix)
+
+    p = sub.add_parser("suites", help="print the external-suite catalog")
+    p.set_defaults(fn=cmd_suites)
+
+    p = sub.add_parser(
+        "certify",
+        help="run the full suite against the bundled analyzer",
+    )
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_certify)
+
+    p = sub.add_parser(
+        "sweep", help="severity/size parameter sweep (CSV output)"
+    )
+    p.add_argument("property")
+    p.add_argument("--factors", default="0.5,1,2",
+                   help="comma-separated severity scale factors")
+    p.add_argument("--sizes", default="8",
+                   help="comma-separated world sizes")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

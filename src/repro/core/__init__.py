@@ -1,0 +1,56 @@
+"""The ATS framework core (the paper's primary contribution).
+
+Layers, mirroring paper figure 3.1: base buffer configuration,
+performance property functions, the property registry, composite
+program builders, and the single-property test program generator.
+"""
+
+from . import properties
+from .base import (
+    alloc_base_buf,
+    base_cnt,
+    base_type,
+    reset_base_comm,
+    set_base_comm,
+)
+from .composite import (
+    ALL_MPI_PROPERTY_CHAIN,
+    Step,
+    run_all_mpi_properties,
+    run_chain,
+    run_hybrid_composite,
+    run_split_program,
+)
+from .generator import (
+    generate_single_property_script,
+    write_generated_programs,
+)
+from .registry import (
+    DistParam,
+    PropertySpec,
+    get_property,
+    list_properties,
+    register_property,
+)
+
+__all__ = [
+    "ALL_MPI_PROPERTY_CHAIN",
+    "DistParam",
+    "PropertySpec",
+    "Step",
+    "alloc_base_buf",
+    "base_cnt",
+    "base_type",
+    "generate_single_property_script",
+    "get_property",
+    "list_properties",
+    "properties",
+    "register_property",
+    "reset_base_comm",
+    "run_all_mpi_properties",
+    "run_chain",
+    "run_hybrid_composite",
+    "run_split_program",
+    "set_base_comm",
+    "write_generated_programs",
+]

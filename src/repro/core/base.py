@@ -1,0 +1,48 @@
+"""Base communication configuration (paper section 3.1.3).
+
+``set_base_comm(type, cnt)`` sets the default buffer size "for MPI
+communication used in the MPI property test programs", exactly as in
+the paper.  Property functions allocate their buffers from this
+configuration unless a specific size is required (e.g. the rendezvous
+buffers of ``late_receiver``).
+"""
+
+from __future__ import annotations
+
+from ..simmpi.buffers import MpiBuf, alloc_mpi_buf
+from ..simmpi.datatypes import MPI_DOUBLE, Datatype
+
+_DEFAULT_TYPE = MPI_DOUBLE
+_DEFAULT_CNT = 256
+
+_base_type: Datatype = _DEFAULT_TYPE
+_base_cnt: int = _DEFAULT_CNT
+
+
+def set_base_comm(type: Datatype, cnt: int) -> None:
+    """Set the default datatype and element count for property buffers."""
+    global _base_type, _base_cnt
+    if cnt < 0:
+        raise ValueError("base count must be non-negative")
+    _base_type = type
+    _base_cnt = cnt
+
+
+def reset_base_comm() -> None:
+    """Restore the built-in defaults (``MPI_DOUBLE`` x 256)."""
+    set_base_comm(_DEFAULT_TYPE, _DEFAULT_CNT)
+
+
+def base_type() -> Datatype:
+    """The configured default datatype."""
+    return _base_type
+
+
+def base_cnt() -> int:
+    """The configured default element count."""
+    return _base_cnt
+
+
+def alloc_base_buf(factor: int = 1) -> MpiBuf:
+    """Allocate a buffer of ``factor`` times the base size."""
+    return alloc_mpi_buf(_base_type, _base_cnt * factor)

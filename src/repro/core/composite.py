@@ -1,0 +1,193 @@
+"""Composite performance property test programs (paper section 3.3).
+
+Three canonical composition forms:
+
+* **Sequential chains** -- call several property functions one after
+  another in the same program (figure 3.3: "an MPI test program which
+  simply calls all currently defined MPI property functions").
+* **Communicator-split parallel composition** -- the lower and upper
+  halves of the ranks form different communicators and run *different*
+  property sets concurrently (figures 3.4/3.5).
+* **Hybrid composition** -- MPI property functions interleaved with
+  OpenMP property functions inside the ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..simmpi.communicator import Communicator
+from ..simmpi.runtime import RunResult, run_mpi
+from ..simmpi.transport import TransportParams
+from .registry import PropertySpec, get_property
+
+
+@dataclass(frozen=True)
+class Step:
+    """One property-function invocation inside a composite program."""
+
+    property_name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def spec(self) -> PropertySpec:
+        return get_property(self.property_name)
+
+    def execute(self, comm: Communicator, num_threads: int = 4) -> None:
+        spec = self.spec()
+        if spec.paradigm == "omp":
+            # OpenMP property inside an MPI rank: runs on every rank.
+            kwargs = spec.materialize(self.params)
+            if spec.accepts_num_threads():
+                kwargs.setdefault("num_threads", num_threads)
+            spec.func(**kwargs)
+            return
+        kwargs = spec.materialize(self.params)
+        if spec.accepts_num_threads():
+            kwargs.setdefault("num_threads", num_threads)
+        spec.func(**kwargs, comm=comm)
+
+
+def _as_steps(items: Sequence[Any]) -> Tuple[Step, ...]:
+    steps = []
+    for item in items:
+        if isinstance(item, Step):
+            steps.append(item)
+        elif isinstance(item, str):
+            steps.append(Step(item))
+        else:
+            raise TypeError(f"expected Step or property name, got {item!r}")
+    return tuple(steps)
+
+
+ALL_MPI_PROPERTY_CHAIN: Tuple[str, ...] = (
+    "late_sender",
+    "late_receiver",
+    "imbalance_at_mpi_barrier",
+    "imbalance_at_mpi_alltoall",
+    "late_broadcast",
+    "late_scatter",
+    "late_scatterv",
+    "early_reduce",
+    "early_gather",
+    "early_gatherv",
+)
+
+
+def run_chain(
+    steps: Sequence[Any],
+    size: int = 8,
+    num_threads: int = 4,
+    transport: Optional[TransportParams] = None,
+    seed: int = 0,
+    trace: bool = True,
+    model_init_overhead: bool = True,
+) -> RunResult:
+    """Run a sequential chain of property functions (figure 3.3 shape)."""
+    resolved = _as_steps(steps)
+
+    def main(comm: Communicator) -> None:
+        for step in resolved:
+            step.execute(comm, num_threads=num_threads)
+
+    return run_mpi(
+        main,
+        size,
+        transport=transport,
+        seed=seed,
+        trace=trace,
+        model_init_overhead=model_init_overhead,
+    )
+
+
+def run_all_mpi_properties(
+    size: int = 8,
+    transport: Optional[TransportParams] = None,
+    seed: int = 0,
+    model_init_overhead: bool = True,
+) -> RunResult:
+    """The figure 3.3 program: every MPI property function in sequence.
+
+    "This program can be used to quickly determine how many different
+    performance properties can be detected by a performance tool."
+    """
+    return run_chain(
+        ALL_MPI_PROPERTY_CHAIN,
+        size=size,
+        transport=transport,
+        seed=seed,
+        model_init_overhead=model_init_overhead,
+    )
+
+
+def run_split_program(
+    lower: Sequence[Any],
+    upper: Sequence[Any],
+    size: int = 16,
+    num_threads: int = 4,
+    transport: Optional[TransportParams] = None,
+    seed: int = 0,
+    model_init_overhead: bool = True,
+) -> RunResult:
+    """The figure 3.4 program: two communicator halves, two property sets.
+
+    "After initialization, the lower and the upper half of the
+    participating MPI processes form different communicators.  Then,
+    the group of processors in each communicator each call a different
+    set of performance property functions" -- two performance
+    properties active at the same time in parallel.
+    """
+    if size < 4 or size % 2:
+        raise ValueError("split program needs an even size >= 4")
+    lower_steps = _as_steps(lower)
+    upper_steps = _as_steps(upper)
+
+    def main(comm: Communicator) -> None:
+        me = comm.rank()
+        half = comm.split(0 if me < comm.size() // 2 else 1)
+        steps = lower_steps if me < comm.size() // 2 else upper_steps
+        for step in steps:
+            step.execute(half, num_threads=num_threads)
+
+    return run_mpi(
+        main,
+        size,
+        transport=transport,
+        seed=seed,
+        model_init_overhead=model_init_overhead,
+    )
+
+
+def run_hybrid_composite(
+    mpi_steps: Sequence[Any],
+    omp_steps: Sequence[Any],
+    size: int = 4,
+    num_threads: int = 4,
+    transport: Optional[TransportParams] = None,
+    seed: int = 0,
+    model_init_overhead: bool = True,
+) -> RunResult:
+    """Interleave MPI-level and OpenMP-level property functions.
+
+    Each repetition alternates one MPI step with one OpenMP step, so
+    properties from both paradigms appear in the same trace (the
+    hybrid-tool test the paper's section 3.3 closes with).
+    """
+    mpi_resolved = _as_steps(mpi_steps)
+    omp_resolved = _as_steps(omp_steps)
+
+    def main(comm: Communicator) -> None:
+        n = max(len(mpi_resolved), len(omp_resolved))
+        for i in range(n):
+            if i < len(mpi_resolved):
+                mpi_resolved[i].execute(comm, num_threads=num_threads)
+            if i < len(omp_resolved):
+                omp_resolved[i].execute(comm, num_threads=num_threads)
+
+    return run_mpi(
+        main,
+        size,
+        transport=transport,
+        seed=seed,
+        model_init_overhead=model_init_overhead,
+    )

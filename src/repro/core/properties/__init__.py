@@ -1,0 +1,91 @@
+"""Performance property functions (paper section 3.1.5).
+
+Functions that, when executed, exhibit one well-defined performance
+property with parameterized severity -- the heart of the ATS framework.
+"""
+
+from .collective import (
+    early_gather,
+    early_gatherv,
+    early_reduce,
+    imbalance_at_mpi_allgather,
+    imbalance_at_mpi_allreduce,
+    imbalance_at_mpi_alltoall,
+    imbalance_at_mpi_barrier,
+    imbalance_at_mpi_reduce_scatter,
+    late_broadcast,
+    late_scatter,
+    late_scatterv,
+)
+from .hybrid import (
+    hybrid_alternating_paradigms,
+    hybrid_imbalance_then_barrier,
+    hybrid_late_sender_omp_work,
+)
+from .negative import (
+    balanced_collectives,
+    balanced_mpi_barrier,
+    balanced_omp_barrier_loop,
+    balanced_omp_loop,
+    balanced_omp_region,
+    balanced_sendrecv,
+    balanced_shift_ring,
+)
+from .omp import (
+    imbalance_at_omp_barrier,
+    imbalance_in_omp_loop,
+    imbalance_in_omp_pregion,
+    imbalance_in_omp_sections,
+    nested_omp_imbalance,
+    omp_critical_contention,
+)
+from .sequential import (
+    compute_bound_phases,
+    imbalance_at_omp_reduce,
+    imbalance_at_omp_single,
+    io_bound_phases,
+)
+from .p2p import (
+    late_receiver,
+    late_sender,
+    late_sender_bottleneck,
+    messages_in_wrong_order,
+)
+
+__all__ = [
+    "balanced_collectives",
+    "compute_bound_phases",
+    "balanced_mpi_barrier",
+    "balanced_omp_barrier_loop",
+    "balanced_omp_loop",
+    "balanced_omp_region",
+    "balanced_sendrecv",
+    "balanced_shift_ring",
+    "early_gather",
+    "early_gatherv",
+    "early_reduce",
+    "hybrid_alternating_paradigms",
+    "hybrid_imbalance_then_barrier",
+    "hybrid_late_sender_omp_work",
+    "io_bound_phases",
+    "imbalance_at_mpi_allgather",
+    "imbalance_at_mpi_allreduce",
+    "imbalance_at_mpi_alltoall",
+    "imbalance_at_mpi_barrier",
+    "imbalance_at_mpi_reduce_scatter",
+    "imbalance_at_omp_barrier",
+    "imbalance_at_omp_reduce",
+    "imbalance_at_omp_single",
+    "imbalance_in_omp_loop",
+    "imbalance_in_omp_pregion",
+    "imbalance_in_omp_sections",
+    "late_broadcast",
+    "late_receiver",
+    "late_scatter",
+    "late_scatterv",
+    "late_sender",
+    "late_sender_bottleneck",
+    "messages_in_wrong_order",
+    "nested_omp_imbalance",
+    "omp_critical_contention",
+]

@@ -1,0 +1,279 @@
+"""MPI collective performance property functions.
+
+The paper's prototype list -- imbalance at barrier/alltoall, late
+broadcast/scatter/scatterv, early reduce/gather/gatherv -- plus
+allreduce/allgather imbalance extensions toward the full ASL catalog.
+"""
+
+from __future__ import annotations
+
+from ...distributions import (
+    DistrDescriptor,
+    Val1Distr,
+    df_same,
+)
+from ...distributions.functions import DistrFunc
+from ...simmpi.buffers import (
+    alloc_mpi_buf,
+    alloc_mpi_vbuf,
+    free_mpi_buf,
+    free_mpi_vbuf,
+)
+from ...simmpi.communicator import Communicator
+from ...simmpi.datatypes import MPI_SUM
+from ...trace.api import region
+from ...work import do_work, par_do_mpi_work
+from ..base import alloc_base_buf, base_cnt, base_type
+
+
+# ----------------------------------------------------------------------
+# imbalance entering synchronizing collectives
+# ----------------------------------------------------------------------
+
+def imbalance_at_mpi_barrier(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Wait at barrier*: unevenly distributed work before a barrier."""
+    with region("imbalance_at_mpi_barrier"):
+        for _ in range(r):
+            par_do_mpi_work(df, dd, 1.0, comm)
+            comm.barrier()
+
+
+def growing_imbalance_at_mpi_barrier(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Wait at barrier* whose severity grows with the iteration number.
+
+    The paper's section 3.1.5 closing remark: "more complicated
+    implementations are possible, e.g., where the severity of the
+    pattern is a function of the iteration number.  This can easily be
+    implemented by using the scale factor parameter of the distribution
+    functions."  Iteration ``i`` uses scale ``(i+1)/r``.
+    """
+    with region("growing_imbalance_at_mpi_barrier"):
+        for i in range(r):
+            par_do_mpi_work(df, dd, (i + 1) / r, comm)
+            comm.barrier()
+
+
+def imbalance_at_mpi_alltoall(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Wait at NxN*: uneven work before an all-to-all exchange."""
+    sz = comm.size()
+    sendbuf = alloc_mpi_buf(base_type(), base_cnt() * sz)
+    recvbuf = alloc_mpi_buf(base_type(), base_cnt() * sz)
+    with region("imbalance_at_mpi_alltoall"):
+        for _ in range(r):
+            par_do_mpi_work(df, dd, 1.0, comm)
+            comm.alltoall(sendbuf, recvbuf)
+    free_mpi_buf(sendbuf)
+    free_mpi_buf(recvbuf)
+
+
+def imbalance_at_mpi_allreduce(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Wait at NxN* (allreduce flavour): uneven work before allreduce."""
+    sendbuf = alloc_base_buf()
+    recvbuf = alloc_base_buf()
+    with region("imbalance_at_mpi_allreduce"):
+        for _ in range(r):
+            par_do_mpi_work(df, dd, 1.0, comm)
+            comm.allreduce(sendbuf, recvbuf, MPI_SUM)
+    free_mpi_buf(sendbuf)
+    free_mpi_buf(recvbuf)
+
+
+def imbalance_at_mpi_allgather(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Wait at NxN* (allgather flavour): uneven work before allgather."""
+    sz = comm.size()
+    sendbuf = alloc_base_buf()
+    recvbuf = alloc_mpi_buf(base_type(), base_cnt() * sz)
+    with region("imbalance_at_mpi_allgather"):
+        for _ in range(r):
+            par_do_mpi_work(df, dd, 1.0, comm)
+            comm.allgather(sendbuf, recvbuf)
+    free_mpi_buf(sendbuf)
+    free_mpi_buf(recvbuf)
+
+
+def imbalance_at_mpi_reduce_scatter(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Wait at NxN* (reduce-scatter flavour)."""
+    sz = comm.size()
+    sendbuf = alloc_mpi_buf(base_type(), base_cnt() * sz)
+    recvbuf = alloc_base_buf()
+    with region("imbalance_at_mpi_reduce_scatter"):
+        for _ in range(r):
+            par_do_mpi_work(df, dd, 1.0, comm)
+            comm.reduce_scatter_block(sendbuf, recvbuf, MPI_SUM)
+    free_mpi_buf(sendbuf)
+    free_mpi_buf(recvbuf)
+
+
+# ----------------------------------------------------------------------
+# late root: 1-to-N operations entered late by the data source
+# ----------------------------------------------------------------------
+
+def late_broadcast(
+    basework: float,
+    rootextrawork: float,
+    root: int,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Late broadcast*: non-roots wait because the root enters late."""
+    buf = alloc_base_buf()
+    root %= comm.size()
+    with region("late_broadcast"):
+        for _ in range(r):
+            do_work(
+                basework + (rootextrawork if comm.rank() == root else 0.0)
+            )
+            comm.bcast(buf, root=root)
+    free_mpi_buf(buf)
+
+
+def late_scatter(
+    basework: float,
+    rootextrawork: float,
+    root: int,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Late scatter*: receivers wait for the late distributing root."""
+    sz = comm.size()
+    root %= sz
+    sendbuf = alloc_mpi_buf(base_type(), base_cnt() * sz)
+    recvbuf = alloc_base_buf()
+    with region("late_scatter"):
+        for _ in range(r):
+            do_work(
+                basework + (rootextrawork if comm.rank() == root else 0.0)
+            )
+            comm.scatter(
+                sendbuf if comm.rank() == root else None,
+                recvbuf,
+                root=root,
+            )
+    free_mpi_buf(sendbuf)
+    free_mpi_buf(recvbuf)
+
+
+def late_scatterv(
+    basework: float,
+    rootextrawork: float,
+    root: int,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Late scatterv*: the irregular variant of :func:`late_scatter`."""
+    root %= comm.size()
+    vbuf = alloc_mpi_vbuf(
+        base_type(), df_same, Val1Distr(float(base_cnt())), 1.0, comm
+    )
+    with region("late_scatterv"):
+        for _ in range(r):
+            do_work(
+                basework + (rootextrawork if comm.rank() == root else 0.0)
+            )
+            comm.scatterv(vbuf, root=root)
+    free_mpi_vbuf(vbuf)
+
+
+# ----------------------------------------------------------------------
+# early root: N-to-1 operations entered early by the data sink
+# ----------------------------------------------------------------------
+
+def early_reduce(
+    rootwork: float,
+    baseextrawork: float,
+    root: int,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Early reduce*: the root waits because contributors enter late."""
+    root %= comm.size()
+    sendbuf = alloc_base_buf()
+    recvbuf = alloc_base_buf() if comm.rank() == root else None
+    with region("early_reduce"):
+        for _ in range(r):
+            do_work(
+                rootwork
+                + (0.0 if comm.rank() == root else baseextrawork)
+            )
+            comm.reduce(sendbuf, recvbuf, MPI_SUM, root=root)
+    free_mpi_buf(sendbuf)
+    free_mpi_buf(recvbuf)
+
+
+def early_gather(
+    rootwork: float,
+    baseextrawork: float,
+    root: int,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Early gather*: the collecting root waits for late contributors."""
+    sz = comm.size()
+    root %= sz
+    sendbuf = alloc_base_buf()
+    recvbuf = (
+        alloc_mpi_buf(base_type(), base_cnt() * sz)
+        if comm.rank() == root
+        else None
+    )
+    with region("early_gather"):
+        for _ in range(r):
+            do_work(
+                rootwork
+                + (0.0 if comm.rank() == root else baseextrawork)
+            )
+            comm.gather(sendbuf, recvbuf, root=root)
+    free_mpi_buf(sendbuf)
+    free_mpi_buf(recvbuf)
+
+
+def early_gatherv(
+    rootwork: float,
+    baseextrawork: float,
+    root: int,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Early gatherv*: the irregular variant of :func:`early_gather`."""
+    root %= comm.size()
+    vbuf = alloc_mpi_vbuf(
+        base_type(), df_same, Val1Distr(float(base_cnt())), 1.0, comm
+    )
+    with region("early_gatherv"):
+        for _ in range(r):
+            do_work(
+                rootwork
+                + (0.0 if comm.rank() == root else baseextrawork)
+            )
+            comm.gatherv(vbuf, root=root)
+    free_mpi_vbuf(vbuf)

@@ -1,0 +1,108 @@
+"""Hybrid MPI+OpenMP performance property functions (paper section 3.3).
+
+The paper highlights that ATS's modularity allows "performance property
+functions from different parallel programming paradigms in the same
+program, so that performance tools for hybrid programming can be
+tested" -- the Hitachi SR-8000 catalog of [Gerndt 2002].  These
+functions fork OpenMP teams inside MPI ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...distributions import DistrDescriptor, Val2Distr, df_cyclic2
+from ...distributions.functions import DistrFunc
+from ...simmpi.buffers import free_mpi_buf
+from ...simmpi.communicator import Communicator
+from ...simmpi.patterns import mpi_commpattern_sendrecv
+from ...simmpi.status import DIR_UP
+from ...simomp import omp_parallel
+from ...trace.api import region
+from ...work import do_work, par_do_omp_work
+from ..base import alloc_base_buf
+
+
+def hybrid_imbalance_then_barrier(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    comm: Communicator,
+    num_threads: Optional[int] = None,
+) -> None:
+    """OpenMP thread imbalance compounding into MPI barrier imbalance.
+
+    Every rank forks a team with distribution-determined per-thread
+    work; the team join time varies per rank (rank enters the MPI
+    barrier at its slowest thread's finish time), so the trace shows
+    *imbalance in parallel region* inside each rank **and** *wait at
+    barrier* across ranks.
+    """
+    me = comm.rank()
+    sz = comm.size()
+
+    def body() -> None:
+        par_do_omp_work(df, dd, 1.0 + me / max(1, sz - 1))
+
+    with region("hybrid_imbalance_then_barrier"):
+        for _ in range(r):
+            omp_parallel(body, num_threads=num_threads)
+            comm.barrier()
+
+
+def hybrid_late_sender_omp_work(
+    basework: float,
+    extrawork: float,
+    r: int,
+    comm: Communicator,
+    num_threads: Optional[int] = None,
+) -> None:
+    """*Late sender* whose delay is produced by an OpenMP region.
+
+    Senders (even ranks) run a well-balanced but longer parallel
+    region, receivers a shorter one -- hybrid tools must attribute the
+    p2p wait to the MPI level while the OpenMP level is clean.
+    """
+    buf = alloc_base_buf()
+
+    with region("hybrid_late_sender_omp_work"):
+        for _ in range(r):
+            me = comm.rank()
+            per_thread = (
+                basework + extrawork if me % 2 == 0 else basework
+            )
+            omp_parallel(
+                lambda: do_work(per_thread), num_threads=num_threads
+            )
+            mpi_commpattern_sendrecv(buf, DIR_UP, False, False, comm)
+    free_mpi_buf(buf)
+
+
+def hybrid_alternating_paradigms(
+    basework: float,
+    extrawork: float,
+    r: int,
+    comm: Communicator,
+    num_threads: Optional[int] = None,
+) -> None:
+    """Alternate OpenMP-imbalance phases and MPI late-sender phases.
+
+    A composite-in-one-function stress case: the tool must keep the two
+    paradigms' properties apart even though they interleave in time on
+    the same processes.
+    """
+    dd_omp = Val2Distr(low=basework, high=basework + extrawork)
+    buf = alloc_base_buf()
+    dd_mpi = Val2Distr(low=basework + extrawork, high=basework)
+
+    def omp_body() -> None:
+        par_do_omp_work(df_cyclic2, dd_omp, 1.0)
+
+    with region("hybrid_alternating_paradigms"):
+        for _ in range(r):
+            omp_parallel(omp_body, num_threads=num_threads)
+            from ...work import par_do_mpi_work
+
+            par_do_mpi_work(df_cyclic2, dd_mpi, 1.0, comm)
+            mpi_commpattern_sendrecv(buf, DIR_UP, False, False, comm)
+    free_mpi_buf(buf)

@@ -1,0 +1,130 @@
+"""Negative test programs: well-tuned code with no performance problem.
+
+The paper's "negative correctness" requirement: tools "should not
+diagnose performance problems for well-tuned programs without such
+problems".  Each function here mirrors the communication structure of a
+positive property function but with perfectly balanced work, so any
+property a tool reports against these programs (above the noise floor
+of transport costs) is a false positive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...distributions import Val1Distr, df_same
+from ...simmpi.buffers import alloc_mpi_buf, free_mpi_buf
+from ...simmpi.communicator import Communicator
+from ...simmpi.datatypes import MPI_SUM
+from ...simmpi.patterns import mpi_commpattern_sendrecv, mpi_commpattern_shift
+from ...simmpi.status import DIR_UP
+from ...simomp import omp_barrier, omp_for, omp_parallel
+from ...trace.api import region
+from ...work import do_work, par_do_mpi_work, par_do_omp_work
+from ..base import alloc_base_buf, base_cnt, base_type
+
+
+def balanced_mpi_barrier(
+    work: float, r: int, comm: Communicator
+) -> None:
+    """Evenly distributed work before each barrier: no wait expected."""
+    dd = Val1Distr(work)
+    with region("balanced_mpi_barrier"):
+        for _ in range(r):
+            par_do_mpi_work(df_same, dd, 1.0, comm)
+            comm.barrier()
+
+
+def balanced_sendrecv(work: float, r: int, comm: Communicator) -> None:
+    """Equal work on senders and receivers: negligible p2p waits."""
+    dd = Val1Distr(work)
+    buf = alloc_base_buf()
+    with region("balanced_sendrecv"):
+        for _ in range(r):
+            par_do_mpi_work(df_same, dd, 1.0, comm)
+            mpi_commpattern_sendrecv(buf, DIR_UP, False, False, comm)
+    free_mpi_buf(buf)
+
+
+def balanced_shift_ring(work: float, r: int, comm: Communicator) -> None:
+    """Balanced cyclic shift: symmetric communication, no hot spot."""
+    dd = Val1Distr(work)
+    sbuf = alloc_base_buf()
+    rbuf = alloc_base_buf()
+    with region("balanced_shift_ring"):
+        for _ in range(r):
+            par_do_mpi_work(df_same, dd, 1.0, comm)
+            mpi_commpattern_shift(sbuf, rbuf, DIR_UP, False, False, comm)
+    free_mpi_buf(sbuf)
+    free_mpi_buf(rbuf)
+
+
+def balanced_collectives(work: float, r: int, comm: Communicator) -> None:
+    """A balanced mix of collectives: bcast, allreduce, alltoall."""
+    dd = Val1Distr(work)
+    sz = comm.size()
+    small_s = alloc_base_buf()
+    small_r = alloc_base_buf()
+    big_s = alloc_mpi_buf(base_type(), base_cnt() * sz)
+    big_r = alloc_mpi_buf(base_type(), base_cnt() * sz)
+    with region("balanced_collectives"):
+        for _ in range(r):
+            par_do_mpi_work(df_same, dd, 1.0, comm)
+            comm.bcast(small_s, root=0)
+            par_do_mpi_work(df_same, dd, 1.0, comm)
+            comm.allreduce(small_s, small_r, MPI_SUM)
+            par_do_mpi_work(df_same, dd, 1.0, comm)
+            comm.alltoall(big_s, big_r)
+    for b in (small_s, small_r, big_s, big_r):
+        free_mpi_buf(b)
+
+
+def balanced_omp_region(
+    work: float, r: int, num_threads: Optional[int] = None
+) -> None:
+    """Evenly loaded parallel regions: no imbalance at the join."""
+    dd = Val1Distr(work)
+
+    def body() -> None:
+        par_do_omp_work(df_same, dd, 1.0)
+
+    with region("balanced_omp_region"):
+        for _ in range(r):
+            omp_parallel(body, num_threads=num_threads)
+
+
+def balanced_omp_barrier_loop(
+    work: float, r: int, num_threads: Optional[int] = None
+) -> None:
+    """Evenly loaded explicit-barrier loop: no barrier waits."""
+    dd = Val1Distr(work)
+
+    def body() -> None:
+        for _ in range(r):
+            par_do_omp_work(df_same, dd, 1.0)
+            omp_barrier()
+
+    with region("balanced_omp_barrier_loop"):
+        omp_parallel(body, num_threads=num_threads)
+
+
+def balanced_omp_loop(
+    work: float,
+    iterations_per_thread: int,
+    r: int,
+    num_threads: Optional[int] = None,
+) -> None:
+    """Evenly costed worksharing loop under static schedule.
+
+    The iteration count is a multiple of the team size so the static
+    partition is exact -- a genuinely balanced loop.
+    """
+    from ...simomp import omp_get_num_threads
+
+    def body() -> None:
+        n = omp_get_num_threads() * iterations_per_thread
+        for _ in range(r):
+            omp_for(n, lambda i: do_work(work), schedule="static")
+
+    with region("balanced_omp_loop"):
+        omp_parallel(body, num_threads=num_threads)

@@ -1,0 +1,176 @@
+"""OpenMP performance property functions.
+
+The paper's prototype list (imbalance in parallel region / at explicit
+barrier / in worksharing loop) plus extensions: critical-section
+contention and uneven sections, per the ASL catalog the paper plans to
+cover.
+
+The OpenMP property functions take an optional ``num_threads`` so they
+work standalone (:func:`repro.simomp.run_omp`), inside MPI ranks
+(hybrid composites, paper section 3.3) or nested.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...distributions import DistrDescriptor
+from ...distributions.functions import DistrFunc
+from ...simomp import (
+    omp_barrier,
+    omp_critical,
+    omp_for,
+    omp_get_num_threads,
+    omp_parallel,
+    omp_sections,
+)
+from ...trace.api import region
+from ...work import do_work, par_do_omp_work
+
+
+def imbalance_in_omp_pregion(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    num_threads: Optional[int] = None,
+) -> None:
+    """*Imbalance in parallel region*: uneven work, implicit join barrier.
+
+    Each repetition opens a fresh parallel region whose threads do
+    distribution-determined work; the wait materializes at the region's
+    implicit end barrier.
+    """
+
+    def body() -> None:
+        par_do_omp_work(df, dd, 1.0)
+
+    with region("imbalance_in_omp_pregion"):
+        for _ in range(r):
+            omp_parallel(body, num_threads=num_threads)
+
+
+def imbalance_at_omp_barrier(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    num_threads: Optional[int] = None,
+) -> None:
+    """*Imbalance at barrier*: the paper's worked example (section 3.1.5).
+
+    One parallel region; inside, every thread repeats work followed by
+    an explicit barrier -- the direct translation of::
+
+        #pragma omp parallel private(i)
+        { for (i=0; i<r; ++i) { par_do_omp_work(df, dd, 1.0);
+                                #pragma omp barrier } }
+    """
+
+    def body() -> None:
+        for _ in range(r):
+            par_do_omp_work(df, dd, 1.0)
+            omp_barrier()
+
+    with region("imbalance_at_omp_barrier"):
+        omp_parallel(body, num_threads=num_threads)
+
+
+def imbalance_in_omp_loop(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    num_threads: Optional[int] = None,
+    iterations_per_thread: int = 1,
+) -> None:
+    """*Imbalance in worksharing loop*: statically scheduled uneven loop.
+
+    The loop has ``team size * iterations_per_thread`` iterations;
+    iteration cost follows the distribution over the owning thread, so
+    the static schedule produces exactly the requested per-thread
+    imbalance, observed at the loop's implicit barrier.
+    """
+
+    def body() -> None:
+        sz = omp_get_num_threads()
+        n = sz * iterations_per_thread
+
+        def iteration(i: int) -> None:
+            owner = i // iterations_per_thread
+            do_work(df(owner, sz, 1.0 / iterations_per_thread, dd))
+
+        for _ in range(r):
+            omp_for(n, iteration, schedule="static", chunk=None)
+
+    with region("imbalance_in_omp_loop"):
+        omp_parallel(body, num_threads=num_threads)
+
+
+def imbalance_in_omp_sections(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    nsections: int,
+    r: int,
+    num_threads: Optional[int] = None,
+) -> None:
+    """*Imbalance in sections*: section costs follow the distribution."""
+
+    def body() -> None:
+        bodies = [
+            (lambda i=i: do_work(df(i, nsections, 1.0, dd)))
+            for i in range(nsections)
+        ]
+        for _ in range(r):
+            omp_sections(bodies)
+
+    with region("imbalance_in_omp_sections"):
+        omp_parallel(body, num_threads=num_threads)
+
+
+def nested_omp_imbalance(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    r: int,
+    num_threads: Optional[int] = None,
+    outer_threads: int = 2,
+) -> None:
+    """Nested parallelism: inner teams with uneven work.
+
+    Paper section 3.3: composite tests could "involve nested OpenMP
+    parallelism resulting in several OpenMP thread groups, each
+    executing different or the same sets of performance property
+    functions in parallel."  Each outer thread forks an inner team
+    whose threads do distribution-determined work; the imbalance shows
+    at every inner region's join.
+    """
+
+    def inner() -> None:
+        par_do_omp_work(df, dd, 1.0)
+
+    def outer() -> None:
+        for _ in range(r):
+            omp_parallel(inner, num_threads=num_threads)
+
+    with region("nested_omp_imbalance"):
+        omp_parallel(outer, num_threads=outer_threads)
+
+
+def omp_critical_contention(
+    inside_work: float,
+    outside_work: float,
+    r: int,
+    num_threads: Optional[int] = None,
+) -> None:
+    """*Critical-section contention*: serialized work inside critical.
+
+    Threads alternate parallel work outside and serialized work inside
+    a named critical section; with ``inside_work`` comparable to
+    ``outside_work`` the lock queue grows every round.
+    """
+
+    def body() -> None:
+        for _ in range(r):
+            do_work(outside_work)
+            with omp_critical("ats_contended"):
+                do_work(inside_work)
+
+    with region("omp_critical_contention"):
+        omp_parallel(body, num_threads=num_threads)

@@ -1,0 +1,135 @@
+"""MPI point-to-point performance property functions.
+
+``late_sender`` and ``late_receiver`` are the two functions of the
+paper's prototype; ``messages_in_wrong_order`` and
+``late_sender_bottleneck`` extend the list toward the ASL catalog, as
+the paper's future-work section plans.
+
+Every property function is a collective-style call: all processes of
+the communicator execute it, and its body is bracketed in a trace
+region named after the function, so automatic analysis tools localize
+the property at the right call path (paper figure 3.5).
+"""
+
+from __future__ import annotations
+
+from ...distributions import Val2Distr, df_cyclic2
+from ...simmpi.buffers import alloc_mpi_buf, free_mpi_buf
+from ...simmpi.communicator import Communicator
+from ...simmpi.patterns import mpi_commpattern_sendrecv
+from ...simmpi.status import DIR_UP
+from ...trace.api import region
+from ...work import do_work, par_do_mpi_work
+from ..base import alloc_base_buf, base_type
+
+
+def late_sender(
+    basework: float,
+    extrawork: float,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Late sender*: receivers block because sends start too late.
+
+    Paper implementation, verbatim: even ranks (the senders of the
+    ``DIR_UP`` send-receive pattern) get ``basework + extrawork`` while
+    the odd receivers get only ``basework``, so every receive waits
+    about ``extrawork`` seconds, ``r`` times.
+    """
+    dd = Val2Distr(low=basework + extrawork, high=basework)
+    buf = alloc_base_buf()
+    with region("late_sender"):
+        for _ in range(r):
+            par_do_mpi_work(df_cyclic2, dd, 1.0, comm)
+            mpi_commpattern_sendrecv(buf, DIR_UP, False, False, comm)
+    free_mpi_buf(buf)
+
+
+def late_receiver(
+    basework: float,
+    extrawork: float,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Late receiver*: senders block because receives start too late.
+
+    The symmetric twin of :func:`late_sender`: the odd receivers get
+    the extra work.  A sender can only be observed blocking when the
+    message uses the rendezvous protocol, so the buffer is sized above
+    the transport's eager threshold.
+    """
+    dd = Val2Distr(low=basework, high=basework + extrawork)
+    threshold = comm.world.transport.eager_threshold
+    cnt = max(1, threshold // base_type().size + 1)
+    buf = alloc_mpi_buf(base_type(), cnt)
+    with region("late_receiver"):
+        for _ in range(r):
+            par_do_mpi_work(df_cyclic2, dd, 1.0, comm)
+            mpi_commpattern_sendrecv(buf, DIR_UP, False, False, comm)
+    free_mpi_buf(buf)
+
+
+def messages_in_wrong_order(
+    basework: float,
+    msgwork: float,
+    nmsg: int,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*Messages in wrong order*: receives posted against send order.
+
+    Even ranks send ``nmsg`` messages with descending tags, doing
+    ``msgwork`` between sends; odd ranks receive in ascending tag
+    order.  The first receive therefore waits for the *last* send --
+    a late-sender situation caused purely by message ordering (an ASL
+    catalog pattern beyond the paper's initial list).
+    """
+    buf = alloc_base_buf()
+    with region("messages_in_wrong_order"):
+        for _ in range(r):
+            par_do_mpi_work(
+                df_cyclic2, Val2Distr(basework, basework), 1.0, comm
+            )
+            me = comm.rank()
+            sz = comm.size()
+            if sz < 2:
+                continue
+            if sz % 2 and me == sz - 1:
+                continue
+            if me % 2 == 0:
+                for tag in reversed(range(nmsg)):
+                    do_work(msgwork)
+                    comm.send(buf, me + 1, tag=tag)
+            else:
+                for tag in range(nmsg):
+                    comm.recv(buf, me - 1, tag=tag)
+    free_mpi_buf(buf)
+
+
+def late_sender_bottleneck(
+    basework: float,
+    extrawork: float,
+    r: int,
+    comm: Communicator,
+) -> None:
+    """*N-to-1 late senders*: one receiver drained by many late senders.
+
+    Rank 0 posts wildcard receives from every other rank; the senders
+    all carry extra work.  Exercises wildcard matching under the
+    late-sender pattern (receiver waits repeatedly).
+    """
+    from ...simmpi.status import ANY_SOURCE, ANY_TAG
+
+    buf = alloc_base_buf()
+    with region("late_sender_bottleneck"):
+        for _ in range(r):
+            me = comm.rank()
+            sz = comm.size()
+            if me == 0:
+                do_work(basework)
+                for _ in range(sz - 1):
+                    comm.recv(buf, ANY_SOURCE, ANY_TAG)
+            else:
+                do_work(basework + extrawork)
+                comm.send(buf, 0, tag=me)
+    free_mpi_buf(buf)

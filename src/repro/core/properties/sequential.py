@@ -1,0 +1,90 @@
+"""Sequential performance property functions.
+
+The paper's future-work list: "We also need test functions for
+sequential performance properties."  These run on a single locus of
+execution (or on every rank independently) and exhibit properties that
+need no communication to diagnose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...simkernel import current_process
+from ...simomp import omp_parallel, omp_single, require_team
+from ...trace.api import region
+from ...work import do_work
+from ...work.io import do_io
+
+
+def io_bound_phases(
+    iotime: float,
+    cputime: float,
+    r: int,
+) -> None:
+    """*I/O bound*: alternating I/O and compute with I/O dominating.
+
+    ``iotime``/``cputime`` control the severity directly; a well-tuned
+    variant simply flips the ratio.
+    """
+    with region("io_bound_phases"):
+        for i in range(r):
+            do_io(iotime, kind="read" if i % 2 == 0 else "write")
+            do_work(cputime)
+
+
+def compute_bound_phases(
+    iotime: float,
+    cputime: float,
+    r: int,
+) -> None:
+    """Negative twin of :func:`io_bound_phases`: compute dominates."""
+    with region("compute_bound_phases"):
+        for i in range(r):
+            do_io(iotime, kind="read")
+            do_work(cputime)
+
+
+def imbalance_at_omp_single(
+    singlework: float,
+    r: int,
+    num_threads: Optional[int] = None,
+) -> None:
+    """*Imbalance at single*: one thread works, the team waits.
+
+    The first thread to reach the ``single`` construct executes
+    ``singlework`` seconds while everyone else idles at the construct's
+    implicit barrier -- serialization inside a parallel region.
+    """
+
+    def body() -> None:
+        for _ in range(r):
+            with omp_single() as chosen:
+                if chosen:
+                    do_work(singlework)
+
+    with region("imbalance_at_omp_single"):
+        omp_parallel(body, num_threads=num_threads)
+
+
+def imbalance_at_omp_reduce(
+    basework: float,
+    extrawork: float,
+    r: int,
+    num_threads: Optional[int] = None,
+) -> None:
+    """*Imbalance at reduction*: uneven arrival at a team reduction.
+
+    Even threads carry extra work, so odd threads wait inside the
+    reduction's synchronization.
+    """
+
+    def body() -> None:
+        team = require_team()
+        me = team.thread_num_of(current_process())
+        for _ in range(r):
+            do_work(basework + (extrawork if me % 2 == 0 else 0.0))
+            team.reduce(me, lambda a, b: a + b)
+
+    with region("imbalance_at_omp_reduce"):
+        omp_parallel(body, num_threads=num_threads)

@@ -1,0 +1,53 @@
+"""Generic work/data distributions (paper section 3.1.2).
+
+A distribution is the pair of a *distribution function* and a
+*distribution descriptor*.  The function maps ``(me, sz, scale,
+descriptor)`` -- participant rank, group size, scale factor, parameters
+-- to the amount of work (seconds) or data (elements) assigned to the
+participant.  ATS uses these to parameterize the *severity* and *shape*
+of every imbalance-style performance property.
+"""
+
+from .descriptors import (
+    DistrDescriptor,
+    Val1Distr,
+    Val2Distr,
+    Val2NDistr,
+    Val3Distr,
+)
+from .functions import (
+    DistrFunc,
+    df_block2,
+    df_block3,
+    df_cyclic2,
+    df_cyclic3,
+    df_linear,
+    df_peak,
+    df_same,
+)
+from .registry import (
+    DistributionSpec,
+    get_distribution,
+    list_distributions,
+    register_distribution,
+)
+
+__all__ = [
+    "DistrDescriptor",
+    "DistrFunc",
+    "DistributionSpec",
+    "Val1Distr",
+    "Val2Distr",
+    "Val2NDistr",
+    "Val3Distr",
+    "df_block2",
+    "df_block3",
+    "df_cyclic2",
+    "df_cyclic3",
+    "df_linear",
+    "df_peak",
+    "df_same",
+    "get_distribution",
+    "list_distributions",
+    "register_distribution",
+]

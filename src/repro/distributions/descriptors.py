@@ -1,0 +1,67 @@
+"""Distribution descriptors.
+
+These mirror the paper's predefined C structs (``val1_distr_t`` ..
+``val3_distr_t``): small parameter records with one to three values,
+passed to a distribution function.  They are frozen dataclasses so a
+descriptor can be reused across ranks and repetitions without aliasing
+surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Val1Distr:
+    """One-parameter descriptor: a single value for everyone."""
+
+    val: float
+
+    def __post_init__(self) -> None:
+        if self.val < 0:
+            raise ValueError("distribution value must be non-negative")
+
+
+@dataclass(frozen=True)
+class Val2Distr:
+    """Two-parameter descriptor: a low and a high value."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < 0:
+            raise ValueError("distribution values must be non-negative")
+
+
+@dataclass(frozen=True)
+class Val2NDistr:
+    """Two values plus a participant index ``n`` (for peak-style shapes)."""
+
+    low: float
+    high: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < 0:
+            raise ValueError("distribution values must be non-negative")
+        if self.n < 0:
+            raise ValueError("peak index n must be non-negative")
+
+
+@dataclass(frozen=True)
+class Val3Distr:
+    """Three-parameter descriptor: low, medium and high values."""
+
+    low: float
+    high: float
+    med: float
+
+    def __post_init__(self) -> None:
+        if min(self.low, self.high, self.med) < 0:
+            raise ValueError("distribution values must be non-negative")
+
+
+DistrDescriptor = Union[Val1Distr, Val2Distr, Val2NDistr, Val3Distr]

@@ -1,0 +1,123 @@
+"""The predefined ATS distribution functions (paper section 3.1.2).
+
+Every function has the signature of the paper's ``distr_func_t``::
+
+    value = df(me, sz, scale, dd)
+
+where ``me`` is the participant's rank in the group, ``sz`` the group
+size, ``scale`` a proportional scale factor and ``dd`` a descriptor
+from :mod:`repro.distributions.descriptors`.  The returned value is
+``scale`` times the descriptor-determined share for rank ``me``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from .descriptors import (
+    DistrDescriptor,
+    Val1Distr,
+    Val2Distr,
+    Val2NDistr,
+    Val3Distr,
+)
+
+
+class DistrFunc(Protocol):
+    """Callable signature of a distribution function (``distr_func_t``)."""
+
+    def __call__(
+        self, me: int, sz: int, scale: float, dd: DistrDescriptor
+    ) -> float: ...  # pragma: no cover - typing only
+
+
+def _check_group(me: int, sz: int) -> None:
+    if sz < 1:
+        raise ValueError(f"group size must be >= 1, got {sz}")
+    if not 0 <= me < sz:
+        raise ValueError(f"rank {me} outside group of size {sz}")
+
+
+def _expect(dd: DistrDescriptor, kind: type, fname: str):
+    if not isinstance(dd, kind):
+        raise TypeError(
+            f"{fname} expects a {kind.__name__} descriptor, "
+            f"got {type(dd).__name__}"
+        )
+    return dd
+
+
+def df_same(me: int, sz: int, scale: float, dd: DistrDescriptor) -> float:
+    """SAME distribution: every participant gets the same value."""
+    _check_group(me, sz)
+    d = _expect(dd, Val1Distr, "df_same")
+    return scale * d.val
+
+
+def df_cyclic2(me: int, sz: int, scale: float, dd: DistrDescriptor) -> float:
+    """CYCLIC2 distribution: alternate between low (even) and high (odd)."""
+    _check_group(me, sz)
+    d = _expect(dd, Val2Distr, "df_cyclic2")
+    return scale * (d.low if me % 2 == 0 else d.high)
+
+
+def df_block2(me: int, sz: int, scale: float, dd: DistrDescriptor) -> float:
+    """BLOCK2 distribution: first half low, second half high.
+
+    For odd group sizes the low block gets the extra participant
+    (``ceil(sz/2)`` low values).
+    """
+    _check_group(me, sz)
+    d = _expect(dd, Val2Distr, "df_block2")
+    return scale * (d.low if me < (sz + 1) // 2 else d.high)
+
+
+def df_linear(me: int, sz: int, scale: float, dd: DistrDescriptor) -> float:
+    """LINEAR distribution: interpolate from low (rank 0) to high (last).
+
+    A single-participant group receives ``low``.
+    """
+    _check_group(me, sz)
+    d = _expect(dd, Val2Distr, "df_linear")
+    if sz == 1:
+        return scale * d.low
+    return scale * (d.low + (d.high - d.low) * me / (sz - 1))
+
+
+def df_peak(me: int, sz: int, scale: float, dd: DistrDescriptor) -> float:
+    """PEAK distribution: participant ``n`` gets high, everyone else low.
+
+    ``n`` is taken modulo the group size so a descriptor written for a
+    large group still works -- property functions must be callable "with
+    little context" (paper section 3.1.4).
+    """
+    _check_group(me, sz)
+    d = _expect(dd, Val2NDistr, "df_peak")
+    return scale * (d.high if me == d.n % sz else d.low)
+
+
+def df_cyclic3(me: int, sz: int, scale: float, dd: DistrDescriptor) -> float:
+    """CYCLIC3 distribution: cycle through low, med, high by rank."""
+    _check_group(me, sz)
+    d = _expect(dd, Val3Distr, "df_cyclic3")
+    return scale * (d.low, d.med, d.high)[me % 3]
+
+
+def df_block3(me: int, sz: int, scale: float, dd: DistrDescriptor) -> float:
+    """BLOCK3 distribution: three consecutive blocks of low, med, high.
+
+    Block boundaries follow the usual block-partitioning rule: the first
+    ``sz mod 3`` blocks get one extra participant.
+    """
+    _check_group(me, sz)
+    d = _expect(dd, Val3Distr, "df_block3")
+    base, extra = divmod(sz, 3)
+    # Sizes of the three blocks.
+    sizes = [base + (1 if b < extra else 0) for b in range(3)]
+    values = (d.low, d.med, d.high)
+    bound = 0
+    for block, block_size in enumerate(sizes):
+        bound += block_size
+        if me < bound:
+            return scale * values[block]
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,106 @@
+"""Registry of distribution functions.
+
+The paper allows users to "provide their own distribution functions and
+distribution descriptors, as long as ... the signature ... is
+equivalent".  The registry makes the available shapes discoverable by
+name, which the program generator and the CLI use to expose
+distribution choices as command-line options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Type
+
+from .descriptors import (
+    DistrDescriptor,
+    Val1Distr,
+    Val2Distr,
+    Val2NDistr,
+    Val3Distr,
+)
+from .functions import (
+    DistrFunc,
+    df_block2,
+    df_block3,
+    df_cyclic2,
+    df_cyclic3,
+    df_linear,
+    df_peak,
+    df_same,
+)
+
+
+@dataclass(frozen=True)
+class DistributionSpec:
+    """Metadata describing one registered distribution shape."""
+
+    name: str
+    func: DistrFunc
+    descriptor_type: Type[DistrDescriptor]
+    description: str
+
+    def make_descriptor(self, *args: float) -> DistrDescriptor:
+        """Build the matching descriptor from positional parameters."""
+        return self.descriptor_type(*args)
+
+
+_REGISTRY: Dict[str, DistributionSpec] = {}
+
+
+def register_distribution(
+    name: str,
+    func: DistrFunc,
+    descriptor_type: Type[DistrDescriptor],
+    description: str = "",
+) -> DistributionSpec:
+    """Register a distribution shape under ``name``.
+
+    Raises ``ValueError`` on duplicate names to catch copy-paste errors
+    in user extensions.
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"distribution {name!r} already registered")
+    spec = DistributionSpec(name, func, descriptor_type, description)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def get_distribution(name: str) -> DistributionSpec:
+    """Look up a distribution shape; raises ``KeyError`` with candidates."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown distribution {name!r}; available: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def list_distributions() -> list[DistributionSpec]:
+    """All registered shapes, sorted by name."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+# The paper's predefined set.
+register_distribution(
+    "same", df_same, Val1Distr, "everyone gets the same value"
+)
+register_distribution(
+    "cyclic2", df_cyclic2, Val2Distr, "alternate between low and high"
+)
+register_distribution(
+    "block2", df_block2, Val2Distr, "two blocks of low and high"
+)
+register_distribution(
+    "linear", df_linear, Val2Distr, "linear interpolation low -> high"
+)
+register_distribution(
+    "peak", df_peak, Val2NDistr, "participant n gets high, others low"
+)
+register_distribution(
+    "cyclic3", df_cyclic3, Val3Distr, "alternate between low, med, high"
+)
+register_distribution(
+    "block3", df_block3, Val3Distr, "three blocks of low, med, high"
+)

@@ -1,0 +1,64 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the bottom layer of the ATS reproduction: simulated processes
+with a virtual clock on which the MPI runtime (:mod:`repro.simmpi`) and
+the OpenMP runtime (:mod:`repro.simomp`) are built.  User code runs in
+plain blocking style; determinism comes from running exactly one
+process at a time and breaking time ties in scheduling order.
+"""
+
+from .errors import (
+    DeadlockError,
+    NotInProcessError,
+    ProcessKilled,
+    SimError,
+    SimulationCrashed,
+)
+from .process import (
+    ProcState,
+    SimProcess,
+    current_process,
+    maybe_current_process,
+)
+from .rng import Lcg64
+from .scheduler import (
+    Simulator,
+    activate,
+    current_sim,
+    hold,
+    now,
+    passivate,
+)
+from .sync import (
+    Mailbox,
+    SimBarrier,
+    SimCondition,
+    SimEvent,
+    SimMutex,
+    SimSemaphore,
+)
+
+__all__ = [
+    "DeadlockError",
+    "Lcg64",
+    "Mailbox",
+    "NotInProcessError",
+    "ProcState",
+    "ProcessKilled",
+    "SimBarrier",
+    "SimCondition",
+    "SimError",
+    "SimEvent",
+    "SimMutex",
+    "SimProcess",
+    "SimSemaphore",
+    "SimulationCrashed",
+    "Simulator",
+    "activate",
+    "current_process",
+    "current_sim",
+    "hold",
+    "maybe_current_process",
+    "now",
+    "passivate",
+]

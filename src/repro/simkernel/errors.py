@@ -1,0 +1,47 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class DeadlockError(SimError):
+    """Raised when no process is runnable but passive processes remain.
+
+    This is the simulator-level analogue of an MPI deadlock: every
+    remaining process is blocked waiting for an event that can no longer
+    occur.  The error message lists the stuck processes and what they
+    were waiting for, which makes ATS pattern bugs easy to diagnose.
+    """
+
+    def __init__(self, waiting: list[str]):
+        self.waiting = list(waiting)
+        super().__init__(
+            "simulation deadlock: no runnable process, %d blocked: %s"
+            % (len(self.waiting), ", ".join(self.waiting))
+        )
+
+
+class SimulationCrashed(SimError):
+    """A process raised an exception; the whole simulation was torn down."""
+
+    def __init__(self, process_name: str, original: BaseException):
+        self.process_name = process_name
+        self.original = original
+        super().__init__(
+            f"process {process_name!r} crashed: {original!r}"
+        )
+
+
+class ProcessKilled(BaseException):
+    """Injected into a simulated process to unwind its stack on teardown.
+
+    Derives from ``BaseException`` so that user code written with broad
+    ``except Exception`` handlers cannot accidentally swallow teardown.
+    """
+
+
+class NotInProcessError(SimError):
+    """A process-context operation was called from outside any process."""

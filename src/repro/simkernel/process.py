@@ -1,0 +1,176 @@
+"""Simulated processes.
+
+Each :class:`SimProcess` wraps an OS thread, but at most one thread in a
+simulation ever runs at a time: a process runs until it performs a
+blocking kernel call (``hold``, ``passivate``, a sync-primitive wait),
+at which point control transfers back to the scheduler.  This gives
+coroutine-like determinism while letting user code -- the ATS property
+functions -- be written in the natural blocking style of the paper's C
+API, with no ``yield``/``await`` noise.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .errors import NotInProcessError, ProcessKilled
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Simulator
+
+
+class ProcState(enum.Enum):
+    """Lifecycle states of a simulated process."""
+
+    CREATED = "created"       # spawned, thread not yet started
+    SCHEDULED = "scheduled"   # in the event heap, will run at a known time
+    RUNNING = "running"       # currently executing (exactly one at a time)
+    PASSIVE = "passive"       # blocked, waiting for an activate()
+    FINISHED = "finished"     # body returned normally
+    FAILED = "failed"         # body raised an exception
+    KILLED = "killed"         # torn down by the simulator
+
+
+_tls = threading.local()
+
+
+def current_process() -> "SimProcess":
+    """Return the :class:`SimProcess` executing on the calling thread.
+
+    Raises :class:`NotInProcessError` when called from outside a
+    simulation (e.g. from the scheduler thread or plain user code).
+    """
+    proc = getattr(_tls, "process", None)
+    if proc is None:
+        raise NotInProcessError(
+            "this operation is only valid inside a simulated process"
+        )
+    return proc
+
+
+def maybe_current_process() -> Optional["SimProcess"]:
+    """Like :func:`current_process` but returns ``None`` outside processes."""
+    return getattr(_tls, "process", None)
+
+
+class SimProcess:
+    """One simulated locus of execution (an MPI rank, an OpenMP thread...).
+
+    Created via :meth:`repro.simkernel.Simulator.spawn`; not instantiated
+    directly by user code.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: str,
+        pid: int,
+    ):
+        self.sim = sim
+        self.name = name
+        self.pid = pid
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self.state = ProcState.CREATED
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        #: free-form note describing what the process is blocked on;
+        #: surfaced in DeadlockError messages.
+        self.waiting_on: str = ""
+        #: arbitrary per-process storage used by higher layers (MPI rank,
+        #: OpenMP team bindings, trace location, RNG stream ...).
+        self.context: dict[str, Any] = {}
+        self._kill_requested = False
+        self._resume = threading.Semaphore(0)
+        self._yielded = threading.Semaphore(0)
+        self._thread = threading.Thread(
+            target=self._bootstrap, name=f"sim:{name}", daemon=True
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # thread-side machinery
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        _tls.process = self
+        self._resume.acquire()
+        try:
+            if self._kill_requested:
+                self.state = ProcState.KILLED
+                return
+            try:
+                self.result = self._fn(*self._args, **self._kwargs)
+                self.state = ProcState.FINISHED
+            except ProcessKilled:
+                self.state = ProcState.KILLED
+            except BaseException as exc:  # noqa: BLE001 - report any crash
+                self.exception = exc
+                self.state = ProcState.FAILED
+        finally:
+            _tls.process = None
+            self._yielded.release()
+
+    def _switch_out(self) -> None:
+        """Yield control to the scheduler; return when resumed.
+
+        Must only be called from the process's own thread.  All shared
+        simulator state must be updated *before* calling, because the
+        scheduler thread resumes as soon as ``_yielded`` is released.
+        """
+        self._yielded.release()
+        self._resume.acquire()
+        if self._kill_requested:
+            raise ProcessKilled()
+
+    # ------------------------------------------------------------------
+    # scheduler-side machinery
+    # ------------------------------------------------------------------
+
+    def _resume_and_wait(self) -> None:
+        """Run the process until it blocks again (scheduler side)."""
+        self.state = ProcState.RUNNING
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        self._resume.release()
+        self._yielded.acquire()
+
+    def _teardown(self) -> None:
+        """Force the process's thread to exit (scheduler side)."""
+        if self.state in (
+            ProcState.FINISHED,
+            ProcState.FAILED,
+            ProcState.KILLED,
+        ):
+            return
+        self._kill_requested = True
+        if not self._started:
+            # Thread never ran; nothing to unwind.
+            self.state = ProcState.KILLED
+            return
+        self._resume.release()
+        self._yielded.acquire()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the process has not finished, failed or been killed."""
+        return self.state in (
+            ProcState.CREATED,
+            ProcState.SCHEDULED,
+            ProcState.RUNNING,
+            ProcState.PASSIVE,
+        )
+
+    def __repr__(self) -> str:
+        return f"<SimProcess {self.name} pid={self.pid} {self.state.value}>"

@@ -1,0 +1,257 @@
+"""The deterministic discrete-event scheduler.
+
+A :class:`Simulator` owns a virtual clock and an event heap of
+``(time, sequence, process)`` entries.  Exactly one simulated process
+runs at any moment; ties in time are broken by scheduling order, so a
+whole simulation is a deterministic function of the program and its
+seeds.  Determinism is essential for a *test suite*: the same ATS
+program must exhibit the same performance property trace on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .errors import (
+    DeadlockError,
+    NotInProcessError,
+    SimError,
+    SimulationCrashed,
+)
+from .process import ProcState, SimProcess, current_process, maybe_current_process
+from .rng import Lcg64
+
+
+class Simulator:
+    """A discrete-event simulation run.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(body, arg1, name="rank0")
+        sim.run()
+
+    Inside ``body``, processes advance virtual time with
+    :meth:`hold`, block with :meth:`passivate` and wake each other with
+    :meth:`activate` -- or use the higher-level primitives in
+    :mod:`repro.simkernel.sync`.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, SimProcess]] = []
+        self._seq = 0
+        self._pid = 0
+        self.processes: list[SimProcess] = []
+        self.rng = Lcg64(seed)
+        self._running = False
+        self._finished = False
+        #: monotonically increasing count of process dispatches; a cheap
+        #: proxy for "simulation effort" used by overhead benchmarks.
+        self.dispatch_count = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str | None = None,
+        delay: float = 0.0,
+        **kwargs: Any,
+    ) -> SimProcess:
+        """Create a process and schedule it to start ``delay`` from now.
+
+        May be called before :meth:`run` or from inside a running
+        process (fork/join style, as the OpenMP layer does).
+        """
+        if self._finished:
+            raise SimError("cannot spawn into a finished simulation")
+        if delay < 0:
+            raise ValueError("spawn delay must be non-negative")
+        pid = self._pid
+        self._pid += 1
+        if name is None:
+            name = f"proc{pid}"
+        proc = SimProcess(self, fn, args, kwargs, name=name, pid=pid)
+        self.processes.append(proc)
+        self._schedule(proc, self._now + delay)
+        return proc
+
+    def _schedule(self, proc: SimProcess, at: float) -> None:
+        if at < self._now:
+            raise SimError(
+                f"cannot schedule {proc.name} in the past "
+                f"({at} < now {self._now})"
+            )
+        proc.state = ProcState.SCHEDULED
+        heapq.heappush(self._heap, (at, self._seq, proc))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # process-side API (callable only from inside a simulated process)
+    # ------------------------------------------------------------------
+
+    def hold(self, dt: float) -> None:
+        """Advance the calling process's local time by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError("hold duration must be non-negative")
+        proc = current_process()
+        self._check_owner(proc)
+        self._schedule(proc, self._now + dt)
+        proc.waiting_on = f"hold({dt:g})"
+        proc._switch_out()
+        proc.waiting_on = ""
+
+    def passivate(self, reason: str = "passivate") -> None:
+        """Block the calling process until another process activates it."""
+        proc = current_process()
+        self._check_owner(proc)
+        proc.state = ProcState.PASSIVE
+        proc.waiting_on = reason
+        proc._switch_out()
+        proc.waiting_on = ""
+
+    def activate(self, proc: SimProcess, delay: float = 0.0) -> None:
+        """Make a passive (or not-yet-started) process runnable.
+
+        Callable from inside any process, or from outside before
+        :meth:`run`.  Activating an already scheduled/running process is
+        a no-op; activating a dead process is an error.
+        """
+        if delay < 0:
+            raise ValueError("activate delay must be non-negative")
+        self._check_owner(proc)
+        if proc.state in (ProcState.PASSIVE, ProcState.CREATED):
+            self._schedule(proc, self._now + delay)
+        elif proc.state in (ProcState.SCHEDULED, ProcState.RUNNING):
+            pass
+        else:
+            raise SimError(f"cannot activate dead process {proc.name}")
+
+    def _check_owner(self, proc: SimProcess) -> None:
+        if proc.sim is not self:
+            raise SimError(
+                f"process {proc.name} belongs to a different simulator"
+            )
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: float | None = None,
+        max_dispatches: int | None = None,
+    ) -> float:
+        """Run the simulation to completion and return the final time.
+
+        ``until`` stops the clock at a given virtual time (remaining
+        events stay queued).  ``max_dispatches`` bounds scheduler steps
+        as a runaway guard.  Raises :class:`DeadlockError` if all
+        remaining processes are blocked forever, and
+        :class:`SimulationCrashed` (chained to the original traceback)
+        if any process raises.
+        """
+        if self._running:
+            raise SimError("run() is not reentrant")
+        if self._finished:
+            raise SimError("simulation already finished")
+        if maybe_current_process() is not None:
+            raise SimError("run() must not be called from inside a process")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    return self._now
+                at, _, proc = heapq.heappop(self._heap)
+                if proc.state is not ProcState.SCHEDULED:
+                    # Stale heap entry (process was killed meanwhile).
+                    continue
+                self._now = at
+                self.dispatch_count += 1
+                if (
+                    max_dispatches is not None
+                    and self.dispatch_count > max_dispatches
+                ):
+                    self._teardown_all()
+                    raise SimError(
+                        f"exceeded max_dispatches={max_dispatches}"
+                    )
+                proc._resume_and_wait()
+                if proc.state is ProcState.FAILED:
+                    original = proc.exception
+                    assert original is not None
+                    self._teardown_all()
+                    raise SimulationCrashed(proc.name, original) from original
+            stuck = [
+                f"{p.name} ({p.waiting_on or 'passive'})"
+                for p in self.processes
+                if p.state is ProcState.PASSIVE
+            ]
+            if stuck:
+                self._teardown_all()
+                raise DeadlockError(stuck)
+            self._finished = True
+            return self._now
+        finally:
+            self._running = False
+
+    def _teardown_all(self) -> None:
+        for proc in self.processes:
+            proc._teardown()
+        self._finished = True
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def results(self) -> dict[str, Any]:
+        """Map process name -> return value for finished processes."""
+        return {
+            p.name: p.result
+            for p in self.processes
+            if p.state is ProcState.FINISHED
+        }
+
+
+# ----------------------------------------------------------------------
+# convenience module-level helpers (operate on the caller's simulator)
+# ----------------------------------------------------------------------
+
+def current_sim() -> Simulator:
+    """Return the simulator owning the calling process."""
+    return current_process().sim
+
+
+def now() -> float:
+    """Virtual time as seen by the calling process."""
+    return current_sim().now
+
+
+def hold(dt: float) -> None:
+    """Advance the calling process's virtual time by ``dt`` seconds."""
+    current_sim().hold(dt)
+
+
+def passivate(reason: str = "passivate") -> None:
+    """Block the calling process until activated."""
+    current_sim().passivate(reason)
+
+
+def activate(proc: SimProcess, delay: float = 0.0) -> None:
+    """Wake ``proc`` (from within a simulated process)."""
+    proc.sim.activate(proc, delay)

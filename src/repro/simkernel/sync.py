@@ -1,0 +1,211 @@
+"""Synchronization primitives for simulated processes.
+
+Everything here is built on ``passivate``/``activate`` and therefore
+costs zero virtual time by itself; higher layers (the MPI transport,
+the OpenMP barrier) add explicit cost-model delays around these
+primitives.  All wake-ups are FIFO, which keeps simulations
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .errors import SimError
+from .process import SimProcess, current_process
+
+
+class SimEvent:
+    """A broadcast event: processes wait until some process sets it."""
+
+    def __init__(self, name: str = "event"):
+        self.name = name
+        self._set = False
+        self._waiters: Deque[SimProcess] = deque()
+        #: optional payload handed to waiters via :attr:`value`
+        self.value: Any = None
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def wait(self) -> Any:
+        """Block the caller until the event is set; returns the payload."""
+        proc = current_process()
+        while not self._set:
+            self._waiters.append(proc)
+            proc.sim.passivate(f"wait({self.name})")
+        return self.value
+
+    def set(self, value: Any = None) -> None:
+        """Set the event and wake every waiter (at the current time)."""
+        self._set = True
+        self.value = value
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.sim.activate(waiter)
+
+    def clear(self) -> None:
+        """Reset the event to unset."""
+        self._set = False
+        self.value = None
+
+
+class SimSemaphore:
+    """A counting semaphore with FIFO wake-up order."""
+
+    def __init__(self, value: int = 0, name: str = "sem"):
+        if value < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        self.name = name
+        self._value = value
+        self._waiters: Deque[SimProcess] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> None:
+        proc = current_process()
+        while self._value == 0:
+            self._waiters.append(proc)
+            proc.sim.passivate(f"acquire({self.name})")
+        self._value -= 1
+
+    def release(self, n: int = 1) -> None:
+        if n < 1:
+            raise ValueError("release count must be >= 1")
+        self._value += n
+        for _ in range(min(n, len(self._waiters))):
+            waiter = self._waiters.popleft()
+            waiter.sim.activate(waiter)
+
+
+class SimMutex:
+    """A non-reentrant mutual-exclusion lock with FIFO handoff."""
+
+    def __init__(self, name: str = "mutex"):
+        self.name = name
+        self.owner: Optional[SimProcess] = None
+        self._waiters: Deque[SimProcess] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def acquire(self) -> None:
+        proc = current_process()
+        if self.owner is proc:
+            raise SimError(f"mutex {self.name} is not reentrant")
+        while self.owner is not None:
+            self._waiters.append(proc)
+            proc.sim.passivate(f"lock({self.name})")
+        self.owner = proc
+
+    def release(self) -> None:
+        proc = current_process()
+        if self.owner is not proc:
+            raise SimError(
+                f"mutex {self.name} released by non-owner {proc.name}"
+            )
+        self.owner = None
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.sim.activate(waiter)
+
+    def __enter__(self) -> "SimMutex":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class SimCondition:
+    """A condition variable tied to a :class:`SimMutex`."""
+
+    def __init__(self, mutex: SimMutex, name: str = "cond"):
+        self.mutex = mutex
+        self.name = name
+        self._waiters: Deque[SimProcess] = deque()
+
+    def wait(self) -> None:
+        """Release the mutex, block until notified, reacquire the mutex."""
+        proc = current_process()
+        if self.mutex.owner is not proc:
+            raise SimError("condition wait requires holding the mutex")
+        self._waiters.append(proc)
+        self.mutex.release()
+        proc.sim.passivate(f"cond({self.name})")
+        self.mutex.acquire()
+
+    def notify(self, n: int = 1) -> None:
+        for _ in range(min(n, len(self._waiters))):
+            waiter = self._waiters.popleft()
+            waiter.sim.activate(waiter)
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+
+class SimBarrier:
+    """An N-party reusable barrier.
+
+    All parties leave at the virtual time the *last* party arrives,
+    which is exactly the semantics the imbalance-at-barrier performance
+    properties rely on.
+    """
+
+    def __init__(self, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.parties = parties
+        self.name = name
+        self._arrived: list[SimProcess] = []
+        self._generation = 0
+        #: arrival timestamps of the current generation (diagnostics)
+        self.last_arrivals: list[float] = []
+
+    def wait(self) -> int:
+        """Block until all parties have arrived; returns arrival index."""
+        proc = current_process()
+        index = len(self._arrived)
+        self._arrived.append(proc)
+        gen = self._generation
+        if len(self._arrived) == self.parties:
+            self.last_arrivals = [proc.sim.now]
+            self._generation += 1
+            waiters, self._arrived = self._arrived[:-1], []
+            for waiter in waiters:
+                waiter.sim.activate(waiter)
+            return index
+        proc.sim.passivate(f"barrier({self.name})")
+        if self._generation == gen:  # pragma: no cover - defensive
+            raise SimError(f"barrier {self.name} woke a waiter early")
+        return index
+
+
+class Mailbox:
+    """An unbounded FIFO message queue between processes."""
+
+    def __init__(self, name: str = "mailbox"):
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimProcess] = deque()
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.sim.activate(getter)
+
+    def get(self) -> Any:
+        proc = current_process()
+        while not self._items:
+            self._getters.append(proc)
+            proc.sim.passivate(f"mailbox({self.name})")
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,101 @@
+"""Simulated MPI runtime.
+
+A from-scratch MPI substitute on the discrete-event kernel: blocking
+and nonblocking point-to-point with eager/rendezvous protocols,
+communicator management, algorithmic collectives and the communication
+patterns of paper section 3.1.4 -- deterministic, traced, and faithful
+to the waiting-time semantics the ATS performance properties rely on.
+"""
+
+from .buffers import (
+    MpiBuf,
+    MpiVBuf,
+    alloc_mpi_buf,
+    alloc_mpi_vbuf,
+    free_mpi_buf,
+    free_mpi_vbuf,
+)
+from .communicator import Communicator
+from .datatypes import (
+    ALL_DATATYPES,
+    ALL_OPS,
+    MPI_BYTE,
+    MPI_CHAR,
+    MPI_DOUBLE,
+    MPI_FLOAT,
+    MPI_INT,
+    MPI_LONG,
+    MPI_MAX,
+    MPI_MIN,
+    MPI_PROD,
+    MPI_SUM,
+    Datatype,
+    Op,
+)
+from .errors import (
+    CommMismatchError,
+    InvalidRankError,
+    InvalidTagError,
+    MpiError,
+    RequestError,
+    TruncationError,
+)
+from .patterns import (
+    PATTERN_TAG,
+    mpi_commpattern_sendrecv,
+    mpi_commpattern_shift,
+)
+from .request import Request
+from .runtime import CollectiveTuning, MpiWorld, RunResult, run_mpi
+from .status import ANY_SOURCE, ANY_TAG, DIR_DOWN, DIR_UP, PROC_NULL, Status
+from .topology import CartComm, cart_create, dims_create
+from .transport import P2PEngine, TransportParams
+
+__all__ = [
+    "ALL_DATATYPES",
+    "ALL_OPS",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CartComm",
+    "CollectiveTuning",
+    "CommMismatchError",
+    "Communicator",
+    "DIR_DOWN",
+    "DIR_UP",
+    "Datatype",
+    "InvalidRankError",
+    "InvalidTagError",
+    "MPI_BYTE",
+    "MPI_CHAR",
+    "MPI_DOUBLE",
+    "MPI_FLOAT",
+    "MPI_INT",
+    "MPI_LONG",
+    "MPI_MAX",
+    "MPI_MIN",
+    "MPI_PROD",
+    "MPI_SUM",
+    "MpiBuf",
+    "MpiError",
+    "MpiVBuf",
+    "MpiWorld",
+    "Op",
+    "P2PEngine",
+    "PROC_NULL",
+    "PATTERN_TAG",
+    "Request",
+    "RequestError",
+    "RunResult",
+    "Status",
+    "TransportParams",
+    "TruncationError",
+    "alloc_mpi_buf",
+    "cart_create",
+    "dims_create",
+    "alloc_mpi_vbuf",
+    "free_mpi_buf",
+    "free_mpi_vbuf",
+    "mpi_commpattern_sendrecv",
+    "mpi_commpattern_shift",
+    "run_mpi",
+]

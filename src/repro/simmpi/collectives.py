@@ -1,0 +1,523 @@
+"""Collective algorithms, implemented over internal point-to-point.
+
+Rather than assigning collective operations an opaque cost, every
+collective is the real algorithm an MPI library would run (binomial
+trees, dissemination barrier, ring allgather, pairwise alltoall) built
+from internal messages that traverse the same transport cost model as
+user traffic.  This makes the *timing dependencies* between
+participants emerge naturally -- a broadcast's non-roots really cannot
+finish before the root arrives -- which is exactly what the collective
+performance properties (late broadcast, early reduce, wait-at-NxN...)
+need to exhibit.
+
+All functions are internal; user code calls the corresponding
+:class:`~repro.simmpi.communicator.Communicator` methods.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .buffers import MpiBuf, MpiVBuf
+from .datatypes import (
+    ALL_DATATYPES,
+    MPI_BYTE,
+    Datatype,
+    Op,
+)
+from .errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .communicator import Communicator
+
+_NP_TO_DATATYPE = {dt.np_dtype.str: dt for dt in ALL_DATATYPES}
+
+
+def dtype_for_array(arr: np.ndarray) -> Datatype:
+    """Map a numpy array's dtype to the matching MPI datatype."""
+    try:
+        return _NP_TO_DATATYPE[arr.dtype.str]
+    except KeyError:
+        raise MpiError(
+            f"no MPI datatype for numpy dtype {arr.dtype}"
+        ) from None
+
+
+_EMPTY = np.zeros(0, dtype=np.uint8)
+
+
+def barrier(comm: "Communicator", instance: int) -> None:
+    """Barrier; algorithm selected by the world's collective tuning."""
+    if comm.world.collectives.barrier == "linear":
+        barrier_linear(comm, instance)
+    else:
+        barrier_dissemination(comm, instance)
+
+
+def barrier_dissemination(comm: "Communicator", instance: int) -> None:
+    """Dissemination barrier: ceil(log2(size)) rounds of 0-byte messages."""
+    me = comm.rank()
+    sz = comm.size()
+    if sz == 1:
+        return
+    step = 0
+    dist = 1
+    while dist < sz:
+        tag = comm._coll_tag(instance, step)
+        dst = (me + dist) % sz
+        src = (me - dist) % sz
+        rreq = comm._int_irecv(
+            np.zeros(0, dtype=np.uint8), MPI_BYTE, src, tag
+        )
+        comm._int_send(_EMPTY, MPI_BYTE, dst, tag)
+        rreq.wait()
+        dist <<= 1
+        step += 1
+
+
+def barrier_linear(comm: "Communicator", instance: int) -> None:
+    """Central-coordinator barrier: gather at 0, then release messages."""
+    me = comm.rank()
+    sz = comm.size()
+    if sz == 1:
+        return
+    gather_tag = comm._coll_tag(instance, 0)
+    release_tag = comm._coll_tag(instance, 1)
+    if me == 0:
+        for src in range(1, sz):
+            comm._int_recv(
+                np.zeros(0, dtype=np.uint8), MPI_BYTE, src, gather_tag
+            )
+        for dst in range(1, sz):
+            comm._int_send(_EMPTY, MPI_BYTE, dst, release_tag)
+    else:
+        comm._int_send(_EMPTY, MPI_BYTE, 0, gather_tag)
+        comm._int_recv(
+            np.zeros(0, dtype=np.uint8), MPI_BYTE, 0, release_tag
+        )
+
+
+def bcast(
+    comm: "Communicator", buf: MpiBuf, root: int, instance: int
+) -> None:
+    """Broadcast; algorithm selected by the world's collective tuning."""
+    if comm.world.collectives.bcast == "linear":
+        bcast_linear(comm, buf, root, instance)
+    else:
+        bcast_binomial(comm, buf, root, instance)
+
+
+def bcast_binomial(
+    comm: "Communicator", buf: MpiBuf, root: int, instance: int
+) -> None:
+    """Binomial-tree broadcast from ``root`` (log2(size) depth)."""
+    me = comm.rank()
+    sz = comm.size()
+    if sz == 1:
+        return
+    tag = comm._coll_tag(instance, 0)
+    vr = (me - root) % sz
+    mask = 1
+    while mask < sz:
+        if vr & mask:
+            parent = ((vr - mask) + root) % sz
+            comm._int_recv(buf.data, buf.type, parent, tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < sz:
+            child = ((vr + mask) + root) % sz
+            comm._int_send(buf.data, buf.type, child, tag)
+        mask >>= 1
+
+
+def bcast_linear(
+    comm: "Communicator", buf: MpiBuf, root: int, instance: int
+) -> None:
+    """Linear broadcast: the root sends to every rank in turn.
+
+    O(size) root-sequential -- the naive algorithm, provided so tools
+    can be exercised against different collective implementations (the
+    paper's portability question in section 3.3).
+    """
+    me = comm.rank()
+    sz = comm.size()
+    if sz == 1:
+        return
+    tag = comm._coll_tag(instance, 0)
+    if me == root:
+        for dst in range(sz):
+            if dst != root:
+                comm._int_send(buf.data, buf.type, dst, tag)
+    else:
+        comm._int_recv(buf.data, buf.type, root, tag)
+
+
+def reduce(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: Optional[MpiBuf],
+    op: Op,
+    root: int,
+    instance: int,
+    tag_step: int = 0,
+) -> None:
+    """Reduction; algorithm selected by the world's collective tuning."""
+    if comm.world.collectives.reduce == "linear":
+        reduce_linear(
+            comm, sendbuf, recvbuf, op, root, instance, tag_step
+        )
+    else:
+        reduce_binomial(
+            comm, sendbuf, recvbuf, op, root, instance, tag_step
+        )
+
+
+def reduce_linear(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: Optional[MpiBuf],
+    op: Op,
+    root: int,
+    instance: int,
+    tag_step: int = 0,
+) -> None:
+    """Linear reduction: the root receives and combines in rank order."""
+    me = comm.rank()
+    sz = comm.size()
+    tag = comm._coll_tag(instance, tag_step)
+    if me == root:
+        assert recvbuf is not None
+        acc = np.array(sendbuf.data, copy=True)
+        tmp = np.empty_like(acc)
+        for src in range(sz):
+            if src == root:
+                continue
+            comm._int_recv(tmp, sendbuf.type, src, tag)
+            acc = op(acc, tmp)
+        recvbuf.data[: len(acc)] = acc
+    else:
+        comm._int_send(sendbuf.data, sendbuf.type, root, tag)
+
+
+def reduce_binomial(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: Optional[MpiBuf],
+    op: Op,
+    root: int,
+    instance: int,
+    tag_step: int = 0,
+) -> None:
+    """Binomial-tree reduction to ``root`` (commutative operations)."""
+    me = comm.rank()
+    sz = comm.size()
+    tag = comm._coll_tag(instance, tag_step)
+    vr = (me - root) % sz
+    acc = np.array(sendbuf.data, copy=True)
+    tmp = np.empty_like(acc)
+    mask = 1
+    while mask < sz:
+        if vr & mask == 0:
+            peer_vr = vr | mask
+            if peer_vr < sz:
+                peer = (peer_vr + root) % sz
+                comm._int_recv(tmp, sendbuf.type, peer, tag)
+                acc = op(acc, tmp)
+        else:
+            parent = ((vr - mask) + root) % sz
+            comm._int_send(acc, sendbuf.type, parent, tag)
+            break
+        mask <<= 1
+    if me == root:
+        assert recvbuf is not None
+        recvbuf.data[: len(acc)] = acc
+
+
+def allreduce(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: MpiBuf,
+    op: Op,
+    instance: int,
+) -> None:
+    """Reduce to rank 0 followed by a broadcast of the result."""
+    reduce(comm, sendbuf, recvbuf, op, root=0, instance=instance, tag_step=0)
+    # Non-roots broadcast into their recv buffers; tag slot 1 keeps the
+    # two phases in disjoint envelope spaces.
+    me = comm.rank()
+    sz = comm.size()
+    if sz == 1:
+        if me == 0:
+            return
+    tag = comm._coll_tag(instance, 1)
+    vr = me  # root is 0
+    mask = 1
+    while mask < sz:
+        if vr & mask:
+            comm._int_recv(recvbuf.data, recvbuf.type, vr - mask, tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < sz:
+            comm._int_send(recvbuf.data, recvbuf.type, vr + mask, tag)
+        mask >>= 1
+
+
+def scatter(
+    comm: "Communicator",
+    sendbuf: Optional[MpiBuf],
+    recvbuf: MpiBuf,
+    root: int,
+    instance: int,
+) -> None:
+    """Linear scatter: the root sends each rank its chunk."""
+    me = comm.rank()
+    sz = comm.size()
+    tag = comm._coll_tag(instance, 0)
+    k = recvbuf.cnt
+    if me == root:
+        assert sendbuf is not None
+        for r in range(sz):
+            chunk = sendbuf.data[r * k : (r + 1) * k]
+            if r == me:
+                recvbuf.data[:] = chunk
+            else:
+                comm._int_send(chunk, recvbuf.type, r, tag)
+    else:
+        comm._int_recv(recvbuf.data, recvbuf.type, root, tag)
+
+
+def scatterv(
+    comm: "Communicator", vbuf: MpiVBuf, root: int, instance: int
+) -> None:
+    """Linear irregular scatter with v-buffer counts/displacements."""
+    me = comm.rank()
+    sz = comm.size()
+    tag = comm._coll_tag(instance, 0)
+    if me == root:
+        for r in range(sz):
+            lo = vbuf.displs[r]
+            chunk = vbuf.rootbuf.data[lo : lo + vbuf.counts[r]]
+            if r == me:
+                vbuf.buf.data[: len(chunk)] = chunk
+            else:
+                comm._int_send(chunk, vbuf.type, r, tag)
+    else:
+        comm._int_recv(vbuf.buf.data, vbuf.type, root, tag)
+
+
+def gather(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: Optional[MpiBuf],
+    root: int,
+    instance: int,
+) -> None:
+    """Linear gather: every rank sends its chunk to the root."""
+    me = comm.rank()
+    sz = comm.size()
+    tag = comm._coll_tag(instance, 0)
+    k = sendbuf.cnt
+    if me == root:
+        assert recvbuf is not None
+        requests = []
+        for r in range(sz):
+            if r == me:
+                recvbuf.data[r * k : (r + 1) * k] = sendbuf.data
+            else:
+                requests.append(
+                    comm._int_irecv(
+                        recvbuf.data[r * k : (r + 1) * k],
+                        sendbuf.type,
+                        r,
+                        tag,
+                    )
+                )
+        for req in requests:
+            req.wait()
+    else:
+        comm._int_send(sendbuf.data, sendbuf.type, root, tag)
+
+
+def gatherv(
+    comm: "Communicator", vbuf: MpiVBuf, root: int, instance: int
+) -> None:
+    """Linear irregular gather with v-buffer counts/displacements."""
+    me = comm.rank()
+    sz = comm.size()
+    tag = comm._coll_tag(instance, 0)
+    if me == root:
+        requests = []
+        for r in range(sz):
+            lo = vbuf.displs[r]
+            target = vbuf.rootbuf.data[lo : lo + vbuf.counts[r]]
+            if r == me:
+                target[:] = vbuf.buf.data[: vbuf.counts[r]]
+            else:
+                requests.append(
+                    comm._int_irecv(target, vbuf.type, r, tag)
+                )
+        for req in requests:
+            req.wait()
+    else:
+        comm._int_send(
+            vbuf.buf.data[: vbuf.counts[me]], vbuf.type, root, tag
+        )
+
+
+def allgather_raw(
+    comm: "Communicator",
+    own: np.ndarray,
+    out: np.ndarray,
+    instance: int,
+    step_base: int = 0,
+) -> None:
+    """Ring allgather over raw numpy arrays (used by allgather and split)."""
+    me = comm.rank()
+    sz = comm.size()
+    k = len(own)
+    dtype = dtype_for_array(out)
+    out[me * k : (me + 1) * k] = own
+    if sz == 1:
+        return
+    right = (me + 1) % sz
+    left = (me - 1) % sz
+    tag = comm._coll_tag(instance, step_base)
+    for step in range(sz - 1):
+        send_block = (me - step) % sz
+        recv_block = (me - step - 1) % sz
+        rreq = comm._int_irecv(
+            out[recv_block * k : (recv_block + 1) * k], dtype, left, tag
+        )
+        comm._int_send(
+            out[send_block * k : (send_block + 1) * k], dtype, right, tag
+        )
+        rreq.wait()
+
+
+def allgather(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: MpiBuf,
+    instance: int,
+) -> None:
+    """Ring allgather."""
+    allgather_raw(comm, sendbuf.data, recvbuf.data, instance)
+
+
+def alltoall(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: MpiBuf,
+    instance: int,
+) -> None:
+    """Pairwise-exchange alltoall.
+
+    In step ``s`` every rank sends to ``(me+s) % size`` and receives
+    from ``(me-s) % size``; all pairs therefore exchange exactly once
+    and the operation completes only when the slowest participant has
+    arrived -- the NxN completion semantics.
+    """
+    me = comm.rank()
+    sz = comm.size()
+    k = sendbuf.cnt // sz
+    tag = comm._coll_tag(instance, 0)
+    recvbuf.data[me * k : (me + 1) * k] = sendbuf.data[
+        me * k : (me + 1) * k
+    ]
+    for step in range(1, sz):
+        dst = (me + step) % sz
+        src = (me - step) % sz
+        rreq = comm._int_irecv(
+            recvbuf.data[src * k : (src + 1) * k], sendbuf.type, src, tag
+        )
+        comm._int_send(
+            sendbuf.data[dst * k : (dst + 1) * k], sendbuf.type, dst, tag
+        )
+        rreq.wait()
+
+
+def scan(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: MpiBuf,
+    op: Op,
+    instance: int,
+) -> None:
+    """Linear-chain inclusive prefix reduction."""
+    me = comm.rank()
+    sz = comm.size()
+    tag = comm._coll_tag(instance, 0)
+    acc = np.array(sendbuf.data, copy=True)
+    if me > 0:
+        tmp = np.empty_like(acc)
+        comm._int_recv(tmp, sendbuf.type, me - 1, tag)
+        acc = op(tmp, acc)
+    recvbuf.data[: len(acc)] = acc
+    if me < sz - 1:
+        comm._int_send(acc, sendbuf.type, me + 1, tag)
+
+
+def exscan(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: MpiBuf,
+    op: Op,
+    instance: int,
+) -> None:
+    """Linear-chain exclusive prefix reduction.
+
+    Rank 0's receive buffer is zero-filled (MPI leaves it undefined;
+    zeroing keeps simulated programs deterministic).
+    """
+    me = comm.rank()
+    sz = comm.size()
+    tag = comm._coll_tag(instance, 0)
+    if me == 0:
+        recvbuf.data[:] = 0
+        acc = np.array(sendbuf.data, copy=True)
+    else:
+        prefix = np.empty_like(np.asarray(sendbuf.data))
+        comm._int_recv(prefix, sendbuf.type, me - 1, tag)
+        recvbuf.data[: len(prefix)] = prefix
+        acc = op(prefix, np.asarray(sendbuf.data))
+    if me < sz - 1:
+        comm._int_send(acc, sendbuf.type, me + 1, tag)
+
+
+def reduce_scatter_block(
+    comm: "Communicator",
+    sendbuf: MpiBuf,
+    recvbuf: MpiBuf,
+    op: Op,
+    instance: int,
+) -> None:
+    """Reduce-scatter with equal blocks: reduce at 0, then scatter.
+
+    ``sendbuf`` holds ``size * recvbuf.cnt`` elements at every rank;
+    rank ``i`` receives the reduction of everyone's block ``i``.
+    """
+    me = comm.rank()
+    tmp = MpiBuf(type=sendbuf.type, cnt=sendbuf.cnt)
+    reduce(
+        comm, sendbuf, tmp if me == 0 else None, op, 0, instance,
+        tag_step=0,
+    )
+    # Scatter the reduced vector from rank 0 (tag slot separated).
+    sz = comm.size()
+    k = recvbuf.cnt
+    tag = comm._coll_tag(instance, 1)
+    if me == 0:
+        for r in range(sz):
+            chunk = tmp.data[r * k : (r + 1) * k]
+            if r == 0:
+                recvbuf.data[:] = chunk
+            else:
+                comm._int_send(chunk, recvbuf.type, r, tag)
+    else:
+        comm._int_recv(recvbuf.data, recvbuf.type, 0, tag)

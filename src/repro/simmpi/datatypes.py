@@ -1,0 +1,70 @@
+"""MPI datatypes and reduction operations.
+
+Only the basic fixed-size types are provided -- the paper notes that
+"for most purposes, simple MPI types like integers (MPI_INT) and
+doubles (MPI_DOUBLE) will be sufficient" -- but the buffer layer keys
+everything off the :class:`Datatype` object, so derived types could be
+added without touching the transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI basic datatype: a name, a byte size and a numpy dtype."""
+
+    name: str
+    size: int
+    np_dtype: np.dtype
+
+    def __str__(self) -> str:
+        return self.name
+
+
+MPI_CHAR = Datatype("MPI_CHAR", 1, np.dtype(np.int8))
+MPI_BYTE = Datatype("MPI_BYTE", 1, np.dtype(np.uint8))
+MPI_INT = Datatype("MPI_INT", 4, np.dtype(np.int32))
+MPI_LONG = Datatype("MPI_LONG", 8, np.dtype(np.int64))
+MPI_FLOAT = Datatype("MPI_FLOAT", 4, np.dtype(np.float32))
+MPI_DOUBLE = Datatype("MPI_DOUBLE", 8, np.dtype(np.float64))
+
+ALL_DATATYPES = (
+    MPI_CHAR,
+    MPI_BYTE,
+    MPI_INT,
+    MPI_LONG,
+    MPI_FLOAT,
+    MPI_DOUBLE,
+)
+
+
+@dataclass(frozen=True)
+class Op:
+    """A reduction operation over numpy arrays.
+
+    All predefined operations are associative and commutative, which
+    the tree-based reduce algorithms rely on.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.fn(a, b)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+MPI_SUM = Op("MPI_SUM", np.add)
+MPI_PROD = Op("MPI_PROD", np.multiply)
+MPI_MAX = Op("MPI_MAX", np.maximum)
+MPI_MIN = Op("MPI_MIN", np.minimum)
+
+ALL_OPS = (MPI_SUM, MPI_PROD, MPI_MAX, MPI_MIN)

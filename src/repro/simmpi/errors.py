@@ -1,0 +1,31 @@
+"""MPI-level error types."""
+
+from __future__ import annotations
+
+
+class MpiError(Exception):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class TruncationError(MpiError):
+    """A received message was longer than the posted receive buffer.
+
+    Mirrors ``MPI_ERR_TRUNCATE``: matching happens on the envelope only,
+    so an undersized buffer is detected at delivery time.
+    """
+
+
+class InvalidRankError(MpiError):
+    """A rank argument was outside the communicator's group."""
+
+
+class InvalidTagError(MpiError):
+    """A user message tag was negative (reserved for internal traffic)."""
+
+
+class CommMismatchError(MpiError):
+    """A buffer or operation was used with an incompatible communicator."""
+
+
+class RequestError(MpiError):
+    """Misuse of a request object (double wait, foreign process, ...)."""

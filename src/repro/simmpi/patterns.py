@@ -1,0 +1,111 @@
+"""Reusable MPI communication patterns (paper section 3.1.4).
+
+Patterns are called by all processes of a communicator, like a
+collective operation, and are designed to work "with little context":
+they must not deadlock or abort regardless of the number of processes
+or of other communication going on at the same time.
+
+``mpi_commpattern_sendrecv`` pairs ranks ``(2i, 2i+1)``; the direction
+selects who sends: ``DIR_UP`` means even ranks send to their odd upper
+neighbour, ``DIR_DOWN`` reverses the roles.  With an odd number of
+processes the last process sits the pattern out, per the paper.
+
+``mpi_commpattern_shift`` is a cyclic shift: every process sends one
+message and receives one message from the neighbour in the given
+direction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .buffers import MpiBuf
+from .errors import MpiError
+from .status import DIR_DOWN, DIR_UP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .communicator import Communicator
+
+#: tag used by the pattern library's messages
+PATTERN_TAG = 17
+
+
+def _check_dir(dir: str) -> None:
+    if dir not in (DIR_UP, DIR_DOWN):
+        raise MpiError(f"direction must be DIR_UP or DIR_DOWN, got {dir!r}")
+
+
+def mpi_commpattern_sendrecv(
+    buf: MpiBuf,
+    dir: str = DIR_UP,
+    use_isend: bool = False,
+    use_irecv: bool = False,
+    comm: "Communicator" = None,  # type: ignore[assignment]
+) -> None:
+    """Even-odd paired send/receive.
+
+    The ``use_isend``/``use_irecv`` flags select nonblocking
+    (immediate) operations followed by a wait, mirroring the paper's
+    MPI-communication-mode parameters.
+    """
+    _check_dir(dir)
+    if comm is None:
+        raise MpiError("sendrecv pattern requires a communicator")
+    me = comm.rank()
+    sz = comm.size()
+    if sz < 2:
+        return
+    if sz % 2 and me == sz - 1:
+        return  # odd process count: last process is ignored
+    if me % 2 == 0:
+        partner, am_sender = me + 1, dir == DIR_UP
+    else:
+        partner, am_sender = me - 1, dir == DIR_DOWN
+    if am_sender:
+        if use_isend:
+            req = comm.isend(buf, partner, PATTERN_TAG)
+            comm.wait(req)
+        else:
+            comm.send(buf, partner, PATTERN_TAG)
+    else:
+        if use_irecv:
+            req = comm.irecv(buf, partner, PATTERN_TAG)
+            comm.wait(req)
+        else:
+            comm.recv(buf, partner, PATTERN_TAG)
+
+
+def mpi_commpattern_shift(
+    sbuf: MpiBuf,
+    rbuf: MpiBuf,
+    dir: str = DIR_UP,
+    use_isend: bool = False,
+    use_irecv: bool = False,
+    comm: "Communicator" = None,  # type: ignore[assignment]
+) -> None:
+    """Cyclic shift: all processes send and receive one message.
+
+    The receive is always posted before the send so the pattern cannot
+    deadlock even when every message uses the rendezvous protocol.
+    """
+    _check_dir(dir)
+    if comm is None:
+        raise MpiError("shift pattern requires a communicator")
+    me = comm.rank()
+    sz = comm.size()
+    if sz < 2:
+        rbuf.data[: sbuf.cnt] = sbuf.data
+        return
+    if dir == DIR_UP:
+        dst, src = (me + 1) % sz, (me - 1) % sz
+    else:
+        dst, src = (me - 1) % sz, (me + 1) % sz
+    rreq = comm.irecv(rbuf, src, PATTERN_TAG)
+    if use_isend:
+        sreq = comm.isend(sbuf, dst, PATTERN_TAG)
+        comm.wait(sreq)
+    else:
+        comm.send(sbuf, dst, PATTERN_TAG)
+    # use_irecv only changes how the receive is phrased in the C
+    # original; here the pre-posted irecv is completed either way.
+    comm.wait(rreq)

@@ -1,0 +1,128 @@
+"""Nonblocking communication requests.
+
+A :class:`Request` represents an in-flight ``isend``/``irecv``.  The
+transport sets its logical completion time as soon as it is known
+(possibly in the simulated future); :meth:`wait` blocks the owner until
+that time has passed, and :meth:`test` polls without blocking --
+matching MPI's progress semantics closely enough for every waiting
+pattern the ATS properties rely on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..simkernel import SimProcess, current_process
+from .errors import RequestError
+from .status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .communicator import Communicator
+
+
+class Request:
+    """Handle for one nonblocking point-to-point operation."""
+
+    __slots__ = (
+        "kind",
+        "comm",
+        "owner",
+        "completion_time",
+        "status",
+        "_waiters",
+        "_on_complete",
+        "waited",
+    )
+
+    def __init__(self, kind: str, comm: "Communicator", owner: SimProcess):
+        if kind not in ("send", "recv"):
+            raise ValueError(f"bad request kind {kind!r}")
+        self.kind = kind
+        self.comm = comm
+        self.owner = owner
+        self.completion_time: Optional[float] = None
+        self.status = Status()
+        self._waiters: list[SimProcess] = []
+        #: callback run (once) by the owner after completion time has
+        #: been reached; the transport uses it to emit the Recv trace
+        #: event at the correct timestamp.
+        self._on_complete: Optional[Callable[[float], None]] = None
+        self.waited = False
+
+    # ------------------------------------------------------------------
+    # transport side
+    # ------------------------------------------------------------------
+
+    def _complete(self, at: float) -> None:
+        """Mark the request logically complete at virtual time ``at``.
+
+        May be called by any process; wakes blocked waiters with the
+        appropriate delay so they resume no earlier than ``at``.
+        """
+        if self.completion_time is not None:
+            raise RequestError("request completed twice")
+        self.completion_time = at
+        sim = self.owner.sim
+        for waiter in self._waiters:
+            sim.activate(waiter, delay=max(0.0, at - sim.now))
+        self._waiters.clear()
+
+    # ------------------------------------------------------------------
+    # owner side
+    # ------------------------------------------------------------------
+
+    def wait(self) -> Status:
+        """Block until the operation completes; returns the status.
+
+        Idempotent: waiting on an already-completed request returns
+        immediately.  Only the owning process may wait.
+        """
+        proc = current_process()
+        if proc is not self.owner:
+            raise RequestError(
+                f"request owned by {self.owner.name} waited on by {proc.name}"
+            )
+        sim = proc.sim
+        while self.completion_time is None:
+            self._waiters.append(proc)
+            sim.passivate(f"MPI_Wait({self.kind})")
+        if self.completion_time > sim.now:
+            sim.hold(self.completion_time - sim.now)
+        if not self.waited:
+            self.waited = True
+            if self._on_complete is not None:
+                self._on_complete(self.completion_time)
+        return self.status
+
+    def _remove_waiter(self, proc: SimProcess) -> None:
+        """Deregister a parked waiter (waitany bookkeeping)."""
+        while proc in self._waiters:
+            self._waiters.remove(proc)
+
+    def test(self) -> bool:
+        """True iff the operation has completed by now (non-blocking)."""
+        proc = current_process()
+        if proc is not self.owner:
+            raise RequestError("test() from non-owning process")
+        done = (
+            self.completion_time is not None
+            and self.completion_time <= proc.sim.now
+        )
+        if done and not self.waited:
+            self.waited = True
+            if self._on_complete is not None:
+                self._on_complete(self.completion_time)  # type: ignore[arg-type]
+        return done
+
+    @property
+    def completed(self) -> bool:
+        """True once a logical completion time has been assigned."""
+        return self.completion_time is not None
+
+    def __repr__(self) -> str:
+        state = (
+            f"done@{self.completion_time:.6g}"
+            if self.completion_time is not None
+            else "pending"
+        )
+        return f"<Request {self.kind} {state}>"

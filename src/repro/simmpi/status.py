@@ -1,0 +1,33 @@
+"""Receive status and envelope wildcards."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: match any source rank (``MPI_ANY_SOURCE``)
+ANY_SOURCE = -1
+#: match any message tag (``MPI_ANY_TAG``)
+ANY_TAG = -1
+#: null peer: operations against it complete immediately with no data
+#: (``MPI_PROC_NULL``), so boundary ranks in halo codes need no special
+#: cases
+PROC_NULL = -2
+
+#: communication directions for the patterns module (paper 3.1.4)
+DIR_UP = "up"
+DIR_DOWN = "down"
+
+
+@dataclass
+class Status:
+    """Outcome of a completed receive (``MPI_Status``).
+
+    ``source`` and ``tag`` are the actual envelope values (useful after
+    wildcard receives); ``count`` is the number of received elements.
+    """
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    count: int = 0
+    nbytes: int = 0
+    msg_id: int = -1

@@ -1,0 +1,159 @@
+"""Cartesian process topologies (``MPI_Cart_create`` family).
+
+Grid-decomposed applications (2-D stencils, the hybrid SR-8000 codes
+the paper's property catalog targets) address neighbours by grid
+coordinates; this module provides the standard helpers: balanced
+dimension factorization, a :class:`CartComm` with coordinate/rank
+translation, and ``shift`` that yields ``PROC_NULL`` across
+non-periodic boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from .communicator import Communicator
+from .errors import MpiError
+from .status import PROC_NULL
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Balanced factorization of ``nnodes`` into ``ndims`` dimensions.
+
+    Like ``MPI_Dims_create`` with all-zero input: dimensions are as
+    close to each other as possible, in non-increasing order.
+    """
+    if nnodes < 1 or ndims < 1:
+        raise ValueError("nnodes and ndims must be >= 1")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Repeatedly assign the largest prime factor to the smallest dim.
+    factors = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        smallest = min(range(ndims), key=lambda i: dims[i])
+        dims[smallest] *= factor
+    return sorted(dims, reverse=True)
+
+
+class CartComm(Communicator):
+    """A communicator with an attached Cartesian grid topology."""
+
+    def __init__(
+        self,
+        world,
+        group: Sequence[int],
+        comm_id: int,
+        name: str,
+        dims: Sequence[int],
+        periods: Sequence[bool],
+    ):
+        super().__init__(world, group, comm_id, name)
+        if len(dims) != len(periods):
+            raise MpiError("dims and periods must have equal length")
+        total = 1
+        for d in dims:
+            if d < 1:
+                raise MpiError(f"invalid grid dimension {d}")
+            total *= d
+        if total != len(group):
+            raise MpiError(
+                f"grid {tuple(dims)} needs {total} processes, "
+                f"group has {len(group)}"
+            )
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+
+    # ------------------------------------------------------------------
+    # coordinate translation (row-major, like MPI)
+    # ------------------------------------------------------------------
+
+    def coords_of(self, rank: int) -> Tuple[int, ...]:
+        """Grid coordinates of a local rank (``MPI_Cart_coords``)."""
+        self._check_rank(rank)
+        coords = []
+        remainder = rank
+        for extent in reversed(self.dims):
+            coords.append(remainder % extent)
+            remainder //= extent
+        return tuple(reversed(coords))
+
+    def rank_at(self, coords: Sequence[int]) -> int:
+        """Local rank at grid coordinates (``MPI_Cart_rank``).
+
+        Periodic dimensions wrap; out-of-range coordinates on
+        non-periodic dimensions yield ``PROC_NULL``.
+        """
+        if len(coords) != len(self.dims):
+            raise MpiError("coordinate dimensionality mismatch")
+        normalized = []
+        for c, extent, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                normalized.append(c % extent)
+            elif 0 <= c < extent:
+                normalized.append(c)
+            else:
+                return PROC_NULL
+        rank = 0
+        for c, extent in zip(normalized, self.dims):
+            rank = rank * extent + c
+        return rank
+
+    def my_coords(self) -> Tuple[int, ...]:
+        return self.coords_of(self.rank())
+
+    def shift(self, dim: int, disp: int = 1) -> Tuple[int, int]:
+        """(source, destination) ranks for a shift along ``dim``.
+
+        Like ``MPI_Cart_shift``: returns ``PROC_NULL`` at open
+        boundaries, so halo exchanges need no edge special-casing.
+        """
+        if not 0 <= dim < len(self.dims):
+            raise MpiError(f"shift dimension {dim} out of range")
+        me = list(self.my_coords())
+        dst_coords = list(me)
+        dst_coords[dim] += disp
+        src_coords = list(me)
+        src_coords[dim] -= disp
+        return self.rank_at(src_coords), self.rank_at(dst_coords)
+
+
+def cart_create(
+    comm: Communicator,
+    dims: Sequence[int],
+    periods: Optional[Sequence[bool]] = None,
+) -> CartComm:
+    """Create a Cartesian topology over ``comm``'s processes.
+
+    Collective over ``comm``; the grid must use exactly all processes
+    (no reorder support -- rank order is preserved, which keeps traces
+    comparable across runs).
+    """
+    if periods is None:
+        periods = [False] * len(dims)
+
+    def algo(instance: int) -> CartComm:
+        from . import collectives as _coll
+
+        _coll.barrier(comm, instance)
+        comm_id = comm.world.comm_id_for(
+            (comm.comm_id, instance, "cart"), comm.group
+        )
+        return CartComm(
+            comm.world,
+            comm.group,
+            comm_id,
+            f"{comm.name}.cart{tuple(dims)}",
+            dims,
+            periods,
+        )
+
+    return comm._run_collective("MPI_Cart_create", algo)

@@ -1,0 +1,348 @@
+"""Point-to-point transport: cost model and message matching.
+
+The cost model is a small LogP-style abstraction:
+
+* ``transfer_time(n) = latency + n / bandwidth``
+* messages up to ``eager_threshold`` bytes use the **eager** protocol:
+  the send completes locally after ``send_overhead`` and the data
+  arrives at ``send_start + transfer_time``, independent of the
+  receiver -- so a late *sender* makes the receiver wait,
+* larger messages use the **rendezvous** protocol: the transfer only
+  starts once both sides have posted, so a late *receiver* blocks the
+  sender.
+
+These two protocols are precisely what give the ATS ``late_sender`` and
+``late_receiver`` property functions their distinct observable wait
+patterns.
+
+Matching follows MPI semantics: envelopes are ``(source, tag,
+communicator)``; ``ANY_SOURCE``/``ANY_TAG`` wildcards are supported;
+messages between a pair on one communicator are non-overtaking (FIFO
+match order).  Collective-internal traffic is flagged ``internal`` and
+matches only internal receives, so algorithm traffic can never steal a
+user message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .datatypes import Datatype
+from .errors import CommMismatchError, TruncationError
+from .request import Request
+from .status import ANY_SOURCE, ANY_TAG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..trace.recorder import TraceRecorder
+    from .communicator import Communicator
+
+
+@dataclass(frozen=True)
+class TransportParams:
+    """Cost-model parameters of the simulated interconnect.
+
+    Defaults are loosely modeled on a commodity cluster of the paper's
+    era scaled to round numbers: 5 microseconds latency, 1 GB/s
+    bandwidth, 8 KiB eager threshold.  ``init_cost_base``/``_per_rank``
+    parameterize the synthetic ``MPI_Init``/``MPI_Finalize`` cost that
+    reproduces the paper's "High MPI Initialization/Finalization
+    Overhead" observation (figure 3.2).
+    """
+
+    latency: float = 5e-6
+    bandwidth: float = 1e9
+    eager_threshold: int = 8192
+    send_overhead: float = 1e-6
+    recv_overhead: float = 1e-6
+    init_cost_base: float = 1e-3
+    init_cost_per_rank: float = 1e-4
+    finalize_cost_base: float = 5e-4
+    finalize_cost_per_rank: float = 5e-5
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        if self.eager_threshold < 0:
+            raise ValueError("eager threshold must be >= 0")
+        if min(self.send_overhead, self.recv_overhead) < 0:
+            raise ValueError("overheads must be >= 0")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """End-to-end wire time of an ``nbytes`` message."""
+        return self.latency + nbytes / self.bandwidth
+
+    def is_eager(self, nbytes: int) -> bool:
+        return nbytes <= self.eager_threshold
+
+    def init_cost(self, size: int) -> float:
+        return self.init_cost_base + self.init_cost_per_rank * size
+
+    def finalize_cost(self, size: int) -> float:
+        return self.finalize_cost_base + self.finalize_cost_per_rank * size
+
+
+@dataclass
+class _SendItem:
+    """An unmatched (or in-flight) send as seen by the matching engine."""
+
+    msg_id: int
+    src: int                  # local rank in the communicator
+    dst: int
+    tag: int
+    internal: bool
+    data: np.ndarray          # snapshot taken at post time
+    count: int
+    dtype: Datatype
+    nbytes: int
+    send_start: float
+    eager: bool
+    arrival: Optional[float]  # eager only: wire arrival time
+    request: Request
+
+
+@dataclass
+class _RecvItem:
+    """An unmatched posted receive."""
+
+    src_spec: int
+    tag_spec: int
+    internal: bool
+    buf_data: np.ndarray
+    buf_count: int
+    dtype: Datatype
+    post_time: float
+    request: Request
+
+
+class P2PEngine:
+    """Per-world message matching engine."""
+
+    def __init__(self, params: TransportParams):
+        self.params = params
+        # (comm_id, dst_local_rank) -> FIFO of unmatched items
+        self._sends: dict[tuple[int, int], list[_SendItem]] = {}
+        self._recvs: dict[tuple[int, int], list[_RecvItem]] = {}
+        # (comm_id, dst_local_rank) -> processes blocked in probe()
+        self._probers: dict[tuple[int, int], list] = {}
+        #: counters for diagnostics and overhead accounting
+        self.messages_matched = 0
+        self.bytes_transferred = 0
+
+    # ------------------------------------------------------------------
+    # posting
+    # ------------------------------------------------------------------
+
+    def post_send(
+        self,
+        comm: "Communicator",
+        src: int,
+        dst: int,
+        tag: int,
+        data: np.ndarray,
+        count: int,
+        dtype: Datatype,
+        internal: bool,
+        request: Request,
+        msg_id: int,
+    ) -> None:
+        """Register a send; match immediately if a receive is pending."""
+        now = request.owner.sim.now
+        nbytes = count * dtype.size
+        eager = self.params.is_eager(nbytes)
+        item = _SendItem(
+            msg_id=msg_id,
+            src=src,
+            dst=dst,
+            tag=tag,
+            internal=internal,
+            data=np.array(data[:count], copy=True),
+            count=count,
+            dtype=dtype,
+            nbytes=nbytes,
+            send_start=now,
+            eager=eager,
+            arrival=(now + self.params.transfer_time(nbytes))
+            if eager
+            else None,
+            request=request,
+        )
+        if eager:
+            # Local completion is independent of the receiver.
+            request._complete(now + self.params.send_overhead)
+        key = (comm.comm_id, dst)
+        ritem = self._match_recv_for(key, item)
+        if ritem is None:
+            self._sends.setdefault(key, []).append(item)
+            self._wake_probers(comm.comm_id, dst)
+        else:
+            self._deliver(item, ritem)
+
+    def post_recv(
+        self,
+        comm: "Communicator",
+        dst: int,
+        src_spec: int,
+        tag_spec: int,
+        buf_data: np.ndarray,
+        buf_count: int,
+        dtype: Datatype,
+        internal: bool,
+        request: Request,
+    ) -> None:
+        """Register a receive; match immediately if a send is pending."""
+        now = request.owner.sim.now
+        ritem = _RecvItem(
+            src_spec=src_spec,
+            tag_spec=tag_spec,
+            internal=internal,
+            buf_data=buf_data,
+            buf_count=buf_count,
+            dtype=dtype,
+            post_time=now,
+            request=request,
+        )
+        key = (comm.comm_id, dst)
+        item = self._match_send_for(key, ritem)
+        if item is None:
+            self._recvs.setdefault(key, []).append(ritem)
+        else:
+            self._deliver(item, ritem)
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+
+    def find_send(
+        self,
+        comm_id: int,
+        dst: int,
+        src_spec: int,
+        tag_spec: int,
+        internal: bool = False,
+    ) -> Optional[_SendItem]:
+        """First pending send matching the envelope (not removed)."""
+        for item in self._sends.get((comm_id, dst), []):
+            if item.internal != internal:
+                continue
+            if src_spec not in (ANY_SOURCE, item.src):
+                continue
+            if tag_spec not in (ANY_TAG, item.tag):
+                continue
+            return item
+        return None
+
+    def register_prober(self, comm_id: int, dst: int, proc) -> None:
+        """Park a process to be woken when any send for ``dst`` arrives."""
+        self._probers.setdefault((comm_id, dst), []).append(proc)
+
+    def unregister_prober(self, comm_id: int, dst: int, proc) -> None:
+        probers = self._probers.get((comm_id, dst), [])
+        if proc in probers:
+            probers.remove(proc)
+
+    def _wake_probers(self, comm_id: int, dst: int) -> None:
+        for proc in self._probers.pop((comm_id, dst), []):
+            proc.sim.activate(proc)
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _envelope_match(item: _SendItem, ritem: _RecvItem) -> bool:
+        if item.internal != ritem.internal:
+            return False
+        if ritem.src_spec not in (ANY_SOURCE, item.src):
+            return False
+        if ritem.tag_spec not in (ANY_TAG, item.tag):
+            return False
+        return True
+
+    def _match_recv_for(
+        self, key: tuple[int, int], item: _SendItem
+    ) -> Optional[_RecvItem]:
+        queue = self._recvs.get(key, [])
+        for i, ritem in enumerate(queue):
+            if self._envelope_match(item, ritem):
+                return queue.pop(i)
+        return None
+
+    def _match_send_for(
+        self, key: tuple[int, int], ritem: _RecvItem
+    ) -> Optional[_SendItem]:
+        queue = self._sends.get(key, [])
+        for i, item in enumerate(queue):
+            if self._envelope_match(item, ritem):
+                return queue.pop(i)
+        return None
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+
+    def _deliver(self, item: _SendItem, ritem: _RecvItem) -> None:
+        """Complete a matched pair: copy data and assign completion times."""
+        if item.dtype.name != ritem.dtype.name:
+            raise CommMismatchError(
+                f"datatype mismatch: send {item.dtype} vs recv {ritem.dtype}"
+            )
+        if item.count > ritem.buf_count:
+            raise TruncationError(
+                f"message of {item.count} elements truncated by receive "
+                f"buffer of {ritem.buf_count}"
+            )
+        now = item.request.owner.sim.now
+        if item.eager:
+            assert item.arrival is not None
+            recv_done = (
+                max(ritem.post_time, item.arrival)
+                + self.params.recv_overhead
+            )
+        else:
+            # Rendezvous: transfer starts when both sides are present,
+            # i.e. right now (delivery happens at match time).
+            xfer_done = now + self.params.transfer_time(item.nbytes)
+            item.request._complete(xfer_done)
+            recv_done = xfer_done + self.params.recv_overhead
+        ritem.buf_data[: item.count] = item.data
+        status = ritem.request.status
+        status.source = item.src
+        status.tag = item.tag
+        status.count = item.count
+        status.nbytes = item.nbytes
+        status.msg_id = item.msg_id
+        ritem.request._complete(recv_done)
+        self.messages_matched += 1
+        self.bytes_transferred += item.nbytes
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def unmatched(self) -> dict[str, int]:
+        """Counts of leftover unmatched sends/recvs (should be 0 at end)."""
+        return {
+            "sends": sum(len(q) for q in self._sends.values()),
+            "recvs": sum(len(q) for q in self._recvs.values()),
+        }
+
+    def unmatched_details(self) -> list[str]:
+        """Human-readable descriptions of leftover items."""
+        out = []
+        for (comm_id, dst), queue in self._sends.items():
+            for item in queue:
+                out.append(
+                    f"send comm={comm_id} {item.src}->{dst} tag={item.tag}"
+                    f" ({item.nbytes}B{' internal' if item.internal else ''})"
+                )
+        for (comm_id, dst), queue in self._recvs.items():
+            for ritem in queue:
+                out.append(
+                    f"recv comm={comm_id} dst={dst} src={ritem.src_spec}"
+                    f" tag={ritem.tag_spec}"
+                    f"{' internal' if ritem.internal else ''}"
+                )
+        return out

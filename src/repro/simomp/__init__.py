@@ -1,0 +1,58 @@
+"""Simulated OpenMP runtime.
+
+Fork/join thread teams on the discrete-event kernel: parallel regions,
+explicit and implicit barriers, worksharing loops with static/dynamic/
+guided schedules, critical sections, single/master/sections constructs
+and team reductions -- everything the OpenMP performance properties of
+the paper (and the hybrid compositions of section 3.3) need.
+"""
+
+from .locks import LOCK_REGION, OmpLock
+from .region import (
+    EXPLICIT_BARRIER,
+    IBARRIER_FOR,
+    IBARRIER_PARALLEL,
+    IBARRIER_SECTIONS,
+    IBARRIER_SINGLE,
+    omp_barrier,
+    omp_critical,
+    omp_for,
+    omp_master,
+    omp_parallel,
+    omp_sections,
+    omp_single,
+)
+from .runtime import OmpRunResult, run_omp
+from .team import (
+    OmpError,
+    Team,
+    current_team,
+    omp_get_num_threads,
+    omp_get_thread_num,
+    require_team,
+)
+
+__all__ = [
+    "EXPLICIT_BARRIER",
+    "IBARRIER_FOR",
+    "IBARRIER_PARALLEL",
+    "IBARRIER_SECTIONS",
+    "IBARRIER_SINGLE",
+    "LOCK_REGION",
+    "OmpLock",
+    "OmpError",
+    "OmpRunResult",
+    "Team",
+    "current_team",
+    "omp_barrier",
+    "omp_critical",
+    "omp_for",
+    "omp_get_num_threads",
+    "omp_get_thread_num",
+    "omp_master",
+    "omp_parallel",
+    "omp_sections",
+    "omp_single",
+    "require_team",
+    "run_omp",
+]

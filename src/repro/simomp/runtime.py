@@ -1,0 +1,82 @@
+"""Standalone OpenMP program runner.
+
+``run_omp(main, ...)`` is the shared-memory analogue of
+:func:`repro.simmpi.run_mpi`: it runs ``main()`` as the sequential
+master of an OpenMP program (rank 0) on a fresh simulator, with tracing
+bound, and packages the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..simkernel import Simulator, current_process
+from ..trace.api import bind_instrumentation
+from ..trace.events import Event, Location
+from ..trace.recorder import TraceRecorder
+from ..trace.stats import TraceProfile, profile_trace
+from ..trace.timeline import render_timeline
+
+
+@dataclass
+class OmpRunResult:
+    """Result of a standalone OpenMP program run."""
+
+    final_time: float
+    result: Any
+    recorder: Optional[TraceRecorder]
+    num_threads: int
+
+    @property
+    def events(self) -> list[Event]:
+        return self.recorder.events if self.recorder is not None else []
+
+    def timeline(self, width: int = 100, title: str = "") -> str:
+        return render_timeline(
+            self.events, width=width, t_end=self.final_time, title=title
+        )
+
+    def profile(self) -> TraceProfile:
+        return profile_trace(self.events)
+
+
+def run_omp(
+    main: Callable[..., Any],
+    *args: Any,
+    num_threads: int = 4,
+    trace: bool = True,
+    intrusion: float = 0.0,
+    seed: int = 0,
+    **kwargs: Any,
+) -> OmpRunResult:
+    """Run ``main(*args, **kwargs)`` as an OpenMP master process.
+
+    ``num_threads`` sets the default team size used by parallel
+    regions that do not pass one explicitly (the ``OMP_NUM_THREADS``
+    analogue).
+    """
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    recorder = (
+        TraceRecorder(intrusion_per_event=intrusion) if trace else None
+    )
+    sim = Simulator(seed=seed)
+
+    def master() -> Any:
+        proc = current_process()
+        proc.context["omp_default_threads"] = num_threads
+        proc.context["rng"] = sim.rng.spawn(0)
+        bind_instrumentation(recorder, Location(0, 0))
+        return main(*args, **kwargs)
+
+    sim.spawn(master, name="master")
+    final_time = sim.run()
+    if recorder is not None:
+        recorder.finish()
+    return OmpRunResult(
+        final_time=final_time,
+        result=sim.results().get("master"),
+        recorder=recorder,
+        num_threads=num_threads,
+    )

@@ -1,0 +1,69 @@
+"""Process-facing tracing helpers.
+
+The runtimes store the active recorder and the process's trace location
+in ``SimProcess.context`` under the keys ``"recorder"`` and ``"loc"``.
+This module gives user code (property functions, applications) a
+context manager for custom regions without threading those objects
+through every call -- matching the paper's goal that modules "have as
+little context as possible".
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from ..simkernel import current_process, maybe_current_process
+from .events import Location
+from .recorder import TraceRecorder
+
+
+def current_instrumentation() -> Tuple[Optional[TraceRecorder], Location]:
+    """Recorder and location bound to the calling simulated process.
+
+    Returns ``(None, Location(0, 0))`` when the process is untraced.
+    """
+    proc = maybe_current_process()
+    if proc is None:
+        return None, Location(0, 0)
+    rec = proc.context.get("recorder")
+    loc = proc.context.get("loc", Location(0, 0))
+    return rec, loc
+
+
+def bind_instrumentation(
+    recorder: Optional[TraceRecorder], loc: Location
+) -> None:
+    """Attach a recorder and location to the calling process.
+
+    Called by the MPI/OpenMP runtimes when they start a rank or fork a
+    team thread.
+    """
+    proc = current_process()
+    proc.context["recorder"] = recorder
+    proc.context["loc"] = loc
+
+
+@contextmanager
+def region(name: str) -> Iterator[None]:
+    """Trace a user region around a block of code.
+
+    Usage inside any simulated process::
+
+        with region("initialization"):
+            ...
+    """
+    rec, loc = current_instrumentation()
+    if rec is None:
+        yield
+        return
+    proc = current_process()
+    rec.enter(proc.sim.now, loc, name)
+    if rec.intrusion_per_event:
+        proc.sim.hold(rec.intrusion_per_event)
+    try:
+        yield
+    finally:
+        rec.exit(proc.sim.now, loc, name)
+        if rec.intrusion_per_event:
+            proc.sim.hold(rec.intrusion_per_event)

@@ -1,0 +1,97 @@
+"""Communication-matrix view of a trace.
+
+Aggregates point-to-point traffic into a (sender rank, receiver rank)
+matrix of message counts and byte volumes -- the classic companion
+display to a timeline, useful for spotting hot spots (e.g. a
+master-worker bottleneck shows as one dense column).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from .events import Event, Send
+
+
+@dataclass
+class CommMatrix:
+    """Aggregated p2p traffic per (sender rank, receiver rank)."""
+
+    messages: Dict[Tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    bytes: Dict[Tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    def ranks(self) -> list[int]:
+        present = set()
+        for src, dst in self.messages:
+            present.add(src)
+            present.add(dst)
+        return sorted(present)
+
+    def hottest_receiver(self) -> int | None:
+        """Rank receiving the most messages (None if no traffic)."""
+        per_dst: Dict[int, int] = defaultdict(int)
+        for (_, dst), count in self.messages.items():
+            per_dst[dst] += count
+        if not per_dst:
+            return None
+        return max(per_dst, key=lambda d: (per_dst[d], -d))
+
+
+def comm_matrix(
+    events: Sequence[Event], include_internal: bool = False
+) -> CommMatrix:
+    """Build the matrix from send events.
+
+    ``include_internal`` adds collective-algorithm traffic, exposing
+    the implementation's communication structure (e.g. binomial tree
+    vs. linear fan-out).
+    """
+    matrix = CommMatrix()
+    for event in events:
+        if not isinstance(event, Send):
+            continue
+        if event.internal and not include_internal:
+            continue
+        key = (event.loc.rank, event.peer)
+        matrix.messages[key] += 1
+        matrix.bytes[key] += event.nbytes
+    return matrix
+
+
+def format_comm_matrix(matrix: CommMatrix, unit: str = "msgs") -> str:
+    """Render as a square table; ``unit`` is ``msgs`` or ``bytes``."""
+    if unit not in ("msgs", "bytes"):
+        raise ValueError("unit must be 'msgs' or 'bytes'")
+    data = matrix.messages if unit == "msgs" else matrix.bytes
+    ranks = matrix.ranks()
+    if not ranks:
+        return "(no point-to-point traffic)\n"
+    width = max(6, max(len(str(v)) for v in data.values()) + 1)
+    lines = [
+        "send\\recv"
+        + "".join(f"{r:>{width}}" for r in ranks)
+    ]
+    for src in ranks:
+        row = "".join(
+            f"{data.get((src, dst), 0):>{width}}" for dst in ranks
+        )
+        lines.append(f"{src:>9}{row}")
+    lines.append(
+        f"total: {matrix.total_messages} messages, "
+        f"{matrix.total_bytes} bytes"
+    )
+    return "\n".join(lines) + "\n"

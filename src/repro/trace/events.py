@@ -1,0 +1,253 @@
+"""Trace event model.
+
+Event records follow the conventions of measurement systems like
+EPILOG/OTF that tools such as EXPERT and Vampir consume:
+
+* ``Enter``/``Exit`` bracket every instrumented region (MPI calls,
+  OpenMP constructs, ``work`` phases, user regions) per *location*,
+* ``Send``/``Recv`` describe point-to-point messages; matching pairs
+  share a ``msg_id``,
+* ``CollExit`` is emitted by every participant when it completes a
+  collective operation and carries enough metadata (operation, root,
+  instance, own enter time) for pattern analysis,
+* ``Fork``/``Join`` bracket OpenMP team creation.
+
+Timestamps are virtual seconds from the simulation kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+CallPath = Tuple[str, ...]
+
+
+def _base_dict(event: "Event") -> dict[str, Any]:
+    # NB: plain function instead of super().to_dict(): zero-argument
+    # super() does not work inside @dataclass(slots=True) subclasses
+    # (the decorator replaces the class, invalidating __class__ cells).
+    return {"kind": event.kind, "time": event.time, "loc": str(event.loc)}
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A locus of execution: (process rank, thread id).
+
+    Pure MPI programs use thread 0; pure OpenMP programs use rank 0.
+    This is the same location model EXPERT uses for its third result
+    dimension.
+    """
+
+    rank: int = 0
+    thread: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.rank}.{self.thread}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Location":
+        rank, _, thread = text.partition(".")
+        return cls(int(rank), int(thread or 0))
+
+
+@dataclass(slots=True)
+class Event:
+    """Base class: a timestamped record at one location."""
+
+    time: float
+    loc: Location
+
+    kind = "event"
+
+    def to_dict(self) -> dict[str, Any]:
+        return _base_dict(self)
+
+
+@dataclass(slots=True)
+class Enter(Event):
+    """Entry into an instrumented region."""
+
+    region: str = ""
+    #: full call path including ``region`` as last element
+    path: CallPath = ()
+
+    kind = "enter"
+
+    def to_dict(self) -> dict[str, Any]:
+        d = _base_dict(self)
+        d.update(region=self.region, path=list(self.path))
+        return d
+
+
+@dataclass(slots=True)
+class Exit(Event):
+    """Exit from an instrumented region."""
+
+    region: str = ""
+    path: CallPath = ()
+
+    kind = "exit"
+
+    def to_dict(self) -> dict[str, Any]:
+        d = _base_dict(self)
+        d.update(region=self.region, path=list(self.path))
+        return d
+
+
+@dataclass(slots=True)
+class Send(Event):
+    """A point-to-point send, recorded when the send call starts.
+
+    ``peer`` is the destination as a *global* rank; ``comm_id``
+    identifies the communicator; ``internal`` marks traffic generated
+    inside collective algorithms (excluded from p2p pattern analysis).
+    """
+
+    peer: int = -1
+    tag: int = 0
+    comm_id: int = 0
+    nbytes: int = 0
+    msg_id: int = -1
+    path: CallPath = ()
+    internal: bool = False
+
+    kind = "send"
+
+    def to_dict(self) -> dict[str, Any]:
+        d = _base_dict(self)
+        d.update(
+            peer=self.peer,
+            tag=self.tag,
+            comm_id=self.comm_id,
+            nbytes=self.nbytes,
+            msg_id=self.msg_id,
+            path=list(self.path),
+            internal=self.internal,
+        )
+        return d
+
+
+@dataclass(slots=True)
+class Recv(Event):
+    """A point-to-point receive, recorded at completion.
+
+    ``time`` is the completion time; ``post_time`` is when the receive
+    was posted (enter of the blocking call / the irecv).  The matching
+    ``Send`` shares ``msg_id``.
+    """
+
+    peer: int = -1
+    tag: int = 0
+    comm_id: int = 0
+    nbytes: int = 0
+    msg_id: int = -1
+    post_time: float = 0.0
+    path: CallPath = ()
+    internal: bool = False
+
+    kind = "recv"
+
+    def to_dict(self) -> dict[str, Any]:
+        d = _base_dict(self)
+        d.update(
+            peer=self.peer,
+            tag=self.tag,
+            comm_id=self.comm_id,
+            nbytes=self.nbytes,
+            msg_id=self.msg_id,
+            post_time=self.post_time,
+            path=list(self.path),
+            internal=self.internal,
+        )
+        return d
+
+
+@dataclass(slots=True)
+class CollExit(Event):
+    """Completion of a collective operation by one participant.
+
+    ``instance`` is the per-communicator collective sequence number, so
+    events of the same collective call group by ``(comm_id, instance)``.
+    ``root`` is the global rank of the root (or ``-1`` for rootless
+    operations such as barrier/alltoall).
+    """
+
+    op: str = ""
+    comm_id: int = 0
+    instance: int = -1
+    root: int = -1
+    enter_time: float = 0.0
+    bytes_sent: int = 0
+    bytes_recv: int = 0
+    path: CallPath = ()
+
+    kind = "coll"
+
+    def to_dict(self) -> dict[str, Any]:
+        d = _base_dict(self)
+        d.update(
+            op=self.op,
+            comm_id=self.comm_id,
+            instance=self.instance,
+            root=self.root,
+            enter_time=self.enter_time,
+            bytes_sent=self.bytes_sent,
+            bytes_recv=self.bytes_recv,
+            path=list(self.path),
+        )
+        return d
+
+
+@dataclass(slots=True)
+class Fork(Event):
+    """OpenMP team fork, recorded at the master location."""
+
+    team_size: int = 0
+    team_id: int = -1
+    path: CallPath = ()
+
+    kind = "fork"
+
+    def to_dict(self) -> dict[str, Any]:
+        d = _base_dict(self)
+        d.update(
+            team_size=self.team_size,
+            team_id=self.team_id,
+            path=list(self.path),
+        )
+        return d
+
+
+@dataclass(slots=True)
+class Join(Event):
+    """OpenMP team join, recorded at the master location."""
+
+    team_id: int = -1
+    path: CallPath = ()
+
+    kind = "join"
+
+    def to_dict(self) -> dict[str, Any]:
+        d = _base_dict(self)
+        d.update(team_id=self.team_id, path=list(self.path))
+        return d
+
+
+_EVENT_TYPES = {
+    cls.kind: cls for cls in (Enter, Exit, Send, Recv, CollExit, Fork, Join)
+}
+
+
+def event_from_dict(d: dict[str, Any]) -> Event:
+    """Inverse of ``Event.to_dict`` (used by the trace reader)."""
+    d = dict(d)
+    kind = d.pop("kind")
+    try:
+        cls = _EVENT_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown event kind {kind!r}") from None
+    d["loc"] = Location.parse(d["loc"])
+    if "path" in d:
+        d["path"] = tuple(d["path"])
+    return cls(**d)

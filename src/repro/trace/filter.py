@@ -1,0 +1,105 @@
+"""Trace slicing utilities.
+
+Large composite programs (figure 3.3/3.4 style) produce traces mixing
+many phases and locations; these helpers cut out the slice a question
+is about -- a time window, a set of ranks, a subtree of the call path
+-- while keeping enter/exit events balanced so downstream consumers
+(profiles, timelines, detectors) keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from .events import Enter, Event, Exit, Location
+
+
+def by_location(
+    events: Sequence[Event],
+    ranks: Optional[Iterable[int]] = None,
+    threads: Optional[Iterable[int]] = None,
+) -> list[Event]:
+    """Keep events of the given ranks and/or threads."""
+    rank_set = None if ranks is None else set(ranks)
+    thread_set = None if threads is None else set(threads)
+    out = []
+    for event in events:
+        if rank_set is not None and event.loc.rank not in rank_set:
+            continue
+        if thread_set is not None and event.loc.thread not in thread_set:
+            continue
+        out.append(event)
+    return out
+
+
+def by_callpath_prefix(
+    events: Sequence[Event], prefix: str
+) -> list[Event]:
+    """Keep events whose call path passes through region ``prefix``.
+
+    Events without a path attribute (none currently) are dropped.
+    Enter/exit of the prefix region itself are included, so the slice
+    stays balanced.
+    """
+    out = []
+    for event in events:
+        path = getattr(event, "path", None)
+        if path and prefix in path:
+            out.append(event)
+    return out
+
+
+def by_time_window(
+    events: Sequence[Event], start: float, end: float
+) -> list[Event]:
+    """Keep events within ``[start, end)``, rebalancing regions.
+
+    Regions entered before the window get a synthetic enter at
+    ``start``; regions still open at ``end`` get a synthetic exit at
+    ``end`` -- so profiles over the slice are meaningful.
+    """
+    if end < start:
+        raise ValueError("time window end must be >= start")
+    out: list[Event] = []
+    open_regions: dict[Location, list[Enter]] = {}
+    for event in sorted(events, key=lambda e: e.time):
+        if event.time < start:
+            if isinstance(event, Enter):
+                open_regions.setdefault(event.loc, []).append(event)
+            elif isinstance(event, Exit):
+                stack = open_regions.get(event.loc, [])
+                if stack and stack[-1].region == event.region:
+                    stack.pop()
+            continue
+        if event.time >= end:
+            continue
+        out.append(event)
+    # Synthetic enters for regions spanning the window start, placed
+    # before everything else in path order (outermost first).
+    synthetic: list[Event] = []
+    for loc, stack in open_regions.items():
+        for enter in stack:
+            synthetic.append(
+                Enter(start, loc, enter.region, enter.path)
+            )
+    out = synthetic + out
+    # Synthetic exits for regions left open at the window end.
+    still_open: dict[Location, list[Enter]] = {}
+    for event in out:
+        if isinstance(event, Enter):
+            still_open.setdefault(event.loc, []).append(event)
+        elif isinstance(event, Exit):
+            stack = still_open.get(event.loc, [])
+            if stack and stack[-1].region == event.region:
+                stack.pop()
+    for loc, stack in still_open.items():
+        for enter in reversed(stack):
+            out.append(Exit(end, loc, enter.region, enter.path))
+    return out
+
+
+def by_predicate(
+    events: Sequence[Event], predicate: Callable[[Event], bool]
+) -> list[Event]:
+    """Generic filter; the caller is responsible for balance."""
+    return [e for e in events if predicate(e)]

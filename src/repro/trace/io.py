@@ -1,0 +1,68 @@
+"""Trace persistence: JSON-lines writer and reader.
+
+The format is deliberately simple and line-oriented so traces can be
+inspected with standard text tools, diffed across runs (determinism
+checks) and loaded back for offline analysis -- the workflow the paper
+envisions between the ATS programs and the analysis tools under test.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .events import Event, event_from_dict
+
+FORMAT_VERSION = 1
+
+
+def write_trace(
+    path: Union[str, Path],
+    events: Iterable[Event],
+    metadata: dict | None = None,
+) -> int:
+    """Write events to ``path`` in JSONL format; returns event count.
+
+    The first line is a header record with the format version and
+    optional run metadata (program name, size, transport parameters...).
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        header = {"format": "ats-trace", "version": FORMAT_VERSION}
+        if metadata:
+            header["metadata"] = metadata
+        fh.write(json.dumps(header) + "\n")
+        for event in events:
+            fh.write(json.dumps(event.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> tuple[list[Event], dict]:
+    """Read a JSONL trace; returns ``(events, metadata)``."""
+    path = Path(path)
+    events: list[Event] = []
+    metadata: dict = {}
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(first)
+        if header.get("format") != "ats-trace":
+            raise ValueError(f"{path}: not an ats-trace file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')}"
+            )
+        metadata = header.get("metadata", {})
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(event_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, ValueError, TypeError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad event: {exc}") from exc
+    return events, metadata

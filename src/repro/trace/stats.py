@@ -1,0 +1,103 @@
+"""Trace statistics: per-region and per-location time profiles.
+
+A lightweight "profile view" over a trace, used by the overhead
+benchmarks and handy for quick inspection.  Exclusive time of a region
+is its inclusive time minus the inclusive time of its direct children.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from .events import Enter, Event, Exit, Location
+
+
+@dataclass
+class RegionProfile:
+    """Aggregated timing of one region name at one location."""
+
+    region: str
+    loc: Location
+    visits: int = 0
+    inclusive: float = 0.0
+    exclusive: float = 0.0
+
+
+@dataclass
+class TraceProfile:
+    """Profile of a whole trace."""
+
+    per_region: Dict[tuple[str, Location], RegionProfile] = field(
+        default_factory=dict
+    )
+    total_time: float = 0.0
+    locations: list[Location] = field(default_factory=list)
+
+    def region_total(self, region: str) -> float:
+        """Inclusive time of ``region`` summed over all locations."""
+        return sum(
+            p.inclusive
+            for (name, _), p in self.per_region.items()
+            if name == region
+        )
+
+    def exclusive_total(self, region: str) -> float:
+        return sum(
+            p.exclusive
+            for (name, _), p in self.per_region.items()
+            if name == region
+        )
+
+    def regions(self) -> list[str]:
+        return sorted({name for name, _ in self.per_region})
+
+
+def profile_trace(events: Sequence[Event]) -> TraceProfile:
+    """Compute inclusive/exclusive region times from enter/exit events."""
+    profile = TraceProfile()
+    stacks: dict[Location, list[tuple[str, float, float]]] = defaultdict(list)
+    # stack entries: (region, enter_time, child_inclusive_accumulated)
+    max_time = 0.0
+    for event in sorted(events, key=lambda e: e.time):
+        max_time = max(max_time, event.time)
+        if isinstance(event, Enter):
+            stacks[event.loc].append((event.region, event.time, 0.0))
+        elif isinstance(event, Exit):
+            stack = stacks[event.loc]
+            if not stack or stack[-1][0] != event.region:
+                continue  # tolerate truncated traces
+            region, start, child_incl = stack.pop()
+            inclusive = event.time - start
+            key = (region, event.loc)
+            rp = profile.per_region.setdefault(
+                key, RegionProfile(region, event.loc)
+            )
+            rp.visits += 1
+            rp.inclusive += inclusive
+            rp.exclusive += inclusive - child_incl
+            if stack:
+                parent_region, parent_start, parent_child = stack[-1]
+                stack[-1] = (
+                    parent_region,
+                    parent_start,
+                    parent_child + inclusive,
+                )
+    profile.total_time = max_time
+    profile.locations = sorted({e.loc for e in events})
+    return profile
+
+
+def format_profile(profile: TraceProfile, top: int = 20) -> str:
+    """Human-readable profile table (aggregated over locations)."""
+    agg: dict[str, list[float]] = defaultdict(lambda: [0, 0.0, 0.0])
+    for (region, _), rp in profile.per_region.items():
+        agg[region][0] += rp.visits
+        agg[region][1] += rp.inclusive
+        agg[region][2] += rp.exclusive
+    rows = sorted(agg.items(), key=lambda kv: -kv[1][2])[:top]
+    lines = [f"{'region':<28}{'visits':>8}{'incl(s)':>12}{'excl(s)':>12}"]
+    for region, (visits, incl, excl) in rows:
+        lines.append(f"{region:<28}{visits:>8}{incl:>12.6f}{excl:>12.6f}")
+    return "\n".join(lines) + "\n"

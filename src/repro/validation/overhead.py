@@ -1,0 +1,140 @@
+"""Instrumentation-overhead measurement (paper chapter 2).
+
+Benchmark suites "can be used to give an idea of how much the
+instrumentation added by a tool affects performance, i.e., of the
+overhead introduced by the tool".  Two overhead notions apply here:
+
+* **virtual distortion** -- with a non-zero per-event intrusion cost
+  the simulated program itself slows down and its waiting pattern can
+  shift (what the paper calls *intrusiveness*),
+* **measurement cost** -- wall-clock time and memory the tracing layer
+  spends, measured on the host.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..analysis import analyze_run
+from ..simmpi.runtime import run_mpi
+from ..simmpi.transport import TransportParams
+
+
+@dataclass
+class OverheadReport:
+    """Overhead of instrumenting one program at one intrusion level."""
+
+    program: str
+    intrusion_per_event: float
+    clean_virtual_time: float
+    traced_virtual_time: float
+    events: int
+    clean_wall_time: float
+    traced_wall_time: float
+    #: severity shift: max over properties of |traced - clean| severity
+    max_severity_shift: float
+
+    @property
+    def virtual_dilation(self) -> float:
+        if self.clean_virtual_time <= 0:
+            return 0.0
+        return (
+            self.traced_virtual_time / self.clean_virtual_time - 1.0
+        )
+
+    def format(self) -> str:
+        return (
+            f"{self.program}: intrusion={self.intrusion_per_event:g}s/evt"
+            f" events={self.events}"
+            f" dilation={self.virtual_dilation:+.2%}"
+            f" severity-shift={self.max_severity_shift:.4f}"
+            f" wall {self.clean_wall_time * 1e3:.1f}ms ->"
+            f" {self.traced_wall_time * 1e3:.1f}ms\n"
+        )
+
+
+def measure_overhead(
+    main: Callable,
+    size: int = 4,
+    intrusion: float = 0.0,
+    transport: Optional[TransportParams] = None,
+    seed: int = 0,
+    name: Optional[str] = None,
+    reference_severities: Optional[dict] = None,
+    **kwargs: Any,
+) -> OverheadReport:
+    """Compare a clean run against an instrumented run of ``main``."""
+    t0 = time.perf_counter()
+    clean = run_mpi(
+        main, size, transport=transport, trace=False, seed=seed, **kwargs
+    )
+    clean_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    traced = run_mpi(
+        main,
+        size,
+        transport=transport,
+        trace=True,
+        intrusion=intrusion,
+        seed=seed,
+        **kwargs,
+    )
+    traced_wall = time.perf_counter() - t0
+    severities = analyze_run(traced).severities_by_property()
+    if reference_severities is None:
+        reference_severities = {}
+    keys = set(severities) | set(reference_severities)
+    shift = max(
+        (
+            abs(
+                severities.get(k, 0.0) - reference_severities.get(k, 0.0)
+            )
+            for k in keys
+        ),
+        default=0.0,
+    )
+    return OverheadReport(
+        program=name or getattr(main, "__name__", "program"),
+        intrusion_per_event=intrusion,
+        clean_virtual_time=clean.final_time,
+        traced_virtual_time=traced.final_time,
+        events=len(traced.events),
+        clean_wall_time=clean_wall,
+        traced_wall_time=traced_wall,
+        max_severity_shift=shift,
+    )
+
+
+def intrusion_sweep(
+    main: Callable,
+    intrusions: Sequence[float],
+    size: int = 4,
+    name: Optional[str] = None,
+    seed: int = 0,
+    **kwargs: Any,
+) -> list[OverheadReport]:
+    """Measure overhead across intrusion levels; the first level is the
+    reference for severity-shift computation."""
+    reports = []
+    reference: Optional[dict] = None
+    for level in intrusions:
+        traced = run_mpi(
+            main, size, trace=True, intrusion=level, seed=seed, **kwargs
+        )
+        severities = analyze_run(traced).severities_by_property()
+        if reference is None:
+            reference = severities
+        reports.append(
+            measure_overhead(
+                main,
+                size=size,
+                intrusion=level,
+                reference_severities=reference,
+                name=name,
+                seed=seed,
+                **kwargs,
+            )
+        )
+    return reports

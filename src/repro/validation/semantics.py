@@ -1,0 +1,104 @@
+"""Semantics-preservation checking (paper chapter 2).
+
+"First, the test suite is executed on the target system.  Second, ...
+the validation suite is executed again, but this time with
+instrumentation added by the performance analysis tool.  The result of
+both runs must be the same."
+
+``check_semantics`` runs a program with and without instrumentation
+(and optionally with intrusive instrumentation) and compares the
+computed results -- the direct analogue of instrumenting an MPI
+validation suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..simmpi.runtime import run_mpi
+from ..simmpi.transport import TransportParams
+
+
+def _results_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _results_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (np.isnan(a) and np.isnan(b))
+    return bool(a == b)
+
+
+@dataclass
+class SemanticsReport:
+    """Outcome of one semantics-preservation check."""
+
+    program: str
+    results_equal: bool
+    timing_distortion: float  # (instrumented - clean) / clean run time
+    clean_time: float
+    instrumented_time: float
+    events_recorded: int
+
+    @property
+    def semantics_preserved(self) -> bool:
+        return self.results_equal
+
+    def format(self) -> str:
+        verdict = "PASS" if self.results_equal else "FAIL"
+        return (
+            f"{self.program}: semantics {verdict}; run time "
+            f"{self.clean_time:.6f}s -> {self.instrumented_time:.6f}s "
+            f"({self.timing_distortion:+.2%} distortion, "
+            f"{self.events_recorded} events)\n"
+        )
+
+
+def check_semantics(
+    main: Callable,
+    size: int = 4,
+    intrusion: float = 0.0,
+    transport: Optional[TransportParams] = None,
+    seed: int = 0,
+    name: Optional[str] = None,
+    **kwargs: Any,
+) -> SemanticsReport:
+    """Run ``main`` uninstrumented and instrumented; compare results.
+
+    With ``intrusion == 0`` the instrumented run must also take exactly
+    the same virtual time (perfectly non-intrusive measurement); with
+    ``intrusion > 0`` the report quantifies the timing distortion, the
+    paper's *intrusiveness* aspect.
+    """
+    clean = run_mpi(
+        main, size, transport=transport, trace=False, seed=seed, **kwargs
+    )
+    instrumented = run_mpi(
+        main,
+        size,
+        transport=transport,
+        trace=True,
+        intrusion=intrusion,
+        seed=seed,
+        **kwargs,
+    )
+    distortion = (
+        (instrumented.final_time - clean.final_time) / clean.final_time
+        if clean.final_time > 0
+        else 0.0
+    )
+    return SemanticsReport(
+        program=name or getattr(main, "__name__", "program"),
+        results_equal=_results_equal(
+            clean.results, instrumented.results
+        ),
+        timing_distortion=distortion,
+        clean_time=clean.final_time,
+        instrumented_time=instrumented.final_time,
+        events_recorded=len(instrumented.events),
+    )

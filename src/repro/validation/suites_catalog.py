@@ -1,0 +1,155 @@
+"""The benchmark/validation-suite and application collections.
+
+Paper chapters 2 and 4 are curated link collections: validation suites
+(to check semantics preservation), benchmark suites (to estimate
+overhead) and real applications with documented performance behaviour.
+This module encodes those collections as structured, queryable data --
+the "WWW collection of resources" the ATS framework was to publish --
+including the paper's full initial list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One catalogued external suite or application."""
+
+    name: str
+    category: str  # validation | benchmark | application
+    paradigm: str  # mpi | pvm | openmp | hybrid | any
+    url: str
+    description: str = ""
+    origin: str = ""
+
+
+#: paper section 2.1 -- MPI validation suites
+_ENTRIES: Tuple[SuiteEntry, ...] = (
+    SuiteEntry(
+        "MPICH test suite", "validation", "mpi",
+        "ftp://ftp.mcs.anl.gov/pub/mpi/mpi-test/mpich-test.tar.gz",
+        "MPICH's own conformance tests", "Argonne National Laboratory",
+    ),
+    SuiteEntry(
+        "IBM MPI test suite", "validation", "mpi",
+        "http://www-unix.mcs.anl.gov/mpi/mpi-test/ibmsuite.html",
+        "IBM's MPI test suite", "IBM",
+    ),
+    SuiteEntry(
+        "MPICH version of the IBM test suite", "validation", "mpi",
+        "ftp://ftp.mcs.anl.gov/pub/mpi/mpi-test/mpichibm.tar",
+        "IBM suite adapted to MPICH", "ANL and IBM",
+    ),
+    SuiteEntry(
+        "Intel MPI 1.1 test suite", "validation", "mpi",
+        "ftp://ftp.mcs.anl.gov/pub/mpi/mpi-test/intel-mpitest.tgz",
+        "comprehensive test suite for MPI 1.1", "Intel",
+    ),
+    SuiteEntry(
+        "MPICH version of the Intel test suite", "validation", "mpi",
+        "ftp://ftp.mcs.anl.gov/pub/mpi/mpi-test/intel-mpitest-patched.tgz",
+        "Intel suite patched for MPICH", "ANL and Intel",
+    ),
+    # paper section 2.2 -- MPI benchmark suites
+    SuiteEntry(
+        "PARKBENCH", "benchmark", "mpi",
+        "http://www.netlib.org/parkbench/",
+        "PARallel Kernels and BENCHmarks", "PARKBENCH committee",
+    ),
+    SuiteEntry(
+        "PMB", "benchmark", "mpi",
+        "http://www.pallas.com/e/products/pmb/",
+        "Pallas MPI Benchmarks", "Pallas",
+    ),
+    SuiteEntry(
+        "SKaMPI", "benchmark", "mpi",
+        "http://liinwww.ira.uka.de/~skampi/",
+        "Special Karlsruher MPI-Benchmark", "U Karlsruhe",
+    ),
+    # paper section 2.3 -- PVM
+    SuiteEntry(
+        "PVM test suite", "validation", "pvm",
+        "http://www.epm.ornl.gov/pvm/tester.html",
+        "PVM's own tester", "Oak Ridge National Laboratory",
+    ),
+    SuiteEntry(
+        "Grindstone", "validation", "pvm",
+        "http://www.cs.umd.edu/~hollings/papers/grindstone.html",
+        "a test suite for parallel performance tools (9 PVM programs); "
+        "the closest predecessor of ATS",
+        "U Maryland",
+    ),
+    # paper section 2.5 -- OpenMP benchmarks (2.4: no OpenMP validation
+    # suites existed at the time of writing)
+    SuiteEntry(
+        "EPCC OpenMP Microbenchmarks", "benchmark", "openmp",
+        "http://www.epcc.ed.ac.uk/research/openmpbench/openmp_index.html",
+        "synchronization/scheduling overhead microbenchmarks", "EPCC",
+    ),
+    # paper section 2.6 -- hybrid
+    SuiteEntry(
+        "LAMB", "benchmark", "hybrid",
+        "http://www.c3.lanl.gov/par_arch/CODES/LAMB/lamb.html",
+        "Los Alamos MicroBenchmarks: MPI plus Pthreads/OpenMP, based on "
+        "SKaMPI and the EPCC suite",
+        "Los Alamos National Laboratory",
+    ),
+    # paper chapter 4 -- applications
+    SuiteEntry(
+        "NAS Parallel Benchmarks", "application", "mpi",
+        "http://www.nas.nasa.gov/Software/NPB/",
+        "the NPB suite of CFD kernels and pseudo-applications", "NASA",
+    ),
+    SuiteEntry(
+        "ASCI Purple Benchmark Codes", "application", "mpi",
+        "http://www.llnl.gov/asci/purple/benchmarks/limited/code_list.html",
+        "procurement benchmark codes", "LLNL",
+    ),
+    SuiteEntry(
+        "ASCI Blue Benchmark Codes", "application", "mpi",
+        "http://www.llnl.gov/asci_benchmarks/asci/asci_code_list.html",
+        "procurement benchmark codes", "LLNL",
+    ),
+)
+
+VALID_CATEGORIES = ("validation", "benchmark", "application")
+
+
+def all_entries() -> Tuple[SuiteEntry, ...]:
+    """The complete catalog, in the paper's chapter order."""
+    return _ENTRIES
+
+
+def find_suites(
+    category: Optional[str] = None,
+    paradigm: Optional[str] = None,
+) -> list[SuiteEntry]:
+    """Query the catalog by category and/or paradigm."""
+    if category is not None and category not in VALID_CATEGORIES:
+        raise ValueError(
+            f"unknown category {category!r}; one of {VALID_CATEGORIES}"
+        )
+    out = []
+    for entry in _ENTRIES:
+        if category is not None and entry.category != category:
+            continue
+        if paradigm is not None and entry.paradigm != paradigm:
+            continue
+        out.append(entry)
+    return out
+
+
+def format_catalog() -> str:
+    """Render the catalog the way the paper's chapter 2 lists it."""
+    lines = []
+    for category in VALID_CATEGORIES:
+        lines.append(f"== {category} suites ==")
+        for entry in find_suites(category=category):
+            lines.append(
+                f"  [{entry.paradigm:>6}] {entry.name} -- "
+                f"{entry.description} ({entry.url})"
+            )
+    return "\n".join(lines) + "\n"

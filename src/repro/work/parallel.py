@@ -1,0 +1,65 @@
+"""Parallel work specification (paper section 3.1.1).
+
+``par_do_mpi_work`` and ``par_do_omp_work`` are collective-style calls:
+every participant of the parallel construct calls them, determines its
+own rank/size, evaluates the distribution for itself and performs the
+resulting amount of sequential work.  The paper shows the MPI variant's
+complete implementation; these are line-for-line equivalents.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..distributions import DistrDescriptor
+from ..distributions.functions import DistrFunc
+from ..simkernel import current_process
+from .virtual import do_work
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simmpi.communicator import Communicator
+    from ..simomp.team import Team
+
+
+def par_do_mpi_work(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    sf: float,
+    comm: "Communicator",
+) -> None:
+    """Distributed work over the processes of an MPI communicator.
+
+    Equivalent of the paper's::
+
+        void par_do_mpi_work(distr_func_t df, distr_t* dd,
+                             double sf, MPI_Comm c)
+        {
+          int me, sz;
+          MPI_Comm_rank(c, &me);  MPI_Comm_size(c, &sz);
+          do_work(df(me, sz, sf, dd));
+        }
+    """
+    me = comm.rank()
+    sz = comm.size()
+    do_work(df(me, sz, sf, dd))
+
+
+def par_do_omp_work(
+    df: DistrFunc,
+    dd: DistrDescriptor,
+    sf: float,
+) -> None:
+    """Distributed work over the threads of the active OpenMP team.
+
+    The participants are "specified implicitly by the active OpenMP
+    thread team" (paper) -- here via the team binding the OpenMP runtime
+    stores in the process context.  Outside any parallel region this
+    degrades to a single-participant team, matching OpenMP's sequential
+    semantics outside parallel constructs.
+    """
+    proc = current_process()
+    team = proc.context.get("omp_team")
+    if team is None:
+        do_work(df(0, 1, sf, dd))
+    else:
+        do_work(df(team.thread_num_of(proc), team.size, sf, dd))

@@ -1,0 +1,126 @@
+"""Faithful port of the paper's wall-clock ``do_work`` implementation.
+
+Paper section 3.1.1: "Our current implementation uses a loop of random
+read and write accesses to elements of two arrays.  Through the use of
+random access and the relatively large size of the arrays, the
+execution time should not be influenced by the cache behavior of the
+underlying processor.  In a configuration phase during installation ...
+the number of iterations of this loop which represent one second is
+calculated through the use of calibration programs."
+
+This module implements exactly that: two large arrays, random
+read/write accesses driven by the lock-free :class:`~repro.simkernel.Lcg64`
+(the paper's own fix for the serializing thread-safe ``rand()``), and a
+calibration step that measures iterations per second.  It intentionally
+does **not** call timing functions inside the work loop, for the
+paper's stated reason (system-call cost and unreliability) -- which also
+means, as the paper notes, it "cannot be used to validate time
+measurements".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simkernel import Lcg64
+
+#: array sizes chosen "relatively large" so random accesses defeat caches;
+#: 1 Mi doubles = 8 MiB per array, larger than typical L2.
+ARRAY_ELEMENTS = 1 << 20
+
+_BATCH = 4096
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Result of the configuration phase: loop iterations per second."""
+
+    iterations_per_second: float
+    measured_seconds: float
+    measured_iterations: int
+
+    def iterations_for(self, secs: float) -> int:
+        """Iterations approximating ``secs`` of busy work."""
+        if secs < 0:
+            raise ValueError("work amount must be non-negative")
+        return max(0, int(round(secs * self.iterations_per_second)))
+
+
+class RealWorker:
+    """A calibrated busy-loop worker bound to one thread/process.
+
+    Each instance owns its arrays and RNG stream, so concurrent workers
+    never share mutable state (the lock-free design the paper adopted).
+    """
+
+    def __init__(self, seed: int = 0, elements: int = ARRAY_ELEMENTS):
+        if elements < 2:
+            raise ValueError("need at least two array elements")
+        self._rng = Lcg64(seed)
+        self._src = np.arange(elements, dtype=np.float64)
+        self._dst = np.zeros(elements, dtype=np.float64)
+        self._elements = elements
+        self.calibration: Calibration | None = None
+
+    def _run_iterations(self, iterations: int) -> None:
+        """The work loop: random reads from one array, writes to the other.
+
+        Vectorized in batches (per the repo's HPC-Python guidance) while
+        preserving the random-access memory pattern of the C original.
+        """
+        rng = self._rng
+        n = self._elements
+        remaining = iterations
+        while remaining > 0:
+            batch = min(_BATCH, remaining)
+            # Two independent random index streams, derived from the
+            # lock-free generator (cheap; indices need not be perfect).
+            base = rng.next_u64()
+            reads = (
+                np.arange(batch, dtype=np.uint64) * np.uint64(2654435761)
+                + np.uint64(base)
+            ) % np.uint64(n)
+            writes = (
+                np.arange(batch, dtype=np.uint64) * np.uint64(40503)
+                + np.uint64(base >> 17)
+            ) % np.uint64(n)
+            self._dst[writes] = self._src[reads] * 1.0000001
+            remaining -= batch
+
+    def calibrate(self, target_seconds: float = 0.05) -> Calibration:
+        """Configuration phase: measure iterations per wall-clock second."""
+        if target_seconds <= 0:
+            raise ValueError("calibration time must be positive")
+        iterations = _BATCH
+        elapsed = 0.0
+        # Grow the trial until it runs long enough to time reliably.
+        while True:
+            start = time.perf_counter()
+            self._run_iterations(iterations)
+            elapsed = time.perf_counter() - start
+            if elapsed >= target_seconds or iterations >= (1 << 26):
+                break
+            iterations *= 2
+        rate = iterations / max(elapsed, 1e-9)
+        self.calibration = Calibration(
+            iterations_per_second=rate,
+            measured_seconds=elapsed,
+            measured_iterations=iterations,
+        )
+        return self.calibration
+
+    def do_work(self, secs: float) -> None:
+        """Busy-work for approximately ``secs`` wall-clock seconds.
+
+        Requires a prior :meth:`calibrate` (the paper's install-time
+        configuration phase).
+        """
+        if self.calibration is None:
+            raise RuntimeError(
+                "RealWorker.do_work requires calibrate() first "
+                "(the paper's configuration phase)"
+            )
+        self._run_iterations(self.calibration.iterations_for(secs))

@@ -1,0 +1,95 @@
+"""Tests for analysis comparison (regression detection)."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisResult,
+    Finding,
+    analyze_run,
+    compare_analyses,
+)
+from repro.core import get_property
+from repro.trace import Location
+
+L0 = Location(0, 0)
+
+
+def result_with(severities, total=10.0):
+    findings = [
+        Finding(prop, ("main",), L0, sev * total)
+        for prop, sev in severities.items()
+    ]
+    return AnalysisResult(findings=findings, total_time=total,
+                          locations=[L0])
+
+
+def test_identical_analyses_show_no_change():
+    a = result_with({"late_sender": 0.3})
+    report = compare_analyses(a, result_with({"late_sender": 0.3}))
+    assert not report.is_regression
+    assert report.lost == () and report.gained == ()
+    assert report.max_abs_shift() == pytest.approx(0.0)
+    assert "unchanged" in report.format()
+
+
+def test_lost_property_is_a_regression():
+    before = result_with({"late_sender": 0.3, "wait_at_barrier": 0.2})
+    after = result_with({"wait_at_barrier": 0.2})
+    report = compare_analyses(before, after)
+    assert report.is_regression
+    assert report.lost == ("late_sender",)
+    assert "LOST" in report.format()
+
+
+def test_gained_property_reported():
+    before = result_with({"late_sender": 0.3})
+    after = result_with({"late_sender": 0.3, "late_receiver": 0.1})
+    report = compare_analyses(before, after)
+    assert not report.is_regression
+    assert report.gained == ("late_receiver",)
+
+
+def test_severity_shift_quantified():
+    before = result_with({"late_sender": 0.3})
+    after = result_with({"late_sender": 0.2})
+    report = compare_analyses(before, after)
+    delta = report.deltas["late_sender"]
+    assert delta.delta == pytest.approx(-0.1)
+    assert delta.relative == pytest.approx(-1 / 3)
+    assert report.max_abs_shift() == pytest.approx(0.1)
+
+
+def test_relative_shift_from_zero_is_infinite():
+    before = result_with({})
+    after = result_with({"late_sender": 0.2})
+    report = compare_analyses(before, after, threshold=0.05)
+    assert report.deltas["late_sender"].relative == float("inf")
+    assert report.gained == ("late_sender",)
+
+
+def test_threshold_controls_detection_sets():
+    before = result_with({"late_sender": 0.04})
+    after = result_with({"late_sender": 0.004})
+    # at 1%: property lost; at 10%: it never counted
+    assert compare_analyses(before, after, 0.01).is_regression
+    assert not compare_analyses(before, after, 0.10).is_regression
+
+
+def test_real_runs_compare_cleanly():
+    """The intended workflow: same program, two analyzer versions."""
+    run = get_property("late_sender").run(size=4)
+    full = analyze_run(run)
+    # a 'broken' tool version: battery without the late-sender detector
+    from repro.analysis.detectors import (
+        DEFAULT_DETECTORS,
+        LateSenderDetector,
+    )
+
+    crippled_battery = [
+        d for d in DEFAULT_DETECTORS
+        if not isinstance(d, LateSenderDetector)
+    ]
+    crippled = analyze_run(run, detectors=crippled_battery)
+    report = compare_analyses(full, crippled)
+    assert report.is_regression
+    assert "late_sender" in report.lost

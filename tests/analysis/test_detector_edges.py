@@ -1,0 +1,153 @@
+"""Detector edge cases on hand-built traces, and suite-wide
+consistency between registry, detectors, ASL catalog and hierarchy."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.detectors import (
+    DEFAULT_DETECTORS,
+    EarlyRootDetector,
+    InitOverheadDetector,
+    LateRootDetector,
+    OmpImbalanceDetector,
+    WaitAtNxNDetector,
+)
+from repro.trace import Location, TraceRecorder
+
+L0, L1, L2 = Location(0, 0), Location(1, 0), Location(2, 0)
+CFG = AnalysisConfig(noise_floor=1e-6)
+
+
+def test_late_root_without_root_event_is_skipped():
+    """A collective whose root is outside the traced location set
+    (e.g. a filtered trace slice) must not crash the detector."""
+    rec = TraceRecorder()
+    rec.coll_exit(1.0, L1, op="MPI_Bcast", comm_id=0, instance=0,
+                  root=5, enter_time=0.5)
+    assert list(LateRootDetector().detect(rec.events, CFG)) == []
+
+
+def test_late_root_prompt_root_produces_nothing():
+    rec = TraceRecorder()
+    for loc, enter in ((L0, 0.0), (L1, 0.5), (L2, 0.5)):
+        rec.coll_exit(0.6, loc, op="MPI_Bcast", comm_id=0, instance=0,
+                      root=0, enter_time=enter)
+    # root entered FIRST: nobody waits for it
+    assert list(LateRootDetector().detect(rec.events, CFG)) == []
+
+
+def test_early_root_without_contributors_is_skipped():
+    rec = TraceRecorder()
+    rec.coll_exit(1.0, L0, op="MPI_Reduce", comm_id=0, instance=0,
+                  root=0, enter_time=0.0)
+    assert list(EarlyRootDetector().detect(rec.events, CFG)) == []
+
+
+def test_early_root_late_root_produces_nothing():
+    rec = TraceRecorder()
+    rec.coll_exit(1.0, L0, op="MPI_Reduce", comm_id=0, instance=0,
+                  root=0, enter_time=0.9)  # root arrives last
+    rec.coll_exit(1.0, L1, op="MPI_Reduce", comm_id=0, instance=0,
+                  root=0, enter_time=0.1)
+    assert list(EarlyRootDetector().detect(rec.events, CFG)) == []
+
+
+def test_nxn_single_participant_no_wait():
+    rec = TraceRecorder()
+    rec.coll_exit(1.0, L0, op="MPI_Alltoall", comm_id=0, instance=0,
+                  root=-1, enter_time=0.0)
+    assert list(WaitAtNxNDetector().detect(rec.events, CFG)) == []
+
+
+def test_nxn_distinct_instances_not_mixed():
+    rec = TraceRecorder()
+    # instance 0: both enter at 0.0 (balanced)
+    for loc in (L0, L1):
+        rec.coll_exit(0.1, loc, op="MPI_Alltoall", comm_id=0,
+                      instance=0, root=-1, enter_time=0.0)
+    # instance 1: L1 late
+    rec.coll_exit(1.1, L0, op="MPI_Alltoall", comm_id=0, instance=1,
+                  root=-1, enter_time=0.2)
+    rec.coll_exit(1.1, L1, op="MPI_Alltoall", comm_id=0, instance=1,
+                  root=-1, enter_time=1.0)
+    findings = list(WaitAtNxNDetector().detect(rec.events, CFG))
+    assert len(findings) == 1
+    assert findings[0].loc == L0
+    assert findings[0].wait_time == pytest.approx(0.8)
+
+
+def test_init_overhead_counts_both_init_and_finalize():
+    rec = TraceRecorder()
+    rec.enter(0.0, L0, "MPI_Init")
+    rec.exit(0.5, L0, "MPI_Init")
+    rec.enter(9.0, L0, "MPI_Finalize")
+    rec.exit(9.25, L0, "MPI_Finalize")
+    findings = list(InitOverheadDetector().detect(rec.events, CFG))
+    assert sum(f.wait_time for f in findings) == pytest.approx(0.75)
+
+
+def test_omp_imbalance_ignores_unknown_regions():
+    rec = TraceRecorder()
+    rec.enter(0.0, L0, "omp_something_else")
+    rec.exit(1.0, L0, "omp_something_else")
+    assert list(OmpImbalanceDetector().detect(rec.events, CFG)) == []
+
+
+# ----------------------------------------------------------------------
+# suite-wide consistency
+# ----------------------------------------------------------------------
+
+def test_every_detector_output_is_in_asl_catalog():
+    from repro.asl import ANALYZER_PROPERTY_IDS
+
+    producible = set()
+    for detector in DEFAULT_DETECTORS:
+        producible |= set(detector.produces)
+    missing = producible - set(ANALYZER_PROPERTY_IDS)
+    assert not missing, f"detector outputs missing from ASL: {missing}"
+
+
+def test_every_detector_output_is_in_hierarchy():
+    from repro.analysis.hierarchy import PARENT
+
+    producible = set()
+    for detector in DEFAULT_DETECTORS:
+        producible |= set(detector.produces)
+    missing = producible - set(PARENT)
+    assert not missing, f"detector outputs missing from hierarchy: {missing}"
+
+
+def test_every_registry_expectation_is_producible():
+    from repro.core import list_properties
+
+    producible = set()
+    for detector in DEFAULT_DETECTORS:
+        producible |= set(detector.produces)
+    for spec in list_properties():
+        unknown = set(spec.expected) - producible
+        assert not unknown, (
+            f"{spec.name} expects {unknown} which no detector produces"
+        )
+
+
+def test_registry_names_are_unique_regions():
+    """Property function names double as trace regions; collisions with
+    runtime region names would corrupt call-path localization."""
+    from repro.core import list_properties
+
+    runtime_regions = {
+        "MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Irecv", "MPI_Wait",
+        "MPI_Waitall", "MPI_Waitany", "MPI_Sendrecv", "MPI_Probe",
+        "MPI_Barrier", "MPI_Bcast", "MPI_Reduce", "MPI_Allreduce",
+        "MPI_Scatter", "MPI_Scatterv", "MPI_Gather", "MPI_Gatherv",
+        "MPI_Allgather", "MPI_Alltoall", "MPI_Scan", "MPI_Exscan",
+        "MPI_Reduce_scatter", "MPI_Comm_split", "MPI_Comm_dup",
+        "MPI_Cart_create", "MPI_Init", "MPI_Finalize",
+        "omp_parallel", "omp_barrier", "omp_for", "omp_sections",
+        "omp_critical", "omp_lock", "omp_ibarrier_parallel",
+        "omp_ibarrier_for", "omp_ibarrier_sections",
+        "omp_ibarrier_single", "omp_ibarrier_reduce",
+        "work", "io_read", "io_write",
+    }
+    for spec in list_properties():
+        assert spec.name not in runtime_regions, spec.name

@@ -1,0 +1,178 @@
+"""Detector unit tests on hand-built and synthesized traces."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_events, analyze_run
+from repro.analysis.detectors import (
+    LateReceiverDetector,
+    LateSenderDetector,
+    WaitAtBarrierDetector,
+    iter_region_visits,
+    matched_p2p_pairs,
+)
+from repro.simmpi import MPI_INT, TransportParams, alloc_mpi_buf, run_mpi
+from repro.trace import Location, TraceRecorder
+from repro.work import do_work
+
+L0, L1 = Location(0, 0), Location(1, 0)
+CFG = AnalysisConfig(eager_threshold=1000, noise_floor=1e-6)
+
+
+def hand_trace_late_sender(wait=0.5):
+    """recv posted at 1.0; send starts at 1.0+wait."""
+    rec = TraceRecorder()
+    rec.enter(0.0, L0, "main")
+    rec.enter(0.0, L1, "main")
+    msg = rec.new_msg_id()
+    rec.send(1.0 + wait, L0, peer=1, tag=0, comm_id=0, nbytes=8,
+             msg_id=msg)
+    rec.recv(1.0 + wait + 0.01, L1, peer=0, tag=0, comm_id=0, nbytes=8,
+             msg_id=msg, post_time=1.0)
+    rec.exit(2.0, L0, "main")
+    rec.exit(2.0, L1, "main")
+    return rec.events
+
+
+def test_late_sender_detector_computes_wait():
+    findings = list(
+        LateSenderDetector().detect(hand_trace_late_sender(0.5), CFG)
+    )
+    assert len(findings) == 1
+    assert findings[0].wait_time == pytest.approx(0.5)
+    assert findings[0].loc == L1
+    assert findings[0].property == "late_sender"
+
+
+def test_late_sender_detector_ignores_prompt_sends():
+    findings = list(
+        LateSenderDetector().detect(hand_trace_late_sender(0.0), CFG)
+    )
+    assert findings == []
+
+
+def test_late_sender_ignores_internal_messages():
+    rec = TraceRecorder()
+    msg = rec.new_msg_id()
+    rec.send(2.0, L0, peer=1, tag=0, comm_id=0, nbytes=8, msg_id=msg,
+             internal=True)
+    rec.recv(2.1, L1, peer=0, tag=0, comm_id=0, nbytes=8, msg_id=msg,
+             post_time=0.0, internal=True)
+    assert list(LateSenderDetector().detect(rec.events, CFG)) == []
+
+
+def test_late_receiver_requires_rendezvous_size():
+    rec = TraceRecorder()
+    for nbytes, expect in ((100, 0), (5000, 1)):
+        msg = rec.new_msg_id()
+        rec.send(1.0, L0, peer=1, tag=0, comm_id=0, nbytes=nbytes,
+                 msg_id=msg)
+        rec.recv(2.5, L1, peer=0, tag=0, comm_id=0, nbytes=nbytes,
+                 msg_id=msg, post_time=2.0)
+    findings = list(LateReceiverDetector().detect(rec.events, CFG))
+    assert len(findings) == 1
+    assert findings[0].wait_time == pytest.approx(1.0)
+    assert findings[0].loc == L0  # charged to the sender
+
+
+def test_wait_at_barrier_detector_groups_instances():
+    rec = TraceRecorder()
+    # one barrier: ranks enter at 1.0 and 3.0
+    for loc, enter in ((L0, 1.0), (L1, 3.0)):
+        rec.coll_exit(3.1, loc, op="MPI_Barrier", comm_id=0, instance=0,
+                      root=-1, enter_time=enter)
+    findings = list(WaitAtBarrierDetector().detect(rec.events, CFG))
+    assert len(findings) == 1
+    assert findings[0].loc == L0
+    assert findings[0].wait_time == pytest.approx(2.0)
+
+
+def test_noise_floor_suppresses_microscopic_waits():
+    cfg = AnalysisConfig(noise_floor=1.0)
+    findings = list(
+        LateSenderDetector().detect(hand_trace_late_sender(0.5), cfg)
+    )
+    assert findings == []
+
+
+def test_matched_p2p_pairs_skips_unmatched():
+    rec = TraceRecorder()
+    rec.send(0.0, L0, peer=1, tag=0, comm_id=0, nbytes=8,
+             msg_id=rec.new_msg_id())
+    assert list(matched_p2p_pairs(rec.events)) == []
+
+
+def test_iter_region_visits_computes_child_time():
+    rec = TraceRecorder()
+    rec.enter(0.0, L0, "outer")
+    rec.enter(1.0, L0, "inner")
+    rec.exit(3.0, L0, "inner")
+    rec.exit(5.0, L0, "outer")
+    visits = {v.region: v for v in iter_region_visits(rec.events)}
+    assert visits["inner"].inclusive == pytest.approx(2.0)
+    assert visits["outer"].inclusive == pytest.approx(5.0)
+    assert visits["outer"].child_time == pytest.approx(2.0)
+    assert visits["outer"].exclusive == pytest.approx(3.0)
+
+
+def test_iter_region_visits_tolerates_unclosed():
+    rec = TraceRecorder()
+    rec.enter(0.0, L0, "open")
+    assert list(iter_region_visits(rec.events)) == []
+
+
+# ----------------------------------------------------------------------
+# analyzer plumbing
+# ----------------------------------------------------------------------
+
+def test_analyze_events_defaults_total_time_to_last_event():
+    events = hand_trace_late_sender(0.5)
+    result = analyze_events(events)
+    assert result.total_time == pytest.approx(2.0)
+    assert result.locations == [L0, L1]
+
+
+def test_analyze_run_requires_trace():
+    result = run_mpi(lambda comm: None, 2, trace=False,
+                     model_init_overhead=False)
+    with pytest.raises(ValueError, match="untraced"):
+        analyze_run(result)
+
+
+def test_analyze_run_inherits_eager_threshold():
+    """Analyzer must adopt the run's protocol switch point."""
+    transport = TransportParams(eager_threshold=100)
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 64)  # 256 B: rendezvous here
+        if comm.rank() == 0:
+            comm.send(buf, 1)
+        else:
+            do_work(0.05)
+            comm.recv(buf, 0)
+
+    result = run_mpi(main, 2, transport=transport,
+                     model_init_overhead=False)
+    analysis = analyze_run(result)
+    assert "late_receiver" in analysis.detected(0.01)
+
+
+def test_custom_detector_battery():
+    events = hand_trace_late_sender(0.5)
+    result = analyze_events(events, detectors=[WaitAtBarrierDetector()])
+    assert result.findings == []
+
+
+def test_analysis_from_persisted_trace(tmp_path):
+    """Offline workflow: run -> write trace -> read -> analyze."""
+    from repro.core import get_property
+    from repro.trace import read_trace, write_trace
+
+    run = get_property("late_sender").run(size=4)
+    path = tmp_path / "t.jsonl"
+    write_trace(path, run.events)
+    events, _ = read_trace(path)
+    offline = analyze_events(events, total_time=run.final_time)
+    online = analyze_run(run)
+    assert offline.severities_by_property() == pytest.approx(
+        online.severities_by_property()
+    )

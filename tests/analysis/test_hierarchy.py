@@ -1,0 +1,115 @@
+"""Property hierarchy (EXPERT tree pane) tests."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisResult,
+    Finding,
+    analyze_run,
+    format_property_tree,
+    severity_tree,
+)
+from repro.analysis.hierarchy import PARENT, ROOT, ancestors, children_of
+from repro.asl import ANALYZER_PROPERTY_IDS
+from repro.core import get_property, run_all_mpi_properties
+from repro.trace import Location
+
+L0 = Location(0, 0)
+
+
+def test_every_analyzer_property_reaches_the_root():
+    for prop in ANALYZER_PROPERTY_IDS:
+        chain = ancestors(prop)
+        assert chain, f"{prop} has no parent"
+        assert chain[-1] == ROOT
+
+
+def test_children_of_inverse_of_parent():
+    for child, parent in PARENT.items():
+        assert child in children_of(parent)
+
+
+def test_tree_aggregates_severities():
+    findings = [
+        Finding("late_sender", ("a",), L0, 2.0),
+        Finding("late_broadcast", ("b",), L0, 3.0),
+    ]
+    result = AnalysisResult(
+        findings=findings, total_time=10.0, locations=[L0]
+    )
+    root = severity_tree(result)
+    assert root.inclusive == pytest.approx(0.5)
+    comm = next(n for n in root.children
+                if n.name == "parallel_inefficiency")
+    assert comm.inclusive == pytest.approx(0.5)
+
+    def find(node, name):
+        if node.name == name:
+            return node
+        for child in node.children:
+            got = find(child, name)
+            if got:
+                return got
+        return None
+
+    p2p = find(root, "p2p_communication")
+    coll = find(root, "collective_communication")
+    assert p2p.inclusive == pytest.approx(0.2)
+    assert coll.inclusive == pytest.approx(0.3)
+
+
+def test_wrong_order_subset_does_not_double_count():
+    findings = [
+        Finding("late_sender", ("a",), L0, 2.0),
+        Finding("messages_in_wrong_order", ("a",), L0, 2.0),
+    ]
+    result = AnalysisResult(
+        findings=findings, total_time=10.0, locations=[L0]
+    )
+    root = severity_tree(result)
+    # the wrong-order waits ARE the late-sender waits: total is 0.2
+    assert root.inclusive == pytest.approx(0.2)
+
+
+def test_empty_tree():
+    result = AnalysisResult(findings=[], total_time=1.0, locations=[L0])
+    root = severity_tree(result)
+    assert root.inclusive == 0.0
+    assert root.children == []
+
+
+def test_tree_rendering_indented_and_ordered():
+    result = analyze_run(run_all_mpi_properties(size=8))
+    text = format_property_tree(result, threshold=0.001)
+    lines = text.splitlines()
+    assert any("total" in l for l in lines)
+    # hierarchy: mpi_communication indented deeper than communication
+    comm_line = next(l for l in lines if l.endswith(" communication"))
+    mpi_line = next(l for l in lines if "mpi_communication" in l)
+    assert mpi_line.index("mpi_communication") > comm_line.index(
+        "communication"
+    )
+    # children sorted by severity: collective before p2p in this run
+    assert text.index("collective_communication") < text.index(
+        "p2p_communication"
+    )
+
+
+def test_tree_threshold_prunes():
+    result = analyze_run(get_property("late_sender").run(size=4))
+    full = format_property_tree(result, threshold=0.0)
+    pruned = format_property_tree(result, threshold=0.99)
+    assert "late_sender" in full
+    assert "late_sender" not in pruned
+
+
+def test_parent_severity_at_least_max_child():
+    result = analyze_run(run_all_mpi_properties(size=8))
+    root = severity_tree(result)
+
+    def check(node):
+        for child in node.children:
+            assert node.inclusive >= child.inclusive - 1e-12
+            check(child)
+
+    check(root)

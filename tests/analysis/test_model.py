@@ -1,0 +1,93 @@
+"""Unit tests for the analysis result model."""
+
+import pytest
+
+from repro.analysis import AnalysisResult, Finding
+from repro.trace import Location
+
+L0, L1 = Location(0, 0), Location(1, 0)
+
+
+def make_result():
+    findings = [
+        Finding("late_sender", ("main", "MPI_Recv"), L1, 2.0),
+        Finding("late_sender", ("main", "MPI_Recv"), L1, 1.0),
+        Finding("late_sender", ("other", "MPI_Recv"), L0, 1.0),
+        Finding("wait_at_barrier", ("main", "MPI_Barrier"), L0, 4.0),
+    ]
+    return AnalysisResult(
+        findings=findings, total_time=10.0, locations=[L0, L1]
+    )
+
+
+def test_total_allocation():
+    assert make_result().total_allocation == 20.0
+
+
+def test_severity_all():
+    assert make_result().severity() == pytest.approx(8.0 / 20.0)
+
+
+def test_severity_by_property():
+    res = make_result()
+    assert res.severity(property="late_sender") == pytest.approx(0.2)
+    assert res.severity(property="wait_at_barrier") == pytest.approx(0.2)
+    assert res.severity(property="nothing") == 0.0
+
+
+def test_severity_by_callpath_and_location():
+    res = make_result()
+    assert res.severity(
+        property="late_sender", callpath=("main", "MPI_Recv")
+    ) == pytest.approx(0.15)
+    assert res.severity(property="late_sender", loc=L0) == pytest.approx(
+        0.05
+    )
+
+
+def test_severities_by_property_sorted_descending():
+    res = make_result()
+    items = list(res.severities_by_property().items())
+    assert items[0][1] >= items[1][1]
+
+
+def test_detected_threshold():
+    res = make_result()
+    assert set(res.detected(0.01)) == {"late_sender", "wait_at_barrier"}
+    assert res.detected(0.21) == ()
+
+
+def test_callpaths_of():
+    res = make_result()
+    paths = res.callpaths_of("late_sender")
+    assert paths[("main", "MPI_Recv")] == pytest.approx(0.15)
+    assert paths[("other", "MPI_Recv")] == pytest.approx(0.05)
+
+
+def test_locations_of_with_and_without_callpath():
+    res = make_result()
+    locs = res.locations_of("late_sender")
+    assert locs[L1] == pytest.approx(0.15)
+    locs_scoped = res.locations_of("late_sender", ("other", "MPI_Recv"))
+    assert set(locs_scoped) == {L0}
+
+
+def test_ranked_order():
+    res = make_result()
+    ranked = res.ranked()
+    assert [p for p, _ in ranked] in (
+        ["late_sender", "wait_at_barrier"],
+        ["wait_at_barrier", "late_sender"],
+    )
+
+
+def test_negative_wait_rejected():
+    with pytest.raises(ValueError):
+        Finding("x", (), L0, -1.0)
+
+
+def test_empty_result():
+    res = AnalysisResult(findings=[], total_time=0.0, locations=[])
+    assert res.severity() == 0.0
+    assert res.detected() == ()
+    assert res.severities_by_property() == {}

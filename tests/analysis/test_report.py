@@ -1,0 +1,72 @@
+"""Report rendering tests."""
+
+from repro.analysis import (
+    AnalysisResult,
+    Finding,
+    analyze_run,
+    format_expert_report,
+    format_summary_table,
+)
+from repro.core import get_property
+from repro.trace import Location
+
+L0, L1 = Location(0, 0), Location(1, 0)
+
+
+def test_report_shows_three_panes():
+    result = get_property("late_broadcast").run(size=4)
+    text = format_expert_report(analyze_run(result))
+    assert "performance properties" in text
+    assert "call paths for late_broadcast" in text
+    assert "MPI_Bcast" in text
+    # location pane shows per-rank rows (root=1 has no wait; rank 2 does)
+    assert "2.0" in text
+
+
+def test_report_threshold_hides_minor_properties():
+    result = get_property("late_broadcast").run(size=4)
+    text = format_expert_report(analyze_run(result), threshold=0.99)
+    assert "no property above" in text
+
+
+def test_report_empty_result():
+    empty = AnalysisResult(findings=[], total_time=1.0, locations=[L0])
+    text = format_expert_report(empty)
+    assert "no property above" in text
+
+
+def test_report_ranks_most_severe_first():
+    res = AnalysisResult(
+        findings=[
+            Finding("minor", ("a",), L0, 1.0),
+            Finding("major", ("b",), L1, 5.0),
+        ],
+        total_time=10.0,
+        locations=[L0, L1],
+    )
+    text = format_expert_report(res, threshold=0.0)
+    assert text.index("major") < text.index("minor")
+
+
+def test_summary_table_lists_all_properties():
+    res = AnalysisResult(
+        findings=[
+            Finding("late_sender", ("a",), L0, 1.0),
+            Finding("wait_at_barrier", ("b",), L1, 2.0),
+        ],
+        total_time=10.0,
+        locations=[L0, L1],
+    )
+    table = format_summary_table(res)
+    assert "late_sender" in table and "wait_at_barrier" in table
+    assert "severity" in table
+
+
+def test_report_max_callpaths_truncation():
+    findings = [
+        Finding("p", (f"path{i}",), L0, 1.0) for i in range(10)
+    ]
+    res = AnalysisResult(findings=findings, total_time=100.0,
+                         locations=[L0])
+    text = format_expert_report(res, threshold=0.0, max_callpaths=2)
+    assert "more call path(s)" in text

@@ -1,0 +1,77 @@
+"""Tool-adapter tests: the matrix discriminates tool capabilities."""
+
+import pytest
+
+from repro.analysis.detectors import (
+    LateSenderDetector,
+    WaitAtBarrierDetector,
+)
+from repro.analysis.tools import (
+    battery_without,
+    pattern_tool,
+    profile_only_tool,
+    single_detector_tool,
+)
+from repro.core import get_property
+from repro.validation import run_validation_matrix, validate_spec
+
+SPECS = [
+    get_property("late_sender"),
+    get_property("imbalance_at_mpi_barrier"),
+    get_property("balanced_mpi_barrier"),
+]
+
+
+def test_pattern_tool_passes_everything():
+    matrix = run_validation_matrix(
+        specs=SPECS, tool=pattern_tool(), size=4
+    )
+    assert matrix.all_passed
+
+
+def test_pattern_tool_sensitivity_matters():
+    """An insensitive tool (50% threshold) misses moderate properties."""
+    blunt = pattern_tool(threshold=0.5)
+    row = validate_spec(get_property("late_sender"), tool=blunt, size=4)
+    assert row.missing == ("late_sender",)
+
+
+def test_profile_only_tool_fails_pattern_positives():
+    tool = profile_only_tool()
+    matrix = run_validation_matrix(
+        specs=[get_property("late_sender")], tool=tool, size=4
+    )
+    assert not matrix.all_passed
+    assert matrix.rows[0].missing == ("late_sender",)
+
+
+def test_profile_only_tool_stays_silent_on_balanced():
+    tool = profile_only_tool()
+    row = validate_spec(
+        get_property("balanced_mpi_barrier"), tool=tool, size=4
+    )
+    # It must not claim pattern properties it cannot see; its summary
+    # verdicts (communication_bound) count as spurious against ATS.
+    assert "late_sender" not in row.detected
+
+
+def test_single_detector_tool_passes_its_own_property_only():
+    tool = single_detector_tool(LateSenderDetector())
+    ok = validate_spec(get_property("late_sender"), tool=tool, size=4)
+    assert not ok.missing
+    other = validate_spec(
+        get_property("imbalance_at_mpi_barrier"), tool=tool, size=4
+    )
+    assert other.missing == ("wait_at_barrier",)
+
+
+def test_battery_without_loses_exactly_that_capability():
+    tool = battery_without(WaitAtBarrierDetector)
+    barrier_row = validate_spec(
+        get_property("imbalance_at_mpi_barrier"), tool=tool, size=4
+    )
+    assert barrier_row.missing == ("wait_at_barrier",)
+    sender_row = validate_spec(
+        get_property("late_sender"), tool=tool, size=4
+    )
+    assert not sender_row.missing

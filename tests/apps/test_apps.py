@@ -1,0 +1,197 @@
+"""Application tests: numeric correctness and documented behaviour."""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.apps import (
+    CgConfig,
+    FarmConfig,
+    JacobiConfig,
+    PipelineConfig,
+    WavefrontConfig,
+    cg_like,
+    jacobi,
+    master_worker,
+    pipeline,
+    wavefront,
+)
+from repro.simmpi import run_mpi
+
+FAST = dict(model_init_overhead=False)
+
+
+# ----------------------------------------------------------------------
+# jacobi
+# ----------------------------------------------------------------------
+
+def test_jacobi_heat_bounded_and_leaking():
+    """The 100.0 injected initially can only decrease (boundary leak)."""
+    short = run_mpi(jacobi, 4, JacobiConfig(total_cells=512,
+                                            iterations=2), **FAST)
+    long = run_mpi(jacobi, 4, JacobiConfig(total_cells=512,
+                                           iterations=10), **FAST)
+    total_short = sum(chk for chk, _ in short.results)
+    total_long = sum(chk for chk, _ in long.results)
+    assert 0.0 < total_long < total_short <= 100.0 + 1e-9
+
+
+def test_jacobi_residual_decreases_with_iterations():
+    few = run_mpi(jacobi, 4, JacobiConfig(iterations=2), **FAST)
+    many = run_mpi(jacobi, 4, JacobiConfig(iterations=20), **FAST)
+    assert many.results[0][1] < few.results[0][1]
+
+
+def test_jacobi_result_independent_of_rank_count():
+    r2 = run_mpi(jacobi, 2, JacobiConfig(total_cells=512, iterations=4),
+                 **FAST)
+    r4 = run_mpi(jacobi, 4, JacobiConfig(total_cells=512, iterations=4),
+                 **FAST)
+    assert sum(c for c, _ in r2.results) == pytest.approx(
+        sum(c for c, _ in r4.results), rel=1e-9
+    )
+    assert r2.results[0][1] == pytest.approx(r4.results[0][1], rel=1e-9)
+
+
+def test_balanced_jacobi_is_clean():
+    result = run_mpi(jacobi, 4, JacobiConfig(), **FAST)
+    assert analyze_run(result).detected(0.02) == ()
+
+
+def test_imbalanced_jacobi_shows_nxn_waits():
+    result = run_mpi(jacobi, 4, JacobiConfig(imbalance=2.0,
+                                             iterations=20), **FAST)
+    assert "wait_at_nxn" in analyze_run(result).detected(0.02)
+
+
+# ----------------------------------------------------------------------
+# master/worker
+# ----------------------------------------------------------------------
+
+def test_farm_computes_complete_result():
+    config = FarmConfig(ntasks=12)
+    result = run_mpi(master_worker, 4, config, **FAST)
+    # master's sum = sum of (index+1) over all tasks
+    assert result.results[0] == sum(range(1, 13))
+
+
+def test_farm_all_tasks_processed_with_many_workers():
+    config = FarmConfig(ntasks=7)
+    result = run_mpi(master_worker, 6, config, **FAST)
+    assert result.results[0] == sum(range(1, 8))
+
+
+def test_farm_requires_workers():
+    from repro.simkernel import SimulationCrashed
+
+    with pytest.raises(SimulationCrashed):
+        run_mpi(master_worker, 1, FarmConfig(), **FAST)
+
+
+def test_farm_master_bottleneck_creates_late_senders():
+    clean = run_mpi(master_worker, 4, FarmConfig(), **FAST)
+    congested = run_mpi(
+        master_worker, 4, FarmConfig(master_service_time=0.01), **FAST
+    )
+    sev_clean = analyze_run(clean).severity(property="late_sender")
+    sev_congested = analyze_run(congested).severity(
+        property="late_sender"
+    )
+    assert sev_congested > sev_clean
+    assert sev_congested > 0.1
+
+
+# ----------------------------------------------------------------------
+# pipeline
+# ----------------------------------------------------------------------
+
+def test_pipeline_checksum():
+    config = PipelineConfig(nitems=8)
+    result = run_mpi(pipeline, 4, config, **FAST)
+    # item i leaves stage 3 carrying (i + 4) in each of 4 slots
+    expected = sum(4 * (i + 4) for i in range(8))
+    assert result.results[3] == expected
+
+
+def test_pipeline_slow_stage_starves_downstream():
+    slow = run_mpi(
+        pipeline, 4, PipelineConfig(slow_stage=1, slow_factor=5.0),
+        **FAST,
+    )
+    analysis = analyze_run(slow)
+    waits = analysis.locations_of("late_sender")
+    ranks = {loc.rank for loc in waits}
+    assert 2 in ranks or 3 in ranks  # downstream stages starve
+
+
+def test_pipeline_throughput_set_by_slowest_stage():
+    base = run_mpi(pipeline, 4, PipelineConfig(nitems=12), **FAST)
+    slowed = run_mpi(
+        pipeline,
+        4,
+        PipelineConfig(nitems=12, slow_stage=2, slow_factor=3.0),
+        **FAST,
+    )
+    assert slowed.final_time > base.final_time * 2
+
+
+# ----------------------------------------------------------------------
+# wavefront
+# ----------------------------------------------------------------------
+
+def test_wavefront_values():
+    config = WavefrontConfig(ncols=4, sweeps=1)
+    result = run_mpi(wavefront, 3, config, **FAST)
+    # rank r accumulates sum over col of (col + r + 1) for sweep 0
+    for r in range(3):
+        expected = sum(col + r + 1 for col in range(4))
+        assert result.results[r] == expected
+
+
+def test_wavefront_startup_skew_is_late_sender():
+    result = run_mpi(
+        wavefront, 4, WavefrontConfig(ncols=6, sweeps=1), **FAST
+    )
+    analysis = analyze_run(result)
+    assert analysis.severity(property="late_sender") > 0.05
+
+
+def test_wavefront_skew_shrinks_with_more_columns():
+    narrow = run_mpi(
+        wavefront, 4, WavefrontConfig(ncols=4, sweeps=1), **FAST
+    )
+    wide = run_mpi(
+        wavefront, 4, WavefrontConfig(ncols=40, sweeps=1), **FAST
+    )
+    sev_narrow = analyze_run(narrow).severity(property="late_sender")
+    sev_wide = analyze_run(wide).severity(property="late_sender")
+    assert sev_wide < sev_narrow
+
+
+# ----------------------------------------------------------------------
+# cg-like
+# ----------------------------------------------------------------------
+
+def test_cg_like_deterministic_result():
+    r1 = run_mpi(cg_like, 4, CgConfig(), **FAST)
+    r2 = run_mpi(cg_like, 4, CgConfig(), **FAST)
+    assert r1.results == r2.results
+
+
+def test_cg_like_rho_consistent_across_ranks():
+    result = run_mpi(cg_like, 4, CgConfig(), **FAST)
+    assert len({round(r, 9) for r in result.results}) == 1
+
+
+def test_cg_like_balanced_is_clean():
+    result = run_mpi(cg_like, 4, CgConfig(), **FAST)
+    assert analyze_run(result).detected(0.02) == ()
+
+
+def test_cg_like_row_imbalance_shows_at_allreduce():
+    result = run_mpi(
+        cg_like, 4, CgConfig(row_imbalance=2.0, iterations=12), **FAST
+    )
+    analysis = analyze_run(result)
+    assert "wait_at_nxn" in analysis.detected(0.02)
+    (path, _), *_ = list(analysis.callpaths_of("wait_at_nxn").items())
+    assert "dot_products" in path

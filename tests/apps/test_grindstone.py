@@ -1,0 +1,118 @@
+"""Grindstone suite: each program shows its documented diagnosis."""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.apps import (
+    GRINDSTONE_PROGRAMS,
+    GrindstoneConfig,
+    big_message,
+    diffuse_procedure,
+    hot_procedure,
+    intensive_server,
+    random_barrier,
+    small_messages,
+)
+from repro.asl import CommunicationBound, PerformanceData
+from repro.simmpi import run_mpi
+from repro.trace import comm_matrix, profile_trace
+
+FAST = dict(model_init_overhead=False)
+CFG = GrindstoneConfig()
+
+
+def test_all_programs_run_on_various_sizes():
+    for name, program in GRINDSTONE_PROGRAMS.items():
+        for size in (2, 5):
+            result = run_mpi(program, size, CFG, **FAST)
+            assert result.final_time > 0, name
+
+
+def test_big_message_is_bandwidth_dominated():
+    result = run_mpi(big_message, 4, CFG, **FAST)
+    data = PerformanceData.from_run(result)
+    assert CommunicationBound().condition(data)
+    matrix = comm_matrix(result.events)
+    # few messages, huge volume
+    assert matrix.total_messages == 2 * CFG.repetitions
+    assert matrix.total_bytes >= 2 * CFG.repetitions * CFG.big_bytes
+
+
+def test_small_messages_is_latency_dominated():
+    result = run_mpi(small_messages, 4, CFG, **FAST)
+    data = PerformanceData.from_run(result)
+    assert CommunicationBound().condition(data)
+    matrix = comm_matrix(result.events)
+    # many messages, tiny volume
+    assert matrix.total_messages == 2 * CFG.repetitions * CFG.small_count
+    assert matrix.total_bytes == matrix.total_messages * 4
+
+
+def test_big_vs_small_transport_profile_differs():
+    """Same diagnosis, opposite mechanisms: volume vs. count."""
+    big = comm_matrix(run_mpi(big_message, 4, CFG, **FAST).events)
+    small = comm_matrix(run_mpi(small_messages, 4, CFG, **FAST).events)
+    assert big.total_bytes > 100 * small.total_bytes
+    assert small.total_messages > 10 * big.total_messages
+
+
+def test_intensive_server_blocks_clients():
+    result = run_mpi(intensive_server, 5, CFG, **FAST)
+    analysis = analyze_run(result)
+    assert analysis.severity(property="late_sender") > 0.3
+    waiting = {loc.rank for loc in analysis.locations_of("late_sender")}
+    # the clients wait (on serialized replies), not the server
+    assert waiting == {1, 2, 3, 4}
+    assert comm_matrix(result.events).hottest_receiver() == 0
+    assert result.results[0] == CFG.repetitions * 4
+
+
+def test_random_barrier_spreads_waits_over_all_ranks():
+    result = run_mpi(
+        random_barrier, 6, GrindstoneConfig(repetitions=24), **FAST
+    )
+    analysis = analyze_run(result)
+    assert analysis.severity(property="wait_at_barrier") > 0.2
+    waiting = {loc.rank for loc in analysis.locations_of("wait_at_barrier")}
+    assert waiting == set(range(6))  # nobody is *the* culprit
+
+
+def test_random_barrier_deterministic_across_runs():
+    r1 = run_mpi(random_barrier, 4, CFG, seed=7, **FAST)
+    r2 = run_mpi(random_barrier, 4, CFG, seed=7, **FAST)
+    assert r1.final_time == r2.final_time
+
+
+def test_hot_procedure_dominates_profile():
+    result = run_mpi(hot_procedure, 2, CFG, **FAST)
+    profile = profile_trace(result.events)
+    hot = profile.region_total("the_hot_procedure")
+    cold = profile.region_total("cold_code")
+    assert hot > 8 * cold
+
+
+def test_diffuse_procedure_same_total_many_sites():
+    hot = run_mpi(hot_procedure, 2, CFG, **FAST)
+    diffuse = run_mpi(diffuse_procedure, 2, CFG, **FAST)
+    hot_profile = profile_trace(hot.events)
+    diffuse_profile = profile_trace(diffuse.events)
+    # same total procedure time...
+    assert diffuse_profile.region_total(
+        "the_hot_procedure"
+    ) == pytest.approx(hot_profile.region_total("the_hot_procedure"))
+    # ...but spread over several call sites
+    from repro.trace import Enter
+
+    sites = {
+        e.path[-2]
+        for e in diffuse.events
+        if isinstance(e, Enter) and e.region == "the_hot_procedure"
+    }
+    assert len(sites) == 4
+
+
+def test_results_are_verifiable():
+    result = run_mpi(big_message, 4, CFG, **FAST)
+    assert result.results[1] == CFG.repetitions * CFG.big_bytes
+    result = run_mpi(small_messages, 4, CFG, **FAST)
+    assert result.results[3] == CFG.repetitions * CFG.small_count

@@ -1,0 +1,96 @@
+"""NPB-style kernel tests."""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.apps import EpConfig, IsConfig, ep_like, is_like
+from repro.simmpi import run_mpi
+
+FAST = dict(model_init_overhead=False)
+
+
+# ----------------------------------------------------------------------
+# EP
+# ----------------------------------------------------------------------
+
+def test_ep_all_ranks_agree_on_result():
+    result = run_mpi(ep_like, 4, EpConfig(), **FAST)
+    assert len(set(result.results)) == 1
+    assert result.results[0] > 0
+
+
+def test_ep_is_deterministic():
+    r1 = run_mpi(ep_like, 4, EpConfig(), seed=3, **FAST)
+    r2 = run_mpi(ep_like, 4, EpConfig(), seed=3, **FAST)
+    assert r1.results == r2.results
+    assert r1.final_time == r2.final_time
+
+
+def test_ep_balanced_is_clean():
+    result = run_mpi(ep_like, 8, EpConfig(), **FAST)
+    assert analyze_run(result).detected(0.02) == ()
+
+
+def test_ep_work_skew_lands_on_final_reduce():
+    result = run_mpi(ep_like, 8, EpConfig(work_skew=1.5), **FAST)
+    analysis = analyze_run(result)
+    assert "wait_at_nxn" in analysis.detected(0.02)
+    (path, _), *_ = list(analysis.callpaths_of("wait_at_nxn").items())
+    assert "ep_like" in path and path[-1] == "MPI_Allreduce"
+
+
+def test_ep_scaling_shape():
+    """EP run time is roughly constant in rank count (weak scaling)."""
+    t4 = run_mpi(ep_like, 4, EpConfig(), **FAST).final_time
+    t8 = run_mpi(ep_like, 8, EpConfig(), **FAST).final_time
+    assert t8 < 1.5 * t4
+
+
+# ----------------------------------------------------------------------
+# IS
+# ----------------------------------------------------------------------
+
+def test_is_keys_conserved():
+    """Total checksum equals the checksum of all generated keys: the
+    exchange neither loses nor duplicates keys."""
+    config = IsConfig(keys_per_rank=512, iterations=2)
+    result = run_mpi(is_like, 4, config, **FAST)
+    assert all(isinstance(c, int) for c in result.results)
+    # keys are partitioned by bucket owner: rank i holds keys in
+    # [i*1000, (i+1)*1000); checksums must be increasing-ish per owner
+    assert result.results == sorted(result.results)
+
+
+def test_is_deterministic():
+    r1 = run_mpi(is_like, 4, IsConfig(), seed=5, **FAST)
+    r2 = run_mpi(is_like, 4, IsConfig(), seed=5, **FAST)
+    assert r1.results == r2.results
+
+
+def test_is_uniform_buckets_clean():
+    result = run_mpi(is_like, 4, IsConfig(), **FAST)
+    assert analyze_run(result).detected(0.05) == ()
+
+
+def test_is_bucket_skew_shows_nxn_waits():
+    result = run_mpi(
+        is_like, 4, IsConfig(bucket_skew=3.0, iterations=6), **FAST
+    )
+    analysis = analyze_run(result)
+    assert "wait_at_nxn" in analysis.detected(0.05)
+
+
+def test_is_exchange_volume_grows_with_keys():
+    from repro.trace import comm_matrix
+
+    small = run_mpi(
+        is_like, 4, IsConfig(keys_per_rank=256, iterations=1), **FAST
+    )
+    big = run_mpi(
+        is_like, 4, IsConfig(keys_per_rank=2048, iterations=1), **FAST
+    )
+    vol_small = comm_matrix(
+        small.events, include_internal=True
+    ).total_bytes
+    vol_big = comm_matrix(big.events, include_internal=True).total_bytes
+    assert vol_big > 4 * vol_small

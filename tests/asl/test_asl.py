@@ -1,0 +1,146 @@
+"""Tests for the ASL specification layer and catalog."""
+
+import pytest
+
+from repro.asl import (
+    ANALYZER_PROPERTY_IDS,
+    CommunicationBound,
+    Diagnosis,
+    FrequentSynchronization,
+    PatternProperty,
+    PerformanceData,
+    SequentialBottleneck,
+    default_catalog,
+    evaluate,
+)
+from repro.core import get_property
+from repro.simmpi import run_mpi
+from repro.work import do_work
+
+
+def data_for(spec_name, **kwargs):
+    run = get_property(spec_name).run(**kwargs)
+    return PerformanceData.from_run(run)
+
+
+def test_pattern_property_wraps_analyzer():
+    data = data_for("late_sender", size=4)
+    prop = PatternProperty(name="late_sender")
+    assert prop.condition(data)
+    assert prop.severity(data) > 0.1
+    assert prop.confidence(data) == 1.0
+
+
+def test_pattern_property_absent_when_clean():
+    data = data_for("balanced_mpi_barrier", size=4)
+    prop = PatternProperty(name="late_sender")
+    assert not prop.condition(data)
+    assert prop.severity(data) == 0.0
+
+
+def test_catalog_covers_all_analyzer_ids():
+    names = {p.name for p in default_catalog()}
+    assert set(ANALYZER_PROPERTY_IDS) <= names
+
+
+def test_evaluate_ranks_by_severity():
+    data = data_for("late_sender", size=4)
+    diagnoses = evaluate(default_catalog(), data)
+    assert diagnoses, "late_sender run produced no diagnoses"
+    severities = [d.severity for d in diagnoses]
+    assert severities == sorted(severities, reverse=True)
+    assert diagnoses[0].property in ("late_sender", "communication_bound")
+
+
+def test_evaluate_empty_on_silent_program():
+    def main(comm):
+        do_work(0.01)
+
+    run = run_mpi(main, 2, model_init_overhead=False)
+    data = PerformanceData.from_run(run)
+    diagnoses = evaluate(
+        [PatternProperty(name=p) for p in ANALYZER_PROPERTY_IDS], data
+    )
+    assert diagnoses == []
+
+
+def test_communication_bound_on_chatty_program():
+    from repro.simmpi import MPI_INT, alloc_mpi_buf
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        for _ in range(30):
+            comm.barrier()
+
+    run = run_mpi(main, 4, model_init_overhead=False)
+    data = PerformanceData.from_run(run)
+    assert CommunicationBound().condition(data)
+    assert 0 < CommunicationBound().confidence(data) < 1
+
+
+def test_communication_bound_false_on_compute_heavy():
+    data = data_for("balanced_mpi_barrier", size=4)
+    prop = CommunicationBound()
+    assert not prop.condition(data)
+
+
+def test_frequent_synchronization_rate():
+    def main(comm):
+        for _ in range(50):
+            comm.barrier()
+
+    run = run_mpi(main, 2, model_init_overhead=False)
+    data = PerformanceData.from_run(run)
+    prop = FrequentSynchronization()
+    assert prop.condition(data)
+    assert 0 < prop.severity(data) <= 1.0
+
+
+def test_sequential_bottleneck_on_skewed_work():
+    def main(comm):
+        do_work(0.1 if comm.rank() == 0 else 0.01)
+
+    run = run_mpi(main, 4, model_init_overhead=False)
+    data = PerformanceData.from_run(run)
+    prop = SequentialBottleneck()
+    assert prop.condition(data)
+    assert prop.severity(data) > 0
+
+
+def test_sequential_bottleneck_false_when_balanced():
+    def main(comm):
+        do_work(0.05)
+
+    run = run_mpi(main, 4, model_init_overhead=False)
+    data = PerformanceData.from_run(run)
+    assert not SequentialBottleneck().condition(data)
+
+
+def test_region_fraction_helper():
+    data = data_for("balanced_mpi_barrier", size=4)
+    frac = data.region_fraction("work")
+    assert 0.5 < frac <= 1.0
+
+
+def test_diagnosis_is_frozen_record():
+    d = Diagnosis(property="x", severity=0.5, confidence=1.0)
+    with pytest.raises(AttributeError):
+        d.severity = 0.9
+
+
+def test_format_diagnoses_table():
+    from repro.asl import format_diagnoses
+
+    data = data_for("late_sender", size=4)
+    text = format_diagnoses(evaluate(default_catalog(), data))
+    assert "severity" in text and "late_sender" in text
+    # ranked: the first data row has the highest severity
+    rows = text.strip().split("\n")[1:]
+    firsts = [float(r.split("%")[0]) for r in rows]
+    assert firsts == sorted(firsts, reverse=True)
+
+
+def test_format_diagnoses_empty():
+    from repro.asl import format_diagnoses
+
+    assert "no performance property" in format_diagnoses([])

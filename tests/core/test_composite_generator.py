@@ -1,0 +1,216 @@
+"""Composite programs (paper 3.3) and the program generator (paper 3.2)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.core import (
+    ALL_MPI_PROPERTY_CHAIN,
+    Step,
+    generate_single_property_script,
+    get_property,
+    run_all_mpi_properties,
+    run_chain,
+    run_hybrid_composite,
+    run_split_program,
+    write_generated_programs,
+)
+
+THRESH = 0.005
+
+
+# ----------------------------------------------------------------------
+# figure 3.3: all MPI properties in sequence
+# ----------------------------------------------------------------------
+
+def test_all_mpi_properties_chain_detects_everything():
+    result = run_all_mpi_properties(size=8)
+    analysis = analyze_run(result)
+    detected = set(analysis.detected(THRESH))
+    expected = set()
+    for name in ALL_MPI_PROPERTY_CHAIN:
+        expected |= set(get_property(name).expected)
+    missing = expected - detected
+    assert not missing, f"chain failed to exhibit {missing}"
+
+
+def test_chain_callpaths_separate_the_properties():
+    """Each property is localized at its own function's call path."""
+    result = run_all_mpi_properties(size=8)
+    analysis = analyze_run(result)
+    for prop, fn in [
+        ("late_sender", "late_sender"),
+        ("wait_at_barrier", "imbalance_at_mpi_barrier"),
+        ("late_broadcast", "late_broadcast"),
+        ("early_reduce", "early_reduce"),
+    ]:
+        callpaths = analysis.callpaths_of(prop)
+        assert callpaths, f"no call paths for {prop}"
+        top_path = next(iter(callpaths))
+        assert fn in top_path, (
+            f"{prop} located at {top_path}, expected under {fn}"
+        )
+
+
+def test_chain_with_explicit_steps_and_params():
+    result = run_chain(
+        [
+            Step("late_sender", {"extrawork": 0.03, "r": 2}),
+            Step("imbalance_at_mpi_barrier"),
+        ],
+        size=4,
+        model_init_overhead=False,
+    )
+    analysis = analyze_run(result)
+    detected = analysis.detected(THRESH)
+    assert "late_sender" in detected
+    assert "wait_at_barrier" in detected
+
+
+def test_chain_rejects_bad_step_type():
+    with pytest.raises(TypeError):
+        run_chain([42], size=4)
+
+
+# ----------------------------------------------------------------------
+# figures 3.4/3.5: split communicators
+# ----------------------------------------------------------------------
+
+def test_split_program_concurrent_properties_localized():
+    result = run_split_program(
+        lower=["imbalance_at_mpi_barrier"],
+        upper=["late_broadcast"],
+        size=16,
+    )
+    analysis = analyze_run(result)
+    detected = analysis.detected(THRESH)
+    assert "wait_at_barrier" in detected
+    assert "late_broadcast" in detected
+    barrier_ranks = {
+        loc.rank for loc in analysis.locations_of("wait_at_barrier")
+    }
+    bcast_ranks = {
+        loc.rank for loc in analysis.locations_of("late_broadcast")
+    }
+    assert barrier_ranks <= set(range(8))
+    assert bcast_ranks <= set(range(8, 16))
+
+
+def test_split_program_reproduces_figure_3_5():
+    """EXPERT found Late Broadcast at MPI_Bcast under late_broadcast(),
+    at the upper half's non-root ranks (local root 1 = global rank 9)."""
+    result = run_split_program(
+        lower=["imbalance_at_mpi_barrier", "late_sender"],
+        upper=["late_broadcast", "early_reduce"],
+        size=16,
+    )
+    analysis = analyze_run(result)
+    # pane 1: the property is found
+    assert "late_broadcast" in analysis.detected(THRESH)
+    # pane 2: located at MPI_Bcast inside late_broadcast()
+    (path, _), *_ = list(analysis.callpaths_of("late_broadcast").items())
+    assert path[-1] == "MPI_Bcast" and "late_broadcast" in path
+    # pane 3: located at the upper half minus the root (global rank 9)
+    ranks = {loc.rank for loc in analysis.locations_of("late_broadcast")}
+    assert ranks == {8, 10, 11, 12, 13, 14, 15}
+
+
+def test_split_program_size_validation():
+    with pytest.raises(ValueError):
+        run_split_program(["late_sender"], ["late_sender"], size=5)
+    with pytest.raises(ValueError):
+        run_split_program(["late_sender"], ["late_sender"], size=2)
+
+
+# ----------------------------------------------------------------------
+# hybrid composition (paper 3.3 closing paragraph)
+# ----------------------------------------------------------------------
+
+def test_hybrid_composite_mixes_paradigms():
+    result = run_hybrid_composite(
+        mpi_steps=["late_sender"],
+        omp_steps=["imbalance_at_omp_barrier"],
+        size=4,
+        num_threads=4,
+    )
+    analysis = analyze_run(result)
+    detected = analysis.detected(THRESH)
+    assert "late_sender" in detected
+    assert "imbalance_at_omp_barrier" in detected
+    # OpenMP findings live on thread locations within MPI ranks
+    omp_locs = analysis.locations_of("imbalance_at_omp_barrier")
+    assert any(loc.thread > 0 for loc in omp_locs)
+
+
+# ----------------------------------------------------------------------
+# the program generator (paper 3.2)
+# ----------------------------------------------------------------------
+
+def test_generated_script_is_valid_python():
+    source = generate_single_property_script("late_sender")
+    compile(source, "test_late_sender.py", "exec")
+    assert 'get_property' in source
+    assert "--basework" in source
+    assert "--extrawork" in source
+
+
+def test_generated_script_exposes_distribution_options():
+    source = generate_single_property_script("imbalance_at_mpi_barrier")
+    compile(source, "gen.py", "exec")
+    assert "--dist-shape" in source
+    assert "--dist-values" in source
+
+
+def test_generated_scripts_for_all_properties(tmp_path):
+    paths = write_generated_programs(tmp_path)
+    from repro.core import list_properties
+
+    assert len(paths) == len(list_properties())
+    for path in paths:
+        compile(path.read_text(), str(path), "exec")
+
+
+def test_generated_script_runs_end_to_end(tmp_path):
+    (path,) = [
+        p
+        for p in write_generated_programs(tmp_path, paradigm="mpi")
+        if p.name == "test_late_sender.py"
+    ]
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(path),
+            "--size",
+            "4",
+            "--r",
+            "1",
+            "--analyze",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "late_sender: finished" in proc.stdout
+    assert "late_sender" in proc.stdout
+
+
+def test_generated_script_writes_trace(tmp_path):
+    source = generate_single_property_script("imbalance_at_omp_barrier")
+    script = tmp_path / "prog.py"
+    script.write_text(source)
+    out = tmp_path / "trace.jsonl"
+    proc = subprocess.run(
+        [sys.executable, str(script), "--trace-out", str(out), "--r", "1"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    from repro.trace import read_trace
+
+    events, meta = read_trace(out)
+    assert events
+    assert meta["program"] == "imbalance_at_omp_barrier"

@@ -1,0 +1,63 @@
+"""Growing-severity and nested-parallelism property functions."""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.analysis.detectors import collective_instances
+from repro.core import get_property
+from repro.trace import CollExit
+
+
+def test_growing_imbalance_wait_increases_per_iteration():
+    """Paper 3.1.5: severity as a function of the iteration number,
+    via the distribution scale factor."""
+    spec = get_property("growing_imbalance_at_mpi_barrier")
+    result = spec.run(size=4, params={"r": 4})
+    # group barrier instances inside the property region and measure
+    # the max wait at each
+    groups = collective_instances(
+        [e for e in result.events if isinstance(e, CollExit)]
+    )
+    barrier_waits = []
+    for (_, instance, op), events in sorted(groups.items()):
+        if op != "MPI_Barrier":
+            continue
+        if not any(
+            "growing_imbalance_at_mpi_barrier" in e.path for e in events
+        ):
+            continue
+        last = max(e.enter_time for e in events)
+        barrier_waits.append(
+            (instance, max(last - e.enter_time for e in events))
+        )
+    waits = [w for _, w in sorted(barrier_waits)]
+    assert len(waits) == 4
+    assert all(b > a for a, b in zip(waits, waits[1:])), waits
+    # linear growth in the iteration number: 4th wait = 4x the 1st
+    assert waits[3] == pytest.approx(4 * waits[0], rel=0.01)
+
+
+def test_growing_imbalance_detected_as_wait_at_barrier():
+    spec = get_property("growing_imbalance_at_mpi_barrier")
+    analysis = analyze_run(spec.run(size=4))
+    assert "wait_at_barrier" in analysis.detected(0.01)
+
+
+def test_nested_omp_imbalance_detected_across_inner_teams():
+    spec = get_property("nested_omp_imbalance")
+    analysis = analyze_run(spec.run(num_threads=3))
+    assert "imbalance_in_omp_pregion" in analysis.detected(0.01)
+    # two outer threads each forked inner teams: waits land on more
+    # distinct thread locations than a single flat team would produce
+    locs = analysis.locations_of("imbalance_in_omp_pregion")
+    assert len(locs) >= 4
+
+
+def test_nested_omp_callpath_shows_both_levels():
+    spec = get_property("nested_omp_imbalance")
+    analysis = analyze_run(spec.run(num_threads=3))
+    paths = analysis.callpaths_of("imbalance_in_omp_pregion")
+    deepest = max(paths, key=len)
+    # property region -> outer parallel -> inner parallel -> barrier
+    assert deepest.count("omp_parallel") == 2
+    assert deepest[0] == "nested_omp_imbalance"

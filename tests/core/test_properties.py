@@ -1,0 +1,172 @@
+"""Integration tests: every property function round-trips through the
+analyzer and produces exactly its intended property.
+
+This is the heart of the reproduction: the paper's positive and
+negative correctness requirements, checked property by property.
+"""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.core import get_property, list_properties
+
+DETECTION_THRESHOLD = 0.01
+
+POSITIVE_SPECS = [s.name for s in list_properties(negative=False)]
+NEGATIVE_SPECS = [s.name for s in list_properties(negative=True)]
+
+
+def run_and_detect(name, **kwargs):
+    spec = get_property(name)
+    result = spec.run(**kwargs)
+    analysis = analyze_run(result)
+    return spec, analysis
+
+
+@pytest.mark.parametrize("name", POSITIVE_SPECS)
+def test_positive_property_detected(name):
+    """Each positive program exhibits all of its intended properties."""
+    spec, analysis = run_and_detect(name, size=8, num_threads=4)
+    detected = analysis.detected(DETECTION_THRESHOLD)
+    for expected in spec.expected:
+        assert expected in detected, (
+            f"{name}: {expected} not detected; got {detected}"
+        )
+
+
+@pytest.mark.parametrize("name", POSITIVE_SPECS)
+def test_positive_property_no_spurious_findings(name):
+    """Positive programs exhibit *only* intended (or allowed) properties."""
+    spec, analysis = run_and_detect(name, size=8, num_threads=4)
+    detected = set(analysis.detected(DETECTION_THRESHOLD))
+    tolerated = set(spec.expected) | set(spec.allowed) | {
+        "mpi_init_overhead",
+    }
+    spurious = detected - tolerated
+    assert not spurious, f"{name}: spurious properties {spurious}"
+
+
+@pytest.mark.parametrize("name", NEGATIVE_SPECS)
+def test_negative_program_triggers_nothing(name):
+    """Well-tuned programs must produce no property above threshold."""
+    spec, analysis = run_and_detect(name, size=8, num_threads=4)
+    detected = analysis.detected(DETECTION_THRESHOLD)
+    assert detected == (), f"{name}: false positives {detected}"
+
+
+@pytest.mark.parametrize(
+    "name", [s.name for s in list_properties(paradigm="mpi")]
+)
+@pytest.mark.parametrize("size", [2, 5, 8])
+def test_mpi_properties_work_at_any_size(name, size):
+    """Paper: 'no restrictions on the context where the functions are
+    called (e.g., the number of processors)'."""
+    spec = get_property(name)
+    result = spec.run(size=size)  # must not deadlock or crash
+    assert result.final_time > 0
+
+
+@pytest.mark.parametrize(
+    "name", [s.name for s in list_properties(paradigm="omp")]
+)
+@pytest.mark.parametrize("num_threads", [1, 2, 7])
+def test_omp_properties_work_at_any_team_size(name, num_threads):
+    spec = get_property(name)
+    result = spec.run(num_threads=num_threads)
+    assert result.final_time > 0
+
+
+def test_late_sender_severity_scales_with_extrawork():
+    spec = get_property("late_sender")
+    severities = []
+    for factor in (1.0, 2.0, 4.0):
+        result = spec.run(size=4, params=spec.scaled_params(factor))
+        severities.append(
+            analyze_run(result).severity(property="late_sender")
+        )
+    assert severities[0] < severities[1] < severities[2]
+
+
+def test_imbalance_severity_scales_with_distribution_spread():
+    spec = get_property("imbalance_at_mpi_barrier")
+    from repro.core import DistParam
+
+    severities = []
+    for high in (0.01, 0.03, 0.09):
+        result = spec.run(
+            size=4, params={"dist": DistParam("block2", (0.005, high))}
+        )
+        severities.append(
+            analyze_run(result).severity(property="wait_at_barrier")
+        )
+    assert severities[0] < severities[1] < severities[2]
+
+
+def test_late_broadcast_located_at_nonroot_ranks():
+    spec = get_property("late_broadcast")
+    result = spec.run(size=8, params={"root": 3})
+    analysis = analyze_run(result)
+    locs = analysis.locations_of("late_broadcast")
+    ranks = {loc.rank for loc in locs}
+    assert 3 not in ranks
+    assert ranks == set(range(8)) - {3}
+
+
+def test_early_reduce_located_at_root_only():
+    spec = get_property("early_reduce")
+    result = spec.run(size=8, params={"root": 2})
+    analysis = analyze_run(result)
+    locs = analysis.locations_of("early_reduce")
+    assert {loc.rank for loc in locs} == {2}
+
+
+def test_late_sender_located_at_receivers():
+    spec = get_property("late_sender")
+    result = spec.run(size=8)
+    analysis = analyze_run(result)
+    ranks = {loc.rank for loc in analysis.locations_of("late_sender")}
+    assert ranks == {1, 3, 5, 7}
+
+
+def test_late_receiver_located_at_senders():
+    spec = get_property("late_receiver")
+    result = spec.run(size=8)
+    analysis = analyze_run(result)
+    ranks = {loc.rank for loc in analysis.locations_of("late_receiver")}
+    assert ranks == {0, 2, 4, 6}
+
+
+def test_property_located_at_its_own_callpath():
+    """Figure 3.5: the property is found at the right call path."""
+    result = get_property("late_broadcast").run(size=4)
+    analysis = analyze_run(result)
+    callpaths = analysis.callpaths_of("late_broadcast")
+    (path, severity), *_ = list(callpaths.items())
+    assert path[-1] == "MPI_Bcast"
+    assert "late_broadcast" in path
+
+
+def test_omp_property_callpath_contains_construct():
+    result = get_property("imbalance_at_omp_barrier").run(num_threads=4)
+    analysis = analyze_run(result)
+    callpaths = analysis.callpaths_of("imbalance_at_omp_barrier")
+    (path, _), *_ = list(callpaths.items())
+    assert path[-1] == "omp_barrier"
+    assert "imbalance_at_omp_barrier" in path
+
+
+def test_wrong_order_wait_is_subset_of_late_sender():
+    result = get_property("messages_in_wrong_order").run(size=4)
+    analysis = analyze_run(result)
+    ls = analysis.severity(property="late_sender")
+    wo = analysis.severity(property="messages_in_wrong_order")
+    assert 0 < wo <= ls + 1e-12
+
+
+def test_determinism_of_property_runs():
+    spec = get_property("imbalance_at_mpi_barrier")
+    r1 = spec.run(size=4, seed=5)
+    r2 = spec.run(size=4, seed=5)
+    assert r1.final_time == r2.final_time
+    a1, a2 = analyze_run(r1), analyze_run(r2)
+    assert a1.severities_by_property() == a2.severities_by_property()

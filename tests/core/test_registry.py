@@ -1,0 +1,169 @@
+"""Tests for the property registry and base configuration."""
+
+import pytest
+
+from repro.core import (
+    DistParam,
+    PropertySpec,
+    alloc_base_buf,
+    base_cnt,
+    base_type,
+    get_property,
+    list_properties,
+    register_property,
+    reset_base_comm,
+    set_base_comm,
+)
+from repro.simmpi import MPI_DOUBLE, MPI_INT, RunResult
+from repro.simomp import OmpRunResult
+
+
+PAPER_PROPERTY_FUNCTIONS = [
+    # the complete list from paper section 3.1.5
+    "late_sender",
+    "late_receiver",
+    "imbalance_at_mpi_barrier",
+    "imbalance_at_mpi_alltoall",
+    "late_broadcast",
+    "late_scatter",
+    "late_scatterv",
+    "early_reduce",
+    "early_gather",
+    "early_gatherv",
+    "imbalance_in_omp_pregion",
+    "imbalance_at_omp_barrier",
+    "imbalance_in_omp_loop",
+]
+
+
+def test_every_paper_property_function_is_registered():
+    names = {s.name for s in list_properties()}
+    missing = set(PAPER_PROPERTY_FUNCTIONS) - names
+    assert not missing, f"paper property functions missing: {missing}"
+
+
+def test_registry_has_negative_programs():
+    negatives = list_properties(negative=True)
+    assert len(negatives) >= 4
+    assert all(s.expected == () for s in negatives)
+
+
+def test_registry_filters_by_paradigm():
+    assert all(s.paradigm == "omp" for s in list_properties(paradigm="omp"))
+    assert all(s.paradigm == "mpi" for s in list_properties(paradigm="mpi"))
+    assert len(list_properties(paradigm="hybrid")) >= 3
+
+
+def test_get_property_unknown_name():
+    with pytest.raises(KeyError, match="late_sender"):
+        get_property("nonexistent_property")
+
+
+def test_register_duplicate_rejected():
+    spec = get_property("late_sender")
+    with pytest.raises(ValueError, match="already registered"):
+        register_property(spec)
+
+
+def test_bad_paradigm_rejected():
+    with pytest.raises(ValueError, match="paradigm"):
+        PropertySpec(
+            name="x", func=lambda: None, paradigm="cuda", expected=()
+        )
+
+
+def test_materialize_expands_dist_params():
+    spec = get_property("imbalance_at_mpi_barrier")
+    params = spec.materialize()
+    assert "df" in params and "dd" in params and "r" in params
+    assert "dist" not in params
+
+
+def test_materialize_rejects_unknown_override():
+    spec = get_property("late_sender")
+    with pytest.raises(KeyError, match="bogus"):
+        spec.materialize({"bogus": 1})
+
+
+def test_materialize_applies_overrides():
+    spec = get_property("late_sender")
+    params = spec.materialize({"extrawork": 0.5})
+    assert params["extrawork"] == 0.5
+    assert params["basework"] == 0.005
+
+
+def test_scaled_params_scales_severity_knobs_only():
+    spec = get_property("late_sender")
+    scaled = spec.scaled_params(3.0)
+    assert scaled["extrawork"] == pytest.approx(0.06)
+    assert scaled["basework"] == 0.005  # not a severity param
+    assert scaled["r"] == 3
+
+
+def test_scaled_params_scales_distributions():
+    spec = get_property("imbalance_at_mpi_barrier")
+    scaled = spec.scaled_params(2.0)
+    dist = scaled["dist"]
+    assert isinstance(dist, DistParam)
+    assert dist.values == (0.01, 0.05)
+
+
+def test_dist_param_resolve():
+    dp = DistParam("cyclic2", (1.0, 2.0))
+    df, dd = dp.resolve()
+    assert df(0, 4, 1.0, dd) == 1.0
+    assert df(1, 4, 1.0, dd) == 2.0
+
+
+def test_run_mpi_spec_returns_run_result():
+    result = get_property("late_sender").run(size=4)
+    assert isinstance(result, RunResult)
+    assert result.size == 4
+    assert len(result.events) > 0
+
+
+def test_run_omp_spec_returns_omp_result():
+    result = get_property("imbalance_at_omp_barrier").run(num_threads=3)
+    assert isinstance(result, OmpRunResult)
+    assert result.num_threads == 3
+
+
+def test_run_rejects_too_small_world():
+    with pytest.raises(ValueError, match="at least"):
+        get_property("late_sender").run(size=1)
+
+
+def test_run_params_override_changes_duration():
+    spec = get_property("late_sender")
+    short = spec.run(size=4, params={"r": 1})
+    long = spec.run(size=4, params={"r": 5})
+    assert long.final_time > short.final_time
+
+
+# ----------------------------------------------------------------------
+# base communication configuration (paper 3.1.3)
+# ----------------------------------------------------------------------
+
+def test_set_base_comm_changes_allocations():
+    try:
+        set_base_comm(MPI_INT, 64)
+        assert base_type() is MPI_INT
+        assert base_cnt() == 64
+        buf = alloc_base_buf()
+        assert buf.cnt == 64 and buf.type is MPI_INT
+        big = alloc_base_buf(factor=3)
+        assert big.cnt == 192
+    finally:
+        reset_base_comm()
+
+
+def test_reset_base_comm_restores_defaults():
+    set_base_comm(MPI_INT, 7)
+    reset_base_comm()
+    assert base_type() is MPI_DOUBLE
+    assert base_cnt() == 256
+
+
+def test_negative_base_cnt_rejected():
+    with pytest.raises(ValueError):
+        set_base_comm(MPI_INT, -1)

@@ -1,0 +1,92 @@
+"""Direct tests for sequential and additional OpenMP properties."""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.core import get_property
+from repro.core.properties import (
+    compute_bound_phases,
+    io_bound_phases,
+)
+from repro.simkernel import SimulationCrashed, Simulator, current_process
+from repro.simomp import run_omp
+from repro.work import do_io
+
+
+def test_do_io_advances_time_and_records_regions():
+    from repro.trace import Location, TraceRecorder, bind_instrumentation
+
+    rec = TraceRecorder()
+    sim = Simulator()
+
+    def body():
+        bind_instrumentation(rec, Location(0, 0))
+        do_io(0.5, kind="read")
+        do_io(0.25, kind="write")
+
+    sim.spawn(body)
+    assert sim.run() == 0.75
+    regions = [getattr(e, "region", None) for e in rec.events]
+    assert regions == ["io_read", "io_read", "io_write", "io_write"]
+
+
+def test_do_io_validates_arguments():
+    sim = Simulator()
+
+    def bad_kind():
+        do_io(0.1, kind="scribble")
+
+    sim.spawn(bad_kind)
+    with pytest.raises(SimulationCrashed) as info:
+        sim.run()
+    assert isinstance(info.value.original, ValueError)
+
+
+def test_io_bound_severity_tracks_io_fraction():
+    result = run_omp(lambda: io_bound_phases(0.03, 0.01, 3))
+    analysis = analyze_run(result)
+    sev = analysis.severity(property="io_bound")
+    assert sev == pytest.approx(0.75, abs=0.02)  # 3/4 of time in io
+
+
+def test_compute_bound_negative_twin():
+    result = run_omp(lambda: compute_bound_phases(0.001, 0.05, 3))
+    analysis = analyze_run(result)
+    assert analysis.severity(property="io_bound") < 0.03
+    assert "io_bound" not in analysis.detected(0.05)
+
+
+def test_io_bound_callpath_localization():
+    result = get_property("io_bound_phases").run()
+    analysis = analyze_run(result)
+    (path, _), *_ = list(analysis.callpaths_of("io_bound").items())
+    assert "io_bound_phases" in path
+    assert path[-1] in ("io_read", "io_write")
+
+
+def test_single_imbalance_waits_scale_with_team_size():
+    spec = get_property("imbalance_at_omp_single")
+    small = analyze_run(spec.run(num_threads=2))
+    large = analyze_run(spec.run(num_threads=8))
+    # severity fraction is roughly (n-1)/n: more threads, more waiting
+    assert large.severity(
+        property="imbalance_at_omp_single"
+    ) > small.severity(property="imbalance_at_omp_single")
+
+
+def test_omp_reduce_imbalance_located_at_reduce_barrier():
+    spec = get_property("imbalance_at_omp_reduce")
+    analysis = analyze_run(spec.run(num_threads=4))
+    (path, _), *_ = list(
+        analysis.callpaths_of("imbalance_at_omp_reduce").items()
+    )
+    assert path[-1] == "omp_ibarrier_reduce"
+    assert "imbalance_at_omp_reduce" in path
+
+
+def test_sequential_properties_listed_in_registry():
+    from repro.core import list_properties
+
+    names = {s.name for s in list_properties()}
+    assert {"io_bound_phases", "imbalance_at_omp_single",
+            "imbalance_at_omp_reduce"} <= names

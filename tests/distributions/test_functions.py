@@ -1,0 +1,247 @@
+"""Unit and property-based tests for the ATS distribution functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Val1Distr,
+    Val2Distr,
+    Val2NDistr,
+    Val3Distr,
+    df_block2,
+    df_block3,
+    df_cyclic2,
+    df_cyclic3,
+    df_linear,
+    df_peak,
+    df_same,
+    get_distribution,
+    list_distributions,
+    register_distribution,
+)
+
+SIZES = st.integers(min_value=1, max_value=64)
+VALUES = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+SCALES = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# exact shapes
+# ----------------------------------------------------------------------
+
+def test_same_gives_everyone_the_value():
+    dd = Val1Distr(3.0)
+    assert [df_same(i, 5, 2.0, dd) for i in range(5)] == [6.0] * 5
+
+
+def test_cyclic2_alternates():
+    dd = Val2Distr(low=1.0, high=9.0)
+    assert [df_cyclic2(i, 6, 1.0, dd) for i in range(6)] == [
+        1.0, 9.0, 1.0, 9.0, 1.0, 9.0,
+    ]
+
+
+def test_block2_even_split():
+    dd = Val2Distr(low=1.0, high=2.0)
+    assert [df_block2(i, 4, 1.0, dd) for i in range(4)] == [
+        1.0, 1.0, 2.0, 2.0,
+    ]
+
+
+def test_block2_odd_split_gives_extra_to_low():
+    dd = Val2Distr(low=1.0, high=2.0)
+    assert [df_block2(i, 5, 1.0, dd) for i in range(5)] == [
+        1.0, 1.0, 1.0, 2.0, 2.0,
+    ]
+
+
+def test_linear_endpoints_and_midpoint():
+    dd = Val2Distr(low=2.0, high=10.0)
+    assert df_linear(0, 5, 1.0, dd) == 2.0
+    assert df_linear(4, 5, 1.0, dd) == 10.0
+    assert df_linear(2, 5, 1.0, dd) == 6.0
+
+
+def test_linear_single_rank_gets_low():
+    assert df_linear(0, 1, 1.0, Val2Distr(3.0, 99.0)) == 3.0
+
+
+def test_peak_hits_exactly_one_rank():
+    dd = Val2NDistr(low=1.0, high=50.0, n=2)
+    values = [df_peak(i, 6, 1.0, dd) for i in range(6)]
+    assert values == [1.0, 1.0, 50.0, 1.0, 1.0, 1.0]
+
+
+def test_peak_index_wraps_modulo_size():
+    dd = Val2NDistr(low=0.0, high=5.0, n=7)
+    values = [df_peak(i, 4, 1.0, dd) for i in range(4)]
+    assert values == [0.0, 0.0, 0.0, 5.0]  # 7 % 4 == 3
+
+
+def test_cyclic3_cycles_low_med_high():
+    dd = Val3Distr(low=1.0, high=3.0, med=2.0)
+    assert [df_cyclic3(i, 7, 1.0, dd) for i in range(7)] == [
+        1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0,
+    ]
+
+
+def test_block3_balanced_blocks():
+    dd = Val3Distr(low=1.0, high=3.0, med=2.0)
+    assert [df_block3(i, 6, 1.0, dd) for i in range(6)] == [
+        1.0, 1.0, 2.0, 2.0, 3.0, 3.0,
+    ]
+
+
+def test_block3_remainder_goes_to_early_blocks():
+    dd = Val3Distr(low=1.0, high=3.0, med=2.0)
+    # sz=7 -> blocks of 3, 2, 2
+    assert [df_block3(i, 7, 1.0, dd) for i in range(7)] == [
+        1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0,
+    ]
+    # sz=8 -> blocks of 3, 3, 2
+    assert [df_block3(i, 8, 1.0, dd) for i in range(8)] == [
+        1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0,
+    ]
+
+
+# ----------------------------------------------------------------------
+# error handling
+# ----------------------------------------------------------------------
+
+def test_rank_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        df_same(5, 5, 1.0, Val1Distr(1.0))
+    with pytest.raises(ValueError):
+        df_same(-1, 5, 1.0, Val1Distr(1.0))
+    with pytest.raises(ValueError):
+        df_same(0, 0, 1.0, Val1Distr(1.0))
+
+
+def test_wrong_descriptor_type_rejected():
+    with pytest.raises(TypeError):
+        df_cyclic2(0, 4, 1.0, Val1Distr(1.0))
+    with pytest.raises(TypeError):
+        df_same(0, 4, 1.0, Val2Distr(1.0, 2.0))
+    with pytest.raises(TypeError):
+        df_peak(0, 4, 1.0, Val2Distr(1.0, 2.0))
+
+
+def test_negative_descriptor_values_rejected():
+    with pytest.raises(ValueError):
+        Val1Distr(-1.0)
+    with pytest.raises(ValueError):
+        Val2Distr(1.0, -2.0)
+    with pytest.raises(ValueError):
+        Val2NDistr(1.0, 2.0, -1)
+    with pytest.raises(ValueError):
+        Val3Distr(1.0, -2.0, 3.0)
+
+
+# ----------------------------------------------------------------------
+# property-based invariants
+# ----------------------------------------------------------------------
+
+@given(SIZES, VALUES, SCALES)
+@settings(max_examples=60)
+def test_same_is_scale_times_value_everywhere(sz, val, scale):
+    dd = Val1Distr(val)
+    for me in range(sz):
+        assert df_same(me, sz, scale, dd) == pytest.approx(scale * val)
+
+
+@given(SIZES, VALUES, VALUES, SCALES)
+@settings(max_examples=60)
+def test_two_value_shapes_stay_within_range(sz, low, high, scale):
+    dd = Val2Distr(low, high)
+    lo, hi = sorted([low, high])
+    for df in (df_cyclic2, df_block2, df_linear):
+        for me in range(sz):
+            v = df(me, sz, scale, dd)
+            slack = 1e-9 + 1e-12 * scale * (hi + 1.0)
+            assert scale * lo - slack <= v <= scale * hi + slack
+
+
+@given(SIZES, VALUES, VALUES)
+@settings(max_examples=60)
+def test_scaling_is_proportional(sz, low, high):
+    dd = Val2Distr(low, high)
+    for df in (df_cyclic2, df_block2, df_linear):
+        for me in range(sz):
+            assert df(me, sz, 3.0, dd) == pytest.approx(
+                3.0 * df(me, sz, 1.0, dd)
+            )
+
+
+@given(SIZES, VALUES, VALUES, st.integers(min_value=0, max_value=200))
+@settings(max_examples=60)
+def test_peak_total_is_one_high_rest_low(sz, low, high, n):
+    dd = Val2NDistr(low, high, n)
+    values = [df_peak(me, sz, 1.0, dd) for me in range(sz)]
+    assert values.count(high) >= 1
+    total = sum(values)
+    assert total == pytest.approx((sz - 1) * low + high)
+
+
+@given(SIZES, VALUES, VALUES, VALUES)
+@settings(max_examples=60)
+def test_block3_is_monotone_in_block_order(sz, low, med, high):
+    dd = Val3Distr(low=low, high=high, med=med)
+    values = [df_block3(me, sz, 1.0, dd) for me in range(sz)]
+    # Values appear in (low, med, high) block order.
+    expected_order = [low, med, high]
+    idx = 0
+    for v in values:
+        while idx < 2 and v != expected_order[idx]:
+            idx += 1
+        assert v == expected_order[idx]
+
+
+@given(SIZES, VALUES, VALUES)
+@settings(max_examples=60)
+def test_linear_is_monotone(sz, low, high):
+    dd = Val2Distr(low, high)
+    values = [df_linear(me, sz, 1.0, dd) for me in range(sz)]
+    diffs = [b - a for a, b in zip(values, values[1:])]
+    if high >= low:
+        assert all(d >= -1e-9 for d in diffs)
+    else:
+        assert all(d <= 1e-9 for d in diffs)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+def test_registry_contains_the_paper_set():
+    names = {spec.name for spec in list_distributions()}
+    assert {
+        "same", "cyclic2", "block2", "linear", "peak", "cyclic3", "block3",
+    } <= names
+
+
+def test_registry_lookup_and_descriptor_construction():
+    spec = get_distribution("cyclic2")
+    dd = spec.make_descriptor(1.0, 2.0)
+    assert spec.func(1, 4, 1.0, dd) == 2.0
+
+
+def test_registry_unknown_name_lists_candidates():
+    with pytest.raises(KeyError, match="cyclic2"):
+        get_distribution("nope")
+
+
+def test_registry_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_distribution("same", df_same, Val1Distr)
+
+
+def test_user_extension_registers_and_works():
+    def df_reverse_linear(me, sz, scale, dd):
+        return df_linear(sz - 1 - me, sz, scale, dd)
+
+    spec = register_distribution(
+        "reverse_linear_test", df_reverse_linear, Val2Distr, "test only"
+    )
+    assert get_distribution("reverse_linear_test") is spec
+    assert spec.func(0, 5, 1.0, Val2Distr(0.0, 8.0)) == 8.0

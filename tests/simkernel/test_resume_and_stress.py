@@ -1,0 +1,141 @@
+"""Kernel edge cases: run-until resumption, many processes, fairness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import (
+    SimBarrier,
+    SimError,
+    Simulator,
+    current_process,
+    hold,
+    now,
+)
+
+
+def test_run_until_then_resume_continues_exactly():
+    sim = Simulator()
+    marks = []
+
+    def body():
+        for i in range(5):
+            hold(1.0)
+            marks.append(now())
+
+    sim.spawn(body)
+    assert sim.run(until=2.5) == 2.5
+    assert marks == [1.0, 2.0]
+    assert sim.run() == 5.0
+    assert marks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_run_until_multiple_windows():
+    sim = Simulator()
+
+    def body():
+        for _ in range(10):
+            hold(1.0)
+
+    sim.spawn(body)
+    for stop in (3.0, 6.0, 9.0):
+        assert sim.run(until=stop) == stop
+    assert sim.run() == 10.0
+
+
+def test_run_until_exact_event_time_executes_event():
+    sim = Simulator()
+    marks = []
+
+    def body():
+        hold(2.0)
+        marks.append(now())
+        hold(2.0)
+        marks.append(now())
+
+    sim.spawn(body)
+    sim.run(until=2.0)
+    assert marks == [2.0]
+
+
+def test_many_processes_scale():
+    sim = Simulator()
+    bar = SimBarrier(100)
+    done = []
+
+    def body(i):
+        hold(0.001 * (i % 10))
+        bar.wait()
+        done.append(i)
+
+    for i in range(100):
+        sim.spawn(body, i)
+    sim.run()
+    assert len(done) == 100
+
+
+def test_dispatch_count_monotone():
+    sim = Simulator()
+
+    def body():
+        for _ in range(5):
+            hold(0.1)
+
+    sim.spawn(body)
+    sim.run()
+    assert sim.dispatch_count >= 6
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=10.0),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_final_time_is_max_process_span(durations):
+    sim = Simulator()
+
+    def body(d):
+        hold(d)
+
+    for d in durations:
+        sim.spawn(body, d)
+    assert sim.run() == pytest.approx(max(durations))
+
+
+@given(
+    steps=st.lists(
+        st.floats(min_value=0.001, max_value=1.0),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_single_process_time_is_sum_of_holds(steps):
+    sim = Simulator()
+
+    def body():
+        for s in steps:
+            hold(s)
+        return now()
+
+    sim.spawn(body, name="p")
+    sim.run()
+    assert sim.results()["p"] == pytest.approx(sum(steps))
+
+
+def test_clock_never_goes_backwards():
+    sim = Simulator()
+    observed = []
+
+    def body(tag):
+        for i in range(5):
+            hold(0.1 * ((tag + i) % 3 + 1))
+            observed.append(sim.now)
+
+    for tag in range(4):
+        sim.spawn(body, tag)
+    sim.run()
+    assert observed == sorted(observed)

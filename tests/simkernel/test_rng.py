@@ -1,0 +1,88 @@
+"""Unit and property-based tests for the lock-free parallel RNG."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Lcg64
+
+
+def test_same_seed_same_stream():
+    a, b = Lcg64(42), Lcg64(42)
+    assert [a.next_u64() for _ in range(10)] == [
+        b.next_u64() for _ in range(10)
+    ]
+
+
+def test_different_seeds_differ():
+    a, b = Lcg64(1), Lcg64(2)
+    assert [a.next_u64() for _ in range(4)] != [
+        b.next_u64() for _ in range(4)
+    ]
+
+
+def test_random_in_unit_interval():
+    rng = Lcg64(7)
+    for _ in range(1000):
+        x = rng.random()
+        assert 0.0 <= x < 1.0
+
+
+def test_random_roughly_uniform():
+    rng = Lcg64(123)
+    n = 20000
+    mean = sum(rng.random() for _ in range(n)) / n
+    assert abs(mean - 0.5) < 0.02
+
+
+def test_randrange_bounds_and_error():
+    rng = Lcg64(5)
+    for _ in range(200):
+        assert 0 <= rng.randrange(7) < 7
+    with pytest.raises(ValueError):
+        rng.randrange(0)
+
+
+def test_uniform_bounds():
+    rng = Lcg64(9)
+    for _ in range(200):
+        x = rng.uniform(2.0, 3.0)
+        assert 2.0 <= x < 3.0
+
+
+def test_spawn_deterministic_and_independent():
+    parent = Lcg64(99)
+    c1 = parent.spawn(0)
+    c2 = parent.spawn(1)
+    c1_again = Lcg64(99).spawn(0)
+    seq1 = [c1.next_u64() for _ in range(5)]
+    assert seq1 == [c1_again.next_u64() for _ in range(5)]
+    assert seq1 != [c2.next_u64() for _ in range(5)]
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=50)
+def test_next_u64_always_64bit(seed):
+    rng = Lcg64(seed)
+    for _ in range(8):
+        assert 0 <= rng.next_u64() < 2**64
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50)
+def test_spawn_children_reproducible(seed, index):
+    a = Lcg64(seed).spawn(index)
+    b = Lcg64(seed).spawn(index)
+    assert a.next_u64() == b.next_u64()
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=30)
+def test_sibling_streams_decorrelated(seed):
+    # Adjacent spawn indices must not produce identical first draws.
+    parent = Lcg64(seed)
+    draws = {parent.spawn(i).next_u64() for i in range(16)}
+    assert len(draws) == 16

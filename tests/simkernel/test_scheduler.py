@@ -1,0 +1,284 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.simkernel import (
+    DeadlockError,
+    NotInProcessError,
+    ProcState,
+    SimError,
+    SimulationCrashed,
+    Simulator,
+    current_process,
+    hold,
+    now,
+    passivate,
+)
+
+
+def test_empty_simulation_runs_to_zero():
+    sim = Simulator()
+    assert sim.run() == 0.0
+
+
+def test_single_process_holds_advance_clock():
+    sim = Simulator()
+    seen = []
+
+    def body():
+        seen.append(now())
+        hold(1.5)
+        seen.append(now())
+        hold(0.5)
+        seen.append(now())
+
+    sim.spawn(body)
+    end = sim.run()
+    assert seen == [0.0, 1.5, 2.0]
+    assert end == 2.0
+
+
+def test_spawn_delay_offsets_start_time():
+    sim = Simulator()
+    starts = {}
+
+    def body(tag):
+        starts[tag] = now()
+
+    sim.spawn(body, "a")
+    sim.spawn(body, "b", delay=3.0)
+    sim.run()
+    assert starts == {"a": 0.0, "b": 3.0}
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def body(tag, dt):
+        for _ in range(3):
+            hold(dt)
+            order.append((tag, now()))
+
+    sim.spawn(body, "slow", 2.0)
+    sim.spawn(body, "fast", 1.0)
+    sim.run()
+    assert order == [
+        ("fast", 1.0),
+        ("slow", 2.0),
+        ("fast", 2.0),
+        ("fast", 3.0),
+        ("slow", 4.0),
+        ("slow", 6.0),
+    ]
+
+
+def test_simultaneous_events_run_in_spawn_order():
+    sim = Simulator()
+    order = []
+
+    def body(tag):
+        hold(1.0)
+        order.append(tag)
+
+    for tag in ("x", "y", "z"):
+        sim.spawn(body, tag)
+    sim.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_results_collects_return_values():
+    sim = Simulator()
+    sim.spawn(lambda: 41 + 1, name="answer")
+    sim.run()
+    assert sim.results() == {"answer": 42}
+
+
+def test_process_exception_propagates_as_simulation_crashed():
+    sim = Simulator()
+
+    def bad():
+        hold(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad, name="bad")
+    sim.spawn(lambda: passivate(), name="waiter")
+    with pytest.raises(SimulationCrashed) as info:
+        sim.run()
+    assert isinstance(info.value.original, ValueError)
+    assert info.value.process_name == "bad"
+
+
+def test_crash_tears_down_other_processes():
+    sim = Simulator()
+
+    def bad():
+        raise RuntimeError("die")
+
+    def waiter():
+        passivate()
+
+    sim.spawn(bad)
+    proc = sim.spawn(waiter)
+    with pytest.raises(SimulationCrashed):
+        sim.run()
+    assert proc.state in (ProcState.KILLED,)
+
+
+def test_deadlock_detected_and_reported():
+    sim = Simulator()
+
+    def stuck():
+        passivate("waiting for godot")
+
+    sim.spawn(stuck, name="vladimir")
+    sim.spawn(stuck, name="estragon")
+    with pytest.raises(DeadlockError) as info:
+        sim.run()
+    msg = str(info.value)
+    assert "vladimir" in msg and "estragon" in msg
+    assert "godot" in msg
+
+
+def test_activate_wakes_passive_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        passivate()
+        log.append(("woke", now()))
+
+    def waker(target):
+        hold(5.0)
+        sim.activate(target)
+        log.append(("waker done", now()))
+
+    target = sim.spawn(sleeper)
+    sim.spawn(waker, target)
+    sim.run()
+    assert ("woke", 5.0) in log
+
+
+def test_activate_dead_process_raises():
+    sim = Simulator()
+    done = sim.spawn(lambda: None, name="done")
+
+    def late():
+        hold(1.0)
+        sim.activate(done)
+
+    sim.spawn(late)
+    with pytest.raises(SimulationCrashed) as info:
+        sim.run()
+    assert isinstance(info.value.original, SimError)
+
+
+def test_negative_hold_rejected():
+    sim = Simulator()
+
+    def body():
+        hold(-1.0)
+
+    sim.spawn(body)
+    with pytest.raises(SimulationCrashed) as info:
+        sim.run()
+    assert isinstance(info.value.original, ValueError)
+
+
+def test_hold_outside_process_rejected():
+    sim = Simulator()
+    with pytest.raises(NotInProcessError):
+        sim.hold(1.0)
+    with pytest.raises(NotInProcessError):
+        current_process()
+
+
+def test_run_until_stops_clock_early():
+    sim = Simulator()
+
+    def body():
+        for _ in range(10):
+            hold(1.0)
+
+    sim.spawn(body)
+    assert sim.run(until=3.5) == 3.5
+    assert sim.now == 3.5
+
+
+def test_max_dispatches_guards_runaway():
+    sim = Simulator()
+
+    def spin():
+        while True:
+            hold(1.0)
+
+    sim.spawn(spin)
+    with pytest.raises(SimError):
+        sim.run(max_dispatches=50)
+
+
+def test_nested_spawn_from_running_process():
+    sim = Simulator()
+    log = []
+
+    def child(tag):
+        hold(1.0)
+        log.append((tag, now()))
+
+    def parent():
+        hold(2.0)
+        sim.spawn(child, "kid")
+        hold(5.0)
+        log.append(("parent", now()))
+
+    sim.spawn(parent)
+    sim.run()
+    assert log == [("kid", 3.0), ("parent", 7.0)]
+
+
+def test_cannot_run_twice():
+    sim = Simulator()
+    sim.run()
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_cannot_spawn_after_finish():
+    sim = Simulator()
+    sim.run()
+    with pytest.raises(SimError):
+        sim.spawn(lambda: None)
+
+
+def test_determinism_same_program_same_schedule():
+    def trace_run():
+        sim = Simulator(seed=7)
+        log = []
+
+        def body(tag, dt):
+            for i in range(4):
+                hold(dt * (i + 1))
+                log.append((tag, now()))
+
+        sim.spawn(body, "a", 0.3)
+        sim.spawn(body, "b", 0.5)
+        sim.spawn(body, "c", 0.3)
+        sim.run()
+        return log
+
+    assert trace_run() == trace_run()
+
+
+def test_process_context_dict_is_per_process():
+    sim = Simulator()
+    seen = {}
+
+    def body(tag):
+        current_process().context["tag"] = tag
+        hold(1.0)
+        seen[tag] = current_process().context["tag"]
+
+    sim.spawn(body, "a")
+    sim.spawn(body, "b")
+    sim.run()
+    assert seen == {"a": "a", "b": "b"}

@@ -1,0 +1,162 @@
+"""Property-based collective correctness against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_run
+from repro.core import get_property
+from repro.simmpi import (
+    CollectiveTuning,
+    MPI_INT,
+    MPI_MAX,
+    MPI_MIN,
+    MPI_PROD,
+    MPI_SUM,
+    alloc_mpi_buf,
+    run_mpi,
+)
+
+FAST = dict(model_init_overhead=False)
+OPS = {
+    "sum": (MPI_SUM, np.sum),
+    "max": (MPI_MAX, np.max),
+    "min": (MPI_MIN, np.min),
+    "prod": (MPI_PROD, np.prod),
+}
+
+
+@given(
+    size=st.integers(min_value=1, max_value=10),
+    root=st.integers(min_value=0, max_value=9),
+    values=st.lists(
+        st.integers(min_value=-50, max_value=50), min_size=4, max_size=4
+    ),
+    algo=st.sampled_from(["binomial", "linear"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_bcast_random_configs(size, root, values, algo):
+    root %= size
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 4)
+        if comm.rank() == root:
+            buf.data[:] = values
+        comm.bcast(buf, root=root)
+        assert list(buf.data) == values
+
+    run_mpi(main, size, collectives=CollectiveTuning(bcast=algo), **FAST)
+
+
+@given(
+    size=st.integers(min_value=1, max_value=9),
+    root=st.integers(min_value=0, max_value=8),
+    op_name=st.sampled_from(sorted(OPS)),
+    contributions=st.lists(
+        st.integers(min_value=-4, max_value=4), min_size=9, max_size=9
+    ),
+    algo=st.sampled_from(["binomial", "linear"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_reduce_random_configs(size, root, op_name, contributions, algo):
+    root %= size
+    op, ref = OPS[op_name]
+    expected = int(ref(np.array(contributions[:size], dtype=np.int64)))
+
+    def main(comm):
+        me = comm.rank()
+        sb = alloc_mpi_buf(MPI_INT, 1)
+        sb.data[0] = contributions[me]
+        rb = alloc_mpi_buf(MPI_INT, 1) if me == root else None
+        comm.reduce(sb, rb, op, root=root)
+        if me == root:
+            assert rb.data[0] == expected
+
+    run_mpi(
+        main, size, collectives=CollectiveTuning(reduce=algo), **FAST
+    )
+
+
+@given(
+    size=st.integers(min_value=1, max_value=8),
+    chunk=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_allgather_random_configs(size, chunk):
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        sb = alloc_mpi_buf(MPI_INT, chunk)
+        sb.data[:] = me * 10 + np.arange(chunk)
+        rb = alloc_mpi_buf(MPI_INT, chunk * sz)
+        comm.allgather(sb, rb)
+        expected = [
+            r * 10 + i for r in range(sz) for i in range(chunk)
+        ]
+        assert list(rb.data) == expected
+
+    run_mpi(main, size, **FAST)
+
+
+@given(
+    size=st.integers(min_value=2, max_value=8),
+    op_name=st.sampled_from(["sum", "max"]),
+    contributions=st.lists(
+        st.integers(min_value=0, max_value=9), min_size=8, max_size=8
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_scan_exscan_consistency(size, op_name, contributions):
+    """exscan(i) combined with own value equals scan(i)."""
+    op, ref = OPS[op_name]
+    observed = {}
+
+    def main(comm):
+        me = comm.rank()
+        sb = alloc_mpi_buf(MPI_INT, 1)
+        sb.data[0] = contributions[me]
+        inc = alloc_mpi_buf(MPI_INT, 1)
+        exc = alloc_mpi_buf(MPI_INT, 1)
+        comm.scan(sb, inc, op)
+        comm.exscan(sb, exc, op)
+        observed[me] = (int(inc.data[0]), int(exc.data[0]))
+
+    run_mpi(main, size, **FAST)
+    for me in range(size):
+        prefix = np.array(contributions[: me + 1], dtype=np.int64)
+        assert observed[me][0] == int(ref(prefix))
+        if me > 0:
+            combined = op(
+                np.array([observed[me][1]], dtype=np.int64),
+                np.array([contributions[me]], dtype=np.int64),
+            )
+            assert int(combined[0]) == observed[me][0]
+
+
+@pytest.mark.parametrize(
+    "spec_name",
+    ["imbalance_at_mpi_barrier", "late_broadcast", "early_reduce"],
+)
+def test_collective_properties_survive_linear_algorithms(spec_name):
+    """Properties stay detectable under the naive collective
+    implementations (the paper's portability requirement)."""
+    from repro.simmpi import MpiWorld
+    from repro.trace import TraceRecorder
+
+    spec = get_property(spec_name)
+    kwargs = spec.materialize()
+
+    def main(comm):
+        spec.func(**kwargs, comm=comm)
+
+    result = run_mpi(
+        main,
+        8,
+        collectives=CollectiveTuning(
+            bcast="linear", reduce="linear", barrier="linear"
+        ),
+        **FAST,
+    )
+    detected = analyze_run(result).detected(0.01)
+    for expected in spec.expected:
+        assert expected in detected

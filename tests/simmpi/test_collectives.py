@@ -1,0 +1,292 @@
+"""Collective operation semantics and timing dependencies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Val2Distr, df_linear
+from repro.simmpi import (
+    MPI_DOUBLE,
+    MPI_INT,
+    MPI_MAX,
+    MPI_MIN,
+    MPI_PROD,
+    MPI_SUM,
+    MpiError,
+    alloc_mpi_buf,
+    alloc_mpi_vbuf,
+    run_mpi,
+)
+from repro.simkernel import SimulationCrashed
+from repro.work import do_work
+
+FAST = dict(model_init_overhead=False)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+def test_barrier_releases_at_last_arrival(size):
+    exits = {}
+
+    def main(comm):
+        me = comm.rank()
+        do_work(0.01 * (me + 1))
+        comm.barrier()
+        exits[me] = comm.world.sim.now
+
+    run_mpi(main, size, **FAST)
+    slowest_arrival = 0.01 * size
+    for me, t in exits.items():
+        assert t >= slowest_arrival - 1e-9
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_delivers_root_data(size, root):
+    root = size - 1 if root == "last" else root
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 16)
+        if comm.rank() == root:
+            buf.data[:] = np.arange(16) + 100
+        comm.bcast(buf, root=root)
+        assert list(buf.data) == list(range(100, 116))
+
+    run_mpi(main, size, **FAST)
+
+
+def test_bcast_nonroots_wait_for_late_root():
+    exits = {}
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 4)
+        if comm.rank() == 2:
+            do_work(0.1)  # late root
+        comm.bcast(buf, root=2)
+        exits[comm.rank()] = comm.world.sim.now
+
+    run_mpi(main, 4, **FAST)
+    for rank, t in exits.items():
+        assert t >= 0.1  # nobody can finish before the root enters
+
+
+@pytest.mark.parametrize(
+    "op,expected",
+    [
+        (MPI_SUM, sum(range(5))),
+        (MPI_MAX, 4),
+        (MPI_MIN, 0),
+        (MPI_PROD, 0),
+    ],
+)
+def test_reduce_operations(op, expected):
+    def main(comm):
+        me = comm.rank()
+        sb = alloc_mpi_buf(MPI_DOUBLE, 3)
+        sb.fill(me)
+        rb = alloc_mpi_buf(MPI_DOUBLE, 3) if me == 1 else None
+        comm.reduce(sb, rb, op, root=1)
+        if me == 1:
+            assert np.all(rb.data == expected)
+
+    run_mpi(main, 5, **FAST)
+
+
+def test_reduce_root_waits_for_contributors():
+    elapsed = {}
+
+    def main(comm):
+        me = comm.rank()
+        sb = alloc_mpi_buf(MPI_DOUBLE, 1)
+        rb = alloc_mpi_buf(MPI_DOUBLE, 1) if me == 0 else None
+        if me != 0:
+            do_work(0.05)  # contributors are late; root enters early
+        t0 = comm.world.sim.now
+        comm.reduce(sb, rb, MPI_SUM, root=0)
+        elapsed[me] = comm.world.sim.now - t0
+
+    run_mpi(main, 4, **FAST)
+    assert elapsed[0] == pytest.approx(0.05, rel=0.05)  # early reduce wait
+
+
+def test_allreduce_everyone_gets_result():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        sb = alloc_mpi_buf(MPI_INT, 2)
+        sb.fill(me + 1)
+        rb = alloc_mpi_buf(MPI_INT, 2)
+        comm.allreduce(sb, rb, MPI_SUM)
+        assert np.all(rb.data == sz * (sz + 1) // 2)
+
+    for size in (1, 2, 3, 6, 8):
+        run_mpi(main, size, **FAST)
+
+
+def test_scatter_distributes_chunks():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        k = 3
+        sb = alloc_mpi_buf(MPI_INT, k * sz) if me == 1 else None
+        if me == 1:
+            sb.data[:] = np.arange(k * sz)
+        rb = alloc_mpi_buf(MPI_INT, k)
+        comm.scatter(sb, rb, root=1)
+        assert list(rb.data) == [me * k, me * k + 1, me * k + 2]
+
+    run_mpi(main, 5, **FAST)
+
+
+def test_gather_collects_chunks():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        sb = alloc_mpi_buf(MPI_INT, 2)
+        sb.fill(me)
+        rb = alloc_mpi_buf(MPI_INT, 2 * sz) if me == 0 else None
+        comm.gather(sb, rb, root=0)
+        if me == 0:
+            assert list(rb.data) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    run_mpi(main, 4, **FAST)
+
+
+def test_scatterv_gatherv_with_distribution_counts():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        dd = Val2Distr(low=1.0, high=float(sz))
+        vbuf = alloc_mpi_vbuf(MPI_INT, df_linear, dd, 1.0, comm)
+        # counts are 1..sz by the linear distribution
+        assert vbuf.counts == [round(1 + (sz - 1) * i / (sz - 1)) if sz > 1
+                               else 1 for i in range(sz)]
+        if me == 0:
+            vbuf.rootbuf.data[:] = np.arange(vbuf.total)
+        comm.scatterv(vbuf, root=0)
+        lo = vbuf.displs[me]
+        assert list(vbuf.buf.data) == list(range(lo, lo + vbuf.counts[me]))
+        # round trip: gather the chunks back
+        vbuf.rootbuf.data[:] = -1
+        comm.gatherv(vbuf, root=0)
+        if me == 0:
+            assert list(vbuf.rootbuf.data) == list(range(vbuf.total))
+
+    run_mpi(main, 4, **FAST)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+def test_allgather_ring(size):
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        sb = alloc_mpi_buf(MPI_INT, 2)
+        sb.data[:] = [me, me * 10]
+        rb = alloc_mpi_buf(MPI_INT, 2 * sz)
+        comm.allgather(sb, rb)
+        expected = []
+        for r in range(sz):
+            expected += [r, r * 10]
+        assert list(rb.data) == expected
+
+    run_mpi(main, size, **FAST)
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 6])
+def test_alltoall_pairwise(size):
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        sb = alloc_mpi_buf(MPI_INT, sz)
+        sb.data[:] = me * 100 + np.arange(sz)
+        rb = alloc_mpi_buf(MPI_INT, sz)
+        comm.alltoall(sb, rb)
+        assert list(rb.data) == [p * 100 + me for p in range(sz)]
+
+    run_mpi(main, size, **FAST)
+
+
+def test_scan_prefix_sums():
+    def main(comm):
+        me = comm.rank()
+        sb = alloc_mpi_buf(MPI_INT, 1)
+        sb.data[0] = me + 1
+        rb = alloc_mpi_buf(MPI_INT, 1)
+        comm.scan(sb, rb, MPI_SUM)
+        assert rb.data[0] == (me + 1) * (me + 2) // 2
+
+    run_mpi(main, 6, **FAST)
+
+
+def test_collectives_compose_in_sequence():
+    """Several different collectives back to back must not cross-match."""
+
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        b = alloc_mpi_buf(MPI_INT, 4)
+        if me == 0:
+            b.fill(1)
+        comm.bcast(b, 0)
+        comm.barrier()
+        s = alloc_mpi_buf(MPI_INT, 4)
+        s.fill(me)
+        r = alloc_mpi_buf(MPI_INT, 4)
+        comm.allreduce(s, r, MPI_MAX)
+        assert np.all(r.data == sz - 1)
+        comm.barrier()
+        comm.bcast(b, sz - 1)
+        assert np.all(b.data == 1)
+
+    run_mpi(main, 7, **FAST)
+
+
+def test_reduce_without_root_buffer_rejected():
+    def main(comm):
+        sb = alloc_mpi_buf(MPI_INT, 1)
+        comm.reduce(sb, None, MPI_SUM, root=comm.rank())
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 1, **FAST)
+    assert isinstance(info.value.original, MpiError)
+
+
+def test_scatter_undersized_root_buffer_rejected():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        sb = alloc_mpi_buf(MPI_INT, sz)  # needs sz * 2
+        rb = alloc_mpi_buf(MPI_INT, 2)
+        comm.scatter(sb if me == 0 else None, rb, root=0)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 3, **FAST)
+    assert isinstance(info.value.original, MpiError)
+
+
+def test_alltoall_requires_divisible_buffers():
+    def main(comm):
+        sb = alloc_mpi_buf(MPI_INT, 5)  # not divisible by size 3
+        rb = alloc_mpi_buf(MPI_INT, 5)
+        comm.alltoall(sb, rb)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 3, **FAST)
+    assert isinstance(info.value.original, MpiError)
+
+
+@given(
+    size=st.integers(min_value=1, max_value=9),
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000),
+        min_size=9,
+        max_size=9,
+    ),
+)
+@settings(max_examples=15, deadline=None)
+def test_allreduce_matches_numpy_reference(size, values):
+    results = {}
+
+    def main(comm):
+        me = comm.rank()
+        sb = alloc_mpi_buf(MPI_INT, 1)
+        sb.data[0] = values[me]
+        rb = alloc_mpi_buf(MPI_INT, 1)
+        comm.allreduce(sb, rb, MPI_SUM)
+        results[me] = int(rb.data[0])
+
+    run_mpi(main, size, **FAST)
+    expected = sum(values[:size])
+    assert all(v == expected for v in results.values())

@@ -1,0 +1,191 @@
+"""Communicator management: split, dup, rank translation, tracing ids."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    MPI_INT,
+    MPI_SUM,
+    MpiError,
+    alloc_mpi_buf,
+    run_mpi,
+)
+from repro.simkernel import SimulationCrashed
+
+FAST = dict(model_init_overhead=False)
+
+
+def test_split_halves():
+    infos = {}
+
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        half = comm.split(me // (sz // 2))
+        infos[me] = (half.rank(), half.size(), half.group)
+
+    run_mpi(main, 8, **FAST)
+    for g in range(8):
+        local, size, group = infos[g]
+        assert size == 4
+        assert local == g % 4
+        assert group == tuple(range(4)) if g < 4 else tuple(range(4, 8))
+
+
+def test_split_key_reorders_ranks():
+    infos = {}
+
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        # All the same color; key reverses the order.
+        sub = comm.split(0, key=sz - me)
+        infos[me] = sub.rank()
+
+    run_mpi(main, 4, **FAST)
+    assert infos == {0: 3, 1: 2, 2: 1, 3: 0}
+
+
+def test_split_undefined_color_returns_none():
+    infos = {}
+
+    def main(comm):
+        me = comm.rank()
+        sub = comm.split(-1 if me == 0 else 0)
+        infos[me] = None if sub is None else sub.size()
+
+    run_mpi(main, 4, **FAST)
+    assert infos == {0: None, 1: 3, 2: 3, 3: 3}
+
+
+def test_split_communicators_are_independent_universes():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        half = comm.split(me % 2)
+        sb = alloc_mpi_buf(MPI_INT, 1)
+        sb.data[0] = comm.world.comm_world.group[me]  # global rank
+        rb = alloc_mpi_buf(MPI_INT, 1)
+        half.allreduce(sb, rb, MPI_SUM)
+        if me % 2 == 0:
+            assert rb.data[0] == 0 + 2 + 4 + 6
+        else:
+            assert rb.data[0] == 1 + 3 + 5 + 7
+
+    run_mpi(main, 8, **FAST)
+
+
+def test_split_comm_ids_consistent_across_members():
+    ids = {}
+
+    def main(comm):
+        me = comm.rank()
+        sub = comm.split(me // 2)
+        ids[me] = sub.comm_id
+
+    run_mpi(main, 4, **FAST)
+    assert ids[0] == ids[1]
+    assert ids[2] == ids[3]
+    assert ids[0] != ids[2]
+
+
+def test_nested_split():
+    infos = {}
+
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        half = comm.split(me // 4)
+        quarter = half.split(half.rank() // 2)
+        infos[me] = (quarter.size(), quarter.group)
+
+    run_mpi(main, 8, **FAST)
+    assert infos[0] == (2, (0, 1))
+    assert infos[5] == (2, (4, 5))
+    assert infos[7] == (2, (6, 7))
+
+
+def test_dup_creates_distinct_context():
+    infos = {}
+
+    def main(comm):
+        dup = comm.dup()
+        infos[comm.rank()] = (dup.comm_id, dup.group)
+        # traffic on the dup must not interfere with comm
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        cbuf = alloc_mpi_buf(MPI_INT, 1)
+        me = comm.rank()
+        if me == 0:
+            buf.data[0] = 42
+            dup.send(buf, 1, tag=0)
+        elif me == 1:
+            comm_req = comm.irecv(cbuf, 0, 0)
+            dup.recv(buf, 0, 0)
+            assert buf.data[0] == 42
+            assert not comm_req.test()  # message went to the dup context
+            # leave no pending request: have rank 0 send on comm too
+        if me == 0:
+            buf2 = alloc_mpi_buf(MPI_INT, 1)
+            buf2.data[0] = 7
+            comm.send(buf2, 1, tag=0)
+        elif me == 1:
+            comm.wait(comm_req)
+            assert cbuf.data[0] == 7
+
+    run_mpi(main, 2, **FAST)
+    assert infos[0][0] == infos[1][0]
+    assert infos[0][1] == (0, 1)
+
+
+def test_rank_translation():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        upper = comm.split(0 if me < sz // 2 else 1)
+        if me >= sz // 2:
+            assert upper.global_rank(upper.rank()) == me
+            assert upper.contains_global(me)
+            assert not upper.contains_global(0)
+
+    run_mpi(main, 8, **FAST)
+
+
+def test_foreign_communicator_use_rejected():
+    def main(comm):
+        me = comm.rank()
+        sub = comm.split(0 if me < 2 else 1)
+        if me == 0:
+            other_members_comm = sub  # rank 0's sub contains {0,1}
+            # fine: use own sub
+            other_members_comm.barrier()
+        else:
+            sub.barrier()
+
+    run_mpi(main, 4, **FAST)
+
+
+def test_comm_world_registered_in_trace():
+    def main(comm):
+        comm.barrier()
+
+    result = run_mpi(main, 4, **FAST)
+    assert result.recorder.comm_registry[comm_id_of(result)] == (0, 1, 2, 3)
+
+
+def comm_id_of(result):
+    return result.world.comm_world.comm_id
+
+
+def test_split_registered_in_trace():
+    def main(comm):
+        comm.split(comm.rank() % 2)
+
+    result = run_mpi(main, 4, **FAST)
+    groups = set(result.recorder.comm_registry.values())
+    assert (0, 2) in groups and (1, 3) in groups
+
+
+def test_duplicate_group_rejected():
+    from repro.simmpi import Communicator
+
+    def main(comm):
+        Communicator(comm.world, (0, 0), 99, "bad")
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 2, **FAST)
+    assert isinstance(info.value.original, MpiError)

@@ -1,0 +1,250 @@
+"""Extended MPI API: PROC_NULL, probe, exscan, reduce_scatter,
+collective algorithm tuning."""
+
+import numpy as np
+import pytest
+
+from repro.simkernel import SimulationCrashed
+from repro.simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    CollectiveTuning,
+    MPI_DOUBLE,
+    MPI_INT,
+    MPI_SUM,
+    MpiError,
+    alloc_mpi_buf,
+    run_mpi,
+)
+from repro.work import do_work
+
+FAST = dict(model_init_overhead=False)
+
+
+# ----------------------------------------------------------------------
+# MPI_PROC_NULL
+# ----------------------------------------------------------------------
+
+def test_proc_null_send_recv_are_noops():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 4)
+        buf.fill(7)
+        comm.send(buf, PROC_NULL)
+        status = comm.recv(buf, PROC_NULL)
+        assert status.source == PROC_NULL
+        assert status.count == 0
+        assert np.all(buf.data == 7)  # untouched
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_proc_null_nonblocking_complete_immediately():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        sreq = comm.isend(buf, PROC_NULL)
+        rreq = comm.irecv(buf, PROC_NULL)
+        assert sreq.test() and rreq.test()
+        comm.wait(sreq)
+        comm.wait(rreq)
+
+    run_mpi(main, 1, **FAST)
+
+
+def test_proc_null_simplifies_halo_boundaries():
+    """The classic use: boundary ranks shift against PROC_NULL."""
+
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        sbuf = alloc_mpi_buf(MPI_INT, 1)
+        rbuf = alloc_mpi_buf(MPI_INT, 1)
+        sbuf.data[0] = me
+        rbuf.data[0] = -1
+        up = me + 1 if me + 1 < sz else PROC_NULL
+        down = me - 1 if me > 0 else PROC_NULL
+        comm.sendrecv(sbuf, up, 3, rbuf, down, 3)
+        if me == 0:
+            assert rbuf.data[0] == -1  # nothing received from below
+        else:
+            assert rbuf.data[0] == me - 1
+
+    run_mpi(main, 4, **FAST)
+
+
+# ----------------------------------------------------------------------
+# probe / iprobe
+# ----------------------------------------------------------------------
+
+def test_iprobe_reports_pending_message_without_consuming():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 3)
+        if comm.rank() == 0:
+            buf.fill(5)
+            comm.send(buf, 1, tag=9)
+        else:
+            do_work(0.01)  # let the message arrive
+            status = comm.iprobe(0, 9)
+            assert status is not None
+            assert status.source == 0 and status.tag == 9
+            assert status.count == 3
+            # still receivable afterwards
+            comm.recv(buf, 0, 9)
+            assert np.all(buf.data == 5)
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_iprobe_returns_none_when_nothing_pending():
+    def main(comm):
+        if comm.rank() == 1:
+            assert comm.iprobe(0, 1) is None
+        # balanced exit: nothing sent at all
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_probe_blocks_until_message_available():
+    times = {}
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if comm.rank() == 0:
+            do_work(0.05)
+            comm.send(buf, 1, tag=4)
+        else:
+            status = comm.probe(ANY_SOURCE, ANY_TAG)
+            times["probe_done"] = comm.world.sim.now
+            assert status.source == 0 and status.tag == 4
+            comm.recv(buf, status.source, status.tag)
+
+    run_mpi(main, 2, **FAST)
+    assert times["probe_done"] >= 0.05
+
+
+def test_probe_with_selective_tag():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if comm.rank() == 0:
+            buf.data[0] = 1
+            comm.send(buf, 1, tag=1)
+            buf.data[0] = 2
+            comm.send(buf, 1, tag=2)
+        else:
+            status = comm.probe(0, tag=2)
+            assert status.tag == 2
+            comm.recv(buf, 0, 2)
+            assert buf.data[0] == 2
+            comm.recv(buf, 0, 1)
+            assert buf.data[0] == 1
+
+    run_mpi(main, 2, **FAST)
+
+
+# ----------------------------------------------------------------------
+# exscan / reduce_scatter_block
+# ----------------------------------------------------------------------
+
+def test_exscan_exclusive_prefix():
+    def main(comm):
+        me = comm.rank()
+        sb = alloc_mpi_buf(MPI_INT, 1)
+        rb = alloc_mpi_buf(MPI_INT, 1)
+        sb.data[0] = me + 1
+        comm.exscan(sb, rb, MPI_SUM)
+        expected = sum(range(1, me + 1))  # excludes own contribution
+        assert rb.data[0] == expected
+
+    run_mpi(main, 6, **FAST)
+
+
+def test_reduce_scatter_block():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        k = 2
+        sb = alloc_mpi_buf(MPI_INT, k * sz)
+        sb.data[:] = me  # every rank contributes its rank everywhere
+        rb = alloc_mpi_buf(MPI_INT, k)
+        comm.reduce_scatter_block(sb, rb, MPI_SUM)
+        assert np.all(rb.data == sz * (sz - 1) // 2)
+
+    run_mpi(main, 5, **FAST)
+
+
+def test_reduce_scatter_block_size_validation():
+    def main(comm):
+        sb = alloc_mpi_buf(MPI_INT, 3)  # wrong for size 2, cnt 2
+        rb = alloc_mpi_buf(MPI_INT, 2)
+        comm.reduce_scatter_block(sb, rb, MPI_SUM)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 2, **FAST)
+    assert isinstance(info.value.original, MpiError)
+
+
+# ----------------------------------------------------------------------
+# collective algorithm tuning
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("algo", ["binomial", "linear"])
+def test_bcast_correct_under_both_algorithms(algo):
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 8)
+        if comm.rank() == 2:
+            buf.data[:] = np.arange(8)
+        comm.bcast(buf, root=2)
+        assert list(buf.data) == list(range(8))
+
+    run_mpi(
+        main, 7, collectives=CollectiveTuning(bcast=algo), **FAST
+    )
+
+
+@pytest.mark.parametrize("algo", ["binomial", "linear"])
+def test_reduce_correct_under_both_algorithms(algo):
+    def main(comm):
+        sb = alloc_mpi_buf(MPI_DOUBLE, 2)
+        sb.fill(comm.rank())
+        rb = alloc_mpi_buf(MPI_DOUBLE, 2) if comm.rank() == 1 else None
+        comm.reduce(sb, rb, MPI_SUM, root=1)
+        if comm.rank() == 1:
+            assert np.all(rb.data == sum(range(comm.size())))
+
+    run_mpi(
+        main, 6, collectives=CollectiveTuning(reduce=algo), **FAST
+    )
+
+
+@pytest.mark.parametrize("algo", ["dissemination", "linear"])
+def test_barrier_synchronizes_under_both_algorithms(algo):
+    exits = {}
+
+    def main(comm):
+        do_work(0.01 * (comm.rank() + 1))
+        comm.barrier()
+        exits[comm.rank()] = comm.world.sim.now
+
+    run_mpi(
+        main, 5, collectives=CollectiveTuning(barrier=algo), **FAST
+    )
+    assert all(t >= 0.05 for t in exits.values())
+
+
+def test_linear_bcast_is_slower_than_binomial_for_large_groups():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_DOUBLE, 4096)  # rendezvous messages
+        comm.bcast(buf, root=0)
+
+    linear = run_mpi(
+        main, 16, collectives=CollectiveTuning(bcast="linear"), **FAST
+    )
+    binomial = run_mpi(
+        main, 16, collectives=CollectiveTuning(bcast="binomial"), **FAST
+    )
+    assert linear.final_time > binomial.final_time
+
+
+def test_bad_algorithm_name_rejected():
+    with pytest.raises(ValueError):
+        CollectiveTuning(bcast="magic")
+    with pytest.raises(ValueError):
+        CollectiveTuning(barrier="tree")

@@ -1,0 +1,153 @@
+"""Fault injection: crashes, deadlocks and teardown hygiene.
+
+A test *suite* must fail loudly and cleanly when a synthetic program is
+malformed -- stuck simulations or leaked OS threads would poison every
+subsequent test.  Hypothesis drives random fault sites.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import DeadlockError, ProcState, SimulationCrashed
+from repro.simmpi import (
+    MPI_INT,
+    MpiWorld,
+    alloc_mpi_buf,
+    run_mpi,
+)
+from repro.work import do_work
+
+FAST = dict(model_init_overhead=False)
+
+
+@given(
+    crash_rank=st.integers(min_value=0, max_value=3),
+    crash_step=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_random_crash_always_tears_down(crash_rank, crash_step):
+    def main(comm):
+        me = comm.rank()
+        for step in range(5):
+            do_work(0.001)
+            if me == crash_rank and step == crash_step:
+                raise RuntimeError(f"fault at {me}/{step}")
+            comm.barrier()
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 4, **FAST)
+    assert f"fault at {crash_rank}/{crash_step}" in str(
+        info.value.original
+    )
+
+
+def test_crash_kills_every_rank_process():
+    world = MpiWorld(4, model_init_overhead=False)
+
+    def main(comm):
+        if comm.rank() == 2:
+            raise ValueError("boom")
+        comm.barrier()
+
+    world.launch(main)
+    with pytest.raises(SimulationCrashed):
+        world.sim.run()
+    states = {p.state for p in world.sim.processes}
+    assert states <= {ProcState.FAILED, ProcState.KILLED,
+                      ProcState.FINISHED}
+
+
+def test_no_thread_leak_after_crashes():
+    """Repeated crashing simulations must not accumulate OS threads."""
+    def main(comm):
+        if comm.rank() == 0:
+            raise RuntimeError("die")
+        comm.barrier()
+
+    for _ in range(5):
+        with pytest.raises(SimulationCrashed):
+            run_mpi(main, 4, **FAST)
+    # Give the daemon threads a moment to unwind, then count.
+    import time
+
+    deadline = time.time() + 2.0
+    while time.time() < deadline:
+        alive = [
+            t for t in threading.enumerate()
+            if t.name.startswith("sim:")
+        ]
+        if len(alive) == 0:
+            break
+        time.sleep(0.01)
+    assert len(alive) < 8, f"leaked simulation threads: {alive}"
+
+
+@given(missing_rank=st.integers(min_value=0, max_value=3))
+@settings(max_examples=8, deadline=None)
+def test_partial_collective_participation_deadlocks(missing_rank):
+    """One rank skipping a barrier must deadlock, not hang the host."""
+
+    def main(comm):
+        if comm.rank() != missing_rank:
+            comm.barrier()
+
+    with pytest.raises(DeadlockError) as info:
+        run_mpi(main, 4, **FAST)
+    assert "blocked" in str(info.value)
+
+
+def test_mismatched_collective_order_detected():
+    """Ranks issuing different collectives deadlock deterministically."""
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 4)
+        if comm.rank() == 0:
+            comm.bcast(buf, root=0)
+        else:
+            comm.barrier()
+
+    with pytest.raises((DeadlockError, SimulationCrashed)):
+        run_mpi(main, 4, **FAST)
+
+
+def test_send_to_self_without_recv_reports_leak():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        comm.isend(buf, comm.rank(), tag=1)
+
+    from repro.simmpi import MpiError
+
+    with pytest.raises(MpiError, match="unmatched"):
+        run_mpi(main, 2, **FAST)
+
+
+def test_send_recv_self_works():
+    def main(comm):
+        me = comm.rank()
+        sb = alloc_mpi_buf(MPI_INT, 1)
+        rb = alloc_mpi_buf(MPI_INT, 1)
+        sb.data[0] = me + 42
+        req = comm.irecv(rb, me, tag=1)
+        comm.send(sb, me, tag=1)
+        comm.wait(req)
+        assert rb.data[0] == me + 42
+
+    run_mpi(main, 3, **FAST)
+
+
+def test_crashed_world_cannot_be_rerun():
+    world = MpiWorld(2, model_init_overhead=False)
+
+    def main(comm):
+        raise RuntimeError("x")
+
+    world.launch(main)
+    with pytest.raises(SimulationCrashed):
+        world.sim.run()
+    from repro.simkernel import SimError
+
+    with pytest.raises(SimError):
+        world.sim.run()

@@ -1,0 +1,338 @@
+"""Point-to-point semantics: protocols, matching, waiting times."""
+
+import numpy as np
+import pytest
+
+from repro.simkernel import DeadlockError, SimulationCrashed
+from repro.simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MPI_DOUBLE,
+    MPI_INT,
+    InvalidRankError,
+    InvalidTagError,
+    MpiError,
+    TransportParams,
+    TruncationError,
+    alloc_mpi_buf,
+    run_mpi,
+)
+from repro.work import do_work
+
+FAST = dict(model_init_overhead=False)
+T = TransportParams()
+
+
+def test_blocking_send_recv_delivers_data():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 8)
+        if comm.rank() == 0:
+            buf.data[:] = np.arange(8)
+            comm.send(buf, 1, tag=3)
+        elif comm.rank() == 1:
+            status = comm.recv(buf, 0, 3)
+            assert list(buf.data) == list(range(8))
+            assert status.source == 0
+            assert status.tag == 3
+            assert status.count == 8
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_late_sender_makes_receiver_wait():
+    waits = {}
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 4)
+        if comm.rank() == 0:
+            do_work(0.1)  # sender is late
+            comm.send(buf, 1)
+        else:
+            t0 = comm.world.sim.now
+            comm.recv(buf, 0)
+            waits[1] = comm.world.sim.now - t0
+
+    run_mpi(main, 2, **FAST)
+    # Receiver blocked ~0.1s (plus transfer costs).
+    assert waits[1] == pytest.approx(0.1, rel=0.01)
+
+
+def test_late_receiver_blocks_rendezvous_sender_only():
+    elapsed = {}
+
+    def main(comm):
+        big = alloc_mpi_buf(MPI_DOUBLE, 4096)  # 32 KiB > eager threshold
+        small = alloc_mpi_buf(MPI_DOUBLE, 8)
+        me = comm.rank()
+        if me == 0:
+            t0 = comm.world.sim.now
+            comm.send(big, 1)
+            elapsed["rendezvous"] = comm.world.sim.now - t0
+            t0 = comm.world.sim.now
+            comm.send(small, 1)
+            elapsed["eager"] = comm.world.sim.now - t0
+        else:
+            do_work(0.2)  # receiver is late
+            comm.recv(big, 0)
+            do_work(0.2)
+            comm.recv(small, 0)
+
+    run_mpi(main, 2, **FAST)
+    # Rendezvous send blocked until the receiver arrived.
+    assert elapsed["rendezvous"] == pytest.approx(0.2, rel=0.05)
+    # Eager send completed locally, long before the receive.
+    assert elapsed["eager"] < 0.001
+
+
+def test_eager_threshold_boundary():
+    params = TransportParams(eager_threshold=1024)
+    elapsed = {}
+
+    def main(comm):
+        at_threshold = alloc_mpi_buf(MPI_INT, 256)    # exactly 1024 B
+        over = alloc_mpi_buf(MPI_INT, 257)            # 1028 B
+        me = comm.rank()
+        if me == 0:
+            t0 = comm.world.sim.now
+            comm.send(at_threshold, 1)
+            elapsed["at"] = comm.world.sim.now - t0
+            t0 = comm.world.sim.now
+            comm.send(over, 1)
+            elapsed["over"] = comm.world.sim.now - t0
+        else:
+            do_work(0.05)
+            comm.recv(at_threshold, 0)
+            do_work(0.05)
+            comm.recv(over, 0)
+
+    run_mpi(main, 2, transport=params, **FAST)
+    assert elapsed["at"] < 0.001      # eager: local completion
+    assert elapsed["over"] > 0.04     # rendezvous: blocked on receiver
+
+
+def test_wildcard_source_and_tag():
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if me == 0:
+            seen = set()
+            for _ in range(2):
+                status = comm.recv(buf, ANY_SOURCE, ANY_TAG)
+                seen.add((status.source, status.tag, int(buf.data[0])))
+            assert seen == {(1, 11, 1), (2, 22, 2)}
+        elif me in (1, 2):
+            buf.data[0] = me
+            do_work(0.001 * me)  # deterministic arrival order
+            comm.send(buf, 0, tag=11 * me)
+
+    run_mpi(main, 3, **FAST)
+
+
+def test_messages_non_overtaking_same_envelope():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if comm.rank() == 0:
+            for v in (10, 20, 30):
+                buf.data[0] = v
+                comm.send(buf, 1, tag=5)
+        else:
+            got = []
+            for _ in range(3):
+                comm.recv(buf, 0, 5)
+                got.append(int(buf.data[0]))
+            assert got == [10, 20, 30]
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_tag_selectivity_out_of_order_retrieval():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if comm.rank() == 0:
+            buf.data[0] = 1
+            comm.send(buf, 1, tag=1)
+            buf.data[0] = 2
+            comm.send(buf, 1, tag=2)
+        else:
+            comm.recv(buf, 0, tag=2)
+            assert buf.data[0] == 2
+            comm.recv(buf, 0, tag=1)
+            assert buf.data[0] == 1
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_isend_irecv_wait():
+    def main(comm):
+        me = comm.rank()
+        sb = alloc_mpi_buf(MPI_INT, 4)
+        rb = alloc_mpi_buf(MPI_INT, 4)
+        sb.fill(me + 1)
+        peer = 1 - me
+        rreq = comm.irecv(rb, peer, 9)
+        sreq = comm.isend(sb, peer, 9)
+        comm.wait(sreq)
+        status = comm.wait(rreq)
+        assert status.source == peer
+        assert np.all(rb.data == peer + 1)
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_request_test_polls_without_blocking():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if comm.rank() == 0:
+            do_work(0.05)
+            comm.send(buf, 1)
+        else:
+            req = comm.irecv(buf, 0)
+            assert req.test() is False
+            do_work(0.1)
+            assert req.test() is True
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_waitall_completes_everything():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        bufs = [alloc_mpi_buf(MPI_INT, 1) for _ in range(sz)]
+        reqs = []
+        for r in range(sz):
+            if r == me:
+                continue
+            sb = alloc_mpi_buf(MPI_INT, 1)
+            sb.data[0] = me
+            reqs.append(comm.isend(sb, r, tag=me))
+            reqs.append(comm.irecv(bufs[r], r, tag=r))
+        comm.waitall(reqs)
+        for r in range(sz):
+            if r != me:
+                assert bufs[r].data[0] == r
+
+    run_mpi(main, 4, **FAST)
+
+
+def test_sendrecv_exchanges_without_deadlock():
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        sb = alloc_mpi_buf(MPI_DOUBLE, 2048)  # rendezvous-sized
+        rb = alloc_mpi_buf(MPI_DOUBLE, 2048)
+        sb.fill(me)
+        right, left = (me + 1) % sz, (me - 1) % sz
+        comm.sendrecv(sb, right, 1, rb, left, 1)
+        assert np.all(rb.data == left)
+
+    run_mpi(main, 4, **FAST)
+
+
+def test_transfer_time_scales_with_message_size():
+    times = {}
+
+    def main(comm, cnt):
+        buf = alloc_mpi_buf(MPI_DOUBLE, cnt)
+        if comm.rank() == 0:
+            comm.send(buf, 1)
+        else:
+            t0 = comm.world.sim.now
+            comm.recv(buf, 0)
+            times[cnt] = comm.world.sim.now - t0
+
+    for cnt in (10, 100000):
+        run_mpi(main, 2, cnt, **FAST)
+    expected_small = T.latency + 80 / T.bandwidth
+    expected_big = T.latency + 800000 / T.bandwidth
+    assert times[100000] > times[10]
+    assert times[100000] - times[10] == pytest.approx(
+        expected_big - expected_small, rel=0.2
+    )
+
+
+# ----------------------------------------------------------------------
+# failure injection
+# ----------------------------------------------------------------------
+
+def test_unmatched_recv_deadlocks():
+    def main(comm):
+        if comm.rank() == 1:
+            buf = alloc_mpi_buf(MPI_INT, 1)
+            comm.recv(buf, 0)  # nobody sends
+
+    with pytest.raises(DeadlockError):
+        run_mpi(main, 2, **FAST)
+
+
+def test_truncation_detected():
+    def main(comm):
+        if comm.rank() == 0:
+            comm.send(alloc_mpi_buf(MPI_INT, 100), 1)
+        else:
+            comm.recv(alloc_mpi_buf(MPI_INT, 10), 0)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 2, **FAST)
+    assert isinstance(info.value.original, TruncationError)
+
+
+def test_leaked_message_fails_strict_run():
+    def main(comm):
+        if comm.rank() == 0:
+            comm.send(alloc_mpi_buf(MPI_INT, 1), 1)  # never received
+
+    with pytest.raises(MpiError, match="unmatched"):
+        run_mpi(main, 2, **FAST)
+
+
+def test_leaked_message_tolerated_when_not_strict():
+    def main(comm):
+        if comm.rank() == 0:
+            comm.send(alloc_mpi_buf(MPI_INT, 1), 1)
+
+    result = run_mpi(main, 2, strict=False, **FAST)
+    assert result.world.engine.unmatched()["sends"] == 1
+
+
+def test_invalid_rank_rejected():
+    def main(comm):
+        comm.send(alloc_mpi_buf(MPI_INT, 1), 99)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 2, **FAST)
+    assert isinstance(info.value.original, InvalidRankError)
+
+
+def test_negative_user_tag_rejected():
+    def main(comm):
+        if comm.rank() == 0:
+            comm.send(alloc_mpi_buf(MPI_INT, 1), 1, tag=-5)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 2, **FAST)
+    assert isinstance(info.value.original, InvalidTagError)
+
+
+def test_use_of_freed_buffer_rejected():
+    from repro.simmpi import free_mpi_buf
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        free_mpi_buf(buf)
+        if comm.rank() == 0:
+            comm.send(buf, 1)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 2, **FAST)
+    assert isinstance(info.value.original, MpiError)
+
+
+def test_datatype_mismatch_detected():
+    def main(comm):
+        if comm.rank() == 0:
+            comm.send(alloc_mpi_buf(MPI_INT, 4), 1)
+        else:
+            comm.recv(alloc_mpi_buf(MPI_DOUBLE, 4), 0)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 2, **FAST)
+    assert isinstance(info.value.original, MpiError)

@@ -1,0 +1,305 @@
+"""Patterns (paper 3.1.4), buffers (3.1.3) and runtime behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Val1Distr, Val2Distr, df_linear, df_same
+from repro.simmpi import (
+    DIR_DOWN,
+    DIR_UP,
+    MPI_DOUBLE,
+    MPI_INT,
+    MpiError,
+    TransportParams,
+    alloc_mpi_buf,
+    alloc_mpi_vbuf,
+    free_mpi_buf,
+    free_mpi_vbuf,
+    mpi_commpattern_sendrecv,
+    mpi_commpattern_shift,
+    run_mpi,
+)
+from repro.trace import Enter, Recv, Send
+from repro.work import do_work
+
+FAST = dict(model_init_overhead=False)
+
+
+# ----------------------------------------------------------------------
+# buffers
+# ----------------------------------------------------------------------
+
+def test_alloc_mpi_buf_properties():
+    buf = alloc_mpi_buf(MPI_DOUBLE, 10)
+    assert buf.cnt == 10
+    assert buf.nbytes == 80
+    assert buf.data.dtype == np.float64
+    assert np.all(buf.data == 0)
+
+
+def test_free_mpi_buf_double_free_detected():
+    buf = alloc_mpi_buf(MPI_INT, 4)
+    free_mpi_buf(buf)
+    with pytest.raises(MpiError, match="double free"):
+        free_mpi_buf(buf)
+    free_mpi_buf(None)  # None is a safe no-op
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        alloc_mpi_buf(MPI_INT, -1)
+
+
+def test_vbuf_counts_follow_distribution():
+    captured = {}
+
+    def main(comm):
+        dd = Val1Distr(5.0)
+        vbuf = alloc_mpi_vbuf(MPI_INT, df_same, dd, 2.0, comm)
+        captured[comm.rank()] = (
+            list(vbuf.counts),
+            list(vbuf.displs),
+            vbuf.total,
+        )
+        free_mpi_vbuf(vbuf)
+
+    run_mpi(main, 3, **FAST)
+    counts, displs, total = captured[0]
+    assert counts == [10, 10, 10]
+    assert displs == [0, 10, 20]
+    assert total == 30
+
+
+def test_vbuf_double_free_detected():
+    def main(comm):
+        vbuf = alloc_mpi_vbuf(MPI_INT, df_same, Val1Distr(1.0), 1.0, comm)
+        free_mpi_vbuf(vbuf)
+        try:
+            free_mpi_vbuf(vbuf)
+        except MpiError:
+            return "caught"
+        return "missed"
+
+    result = run_mpi(main, 1, **FAST)
+    assert result.results == ["caught"]
+
+
+# ----------------------------------------------------------------------
+# communication patterns
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("use_isend", [False, True])
+@pytest.mark.parametrize("use_irecv", [False, True])
+def test_sendrecv_pattern_up(use_isend, use_irecv):
+    received = {}
+
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        buf.data[0] = me
+        mpi_commpattern_sendrecv(
+            buf, DIR_UP, use_isend, use_irecv, comm
+        )
+        received[me] = int(buf.data[0])
+
+    run_mpi(main, 6, **FAST)
+    # Odd ranks received from their even lower neighbour.
+    assert received[1] == 0 and received[3] == 2 and received[5] == 4
+    # Even ranks keep their own value (they sent).
+    assert received[0] == 0 and received[2] == 2
+
+
+def test_sendrecv_pattern_down_swaps_roles():
+    received = {}
+
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        buf.data[0] = me
+        mpi_commpattern_sendrecv(buf, DIR_DOWN, False, False, comm)
+        received[me] = int(buf.data[0])
+
+    run_mpi(main, 4, **FAST)
+    assert received[0] == 1 and received[2] == 3
+
+
+def test_sendrecv_pattern_odd_size_ignores_last():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        mpi_commpattern_sendrecv(buf, DIR_UP, False, False, comm)
+        return comm.rank()
+
+    result = run_mpi(main, 5, **FAST)  # must not deadlock
+    assert result.results == [0, 1, 2, 3, 4]
+
+
+def test_sendrecv_pattern_single_process_is_noop():
+    def main(comm):
+        mpi_commpattern_sendrecv(
+            alloc_mpi_buf(MPI_INT, 1), DIR_UP, False, False, comm
+        )
+
+    run_mpi(main, 1, **FAST)
+
+
+@pytest.mark.parametrize("direction", [DIR_UP, DIR_DOWN])
+def test_shift_pattern_rotates_values(direction):
+    received = {}
+
+    def main(comm):
+        me, sz = comm.rank(), comm.size()
+        sbuf = alloc_mpi_buf(MPI_INT, 2)
+        rbuf = alloc_mpi_buf(MPI_INT, 2)
+        sbuf.fill(me)
+        mpi_commpattern_shift(sbuf, rbuf, direction, False, False, comm)
+        received[me] = int(rbuf.data[0])
+
+    run_mpi(main, 5, **FAST)
+    for me in range(5):
+        src = (me - 1) % 5 if direction == DIR_UP else (me + 1) % 5
+        assert received[me] == src
+
+
+def test_shift_pattern_large_messages_no_deadlock():
+    def main(comm):
+        sbuf = alloc_mpi_buf(MPI_DOUBLE, 65536)  # rendezvous for sure
+        rbuf = alloc_mpi_buf(MPI_DOUBLE, 65536)
+        mpi_commpattern_shift(sbuf, rbuf, DIR_UP, False, False, comm)
+
+    run_mpi(main, 4, **FAST)
+
+
+def test_pattern_rejects_bad_direction():
+    def main(comm):
+        mpi_commpattern_shift(
+            alloc_mpi_buf(MPI_INT, 1),
+            alloc_mpi_buf(MPI_INT, 1),
+            "sideways",
+            False,
+            False,
+            comm,
+        )
+
+    from repro.simkernel import SimulationCrashed
+
+    with pytest.raises(SimulationCrashed):
+        run_mpi(main, 2, **FAST)
+
+
+# ----------------------------------------------------------------------
+# runtime / tracing integration
+# ----------------------------------------------------------------------
+
+def test_run_results_collected_per_rank():
+    def main(comm):
+        return comm.rank() * 11
+
+    result = run_mpi(main, 4, **FAST)
+    assert result.results == [0, 11, 22, 33]
+
+
+def test_init_finalize_regions_present_with_overhead_model():
+    def main(comm):
+        pass
+
+    result = run_mpi(main, 4, model_init_overhead=True)
+    regions = {
+        e.region for e in result.events if isinstance(e, Enter)
+    }
+    assert "MPI_Init" in regions and "MPI_Finalize" in regions
+    assert result.final_time > 0
+
+
+def test_trace_contains_matched_send_recv_pairs():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 4)
+        if comm.rank() == 0:
+            comm.send(buf, 1, tag=2)
+        elif comm.rank() == 1:
+            comm.recv(buf, 0, 2)
+
+    result = run_mpi(main, 2, **FAST)
+    sends = [e for e in result.events
+             if isinstance(e, Send) and not e.internal]
+    recvs = [e for e in result.events
+             if isinstance(e, Recv) and not e.internal]
+    assert len(sends) == 1 and len(recvs) == 1
+    assert sends[0].msg_id == recvs[0].msg_id
+    assert sends[0].peer == 1 and recvs[0].peer == 0
+    assert recvs[0].post_time <= recvs[0].time
+
+
+def test_trace_call_paths_nest_user_regions():
+    from repro.trace import region
+
+    def main(comm):
+        with region("application_phase"):
+            buf = alloc_mpi_buf(MPI_INT, 1)
+            if comm.rank() == 0:
+                comm.send(buf, 1)
+            elif comm.rank() == 1:
+                comm.recv(buf, 0)
+
+    result = run_mpi(main, 2, **FAST)
+    send = next(e for e in result.events
+                if isinstance(e, Send) and not e.internal)
+    assert send.path[0] == "application_phase"
+
+
+def test_trace_disabled_run_has_no_events():
+    def main(comm):
+        comm.barrier()
+
+    result = run_mpi(main, 4, trace=False, **FAST)
+    assert result.events == []
+    assert result.recorder is None
+
+
+def test_intrusion_distorts_timing():
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        for _ in range(10):
+            comm.barrier()
+
+    clean = run_mpi(main, 4, **FAST)
+    dirty = run_mpi(main, 4, intrusion=1e-4, **FAST)
+    assert dirty.final_time > clean.final_time
+
+
+def test_determinism_same_seed_same_trace():
+    def main(comm):
+        do_work(0.001 * (comm.rank() + 1))
+        comm.barrier()
+
+    r1 = run_mpi(main, 4, seed=3)
+    r2 = run_mpi(main, 4, seed=3)
+    assert r1.final_time == r2.final_time
+    assert [e.to_dict() for e in r1.events] == [
+        e.to_dict() for e in r2.events
+    ]
+
+
+def test_different_seed_changes_init_jitter():
+    def main(comm):
+        comm.barrier()
+
+    r1 = run_mpi(main, 4, seed=1)
+    r2 = run_mpi(main, 4, seed=2)
+    assert r1.final_time != r2.final_time
+
+
+def test_world_size_validation():
+    with pytest.raises(ValueError):
+        run_mpi(lambda comm: None, 0)
+
+
+def test_timeline_and_profile_accessors():
+    def main(comm):
+        do_work(0.01)
+        comm.barrier()
+
+    result = run_mpi(main, 2, **FAST)
+    text = result.timeline(width=40, title="demo")
+    assert "demo" in text
+    prof = result.profile()
+    assert prof.region_total("work") == pytest.approx(0.02)

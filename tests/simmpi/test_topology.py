@@ -1,0 +1,168 @@
+"""Cartesian topology tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import SimulationCrashed
+from repro.simmpi import (
+    MPI_INT,
+    PROC_NULL,
+    MpiError,
+    alloc_mpi_buf,
+    cart_create,
+    dims_create,
+    run_mpi,
+)
+
+FAST = dict(model_init_overhead=False)
+
+
+# ----------------------------------------------------------------------
+# dims_create
+# ----------------------------------------------------------------------
+
+def test_dims_create_balanced():
+    assert dims_create(12, 2) == [4, 3]
+    assert dims_create(16, 2) == [4, 4]
+    assert dims_create(8, 3) == [2, 2, 2]
+    assert dims_create(7, 2) == [7, 1]
+    assert dims_create(1, 2) == [1, 1]
+
+
+@given(
+    nnodes=st.integers(min_value=1, max_value=256),
+    ndims=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60)
+def test_dims_create_product_invariant(nnodes, ndims):
+    dims = dims_create(nnodes, ndims)
+    product = 1
+    for d in dims:
+        product *= d
+    assert product == nnodes
+    assert len(dims) == ndims
+    assert dims == sorted(dims, reverse=True)
+
+
+def test_dims_create_validates():
+    with pytest.raises(ValueError):
+        dims_create(0, 2)
+    with pytest.raises(ValueError):
+        dims_create(4, 0)
+
+
+# ----------------------------------------------------------------------
+# cart communicator
+# ----------------------------------------------------------------------
+
+def test_cart_coords_round_trip():
+    seen = {}
+
+    def main(comm):
+        cart = cart_create(comm, (3, 2))
+        me = cart.rank()
+        coords = cart.my_coords()
+        seen[me] = coords
+        assert cart.rank_at(coords) == me
+        assert cart.coords_of(me) == coords
+
+    run_mpi(main, 6, **FAST)
+    assert seen[0] == (0, 0)
+    assert seen[1] == (0, 1)
+    assert seen[5] == (2, 1)
+
+
+def test_cart_shift_open_boundaries():
+    shifts = {}
+
+    def main(comm):
+        cart = cart_create(comm, (2, 2))
+        shifts[cart.rank()] = (cart.shift(0, 1), cart.shift(1, 1))
+
+    run_mpi(main, 4, **FAST)
+    # rank 0 = (0,0): shift dim0 -> src NULL, dst rank 2 (=(1,0))
+    assert shifts[0] == ((PROC_NULL, 2), (PROC_NULL, 1))
+    # rank 3 = (1,1): shift dim0 -> src rank 1, dst NULL
+    assert shifts[3] == ((1, PROC_NULL), (2, PROC_NULL))
+
+
+def test_cart_shift_periodic_wraps():
+    shifts = {}
+
+    def main(comm):
+        cart = cart_create(comm, (4,), periods=[True])
+        shifts[cart.rank()] = cart.shift(0, 1)
+
+    run_mpi(main, 4, **FAST)
+    assert shifts[0] == (3, 1)
+    assert shifts[3] == (2, 0)
+
+
+def test_cart_grid_must_match_size():
+    def main(comm):
+        cart_create(comm, (3, 3))  # needs 9, world is 4
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 4, **FAST)
+    assert isinstance(info.value.original, MpiError)
+
+
+def test_cart_ring_exchange_via_shift():
+    received = {}
+
+    def main(comm):
+        cart = cart_create(comm, (comm.size(),), periods=[True])
+        src, dst = cart.shift(0, 1)
+        sbuf = alloc_mpi_buf(MPI_INT, 1)
+        rbuf = alloc_mpi_buf(MPI_INT, 1)
+        sbuf.data[0] = cart.rank()
+        cart.sendrecv(sbuf, dst, 1, rbuf, src, 1)
+        received[cart.rank()] = int(rbuf.data[0])
+
+    run_mpi(main, 5, **FAST)
+    for me in range(5):
+        assert received[me] == (me - 1) % 5
+
+
+def test_cart_comm_has_own_context():
+    def main(comm):
+        cart = cart_create(comm, (comm.size(),))
+        assert cart.comm_id != comm.comm_id
+        assert cart.group == comm.group
+
+    run_mpi(main, 3, **FAST)
+
+
+# ----------------------------------------------------------------------
+# the 2-D stencil application
+# ----------------------------------------------------------------------
+
+def test_stencil2d_clean_and_consistent():
+    from repro.analysis import analyze_run
+    from repro.apps import Stencil2DConfig, stencil2d
+
+    result = run_mpi(stencil2d, 6, Stencil2DConfig(), **FAST)
+    # all ranks agree on the residual
+    assert len({round(r, 12) for r in result.results}) == 1
+    assert analyze_run(result).detected(0.02) == ()
+
+
+def test_stencil2d_hot_row_shows_nxn_waits():
+    from repro.analysis import analyze_run
+    from repro.apps import Stencil2DConfig, stencil2d
+
+    result = run_mpi(
+        stencil2d, 6,
+        Stencil2DConfig(hot_row=1, iterations=10), **FAST,
+    )
+    assert "wait_at_nxn" in analyze_run(result).detected(0.02)
+
+
+def test_stencil2d_deterministic():
+    from repro.apps import Stencil2DConfig, stencil2d
+
+    r1 = run_mpi(stencil2d, 4, Stencil2DConfig(), **FAST)
+    r2 = run_mpi(stencil2d, 4, Stencil2DConfig(), **FAST)
+    assert r1.results == r2.results
+    assert r1.final_time == r2.final_time

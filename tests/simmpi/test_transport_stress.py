@@ -1,0 +1,173 @@
+"""Property-based stress tests of the point-to-point transport.
+
+Hypothesis generates random message patterns; the invariants are the
+MPI guarantees: every properly matched message is delivered intact,
+per-channel order is preserved, and the whole simulation is
+deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MPI_INT,
+    TransportParams,
+    alloc_mpi_buf,
+    run_mpi,
+)
+from repro.work import do_work
+
+FAST = dict(model_init_overhead=False)
+
+
+# A random "schedule": for each sender, a list of (payload, delay).
+schedules = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**6),
+            st.floats(min_value=0.0, max_value=0.01),
+        ),
+        min_size=0,
+        max_size=5,
+    ),
+    min_size=2,
+    max_size=4,
+)
+
+
+@given(schedule=schedules)
+@settings(max_examples=25, deadline=None)
+def test_all_messages_delivered_intact(schedule):
+    """Senders 1..n-1 stream to rank 0 with random payloads/timing;
+    rank 0 receives everything, in per-sender order, bit-exact."""
+    nsenders = len(schedule)
+    received = []
+
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if me == 0:
+            total = sum(len(msgs) for msgs in schedule)
+            for _ in range(total):
+                status = comm.recv(buf, ANY_SOURCE, ANY_TAG)
+                received.append((status.source, int(buf.data[0])))
+        else:
+            for payload, delay in schedule[me - 1]:
+                do_work(delay)
+                buf.data[0] = payload
+                comm.send(buf, 0, tag=0)
+
+    run_mpi(main, nsenders + 1, **FAST)
+    # completeness
+    sent = sorted(
+        (i + 1, payload)
+        for i, msgs in enumerate(schedule)
+        for payload, _ in msgs
+    )
+    assert sorted(received) == sent
+    # per-sender FIFO order
+    for i, msgs in enumerate(schedule):
+        stream = [p for src, p in received if src == i + 1]
+        assert stream == [payload for payload, _ in msgs]
+
+
+@given(
+    schedule=schedules,
+    eager=st.integers(min_value=0, max_value=64),
+)
+@settings(max_examples=15, deadline=None)
+def test_delivery_invariants_hold_under_any_protocol(schedule, eager):
+    """The same pattern must complete under any eager threshold
+    (4-byte messages flip between eager and rendezvous at eager<4)."""
+    transport = TransportParams(eager_threshold=eager)
+    count = {"n": 0}
+
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if me == 0:
+            total = sum(len(msgs) for msgs in schedule)
+            for _ in range(total):
+                comm.recv(buf, ANY_SOURCE, ANY_TAG)
+                count["n"] += 1
+        else:
+            for payload, delay in schedule[me - 1]:
+                do_work(delay)
+                buf.data[0] = payload
+                comm.send(buf, 0, tag=0)
+
+    run_mpi(main, len(schedule) + 1, transport=transport, **FAST)
+    assert count["n"] == sum(len(m) for m in schedule)
+
+
+@given(schedule=schedules, seed=st.integers(min_value=0, max_value=99))
+@settings(max_examples=10, deadline=None)
+def test_stress_runs_are_deterministic(schedule, seed):
+    def run():
+        trace = []
+
+        def main(comm):
+            me = comm.rank()
+            buf = alloc_mpi_buf(MPI_INT, 1)
+            if me == 0:
+                total = sum(len(m) for m in schedule)
+                for _ in range(total):
+                    status = comm.recv(buf, ANY_SOURCE, ANY_TAG)
+                    trace.append(
+                        (status.source, comm.world.sim.now)
+                    )
+            else:
+                for payload, delay in schedule[me - 1]:
+                    do_work(delay)
+                    buf.data[0] = payload
+                    comm.send(buf, 0, tag=0)
+
+        result = run_mpi(main, len(schedule) + 1, seed=seed, **FAST)
+        return trace, result.final_time
+
+    assert run() == run()
+
+
+@given(
+    pattern=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # src
+            st.integers(min_value=0, max_value=3),   # dst
+            st.integers(min_value=0, max_value=7),   # tag
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_exact_envelope_exchange_never_deadlocks(pattern):
+    """Each rank posts irecvs for exactly the messages addressed to it
+    (in global pattern order) and isends its own; waitall must
+    complete regardless of the interleaving."""
+    pattern = [(s, d, t) for s, d, t in pattern if s != d]
+
+    def main(comm):
+        me = comm.rank()
+        bufs = []
+        reqs = []
+        for i, (src, dst, tag) in enumerate(pattern):
+            if me == dst:
+                buf = alloc_mpi_buf(MPI_INT, 1)
+                bufs.append((i, buf))
+                # tag is made unique per pattern entry to avoid
+                # ambiguous matching between identical envelopes
+                reqs.append(comm.irecv(buf, src, tag * 16 + i))
+        for i, (src, dst, tag) in enumerate(pattern):
+            if me == src:
+                sbuf = alloc_mpi_buf(MPI_INT, 1)
+                sbuf.data[0] = i
+                reqs.append(comm.isend(sbuf, dst, tag * 16 + i))
+        comm.waitall(reqs)
+        for i, buf in bufs:
+            assert buf.data[0] == i
+
+    run_mpi(main, 4, **FAST)

@@ -1,0 +1,143 @@
+"""MPI_Waitany / MPI_Testall semantics."""
+
+import pytest
+
+from repro.simkernel import SimulationCrashed
+from repro.simmpi import (
+    MPI_INT,
+    MpiError,
+    alloc_mpi_buf,
+    run_mpi,
+)
+from repro.work import do_work
+
+FAST = dict(model_init_overhead=False)
+
+
+def test_waitany_returns_earliest_completion():
+    order = []
+
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if me == 0:
+            bufs = [alloc_mpi_buf(MPI_INT, 1) for _ in range(2)]
+            reqs = [
+                comm.irecv(bufs[0], 1, tag=1),
+                comm.irecv(bufs[1], 2, tag=2),
+            ]
+            for _ in range(2):
+                i, status = comm.waitany(reqs)
+                order.append((i, status.source))
+        elif me == 1:
+            do_work(0.05)  # slower sender
+            comm.send(buf, 0, tag=1)
+        elif me == 2:
+            do_work(0.01)  # faster sender
+            comm.send(buf, 0, tag=2)
+
+    run_mpi(main, 3, **FAST)
+    assert order == [(1, 2), (0, 1)]  # rank 2's message first
+
+
+def test_waitany_blocks_until_something_completes():
+    times = {}
+
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if me == 0:
+            req = comm.irecv(buf, 1)
+            i, _ = comm.waitany([req])
+            times["done"] = comm.world.sim.now
+            assert i == 0
+        else:
+            do_work(0.1)
+            comm.send(buf, 0)
+
+    run_mpi(main, 2, **FAST)
+    assert times["done"] >= 0.1
+
+
+def test_waitany_skips_consumed_requests():
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if me == 0:
+            b1, b2 = alloc_mpi_buf(MPI_INT, 1), alloc_mpi_buf(MPI_INT, 1)
+            reqs = [comm.irecv(b1, 1, 1), comm.irecv(b2, 1, 2)]
+            first, _ = comm.waitany(reqs)
+            second, _ = comm.waitany(reqs)
+            assert {first, second} == {0, 1}
+        else:
+            comm.send(buf, 0, tag=1)
+            comm.send(buf, 0, tag=2)
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_waitany_empty_list_is_error():
+    def main(comm):
+        comm.waitany([])
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 1, **FAST)
+    assert isinstance(info.value.original, MpiError)
+
+
+def test_waitany_all_consumed_is_error():
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if me == 0:
+            req = comm.irecv(buf, 1)
+            comm.waitany([req])
+            comm.waitany([req])  # nothing left
+        else:
+            comm.send(buf, 0)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_mpi(main, 2, **FAST)
+    assert isinstance(info.value.original, MpiError)
+
+
+def test_waitany_wakeup_does_not_leak_to_later_waits():
+    """A stale waitany registration must not wake an unrelated wait."""
+
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if me == 0:
+            b1, b2 = alloc_mpi_buf(MPI_INT, 1), alloc_mpi_buf(MPI_INT, 1)
+            r1 = comm.irecv(b1, 1, 1)
+            r2 = comm.irecv(b2, 1, 2)
+            i, _ = comm.waitany([r1, r2])
+            assert i == 0
+            # r2 completes later; a stale registration from the first
+            # waitany must not interfere with the plain wait below.
+            do_work(0.01)
+            comm.wait(r2)
+        else:
+            comm.send(buf, 0, tag=1)
+            do_work(0.05)
+            comm.send(buf, 0, tag=2)
+
+    run_mpi(main, 2, **FAST)
+
+
+def test_testall_polls_everything():
+    def main(comm):
+        me = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        if me == 0:
+            bufs = [alloc_mpi_buf(MPI_INT, 1) for _ in range(2)]
+            reqs = [comm.irecv(bufs[i], 1, tag=i) for i in range(2)]
+            assert comm.testall(reqs) is False
+            do_work(0.1)
+            assert comm.testall(reqs) is True
+        else:
+            do_work(0.02)
+            comm.send(buf, 0, tag=0)
+            comm.send(buf, 0, tag=1)
+
+    run_mpi(main, 2, **FAST)

@@ -1,0 +1,101 @@
+"""OpenMP lock API tests."""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.simkernel import SimulationCrashed, current_process
+from repro.simomp import OmpLock, omp_get_thread_num, omp_parallel, run_omp
+from repro.work import do_work
+
+
+def test_lock_serializes_holders():
+    lock = OmpLock("zone")
+    spans = []
+
+    def body():
+        with lock:
+            start = current_process().sim.now
+            do_work(0.01)
+            spans.append((start, current_process().sim.now))
+
+    run_omp(lambda: omp_parallel(body, num_threads=4))
+    spans.sort()
+    for (_, e1), (s2, _) in zip(spans, spans[1:]):
+        assert s2 >= e1 - 1e-12
+
+
+def test_lock_set_unset_explicit():
+    lock = OmpLock()
+    acquired = []
+
+    def body():
+        lock.set()
+        acquired.append(omp_get_thread_num())
+        do_work(0.001)
+        lock.unset()
+
+    run_omp(lambda: omp_parallel(body, num_threads=3))
+    assert sorted(acquired) == [0, 1, 2]
+
+
+def test_lock_test_nonblocking():
+    outcomes = {}
+
+    def body():
+        me = omp_get_thread_num()
+        if me == 0:
+            lock.set()
+            do_work(0.05)
+            lock.unset()
+        else:
+            do_work(0.01)  # while 0 holds it
+            outcomes["while_held"] = lock.test()
+            do_work(0.1)   # after 0 released it
+            outcomes["after_release"] = lock.test()
+            if outcomes["after_release"]:
+                lock.unset()
+
+    lock = OmpLock()
+    run_omp(lambda: omp_parallel(body, num_threads=2))
+    assert outcomes == {"while_held": False, "after_release": True}
+
+
+def test_unset_without_holding_is_error():
+    lock = OmpLock()
+
+    def body():
+        lock.unset()
+
+    with pytest.raises(SimulationCrashed):
+        run_omp(lambda: omp_parallel(body, num_threads=1))
+
+
+def test_lock_contention_detected():
+    lock = OmpLock("hot")
+
+    def body():
+        for _ in range(3):
+            with lock:
+                do_work(0.005)
+
+    result = run_omp(lambda: omp_parallel(body, num_threads=4))
+    analysis = analyze_run(result)
+    assert "omp_lock_contention" in analysis.detected(0.05)
+    # waits happen on the threads that queue, inside omp_lock regions
+    (path, _), *_ = list(
+        analysis.callpaths_of("omp_lock_contention").items()
+    )
+    assert path[-1] == "omp_lock"
+
+
+def test_uncontended_lock_is_silent():
+    def body():
+        me = omp_get_thread_num()
+        lock = OmpLock(f"private{me}")  # one lock per thread
+        for _ in range(3):
+            with lock:
+                do_work(0.005)
+
+    result = run_omp(lambda: omp_parallel(body, num_threads=4))
+    analysis = analyze_run(result)
+    assert analysis.severity(property="omp_lock_contention") < 0.001

@@ -1,0 +1,104 @@
+"""Nested-team details: location uniqueness, context isolation."""
+
+import pytest
+
+from repro.simkernel import current_process
+from repro.simomp import (
+    omp_get_num_threads,
+    omp_get_thread_num,
+    omp_parallel,
+    run_omp,
+)
+from repro.trace import Enter, Location
+from repro.work import do_work
+
+
+def test_nested_thread_locations_are_unique():
+    """No two concurrently-live threads may share a trace location."""
+    live_locs = []
+
+    def inner():
+        proc = current_process()
+        live_locs.append(proc.context["loc"])
+        do_work(0.001)
+
+    def outer():
+        omp_parallel(inner, num_threads=3)
+
+    result = run_omp(lambda: omp_parallel(outer, num_threads=2))
+    # outer team: threads A (loc 0.0) and B; each forks 3 inner
+    # threads; inner thread 0 reuses its master's location, the others
+    # are fresh -- but *within one instant* all live locations differ.
+    # Check via the trace: no location has overlapping omp_parallel
+    # regions at the same nesting depth.
+    enters = [
+        e for e in result.events
+        if isinstance(e, Enter) and e.region == "omp_parallel"
+    ]
+    # 2 outer + 2*3 inner = 8 region instances
+    assert len(enters) == 8
+    # each inner team contributed 3 distinct locations
+    assert len(set(live_locs)) == 6
+
+
+def test_inner_team_queries_see_inner_team():
+    shapes = []
+
+    def inner():
+        shapes.append(
+            ("inner", omp_get_thread_num(), omp_get_num_threads())
+        )
+
+    def outer():
+        shapes.append(
+            ("outer", omp_get_thread_num(), omp_get_num_threads())
+        )
+        omp_parallel(inner, num_threads=4)
+        # after the inner join, the outer team is current again
+        shapes.append(
+            ("after", omp_get_thread_num(), omp_get_num_threads())
+        )
+
+    run_omp(lambda: omp_parallel(outer, num_threads=2))
+    outer_entries = [s for s in shapes if s[0] == "outer"]
+    inner_entries = [s for s in shapes if s[0] == "inner"]
+    after_entries = [s for s in shapes if s[0] == "after"]
+    assert all(n == 2 for _, _, n in outer_entries)
+    assert all(n == 4 for _, _, n in inner_entries)
+    assert all(n == 2 for _, _, n in after_entries)
+    assert len(inner_entries) == 8
+
+
+def test_nested_join_times_propagate():
+    """The outer join waits for the slowest inner team."""
+    ends = {}
+
+    def inner():
+        me = omp_get_thread_num()
+        do_work(0.01 * (me + 1))
+
+    def outer():
+        omp_parallel(inner, num_threads=3)  # slowest inner: 0.03
+
+    def main():
+        omp_parallel(outer, num_threads=2)
+        ends["master"] = current_process().sim.now
+
+    run_omp(main)
+    assert ends["master"] == pytest.approx(0.03)
+
+
+def test_deeply_nested_three_levels():
+    count = []
+
+    def level3():
+        count.append(1)
+
+    def level2():
+        omp_parallel(level3, num_threads=2)
+
+    def level1():
+        omp_parallel(level2, num_threads=2)
+
+    run_omp(lambda: omp_parallel(level1, num_threads=2))
+    assert len(count) == 8

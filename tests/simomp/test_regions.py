@@ -1,0 +1,193 @@
+"""Parallel regions, barriers, team identity, nesting."""
+
+import pytest
+
+from repro.simkernel import SimulationCrashed, current_process
+from repro.simomp import (
+    OmpError,
+    current_team,
+    omp_barrier,
+    omp_get_num_threads,
+    omp_get_thread_num,
+    omp_master,
+    omp_parallel,
+    omp_single,
+    run_omp,
+)
+from repro.trace import Enter, Fork, Join, Location
+from repro.work import do_work
+
+
+def test_parallel_region_runs_every_thread():
+    def body():
+        return omp_get_thread_num()
+
+    def main():
+        return omp_parallel(body, num_threads=5)
+
+    result = run_omp(main)
+    assert result.result == [0, 1, 2, 3, 4]
+
+
+def test_default_num_threads_from_runtime():
+    def main():
+        return omp_parallel(lambda: omp_get_num_threads())
+
+    result = run_omp(main, num_threads=3)
+    assert result.result == [3, 3, 3]
+
+
+def test_sequential_code_reports_single_thread():
+    def main():
+        assert current_team() is None
+        assert omp_get_thread_num() == 0
+        assert omp_get_num_threads() == 1
+
+    run_omp(main)
+
+
+def test_region_end_has_implicit_barrier():
+    ends = {}
+
+    def body():
+        me = omp_get_thread_num()
+        do_work(0.01 * (me + 1))
+        return current_process().sim.now
+
+    def main():
+        omp_parallel(body, num_threads=4)
+        # master resumes only after the last thread (0.04s of work)
+        ends["master"] = current_process().sim.now
+
+    run_omp(main)
+    assert ends["master"] >= 0.04
+
+
+def test_explicit_barrier_synchronizes():
+    after = {}
+
+    def body():
+        me = omp_get_thread_num()
+        do_work(0.01 * (me + 1))
+        omp_barrier()
+        after[me] = current_process().sim.now
+
+    run_omp(lambda: omp_parallel(body, num_threads=3))
+    assert all(t >= 0.03 for t in after.values())
+
+
+def test_barrier_outside_region_rejected():
+    def main():
+        omp_barrier()
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_omp(main)
+    assert isinstance(info.value.original, OmpError)
+
+
+def test_nested_parallel_regions():
+    seen = []
+
+    def inner():
+        seen.append(("inner", omp_get_thread_num(), omp_get_num_threads()))
+
+    def outer():
+        seen.append(("outer", omp_get_thread_num(), omp_get_num_threads()))
+        omp_parallel(inner, num_threads=2)
+
+    run_omp(lambda: omp_parallel(outer, num_threads=2))
+    outers = [s for s in seen if s[0] == "outer"]
+    inners = [s for s in seen if s[0] == "inner"]
+    assert len(outers) == 2 and len(inners) == 4
+    assert {s[2] for s in inners} == {2}
+
+
+def test_master_construct_runs_on_thread0_only():
+    ran = []
+
+    def body():
+        if omp_master():
+            ran.append(omp_get_thread_num())
+
+    run_omp(lambda: omp_parallel(body, num_threads=4))
+    assert ran == [0]
+
+
+def test_single_construct_runs_once_and_synchronizes():
+    ran = []
+    after = {}
+
+    def body():
+        me = omp_get_thread_num()
+        do_work(0.01 * me)
+        with omp_single() as chosen:
+            if chosen:
+                ran.append(me)
+                do_work(0.05)
+        after[me] = current_process().sim.now
+
+    run_omp(lambda: omp_parallel(body, num_threads=4))
+    assert len(ran) == 1
+    # All threads wait at the single's implicit barrier until the
+    # executing thread finished its 0.05s of work.
+    assert all(t >= 0.05 for t in after.values())
+
+
+def test_team_results_indexed_by_thread():
+    def body():
+        return omp_get_thread_num() * 100
+
+    result = run_omp(lambda: omp_parallel(body, num_threads=4))
+    assert result.result == [0, 100, 200, 300]
+
+
+def test_fork_join_events_recorded():
+    result = run_omp(lambda: omp_parallel(lambda: None, num_threads=3))
+    kinds = [e.kind for e in result.events]
+    assert "fork" in kinds and "join" in kinds
+    fork = next(e for e in result.events if isinstance(e, Fork))
+    assert fork.team_size == 3
+
+
+def test_thread0_shares_master_location():
+    def body():
+        do_work(0.001)
+
+    result = run_omp(lambda: omp_parallel(body, num_threads=2))
+    locs = {
+        e.loc
+        for e in result.events
+        if isinstance(e, Enter) and e.region == "omp_parallel"
+    }
+    assert Location(0, 0) in locs
+    assert len(locs) == 2
+
+
+def test_thread_rngs_are_independent():
+    draws = {}
+
+    def body():
+        rng = current_process().context["rng"]
+        draws[omp_get_thread_num()] = rng.next_u64()
+
+    run_omp(lambda: omp_parallel(body, num_threads=4))
+    assert len(set(draws.values())) == 4
+
+
+def test_invalid_num_threads_rejected():
+    def main():
+        omp_parallel(lambda: None, num_threads=0)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_omp(main)
+    assert isinstance(info.value.original, OmpError)
+
+
+def test_exception_in_thread_propagates():
+    def body():
+        if omp_get_thread_num() == 1:
+            raise RuntimeError("thread died")
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_omp(lambda: omp_parallel(body, num_threads=3))
+    assert isinstance(info.value.original, RuntimeError)

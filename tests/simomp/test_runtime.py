@@ -1,0 +1,76 @@
+"""Standalone OpenMP runner behaviour."""
+
+import pytest
+
+from repro.simomp import omp_parallel, run_omp
+from repro.trace import read_trace, write_trace
+from repro.work import do_work
+
+
+def test_run_omp_result_fields():
+    result = run_omp(lambda: 42, num_threads=3)
+    assert result.result == 42
+    assert result.num_threads == 3
+    assert result.final_time == 0.0
+
+
+def test_run_omp_final_time_tracks_work():
+    def main():
+        do_work(0.25)
+        omp_parallel(lambda: do_work(0.5), num_threads=2)
+
+    result = run_omp(main)
+    assert result.final_time == pytest.approx(0.75)
+
+
+def test_run_omp_validates_num_threads():
+    with pytest.raises(ValueError):
+        run_omp(lambda: None, num_threads=0)
+
+
+def test_run_omp_untraced():
+    result = run_omp(lambda: do_work(0.1), trace=False)
+    assert result.recorder is None
+    assert result.events == []
+    assert result.final_time == pytest.approx(0.1)
+
+
+def test_run_omp_timeline_and_profile():
+    def main():
+        omp_parallel(lambda: do_work(0.01), num_threads=2)
+
+    result = run_omp(main)
+    assert "legend" in result.timeline(width=20)
+    profile = result.profile()
+    assert profile.region_total("work") == pytest.approx(0.02)
+
+
+def test_run_omp_intrusion_dilates():
+    def main():
+        omp_parallel(lambda: do_work(0.01), num_threads=4)
+
+    clean = run_omp(main)
+    dirty = run_omp(main, intrusion=1e-4)
+    assert dirty.final_time > clean.final_time
+
+
+def test_run_omp_seed_determinism():
+    def main():
+        from repro.simkernel import current_process
+
+        rng = current_process().context["rng"]
+        return rng.next_u64()
+
+    assert run_omp(main, seed=9).result == run_omp(main, seed=9).result
+    assert run_omp(main, seed=9).result != run_omp(main, seed=10).result
+
+
+def test_omp_trace_round_trips_through_disk(tmp_path):
+    def main():
+        omp_parallel(lambda: do_work(0.01), num_threads=2)
+
+    result = run_omp(main)
+    path = tmp_path / "omp.jsonl"
+    write_trace(path, result.events)
+    events, _ = read_trace(path)
+    assert events == result.events

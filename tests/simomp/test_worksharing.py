@@ -1,0 +1,227 @@
+"""Worksharing loops, sections, critical sections, reductions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import SimulationCrashed, current_process
+from repro.simomp import (
+    OmpError,
+    omp_critical,
+    omp_for,
+    omp_get_thread_num,
+    omp_parallel,
+    omp_sections,
+    require_team,
+    run_omp,
+)
+from repro.work import do_work
+
+
+def collect_schedule(iterations, schedule, chunk, num_threads):
+    """Run an omp_for and return {thread: [iterations executed]}."""
+    executed = {}
+
+    def body():
+        me = omp_get_thread_num()
+        mine = executed.setdefault(me, [])
+        omp_for(
+            iterations,
+            lambda i: mine.append(i),
+            schedule=schedule,
+            chunk=chunk,
+        )
+
+    run_omp(lambda: omp_parallel(body, num_threads=num_threads))
+    return executed
+
+
+def test_static_schedule_contiguous_blocks():
+    executed = collect_schedule(10, "static", None, 3)
+    assert executed[0] == [0, 1, 2, 3]
+    assert executed[1] == [4, 5, 6]
+    assert executed[2] == [7, 8, 9]
+
+
+def test_static_chunked_round_robin():
+    executed = collect_schedule(10, "static", 2, 2)
+    assert executed[0] == [0, 1, 4, 5, 8, 9]
+    assert executed[1] == [2, 3, 6, 7]
+
+
+def test_dynamic_schedule_covers_all_iterations():
+    executed = collect_schedule(20, "dynamic", 3, 4)
+    all_iters = sorted(i for mine in executed.values() for i in mine)
+    assert all_iters == list(range(20))
+
+
+def test_guided_schedule_covers_all_iterations():
+    executed = collect_schedule(50, "guided", None, 4)
+    all_iters = sorted(i for mine in executed.values() for i in mine)
+    assert all_iters == list(range(50))
+
+
+def test_guided_chunk_sizes_decrease():
+    grabs = []
+
+    def body():
+        team = require_team()
+        last = None
+        mine = []
+        for i in team.loop_chunks(64, "guided"):
+            mine.append(i)
+        # consecutive runs in `mine` are this thread's grabs
+        runs = []
+        for i in mine:
+            if runs and i == runs[-1][-1] + 1 and len(runs[-1]) > 0:
+                runs[-1].append(i)
+            else:
+                runs.append([i])
+        grabs.extend(len(r) for r in runs)
+
+    run_omp(lambda: omp_parallel(body, num_threads=4))
+    assert max(grabs) >= 64 // 4  # first grab is remaining/size
+
+
+@given(
+    iterations=st.integers(min_value=0, max_value=200),
+    num_threads=st.integers(min_value=1, max_value=8),
+    schedule=st.sampled_from(["static", "dynamic", "guided"]),
+    chunk=st.one_of(st.none(), st.integers(min_value=1, max_value=7)),
+)
+@settings(max_examples=25, deadline=None)
+def test_every_schedule_partitions_iterations_exactly(
+    iterations, num_threads, schedule, chunk
+):
+    """Invariant: each iteration executes exactly once, on one thread."""
+    executed = collect_schedule(iterations, schedule, chunk, num_threads)
+    all_iters = sorted(i for mine in executed.values() for i in mine)
+    assert all_iters == list(range(iterations))
+
+
+def test_for_outside_region_rejected():
+    def main():
+        omp_for(4, lambda i: None)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_omp(main)
+    assert isinstance(info.value.original, OmpError)
+
+
+def test_bad_schedule_rejected():
+    def body():
+        omp_for(4, lambda i: None, schedule="magic")
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_omp(lambda: omp_parallel(body, num_threads=2))
+    assert isinstance(info.value.original, OmpError)
+
+
+def test_for_has_implicit_barrier():
+    after = {}
+
+    def body():
+        me = omp_get_thread_num()
+        omp_for(4, lambda i: do_work(0.01 * (i + 1)), schedule="static")
+        after[me] = current_process().sim.now
+
+    run_omp(lambda: omp_parallel(body, num_threads=4))
+    # static: thread i runs iteration i; slowest is 0.04
+    assert all(t >= 0.04 for t in after.values())
+
+
+def test_for_nowait_skips_barrier():
+    after = {}
+
+    def body():
+        me = omp_get_thread_num()
+        omp_for(
+            4,
+            lambda i: do_work(0.01 * (i + 1)),
+            schedule="static",
+            nowait=True,
+        )
+        after[me] = current_process().sim.now
+
+    run_omp(lambda: omp_parallel(body, num_threads=4))
+    assert after[0] == pytest.approx(0.01)
+    assert after[3] == pytest.approx(0.04)
+
+
+def test_sections_distribute_all_bodies():
+    ran = []
+
+    def body():
+        omp_sections(
+            [lambda i=i: ran.append(i) for i in range(6)]
+        )
+
+    run_omp(lambda: omp_parallel(body, num_threads=3))
+    assert sorted(ran) == list(range(6))
+
+
+def test_critical_serializes_threads():
+    spans = []
+
+    def body():
+        with omp_critical("zone"):
+            start = current_process().sim.now
+            do_work(0.01)
+            spans.append((start, current_process().sim.now))
+
+    run_omp(lambda: omp_parallel(body, num_threads=4))
+    spans.sort()
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert s2 >= e1 - 1e-12  # no overlap
+
+
+def test_critical_different_names_do_not_serialize():
+    spans = []
+
+    def body():
+        name = f"zone{omp_get_thread_num()}"
+        with omp_critical(name):
+            start = current_process().sim.now
+            do_work(0.01)
+            spans.append((start, current_process().sim.now))
+
+    run_omp(lambda: omp_parallel(body, num_threads=4))
+    assert all(s == 0.0 for s, _ in spans)  # all ran concurrently
+
+
+def test_team_reduce_deterministic_order():
+    def body():
+        me = omp_get_thread_num()
+        team = require_team()
+        return team.reduce([me], lambda a, b: a + b)
+
+    result = run_omp(lambda: omp_parallel(body, num_threads=4))
+    assert result.result == [[0, 1, 2, 3]] * 4
+
+
+def test_team_reduce_numeric():
+    def body():
+        me = omp_get_thread_num()
+        team = require_team()
+        return team.reduce(me + 1, lambda a, b: a + b)
+
+    result = run_omp(lambda: omp_parallel(body, num_threads=5))
+    assert result.result == [15] * 5
+
+
+def test_negative_iterations_rejected():
+    def body():
+        omp_for(-1, lambda i: None)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_omp(lambda: omp_parallel(body, num_threads=2))
+    assert isinstance(info.value.original, OmpError)
+
+
+def test_zero_chunk_rejected():
+    def body():
+        omp_for(4, lambda i: None, schedule="dynamic", chunk=0)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_omp(lambda: omp_parallel(body, num_threads=2))
+    assert isinstance(info.value.original, OmpError)

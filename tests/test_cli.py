@@ -1,0 +1,113 @@
+"""CLI tests (in-process via main(argv))."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_shows_positive_properties(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "late_sender" in out
+    assert "balanced_mpi_barrier" not in out  # negatives need --all
+
+
+def test_list_all_includes_negatives(capsys):
+    main(["list", "--all"])
+    out = capsys.readouterr().out
+    assert "balanced_mpi_barrier" in out
+
+
+def test_list_paradigm_filter(capsys):
+    main(["list", "--paradigm", "omp"])
+    out = capsys.readouterr().out
+    assert "imbalance_at_omp_barrier" in out
+    assert "late_sender" not in out
+
+
+def test_run_property_with_analysis(capsys):
+    assert main(["run", "late_sender", "--size", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "finished in" in out
+    assert "late_sender" in out
+    assert "ANALYSIS REPORT" in out
+
+
+def test_run_with_timeline(capsys):
+    main(["run", "late_sender", "--size", "4", "--timeline",
+          "--no-analyze"])
+    out = capsys.readouterr().out
+    assert "legend" in out
+    assert "ANALYSIS REPORT" not in out
+
+
+def test_run_unknown_property_raises():
+    with pytest.raises(KeyError):
+        main(["run", "not_a_property"])
+
+
+def test_chain_command(capsys):
+    assert main(["chain", "--size", "4", "--no-analyze"]) == 0
+    assert "finished in" in capsys.readouterr().out
+
+
+def test_split_command(capsys):
+    assert main(["split", "--size", "8", "--no-analyze"]) == 0
+    assert "finished in" in capsys.readouterr().out
+
+
+def test_generate_command(tmp_path, capsys):
+    assert main(["generate", str(tmp_path), "--paradigm", "omp"]) == 0
+    out = capsys.readouterr().out
+    assert "programs generated" in out
+    assert list(tmp_path.glob("test_*.py"))
+
+
+def test_trace_roundtrip_through_cli(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    assert main([
+        "run", "late_broadcast", "--size", "4", "--no-analyze",
+        "--trace-out", str(trace),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "late_broadcast" in out
+
+
+def test_matrix_command_subset_passes(capsys):
+    # full matrix is exercised elsewhere; here just the exit path
+    rc = main(["matrix", "--size", "4", "--threads", "2"])
+    out = capsys.readouterr().out
+    assert "positive detection rate" in out
+    assert rc == 0
+
+
+def test_certify_command(capsys):
+    rc = main(["certify", "--size", "4", "--threads", "2"])
+    out = capsys.readouterr().out
+    assert "CERTIFIED" in out
+    assert rc == 0
+
+
+def test_suites_command(capsys):
+    assert main(["suites"]) == 0
+    assert "SKaMPI" in capsys.readouterr().out
+
+
+def test_run_with_tree_prints_hierarchy(capsys):
+    assert main(["run", "late_sender", "--size", "4", "--tree"]) == 0
+    out = capsys.readouterr().out
+    assert "property tree" in out
+    assert "p2p_communication" in out
+
+
+def test_sweep_command_outputs_csv(capsys):
+    assert main([
+        "sweep", "late_sender", "--factors", "1,2", "--sizes", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.strip().split("\n") if l]
+    assert lines[0].startswith("property,")
+    assert len(lines) == 3  # header + 2 factor rows
+    assert "sev:late_sender" in lines[0]

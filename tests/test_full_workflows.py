@@ -1,0 +1,107 @@
+"""End-to-end workflow integration tests.
+
+Each test stitches several subsystems together the way a tool
+developer would actually use ATS, crossing process and file
+boundaries where the real workflow does.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import analyze_events, analyze_run
+from repro.cli import main as cli_main
+from repro.core import get_property, write_generated_programs
+from repro.trace import read_trace
+
+
+def test_generate_run_analyze_roundtrip(tmp_path, capsys):
+    """generator -> standalone program (subprocess) -> trace file ->
+    `ats analyze` -> same verdict as the in-process pipeline."""
+    paths = write_generated_programs(tmp_path, paradigm="mpi")
+    program = next(p for p in paths if p.name == "test_late_sender.py")
+    trace_file = tmp_path / "run.jsonl"
+    proc = subprocess.run(
+        [
+            sys.executable, str(program),
+            "--size", "6", "--seed", "3",
+            "--trace-out", str(trace_file),
+        ],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    # offline CLI analysis of the persisted trace
+    rc = cli_main(["analyze", str(trace_file)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "late_sender" in out
+
+    # the persisted trace analyzes identically to an in-process run
+    events, _ = read_trace(trace_file)
+    offline = analyze_events(events)
+    inproc = analyze_run(
+        get_property("late_sender").run(size=6, seed=3)
+    )
+    off_sev = offline.severity(property="late_sender")
+    in_sev = inproc.severity(property="late_sender")
+    # offline total_time defaults to last event time; allow small slack
+    assert off_sev == pytest.approx(in_sev, rel=0.05)
+
+
+def test_sweep_csv_matches_direct_runs(tmp_path):
+    """`run_sweep` rows agree with manually-launched runs."""
+    from repro.validation import run_sweep
+
+    sweep = run_sweep(
+        "imbalance_at_mpi_barrier",
+        severity_factors=[1.0, 2.0],
+        sizes=[4],
+        seed=1,
+    )
+    for point in sweep.points:
+        spec = get_property("imbalance_at_mpi_barrier")
+        direct = analyze_run(
+            spec.run(
+                size=4,
+                params=spec.scaled_params(point.config["factor"]),
+                seed=1,
+            )
+        )
+        assert point.severity_of("wait_at_barrier") == pytest.approx(
+            direct.severity(property="wait_at_barrier")
+        )
+
+
+def test_slice_analysis_agrees_with_full_on_isolated_half(tmp_path):
+    """Analyzing a location slice of a split program reproduces the
+    same per-property severities as scoping the full analysis."""
+    from repro.core import run_split_program
+    from repro.trace import Location, by_location
+
+    result = run_split_program(
+        lower=["late_sender"], upper=["early_reduce"], size=8
+    )
+    full = analyze_run(result)
+    upper = analyze_events(
+        by_location(result.events, ranks=range(4, 8)),
+        total_time=result.final_time,
+    )
+    # early_reduce severity normalized per location count: full has 8
+    # locations, the slice 4, so the slice severity is exactly double
+    assert upper.severity(property="early_reduce") == pytest.approx(
+        2 * full.severity(property="early_reduce"), rel=1e-6
+    )
+    assert upper.severity(property="late_sender") == 0.0
+
+
+def test_matrix_cli_and_api_agree(capsys):
+    from repro.validation import run_validation_matrix
+
+    api = run_validation_matrix(size=4, num_threads=2, seed=0)
+    rc = cli_main(["matrix", "--size", "4", "--threads", "2"])
+    out = capsys.readouterr().out
+    assert (rc == 0) == api.all_passed
+    assert f"positive detection rate: " \
+           f"{api.positive_detection_rate:.0%}" in out

@@ -1,0 +1,79 @@
+"""Package-level smoke tests: public API surface and metadata."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version_matches_pyproject():
+    import pathlib
+
+    pyproject = pathlib.Path(repro.__file__).parents[2] / "pyproject.toml"
+    text = pyproject.read_text()
+    assert f'version = "{repro.__version__}"' in text
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.simkernel",
+        "repro.work",
+        "repro.distributions",
+        "repro.simmpi",
+        "repro.simomp",
+        "repro.trace",
+        "repro.core",
+        "repro.core.properties",
+        "repro.analysis",
+        "repro.asl",
+        "repro.validation",
+        "repro.apps",
+        "repro.cli",
+    ],
+)
+def test_subpackage_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_public_docstrings_everywhere():
+    """Every public module and every __all__ item carries a docstring."""
+    undocumented = []
+    for module_name in (
+        "repro.simkernel", "repro.simmpi", "repro.simomp",
+        "repro.trace", "repro.core", "repro.analysis", "repro.asl",
+        "repro.validation", "repro.apps",
+    ):
+        mod = importlib.import_module(module_name)
+        if not mod.__doc__:
+            undocumented.append(module_name)
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if not callable(obj):
+                continue
+            if not isinstance(obj, type) and not hasattr(
+                obj, "__module__"
+            ):
+                continue  # typing aliases etc.
+            if getattr(obj, "__module__", "").startswith("typing"):
+                continue
+            if not getattr(obj, "__doc__", None):
+                undocumented.append(f"{module_name}.{name}")
+    assert not undocumented, undocumented
+
+
+def test_end_to_end_one_liner():
+    """The README quickstart, as a test."""
+    from repro import analyze_run, format_expert_report, get_property
+
+    result = get_property("late_sender").run(size=8)
+    report = format_expert_report(analyze_run(result))
+    assert "late_sender" in report

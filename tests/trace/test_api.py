@@ -1,0 +1,86 @@
+"""User-region API tests."""
+
+import pytest
+
+from repro.simkernel import Simulator, current_process
+from repro.trace import (
+    Location,
+    TraceRecorder,
+    bind_instrumentation,
+    current_instrumentation,
+    region,
+)
+from repro.work import do_work
+
+
+def test_current_instrumentation_outside_process():
+    rec, loc = current_instrumentation()
+    assert rec is None
+    assert loc == Location(0, 0)
+
+
+def test_region_without_recorder_is_noop():
+    sim = Simulator()
+
+    def body():
+        with region("anything"):
+            do_work(0.1)
+
+    sim.spawn(body)
+    assert sim.run() == pytest.approx(0.1)
+
+
+def test_region_records_and_nests():
+    rec = TraceRecorder()
+    sim = Simulator()
+
+    def body():
+        bind_instrumentation(rec, Location(3, 1))
+        with region("outer"):
+            with region("inner"):
+                do_work(0.5)
+
+    sim.spawn(body)
+    sim.run()
+    regions = [(e.kind, e.region) for e in rec.events]
+    assert regions == [
+        ("enter", "outer"),
+        ("enter", "inner"),
+        ("enter", "work"),
+        ("exit", "work"),
+        ("exit", "inner"),
+        ("exit", "outer"),
+    ]
+    assert all(e.loc == Location(3, 1) for e in rec.events)
+
+
+def test_region_intrusion_costs_virtual_time():
+    rec = TraceRecorder(intrusion_per_event=0.01)
+    sim = Simulator()
+
+    def body():
+        bind_instrumentation(rec, Location(0, 0))
+        with region("r"):
+            pass
+
+    sim.spawn(body)
+    # enter + exit each cost one intrusion unit
+    assert sim.run() == pytest.approx(0.02)
+
+
+def test_region_closes_on_exception():
+    rec = TraceRecorder()
+    sim = Simulator()
+
+    def body():
+        bind_instrumentation(rec, Location(0, 0))
+        try:
+            with region("r"):
+                raise ValueError("inside")
+        except ValueError:
+            pass
+
+    sim.spawn(body)
+    sim.run()
+    rec.finish()  # balanced despite the exception
+    assert [e.kind for e in rec.events] == ["enter", "exit"]

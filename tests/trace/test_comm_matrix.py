@@ -1,0 +1,85 @@
+"""Communication-matrix view tests."""
+
+import pytest
+
+from repro.apps import FarmConfig, master_worker
+from repro.simmpi import MPI_INT, alloc_mpi_buf, run_mpi
+from repro.trace import CommMatrix, comm_matrix, format_comm_matrix
+
+FAST = dict(model_init_overhead=False)
+
+
+def ring_program(comm):
+    buf = alloc_mpi_buf(MPI_INT, 4)
+    me, sz = comm.rank(), comm.size()
+    rbuf = alloc_mpi_buf(MPI_INT, 4)
+    rreq = comm.irecv(rbuf, (me - 1) % sz, 0)
+    comm.send(buf, (me + 1) % sz, 0)
+    comm.wait(rreq)
+
+
+def test_ring_matrix_counts():
+    result = run_mpi(ring_program, 4, **FAST)
+    matrix = comm_matrix(result.events)
+    assert matrix.total_messages == 4
+    assert matrix.total_bytes == 4 * 16
+    for src in range(4):
+        assert matrix.messages[(src, (src + 1) % 4)] == 1
+        assert matrix.messages.get((src, (src + 2) % 4), 0) == 0
+
+
+def test_master_worker_hotspot_is_rank0():
+    result = run_mpi(
+        master_worker, 5, FarmConfig(ntasks=12), **FAST
+    )
+    matrix = comm_matrix(result.events)
+    assert matrix.hottest_receiver() == 0
+
+
+def test_internal_traffic_excluded_by_default():
+    def main(comm):
+        comm.barrier()
+
+    result = run_mpi(main, 4, **FAST)
+    assert comm_matrix(result.events).total_messages == 0
+    internal = comm_matrix(result.events, include_internal=True)
+    assert internal.total_messages > 0  # the dissemination rounds
+
+
+def test_internal_matrix_shows_algorithm_structure():
+    """A linear bcast's internal matrix is a single dense row."""
+    from repro.simmpi import CollectiveTuning
+
+    def main(comm):
+        buf = alloc_mpi_buf(MPI_INT, 1)
+        comm.bcast(buf, root=0)
+
+    result = run_mpi(
+        main, 6, collectives=CollectiveTuning(bcast="linear"), **FAST
+    )
+    matrix = comm_matrix(result.events, include_internal=True)
+    senders = {src for (src, _) in matrix.messages}
+    assert senders == {0}  # only the root sends
+    assert matrix.total_messages == 5
+
+
+def test_format_matrix_table():
+    result = run_mpi(ring_program, 3, **FAST)
+    text = format_comm_matrix(comm_matrix(result.events))
+    assert "send\\recv" in text
+    assert "total: 3 messages" in text
+    text_bytes = format_comm_matrix(
+        comm_matrix(result.events), unit="bytes"
+    )
+    assert "16" in text_bytes
+
+
+def test_format_matrix_bad_unit():
+    with pytest.raises(ValueError):
+        format_comm_matrix(CommMatrix(), unit="packets")
+
+
+def test_empty_matrix():
+    matrix = CommMatrix()
+    assert matrix.hottest_receiver() is None
+    assert "no point-to-point" in format_comm_matrix(matrix)

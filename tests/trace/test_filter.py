@@ -1,0 +1,115 @@
+"""Trace slicing tests."""
+
+import pytest
+
+from repro.trace import (
+    Enter,
+    Exit,
+    Location,
+    TraceRecorder,
+    by_callpath_prefix,
+    by_location,
+    by_predicate,
+    by_time_window,
+    profile_trace,
+)
+
+L0, L1 = Location(0, 0), Location(1, 2)
+
+
+def sample():
+    rec = TraceRecorder()
+    rec.enter(0.0, L0, "main")
+    rec.enter(1.0, L0, "phase_a")
+    rec.exit(3.0, L0, "phase_a")
+    rec.enter(3.0, L0, "phase_b")
+    rec.exit(6.0, L0, "phase_b")
+    rec.exit(7.0, L0, "main")
+    rec.enter(0.0, L1, "main")
+    rec.exit(7.0, L1, "main")
+    return rec.events
+
+
+def test_by_location_rank_filter():
+    sliced = by_location(sample(), ranks=[0])
+    assert all(e.loc.rank == 0 for e in sliced)
+    assert len(sliced) == 6
+
+
+def test_by_location_thread_filter():
+    sliced = by_location(sample(), threads=[2])
+    assert all(e.loc == L1 for e in sliced)
+
+
+def test_by_location_combined_filters():
+    assert by_location(sample(), ranks=[1], threads=[0]) == []
+
+
+def test_by_callpath_prefix():
+    sliced = by_callpath_prefix(sample(), "phase_a")
+    regions = [e.region for e in sliced]
+    assert regions == ["phase_a", "phase_a"]
+
+
+def test_by_callpath_prefix_includes_descendants():
+    rec = TraceRecorder()
+    rec.enter(0.0, L0, "outer")
+    rec.enter(1.0, L0, "inner")
+    rec.exit(2.0, L0, "inner")
+    rec.exit(3.0, L0, "outer")
+    sliced = by_callpath_prefix(rec.events, "outer")
+    assert len(sliced) == 4  # inner events carry the outer prefix
+
+
+def test_time_window_basic():
+    sliced = by_time_window(sample(), 1.0, 3.0)
+    times = [e.time for e in sliced]
+    assert all(1.0 <= t <= 3.0 for t in times)
+
+
+def test_time_window_rebalances_spanning_regions():
+    # window (2.0, 5.0): main and phase_a open at start; phase_b open
+    # at end -> synthetic enters/exits keep the slice balanced
+    sliced = by_time_window(sample(), 2.0, 5.0)
+    profile = profile_trace(sliced)  # would mis-nest if unbalanced
+    main = profile.per_region[("main", L0)]
+    assert main.inclusive == pytest.approx(3.0)
+    phase_b = profile.per_region[("phase_b", L0)]
+    assert phase_b.inclusive == pytest.approx(2.0)
+
+
+def test_time_window_validates_bounds():
+    with pytest.raises(ValueError):
+        by_time_window(sample(), 5.0, 1.0)
+
+
+def test_time_window_whole_span_is_identity_profile():
+    full = profile_trace(sample())
+    sliced = profile_trace(by_time_window(sample(), 0.0, 100.0))
+    assert sliced.region_total("main") == pytest.approx(
+        full.region_total("main")
+    )
+
+
+def test_by_predicate():
+    only_exits = by_predicate(sample(), lambda e: isinstance(e, Exit))
+    assert len(only_exits) == 4
+
+
+def test_sliced_trace_feeds_analyzer():
+    """Slice a composite run down to one half and analyze just it."""
+    from repro.analysis import analyze_events
+    from repro.core import run_split_program
+
+    result = run_split_program(
+        lower=["imbalance_at_mpi_barrier"],
+        upper=["late_broadcast"],
+        size=8,
+    )
+    upper_events = by_location(result.events, ranks=range(4, 8))
+    analysis = analyze_events(
+        upper_events, total_time=result.final_time
+    )
+    detected = analysis.detected(0.005)
+    assert "late_broadcast" in detected
+    assert "wait_at_barrier" not in detected

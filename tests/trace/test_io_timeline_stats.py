@@ -1,0 +1,174 @@
+"""Tests for trace persistence, timeline rendering and profiles."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    Enter,
+    Exit,
+    Location,
+    TraceRecorder,
+    profile_trace,
+    read_trace,
+    region_char,
+    render_timeline,
+    state_at,
+    write_trace,
+    format_profile,
+)
+
+L0 = Location(0, 0)
+L1 = Location(1, 0)
+
+
+def sample_events():
+    rec = TraceRecorder()
+    rec.enter(0.0, L0, "main")
+    rec.enter(1.0, L0, "work")
+    rec.exit(3.0, L0, "work")
+    rec.enter(3.0, L0, "MPI_Send")
+    rec.exit(4.0, L0, "MPI_Send")
+    rec.exit(5.0, L0, "main")
+    rec.enter(0.0, L1, "main")
+    rec.enter(0.5, L1, "MPI_Recv")
+    rec.exit(4.0, L1, "MPI_Recv")
+    rec.exit(5.0, L1, "main")
+    return rec.events
+
+
+# ----------------------------------------------------------------------
+# io
+# ----------------------------------------------------------------------
+
+def test_write_read_round_trip(tmp_path):
+    events = sample_events()
+    path = tmp_path / "trace.jsonl"
+    n = write_trace(path, events, metadata={"program": "demo", "size": 2})
+    assert n == len(events)
+    loaded, meta = read_trace(path)
+    assert loaded == events
+    assert meta == {"program": "demo", "size": 2}
+
+
+def test_read_rejects_non_trace_file(tmp_path):
+    path = tmp_path / "bogus.jsonl"
+    path.write_text('{"format": "other"}\n')
+    with pytest.raises(ValueError, match="not an ats-trace"):
+        read_trace(path)
+
+
+def test_read_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_trace(path)
+
+
+def test_read_rejects_bad_version(tmp_path):
+    path = tmp_path / "v99.jsonl"
+    path.write_text('{"format": "ats-trace", "version": 99}\n')
+    with pytest.raises(ValueError, match="version"):
+        read_trace(path)
+
+
+def test_read_reports_line_of_bad_event(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        '{"format": "ats-trace", "version": 1}\n'
+        '{"kind": "bogus", "time": 0, "loc": "0.0"}\n'
+    )
+    with pytest.raises(ValueError, match=":2:"):
+        read_trace(path)
+
+
+def test_written_file_is_line_json(tmp_path):
+    path = tmp_path / "t.jsonl"
+    write_trace(path, sample_events())
+    lines = path.read_text().strip().split("\n")
+    for line in lines:
+        json.loads(line)  # every line parses standalone
+
+
+# ----------------------------------------------------------------------
+# timeline
+# ----------------------------------------------------------------------
+
+def test_timeline_renders_all_locations():
+    text = render_timeline(sample_events(), width=50)
+    assert "0.0 |" in text and "1.0 |" in text
+    assert "legend" in text
+
+
+def test_timeline_categories():
+    assert region_char("work") == "="
+    assert region_char("MPI_Send") == "M"
+    assert region_char("MPI_Bcast") == "C"
+    assert region_char("MPI_Barrier") == "B"
+    assert region_char("MPI_Init") == "I"
+    assert region_char("omp_barrier") == "$"
+    assert region_char("omp_for") == "o"
+    assert region_char("my_phase") == "u"
+
+
+def test_timeline_innermost_region_wins():
+    text = render_timeline(sample_events(), width=10, t_end=5.0)
+    row0 = next(l for l in text.splitlines() if l.strip().startswith("0.0"))
+    cells = row0.split("|")[1]
+    # bucket covering t in [1,3) is work, [3,4) is MPI_Send
+    assert cells[2] == "="
+    assert cells[6] == "M"
+
+
+def test_timeline_empty_trace():
+    assert "empty" in render_timeline([], width=10)
+
+
+def test_state_at_reports_innermost():
+    events = sample_events()
+    assert state_at(events, L0, 2.0) == "work"
+    assert state_at(events, L0, 3.5) == "MPI_Send"
+    assert state_at(events, L0, 4.5) == "main"
+    assert state_at(events, L0, 99.0) is None
+
+
+# ----------------------------------------------------------------------
+# profiles
+# ----------------------------------------------------------------------
+
+def test_profile_inclusive_and_exclusive_times():
+    profile = profile_trace(sample_events())
+    # main at L0: inclusive 5, children work(2) + send(1) -> exclusive 2
+    main0 = profile.per_region[("main", L0)]
+    assert main0.inclusive == pytest.approx(5.0)
+    assert main0.exclusive == pytest.approx(2.0)
+    work0 = profile.per_region[("work", L0)]
+    assert work0.inclusive == pytest.approx(2.0)
+    assert work0.exclusive == pytest.approx(2.0)
+
+
+def test_profile_region_totals_sum_locations():
+    profile = profile_trace(sample_events())
+    assert profile.region_total("main") == pytest.approx(10.0)
+    assert profile.exclusive_total("MPI_Recv") == pytest.approx(3.5)
+
+
+def test_profile_total_time_and_locations():
+    profile = profile_trace(sample_events())
+    assert profile.total_time == pytest.approx(5.0)
+    assert profile.locations == [L0, L1]
+
+
+def test_profile_visit_counts():
+    rec = TraceRecorder()
+    for i in range(3):
+        rec.enter(float(i), L0, "r")
+        rec.exit(float(i) + 0.5, L0, "r")
+    profile = profile_trace(rec.events)
+    assert profile.per_region[("r", L0)].visits == 3
+    assert profile.per_region[("r", L0)].inclusive == pytest.approx(1.5)
+
+
+def test_format_profile_is_table():
+    text = format_profile(profile_trace(sample_events()))
+    assert "region" in text and "main" in text

@@ -1,0 +1,78 @@
+"""Property-based invariants of the timeline renderer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import Location, TraceRecorder, render_timeline
+
+REGIONS = ["work", "MPI_Send", "MPI_Barrier", "omp_barrier", "userland"]
+
+
+@st.composite
+def balanced_traces(draw):
+    """Random balanced traces over a handful of locations."""
+    nloc = draw(st.integers(min_value=1, max_value=4))
+    rec = TraceRecorder()
+    for rank in range(nloc):
+        loc = Location(rank, 0)
+        t = 0.0
+        for _ in range(draw(st.integers(min_value=1, max_value=5))):
+            region = draw(st.sampled_from(REGIONS))
+            start_gap = draw(st.floats(min_value=0.0, max_value=1.0))
+            duration = draw(st.floats(min_value=0.01, max_value=2.0))
+            t += start_gap
+            rec.enter(t, loc, region)
+            t += duration
+            rec.exit(t, loc, region)
+    return rec.events
+
+
+@given(events=balanced_traces(), width=st.integers(min_value=5,
+                                                   max_value=120))
+@settings(max_examples=40, deadline=None)
+def test_timeline_row_structure(events, width):
+    text = render_timeline(events, width=width)
+    lines = text.splitlines()
+    rows = [l for l in lines if "|" in l and l.strip()[0].isdigit()]
+    locations = {e.loc for e in events}
+    assert len(rows) == len(locations)
+    for row in rows:
+        cells = row.split("|")[1]
+        assert len(cells) == width
+
+
+@given(events=balanced_traces())
+@settings(max_examples=30, deadline=None)
+def test_timeline_never_raises_and_has_legend(events):
+    text = render_timeline(events, width=40)
+    assert "legend" in text
+
+
+@given(events=balanced_traces(), width=st.integers(min_value=10,
+                                                   max_value=60))
+@settings(max_examples=30, deadline=None)
+def test_timeline_busy_cells_cover_busy_time(events, width):
+    """Any bucket overlapping a region interval must be non-blank."""
+    from repro.trace import Enter, Exit
+
+    text = render_timeline(events, width=width)
+    t_end = max(e.time for e in events)
+    dt = (t_end if t_end > 0 else 1.0) / width
+    rows = {}
+    for line in text.splitlines():
+        if "|" in line and line.strip()[0].isdigit():
+            label, cells = line.split("|")[0], line.split("|")[1]
+            rows[label.strip()] = cells
+    # find per-location busy intervals
+    open_at = {}
+    for e in sorted(events, key=lambda e: e.time):
+        key = str(e.loc)
+        if isinstance(e, Enter):
+            open_at.setdefault(key, []).append(e.time)
+        elif isinstance(e, Exit) and open_at.get(key):
+            start = open_at[key].pop()
+            if key not in rows:
+                continue
+            first = max(0, min(width - 1, int(start / dt)))
+            cell = rows[key][first]
+            assert cell != " ", (key, start, first, rows[key])

@@ -1,0 +1,75 @@
+"""Experiment-sweep layer tests."""
+
+import pytest
+
+from repro.validation import run_sweep
+
+
+def test_severity_factor_sweep():
+    result = run_sweep(
+        "late_sender", severity_factors=[0.5, 1.0, 2.0], sizes=[4]
+    )
+    assert len(result.points) == 3
+    series = result.series("factor", "late_sender")
+    factors = [f for f, _ in series]
+    sevs = [s for _, s in series]
+    assert factors == [0.5, 1.0, 2.0]
+    assert sevs[0] < sevs[1] < sevs[2]
+
+
+def test_size_sweep():
+    result = run_sweep("imbalance_at_mpi_barrier", sizes=[2, 4, 8])
+    assert len(result.points) == 3
+    assert [p.config["size"] for p in result.points] == [2, 4, 8]
+    assert all(
+        "wait_at_barrier" in p.detected for p in result.points
+    )
+
+
+def test_param_grid_sweep():
+    result = run_sweep(
+        "late_broadcast",
+        sizes=[4],
+        param_grid={"root": [0, 2], "r": [1, 2]},
+    )
+    assert len(result.points) == 4
+    configs = {(p.config["root"], p.config["r"]) for p in result.points}
+    assert configs == {(0, 1), (0, 2), (2, 1), (2, 2)}
+
+
+def test_combined_axes_cartesian():
+    result = run_sweep(
+        "late_sender", severity_factors=[1.0, 2.0], sizes=[2, 4]
+    )
+    assert len(result.points) == 4
+
+
+def test_rows_and_csv_output():
+    result = run_sweep("late_sender", severity_factors=[1.0], sizes=[4])
+    rows = result.to_rows()
+    assert rows[0]["property"] == "late_sender"
+    assert "sev:late_sender" in rows[0]
+    csv = result.to_csv()
+    header, data = csv.strip().split("\n")
+    assert "factor" in header and "final_time" in header
+    assert data.startswith("late_sender")
+
+
+def test_empty_sweep_result_csv():
+    from repro.validation import SweepResult
+
+    assert SweepResult().to_csv() == ""
+
+
+def test_unknown_property_raises():
+    with pytest.raises(KeyError):
+        run_sweep("nope")
+
+
+def test_omp_property_sweep_uses_threads():
+    result = run_sweep(
+        "imbalance_at_omp_barrier",
+        severity_factors=[1.0],
+        num_threads=6,
+    )
+    assert result.points[0].severity_of("imbalance_at_omp_barrier") > 0

@@ -1,0 +1,135 @@
+"""Tests for the work-specification layer."""
+
+import pytest
+
+from repro.distributions import Val1Distr, Val2Distr, df_linear, df_same
+from repro.simkernel import Simulator, SimulationCrashed, current_process
+from repro.trace import Location, TraceRecorder, bind_instrumentation
+from repro.work import (
+    Calibration,
+    RealWorker,
+    do_work,
+    par_do_omp_work,
+)
+
+
+def run_in_sim(fn):
+    sim = Simulator()
+    sim.spawn(fn, name="p")
+    sim.run()
+    return sim
+
+
+def test_do_work_advances_virtual_time_exactly():
+    times = []
+
+    def body():
+        do_work(0.125)
+        times.append(current_process().sim.now)
+        do_work(1.0)
+        times.append(current_process().sim.now)
+
+    run_in_sim(body)
+    assert times == [0.125, 1.125]
+
+
+def test_do_work_zero_is_allowed():
+    def body():
+        do_work(0.0)
+        assert current_process().sim.now == 0.0
+
+    run_in_sim(body)
+
+
+def test_do_work_negative_rejected():
+    def body():
+        do_work(-0.5)
+
+    with pytest.raises(SimulationCrashed) as info:
+        run_in_sim(body)
+    assert isinstance(info.value.original, ValueError)
+
+
+def test_do_work_records_work_region():
+    rec = TraceRecorder()
+
+    def body():
+        bind_instrumentation(rec, Location(0, 0))
+        do_work(0.25)
+
+    run_in_sim(body)
+    kinds = [(e.kind, getattr(e, "region", None)) for e in rec.events]
+    assert kinds == [("enter", "work"), ("exit", "work")]
+    assert rec.events[1].time - rec.events[0].time == pytest.approx(0.25)
+
+
+def test_do_work_untraced_records_nothing():
+    def body():
+        do_work(0.25)
+
+    sim = run_in_sim(body)
+    assert sim.now == 0.25
+
+
+def test_par_do_omp_work_outside_region_is_single_participant():
+    times = []
+
+    def body():
+        par_do_omp_work(df_linear, Val2Distr(0.5, 9.0), 1.0)
+        times.append(current_process().sim.now)
+
+    run_in_sim(body)
+    # me=0, sz=1 -> low value
+    assert times == [0.5]
+
+
+def test_par_do_omp_work_scale_factor():
+    times = []
+
+    def body():
+        par_do_omp_work(df_same, Val1Distr(0.5), 3.0)
+        times.append(current_process().sim.now)
+
+    run_in_sim(body)
+    assert times == [1.5]
+
+
+# ----------------------------------------------------------------------
+# the real (wall-clock) backend, paper section 3.1.1
+# ----------------------------------------------------------------------
+
+def test_real_worker_requires_calibration():
+    worker = RealWorker(seed=1, elements=1024)
+    with pytest.raises(RuntimeError, match="calibrate"):
+        worker.do_work(0.001)
+
+
+def test_real_worker_calibration_measures_rate():
+    worker = RealWorker(seed=1, elements=4096)
+    cal = worker.calibrate(target_seconds=0.01)
+    assert cal.iterations_per_second > 0
+    assert cal.measured_iterations > 0
+    assert worker.calibration is cal
+
+
+def test_real_worker_do_work_runs_after_calibration():
+    worker = RealWorker(seed=2, elements=4096)
+    worker.calibrate(target_seconds=0.01)
+    worker.do_work(0.002)  # must not raise; timing not asserted
+
+
+def test_calibration_iterations_for_scales_linearly():
+    cal = Calibration(
+        iterations_per_second=1000.0,
+        measured_seconds=1.0,
+        measured_iterations=1000,
+    )
+    assert cal.iterations_for(2.0) == 2000
+    assert cal.iterations_for(0.0) == 0
+    with pytest.raises(ValueError):
+        cal.iterations_for(-1.0)
+
+
+def test_real_worker_rejects_tiny_arrays():
+    with pytest.raises(ValueError):
+        RealWorker(elements=1)
