@@ -1,6 +1,51 @@
-"""Shared benchmark fixtures and reporting helpers."""
+"""Shared benchmark fixtures and reporting helpers.
+
+Besides the pytest-benchmark integration, every benchmark run through
+the ``run_bench`` fixture is recorded into a machine-readable summary
+(``benchmarks/BENCH_SUMMARY.json``): wall time, simulator dispatch
+count and trace event count per benchmark.  Perf-trajectory tooling
+reads that file instead of scraping pytest-benchmark's console output.
+"""
+
+import json
+import time
+from pathlib import Path
 
 import pytest
+
+SUMMARY_PATH = Path(__file__).resolve().parent / "BENCH_SUMMARY.json"
+
+_records: list[dict] = []
+
+
+def _extract_run_stats(value) -> tuple[int, int]:
+    """Best-effort (dispatch_count, event_count) from a bench result.
+
+    Benchmarks return ``RunResult``/``OmpRunResult`` objects, tuples
+    containing them, or unrelated values; anything unrecognized simply
+    contributes zero.
+    """
+    dispatches = 0
+    events = 0
+    items = value if isinstance(value, (tuple, list)) else (value,)
+    for item in items:
+        sim = getattr(item, "sim", None)
+        if sim is None:
+            world = getattr(item, "world", None)
+            sim = getattr(world, "sim", None)
+        if sim is not None:
+            dispatches += getattr(sim, "dispatch_count", 0)
+        recorder = getattr(item, "recorder", None)
+        if recorder is not None:
+            events += len(getattr(recorder, "events", ()))
+    return dispatches, events
+
+
+def _benchmark_time(benchmark, fallback: float) -> float:
+    try:
+        return float(benchmark.stats.stats.min)
+    except AttributeError:
+        return fallback
 
 
 def run_once_benchmark(benchmark, fn, *args, **kwargs):
@@ -10,12 +55,32 @@ def run_once_benchmark(benchmark, fn, *args, **kwargs):
     measures host jitter; three rounds keep pytest-benchmark's
     reporting while bounding wall time.
     """
-    return benchmark.pedantic(
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(
         fn, args=args, kwargs=kwargs, rounds=3, iterations=1,
         warmup_rounds=0,
     )
+    elapsed = time.perf_counter() - t0
+    dispatches, events = _extract_run_stats(result)
+    _records.append(
+        {
+            "name": getattr(benchmark, "name", fn.__name__),
+            "time_s": round(_benchmark_time(benchmark, elapsed), 6),
+            "dispatch_count": dispatches,
+            "events": events,
+        }
+    )
+    return result
 
 
 @pytest.fixture
 def run_bench():
     return run_once_benchmark
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _records:
+        return
+    SUMMARY_PATH.write_text(
+        json.dumps({"benchmarks": _records}, indent=2) + "\n"
+    )

@@ -8,6 +8,7 @@ three axes (property x call path x location).
 """
 
 from .analyzer import analyze_events, analyze_run
+from .index import RegionVisit, TraceIndex, replay_region_visits
 from .compare import ComparisonReport, PropertyDelta, compare_analyses
 from .hierarchy import (
     HierarchyNode,
@@ -31,6 +32,9 @@ __all__ = [
     "DEFAULT_DETECTORS",
     "Detector",
     "Finding",
+    "RegionVisit",
+    "TraceIndex",
+    "replay_region_visits",
     "HierarchyNode",
     "format_property_tree",
     "severity_tree",

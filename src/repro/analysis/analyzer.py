@@ -13,7 +13,18 @@ from ..simmpi.runtime import RunResult
 from ..simomp.runtime import OmpRunResult
 from ..trace.events import Event
 from .detectors import DEFAULT_DETECTORS, AnalysisConfig
+from .index import TraceIndex
 from .model import AnalysisResult, Finding
+
+
+def _is_time_sorted(events: Sequence[Event]) -> bool:
+    prev = float("-inf")
+    for event in events:
+        t = event.time
+        if t < prev:
+            return False
+        prev = t
+    return True
 
 
 def analyze_events(
@@ -26,21 +37,31 @@ def analyze_events(
     """Analyze a raw event stream.
 
     ``total_time`` defaults to the last event timestamp;
-    ``detectors`` defaults to the full battery.
+    ``detectors`` defaults to the full battery.  The stream is indexed
+    once (see :class:`TraceIndex`) and the index shared by every
+    detector; passing an existing index avoids even that scan.
     """
     config = config or AnalysisConfig()
     detectors = DEFAULT_DETECTORS if detectors is None else detectors
-    events = sorted(events, key=lambda e: e.time)
+    if isinstance(events, TraceIndex):
+        index = events
+    else:
+        events = list(events)
+        if not _is_time_sorted(events):
+            # As-recorded traces are already time-ordered; only
+            # hand-assembled streams pay for a sort (stable, so
+            # same-time events keep their given order as before).
+            events.sort(key=lambda e: e.time)
+        index = TraceIndex(events)
     findings: list[Finding] = []
     for detector in detectors:
-        findings.extend(detector.detect(events, config))
+        findings.extend(detector.detect(index, config))
     if total_time is None:
-        total_time = events[-1].time if events else 0.0
-    locations = sorted({e.loc for e in events})
+        total_time = index.events[-1].time if index.events else 0.0
     return AnalysisResult(
         findings=findings,
         total_time=total_time,
-        locations=locations,
+        locations=list(index.locations),
         comm_registry=dict(comm_registry or {}),
     )
 

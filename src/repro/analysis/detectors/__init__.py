@@ -4,6 +4,7 @@ from .base import (
     AnalysisConfig,
     Detector,
     RegionVisit,
+    TraceIndex,
     collective_instances,
     iter_region_visits,
     matched_p2p_pairs,
@@ -47,6 +48,7 @@ __all__ = [
     "OmpCriticalContentionDetector",
     "OmpImbalanceDetector",
     "RegionVisit",
+    "TraceIndex",
     "WaitAtBarrierDetector",
     "WaitAtNxNDetector",
     "WrongOrderDetector",

@@ -1,22 +1,29 @@
-"""Detector infrastructure: the protocol and shared trace-replay helpers."""
+"""Detector infrastructure: the protocol and shared trace-replay helpers.
+
+The helpers accept either a plain event sequence or a prebuilt
+:class:`~repro.analysis.index.TraceIndex`; the analyzer passes an index
+so the whole detector battery shares one scan of the trace instead of
+rescanning per detector.
+"""
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Protocol, Sequence, Tuple
 
-from ...trace.events import (
-    CallPath,
-    CollExit,
-    Enter,
-    Event,
-    Exit,
-    Location,
-    Recv,
-    Send,
-)
+from ...trace.events import CollExit, Event, Recv, Send
+from ..index import RegionVisit, TraceIndex, replay_region_visits
 from ..model import Finding
+
+__all__ = [
+    "AnalysisConfig",
+    "Detector",
+    "RegionVisit",
+    "TraceIndex",
+    "collective_instances",
+    "iter_region_visits",
+    "matched_p2p_pairs",
+]
 
 
 @dataclass(frozen=True)
@@ -44,59 +51,24 @@ class Detector(Protocol):
     ) -> Iterable[Finding]: ...  # pragma: no cover - protocol
 
 
-@dataclass(frozen=True)
-class RegionVisit:
-    """One completed region instance at one location."""
-
-    loc: Location
-    region: str
-    path: CallPath
-    enter: float
-    exit: float
-    child_time: float
-
-    @property
-    def inclusive(self) -> float:
-        return self.exit - self.enter
-
-    @property
-    def exclusive(self) -> float:
-        return self.inclusive - self.child_time
-
-
 def iter_region_visits(events: Sequence[Event]) -> Iterator[RegionVisit]:
-    """Replay enter/exit events into completed :class:`RegionVisit`\\ s.
+    """Completed :class:`RegionVisit`\\ s of the trace (exit order).
 
-    Events must be time-ordered per location (they are, as recorded).
-    Unclosed regions at the end of the trace are ignored.
+    Given a :class:`TraceIndex`, returns the precomputed visits;
+    otherwise replays enter/exit events (which must be time-ordered per
+    location, as recorded).  Unclosed regions are ignored.
     """
-    stacks: dict[Location, list[list]] = defaultdict(list)
-    # stack entry: [region, enter_time, path, child_time]
-    for event in events:
-        if isinstance(event, Enter):
-            stacks[event.loc].append([event.region, event.time, event.path, 0.0])
-        elif isinstance(event, Exit):
-            stack = stacks[event.loc]
-            if not stack or stack[-1][0] != event.region:
-                continue
-            region, enter, path, child_time = stack.pop()
-            inclusive = event.time - enter
-            if stack:
-                stack[-1][3] += inclusive
-            yield RegionVisit(
-                loc=event.loc,
-                region=region,
-                path=path,
-                enter=enter,
-                exit=event.time,
-                child_time=child_time,
-            )
+    if isinstance(events, TraceIndex):
+        return iter(events.region_visits)
+    return replay_region_visits(events)
 
 
 def matched_p2p_pairs(
     events: Sequence[Event],
 ) -> Iterator[Tuple[Send, Recv]]:
     """Yield matched user-level (send, recv) event pairs by msg_id."""
+    if isinstance(events, TraceIndex):
+        return iter(events.p2p_pairs)
     sends: Dict[int, Send] = {}
     recvs: Dict[int, Recv] = {}
     for event in events:
@@ -104,18 +76,23 @@ def matched_p2p_pairs(
             sends[event.msg_id] = event
         elif isinstance(event, Recv) and not event.internal:
             recvs[event.msg_id] = event
-    for msg_id, recv in recvs.items():
-        send = sends.get(msg_id)
-        if send is not None:
-            yield send, recv
+    return (
+        (sends[msg_id], recv)
+        for msg_id, recv in recvs.items()
+        if msg_id in sends
+    )
 
 
 def collective_instances(
     events: Sequence[Event],
 ) -> Dict[Tuple[int, int, str], list[CollExit]]:
     """Group CollExit events: (comm_id, instance, op) -> participants."""
-    groups: Dict[Tuple[int, int, str], list[CollExit]] = defaultdict(list)
+    if isinstance(events, TraceIndex):
+        return dict(events.collectives)
+    groups: Dict[Tuple[int, int, str], list[CollExit]] = {}
     for event in events:
         if isinstance(event, CollExit):
-            groups[(event.comm_id, event.instance, event.op)].append(event)
-    return dict(groups)
+            groups.setdefault(
+                (event.comm_id, event.instance, event.op), []
+            ).append(event)
+    return groups

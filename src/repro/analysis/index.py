@@ -1,0 +1,185 @@
+"""One-pass trace index shared by all detectors.
+
+Before this existed every detector rescanned the flat event list:
+region-imbalance detectors replayed enter/exit stacks, p2p detectors
+rebuilt the msg_id match tables, collective detectors regrouped
+``CollExit`` events -- each linear in the trace, once per detector.
+:class:`TraceIndex` performs a single pass and precomputes all three
+views (plus by-kind and by-location groupings); the analyzer builds it
+once and hands it to the whole battery.
+
+The index is a :class:`~collections.abc.Sequence` over the underlying
+events, so detectors that iterate the raw stream keep working
+unchanged, and the helpers in :mod:`repro.analysis.detectors.base`
+short-circuit to the precomputed views when given an index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..trace.events import CallPath, CollExit, Event, Location, Recv, Send
+
+
+@dataclass(frozen=True)
+class RegionVisit:
+    """One completed region instance at one location."""
+
+    loc: Location
+    region: str
+    path: CallPath
+    enter: float
+    exit: float
+    child_time: float
+
+    @property
+    def inclusive(self) -> float:
+        return self.exit - self.enter
+
+    @property
+    def exclusive(self) -> float:
+        return self.inclusive - self.child_time
+
+
+def replay_region_visits(events: Iterable[Event]) -> Iterator[RegionVisit]:
+    """Replay enter/exit events into completed :class:`RegionVisit`\\ s.
+
+    Events must be time-ordered per location (they are, as recorded).
+    Unclosed regions at the end of the trace are ignored.
+    """
+    stacks: dict[Location, list[list]] = {}
+    # stack entry: [region, enter_time, path, child_time]
+    for event in events:
+        kind = event.kind
+        if kind == "enter":
+            stacks.setdefault(event.loc, []).append(
+                [event.region, event.time, event.path, 0.0]
+            )
+        elif kind == "exit":
+            stack = stacks.get(event.loc)
+            if not stack or stack[-1][0] != event.region:
+                continue
+            region, enter, path, child_time = stack.pop()
+            inclusive = event.time - enter
+            if stack:
+                stack[-1][3] += inclusive
+            yield RegionVisit(
+                loc=event.loc,
+                region=region,
+                path=path,
+                enter=enter,
+                exit=event.time,
+                child_time=child_time,
+            )
+
+
+class TraceIndex(Sequence):
+    """Single-pass index over a time-ordered event stream.
+
+    Attributes (all built in one scan of ``events``):
+
+    * ``events`` -- the underlying list, in trace order,
+    * ``by_kind`` -- event-kind string -> events of that kind,
+    * ``by_location`` -- :class:`Location` -> that location's events,
+    * ``region_visits`` -- completed region instances in exit order,
+    * ``p2p_pairs`` -- matched user-level ``(Send, Recv)`` pairs, in
+      first-recv order (internal collective traffic excluded),
+    * ``collectives`` -- ``(comm_id, instance, op)`` -> participant
+      ``CollExit`` events,
+    * ``locations`` -- sorted list of all locations seen.
+    """
+
+    __slots__ = (
+        "events",
+        "by_kind",
+        "by_location",
+        "region_visits",
+        "p2p_pairs",
+        "collectives",
+        "locations",
+    )
+
+    def __init__(self, events: Iterable[Event]):
+        evs: List[Event] = (
+            events if isinstance(events, list) else list(events)
+        )
+        self.events = evs
+        by_kind: Dict[str, List[Event]] = {}
+        by_location: Dict[Location, List[Event]] = {}
+        collectives: Dict[Tuple[int, int, str], List[CollExit]] = {}
+        sends: Dict[int, Send] = {}
+        recvs: Dict[int, Recv] = {}
+        visits: List[RegionVisit] = []
+        stacks: Dict[Location, list] = {}
+        for event in evs:
+            kind = event.kind
+            by_kind.setdefault(kind, []).append(event)
+            loc = event.loc
+            by_location.setdefault(loc, []).append(event)
+            if kind == "enter":
+                stacks.setdefault(loc, []).append(
+                    [event.region, event.time, event.path, 0.0]
+                )
+            elif kind == "exit":
+                stack = stacks.get(loc)
+                if not stack or stack[-1][0] != event.region:
+                    continue
+                region, enter, path, child_time = stack.pop()
+                inclusive = event.time - enter
+                if stack:
+                    stack[-1][3] += inclusive
+                visits.append(
+                    RegionVisit(
+                        loc=loc,
+                        region=region,
+                        path=path,
+                        enter=enter,
+                        exit=event.time,
+                        child_time=child_time,
+                    )
+                )
+            elif kind == "send":
+                if not event.internal:
+                    sends[event.msg_id] = event
+            elif kind == "recv":
+                if not event.internal:
+                    recvs[event.msg_id] = event
+            elif kind == "coll":
+                collectives.setdefault(
+                    (event.comm_id, event.instance, event.op), []
+                ).append(event)
+        self.by_kind = by_kind
+        self.by_location = by_location
+        self.region_visits = visits
+        self.p2p_pairs = [
+            (sends[msg_id], recv)
+            for msg_id, recv in recvs.items()
+            if msg_id in sends
+        ]
+        self.collectives = collectives
+        self.locations = sorted(by_location)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol: an index is usable anywhere the raw event list
+    # was (detectors iterate it, slices return plain lists).
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __getitem__(self, item):
+        return self.events[item]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceIndex {len(self.events)} events, "
+            f"{len(self.locations)} locations, "
+            f"{len(self.region_visits)} visits, "
+            f"{len(self.p2p_pairs)} p2p pairs, "
+            f"{len(self.collectives)} collectives>"
+        )

@@ -34,17 +34,26 @@ class Step:
         return get_property(self.property_name)
 
     def execute(self, comm: Communicator, num_threads: int = 4) -> None:
-        spec = self.spec()
+        # Executed once per rank per step: resolve the spec and the
+        # parameter template once and reuse (descriptors are frozen, so
+        # sharing resolved df/dd across ranks is safe).
+        cached = self.__dict__.get("_resolved")
+        if cached is None:
+            spec = self.spec()
+            cached = (
+                spec,
+                spec.materialize(self.params),
+                spec.accepts_num_threads(),
+            )
+            object.__setattr__(self, "_resolved", cached)
+        spec, template, accepts_threads = cached
+        kwargs = dict(template)
+        if accepts_threads:
+            kwargs.setdefault("num_threads", num_threads)
         if spec.paradigm == "omp":
             # OpenMP property inside an MPI rank: runs on every rank.
-            kwargs = spec.materialize(self.params)
-            if spec.accepts_num_threads():
-                kwargs.setdefault("num_threads", num_threads)
             spec.func(**kwargs)
             return
-        kwargs = spec.materialize(self.params)
-        if spec.accepts_num_threads():
-            kwargs.setdefault("num_threads", num_threads)
         spec.func(**kwargs, comm=comm)
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from ..distributions import get_distribution
@@ -41,6 +42,13 @@ class DistParam:
 
 
 ParamValue = Union[int, float, DistParam]
+
+
+@lru_cache(maxsize=None)
+def _accepts_num_threads(func: Callable[..., None]) -> bool:
+    # Signature introspection is slow (~0.1 ms) and Step.execute asks
+    # once per rank per step, so memoize per function object.
+    return "num_threads" in inspect.signature(func).parameters
 
 
 @dataclass(frozen=True)
@@ -105,7 +113,7 @@ class PropertySpec:
         return out
 
     def accepts_num_threads(self) -> bool:
-        return "num_threads" in inspect.signature(self.func).parameters
+        return _accepts_num_threads(self.func)
 
     # ------------------------------------------------------------------
     # running

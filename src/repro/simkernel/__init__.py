@@ -17,8 +17,10 @@ from .errors import (
 from .process import (
     ProcState,
     SimProcess,
+    WorkerPool,
     current_process,
     maybe_current_process,
+    worker_pool,
 )
 from .rng import Lcg64
 from .scheduler import (
@@ -54,6 +56,7 @@ __all__ = [
     "SimSemaphore",
     "SimulationCrashed",
     "Simulator",
+    "WorkerPool",
     "activate",
     "current_process",
     "current_sim",
@@ -61,4 +64,5 @@ __all__ = [
     "maybe_current_process",
     "now",
     "passivate",
+    "worker_pool",
 ]

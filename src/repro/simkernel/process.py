@@ -1,12 +1,31 @@
-"""Simulated processes.
+"""Simulated processes on pooled worker threads.
 
-Each :class:`SimProcess` wraps an OS thread, but at most one thread in a
-simulation ever runs at a time: a process runs until it performs a
+Each :class:`SimProcess` runs on an OS thread, but at most one thread in
+a simulation ever runs at a time: a process runs until it performs a
 blocking kernel call (``hold``, ``passivate``, a sync-primitive wait),
-at which point control transfers back to the scheduler.  This gives
-coroutine-like determinism while letting user code -- the ATS property
-functions -- be written in the natural blocking style of the paper's C
-API, with no ``yield``/``await`` noise.
+at which point control transfers to the next runnable process.  This
+gives coroutine-like determinism while letting user code -- the ATS
+property functions -- be written in the natural blocking style of the
+paper's C API, with no ``yield``/``await`` noise.
+
+Two mechanisms keep the handoff cheap:
+
+* **Worker pooling.**  Threads come from a process-global
+  :class:`WorkerPool`: a finished (or killed, or crashed) process's
+  thread parks itself and is reused by the next process, across
+  simulations.  Fork/join-heavy workloads -- an OpenMP team per
+  parallel region per rank -- would otherwise spawn thousands of
+  short-lived OS threads.
+* **Direct chaining.**  When a process blocks, its own thread runs the
+  scheduler's dispatch step and wakes the next process's worker
+  directly (see :meth:`Simulator._chain_from`), so a dispatch costs one
+  OS context switch, not a round trip through a scheduler thread -- and
+  zero switches when a finished process's thread is immediately reused
+  for the next dispatched one (the LIFO pool makes that the common
+  fork/join case).  Handoffs use raw ``threading.Lock`` objects rather
+  than ``threading.Semaphore``: transfers alternate strictly, so a
+  binary lock suffices, and the C-level lock is an order of magnitude
+  cheaper than the pure-Python semaphore on this hot path.
 """
 
 from __future__ import annotations
@@ -24,8 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class ProcState(enum.Enum):
     """Lifecycle states of a simulated process."""
 
-    CREATED = "created"       # spawned, thread not yet started
-    SCHEDULED = "scheduled"   # in the event heap, will run at a known time
+    CREATED = "created"       # spawned, no worker claimed yet
+    SCHEDULED = "scheduled"   # in the event queue, will run at a known time
     RUNNING = "running"       # currently executing (exactly one at a time)
     PASSIVE = "passive"       # blocked, waiting for an activate()
     FINISHED = "finished"     # body returned normally
@@ -55,12 +74,124 @@ def maybe_current_process() -> Optional["SimProcess"]:
     return getattr(_tls, "process", None)
 
 
+class _Worker:
+    """A pooled OS thread that runs process bodies one after another.
+
+    ``_resume`` implements the handoff: whoever dispatches this
+    worker's process releases it; the worker blocks on it between
+    tasks and while its process is switched out.  ``_yielded`` is only
+    used for the teardown handshake, where the killing thread must wait
+    until the process has unwound off this thread.  Both start held.
+    """
+
+    __slots__ = ("pool", "task", "_resume", "_yielded", "_thread")
+
+    def __init__(self, pool: "WorkerPool"):
+        self.pool = pool
+        self.task: Optional["SimProcess"] = None
+        self._resume = threading.Lock()
+        self._resume.acquire()
+        self._yielded = threading.Lock()
+        self._yielded.acquire()
+        self._thread = threading.Thread(
+            target=self._loop, name="sim-worker", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        resume = self._resume
+        pool = self.pool
+        while True:
+            resume.acquire()
+            proc = self.task
+            if proc is None:  # shutdown sentinel
+                return
+            proc._run(self)
+            self.task = None
+            sim = proc.sim
+            # Park *before* doing anything else: every other simulation
+            # thread is blocked right now, so the pool cannot be raced,
+            # and the next dispatch can reclaim this very thread (LIFO)
+            # for a zero-switch continuation.
+            kept = pool._park(self)
+            if proc.state is ProcState.FAILED:
+                sim._report_failure(proc)
+            elif sim._tearing_down:
+                # Killed during teardown: handshake with the killer.
+                self._yielded.release()
+            else:
+                sim._dispatch_onward()
+            if not kept:
+                return
+
+
+class WorkerPool:
+    """Parked worker threads shared by all simulators in this process.
+
+    Pool operations need no lock: workers only park while every other
+    simulation thread is blocked, and ``list.append``/``list.pop`` are
+    atomic under the GIL for the (never observed in practice) case of
+    concurrent simulators on separate OS threads.
+    """
+
+    def __init__(self, max_parked: int = 1024):
+        self.max_parked = max_parked
+        self._parked: list[_Worker] = []
+        #: total workers ever created; a reuse diagnostic for tests
+        #: and benchmarks (created << processes means the pool works).
+        self.created = 0
+
+    def _obtain(self, proc: "SimProcess") -> _Worker:
+        try:
+            worker = self._parked.pop()
+        except IndexError:
+            self.created += 1
+            worker = _Worker(self)
+        worker.task = proc
+        return worker
+
+    def _park(self, worker: _Worker) -> bool:
+        if len(self._parked) < self.max_parked:
+            self._parked.append(worker)
+            return True
+        return False
+
+    @property
+    def parked(self) -> int:
+        """Number of currently parked (idle, reusable) workers."""
+        return len(self._parked)
+
+    def drain(self) -> None:
+        """Shut down all parked workers (test isolation helper)."""
+        while self._parked:
+            worker = self._parked.pop()
+            worker.task = None
+            worker._resume.release()
+            worker._thread.join()
+
+
+#: the process-global pool; ``worker_pool()`` is the public accessor.
+_pool = WorkerPool()
+
+
+def worker_pool() -> WorkerPool:
+    """The global worker pool (diagnostics / tests)."""
+    return _pool
+
+
 class SimProcess:
     """One simulated locus of execution (an MPI rank, an OpenMP thread...).
 
     Created via :meth:`repro.simkernel.Simulator.spawn`; not instantiated
-    directly by user code.
+    directly by user code.  Creating a process is cheap: a worker thread
+    is claimed from the pool only at first dispatch.
     """
+
+    __slots__ = (
+        "sim", "name", "pid", "_fn", "_args", "_kwargs", "state",
+        "result", "exception", "waiting_on", "context",
+        "_kill_requested", "_worker", "_started",
+    )
 
     def __init__(
         self,
@@ -80,27 +211,24 @@ class SimProcess:
         self.state = ProcState.CREATED
         self.result: Any = None
         self.exception: BaseException | None = None
-        #: free-form note describing what the process is blocked on;
-        #: surfaced in DeadlockError messages.
-        self.waiting_on: str = ""
+        #: what the process is blocked on; either a plain string or a
+        #: lazy ``(format, *args)`` tuple -- see :meth:`waiting_reason`.
+        #: Kept lazy so the hot path never builds f-strings.
+        self.waiting_on: Any = ""
         #: arbitrary per-process storage used by higher layers (MPI rank,
         #: OpenMP team bindings, trace location, RNG stream ...).
         self.context: dict[str, Any] = {}
         self._kill_requested = False
-        self._resume = threading.Semaphore(0)
-        self._yielded = threading.Semaphore(0)
-        self._thread = threading.Thread(
-            target=self._bootstrap, name=f"sim:{name}", daemon=True
-        )
+        self._worker: Optional[_Worker] = None
         self._started = False
 
     # ------------------------------------------------------------------
-    # thread-side machinery
+    # worker-thread-side machinery
     # ------------------------------------------------------------------
 
-    def _bootstrap(self) -> None:
+    def _run(self, worker: _Worker) -> None:
+        """Execute the body on ``worker``'s thread (first dispatch)."""
         _tls.process = self
-        self._resume.acquire()
         try:
             if self._kill_requested:
                 self.state = ProcState.KILLED
@@ -115,35 +243,41 @@ class SimProcess:
                 self.state = ProcState.FAILED
         finally:
             _tls.process = None
-            self._yielded.release()
+            self._worker = None
 
     def _switch_out(self) -> None:
-        """Yield control to the scheduler; return when resumed.
+        """Hand control to the next runnable process; return when resumed.
 
-        Must only be called from the process's own thread.  All shared
-        simulator state must be updated *before* calling, because the
-        scheduler thread resumes as soon as ``_yielded`` is released.
+        Must only be called from the process's own worker thread.  All
+        shared simulator state must be updated *before* calling, because
+        the next process (possibly on another thread) runs as soon as
+        the handoff happens.
         """
-        self._yielded.release()
-        self._resume.acquire()
+        if not self.sim._chain_from(self):
+            self._worker._resume.acquire()
         if self._kill_requested:
             raise ProcessKilled()
 
     # ------------------------------------------------------------------
-    # scheduler-side machinery
+    # dispatcher-side machinery
     # ------------------------------------------------------------------
 
-    def _resume_and_wait(self) -> None:
-        """Run the process until it blocks again (scheduler side)."""
+    def _transfer_in(self) -> None:
+        """Wake this process's worker (claiming one at first dispatch).
+
+        Called by whichever thread performed the dispatch step -- the
+        thread of a process that just blocked or finished, or the main
+        thread starting a run.  The caller blocks (or parks) right
+        after; it must not touch simulator state once this returns.
+        """
         self.state = ProcState.RUNNING
         if not self._started:
             self._started = True
-            self._thread.start()
-        self._resume.release()
-        self._yielded.acquire()
+            self._worker = _pool._obtain(self)
+        self._worker._resume.release()
 
     def _teardown(self) -> None:
-        """Force the process's thread to exit (scheduler side)."""
+        """Force the process off its worker thread (teardown path)."""
         if self.state in (
             ProcState.FINISHED,
             ProcState.FAILED,
@@ -152,15 +286,25 @@ class SimProcess:
             return
         self._kill_requested = True
         if not self._started:
-            # Thread never ran; nothing to unwind.
+            # Never dispatched; no worker to unwind.
             self.state = ProcState.KILLED
             return
-        self._resume.release()
-        self._yielded.acquire()
+        worker = self._worker
+        if worker is None:  # pragma: no cover - defensive
+            return
+        worker._resume.release()
+        worker._yielded.acquire()
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+
+    def waiting_reason(self) -> str:
+        """Human-readable form of :attr:`waiting_on` (lazily formatted)."""
+        reason = self.waiting_on
+        if type(reason) is tuple:
+            return reason[0] % reason[1:]
+        return reason
 
     @property
     def alive(self) -> bool:

@@ -1,16 +1,37 @@
 """The deterministic discrete-event scheduler.
 
-A :class:`Simulator` owns a virtual clock and an event heap of
+A :class:`Simulator` owns a virtual clock and an event queue of
 ``(time, sequence, process)`` entries.  Exactly one simulated process
 runs at any moment; ties in time are broken by scheduling order, so a
 whole simulation is a deterministic function of the program and its
 seeds.  Determinism is essential for a *test suite*: the same ATS
 program must exhibit the same performance property trace on every run.
+
+The dispatch step (pop the earliest entry, advance the clock, resume
+the process) is not owned by a scheduler thread.  It runs on whichever
+thread just gave up control: a blocking process dispatches its
+successor directly (one context switch instead of a round trip through
+``run()``), and ``run()`` on the main thread only seeds the first
+dispatch, then sleeps until the chain reports back -- completion,
+deadlock, a crash, the ``until`` horizon or the dispatch limit.
+
+Two further fast paths keep dispatching cheap at scale:
+
+* events scheduled for the *current* timestamp (``hold(0)``, immediate
+  ``activate`` -- the bulk of sync-primitive traffic) go to a FIFO run
+  queue instead of the heap; because sequence numbers only grow, FIFO
+  order *is* ``(time, seq)`` order for same-time entries, so the merge
+  with the heap preserves the exact event ordering of a heap-only
+  scheduler (traces are bit-identical),
+* blocked-reason strings are stored lazily (see
+  :meth:`SimProcess.waiting_reason`), so no f-string is built per hold.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
+from collections import deque
 from typing import Any, Callable, Optional
 
 from .errors import (
@@ -21,6 +42,12 @@ from .errors import (
 )
 from .process import ProcState, SimProcess, current_process, maybe_current_process
 from .rng import Lcg64
+
+#: wake reasons the dispatch chain reports back to ``run()``
+_IDLE = "idle"
+_UNTIL = "until"
+_FAILED = "failed"
+_LIMIT = "limit"
 
 
 class Simulator:
@@ -39,26 +66,32 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0):
-        self._now = 0.0
+        #: Current virtual time in seconds.  A plain attribute, not a
+        #: property: it is read on every scheduling call and every
+        #: recorded event, where descriptor dispatch is measurable.
+        self.now = 0.0
         self._heap: list[tuple[float, int, SimProcess]] = []
+        #: same-timestamp FIFO run queue (the heap-bypass fast path)
+        self._ready: deque[tuple[float, int, SimProcess]] = deque()
         self._seq = 0
         self._pid = 0
         self.processes: list[SimProcess] = []
         self.rng = Lcg64(seed)
         self._running = False
         self._finished = False
+        self._tearing_down = False
+        self._until: float | None = None
+        self._max_dispatches: int | None = None
+        # run() blocks on this (pre-held) lock while the dispatch chain
+        # runs; the chain releases it exactly once, with _wake_reason
+        # (and _failed_proc for crashes) set beforehand.
+        self._main_wake = threading.Lock()
+        self._main_wake.acquire()
+        self._wake_reason: str | None = None
+        self._failed_proc: SimProcess | None = None
         #: monotonically increasing count of process dispatches; a cheap
         #: proxy for "simulation effort" used by overhead benchmarks.
         self.dispatch_count = 0
-
-    # ------------------------------------------------------------------
-    # clock
-    # ------------------------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
 
     # ------------------------------------------------------------------
     # process management
@@ -75,7 +108,9 @@ class Simulator:
         """Create a process and schedule it to start ``delay`` from now.
 
         May be called before :meth:`run` or from inside a running
-        process (fork/join style, as the OpenMP layer does).
+        process (fork/join style, as the OpenMP layer does).  Creation
+        is cheap: the OS thread comes from the worker pool at first
+        dispatch.
         """
         if self._finished:
             raise SimError("cannot spawn into a finished simulation")
@@ -87,18 +122,22 @@ class Simulator:
             name = f"proc{pid}"
         proc = SimProcess(self, fn, args, kwargs, name=name, pid=pid)
         self.processes.append(proc)
-        self._schedule(proc, self._now + delay)
+        self._schedule(proc, self.now + delay)
         return proc
 
     def _schedule(self, proc: SimProcess, at: float) -> None:
-        if at < self._now:
+        if at < self.now:
             raise SimError(
                 f"cannot schedule {proc.name} in the past "
-                f"({at} < now {self._now})"
+                f"({at} < now {self.now})"
             )
         proc.state = ProcState.SCHEDULED
-        heapq.heappush(self._heap, (at, self._seq, proc))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        if at == self.now:
+            self._ready.append((at, seq, proc))
+        else:
+            heapq.heappush(self._heap, (at, seq, proc))
 
     # ------------------------------------------------------------------
     # process-side API (callable only from inside a simulated process)
@@ -110,8 +149,8 @@ class Simulator:
             raise ValueError("hold duration must be non-negative")
         proc = current_process()
         self._check_owner(proc)
-        self._schedule(proc, self._now + dt)
-        proc.waiting_on = f"hold({dt:g})"
+        self._schedule(proc, self.now + dt)
+        proc.waiting_on = ("hold(%g)", dt)
         proc._switch_out()
         proc.waiting_on = ""
 
@@ -135,7 +174,7 @@ class Simulator:
             raise ValueError("activate delay must be non-negative")
         self._check_owner(proc)
         if proc.state in (ProcState.PASSIVE, ProcState.CREATED):
-            self._schedule(proc, self._now + delay)
+            self._schedule(proc, self.now + delay)
         elif proc.state in (ProcState.SCHEDULED, ProcState.RUNNING):
             pass
         else:
@@ -148,7 +187,91 @@ class Simulator:
             )
 
     # ------------------------------------------------------------------
-    # the event loop
+    # the dispatch step (runs on whichever thread just gave up control)
+    # ------------------------------------------------------------------
+
+    def _next_runnable(self) -> SimProcess | None:
+        """Pop the next dispatchable process and advance the clock.
+
+        Returns ``None`` when the chain must stop, with
+        ``_wake_reason`` set to why (queues empty, ``until`` horizon,
+        dispatch limit).  Merges the FIFO run queue with the heap in
+        exact ``(time, seq)`` order: ready entries always carry the
+        current timestamp, so a heap entry wins only when it is earlier
+        or same-time with a smaller sequence number.
+        """
+        heap = self._heap
+        ready = self._ready
+        until = self._until
+        while ready or heap:
+            if ready:
+                use_ready = True
+                at = ready[0][0]
+                if heap:
+                    h = heap[0]
+                    if h[0] < at or (h[0] == at and h[1] < ready[0][1]):
+                        use_ready = False
+                        at = h[0]
+            else:
+                use_ready = False
+                at = heap[0][0]
+            if until is not None and at > until:
+                self._wake_reason = _UNTIL
+                return None
+            if use_ready:
+                proc = ready.popleft()[2]
+            else:
+                proc = heapq.heappop(heap)[2]
+            if proc.state is not ProcState.SCHEDULED:
+                # Stale entry (process was killed meanwhile).
+                continue
+            self.now = at
+            self.dispatch_count += 1
+            if (
+                self._max_dispatches is not None
+                and self.dispatch_count > self._max_dispatches
+            ):
+                self._wake_reason = _LIMIT
+                return None
+            return proc
+        self._wake_reason = _IDLE
+        return None
+
+    def _chain_from(self, proc: SimProcess) -> bool:
+        """Dispatch the successor of a process that is blocking.
+
+        Returns True when the successor is ``proc`` itself (it was the
+        earliest queued entry), in which case the caller simply keeps
+        running -- no handoff at all.  Otherwise the successor's worker
+        is woken (or ``run()`` is, when the chain ends) and the caller
+        must block.
+        """
+        nxt = self._next_runnable()
+        if nxt is proc:
+            proc.state = ProcState.RUNNING
+            return True
+        if nxt is not None:
+            nxt._transfer_in()
+        else:
+            self._main_wake.release()
+        return False
+
+    def _dispatch_onward(self) -> None:
+        """Dispatch the successor of a process that finished (worker loop)."""
+        nxt = self._next_runnable()
+        if nxt is not None:
+            nxt._transfer_in()
+        else:
+            self._main_wake.release()
+
+    def _report_failure(self, proc: SimProcess) -> None:
+        """Stop the chain: a process body raised (worker loop side)."""
+        self._wake_reason = _FAILED
+        self._failed_proc = proc
+        self._main_wake.release()
+
+    # ------------------------------------------------------------------
+    # the run entry point
     # ------------------------------------------------------------------
 
     def run(
@@ -172,33 +295,33 @@ class Simulator:
         if maybe_current_process() is not None:
             raise SimError("run() must not be called from inside a process")
         self._running = True
+        self._until = until
+        self._max_dispatches = max_dispatches
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
-                    self._now = until
-                    return self._now
-                at, _, proc = heapq.heappop(self._heap)
-                if proc.state is not ProcState.SCHEDULED:
-                    # Stale heap entry (process was killed meanwhile).
-                    continue
-                self._now = at
-                self.dispatch_count += 1
-                if (
-                    max_dispatches is not None
-                    and self.dispatch_count > max_dispatches
-                ):
-                    self._teardown_all()
-                    raise SimError(
-                        f"exceeded max_dispatches={max_dispatches}"
-                    )
-                proc._resume_and_wait()
-                if proc.state is ProcState.FAILED:
-                    original = proc.exception
-                    assert original is not None
-                    self._teardown_all()
-                    raise SimulationCrashed(proc.name, original) from original
+            first = self._next_runnable()
+            if first is not None:
+                first._transfer_in()
+                self._main_wake.acquire()  # sleep until the chain ends
+            reason = self._wake_reason
+            if reason == _UNTIL:
+                self.now = until
+                return self.now
+            if reason == _LIMIT:
+                self._teardown_all()
+                raise SimError(
+                    f"exceeded max_dispatches={max_dispatches}"
+                )
+            if reason == _FAILED:
+                failed = self._failed_proc
+                assert failed is not None
+                original = failed.exception
+                assert original is not None
+                self._teardown_all()
+                raise SimulationCrashed(
+                    failed.name, original
+                ) from original
             stuck = [
-                f"{p.name} ({p.waiting_on or 'passive'})"
+                f"{p.name} ({p.waiting_reason() or 'passive'})"
                 for p in self.processes
                 if p.state is ProcState.PASSIVE
             ]
@@ -206,11 +329,12 @@ class Simulator:
                 self._teardown_all()
                 raise DeadlockError(stuck)
             self._finished = True
-            return self._now
+            return self.now
         finally:
             self._running = False
 
     def _teardown_all(self) -> None:
+        self._tearing_down = True
         for proc in self.processes:
             proc._teardown()
         self._finished = True

@@ -23,6 +23,7 @@ class SimEvent:
         self.name = name
         self._set = False
         self._waiters: Deque[SimProcess] = deque()
+        self._wait_reason = f"wait({name})"
         #: optional payload handed to waiters via :attr:`value`
         self.value: Any = None
 
@@ -35,7 +36,7 @@ class SimEvent:
         proc = current_process()
         while not self._set:
             self._waiters.append(proc)
-            proc.sim.passivate(f"wait({self.name})")
+            proc.sim.passivate(self._wait_reason)
         return self.value
 
     def set(self, value: Any = None) -> None:
@@ -61,6 +62,7 @@ class SimSemaphore:
         self.name = name
         self._value = value
         self._waiters: Deque[SimProcess] = deque()
+        self._wait_reason = f"acquire({name})"
 
     @property
     def value(self) -> int:
@@ -70,7 +72,7 @@ class SimSemaphore:
         proc = current_process()
         while self._value == 0:
             self._waiters.append(proc)
-            proc.sim.passivate(f"acquire({self.name})")
+            proc.sim.passivate(self._wait_reason)
         self._value -= 1
 
     def release(self, n: int = 1) -> None:
@@ -89,6 +91,7 @@ class SimMutex:
         self.name = name
         self.owner: Optional[SimProcess] = None
         self._waiters: Deque[SimProcess] = deque()
+        self._wait_reason = f"lock({name})"
 
     @property
     def locked(self) -> bool:
@@ -100,7 +103,7 @@ class SimMutex:
             raise SimError(f"mutex {self.name} is not reentrant")
         while self.owner is not None:
             self._waiters.append(proc)
-            proc.sim.passivate(f"lock({self.name})")
+            proc.sim.passivate(self._wait_reason)
         self.owner = proc
 
     def release(self) -> None:
@@ -129,6 +132,7 @@ class SimCondition:
         self.mutex = mutex
         self.name = name
         self._waiters: Deque[SimProcess] = deque()
+        self._wait_reason = f"cond({name})"
 
     def wait(self) -> None:
         """Release the mutex, block until notified, reacquire the mutex."""
@@ -137,7 +141,7 @@ class SimCondition:
             raise SimError("condition wait requires holding the mutex")
         self._waiters.append(proc)
         self.mutex.release()
-        proc.sim.passivate(f"cond({self.name})")
+        proc.sim.passivate(self._wait_reason)
         self.mutex.acquire()
 
     def notify(self, n: int = 1) -> None:
@@ -162,6 +166,7 @@ class SimBarrier:
             raise ValueError("barrier needs at least one party")
         self.parties = parties
         self.name = name
+        self._wait_reason = f"barrier({name})"
         self._arrived: list[SimProcess] = []
         self._generation = 0
         #: arrival timestamps of the current generation (diagnostics)
@@ -180,7 +185,7 @@ class SimBarrier:
             for waiter in waiters:
                 waiter.sim.activate(waiter)
             return index
-        proc.sim.passivate(f"barrier({self.name})")
+        proc.sim.passivate(self._wait_reason)
         if self._generation == gen:  # pragma: no cover - defensive
             raise SimError(f"barrier {self.name} woke a waiter early")
         return index
@@ -193,6 +198,7 @@ class Mailbox:
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[SimProcess] = deque()
+        self._wait_reason = f"mailbox({name})"
 
     def put(self, item: Any) -> None:
         self._items.append(item)
@@ -204,7 +210,7 @@ class Mailbox:
         proc = current_process()
         while not self._items:
             self._getters.append(proc)
-            proc.sim.passivate(f"mailbox({self.name})")
+            proc.sim.passivate(self._wait_reason)
         return self._items.popleft()
 
     def __len__(self) -> int:

@@ -26,7 +26,7 @@ from .events import (
     Send,
     event_from_dict,
 )
-from .io import read_trace, write_trace
+from .io import TraceWriter, read_trace, write_trace
 from .recorder import TraceError, TraceRecorder
 from .stats import (
     RegionProfile,
@@ -54,6 +54,7 @@ __all__ = [
     "TraceError",
     "TraceProfile",
     "TraceRecorder",
+    "TraceWriter",
     "bind_instrumentation",
     "by_callpath_prefix",
     "by_location",

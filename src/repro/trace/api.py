@@ -18,6 +18,12 @@ from .events import Location
 from .recorder import TraceRecorder
 
 
+#: Shared default: constructing a Location per untraced call shows up
+#: on the instrumentation hot path (one ``current_instrumentation()``
+#: call per traced MPI/OpenMP operation).
+_UNTRACED_LOC = Location(0, 0)
+
+
 def current_instrumentation() -> Tuple[Optional[TraceRecorder], Location]:
     """Recorder and location bound to the calling simulated process.
 
@@ -25,9 +31,9 @@ def current_instrumentation() -> Tuple[Optional[TraceRecorder], Location]:
     """
     proc = maybe_current_process()
     if proc is None:
-        return None, Location(0, 0)
+        return None, _UNTRACED_LOC
     rec = proc.context.get("recorder")
-    loc = proc.context.get("loc", Location(0, 0))
+    loc = proc.context.get("loc", _UNTRACED_LOC)
     return rec, loc
 
 

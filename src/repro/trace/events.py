@@ -30,20 +30,39 @@ def _base_dict(event: "Event") -> dict[str, Any]:
     return {"kind": event.kind, "time": event.time, "loc": str(event.loc)}
 
 
-@dataclass(frozen=True, order=True)
-class Location:
+class Location(tuple):
     """A locus of execution: (process rank, thread id).
 
     Pure MPI programs use thread 0; pure OpenMP programs use rank 0.
     This is the same location model EXPERT uses for its third result
-    dimension.
+    dimension.  Implemented as a tuple subclass so hashing, equality
+    and ordering are the C tuple slots — locations key every
+    per-location dict on the recording hot path, and the tuple hash is
+    bit-identical to the previous ``hash((rank, thread))``, so dict
+    and set behaviour is unchanged.
     """
 
-    rank: int = 0
-    thread: int = 0
+    __slots__ = ()
+
+    def __new__(cls, rank: int = 0, thread: int = 0) -> "Location":
+        return tuple.__new__(cls, (rank, thread))
+
+    @property
+    def rank(self) -> int:
+        return self[0]
+
+    @property
+    def thread(self) -> int:
+        return self[1]
+
+    def __repr__(self) -> str:
+        return f"Location(rank={self[0]}, thread={self[1]})"
 
     def __str__(self) -> str:
-        return f"{self.rank}.{self.thread}"
+        return f"{self[0]}.{self[1]}"
+
+    def __getnewargs__(self) -> Tuple[int, int]:
+        return (self[0], self[1])
 
     @classmethod
     def parse(cls, text: str) -> "Location":

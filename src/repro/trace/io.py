@@ -4,6 +4,11 @@ The format is deliberately simple and line-oriented so traces can be
 inspected with standard text tools, diffed across runs (determinism
 checks) and loaded back for offline analysis -- the workflow the paper
 envisions between the ATS programs and the analysis tools under test.
+
+:class:`TraceWriter` buffers serialized lines and writes them in large
+chunks; it is a context manager with explicit ``flush``/``close`` so
+buffered tails cannot be silently dropped when a run crashes --
+``close`` always drains the buffer first.
 """
 
 from __future__ import annotations
@@ -16,6 +21,83 @@ from .events import Event, event_from_dict
 
 FORMAT_VERSION = 1
 
+#: buffered lines before an automatic drain to the file
+_BUFFER_LINES = 1024
+
+
+class TraceWriter:
+    """Buffered JSONL trace writer.
+
+    Opens ``path`` immediately and queues the header; event lines are
+    serialized eagerly but written in chunks of ``buffer_lines``.
+    Always use as a context manager (or call :meth:`close`)::
+
+        with TraceWriter(path, metadata={"program": name}) as writer:
+            writer.write_many(recorder.events)
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        metadata: dict | None = None,
+        buffer_lines: int = _BUFFER_LINES,
+    ):
+        self.path = Path(path)
+        self.count = 0
+        self.closed = False
+        self._buffer_lines = max(1, buffer_lines)
+        self._buf: list[str] = []
+        self._fh = self.path.open("w", encoding="utf-8")
+        header = {"format": "ats-trace", "version": FORMAT_VERSION}
+        if metadata:
+            header["metadata"] = metadata
+        self._buf.append(json.dumps(header) + "\n")
+
+    def write(self, event: Event) -> None:
+        """Queue one event line (drains when the buffer fills)."""
+        if self.closed:
+            raise ValueError("write to closed TraceWriter")
+        buf = self._buf
+        buf.append(json.dumps(event.to_dict()) + "\n")
+        self.count += 1
+        if len(buf) >= self._buffer_lines:
+            self._drain()
+
+    def write_many(self, events: Iterable[Event]) -> int:
+        """Queue a batch of events; returns how many were queued."""
+        n = 0
+        for event in events:
+            self.write(event)
+            n += 1
+        return n
+
+    def _drain(self) -> None:
+        if self._buf:
+            self._fh.write("".join(self._buf))
+            self._buf.clear()
+
+    def flush(self) -> None:
+        """Drain the line buffer and flush the underlying file."""
+        self._drain()
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Drain, flush and close (idempotent)."""
+        if self.closed:
+            return
+        try:
+            self._drain()
+            self._fh.flush()
+        finally:
+            self.closed = True
+            self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 def write_trace(
     path: Union[str, Path],
@@ -27,17 +109,8 @@ def write_trace(
     The first line is a header record with the format version and
     optional run metadata (program name, size, transport parameters...).
     """
-    path = Path(path)
-    count = 0
-    with path.open("w", encoding="utf-8") as fh:
-        header = {"format": "ats-trace", "version": FORMAT_VERSION}
-        if metadata:
-            header["metadata"] = metadata
-        fh.write(json.dumps(header) + "\n")
-        for event in events:
-            fh.write(json.dumps(event.to_dict()) + "\n")
-            count += 1
-    return count
+    with TraceWriter(path, metadata) as writer:
+        return writer.write_many(events)
 
 
 def read_trace(path: Union[str, Path]) -> tuple[list[Event], dict]:

@@ -6,16 +6,33 @@ run, across all locations.  The runtimes (:mod:`repro.simmpi`,
 instrumented construct; the analyzer and the timeline renderer consume
 the result.
 
+Recording is append-only and cheap: the current call path of every
+location is maintained *incrementally* as an interned tuple (the path
+of a nested enter is ``parent + (region,)``, deduplicated through a
+per-recorder intern table), so emitting an event never rebuilds a path
+and repeated visits to the same call site share one tuple object.
+Region-name strings are interned the same way.
+
 The recorder also models *intrusion*: a configurable virtual-time cost
 per recorded event.  With the default of zero the measurement is
 perfectly non-intrusive (the ideal the paper asks tools to approach);
 benchmarks set it non-zero to study how instrumentation overhead
 distorts program behaviour (paper chapter 2).
+
+A recorder can stream to a sink (a :class:`repro.trace.io.TraceWriter`)
+via :meth:`attach_sink`/:meth:`flush`/:meth:`close`, and works as a
+context manager so buffered output reaches disk even when the
+simulation crashes::
+
+    recorder.attach_sink(TraceWriter(path))
+    with recorder:
+        run()   # events flushed + sink closed on exit, crash or not
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from sys import intern as _intern
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from .events import (
     CallPath,
@@ -30,6 +47,9 @@ from .events import (
     Send,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .io import TraceWriter
+
 
 class TraceError(Exception):
     """Malformed instrumentation (unbalanced enter/exit etc.)."""
@@ -43,28 +63,57 @@ class TraceRecorder:
             raise ValueError("intrusion cost must be non-negative")
         self.events: list[Event] = []
         self.intrusion_per_event = intrusion_per_event
+        #: per-location stack of region names (error messages, depth_of)
         self._stacks: dict[Location, list[str]] = {}
+        #: parallel per-location stack of interned full-path tuples, so
+        #: the current path is always ``_paths[loc][-1]`` -- O(1), no
+        #: concatenation per event.
+        self._paths: dict[Location, list[CallPath]] = {}
         # Inherited call-path prefixes: a forked OpenMP thread's call
         # path continues the master's (EXPERT's call-tree convention),
         # even though its own enter/exit events start fresh.
-        self._bases: dict[Location, tuple[str, ...]] = {}
+        self._bases: dict[Location, CallPath] = {}
+        #: the intern table: one tuple object per distinct call path
+        self._interned: dict[CallPath, CallPath] = {}
         self._msg_counter = 0
         #: registry comm_id -> tuple of global ranks, filled by the MPI
         #: runtime; the analyzer needs it to localize collective waits.
         self.comm_registry: dict[int, tuple[int, ...]] = {}
         self.enabled = True
+        #: streaming sink (see :meth:`attach_sink`) and the number of
+        #: events already handed to it.
+        self._sink: Optional["TraceWriter"] = None
+        self._flushed = 0
 
     # ------------------------------------------------------------------
     # call-path bookkeeping
     # ------------------------------------------------------------------
 
+    def _intern_path(self, path: CallPath) -> CallPath:
+        return self._interned.setdefault(path, path)
+
     def path_of(self, loc: Location) -> CallPath:
         """Current call path of ``loc`` (innermost last)."""
-        return self._bases.get(loc, ()) + tuple(self._stacks.get(loc, ()))
+        paths = self._paths.get(loc)
+        if paths:
+            return paths[-1]
+        return self._bases.get(loc, ())
 
     def seed_base(self, loc: Location, path: CallPath) -> None:
         """Set the inherited call-path prefix of a (fresh) location."""
-        self._bases[loc] = tuple(path)
+        base = self._intern_path(tuple(path))
+        self._bases[loc] = base
+        stack = self._stacks.get(loc)
+        if stack:
+            # Re-root an already-open stack under the new base (not the
+            # normal use -- bases are seeded on fresh locations -- but
+            # keeps path_of consistent with the pre-incremental
+            # semantics).
+            paths = self._paths[loc]
+            cur = base
+            for i, region in enumerate(stack):
+                cur = self._intern_path(cur + (region,))
+                paths[i] = cur
 
     def depth_of(self, loc: Location) -> int:
         return len(self._stacks.get(loc, ()))
@@ -77,9 +126,18 @@ class TraceRecorder:
         """Record entry into ``region`` at ``loc``."""
         if not self.enabled:
             return
-        stack = self._stacks.setdefault(loc, [])
+        region = _intern(region)
+        stack = self._stacks.get(loc)
+        if stack is None:
+            stack = self._stacks[loc] = []
+            paths = self._paths[loc] = []
+        else:
+            paths = self._paths[loc]
+        parent = paths[-1] if paths else self._bases.get(loc, ())
+        path = self._intern_path(parent + (region,))
         stack.append(region)
-        self.events.append(Enter(time, loc, region, self.path_of(loc)))
+        paths.append(path)
+        self.events.append(Enter(time, loc, region, path))
 
     def exit(self, time: float, loc: Location, region: str) -> None:
         """Record exit from ``region``; must match the innermost enter."""
@@ -90,8 +148,10 @@ class TraceRecorder:
             raise TraceError(
                 f"unbalanced exit({region!r}) at {loc}: stack={stack}"
             )
-        path = self.path_of(loc)
+        paths = self._paths[loc]
+        path = paths[-1]
         stack.pop()
+        paths.pop()
         self.events.append(Exit(time, loc, region, path))
 
     def new_msg_id(self) -> int:
@@ -204,6 +264,55 @@ class TraceRecorder:
     def register_comm(self, comm_id: int, ranks: Iterable[int]) -> None:
         """Record the global ranks that make up a communicator."""
         self.comm_registry[comm_id] = tuple(ranks)
+
+    # ------------------------------------------------------------------
+    # streaming / lifecycle
+    # ------------------------------------------------------------------
+
+    def attach_sink(self, sink: "TraceWriter") -> None:
+        """Stream events to ``sink`` on :meth:`flush`/:meth:`close`.
+
+        Only events recorded after the last flush are written, so
+        attaching mid-run is safe and flushing is idempotent.
+        """
+        if self._sink is not None and self._sink is not sink:
+            raise TraceError("recorder already has a sink attached")
+        self._sink = sink
+
+    def flush(self) -> int:
+        """Hand all not-yet-written events to the sink; returns count.
+
+        No-op (returning 0) without an attached sink.  The sink's own
+        buffer is flushed too, so everything recorded so far is on disk
+        afterwards.
+        """
+        sink = self._sink
+        if sink is None:
+            return 0
+        events = self.events
+        end = len(events)
+        start = self._flushed
+        if start < end:
+            sink.write_many(events[start:end])
+            self._flushed = end
+        sink.flush()
+        return end - start
+
+    def close(self) -> None:
+        """Flush remaining events and close the sink (idempotent)."""
+        sink = self._sink
+        if sink is None:
+            return
+        self.flush()
+        sink.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Close on the way out *whatever* happened: buffered tail
+        # events must not be lost when the simulation crashes.
+        self.close()
 
     # ------------------------------------------------------------------
     # inspection

@@ -1,0 +1,57 @@
+"""Determinism regression: same seed => byte-identical trace dumps.
+
+The paper's test-suite premise is that an ATS program is a
+*deterministic* function of its parameters: "the same program must
+exhibit the same performance property trace on every run".  These
+tests guard that claim against the pooled-worker execution core --
+worker threads are recycled in arbitrary OS order, which must never
+leak into event ordering.
+"""
+
+from repro.core import run_all_mpi_properties, run_hybrid_composite
+from repro.trace import write_trace
+
+HYBRID_MPI = ("imbalance_at_mpi_barrier", "late_broadcast")
+HYBRID_OMP = ("imbalance_in_omp_pregion", "imbalance_at_omp_barrier")
+
+
+def _dump(tmp_path, name, result) -> bytes:
+    path = tmp_path / name
+    write_trace(
+        path, result.recorder.events, metadata={"program": "determinism"}
+    )
+    return path.read_bytes()
+
+
+def test_mpi_chain_trace_bit_identical(tmp_path):
+    first = _dump(
+        tmp_path, "chain-a.jsonl", run_all_mpi_properties(size=8, seed=3)
+    )
+    second = _dump(
+        tmp_path, "chain-b.jsonl", run_all_mpi_properties(size=8, seed=3)
+    )
+    assert first == second
+
+
+def test_hybrid_composite_trace_bit_identical(tmp_path):
+    def run():
+        return run_hybrid_composite(
+            HYBRID_MPI, HYBRID_OMP, size=4, num_threads=3, seed=7
+        )
+
+    first = _dump(tmp_path, "hybrid-a.jsonl", run())
+    second = _dump(tmp_path, "hybrid-b.jsonl", run())
+    assert first == second
+
+
+def test_different_seeds_still_complete(tmp_path):
+    # Sanity guard for the fixture itself: a different seed is allowed
+    # to change the trace (work distributions draw from the seeded
+    # stream), but the run must stay deterministic per seed.
+    a1 = _dump(
+        tmp_path, "s1-a.jsonl", run_all_mpi_properties(size=4, seed=1)
+    )
+    a2 = _dump(
+        tmp_path, "s1-b.jsonl", run_all_mpi_properties(size=4, seed=1)
+    )
+    assert a1 == a2

@@ -1,0 +1,99 @@
+"""Worker-pool reuse: bounded OS threads, clean slots after failure.
+
+The pool is process-global, so these tests measure *deltas* (created
+workers, parked slots, live threads) rather than absolute values --
+other tests in the same session legitimately leave parked workers
+behind.
+"""
+
+import threading
+
+import pytest
+
+from repro.simkernel import (
+    SimulationCrashed,
+    Simulator,
+    SimError,
+    worker_pool,
+)
+
+
+def _run_small_sim(nprocs: int = 4) -> None:
+    sim = Simulator()
+
+    def body(i: int) -> int:
+        sim.hold(0.001 * (i + 1))
+        return i
+
+    for i in range(nprocs):
+        sim.spawn(body, i, name=f"p{i}")
+    sim.run()
+
+
+def test_thread_count_bounded_across_100_sims():
+    _run_small_sim()  # warm the pool
+    before_threads = threading.active_count()
+    before_created = worker_pool().created
+    for _ in range(100):
+        _run_small_sim(nprocs=4)
+    # Reuse means no new worker threads at all after warmup: 100 runs
+    # x 4 processes ride on the already-parked workers.
+    assert worker_pool().created == before_created
+    assert threading.active_count() <= before_threads
+
+
+def test_parked_workers_are_reused_lifo():
+    _run_small_sim(nprocs=8)
+    created = worker_pool().created
+    parked = worker_pool().parked
+    for _ in range(5):
+        _run_small_sim(nprocs=8)
+    assert worker_pool().created == created
+    assert worker_pool().parked == parked
+
+
+def test_crashed_process_returns_clean_slot():
+    _run_small_sim()
+    created = worker_pool().created
+    parked = worker_pool().parked
+
+    sim = Simulator()
+
+    def boom() -> None:
+        sim.hold(0.1)
+        raise RuntimeError("kaboom")
+
+    def bystander() -> None:
+        sim.hold(10.0)
+
+    sim.spawn(boom, name="boom")
+    sim.spawn(bystander, name="bystander")
+    with pytest.raises(SimulationCrashed):
+        sim.run()
+
+    # Both the crashed process's worker and the torn-down bystander's
+    # worker must be parked again, reusable by the next simulation.
+    assert worker_pool().parked == parked
+    assert worker_pool().created == created
+    _run_small_sim()
+    assert worker_pool().created == created
+
+
+def test_killed_processes_return_slots_on_dispatch_limit():
+    _run_small_sim()
+    created = worker_pool().created
+    parked = worker_pool().parked
+
+    sim = Simulator()
+
+    def forever() -> None:
+        while True:
+            sim.hold(1.0)
+
+    for i in range(3):
+        sim.spawn(forever, name=f"spin{i}")
+    with pytest.raises(SimError):
+        sim.run(max_dispatches=10)
+
+    assert worker_pool().parked == parked
+    assert worker_pool().created == created

@@ -1,0 +1,90 @@
+"""Buffered TraceWriter and recorder sink/flush semantics."""
+
+import json
+
+import pytest
+
+from repro.trace import TraceRecorder, TraceWriter, read_trace
+from repro.trace.events import Location
+
+
+def _record_some(rec: TraceRecorder, n: int = 3) -> None:
+    loc = Location(0, 0)
+    for i in range(n):
+        rec.enter(float(i), loc, f"r{i}")
+    for i in reversed(range(n)):
+        rec.exit(float(n + i), loc, f"r{i}")
+
+
+def test_writer_buffers_until_flush(tmp_path):
+    path = tmp_path / "t.jsonl"
+    rec = TraceRecorder()
+    _record_some(rec)
+    writer = TraceWriter(path, buffer_lines=10_000)
+    writer.write_many(rec.events)
+    # Everything still in the line buffer: not even the header is out.
+    assert path.read_text() == ""
+    writer.flush()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1 + len(rec.events)
+    assert json.loads(lines[0])["format"] == "ats-trace"
+    writer.close()
+
+
+def test_writer_close_drains_tail(tmp_path):
+    path = tmp_path / "t.jsonl"
+    rec = TraceRecorder()
+    _record_some(rec)
+    with TraceWriter(path, metadata={"program": "x"}) as writer:
+        writer.write_many(rec.events)
+    events, metadata = read_trace(path)
+    assert len(events) == len(rec.events)
+    assert metadata == {"program": "x"}
+    # Idempotent close; writes after close are rejected.
+    writer.close()
+    with pytest.raises(ValueError):
+        writer.write(rec.events[0])
+
+
+def test_recorder_context_manager_flushes_on_crash(tmp_path):
+    path = tmp_path / "t.jsonl"
+    rec = TraceRecorder()
+    rec.attach_sink(TraceWriter(path, buffer_lines=10_000))
+    with pytest.raises(RuntimeError):
+        with rec:
+            _record_some(rec)
+            raise RuntimeError("simulated crash")
+    # The buffered tail still reached disk.
+    events, _ = read_trace(path)
+    assert len(events) == len(rec.events)
+
+
+def test_recorder_flush_is_incremental(tmp_path):
+    path = tmp_path / "t.jsonl"
+    rec = TraceRecorder()
+    writer = TraceWriter(path)
+    rec.attach_sink(writer)
+    loc = Location(1, 0)
+    rec.enter(0.0, loc, "a")
+    assert rec.flush() == 1
+    rec.exit(1.0, loc, "a")
+    assert rec.flush() == 1
+    assert rec.flush() == 0
+    rec.close()
+    events, _ = read_trace(path)
+    assert [e.kind for e in events] == ["enter", "exit"]
+    assert writer.count == 2
+
+
+def test_recorder_rejects_second_sink(tmp_path):
+    rec = TraceRecorder()
+    w1 = TraceWriter(tmp_path / "a.jsonl")
+    w2 = TraceWriter(tmp_path / "b.jsonl")
+    rec.attach_sink(w1)
+    rec.attach_sink(w1)  # same sink again is fine
+    from repro.trace import TraceError
+
+    with pytest.raises(TraceError):
+        rec.attach_sink(w2)
+    w1.close()
+    w2.close()
