@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Observability-layer overhead benchmark.
+
+Runs the hybrid-64 composite (the same shape ``bench_perf_core``
+sweeps) in three modes and records the wall-time deltas into
+``BENCH_OBS.json`` at the repository root:
+
+* ``off``       -- metrics and spans disabled (the default); this is
+  the mode whose cost must stay within noise of the PR 1 baseline,
+* ``on``        -- metrics registry + span log enabled,
+* ``on_export`` -- enabled, plus a Prometheus dump and a Chrome trace
+  export after the run (the full ``ats run --metrics-out
+  --chrome-trace`` path, minus argument parsing).
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py           # full
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import run_hybrid_composite  # noqa: E402
+from repro.obs import (  # noqa: E402
+    reset_metrics,
+    reset_spans,
+    set_metrics_enabled,
+    set_spans_enabled,
+    to_prometheus,
+    write_chrome_trace,
+)
+
+from bench_perf_core import (  # noqa: E402
+    HYBRID_MPI_STEPS,
+    HYBRID_OMP_STEPS,
+)
+
+OUT_PATH = REPO_ROOT / "BENCH_OBS.json"
+
+
+def _run(size: int, num_threads: int):
+    return run_hybrid_composite(
+        HYBRID_MPI_STEPS,
+        HYBRID_OMP_STEPS,
+        size=size,
+        num_threads=num_threads,
+    )
+
+
+def _measure(size: int, num_threads: int, repeats: int, mode: str) -> dict:
+    """Best-of-``repeats`` wall time for one observability mode."""
+    enabled = mode != "off"
+    best = None
+    events = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for _ in range(repeats):
+            reset_metrics()
+            reset_spans()
+            prev_m = set_metrics_enabled(enabled)
+            prev_s = set_spans_enabled(enabled)
+            try:
+                t0 = time.perf_counter()
+                result = _run(size, num_threads)
+                if mode == "on_export":
+                    text = to_prometheus()
+                    assert text.startswith("# HELP"), "empty registry"
+                    write_chrome_trace(
+                        Path(tmp) / "trace.json",
+                        events=result.recorder.events,
+                    )
+                elapsed = time.perf_counter() - t0
+            finally:
+                set_metrics_enabled(prev_m)
+                set_spans_enabled(prev_s)
+            if best is None or elapsed < best:
+                best = elapsed
+            events = len(result.recorder.events)
+    return {"wall_s": round(best, 6), "events": events}
+
+
+def run_modes(size: int, num_threads: int, repeats: int) -> dict:
+    rows = {}
+    for mode in ("off", "on", "on_export"):
+        rows[mode] = _measure(size, num_threads, repeats, mode)
+        print(f"{mode:>10}: {rows[mode]['wall_s']*1000:8.1f} ms "
+              f"({rows[mode]['events']} events)")
+    off = rows["off"]["wall_s"]
+    for mode in ("on", "on_export"):
+        rel = rows[mode]["wall_s"] / off - 1.0 if off else 0.0
+        rows[mode]["overhead_vs_off"] = round(rel, 4)
+        print(f"{mode:>10} overhead vs off: {rel:+.2%}")
+    return {
+        "size": size,
+        "num_threads": num_threads,
+        "repeats": repeats,
+        "modes": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny parameters for CI smoke runs (no BENCH_OBS.json write)",
+    )
+    parser.add_argument("--size", type=int, default=64)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    if args.quick:
+        run_modes(size=4, num_threads=2, repeats=1)
+        print("quick smoke ok")
+        return 0
+
+    measurement = run_modes(args.size, args.threads, args.repeats)
+    existing = {}
+    if OUT_PATH.exists():
+        existing = json.loads(OUT_PATH.read_text())
+    existing[f"hybrid-{args.size}"] = measurement
+    OUT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,12 +3,21 @@
 ``analyze_run`` (for in-process run results) and ``analyze_events``
 (for traces loaded from disk) run the detector battery over the event
 stream and assemble the EXPERT-style result cube.
+
+The pipeline is observable: when :mod:`repro.obs` is enabled, index
+construction and every detector are bracketed by host spans and
+accounted in the metrics registry (wall seconds per detector, findings
+per property), so ``ats metrics`` / the Chrome export show where
+analysis time goes.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Sequence, Union
 
+from ..obs.instruments import analysis_metrics
+from ..obs.spans import span
 from ..simmpi.runtime import RunResult
 from ..simomp.runtime import OmpRunResult
 from ..trace.events import Event
@@ -43,6 +52,9 @@ def analyze_events(
     """
     config = config or AnalysisConfig()
     detectors = DEFAULT_DETECTORS if detectors is None else detectors
+    metrics = analysis_metrics()
+    if metrics is not None:
+        metrics.runs.inc()
     if isinstance(events, TraceIndex):
         index = events
     else:
@@ -52,10 +64,26 @@ def analyze_events(
             # hand-assembled streams pay for a sort (stable, so
             # same-time events keep their given order as before).
             events.sort(key=lambda e: e.time)
-        index = TraceIndex(events)
+        with span("analysis:index", cat="analysis", events=len(events)):
+            t0 = perf_counter() if metrics is not None else 0.0
+            index = TraceIndex(events)
+            if metrics is not None:
+                metrics.index_build_seconds.inc(perf_counter() - t0)
     findings: list[Finding] = []
     for detector in detectors:
-        findings.extend(detector.detect(index, config))
+        name = type(detector).__name__
+        with span(f"analysis:{name}", cat="analysis"):
+            if metrics is None:
+                findings.extend(detector.detect(index, config))
+            else:
+                t0 = perf_counter()
+                found = list(detector.detect(index, config))
+                metrics.detector_seconds.labels(detector=name).inc(
+                    perf_counter() - t0
+                )
+                for finding in found:
+                    metrics.findings.labels(property=finding.property).inc()
+                findings.extend(found)
     if total_time is None:
         total_time = index.events[-1].time if index.events else 0.0
     return AnalysisResult(

@@ -8,8 +8,15 @@ Subcommands::
     ats split [...]                  run the figure-3.4 split program
     ats generate <outdir>            emit standalone test programs
     ats analyze <trace.jsonl>        analyze a persisted trace
+    ats metrics [property]           run + dump runtime metrics
     ats matrix [...]                 run the validation matrix
     ats suites                       print the chapter-2/4 catalog
+
+Observability flags on the run-style commands (``run``/``chain``/
+``split``) enable the :mod:`repro.obs` layer for that invocation:
+``--metrics-out`` dumps the registry (Prometheus text or JSON),
+``--chrome-trace`` writes a Perfetto-loadable trace-event file
+combining the simulated timeline with host-side tool spans.
 """
 
 from __future__ import annotations
@@ -26,7 +33,14 @@ from .core import (
     run_split_program,
     write_generated_programs,
 )
-from .trace import read_trace, write_trace
+from .obs import (
+    set_metrics_enabled,
+    set_spans_enabled,
+    to_json_str,
+    to_prometheus,
+    write_chrome_trace,
+)
+from .trace import format_profile, profile_trace, read_trace, write_trace
 from .validation import format_catalog, run_validation_matrix
 
 
@@ -44,6 +58,57 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="skip the automatic analysis report")
     parser.add_argument("--trace-out", metavar="FILE", default=None,
                         help="write the event trace to FILE")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="dump runtime metrics to FILE ('-' = stdout)")
+    parser.add_argument("--metrics-format",
+                        choices=("auto", "prom", "json"), default="auto",
+                        help="metrics dump format (auto: .json file -> "
+                        "JSON, otherwise Prometheus text)")
+    parser.add_argument("--chrome-trace", metavar="FILE", default=None,
+                        help="write a Perfetto/chrome://tracing trace "
+                        "event file")
+
+
+def _enable_obs(args) -> None:
+    """Turn on the observability layer if any obs output was requested.
+
+    Must run *before* the simulation is built: instruments bind to the
+    registry when runtime objects are constructed.
+    """
+    if getattr(args, "metrics_out", None) is not None:
+        set_metrics_enabled(True)
+    if getattr(args, "chrome_trace", None) is not None:
+        set_spans_enabled(True)
+
+
+def _render_metrics(fmt: str, dest: str) -> str:
+    if fmt == "auto":
+        fmt = "json" if dest.endswith(".json") else "prom"
+    return to_json_str() if fmt == "json" else to_prometheus()
+
+
+def _emit_obs(args, result) -> None:
+    """Write the requested metrics / Chrome-trace outputs.
+
+    Called after analysis so analyzer timings are included in both.
+    """
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        text = _render_metrics(args.metrics_format, metrics_out)
+        if metrics_out == "-":
+            sys.stdout.write(text)
+        else:
+            with open(metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"metrics written to {metrics_out}")
+    chrome_out = getattr(args, "chrome_trace", None)
+    if chrome_out is not None:
+        n = write_chrome_trace(
+            chrome_out,
+            events=result.events,
+            metadata={"final_time": result.final_time},
+        )
+        print(f"chrome trace written to {chrome_out} ({n} trace events)")
 
 
 def _report(result, args) -> None:
@@ -63,6 +128,7 @@ def _report(result, args) -> None:
             from .analysis import format_property_tree
 
             print(format_property_tree(analysis, threshold=0.001))
+    _emit_obs(args, result)
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -79,6 +145,7 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _enable_obs(args)
     spec = get_property(args.property)
     result = spec.run(
         size=args.size, num_threads=args.threads, seed=args.seed
@@ -88,12 +155,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_chain(args: argparse.Namespace) -> int:
+    _enable_obs(args)
     result = run_all_mpi_properties(size=args.size, seed=args.seed)
     _report(result, args)
     return 0
 
 
 def cmd_split(args: argparse.Namespace) -> int:
+    _enable_obs(args)
     result = run_split_program(
         lower=args.lower.split(","),
         upper=args.upper.split(","),
@@ -113,11 +182,41 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    events, metadata = read_trace(args.trace)
-    result = analyze_events(events)
+    events, metadata = read_trace(
+        args.trace, skip_bad_lines=args.skip_bad_lines
+    )
+    skipped = metadata.get("skipped_lines", 0)
+    if skipped:
+        print(
+            f"warning: skipped {skipped} corrupt trace line(s)",
+            file=sys.stderr,
+        )
     if metadata:
         print(f"trace metadata: {metadata}")
+    if args.profile:
+        print(format_profile(profile_trace(events)))
+    result = analyze_events(events)
     print(format_expert_report(result, threshold=args.threshold))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one property with full observability on, dump the registry."""
+    set_metrics_enabled(True)
+    set_spans_enabled(True)
+    spec = get_property(args.property)
+    result = spec.run(
+        size=args.size, num_threads=args.threads, seed=args.seed
+    )
+    analyze_run(result)  # populate the analysis metric families too
+    dest = args.out if args.out is not None else "-"
+    text = _render_metrics(args.format, dest)
+    if dest == "-":
+        sys.stdout.write(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"metrics written to {dest}")
     return 0
 
 
@@ -201,7 +300,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="analyze a persisted trace")
     p.add_argument("trace")
     p.add_argument("--threshold", type=float, default=0.005)
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-region trace profile first")
+    p.add_argument("--skip-bad-lines", action="store_true",
+                   help="drop corrupt event lines instead of failing")
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a property with metrics on and dump the registry",
+    )
+    p.add_argument("property", nargs="?", default="late_sender")
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--format", choices=("auto", "prom", "json"),
+                   default="auto")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write to FILE instead of stdout")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("matrix", help="run the validation matrix")
     p.add_argument("--size", type=int, default=8)

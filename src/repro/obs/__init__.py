@@ -1,0 +1,92 @@
+"""Runtime observability: metrics registry, host spans, exporters.
+
+The paper's chapter-2 validation asks how much a tool's measurement
+machinery costs; this package turns that question on our own stack.
+Every runtime layer reports into a process-global, label-aware metrics
+registry (counters / gauges / fixed-bucket histograms) and a host-side
+span log; exporters render the result as Prometheus text exposition, a
+JSON snapshot, or a Perfetto-viewable Chrome trace-event file.
+
+Everything defaults to **off** and is engineered so the disabled path
+adds no observable overhead and never perturbs simulation determinism:
+
+* instrument bundles (:mod:`repro.obs.instruments`) resolve to ``None``
+  while disabled -- hot paths guard with one ``is not None`` branch,
+* :func:`span` hands out a shared no-op context manager,
+* nothing in this package reads or writes virtual time, RNG streams or
+  the event trace; with metrics on or off, per-seed trace dumps are
+  byte-identical.
+
+Enable programmatically (before constructing simulators/recorders)::
+
+    from repro import obs
+    obs.set_metrics_enabled(True)
+    obs.set_spans_enabled(True)
+
+or via ``ATS_METRICS=1`` in the environment, or with the CLI flags
+``ats run ... --metrics-out FILE --chrome-trace FILE`` / ``ats
+metrics``.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .chrome import build_chrome_trace, write_chrome_trace
+from .export import to_json, to_json_str, to_prometheus
+from .instruments import (
+    analysis_metrics,
+    kernel_metrics,
+    omp_metrics,
+    trace_metrics,
+    transport_metrics,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    null_registry,
+    reset_metrics,
+    set_metrics_enabled,
+)
+from .spans import (
+    Span,
+    SpanLog,
+    reset_spans,
+    set_spans_enabled,
+    span,
+    span_log,
+    spans_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "SpanLog",
+    "analysis_metrics",
+    "build_chrome_trace",
+    "get_registry",
+    "kernel_metrics",
+    "metrics_enabled",
+    "null_registry",
+    "omp_metrics",
+    "reset_metrics",
+    "reset_spans",
+    "set_metrics_enabled",
+    "set_spans_enabled",
+    "span",
+    "span_log",
+    "spans_enabled",
+    "to_json",
+    "to_json_str",
+    "to_prometheus",
+    "trace_metrics",
+    "transport_metrics",
+    "write_chrome_trace",
+]

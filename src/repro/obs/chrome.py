@@ -1,0 +1,185 @@
+"""Chrome trace-event (Perfetto-viewable) export.
+
+Renders one JSON document in the Trace Event Format that
+https://ui.perfetto.dev (or ``chrome://tracing``) loads directly:
+
+* **Simulated timeline** -- every completed region instance of the
+  event trace becomes a complete ("X") slice on a ``rank.thread``
+  track, with timestamps in *virtual* microseconds; matched
+  point-to-point messages become flow ("s"/"f") arrows between the
+  sender and receiver tracks.
+* **Host timeline** -- spans from :mod:`repro.obs.spans` (index build,
+  per-detector analysis, writer flushes, CLI phases) become slices on
+  a separate "host (tool)" process, in *wall* microseconds.
+
+The two clocks are unrelated; Perfetto shows them as separate process
+groups, which is exactly the paper's chapter-2 distinction between the
+measured program and the measurement system observing it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from .spans import Span, SpanLog, span_log
+
+__all__ = ["build_chrome_trace", "write_chrome_trace"]
+
+#: synthetic pid of the host (tool-side) track group; simulated ranks
+#: use ``rank + 1`` so rank 0 never collides with the host group.
+HOST_PID = 0
+
+
+def _sim_trace_events(events: Sequence) -> list[dict]:
+    """Slices + flows for the simulated ranks/threads."""
+    # Imported lazily: repro.trace pulls in the simulation kernel,
+    # which itself imports repro.obs -- at module-import time that
+    # would be a cycle, at call time everything is loaded.
+    from ..trace.stats import region_intervals
+
+    out: list[dict] = []
+    seen_tracks: set[tuple[int, int]] = set()
+    for interval in region_intervals(events):
+        rank, thread = interval.loc
+        seen_tracks.add((rank, thread))
+        out.append(
+            {
+                "name": interval.region,
+                "cat": "sim",
+                "ph": "X",
+                "pid": rank + 1,
+                "tid": thread,
+                "ts": interval.enter * 1e6,
+                "dur": (interval.exit - interval.enter) * 1e6,
+                "args": {"callpath": "/".join(interval.path)},
+            }
+        )
+    # Flow arrows for matched user-level p2p messages.
+    sends: dict[int, object] = {}
+    recvs: dict[int, object] = {}
+    for event in events:
+        kind = event.kind
+        if kind == "send" and not event.internal:
+            sends[event.msg_id] = event
+        elif kind == "recv" and not event.internal:
+            recvs[event.msg_id] = event
+    for msg_id, recv in recvs.items():
+        send = sends.get(msg_id)
+        if send is None:
+            continue
+        common = {
+            "name": "p2p",
+            "cat": "msg",
+            "id": msg_id,
+        }
+        out.append(
+            {
+                **common,
+                "ph": "s",
+                "pid": send.loc[0] + 1,
+                "tid": send.loc[1],
+                "ts": send.time * 1e6,
+            }
+        )
+        out.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "pid": recv.loc[0] + 1,
+                "tid": recv.loc[1],
+                "ts": recv.time * 1e6,
+            }
+        )
+    # Track naming metadata.
+    for rank, thread in sorted(seen_tracks):
+        if thread == 0:
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": rank + 1,
+                    "tid": 0,
+                    "args": {"name": f"rank {rank} (virtual time)"},
+                }
+            )
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": rank + 1,
+                "tid": thread,
+                "args": {"name": f"thread {thread}"},
+            }
+        )
+    return out
+
+
+def _host_trace_events(spans: Iterable[Span]) -> list[dict]:
+    """Slices for the host (tool-side) spans."""
+    out: list[dict] = []
+    tids: set[int] = set()
+    for sp in spans:
+        tids.add(sp.tid)
+        record = {
+            "name": sp.name,
+            "cat": sp.cat,
+            "ph": "X",
+            "pid": HOST_PID,
+            "tid": sp.tid,
+            "ts": sp.start * 1e6,
+            "dur": sp.duration * 1e6,
+        }
+        if sp.args:
+            record["args"] = sp.args
+        out.append(record)
+    if tids:
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": HOST_PID,
+                "tid": min(tids),
+                "args": {"name": "host (tool)"},
+            }
+        )
+    return out
+
+
+def build_chrome_trace(
+    events: Optional[Sequence] = None,
+    host_spans: Optional[Union[SpanLog, Sequence[Span]]] = None,
+    metadata: Optional[dict] = None,
+) -> dict:
+    """Assemble a Trace Event Format document.
+
+    ``events`` is a simulated event trace (any sequence of
+    :class:`repro.trace.events.Event`); ``host_spans`` defaults to the
+    global span log.  Either side may be empty/None.
+    """
+    trace_events: list[dict] = []
+    if events is not None:
+        trace_events.extend(_sim_trace_events(events))
+    spans = host_spans if host_spans is not None else span_log()
+    trace_events.extend(_host_trace_events(spans))
+    doc = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = metadata
+    return doc
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: Optional[Sequence] = None,
+    host_spans: Optional[Union[SpanLog, Sequence[Span]]] = None,
+    metadata: Optional[dict] = None,
+) -> int:
+    """Write the document to ``path``; returns the traceEvents count."""
+    doc = build_chrome_trace(events, host_spans, metadata)
+    Path(path).write_text(json.dumps(doc) + "\n", encoding="utf-8")
+    return len(doc["traceEvents"])

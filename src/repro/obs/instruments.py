@@ -1,0 +1,302 @@
+"""Per-subsystem instrument bundles.
+
+Each runtime layer binds its metrics once, at object construction, by
+calling the matching ``*_metrics()`` accessor:
+
+* enabled  -> a small ``__slots__`` bundle of pre-declared (and, for
+  labeled families, pre-bound) metric children, cached per registry so
+  every simulator / engine / recorder in the process shares one set of
+  counters,
+* disabled -> ``None``, so hot paths guard with a single
+  ``is not None`` branch and never allocate.
+
+Keeping the declarations here -- rather than scattered through the
+runtime layers -- gives one place that documents the whole metric
+surface, and keeps :mod:`repro.obs.metrics` free of domain knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import (
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+)
+
+__all__ = [
+    "AnalysisMetrics",
+    "KernelMetrics",
+    "OmpMetrics",
+    "TraceMetrics",
+    "TransportMetrics",
+    "analysis_metrics",
+    "kernel_metrics",
+    "omp_metrics",
+    "trace_metrics",
+    "transport_metrics",
+]
+
+#: queue-depth style histograms: small-integer buckets
+_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: virtual-seconds latency buckets (transport latency is ~5us)
+_VSEC_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+
+def _bundle(key: str, factory):
+    """Cached per-registry bundle, or ``None`` while metrics are off."""
+    if not metrics_enabled():
+        return None
+    registry = get_registry()
+    bundle = registry._bundles.get(key)
+    if bundle is None:
+        bundle = registry._bundles[key] = factory(registry)
+    return bundle
+
+
+# ----------------------------------------------------------------------
+# simkernel
+# ----------------------------------------------------------------------
+
+class KernelMetrics:
+    """Scheduler and worker-pool metrics (one bundle per registry)."""
+
+    __slots__ = (
+        "dispatches",
+        "continuations",
+        "handoffs",
+        "queue_depth",
+        "processes",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.dispatches = reg.counter(
+            "ats_sim_dispatches_total",
+            "Scheduler dispatch steps across all simulators",
+        )
+        self.continuations = reg.counter(
+            "ats_sim_direct_continuations_total",
+            "Dispatches resolved on the same thread (zero handoffs)",
+        )
+        self.handoffs = reg.counter(
+            "ats_sim_handoffs_total",
+            "Dispatches that woke another worker thread (lock handoff)",
+        )
+        self.queue_depth = reg.histogram(
+            "ats_sim_run_queue_depth",
+            "Runnable entries (FIFO + heap) observed at each dispatch",
+            buckets=_DEPTH_BUCKETS,
+        )
+        self.processes = reg.counter(
+            "ats_sim_processes_total",
+            "Simulated processes spawned",
+        )
+        reg.register_collector(_collect_worker_pool)
+
+
+def _collect_worker_pool(reg: MetricsRegistry) -> None:
+    """Harvest the process-global worker pool's plain-int counters."""
+    from ..simkernel.process import worker_pool
+
+    pool = worker_pool()
+    reg.counter(
+        "ats_workers_spawned_total", "Worker OS threads ever created"
+    ).set_total(pool.created)
+    reg.counter(
+        "ats_workers_reused_total",
+        "Process dispatches served by a recycled pooled worker",
+    ).set_total(pool.reused)
+    reg.gauge(
+        "ats_workers_parked", "Currently parked (idle, reusable) workers"
+    ).set(pool.parked)
+
+
+def kernel_metrics() -> Optional[KernelMetrics]:
+    return _bundle("kernel", KernelMetrics)
+
+
+# ----------------------------------------------------------------------
+# simmpi transport
+# ----------------------------------------------------------------------
+
+class TransportMetrics:
+    """Point-to-point transport metrics."""
+
+    __slots__ = (
+        "msg_eager",
+        "msg_rendezvous",
+        "bytes",
+        "match_posted",
+        "match_unexpected",
+        "posted_queue",
+        "unexpected_queue",
+        "match_latency",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        messages = reg.counter(
+            "ats_mpi_messages_total",
+            "Point-to-point messages posted, by protocol",
+            labelnames=("protocol",),
+        )
+        self.msg_eager = messages.labels(protocol="eager")
+        self.msg_rendezvous = messages.labels(protocol="rendezvous")
+        self.bytes = reg.counter(
+            "ats_mpi_bytes_total", "Payload bytes delivered"
+        )
+        matches = reg.counter(
+            "ats_mpi_matches_total",
+            "Completed matches, by which side was posted first",
+            labelnames=("order",),
+        )
+        self.match_posted = matches.labels(order="posted")
+        self.match_unexpected = matches.labels(order="unexpected")
+        self.posted_queue = reg.histogram(
+            "ats_mpi_posted_queue_length",
+            "Posted-receive queue length after an unmatched recv post",
+            buckets=_DEPTH_BUCKETS,
+        )
+        self.unexpected_queue = reg.histogram(
+            "ats_mpi_unexpected_queue_length",
+            "Unexpected-message queue length after an unmatched send",
+            buckets=_DEPTH_BUCKETS,
+        )
+        self.match_latency = reg.histogram(
+            "ats_mpi_match_latency_seconds",
+            "Virtual seconds between send post and envelope match",
+            buckets=_VSEC_BUCKETS,
+        )
+
+
+def transport_metrics() -> Optional[TransportMetrics]:
+    return _bundle("transport", TransportMetrics)
+
+
+# ----------------------------------------------------------------------
+# simomp
+# ----------------------------------------------------------------------
+
+class OmpMetrics:
+    """OpenMP team fork/join and barrier metrics."""
+
+    __slots__ = ("forks", "joins", "barrier_waits", "barrier_wait_seconds")
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.forks = reg.counter(
+            "ats_omp_teams_forked_total", "Parallel-region teams forked"
+        )
+        self.joins = reg.counter(
+            "ats_omp_teams_joined_total", "Parallel-region teams joined"
+        )
+        self.barrier_waits = reg.counter(
+            "ats_omp_barrier_waits_total",
+            "Per-thread team-barrier arrivals (explicit and implicit)",
+        )
+        self.barrier_wait_seconds = reg.histogram(
+            "ats_omp_barrier_wait_seconds",
+            "Virtual seconds each thread waited at a team barrier",
+            buckets=_VSEC_BUCKETS,
+        )
+
+
+def omp_metrics() -> Optional[OmpMetrics]:
+    return _bundle("omp", OmpMetrics)
+
+
+# ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+
+class TraceMetrics:
+    """Recorder and writer metrics.
+
+    Event counts and interning statistics are *harvested* from the
+    recorder's plain-int bookkeeping when a run finishes
+    (:meth:`harvest_recorder`), so the per-event recording path carries
+    no metric code at all.
+    """
+
+    __slots__ = (
+        "events",
+        "intern_requests",
+        "intern_entries",
+        "writer_flushes",
+        "writer_lines",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.events = reg.counter(
+            "ats_trace_events_total",
+            "Trace events recorded, by event kind",
+            labelnames=("kind",),
+        )
+        self.intern_requests = reg.counter(
+            "ats_trace_intern_requests_total",
+            "Call-path intern lookups (hit rate = 1 - entries/requests)",
+        )
+        self.intern_entries = reg.counter(
+            "ats_trace_intern_entries_total",
+            "Distinct interned call-path tuples",
+        )
+        self.writer_flushes = reg.counter(
+            "ats_trace_writer_flushes_total",
+            "TraceWriter buffer drains to the file",
+        )
+        self.writer_lines = reg.counter(
+            "ats_trace_writer_lines_total",
+            "Serialized lines written by TraceWriter drains",
+        )
+
+    def harvest_recorder(self, recorder) -> None:
+        """Fold one finished recorder's bookkeeping into the registry."""
+        kinds: dict[str, int] = {}
+        for event in recorder.events:
+            kind = event.kind
+            kinds[kind] = kinds.get(kind, 0) + 1
+        for kind, count in kinds.items():
+            self.events.labels(kind=kind).inc(count)
+        self.intern_requests.inc(recorder.intern_requests)
+        self.intern_entries.inc(len(recorder._interned))
+
+
+def trace_metrics() -> Optional[TraceMetrics]:
+    return _bundle("trace", TraceMetrics)
+
+
+# ----------------------------------------------------------------------
+# analysis
+# ----------------------------------------------------------------------
+
+class AnalysisMetrics:
+    """Analyzer pipeline metrics."""
+
+    __slots__ = (
+        "runs",
+        "index_build_seconds",
+        "detector_seconds",
+        "findings",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.runs = reg.counter(
+            "ats_analysis_runs_total", "analyze_events invocations"
+        )
+        self.index_build_seconds = reg.counter(
+            "ats_analysis_index_build_seconds_total",
+            "Host wall seconds spent building TraceIndex instances",
+        )
+        self.detector_seconds = reg.counter(
+            "ats_analysis_detector_seconds_total",
+            "Host wall seconds per detector",
+            labelnames=("detector",),
+        )
+        self.findings = reg.counter(
+            "ats_analysis_findings_total",
+            "Findings emitted, by performance property",
+            labelnames=("property",),
+        )
+
+
+def analysis_metrics() -> Optional[AnalysisMetrics]:
+    return _bundle("analysis", AnalysisMetrics)

@@ -1,0 +1,373 @@
+"""Label-aware metrics registry: counters, gauges, histograms.
+
+The runtime layers (:mod:`repro.simkernel`, :mod:`repro.simmpi`,
+:mod:`repro.simomp`, :mod:`repro.trace`, :mod:`repro.analysis`) record
+host-side telemetry here; the exporters in :mod:`repro.obs.export`
+render a registry as Prometheus text exposition or a JSON snapshot.
+
+Design constraints, in order of importance:
+
+1. **Determinism is untouchable.**  Metrics only *observe* the
+   simulation; nothing here may feed back into virtual time, event
+   ordering or RNG streams.  Per-seed trace dumps must stay
+   byte-identical with metrics on or off.
+2. **Disabled mode costs nothing.**  The global switch defaults to
+   off.  Instrument bundles (:mod:`repro.obs.instruments`) resolve to
+   ``None`` when disabled, so hot paths pay one attribute load and an
+   ``is not None`` branch -- no allocation, no method call.  Code that
+   wants an unconditional handle can use :func:`null_registry`, whose
+   metric objects are shared no-op singletons.
+3. **Enabled mode stays cheap.**  ``Counter.inc`` is one float add;
+   ``Histogram.observe`` is a linear scan over a handful of fixed
+   bucket boundaries.  No locks: the simulation kernel guarantees at
+   most one runnable thread, and CPython's GIL covers the rest.
+
+Metrics are grouped into *families* (one name, one type, fixed label
+names); a family with labels hands out per-label-value children via
+:meth:`MetricFamily.labels`, which are cached so steady-state recording
+allocates nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "metrics_enabled",
+    "null_registry",
+    "reset_metrics",
+    "set_metrics_enabled",
+]
+
+#: default histogram boundaries -- wall/virtual seconds, log-spaced
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the total (harvest-style collectors only)."""
+        self.value = value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative-bucket export.
+
+    ``boundaries`` are the upper bounds of the finite buckets; the
+    implicit ``+Inf`` bucket is always present.  ``counts[i]`` is the
+    *non*-cumulative count of observations ``<= boundaries[i]`` (the
+    exporter accumulates), ``counts[-1]`` the overflow count.
+    """
+
+    __slots__ = ("boundaries", "counts", "sum", "count")
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("histogram needs at least one boundary")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram boundaries must be sorted")
+        self.boundaries = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class _NoopMetric:
+    """Shared do-nothing stand-in for every metric type.
+
+    A single instance serves as counter, gauge, histogram *and* family:
+    ``labels()`` returns itself, every recording method is a no-op.
+    Handed out by :func:`null_registry` so disabled-mode call sites
+    never allocate.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_total(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **kwargs: str) -> "_NoopMetric":
+        return self
+
+
+NOOP_METRIC = _NoopMetric()
+
+
+class MetricFamily:
+    """One named metric: a type, help text, label names, children.
+
+    Unlabeled families have exactly one child (empty label tuple);
+    labeled ones create children on first use of each label-value
+    combination.  Children are plain :class:`Counter`/:class:`Gauge`/
+    :class:`Histogram` objects, cached so repeated ``labels()`` calls
+    return the same instance.
+    """
+
+    __slots__ = ("name", "help", "type", "labelnames", "buckets", "children")
+
+    _TYPES = ("counter", "gauge", "histogram")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        type: str,
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if type not in self._TYPES:
+            raise ValueError(f"unknown metric type {type!r}")
+        self.name = name
+        self.help = help
+        self.type = type
+        self.labelnames = tuple(labelnames)
+        self.buckets = (
+            tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        )
+        self.children: Dict[LabelValues, object] = {}
+        if not self.labelnames:
+            self.children[()] = self._new_child()
+
+    def _new_child(self):
+        if self.type == "counter":
+            return Counter()
+        if self.type == "gauge":
+            return Gauge()
+        return Histogram(self.buckets)
+
+    def labels(self, **labels: str):
+        """Child metric for the given label values (cached)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self.children.get(key)
+        if child is None:
+            child = self.children[key] = self._new_child()
+        return child
+
+    @property
+    def default(self):
+        """The single child of an unlabeled family."""
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labeled; use .labels()")
+        return self.children[()]
+
+    def samples(self) -> Iterator[Tuple[LabelValues, object]]:
+        """(label values, child) pairs in insertion order."""
+        return iter(self.children.items())
+
+
+class MetricsRegistry:
+    """A collection of metric families plus harvest-time collectors.
+
+    ``counter``/``gauge``/``histogram`` declare (or re-fetch) a family;
+    for unlabeled families they return the child metric directly, so
+    call sites read naturally::
+
+        dispatches = registry.counter(
+            "ats_sim_dispatches_total", "Scheduler dispatch steps")
+        dispatches.inc()
+
+    Collectors registered via :meth:`register_collector` run at
+    :meth:`collect` time; they harvest counters that live as plain
+    attributes on runtime objects (e.g. the worker pool) so the hot
+    paths never touch the registry.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: list[Callable[["MetricsRegistry"], None]] = []
+        #: per-subsystem instrument-bundle cache (see instruments.py)
+        self._bundles: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # declaration
+    # ------------------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        help: str,
+        type: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.type != type or family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name} re-declared with different "
+                    f"type/labels"
+                )
+            return family
+        family = MetricFamily(name, help, type, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        family = self._family(name, help, "counter", labelnames)
+        return family if labelnames else family.default
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        family = self._family(name, help, "gauge", labelnames)
+        return family if labelnames else family.default
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        family = self._family(name, help, "histogram", labelnames, buckets)
+        return family if labelnames else family.default
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+
+    def register_collector(
+        self, fn: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        self._collectors.append(fn)
+
+    def collect(self) -> list[MetricFamily]:
+        """Run collectors, then return families sorted by name."""
+        for fn in self._collectors:
+            fn(self)
+        return [self._families[k] for k in sorted(self._families)]
+
+
+class _NullRegistry:
+    """Registry stand-in whose every metric is the shared no-op."""
+
+    __slots__ = ()
+
+    def counter(self, name, help, labelnames=()):
+        return NOOP_METRIC
+
+    def gauge(self, name, help, labelnames=()):
+        return NOOP_METRIC
+
+    def histogram(self, name, help, labelnames=(), buckets=None):
+        return NOOP_METRIC
+
+    def register_collector(self, fn):
+        pass
+
+    def collect(self):
+        return []
+
+
+_NULL_REGISTRY = _NullRegistry()
+
+# ----------------------------------------------------------------------
+# the process-global switch and registry
+# ----------------------------------------------------------------------
+
+_enabled = os.environ.get("ATS_METRICS", "").lower() in ("1", "true", "on")
+_registry = MetricsRegistry()
+
+
+def metrics_enabled() -> bool:
+    """Whether the global metrics switch is on."""
+    return _enabled
+
+
+def set_metrics_enabled(flag: bool) -> bool:
+    """Flip the global switch; returns the previous state.
+
+    Instrument bundles are resolved when runtime objects are
+    *constructed*, so enable metrics before building simulators /
+    worlds / recorders (the CLI does this before launching a run).
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (real even while disabled)."""
+    return _registry
+
+
+def null_registry() -> _NullRegistry:
+    """The shared no-op registry (all metrics are one singleton)."""
+    return _NULL_REGISTRY
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Swap in a fresh global registry (test isolation); returns it.
+
+    The enabled flag is left as-is.  Existing instrument bundles keep
+    pointing at the old registry; runtime objects constructed after the
+    reset bind to the new one.
+    """
+    global _registry
+    _registry = MetricsRegistry()
+    return _registry

@@ -1,0 +1,173 @@
+"""Host-side span instrumentation (wall-clock, not virtual time).
+
+A *span* brackets a phase of the tool's own work -- building the trace
+index, running one detector, flushing the writer, the whole simulate /
+analyze / export pipeline -- with ``time.perf_counter`` timestamps.
+Spans answer the question the metrics registry cannot: *where does the
+host wall-clock time go?*  They become the host track of the Chrome
+trace-event export (:mod:`repro.obs.chrome`).
+
+Like metrics, spans are globally switched and default to off; the
+disabled path hands out one shared no-op context manager, so
+``with span(...)`` costs a function call and a branch, with no
+allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanLog",
+    "reset_spans",
+    "set_spans_enabled",
+    "span",
+    "span_log",
+    "spans_enabled",
+]
+
+
+class Span:
+    """One completed host span: name, category, start offset, duration.
+
+    ``start`` is seconds since the owning :class:`SpanLog` was created
+    (so all spans of a run share one origin); ``duration`` is wall
+    seconds; ``tid`` is the OS thread ident that ran the span.
+    """
+
+    __slots__ = ("name", "cat", "start", "duration", "tid", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        duration: float,
+        tid: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.duration = duration
+        self.tid = tid
+        self.args = args
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name} cat={self.cat} "
+            f"start={self.start:.6f}s dur={self.duration * 1e3:.3f}ms>"
+        )
+
+
+class SpanLog:
+    """Append-only collection of completed spans with one time origin."""
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        self.spans: List[Span] = []
+
+    def record(
+        self,
+        name: str,
+        cat: str,
+        t0: float,
+        t1: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.spans.append(
+            Span(
+                name,
+                cat,
+                t0 - self.origin,
+                t1 - t0,
+                threading.get_ident(),
+                args,
+            )
+        )
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+
+class _ActiveSpan:
+    """Context manager that records into the global log on exit."""
+
+    __slots__ = ("_name", "_cat", "_args", "_t0")
+
+    def __init__(self, name: str, cat: str, args: Optional[dict]) -> None:
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _log.record(
+            self._name, self._cat, self._t0, time.perf_counter(), self._args
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+_enabled = False
+_log = SpanLog()
+
+
+def span(name: str, cat: str = "host", **args: Any):
+    """Bracket a block of host work; no-op while spans are disabled.
+
+    Usage::
+
+        with span("detect:LateSenderDetector", cat="analysis"):
+            ...
+    """
+    if not _enabled:
+        return _NOOP_SPAN
+    return _ActiveSpan(name, cat, args or None)
+
+
+def spans_enabled() -> bool:
+    return _enabled
+
+
+def set_spans_enabled(flag: bool) -> bool:
+    """Flip the span switch; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+def span_log() -> SpanLog:
+    """The process-global span log."""
+    return _log
+
+
+def reset_spans() -> SpanLog:
+    """Swap in a fresh global span log (new time origin); returns it."""
+    global _log
+    _log = SpanLog()
+    return _log

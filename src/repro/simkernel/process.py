@@ -140,10 +140,15 @@ class WorkerPool:
         #: total workers ever created; a reuse diagnostic for tests
         #: and benchmarks (created << processes means the pool works).
         self.created = 0
+        #: dispatches served by recycling a parked worker; together
+        #: with ``created`` this is harvested into the metrics registry
+        #: at collect time (no registry calls on this path).
+        self.reused = 0
 
     def _obtain(self, proc: "SimProcess") -> _Worker:
         try:
             worker = self._parked.pop()
+            self.reused += 1
         except IndexError:
             self.created += 1
             worker = _Worker(self)

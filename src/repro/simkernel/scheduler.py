@@ -34,6 +34,7 @@ import threading
 from collections import deque
 from typing import Any, Callable, Optional
 
+from ..obs.instruments import kernel_metrics
 from .errors import (
     DeadlockError,
     NotInProcessError,
@@ -92,6 +93,9 @@ class Simulator:
         #: monotonically increasing count of process dispatches; a cheap
         #: proxy for "simulation effort" used by overhead benchmarks.
         self.dispatch_count = 0
+        #: metrics bundle, or None while observability is disabled --
+        #: the dispatch loop guards on it with a single branch.
+        self._metrics = kernel_metrics()
 
     # ------------------------------------------------------------------
     # process management
@@ -123,6 +127,8 @@ class Simulator:
         proc = SimProcess(self, fn, args, kwargs, name=name, pid=pid)
         self.processes.append(proc)
         self._schedule(proc, self.now + delay)
+        if self._metrics is not None:
+            self._metrics.processes.inc()
         return proc
 
     def _schedule(self, proc: SimProcess, at: float) -> None:
@@ -227,6 +233,10 @@ class Simulator:
                 continue
             self.now = at
             self.dispatch_count += 1
+            m = self._metrics
+            if m is not None:
+                m.dispatches.inc()
+                m.queue_depth.observe(len(ready) + len(heap))
             if (
                 self._max_dispatches is not None
                 and self.dispatch_count > self._max_dispatches
@@ -247,10 +257,15 @@ class Simulator:
         must block.
         """
         nxt = self._next_runnable()
+        m = self._metrics
         if nxt is proc:
             proc.state = ProcState.RUNNING
+            if m is not None:
+                m.continuations.inc()
             return True
         if nxt is not None:
+            if m is not None:
+                m.handoffs.inc()
             nxt._transfer_in()
         else:
             self._main_wake.release()
@@ -260,6 +275,8 @@ class Simulator:
         """Dispatch the successor of a process that finished (worker loop)."""
         nxt = self._next_runnable()
         if nxt is not None:
+            if self._metrics is not None:
+                self._metrics.handoffs.inc()
             nxt._transfer_in()
         else:
             self._main_wake.release()

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from ..obs.instruments import transport_metrics
 from .datatypes import Datatype
 from .errors import CommMismatchError, TruncationError
 from .request import Request
@@ -130,6 +131,8 @@ class P2PEngine:
         #: counters for diagnostics and overhead accounting
         self.messages_matched = 0
         self.bytes_transferred = 0
+        #: metrics bundle, or None while observability is disabled
+        self._metrics = transport_metrics()
 
     # ------------------------------------------------------------------
     # posting
@@ -173,11 +176,19 @@ class P2PEngine:
             # Local completion is independent of the receiver.
             request._complete(now + self.params.send_overhead)
         key = (comm.comm_id, dst)
+        m = self._metrics
+        if m is not None:
+            (m.msg_eager if eager else m.msg_rendezvous).inc()
         ritem = self._match_recv_for(key, item)
         if ritem is None:
-            self._sends.setdefault(key, []).append(item)
+            queue = self._sends.setdefault(key, [])
+            queue.append(item)
+            if m is not None:
+                m.unexpected_queue.observe(len(queue))
             self._wake_probers(comm.comm_id, dst)
         else:
+            if m is not None:
+                m.match_posted.inc()
             self._deliver(item, ritem)
 
     def post_recv(
@@ -205,10 +216,16 @@ class P2PEngine:
             request=request,
         )
         key = (comm.comm_id, dst)
+        m = self._metrics
         item = self._match_send_for(key, ritem)
         if item is None:
-            self._recvs.setdefault(key, []).append(ritem)
+            queue = self._recvs.setdefault(key, [])
+            queue.append(ritem)
+            if m is not None:
+                m.posted_queue.observe(len(queue))
         else:
+            if m is not None:
+                m.match_unexpected.inc()
             self._deliver(item, ritem)
 
     # ------------------------------------------------------------------
@@ -317,6 +334,10 @@ class P2PEngine:
         ritem.request._complete(recv_done)
         self.messages_matched += 1
         self.bytes_transferred += item.nbytes
+        m = self._metrics
+        if m is not None:
+            m.bytes.inc(item.nbytes)
+            m.match_latency.observe(now - item.send_start)
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -71,6 +71,8 @@ def omp_parallel(
     extra = _alloc_thread_ids(sim, rank, n - 1)
     locations = [master_loc] + [Location(rank, t) for t in extra]
     team = Team(sim, master, n, team_id, locations)
+    if team._metrics is not None:
+        team._metrics.forks.inc()
     if rec is not None:
         rec.fork(sim.now, master_loc, team_size=n, team_id=team_id)
         # Worker threads continue the master's call path (thread 0
@@ -112,6 +114,8 @@ def omp_parallel(
             name=f"{master.name}.t{team_id}.{thread_num}",
         )
     sim.passivate(f"omp_join(team{team_id})")
+    if team._metrics is not None:
+        team._metrics.joins.inc()
     if rec is not None:
         rec.join(sim.now, master_loc, team_id=team_id)
     return list(team.results)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from ..obs.instruments import omp_metrics
 from ..simkernel import SimBarrier, SimMutex, SimProcess, current_process
 from ..trace.api import current_instrumentation
 from ..trace.events import Location
@@ -82,6 +83,8 @@ class Team:
         self._single_claimed: dict[int, int] = {}
         self._reduce_slots: dict[int, list] = {}
         self._critical_mutexes: dict[str, SimMutex] = {}
+        #: metrics bundle, or None while observability is disabled
+        self._metrics = omp_metrics()
 
     # ------------------------------------------------------------------
     # identity
@@ -113,9 +116,15 @@ class Team:
         proc = current_process()
         self.thread_num_of(proc)  # membership check
         rec, loc = current_instrumentation()
+        m = self._metrics
         if rec is not None:
             rec.enter(proc.sim.now, loc, region)
+        if m is not None:
+            arrived = proc.sim.now
         self._barrier.wait()
+        if m is not None:
+            m.barrier_waits.inc()
+            m.barrier_wait_seconds.observe(proc.sim.now - arrived)
         if rec is not None:
             rec.exit(proc.sim.now, loc, region)
 

@@ -26,13 +26,15 @@ from .events import (
     Send,
     event_from_dict,
 )
-from .io import TraceWriter, read_trace, write_trace
+from .io import TraceFormatError, TraceWriter, read_trace, write_trace
 from .recorder import TraceError, TraceRecorder
 from .stats import (
+    RegionInterval,
     RegionProfile,
     TraceProfile,
     format_profile,
     profile_trace,
+    region_intervals,
 )
 from .timeline import region_char, render_timeline, state_at
 
@@ -49,9 +51,11 @@ __all__ = [
     "Join",
     "Location",
     "Recv",
+    "RegionInterval",
     "RegionProfile",
     "Send",
     "TraceError",
+    "TraceFormatError",
     "TraceProfile",
     "TraceRecorder",
     "TraceWriter",
@@ -66,6 +70,7 @@ __all__ = [
     "profile_trace",
     "read_trace",
     "region",
+    "region_intervals",
     "region_char",
     "render_timeline",
     "state_at",

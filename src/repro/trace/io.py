@@ -9,20 +9,49 @@ envisions between the ATS programs and the analysis tools under test.
 chunks; it is a context manager with explicit ``flush``/``close`` so
 buffered tails cannot be silently dropped when a run crashes --
 ``close`` always drains the buffer first.
+
+Reading is hardened against the real world: a truncated or corrupt
+file raises :class:`TraceFormatError` carrying the path and the exact
+line number, and :func:`read_trace` can instead *skip* bad event lines
+(``skip_bad_lines=True``, surfaced as ``ats analyze
+--skip-bad-lines``) so a partially written trace from a crashed run
+remains analyzable.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
+from ..obs.instruments import trace_metrics
 from .events import Event, event_from_dict
 
 FORMAT_VERSION = 1
 
 #: buffered lines before an automatic drain to the file
 _BUFFER_LINES = 1024
+
+
+class TraceFormatError(ValueError):
+    """A trace file is malformed; pinpoints the offending line.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the reader's old error type keep working.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        message: str,
+        lineno: Optional[int] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.lineno = lineno
+        prefix = (
+            f"{self.path}:{lineno}" if lineno is not None else str(self.path)
+        )
+        super().__init__(f"{prefix}: {message}")
 
 
 class TraceWriter:
@@ -47,6 +76,7 @@ class TraceWriter:
         self.closed = False
         self._buffer_lines = max(1, buffer_lines)
         self._buf: list[str] = []
+        self._metrics = trace_metrics()
         self._fh = self.path.open("w", encoding="utf-8")
         header = {"format": "ats-trace", "version": FORMAT_VERSION}
         if metadata:
@@ -73,6 +103,9 @@ class TraceWriter:
 
     def _drain(self) -> None:
         if self._buf:
+            if self._metrics is not None:
+                self._metrics.writer_flushes.inc()
+                self._metrics.writer_lines.inc(len(self._buf))
             self._fh.write("".join(self._buf))
             self._buf.clear()
 
@@ -113,21 +146,38 @@ def write_trace(
         return writer.write_many(events)
 
 
-def read_trace(path: Union[str, Path]) -> tuple[list[Event], dict]:
-    """Read a JSONL trace; returns ``(events, metadata)``."""
+def read_trace(
+    path: Union[str, Path],
+    skip_bad_lines: bool = False,
+) -> tuple[list[Event], dict]:
+    """Read a JSONL trace; returns ``(events, metadata)``.
+
+    Malformed files raise :class:`TraceFormatError` with the offending
+    line number.  With ``skip_bad_lines`` corrupt *event* lines are
+    dropped instead (the header must still be intact) and the count of
+    dropped lines is reported under ``metadata["skipped_lines"]``.
+    """
     path = Path(path)
     events: list[Event] = []
     metadata: dict = {}
+    skipped = 0
     with path.open("r", encoding="utf-8") as fh:
         first = fh.readline()
         if not first:
-            raise ValueError(f"{path}: empty trace file")
-        header = json.loads(first)
-        if header.get("format") != "ats-trace":
-            raise ValueError(f"{path}: not an ats-trace file")
+            raise TraceFormatError(path, "empty trace file")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                path, f"corrupt header: {exc}", lineno=1
+            ) from exc
+        if not isinstance(header, dict) or header.get("format") != "ats-trace":
+            raise TraceFormatError(path, "not an ats-trace file", lineno=1)
         if header.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"{path}: unsupported trace version {header.get('version')}"
+            raise TraceFormatError(
+                path,
+                f"unsupported trace version {header.get('version')}",
+                lineno=1,
             )
         metadata = header.get("metadata", {})
         for lineno, line in enumerate(fh, start=2):
@@ -136,6 +186,20 @@ def read_trace(path: Union[str, Path]) -> tuple[list[Event], dict]:
                 continue
             try:
                 events.append(event_from_dict(json.loads(line)))
-            except (json.JSONDecodeError, ValueError, TypeError) as exc:
-                raise ValueError(f"{path}:{lineno}: bad event: {exc}") from exc
+            except (
+                json.JSONDecodeError,
+                ValueError,
+                TypeError,
+                KeyError,
+                AttributeError,
+            ) as exc:
+                if skip_bad_lines:
+                    skipped += 1
+                    continue
+                raise TraceFormatError(
+                    path, f"bad event: {exc}", lineno=lineno
+                ) from exc
+    if skipped:
+        metadata = dict(metadata)
+        metadata["skipped_lines"] = skipped
     return events, metadata

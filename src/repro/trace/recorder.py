@@ -34,6 +34,7 @@ from __future__ import annotations
 from sys import intern as _intern
 from typing import TYPE_CHECKING, Iterable, Optional
 
+from ..obs.instruments import trace_metrics
 from .events import (
     CallPath,
     CollExit,
@@ -75,6 +76,10 @@ class TraceRecorder:
         self._bases: dict[Location, CallPath] = {}
         #: the intern table: one tuple object per distinct call path
         self._interned: dict[CallPath, CallPath] = {}
+        #: intern lookups performed; with ``len(_interned)`` this gives
+        #: the hit rate.  A plain int so the hot path stays metric-free;
+        #: harvested into the registry by :meth:`finish`.
+        self.intern_requests = 0
         self._msg_counter = 0
         #: registry comm_id -> tuple of global ranks, filled by the MPI
         #: runtime; the analyzer needs it to localize collective waits.
@@ -90,6 +95,7 @@ class TraceRecorder:
     # ------------------------------------------------------------------
 
     def _intern_path(self, path: CallPath) -> CallPath:
+        self.intern_requests += 1
         return self._interned.setdefault(path, path)
 
     def path_of(self, loc: Location) -> CallPath:
@@ -323,7 +329,13 @@ class TraceRecorder:
         return sorted({e.loc for e in self.events})
 
     def finish(self) -> None:
-        """Check that all call stacks unwound (balanced instrumentation)."""
+        """Check that all call stacks unwound (balanced instrumentation).
+
+        Also the harvest point for trace metrics: event counts per kind
+        and interning statistics are folded into the registry here, in
+        one pass at end of run, so recording itself carries no metric
+        code.
+        """
         leftovers = {
             str(loc): list(stack)
             for loc, stack in self._stacks.items()
@@ -331,6 +343,9 @@ class TraceRecorder:
         }
         if leftovers:
             raise TraceError(f"unbalanced regions at end of run: {leftovers}")
+        metrics = trace_metrics()
+        if metrics is not None:
+            metrics.harvest_recorder(self)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,17 +1,23 @@
 """Trace statistics: per-region and per-location time profiles.
 
 A lightweight "profile view" over a trace, used by the overhead
-benchmarks and handy for quick inspection.  Exclusive time of a region
-is its inclusive time minus the inclusive time of its direct children.
+benchmarks, ``ats analyze --profile`` and the Chrome trace-event
+export.  Exclusive time of a region is its inclusive time minus the
+inclusive time of its direct children.
+
+:func:`region_intervals` is the shared replay underneath: one pass
+over enter/exit events yielding every completed region instance with
+its nesting depth -- :func:`profile_trace` aggregates the intervals,
+:mod:`repro.obs.chrome` renders them as timeline slices.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Iterable, Iterator, Sequence
 
-from .events import Enter, Event, Exit, Location
+from .events import CallPath, Enter, Event, Exit, Location
 
 
 @dataclass
@@ -54,36 +60,83 @@ class TraceProfile:
         return sorted({name for name, _ in self.per_region})
 
 
-def profile_trace(events: Sequence[Event]) -> TraceProfile:
-    """Compute inclusive/exclusive region times from enter/exit events."""
-    profile = TraceProfile()
-    stacks: dict[Location, list[tuple[str, float, float]]] = defaultdict(list)
-    # stack entries: (region, enter_time, child_inclusive_accumulated)
-    max_time = 0.0
-    for event in sorted(events, key=lambda e: e.time):
-        max_time = max(max_time, event.time)
+@dataclass(frozen=True)
+class RegionInterval:
+    """One completed region instance: the unit of profile aggregation.
+
+    ``depth`` is the nesting level at entry (0 = outermost) and
+    ``child_time`` the summed inclusive time of direct children, so
+    ``exclusive = exit - enter - child_time``.
+    """
+
+    loc: Location
+    region: str
+    path: CallPath
+    enter: float
+    exit: float
+    depth: int
+    child_time: float
+
+    @property
+    def inclusive(self) -> float:
+        return self.exit - self.enter
+
+    @property
+    def exclusive(self) -> float:
+        return self.exit - self.enter - self.child_time
+
+
+def region_intervals(
+    events: Iterable[Event],
+) -> Iterator[RegionInterval]:
+    """Replay enter/exit events into completed intervals (exit order).
+
+    Events must be time-ordered per location (as recorded).  Mismatched
+    exits and regions left open at the end of the stream are tolerated
+    and skipped, so truncated traces still profile.
+    """
+    stacks: dict[Location, list[list]] = defaultdict(list)
+    # stack entry: [region, enter_time, path, child_inclusive]
+    for event in events:
         if isinstance(event, Enter):
-            stacks[event.loc].append((event.region, event.time, 0.0))
+            stacks[event.loc].append(
+                [event.region, event.time, event.path, 0.0]
+            )
         elif isinstance(event, Exit):
             stack = stacks[event.loc]
             if not stack or stack[-1][0] != event.region:
                 continue  # tolerate truncated traces
-            region, start, child_incl = stack.pop()
+            region, start, path, child_incl = stack.pop()
             inclusive = event.time - start
-            key = (region, event.loc)
-            rp = profile.per_region.setdefault(
-                key, RegionProfile(region, event.loc)
-            )
-            rp.visits += 1
-            rp.inclusive += inclusive
-            rp.exclusive += inclusive - child_incl
             if stack:
-                parent_region, parent_start, parent_child = stack[-1]
-                stack[-1] = (
-                    parent_region,
-                    parent_start,
-                    parent_child + inclusive,
-                )
+                stack[-1][3] += inclusive
+            yield RegionInterval(
+                loc=event.loc,
+                region=region,
+                path=path,
+                enter=start,
+                exit=event.time,
+                depth=len(stack),
+                child_time=child_incl,
+            )
+
+
+def profile_trace(events: Sequence[Event]) -> TraceProfile:
+    """Compute inclusive/exclusive region times from enter/exit events."""
+    profile = TraceProfile()
+    max_time = 0.0
+    for event in events:
+        if event.time > max_time:
+            max_time = event.time
+    ordered = sorted(events, key=lambda e: e.time)
+    for interval in region_intervals(ordered):
+        key = (interval.region, interval.loc)
+        rp = profile.per_region.setdefault(
+            key, RegionProfile(interval.region, interval.loc)
+        )
+        rp.visits += 1
+        rp.inclusive += interval.inclusive
+        rp.exclusive += interval.exclusive
     profile.total_time = max_time
     profile.locations = sorted({e.loc for e in events})
     return profile

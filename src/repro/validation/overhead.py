@@ -9,6 +9,12 @@ overhead introduced by the tool".  Two overhead notions apply here:
   shift (what the paper calls *intrusiveness*),
 * **measurement cost** -- wall-clock time and memory the tracing layer
   spends, measured on the host.
+
+A third notion arrived with :mod:`repro.obs`: the *observer's own*
+overhead.  ``measure_overhead(..., measure_metrics_overhead=True)``
+adds a run with the metrics registry enabled so the cost of watching
+the tool can be compared against the cost of the tool watching the
+program.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from ..analysis import analyze_run
+from ..obs import set_metrics_enabled
 from ..simmpi.runtime import run_mpi
 from ..simmpi.transport import TransportParams
 
@@ -35,6 +42,9 @@ class OverheadReport:
     traced_wall_time: float
     #: severity shift: max over properties of |traced - clean| severity
     max_severity_shift: float
+    #: wall time of a traced run with the metrics registry enabled
+    #: (None unless ``measure_metrics_overhead`` was requested)
+    metrics_wall_time: Optional[float] = None
 
     @property
     def virtual_dilation(self) -> float:
@@ -45,14 +55,17 @@ class OverheadReport:
         )
 
     def format(self) -> str:
-        return (
+        line = (
             f"{self.program}: intrusion={self.intrusion_per_event:g}s/evt"
             f" events={self.events}"
             f" dilation={self.virtual_dilation:+.2%}"
             f" severity-shift={self.max_severity_shift:.4f}"
             f" wall {self.clean_wall_time * 1e3:.1f}ms ->"
-            f" {self.traced_wall_time * 1e3:.1f}ms\n"
+            f" {self.traced_wall_time * 1e3:.1f}ms"
         )
+        if self.metrics_wall_time is not None:
+            line += f" (+metrics {self.metrics_wall_time * 1e3:.1f}ms)"
+        return line + "\n"
 
 
 def measure_overhead(
@@ -63,9 +76,15 @@ def measure_overhead(
     seed: int = 0,
     name: Optional[str] = None,
     reference_severities: Optional[dict] = None,
+    measure_metrics_overhead: bool = False,
     **kwargs: Any,
 ) -> OverheadReport:
-    """Compare a clean run against an instrumented run of ``main``."""
+    """Compare a clean run against an instrumented run of ``main``.
+
+    With ``measure_metrics_overhead`` a third, traced run executes with
+    the metrics registry switched on (restored afterwards) and its wall
+    time lands in :attr:`OverheadReport.metrics_wall_time`.
+    """
     t0 = time.perf_counter()
     clean = run_mpi(
         main, size, transport=transport, trace=False, seed=seed, **kwargs
@@ -82,6 +101,23 @@ def measure_overhead(
         **kwargs,
     )
     traced_wall = time.perf_counter() - t0
+    metrics_wall: Optional[float] = None
+    if measure_metrics_overhead:
+        previous = set_metrics_enabled(True)
+        try:
+            t0 = time.perf_counter()
+            run_mpi(
+                main,
+                size,
+                transport=transport,
+                trace=True,
+                intrusion=intrusion,
+                seed=seed,
+                **kwargs,
+            )
+            metrics_wall = time.perf_counter() - t0
+        finally:
+            set_metrics_enabled(previous)
     severities = analyze_run(traced).severities_by_property()
     if reference_severities is None:
         reference_severities = {}
@@ -104,6 +140,7 @@ def measure_overhead(
         clean_wall_time=clean_wall,
         traced_wall_time=traced_wall,
         max_severity_shift=shift,
+        metrics_wall_time=metrics_wall,
     )
 
 

@@ -9,6 +9,12 @@ leak into event ordering.
 """
 
 from repro.core import run_all_mpi_properties, run_hybrid_composite
+from repro.obs import (
+    reset_metrics,
+    reset_spans,
+    set_metrics_enabled,
+    set_spans_enabled,
+)
 from repro.trace import write_trace
 
 HYBRID_MPI = ("imbalance_at_mpi_barrier", "late_broadcast")
@@ -42,6 +48,30 @@ def test_hybrid_composite_trace_bit_identical(tmp_path):
     first = _dump(tmp_path, "hybrid-a.jsonl", run())
     second = _dump(tmp_path, "hybrid-b.jsonl", run())
     assert first == second
+
+
+def test_metrics_do_not_perturb_traces(tmp_path):
+    # The observability layer may only *watch*: enabling the metrics
+    # registry and span log must leave the per-seed trace dump
+    # byte-identical (no virtual-time, RNG or event-order feedback).
+    def run():
+        return run_hybrid_composite(
+            HYBRID_MPI, HYBRID_OMP, size=4, num_threads=3, seed=11
+        )
+
+    baseline = _dump(tmp_path, "obs-off.jsonl", run())
+    prev_metrics = set_metrics_enabled(True)
+    prev_spans = set_spans_enabled(True)
+    reset_metrics()
+    reset_spans()
+    try:
+        observed = _dump(tmp_path, "obs-on.jsonl", run())
+    finally:
+        set_metrics_enabled(prev_metrics)
+        set_spans_enabled(prev_spans)
+        reset_metrics()
+        reset_spans()
+    assert baseline == observed
 
 
 def test_different_seeds_still_complete(tmp_path):

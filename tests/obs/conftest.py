@@ -1,0 +1,30 @@
+"""Isolation for observability tests.
+
+Every test in this package gets a fresh registry and span log, and the
+global enabled flags are restored afterwards so obs tests can flip them
+freely without leaking into the rest of the suite.
+"""
+
+import pytest
+
+from repro.obs import (
+    metrics_enabled,
+    reset_metrics,
+    reset_spans,
+    set_metrics_enabled,
+    set_spans_enabled,
+    spans_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    prev_metrics = metrics_enabled()
+    prev_spans = spans_enabled()
+    reset_metrics()
+    reset_spans()
+    yield
+    set_metrics_enabled(prev_metrics)
+    set_spans_enabled(prev_spans)
+    reset_metrics()
+    reset_spans()

@@ -1,0 +1,87 @@
+"""Chrome trace-event export: simulated + host tracks."""
+
+import json
+
+from repro.obs import (
+    build_chrome_trace,
+    reset_spans,
+    set_spans_enabled,
+    span,
+    span_log,
+    write_chrome_trace,
+)
+from repro.obs.chrome import HOST_PID
+from repro.trace import Location, TraceRecorder
+
+
+def sample_events():
+    rec = TraceRecorder()
+    l0, l1 = Location(0, 0), Location(1, 0)
+    rec.enter(0.0, l0, "main")
+    rec.send(0.5, l0, peer=1, tag=9, comm_id=0, nbytes=64, msg_id=1)
+    rec.exit(1.0, l0, "main")
+    rec.enter(0.0, l1, "main")
+    rec.recv(0.8, l1, peer=0, tag=9, comm_id=0, nbytes=64, msg_id=1,
+             post_time=0.2)
+    rec.exit(1.0, l1, "main")
+    return rec.events
+
+
+def test_sim_slices_and_flows():
+    doc = build_chrome_trace(events=sample_events(), host_spans=[])
+    events = doc["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(slices) == 2
+    for sl in slices:
+        assert sl["cat"] == "sim"
+        assert sl["dur"] == 1e6  # 1 virtual second in microseconds
+        assert sl["args"]["callpath"] == "main"
+    # ranks map to pid = rank + 1, never colliding with the host pid
+    assert {sl["pid"] for sl in slices} == {1, 2}
+    flows = sorted(e["ph"] for e in events if e["ph"] in ("s", "f"))
+    assert flows == ["f", "s"]
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert "rank 0 (virtual time)" in names
+
+
+def test_host_spans_land_on_host_pid():
+    set_spans_enabled(True)
+    reset_spans()
+    with span("analysis:index", cat="analysis", events=10):
+        pass
+    doc = build_chrome_trace(host_spans=span_log())
+    host = [e for e in doc["traceEvents"] if e.get("pid") == HOST_PID]
+    slices = [e for e in host if e["ph"] == "X"]
+    assert len(slices) == 1
+    assert slices[0]["name"] == "analysis:index"
+    assert slices[0]["args"] == {"events": 10}
+    assert any(
+        e["ph"] == "M" and e["args"]["name"] == "host (tool)" for e in host
+    )
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(
+        path, events=sample_events(), metadata={"program": "demo"}
+    )
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == n > 0
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"] == {"program": "demo"}
+
+
+def test_empty_export_is_valid():
+    doc = build_chrome_trace(host_spans=[])
+    assert doc["traceEvents"] == []
+
+
+def test_truncated_trace_still_renders_open_regions():
+    rec = TraceRecorder()
+    l0 = Location(0, 0)
+    rec.enter(0.0, l0, "main")
+    rec.enter(0.5, l0, "work")  # never exited: crashed run
+    doc = build_chrome_trace(events=rec.events, host_spans=[])
+    # open regions are dropped, not crashed on
+    assert all(e["ph"] != "X" or e["dur"] >= 0 for e in doc["traceEvents"])

@@ -1,0 +1,123 @@
+"""End-to-end instrumentation: real runs populate the registry.
+
+These tests run small simulated programs with the observability layer
+switched on and assert that every subsystem's metric families carry
+plausible values -- the acceptance shape of ``ats metrics``.
+"""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.core import get_property, run_hybrid_composite
+from repro.obs import (
+    reset_metrics,
+    reset_spans,
+    set_metrics_enabled,
+    set_spans_enabled,
+    span_log,
+    to_json,
+    to_prometheus,
+)
+
+
+def _sample(registry_doc, name):
+    for metric in registry_doc["metrics"]:
+        if metric["name"] == name:
+            return metric
+    raise AssertionError(f"metric {name} missing from snapshot")
+
+
+@pytest.fixture
+def enabled():
+    set_metrics_enabled(True)
+    set_spans_enabled(True)
+    reset_metrics()
+    reset_spans()
+
+
+def test_mpi_run_populates_all_layers(enabled):
+    result = get_property("late_sender").run(size=4, seed=0)
+    analyze_run(result)
+    doc = to_json()
+    # simkernel
+    assert _sample(doc, "ats_sim_dispatches_total")["samples"][0]["value"] > 0
+    assert _sample(doc, "ats_sim_processes_total")["samples"][0]["value"] >= 4
+    depth = _sample(doc, "ats_sim_run_queue_depth")["samples"][0]
+    assert depth["count"] > 0
+    # worker pool (collector-harvested)
+    assert _sample(doc, "ats_workers_spawned_total")["samples"][0]["value"] > 0
+    # transport
+    assert _sample(doc, "ats_mpi_bytes_total")["samples"][0]["value"] > 0
+    protocols = {
+        s["labels"]["protocol"]: s["value"]
+        for s in _sample(doc, "ats_mpi_messages_total")["samples"]
+    }
+    assert sum(protocols.values()) >= 6
+    # trace (harvested by recorder.finish())
+    kinds = {
+        s["labels"]["kind"]: s["value"]
+        for s in _sample(doc, "ats_trace_events_total")["samples"]
+    }
+    assert kinds.get("enter", 0) > 0 and kinds.get("send", 0) > 0
+    interned = _sample(doc, "ats_trace_intern_entries_total")
+    requests = _sample(doc, "ats_trace_intern_requests_total")
+    assert 0 < interned["samples"][0]["value"] <= requests["samples"][0]["value"]
+    # analysis
+    assert _sample(doc, "ats_analysis_runs_total")["samples"][0]["value"] == 1
+    finds = {
+        s["labels"]["property"]: s["value"]
+        for s in _sample(doc, "ats_analysis_findings_total")["samples"]
+    }
+    assert finds.get("late_sender", 0) > 0
+
+
+def test_hybrid_run_populates_omp_metrics(enabled):
+    run_hybrid_composite(
+        ("late_broadcast",),
+        ("imbalance_at_omp_barrier",),
+        size=2,
+        num_threads=3,
+        seed=0,
+    )
+    doc = to_json()
+    forks = _sample(doc, "ats_omp_teams_forked_total")["samples"][0]["value"]
+    joins = _sample(doc, "ats_omp_teams_joined_total")["samples"][0]["value"]
+    assert forks == joins > 0
+    waits = _sample(doc, "ats_omp_barrier_waits_total")["samples"][0]["value"]
+    assert waits >= 3  # at least one full-team barrier
+    hist = _sample(doc, "ats_omp_barrier_wait_seconds")["samples"][0]
+    assert hist["count"] == waits
+
+
+def test_prometheus_output_is_parseable(enabled):
+    get_property("late_sender").run(size=4, seed=0)
+    text = to_prometheus()
+    lines = [l for l in text.splitlines() if l]
+    assert lines, "empty exposition"
+    for line in lines:
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+        else:
+            # every sample line is "name{labels} value"
+            name, value = line.rsplit(" ", 1)
+            float(value)
+            assert name[0].isalpha()
+
+
+def test_analysis_spans_recorded(enabled):
+    result = get_property("late_sender").run(size=4, seed=0)
+    analyze_run(result)
+    names = {s.name for s in span_log()}
+    assert "analysis:index" in names
+    assert "analysis:LateSenderDetector" in names
+
+
+def test_disabled_run_records_nothing():
+    set_metrics_enabled(False)
+    set_spans_enabled(False)
+    reset_metrics()
+    reset_spans()
+    result = get_property("late_sender").run(size=4, seed=0)
+    analyze_run(result)
+    assert to_json()["metrics"] == []
+    assert len(span_log()) == 0

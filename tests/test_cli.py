@@ -1,8 +1,26 @@
 """CLI tests (in-process via main(argv))."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import (
+    reset_metrics,
+    reset_spans,
+    set_metrics_enabled,
+    set_spans_enabled,
+)
+
+
+@pytest.fixture
+def obs_reset():
+    """Restore observability globals around tests that enable them."""
+    yield
+    set_metrics_enabled(False)
+    set_spans_enabled(False)
+    reset_metrics()
+    reset_spans()
 
 
 def test_list_shows_positive_properties(capsys):
@@ -100,6 +118,90 @@ def test_run_with_tree_prints_hierarchy(capsys):
     out = capsys.readouterr().out
     assert "property tree" in out
     assert "p2p_communication" in out
+
+
+def test_run_metrics_out_stdout(obs_reset, capsys):
+    assert main([
+        "run", "late_sender", "--size", "4", "--no-analyze",
+        "--metrics-out", "-",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "# HELP ats_sim_dispatches_total" in out
+    assert "# TYPE ats_mpi_messages_total counter" in out
+
+
+def test_run_metrics_out_json_file(obs_reset, tmp_path, capsys):
+    dest = tmp_path / "metrics.json"
+    assert main([
+        "run", "late_sender", "--size", "4", "--no-analyze",
+        "--metrics-out", str(dest),
+    ]) == 0
+    doc = json.loads(dest.read_text())  # auto-detected JSON by suffix
+    assert doc["format"] == "ats-metrics"
+    names = {m["name"] for m in doc["metrics"]}
+    assert "ats_trace_events_total" in names
+
+
+def test_run_chrome_trace(obs_reset, tmp_path, capsys):
+    dest = tmp_path / "chrome.json"
+    assert main([
+        "run", "late_sender", "--size", "4",
+        "--chrome-trace", str(dest),
+    ]) == 0
+    doc = json.loads(dest.read_text())
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert "X" in phases          # slices on both timelines
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert 0 in pids and 1 in pids  # host track + at least rank 0
+
+
+def test_metrics_command(obs_reset, capsys):
+    assert main(["metrics", "--size", "4", "--threads", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ats_sim_dispatches_total" in out
+    assert "ats_analysis_runs_total" in out
+
+
+def test_metrics_command_json_to_file(obs_reset, tmp_path, capsys):
+    dest = tmp_path / "m.json"
+    assert main([
+        "metrics", "late_broadcast", "--size", "4",
+        "--out", str(dest), "--format", "json",
+    ]) == 0
+    doc = json.loads(dest.read_text())
+    assert any(
+        m["name"] == "ats_mpi_bytes_total" for m in doc["metrics"]
+    )
+
+
+def test_analyze_profile_flag(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    assert main([
+        "run", "late_sender", "--size", "4", "--no-analyze",
+        "--trace-out", str(trace),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(trace), "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "incl(s)" in out        # the profile table
+    assert "ANALYSIS REPORT" in out
+
+
+def test_analyze_skip_bad_lines(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    assert main([
+        "run", "late_sender", "--size", "4", "--no-analyze",
+        "--trace-out", str(trace),
+    ]) == 0
+    with trace.open("a") as fh:
+        fh.write("{not json at all\n")
+    capsys.readouterr()
+    with pytest.raises(ValueError, match="bad event"):
+        main(["analyze", str(trace)])
+    assert main(["analyze", str(trace), "--skip-bad-lines"]) == 0
+    captured = capsys.readouterr()
+    assert "skipped 1 corrupt trace line" in captured.err
+    assert "ANALYSIS REPORT" in captured.out
 
 
 def test_sweep_command_outputs_csv(capsys):

@@ -8,10 +8,12 @@ from repro.trace import (
     Enter,
     Exit,
     Location,
+    TraceFormatError,
     TraceRecorder,
     profile_trace,
     read_trace,
     region_char,
+    region_intervals,
     render_timeline,
     state_at,
     write_trace,
@@ -80,6 +82,45 @@ def test_read_reports_line_of_bad_event(tmp_path):
     )
     with pytest.raises(ValueError, match=":2:"):
         read_trace(path)
+
+
+def test_format_error_carries_path_and_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        '{"format": "ats-trace", "version": 1}\n'
+        '{"kind": "enter", "time": 0.0, "loc": "0.0", "region": "m",'
+        ' "path": ["m"]}\n'
+        "{broken\n"
+    )
+    with pytest.raises(TraceFormatError) as excinfo:
+        read_trace(path)
+    assert excinfo.value.path == path
+    assert excinfo.value.lineno == 3
+
+
+def test_skip_bad_lines_recovers_good_events(tmp_path):
+    events = sample_events()
+    path = tmp_path / "corrupt.jsonl"
+    write_trace(path, events, metadata={"program": "demo"})
+    lines = path.read_text().splitlines()
+    # corrupt one event line mid-file and truncate the final one --
+    # the crashed-run shape
+    lines[3] = lines[3][: len(lines[3]) // 2]
+    lines.append('{"kind": "unknown_kind", "time": 1}')
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TraceFormatError, match=":4:"):
+        read_trace(path)
+    loaded, meta = read_trace(path, skip_bad_lines=True)
+    assert len(loaded) == len(events) - 1
+    assert meta["skipped_lines"] == 2
+    assert meta["program"] == "demo"
+
+
+def test_skip_bad_lines_does_not_mask_bad_header(tmp_path):
+    path = tmp_path / "hdr.jsonl"
+    path.write_text("{broken header\n")
+    with pytest.raises(TraceFormatError, match=":1:"):
+        read_trace(path, skip_bad_lines=True)
 
 
 def test_written_file_is_line_json(tmp_path):
@@ -172,3 +213,27 @@ def test_profile_visit_counts():
 def test_format_profile_is_table():
     text = format_profile(profile_trace(sample_events()))
     assert "region" in text and "main" in text
+
+
+def test_region_intervals_replay():
+    intervals = list(region_intervals(sample_events()))
+    # every enter/exit pair becomes exactly one interval
+    assert len(intervals) == 5
+    main0 = next(
+        i for i in intervals if i.region == "main" and i.loc == L0
+    )
+    assert main0.enter == pytest.approx(0.0)
+    assert main0.exit == pytest.approx(5.0)
+    assert main0.inclusive == pytest.approx(5.0)
+    assert main0.exclusive == pytest.approx(2.0)  # minus work + send
+    assert main0.depth == 0
+    work0 = next(i for i in intervals if i.region == "work")
+    assert work0.depth == 1
+    assert work0.path == ("main", "work")
+
+
+def test_region_intervals_tolerates_truncation():
+    rec = TraceRecorder()
+    rec.enter(0.0, L0, "main")
+    rec.enter(1.0, L0, "work")  # never exited
+    assert list(region_intervals(rec.events)) == []
