@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Fault-injection hook overhead benchmark.
+
+The fault hooks sit on hot paths -- every ``hold``, every message
+transfer, every trace record -- so their cost must be near zero when
+injection is off and modest when it is on.  This benchmark runs the
+hybrid-64 composite (the shape ``bench_perf_core`` sweeps) in three
+modes and records wall-time deltas into ``BENCH_FAULTS.json`` at the
+repository root:
+
+* ``off``   -- no injector bound (``faults=None``); the hooks reduce to
+  one ``is not None`` test each, and this mode must stay within noise
+  of the clean baseline,
+* ``noop``  -- a zero-magnitude plan; ``FaultInjector.coerce`` resolves
+  it to ``None``, so this must match ``off`` exactly,
+* ``on``    -- the canonical ``FaultPlan.default()`` with every
+  perturbation domain active.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_faults_overhead.py           # full
+    PYTHONPATH=src python benchmarks/bench_faults_overhead.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import run_hybrid_composite  # noqa: E402
+from repro.faults import FaultInjector, FaultPlan  # noqa: E402
+
+from bench_perf_core import (  # noqa: E402
+    HYBRID_MPI_STEPS,
+    HYBRID_OMP_STEPS,
+)
+
+OUT_PATH = REPO_ROOT / "BENCH_FAULTS.json"
+
+MODES = ("off", "noop", "on")
+
+
+def _plan(mode: str):
+    if mode == "off":
+        return None
+    if mode == "noop":
+        return FaultPlan.default().scaled(0.0)
+    return FaultPlan.default()
+
+
+def _measure(size: int, num_threads: int, repeats: int, mode: str) -> dict:
+    """Best-of-``repeats`` wall time for one fault mode."""
+    best = None
+    events = 0
+    for _ in range(repeats):
+        faults = FaultInjector.coerce(_plan(mode))
+        t0 = time.perf_counter()
+        result = run_hybrid_composite(
+            HYBRID_MPI_STEPS,
+            HYBRID_OMP_STEPS,
+            size=size,
+            num_threads=num_threads,
+            faults=faults,
+        )
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+        events = len(result.recorder.events)
+    return {"wall_s": round(best, 6), "events": events}
+
+
+def run_modes(size: int, num_threads: int, repeats: int) -> dict:
+    rows = {}
+    for mode in MODES:
+        rows[mode] = _measure(size, num_threads, repeats, mode)
+        print(f"{mode:>6}: {rows[mode]['wall_s']*1000:8.1f} ms "
+              f"({rows[mode]['events']} events)")
+    off = rows["off"]["wall_s"]
+    for mode in ("noop", "on"):
+        rel = rows[mode]["wall_s"] / off - 1.0 if off else 0.0
+        rows[mode]["overhead_vs_off"] = round(rel, 4)
+        print(f"{mode:>6} overhead vs off: {rel:+.2%}")
+    return {
+        "size": size,
+        "num_threads": num_threads,
+        "repeats": repeats,
+        "modes": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny parameters for CI smoke runs (no BENCH_FAULTS.json "
+        "write)",
+    )
+    parser.add_argument("--size", type=int, default=64)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    if args.quick:
+        run_modes(size=4, num_threads=2, repeats=1)
+        print("quick smoke ok")
+        return 0
+
+    measurement = run_modes(args.size, args.threads, args.repeats)
+    existing = {}
+    if OUT_PATH.exists():
+        existing = json.loads(OUT_PATH.read_text())
+    existing[f"hybrid-{args.size}"] = measurement
+    OUT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

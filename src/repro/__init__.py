@@ -27,7 +27,9 @@ Package map (paper figure 3.1, bottom-up):
 * :mod:`repro.analysis`    -- EXPERT-style automatic analyzer
 * :mod:`repro.asl`         -- ASL-style property specifications
 * :mod:`repro.validation`  -- correctness harness (positive/negative/
-  semantics/overhead)
+  semantics/overhead/robustness)
+* :mod:`repro.faults`      -- deterministic fault injection for
+  detector-robustness measurement
 * :mod:`repro.apps`        -- "real world" mini-applications (chapter 4)
 """
 
@@ -66,6 +68,7 @@ from .distributions import (
     df_peak,
     df_same,
 )
+from .faults import FaultInjector, FaultPlan
 from .simmpi import TransportParams, run_mpi
 from .simomp import run_omp
 from .trace import read_trace, render_timeline, write_trace
@@ -77,6 +80,8 @@ __all__ = [
     "AnalysisConfig",
     "AnalysisResult",
     "DistParam",
+    "FaultInjector",
+    "FaultPlan",
     "Finding",
     "PropertySpec",
     "Step",

@@ -10,6 +10,7 @@ Subcommands::
     ats analyze <trace.jsonl>        analyze a persisted trace
     ats metrics [property]           run + dump runtime metrics
     ats matrix [...]                 run the validation matrix
+    ats robustness [...]             detector TP/FP curves under faults
     ats suites                       print the chapter-2/4 catalog
 
 Observability flags on the run-style commands (``run``/``chain``/
@@ -17,11 +18,17 @@ Observability flags on the run-style commands (``run``/``chain``/
 ``--metrics-out`` dumps the registry (Prometheus text or JSON),
 ``--chrome-trace`` writes a Perfetto-loadable trace-event file
 combining the simulated timeline with host-side tool spans.
+
+Expected operational errors -- a missing trace file, a corrupt header,
+an unknown property or distribution name -- are reported as a single
+``ats: error: ...`` line on stderr with exit status 2, never as a
+traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 from typing import Optional, Sequence
 
@@ -33,6 +40,8 @@ from .core import (
     run_split_program,
     write_generated_programs,
 )
+from .core.registry import DistParam
+from .distributions import get_distribution, list_distributions
 from .obs import (
     set_metrics_enabled,
     set_spans_enabled,
@@ -40,8 +49,89 @@ from .obs import (
     to_prometheus,
     write_chrome_trace,
 )
-from .trace import format_profile, profile_trace, read_trace, write_trace
+from .trace import (
+    TraceFormatError,
+    format_profile,
+    profile_trace,
+    read_trace,
+    write_trace,
+)
 from .validation import format_catalog, run_validation_matrix
+
+
+class CliError(Exception):
+    """An expected user-facing failure: printed as one line, exit 2."""
+
+
+def _suggest(name: str, candidates: Sequence[str]) -> str:
+    """`` (did you mean X?)`` suffix when a close match exists."""
+    close = difflib.get_close_matches(name, candidates, n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+def _resolve_property(name: str):
+    """`get_property` with a CLI-grade error: suggestion, no dump."""
+    try:
+        return get_property(name)
+    except KeyError:
+        names = [s.name for s in list_properties(negative=None)]
+        raise CliError(
+            f"unknown property function {name!r}"
+            + _suggest(name, names)
+            + "; see 'ats list --all'"
+        ) from None
+
+
+def _parse_dist(text: str) -> tuple[str, Optional[tuple[float, ...]]]:
+    """Parse a ``--dist SHAPE[:V1,V2,...]`` override."""
+    shape, sep, raw = text.partition(":")
+    shape = shape.strip()
+    if not shape:
+        raise CliError(f"bad --dist value {text!r}: empty shape name")
+    try:
+        get_distribution(shape)
+    except KeyError:
+        names = [d.name for d in list_distributions()]
+        raise CliError(
+            f"unknown distribution {shape!r}"
+            + _suggest(shape, names)
+            + f"; available: {', '.join(names)}"
+        ) from None
+    if not sep:
+        return shape, None
+    try:
+        values = tuple(float(v) for v in raw.split(","))
+    except ValueError:
+        raise CliError(
+            f"bad --dist value {text!r}: expected SHAPE:V1,V2,..."
+        ) from None
+    return shape, values
+
+
+def _dist_override(spec, text: str) -> dict:
+    """Build the params dict replacing the spec's distribution."""
+    shape, values = _parse_dist(text)
+    dist_keys = [
+        key
+        for key, value in spec.default_params.items()
+        if isinstance(value, DistParam)
+    ]
+    if not dist_keys:
+        raise CliError(
+            f"property {spec.name!r} takes no distribution parameter"
+        )
+    key = dist_keys[0]
+    if values is None:
+        values = spec.default_params[key].values
+    param = DistParam(shape, values)
+    try:
+        param.resolve()
+    except TypeError:
+        raise CliError(
+            f"distribution {shape!r} does not take {len(values)} "
+            f"value(s)"
+        ) from None
+    return {key: param}
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -146,9 +236,13 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     _enable_obs(args)
-    spec = get_property(args.property)
+    spec = _resolve_property(args.property)
+    params = _dist_override(spec, args.dist) if args.dist else None
     result = spec.run(
-        size=args.size, num_threads=args.threads, seed=args.seed
+        size=args.size,
+        num_threads=args.threads,
+        seed=args.seed,
+        params=params,
     )
     _report(result, args)
     return 0
@@ -182,13 +276,31 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    events, metadata = read_trace(
-        args.trace, skip_bad_lines=args.skip_bad_lines
-    )
+    try:
+        events, metadata = read_trace(
+            args.trace,
+            skip_bad_lines=args.skip_bad_lines,
+            salvage=args.salvage,
+        )
+    except FileNotFoundError:
+        raise CliError(f"trace file not found: {args.trace}") from None
+    except IsADirectoryError:
+        raise CliError(f"{args.trace} is a directory, not a trace") from None
+    except PermissionError:
+        raise CliError(f"cannot read trace file: {args.trace}") from None
+    except TraceFormatError as exc:
+        # already rendered as "path:line: message"
+        raise CliError(str(exc)) from None
     skipped = metadata.get("skipped_lines", 0)
     if skipped:
         print(
             f"warning: skipped {skipped} corrupt trace line(s)",
+            file=sys.stderr,
+        )
+    if metadata.get("truncated"):
+        print(
+            "warning: trace truncated mid-record; analyzing the "
+            "salvaged prefix",
             file=sys.stderr,
         )
     if metadata:
@@ -204,7 +316,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     """Run one property with full observability on, dump the registry."""
     set_metrics_enabled(True)
     set_spans_enabled(True)
-    spec = get_property(args.property)
+    spec = _resolve_property(args.property)
     result = spec.run(
         size=args.size, num_threads=args.threads, seed=args.seed
     )
@@ -228,6 +340,47 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     return 0 if matrix.all_passed else 1
 
 
+def cmd_robustness(args: argparse.Namespace) -> int:
+    """Sweep fault magnitude, print per-detector TP/FP curves."""
+    from .validation import DEFAULT_MAGNITUDES, run_robustness
+
+    specs = None
+    if args.program:
+        specs = [_resolve_property(name) for name in args.program]
+    if args.magnitudes:
+        try:
+            magnitudes = tuple(
+                float(m) for m in args.magnitudes.split(",")
+            )
+        except ValueError:
+            raise CliError(
+                f"bad --magnitudes value {args.magnitudes!r}: expected "
+                "comma-separated numbers"
+            ) from None
+    else:
+        magnitudes = DEFAULT_MAGNITUDES
+    if args.seeds < 1:
+        raise CliError("--seeds must be >= 1")
+    result = run_robustness(
+        specs=specs,
+        magnitudes=magnitudes,
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        size=args.size,
+        num_threads=args.threads,
+        threshold=args.threshold,
+    )
+    print(result.format_table())
+    if args.json is not None:
+        text = result.to_json_str()
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"robustness curves written to {args.json}")
+    return 0
+
+
 def cmd_suites(args: argparse.Namespace) -> int:
     print(format_catalog())
     return 0
@@ -246,10 +399,11 @@ def cmd_certify(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .validation import run_sweep
 
+    spec = _resolve_property(args.property)
     factors = [float(f) for f in args.factors.split(",")]
     sizes = [int(s) for s in args.sizes.split(",")]
     result = run_sweep(
-        args.property,
+        spec.name,
         severity_factors=factors,
         sizes=sizes,
         num_threads=args.threads,
@@ -276,6 +430,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one property function")
     p.add_argument("property")
+    p.add_argument("--dist", metavar="SHAPE[:V1,V2,...]", default=None,
+                   help="override the property's work distribution "
+                   "(shape name from the distribution registry, with "
+                   "optional descriptor values)")
     _add_run_options(p)
     p.set_defaults(fn=cmd_run)
 
@@ -304,6 +462,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the per-region trace profile first")
     p.add_argument("--skip-bad-lines", action="store_true",
                    help="drop corrupt event lines instead of failing")
+    p.add_argument("--salvage", action="store_true",
+                   help="recover a trace truncated mid-record: analyze "
+                   "everything before the cut")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser(
@@ -325,6 +486,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_matrix)
+
+    p = sub.add_parser(
+        "robustness",
+        help="sweep fault-injection magnitude, emit detector TP/FP "
+        "curves",
+    )
+    p.add_argument("--program", action="append", default=None,
+                   metavar="NAME",
+                   help="property program(s) to sweep (repeatable; "
+                   "default: all registered programs)")
+    p.add_argument("--magnitudes", default=None,
+                   help="comma-separated perturbation magnitudes "
+                   "(default 0,0.35,0.7,1)")
+    p.add_argument("--seeds", type=int, default=1, metavar="N",
+                   help="number of seeds per (program, magnitude) cell")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first seed of the range (default 0)")
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--threshold", type=float, default=0.01)
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the full curves as JSON "
+                   "('-' = stdout)")
+    p.set_defaults(fn=cmd_robustness)
 
     p = sub.add_parser("suites", help="print the external-suite catalog")
     p.set_defaults(fn=cmd_suites)
@@ -355,7 +540,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"ats: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

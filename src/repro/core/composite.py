@@ -175,6 +175,7 @@ def run_hybrid_composite(
     transport: Optional[TransportParams] = None,
     seed: int = 0,
     model_init_overhead: bool = True,
+    faults=None,
 ) -> RunResult:
     """Interleave MPI-level and OpenMP-level property functions.
 
@@ -199,4 +200,5 @@ def run_hybrid_composite(
         transport=transport,
         seed=seed,
         model_init_overhead=model_init_overhead,
+        faults=faults,
     )

@@ -128,12 +128,16 @@ class PropertySpec:
         trace: bool = True,
         seed: int = 0,
         model_init_overhead: bool = False,
+        faults=None,
     ) -> Union[RunResult, OmpRunResult]:
         """Run the property function as a standalone program.
 
         MPI/hybrid specs launch ``size`` simulated ranks; OpenMP specs
         run standalone with ``num_threads``.  Returns the usual run
-        result whose trace feeds the analyzer.
+        result whose trace feeds the analyzer.  ``faults`` takes a
+        :class:`~repro.faults.FaultPlan` or
+        :class:`~repro.faults.FaultInjector` to run the program under
+        injected noise (the robustness harness's pipeline).
         """
         kwargs = self.materialize(params)
         if self.paradigm == "omp":
@@ -141,7 +145,11 @@ class PropertySpec:
                 self.func(**kwargs)
 
             return run_omp(
-                main, num_threads=num_threads, trace=trace, seed=seed
+                main,
+                num_threads=num_threads,
+                trace=trace,
+                seed=seed,
+                faults=faults,
             )
         if size < self.min_size:
             raise ValueError(
@@ -160,6 +168,7 @@ class PropertySpec:
             trace=trace,
             seed=seed,
             model_init_overhead=model_init_overhead,
+            faults=faults,
         )
 
 

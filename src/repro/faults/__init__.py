@@ -1,0 +1,51 @@
+"""Deterministic fault injection (the noise model of the test suite).
+
+The paper defines tool correctness over *clean* executions: report
+every property a program really has, report nothing for well-tuned
+programs.  Real tools never see clean executions -- runs jitter, ranks
+straggle, networks add latency, and trace files arrive with dropped,
+duplicated or truncated records.  This package turns every existing
+single-property program into a family of noisy scenarios:
+
+* :mod:`repro.faults.spec` -- composable, frozen :class:`Perturbation`
+  descriptions (rank stragglers, timing jitter, message-latency noise,
+  bounded message reorder, record drop/duplicate, mid-file truncation)
+  grouped into a :class:`FaultPlan` with linear magnitude scaling
+  (``plan.scaled(0)`` is a guaranteed no-op),
+* :mod:`repro.faults.inject` -- the runtime :class:`FaultInjector`
+  that the simulation kernel, the MPI transport and the trace writer
+  consult; every draw comes from a per-domain child stream of the
+  run's :class:`~repro.simkernel.rng.Lcg64` seed tree, so a perturbed
+  run is exactly as reproducible as a clean one (byte-identical traces
+  per ``(seed, plan)``).
+
+The robustness harness in :mod:`repro.validation.robustness` sweeps a
+plan's magnitude across the validation matrix and reports per-detector
+true-positive / false-positive curves (``ats robustness``).
+"""
+
+from .inject import FaultInjector
+from .spec import (
+    DropRecords,
+    DuplicateRecords,
+    FaultPlan,
+    MessageLatencyNoise,
+    MessageReorder,
+    Perturbation,
+    RankStragglers,
+    TimingJitter,
+    TruncateTrace,
+)
+
+__all__ = [
+    "DropRecords",
+    "DuplicateRecords",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageLatencyNoise",
+    "MessageReorder",
+    "Perturbation",
+    "RankStragglers",
+    "TimingJitter",
+    "TruncateTrace",
+]

@@ -1,0 +1,324 @@
+"""Perturbation specifications.
+
+A :class:`Perturbation` is a small frozen value object describing one
+kind of noise; a :class:`FaultPlan` composes any number of them.  Specs
+are pure data -- all randomness lives in
+:class:`repro.faults.inject.FaultInjector` -- so plans can be hashed,
+compared, serialized into robustness-curve JSON and scaled linearly:
+``p.scaled(f)`` multiplies the perturbation's magnitude-like knobs by
+``f`` (rates clamp to ``[0, 1]``), and ``p.scaled(0)`` always yields a
+no-op, which is what lets a magnitude sweep anchor its zero point to
+the clean-trace validation matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Tuple, Type
+
+
+def _clamp01(x: float) -> float:
+    return 0.0 if x < 0.0 else (1.0 if x > 1.0 else x)
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """Base class: one named, scalable kind of injected noise."""
+
+    kind = "perturbation"
+
+    @property
+    def is_noop(self) -> bool:
+        raise NotImplementedError
+
+    def scaled(self, factor: float) -> "Perturbation":
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            d[f.name] = list(value) if isinstance(value, tuple) else value
+        return d
+
+
+@dataclass(frozen=True)
+class RankStragglers(Perturbation):
+    """Fixed slow ranks: every ``hold`` on them takes longer.
+
+    ``slowdown`` is the extra fraction added to each hold duration on
+    the listed ranks (0.5 = 50% slower compute).  Deterministic without
+    consuming any random stream, so stragglers compose with the other
+    perturbations without shifting their draws.
+    """
+
+    ranks: Tuple[int, ...] = (0,)
+    slowdown: float = 0.5
+
+    kind = "rank_stragglers"
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 0:
+            raise ValueError("straggler slowdown must be >= 0")
+        if any(r < 0 for r in self.ranks):
+            raise ValueError("straggler ranks must be >= 0")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.slowdown == 0.0 or not self.ranks
+
+    def scaled(self, factor: float) -> "RankStragglers":
+        return replace(self, slowdown=self.slowdown * factor)
+
+
+@dataclass(frozen=True)
+class TimingJitter(Perturbation):
+    """Per-event multiplicative jitter on every positive hold.
+
+    Each hold of ``dt`` becomes ``dt * (1 + u)`` with ``u`` uniform in
+    ``[-magnitude, +magnitude)`` (clamped so time never runs backward).
+    Models run-to-run execution-time variability.
+    """
+
+    magnitude: float = 0.05
+
+    kind = "timing_jitter"
+
+    def __post_init__(self) -> None:
+        if self.magnitude < 0:
+            raise ValueError("jitter magnitude must be >= 0")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.magnitude == 0.0
+
+    def scaled(self, factor: float) -> "TimingJitter":
+        return replace(self, magnitude=self.magnitude * factor)
+
+
+@dataclass(frozen=True)
+class MessageLatencyNoise(Perturbation):
+    """Extra wire latency per point-to-point message.
+
+    Each message's transfer gains ``latency * magnitude * u`` seconds
+    (``u`` uniform in ``[0, 1)``, ``latency`` the transport's base
+    latency) -- congestion-style noise that is always non-negative.
+    """
+
+    magnitude: float = 2.0
+
+    kind = "message_latency_noise"
+
+    def __post_init__(self) -> None:
+        if self.magnitude < 0:
+            raise ValueError("latency-noise magnitude must be >= 0")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.magnitude == 0.0
+
+    def scaled(self, factor: float) -> "MessageLatencyNoise":
+        return replace(self, magnitude=self.magnitude * factor)
+
+
+@dataclass(frozen=True)
+class MessageReorder(Perturbation):
+    """Bounded reorder of unmatched sends in the matching engine.
+
+    With ``probability`` per queued send, the newly arrived message is
+    moved up to ``window`` positions toward the front of its
+    destination's unexpected-message queue -- so wildcard receives (and
+    same-envelope FIFO matching) observe out-of-order delivery while
+    the displacement stays bounded.
+    """
+
+    probability: float = 0.25
+    window: int = 2
+
+    kind = "message_reorder"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("reorder probability must be in [0, 1]")
+        if self.window < 1:
+            raise ValueError("reorder window must be >= 1")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.probability == 0.0
+
+    def scaled(self, factor: float) -> "MessageReorder":
+        return replace(self, probability=_clamp01(self.probability * factor))
+
+
+@dataclass(frozen=True)
+class DropRecords(Perturbation):
+    """Drop each trace record with probability ``rate`` at write time."""
+
+    rate: float = 0.02
+
+    kind = "drop_records"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("drop rate must be in [0, 1]")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.rate == 0.0
+
+    def scaled(self, factor: float) -> "DropRecords":
+        return replace(self, rate=_clamp01(self.rate * factor))
+
+
+@dataclass(frozen=True)
+class DuplicateRecords(Perturbation):
+    """Write each trace record twice with probability ``rate``."""
+
+    rate: float = 0.02
+
+    kind = "duplicate_records"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("duplicate rate must be in [0, 1]")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.rate == 0.0
+
+    def scaled(self, factor: float) -> "DuplicateRecords":
+        return replace(self, rate=_clamp01(self.rate * factor))
+
+
+@dataclass(frozen=True)
+class TruncateTrace(Perturbation):
+    """Cut ``drop_fraction`` of the file's bytes off the end on close.
+
+    Byte-level truncation usually lands mid-line, leaving a partial
+    final record -- exactly what a crashed writer produces.  The
+    reader's ``salvage`` mode (``ats analyze --salvage``) recovers
+    everything up to the cut.
+    """
+
+    drop_fraction: float = 0.1
+
+    kind = "truncate_trace"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_fraction < 1.0:
+            raise ValueError("truncation drop fraction must be in [0, 1)")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.drop_fraction == 0.0
+
+    def scaled(self, factor: float) -> "TruncateTrace":
+        frac = self.drop_fraction * factor
+        return replace(self, drop_fraction=min(frac, 0.999))
+
+
+_KINDS: Dict[str, Type[Perturbation]] = {
+    cls.kind: cls
+    for cls in (
+        RankStragglers,
+        TimingJitter,
+        MessageLatencyNoise,
+        MessageReorder,
+        DropRecords,
+        DuplicateRecords,
+        TruncateTrace,
+    )
+}
+
+
+def perturbation_from_dict(d: Dict[str, Any]) -> Perturbation:
+    """Inverse of :meth:`Perturbation.to_dict`."""
+    d = dict(d)
+    kind = d.pop("kind")
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown perturbation kind {kind!r}") from None
+    if "ranks" in d:
+        d["ranks"] = tuple(d["ranks"])
+    return cls(**d)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composition of perturbations applied to one run."""
+
+    perturbations: Tuple[Perturbation, ...] = ()
+
+    def __post_init__(self) -> None:
+        for p in self.perturbations:
+            if not isinstance(p, Perturbation):
+                raise TypeError(f"not a Perturbation: {p!r}")
+
+    @classmethod
+    def of(cls, *perturbations: Perturbation) -> "FaultPlan":
+        return cls(tuple(perturbations))
+
+    @classmethod
+    def default(cls) -> "FaultPlan":
+        """The canonical all-axes plan the robustness sweep scales.
+
+        Magnitudes are chosen so that ``scaled(1.0)`` is clearly noisy
+        but most property programs still exhibit their property, which
+        is where TP/FP curves are most informative.
+        """
+        return cls.of(
+            RankStragglers(ranks=(1,), slowdown=0.3),
+            TimingJitter(magnitude=0.1),
+            MessageLatencyNoise(magnitude=4.0),
+            MessageReorder(probability=0.25, window=2),
+            DropRecords(rate=0.01),
+            DuplicateRecords(rate=0.01),
+            TruncateTrace(drop_fraction=0.05),
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        return all(p.is_noop for p in self.perturbations)
+
+    @property
+    def has_trace_faults(self) -> bool:
+        """True when any write-time record fault is active."""
+        return any(
+            not p.is_noop
+            and isinstance(p, (DropRecords, DuplicateRecords, TruncateTrace))
+            for p in self.perturbations
+        )
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        if factor < 0:
+            raise ValueError("scale factor must be >= 0")
+        return FaultPlan(
+            tuple(p.scaled(factor) for p in self.perturbations)
+        )
+
+    def only(self, *kinds: Type[Perturbation]) -> "FaultPlan":
+        """Sub-plan with just the given perturbation classes."""
+        return FaultPlan(
+            tuple(p for p in self.perturbations if isinstance(p, kinds))
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "perturbations": [p.to_dict() for p in self.perturbations]
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            tuple(
+                perturbation_from_dict(p)
+                for p in d.get("perturbations", ())
+            )
+        )
+
+    def describe(self) -> str:
+        if not self.perturbations:
+            return "no-op plan"
+        return " + ".join(p.kind for p in self.perturbations)

@@ -27,11 +27,13 @@ from .metrics import (
 
 __all__ = [
     "AnalysisMetrics",
+    "FaultMetrics",
     "KernelMetrics",
     "OmpMetrics",
     "TraceMetrics",
     "TransportMetrics",
     "analysis_metrics",
+    "fault_metrics",
     "kernel_metrics",
     "omp_metrics",
     "trace_metrics",
@@ -262,6 +264,63 @@ class TraceMetrics:
 
 def trace_metrics() -> Optional[TraceMetrics]:
     return _bundle("trace", TraceMetrics)
+
+
+# ----------------------------------------------------------------------
+# faults
+# ----------------------------------------------------------------------
+
+class FaultMetrics:
+    """Fault-injection activity counters (see :mod:`repro.faults`)."""
+
+    __slots__ = (
+        "holds_jittered",
+        "jitter_seconds",
+        "straggler_seconds",
+        "latency_noise_seconds",
+        "messages_reordered",
+        "records_dropped",
+        "records_duplicated",
+        "truncations",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.holds_jittered = reg.counter(
+            "ats_fault_holds_jittered_total",
+            "Scheduler holds perturbed by timing jitter",
+        )
+        self.jitter_seconds = reg.counter(
+            "ats_fault_jitter_seconds_total",
+            "Absolute virtual seconds of timing jitter applied",
+        )
+        self.straggler_seconds = reg.counter(
+            "ats_fault_straggler_seconds_total",
+            "Extra virtual seconds added to straggler-rank holds",
+        )
+        self.latency_noise_seconds = reg.counter(
+            "ats_fault_latency_noise_seconds_total",
+            "Extra virtual wire seconds added to p2p transfers",
+        )
+        self.messages_reordered = reg.counter(
+            "ats_fault_messages_reordered_total",
+            "Unmatched sends displaced in the matching queue",
+        )
+        self.records_dropped = reg.counter(
+            "ats_fault_records_dropped_total",
+            "Trace records dropped at write time",
+        )
+        self.records_duplicated = reg.counter(
+            "ats_fault_records_duplicated_total",
+            "Trace records written twice at write time",
+        )
+        self.truncations = reg.counter(
+            "ats_fault_trace_truncations_total",
+            "Trace files truncated mid-file on close",
+        )
+
+
+def fault_metrics() -> Optional[FaultMetrics]:
+    return _bundle("faults", FaultMetrics)
 
 
 # ----------------------------------------------------------------------

@@ -96,6 +96,13 @@ class Simulator:
         #: metrics bundle, or None while observability is disabled --
         #: the dispatch loop guards on it with a single branch.
         self._metrics = kernel_metrics()
+        #: fault injector (see :mod:`repro.faults`), or None for the
+        #: clean path.  Consulted only in :meth:`hold`, where positive
+        #: delays are the semantic "work/communication takes time"
+        #: statements -- zero-delay scheduling (sync primitives) stays
+        #: untouched so perturbations never change program structure,
+        #: only timing.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # process management
@@ -155,6 +162,8 @@ class Simulator:
             raise ValueError("hold duration must be non-negative")
         proc = current_process()
         self._check_owner(proc)
+        if dt > 0.0 and self.fault_injector is not None:
+            dt = self.fault_injector.perturb_hold(proc, dt)
         self._schedule(proc, self.now + dt)
         proc.waiting_on = ("hold(%g)", dt)
         proc._switch_out()

@@ -60,6 +60,7 @@ class MpiWorld:
         seed: int = 0,
         model_init_overhead: bool = True,
         collectives: Optional[CollectiveTuning] = None,
+        faults=None,
     ):
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
@@ -67,7 +68,13 @@ class MpiWorld:
         self.transport = transport or TransportParams()
         self.collectives = collectives or CollectiveTuning()
         self.sim = Simulator(seed=seed)
-        self.engine = P2PEngine(self.transport)
+        #: active fault injector (see :mod:`repro.faults`), or None;
+        #: shared by the scheduler hook and the transport hook so one
+        #: seed tree drives every perturbation domain.
+        self.faults = faults
+        if faults is not None:
+            self.sim.fault_injector = faults
+        self.engine = P2PEngine(self.transport, faults=faults)
         self.recorder = recorder
         self.model_init_overhead = model_init_overhead
         self._next_comm_id = 0
@@ -248,13 +255,19 @@ def run_mpi(
     model_init_overhead: bool = True,
     strict: bool = True,
     collectives: Optional[CollectiveTuning] = None,
+    faults=None,
     **kwargs: Any,
 ) -> RunResult:
     """Run ``main(comm, *args, **kwargs)`` on ``size`` simulated ranks.
 
     The one-call entry point used by examples, tests and the generated
-    single-property programs.
+    single-property programs.  ``faults`` accepts a
+    :class:`~repro.faults.FaultPlan` (bound to ``seed``) or a prebuilt
+    :class:`~repro.faults.FaultInjector`; no-op plans resolve to the
+    clean path.
     """
+    from ..faults.inject import FaultInjector
+
     recorder = (
         TraceRecorder(intrusion_per_event=intrusion) if trace else None
     )
@@ -265,6 +278,7 @@ def run_mpi(
         seed=seed,
         model_init_overhead=model_init_overhead,
         collectives=collectives,
+        faults=FaultInjector.coerce(faults, seed=seed),
     )
     world.launch(main, *args, **kwargs)
     return world.run(strict=strict)

@@ -121,7 +121,7 @@ class _RecvItem:
 class P2PEngine:
     """Per-world message matching engine."""
 
-    def __init__(self, params: TransportParams):
+    def __init__(self, params: TransportParams, faults=None):
         self.params = params
         # (comm_id, dst_local_rank) -> FIFO of unmatched items
         self._sends: dict[tuple[int, int], list[_SendItem]] = {}
@@ -133,6 +133,17 @@ class P2PEngine:
         self.bytes_transferred = 0
         #: metrics bundle, or None while observability is disabled
         self._metrics = transport_metrics()
+        #: fault injector (see :mod:`repro.faults`), or None for the
+        #: clean path: adds wire-latency noise per transfer and bounded
+        #: reorder of the unexpected-message queue.
+        self.faults = faults
+
+    def _wire_time(self, nbytes: int) -> float:
+        """Transfer time of one message, plus any injected noise."""
+        wire = self.params.transfer_time(nbytes)
+        if self.faults is not None:
+            wire += self.faults.wire_delay(self.params.latency)
+        return wire
 
     # ------------------------------------------------------------------
     # posting
@@ -167,9 +178,7 @@ class P2PEngine:
             nbytes=nbytes,
             send_start=now,
             eager=eager,
-            arrival=(now + self.params.transfer_time(nbytes))
-            if eager
-            else None,
+            arrival=(now + self._wire_time(nbytes)) if eager else None,
             request=request,
         )
         if eager:
@@ -183,6 +192,8 @@ class P2PEngine:
         if ritem is None:
             queue = self._sends.setdefault(key, [])
             queue.append(item)
+            if self.faults is not None:
+                self.faults.reorder_sends(queue)
             if m is not None:
                 m.unexpected_queue.observe(len(queue))
             self._wake_probers(comm.comm_id, dst)
@@ -321,7 +332,7 @@ class P2PEngine:
         else:
             # Rendezvous: transfer starts when both sides are present,
             # i.e. right now (delivery happens at match time).
-            xfer_done = now + self.params.transfer_time(item.nbytes)
+            xfer_done = now + self._wire_time(item.nbytes)
             item.request._complete(xfer_done)
             recv_done = xfer_done + self.params.recv_overhead
         ritem.buf_data[: item.count] = item.data

@@ -48,20 +48,29 @@ def run_omp(
     trace: bool = True,
     intrusion: float = 0.0,
     seed: int = 0,
+    faults=None,
     **kwargs: Any,
 ) -> OmpRunResult:
     """Run ``main(*args, **kwargs)`` as an OpenMP master process.
 
     ``num_threads`` sets the default team size used by parallel
     regions that do not pass one explicitly (the ``OMP_NUM_THREADS``
-    analogue).
+    analogue).  ``faults`` takes a :class:`~repro.faults.FaultPlan` or
+    :class:`~repro.faults.FaultInjector`, as in
+    :func:`repro.simmpi.run_mpi` (message perturbations are inert in a
+    shared-memory run; timing jitter and stragglers apply).
     """
+    from ..faults.inject import FaultInjector
+
     if num_threads < 1:
         raise ValueError("num_threads must be >= 1")
     recorder = (
         TraceRecorder(intrusion_per_event=intrusion) if trace else None
     )
     sim = Simulator(seed=seed)
+    injector = FaultInjector.coerce(faults, seed=seed)
+    if injector is not None:
+        sim.fault_injector = injector
 
     def master() -> Any:
         proc = current_process()

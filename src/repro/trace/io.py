@@ -15,7 +15,15 @@ file raises :class:`TraceFormatError` carrying the path and the exact
 line number, and :func:`read_trace` can instead *skip* bad event lines
 (``skip_bad_lines=True``, surfaced as ``ats analyze
 --skip-bad-lines``) so a partially written trace from a crashed run
-remains analyzable.
+remains analyzable.  ``salvage=True`` (``ats analyze --salvage``)
+additionally forgives a corrupt *final* line -- the signature of a
+mid-file truncation -- returning every record up to the cut and
+flagging ``metadata["truncated"]``.
+
+Both writer-side trace faults (record drop/duplication, mid-file
+truncation -- see :mod:`repro.faults`) enter through the optional
+``faults`` hook of :class:`TraceWriter`, so fault-injected trace files
+exercise exactly the production serialization path.
 """
 
 from __future__ import annotations
@@ -70,6 +78,7 @@ class TraceWriter:
         path: Union[str, Path],
         metadata: dict | None = None,
         buffer_lines: int = _BUFFER_LINES,
+        faults=None,
     ):
         self.path = Path(path)
         self.count = 0
@@ -77,6 +86,10 @@ class TraceWriter:
         self._buffer_lines = max(1, buffer_lines)
         self._buf: list[str] = []
         self._metrics = trace_metrics()
+        #: fault injector (see :mod:`repro.faults`), or None: decides
+        #: per record whether to drop/duplicate it, and whether to
+        #: truncate the finished file mid-line on close.
+        self._faults = faults
         self._fh = self.path.open("w", encoding="utf-8")
         header = {"format": "ats-trace", "version": FORMAT_VERSION}
         if metadata:
@@ -87,9 +100,16 @@ class TraceWriter:
         """Queue one event line (drains when the buffer fills)."""
         if self.closed:
             raise ValueError("write to closed TraceWriter")
+        copies = 1
+        if self._faults is not None:
+            copies = self._faults.record_copies()
+            if copies == 0:
+                return
         buf = self._buf
-        buf.append(json.dumps(event.to_dict()) + "\n")
-        self.count += 1
+        line = json.dumps(event.to_dict()) + "\n"
+        for _ in range(copies):
+            buf.append(line)
+        self.count += copies
         if len(buf) >= self._buffer_lines:
             self._drain()
 
@@ -124,6 +144,21 @@ class TraceWriter:
         finally:
             self.closed = True
             self._fh.close()
+        if self._faults is not None:
+            self._apply_truncation()
+
+    def _apply_truncation(self) -> None:
+        """Cut the closed file mid-stream if the fault plan says so.
+
+        Done on the raw bytes after the text handle is closed, so the
+        cut point is exact and usually lands inside a record line.
+        """
+        size = self.path.stat().st_size
+        cut = self._faults.truncate_at(size)
+        if cut is None or cut >= size:
+            return
+        with self.path.open("r+b") as fh:
+            fh.truncate(cut)
 
     def __enter__(self) -> "TraceWriter":
         return self
@@ -136,19 +171,23 @@ def write_trace(
     path: Union[str, Path],
     events: Iterable[Event],
     metadata: dict | None = None,
+    faults=None,
 ) -> int:
     """Write events to ``path`` in JSONL format; returns event count.
 
     The first line is a header record with the format version and
     optional run metadata (program name, size, transport parameters...).
+    ``faults`` (a :class:`~repro.faults.FaultInjector`) applies
+    write-time record faults -- see :class:`TraceWriter`.
     """
-    with TraceWriter(path, metadata) as writer:
+    with TraceWriter(path, metadata, faults=faults) as writer:
         return writer.write_many(events)
 
 
 def read_trace(
     path: Union[str, Path],
     skip_bad_lines: bool = False,
+    salvage: bool = False,
 ) -> tuple[list[Event], dict]:
     """Read a JSONL trace; returns ``(events, metadata)``.
 
@@ -156,11 +195,18 @@ def read_trace(
     line number.  With ``skip_bad_lines`` corrupt *event* lines are
     dropped instead (the header must still be intact) and the count of
     dropped lines is reported under ``metadata["skipped_lines"]``.
+    With ``salvage``, a corrupt line with nothing but whitespace after
+    it -- the signature of a file truncated mid-record -- is treated as
+    the end of the trace: everything before the cut is returned and
+    ``metadata["truncated"]`` is set.  Mid-file corruption (bad line
+    followed by more records) still raises, so salvage never silently
+    papers over structural damage.
     """
     path = Path(path)
     events: list[Event] = []
     metadata: dict = {}
     skipped = 0
+    truncated = False
     with path.open("r", encoding="utf-8") as fh:
         first = fh.readline()
         if not first:
@@ -196,10 +242,16 @@ def read_trace(
                 if skip_bad_lines:
                     skipped += 1
                     continue
+                if salvage and not fh.read().strip():
+                    truncated = True
+                    break
                 raise TraceFormatError(
                     path, f"bad event: {exc}", lineno=lineno
                 ) from exc
-    if skipped:
+    if skipped or truncated:
         metadata = dict(metadata)
-        metadata["skipped_lines"] = skipped
+        if skipped:
+            metadata["skipped_lines"] = skipped
+        if truncated:
+            metadata["truncated"] = True
     return events, metadata

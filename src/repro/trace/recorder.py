@@ -312,6 +312,19 @@ class TraceRecorder:
         self.flush()
         sink.close()
 
+    def dump(self, path, metadata: dict | None = None, faults=None) -> int:
+        """Write all collected events to ``path``; returns event count.
+
+        One-shot alternative to the streaming sink.  ``faults`` (a
+        :class:`~repro.faults.FaultInjector`) applies write-time record
+        faults -- drop, duplication, truncation -- so a clean recording
+        can be persisted as a deliberately damaged trace file.
+        """
+        from .io import write_trace
+
+        return write_trace(path, self.events, metadata=metadata,
+                           faults=faults)
+
     def __enter__(self) -> "TraceRecorder":
         return self
 

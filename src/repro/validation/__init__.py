@@ -4,6 +4,8 @@
 * :mod:`repro.validation.semantics` -- semantics-preservation checks,
 * :mod:`repro.validation.overhead` -- instrumentation-overhead and
   intrusiveness measurement,
+* :mod:`repro.validation.robustness` -- detector TP/FP curves under
+  swept fault-injection magnitude,
 * :mod:`repro.validation.suites_catalog` -- the paper's chapter 2/4
   suite collections as structured data.
 """
@@ -20,6 +22,13 @@ from .harness import (
     validate_spec,
 )
 from .overhead import OverheadReport, intrusion_sweep, measure_overhead
+from .robustness import (
+    DEFAULT_MAGNITUDES,
+    CurvePoint,
+    RobustnessCell,
+    RobustnessResult,
+    run_robustness,
+)
 from .semantics import SemanticsReport, check_semantics
 from .suites_catalog import (
     SuiteEntry,
@@ -29,9 +38,13 @@ from .suites_catalog import (
 )
 
 __all__ = [
+    "DEFAULT_MAGNITUDES",
+    "CurvePoint",
     "GLOBALLY_ALLOWED",
     "MatrixResult",
     "MatrixRow",
+    "RobustnessCell",
+    "RobustnessResult",
     "OverheadReport",
     "SemanticsReport",
     "SuiteEntry",
@@ -47,6 +60,7 @@ __all__ = [
     "format_catalog",
     "intrusion_sweep",
     "measure_overhead",
+    "run_robustness",
     "run_validation_matrix",
     "validate_spec",
 ]

@@ -1,0 +1,351 @@
+"""Detector robustness under injected faults (noise-swept validation).
+
+The harness in :mod:`repro.validation.harness` grades a tool on clean
+traces.  This module sweeps a :class:`~repro.faults.FaultPlan`'s
+magnitude across the same programs and measures how detection degrades:
+for every analyzer property id it produces a **true-positive curve**
+(fraction of runs that should exhibit the property where the tool still
+reports it) and a **false-positive curve** (fraction of runs that
+should *not* exhibit it where the tool reports it anyway) as functions
+of perturbation magnitude.
+
+The per-cell pipeline matches how a real tool meets a noisy run:
+
+1. execute the program with the scaled plan's runtime perturbations
+   (stragglers, jitter, latency noise, reorder) active,
+2. if the plan carries trace faults, round-trip the trace through a
+   fault-injecting :class:`~repro.trace.io.TraceWriter` and read it
+   back with ``skip_bad_lines`` + ``salvage`` (the recovery path),
+3. analyze and compare against the registry ground truth.
+
+Magnitude 0 scales every perturbation to a no-op, so the zero point of
+each curve is exactly the clean validation matrix.  Everything is
+seed-deterministic: the same ``(programs, magnitudes, seeds, plan)``
+produces byte-identical JSON across invocations.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import AnalysisConfig, analyze_events, analyze_run
+from ..core.registry import PropertySpec, list_properties
+from ..faults import FaultInjector, FaultPlan
+from ..trace.io import TraceFormatError, read_trace, write_trace
+from .harness import GLOBALLY_ALLOWED
+
+#: default magnitude grid (>= 3 nonzero-capable points, anchored at 0)
+DEFAULT_MAGNITUDES: Tuple[float, ...] = (0.0, 0.35, 0.7, 1.0)
+
+
+@dataclass(frozen=True)
+class RobustnessCell:
+    """One program run under one (magnitude, seed) noise setting."""
+
+    program: str
+    paradigm: str
+    negative: bool
+    magnitude: float
+    seed: int
+    expected: Tuple[str, ...]
+    detected: Tuple[str, ...]
+    missing: Tuple[str, ...]
+    spurious: Tuple[str, ...]
+    #: property ids tolerated but not required (spec.allowed + global)
+    allowed: Tuple[str, ...]
+    events: int
+    #: exception text when the perturbed run or trace read failed;
+    #: a failed cell counts as detecting nothing
+    error: Optional[str] = None
+    salvaged: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "paradigm": self.paradigm,
+            "negative": self.negative,
+            "magnitude": self.magnitude,
+            "seed": self.seed,
+            "expected": list(self.expected),
+            "detected": list(self.detected),
+            "missing": list(self.missing),
+            "spurious": list(self.spurious),
+            "events": self.events,
+            "error": self.error,
+            "salvaged": self.salvaged,
+        }
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One magnitude sample of one detector's TP/FP rates."""
+
+    magnitude: float
+    #: runs where the property was expected / where it was detected
+    opportunities: int
+    detections: int
+    #: runs where it was neither expected nor allowed / false alarms
+    clean_runs: int
+    false_alarms: int
+
+    @property
+    def true_positive_rate(self) -> Optional[float]:
+        if not self.opportunities:
+            return None
+        return self.detections / self.opportunities
+
+    @property
+    def false_positive_rate(self) -> Optional[float]:
+        if not self.clean_runs:
+            return None
+        return self.false_alarms / self.clean_runs
+
+    def to_dict(self) -> dict:
+        return {
+            "magnitude": self.magnitude,
+            "opportunities": self.opportunities,
+            "detections": self.detections,
+            "clean_runs": self.clean_runs,
+            "false_alarms": self.false_alarms,
+            "true_positive_rate": self.true_positive_rate,
+            "false_positive_rate": self.false_positive_rate,
+        }
+
+
+@dataclass
+class RobustnessResult:
+    """All cells of one sweep plus the derived per-detector curves."""
+
+    magnitudes: Tuple[float, ...]
+    seeds: Tuple[int, ...]
+    plan: FaultPlan
+    cells: List[RobustnessCell] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # curve derivation
+    # ------------------------------------------------------------------
+
+    def properties(self) -> List[str]:
+        """Every property id that is expected or was ever detected."""
+        props = set()
+        for cell in self.cells:
+            props.update(cell.expected)
+            props.update(cell.detected)
+        return sorted(props)
+
+    def curves(self) -> Dict[str, List[CurvePoint]]:
+        """Property id -> TP/FP curve over the magnitude grid."""
+        out: Dict[str, List[CurvePoint]] = {}
+        for prop in self.properties():
+            points = []
+            for magnitude in self.magnitudes:
+                opportunities = detections = clean = alarms = 0
+                for cell in self.cells:
+                    if cell.magnitude != magnitude:
+                        continue
+                    if prop in cell.expected:
+                        opportunities += 1
+                        if prop in cell.detected:
+                            detections += 1
+                    elif prop not in cell.allowed:
+                        clean += 1
+                        if prop in cell.detected:
+                            alarms += 1
+                points.append(
+                    CurvePoint(
+                        magnitude=magnitude,
+                        opportunities=opportunities,
+                        detections=detections,
+                        clean_runs=clean,
+                        false_alarms=alarms,
+                    )
+                )
+            out[prop] = points
+        return out
+
+    @property
+    def errors(self) -> List[RobustnessCell]:
+        return [c for c in self.cells if c.error is not None]
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "format": "ats-robustness",
+            "version": 1,
+            "magnitudes": list(self.magnitudes),
+            "seeds": list(self.seeds),
+            "plan": self.plan.to_dict(),
+            "programs": sorted({c.program for c in self.cells}),
+            "curves": {
+                prop: [p.to_dict() for p in points]
+                for prop, points in self.curves().items()
+            },
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    def to_json_str(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2) + "\n"
+
+    def format_table(self) -> str:
+        """Per-detector TP/FP rates across the magnitude grid."""
+
+        def pct(rate: Optional[float]) -> str:
+            return "   -" if rate is None else f"{rate:4.0%}"
+
+        header = f"{'detector / magnitude':<28}" + "".join(
+            f"{m:>12g}" for m in self.magnitudes
+        )
+        lines = [header]
+        for prop, points in self.curves().items():
+            tp = "".join(f"{pct(p.true_positive_rate):>12}" for p in points)
+            fp = "".join(f"{pct(p.false_positive_rate):>12}" for p in points)
+            lines.append(f"{prop:<28}{tp}  TP")
+            lines.append(f"{'':<28}{fp}  FP")
+        n_err = len(self.errors)
+        lines.append(
+            f"{len(self.cells)} runs over {len(self.magnitudes)} "
+            f"magnitudes x {len(self.seeds)} seed(s)"
+            + (f", {n_err} failed under faults" if n_err else "")
+        )
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+def _run_cell(
+    spec: PropertySpec,
+    magnitude: float,
+    seed: int,
+    plan: FaultPlan,
+    size: int,
+    num_threads: int,
+    threshold: float,
+    workdir: Path,
+) -> RobustnessCell:
+    tolerated = tuple(
+        sorted(set(spec.allowed) | set(GLOBALLY_ALLOWED))
+    )
+
+    def cell(detected=(), events=0, error=None, salvaged=False):
+        detected = tuple(detected)
+        return RobustnessCell(
+            program=spec.name,
+            paradigm=spec.paradigm,
+            negative=spec.negative,
+            magnitude=magnitude,
+            seed=seed,
+            expected=spec.expected,
+            detected=detected,
+            missing=tuple(
+                p for p in spec.expected if p not in detected
+            ),
+            spurious=tuple(
+                p
+                for p in detected
+                if p not in spec.expected and p not in tolerated
+            ),
+            allowed=tolerated,
+            events=events,
+            error=error,
+            salvaged=salvaged,
+        )
+
+    scaled = plan.scaled(magnitude)
+    injector = FaultInjector.coerce(scaled, seed=seed)
+    try:
+        run = spec.run(
+            size=size, num_threads=num_threads, seed=seed, faults=injector
+        )
+    except Exception as exc:  # a fault broke the run itself
+        return cell(error=f"{type(exc).__name__}: {exc}")
+    if injector is None or not injector.has_trace_faults:
+        analysis = analyze_run(run)
+        return cell(
+            detected=analysis.detected(threshold), events=len(run.events)
+        )
+    # Trace faults: round-trip through the fault-injecting writer and
+    # the salvaging reader -- the analyzer sees what landed on disk.
+    path = workdir / (
+        f"{spec.name}-m{magnitude:g}-s{seed}.trace.jsonl"
+    )
+    write_trace(
+        path,
+        run.events,
+        metadata={"program": spec.name, "seed": seed},
+        faults=injector,
+    )
+    try:
+        events, metadata = read_trace(
+            path, skip_bad_lines=True, salvage=True
+        )
+    except TraceFormatError as exc:
+        return cell(error=f"TraceFormatError: {exc}")
+    transport = getattr(run, "transport", None)
+    config = (
+        AnalysisConfig(eager_threshold=transport.eager_threshold)
+        if transport is not None
+        else None
+    )
+    analysis = analyze_events(
+        events, total_time=run.final_time, config=config
+    )
+    return cell(
+        detected=analysis.detected(threshold),
+        events=len(events),
+        salvaged=bool(metadata.get("truncated")),
+    )
+
+
+def run_robustness(
+    specs: Optional[Sequence[PropertySpec]] = None,
+    magnitudes: Sequence[float] = DEFAULT_MAGNITUDES,
+    seeds: Sequence[int] = (0,),
+    plan: Optional[FaultPlan] = None,
+    size: int = 8,
+    num_threads: int = 4,
+    threshold: float = 0.01,
+) -> RobustnessResult:
+    """Sweep perturbation magnitude across the validation programs.
+
+    ``specs`` defaults to every registered program (positive and
+    negative); ``plan`` defaults to :meth:`FaultPlan.default`.  Returns
+    the full cell grid with per-detector TP/FP curves.
+    """
+    specs = list_properties() if specs is None else list(specs)
+    plan = FaultPlan.default() if plan is None else plan
+    magnitudes = tuple(magnitudes)
+    seeds = tuple(seeds)
+    if not magnitudes:
+        raise ValueError("need at least one magnitude")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    result = RobustnessResult(
+        magnitudes=magnitudes, seeds=seeds, plan=plan
+    )
+    with tempfile.TemporaryDirectory(prefix="ats-robustness-") as tmp:
+        workdir = Path(tmp)
+        for spec in specs:
+            for magnitude in magnitudes:
+                for seed in seeds:
+                    result.cells.append(
+                        _run_cell(
+                            spec,
+                            magnitude,
+                            seed,
+                            plan,
+                            size,
+                            num_threads,
+                            threshold,
+                            workdir,
+                        )
+                    )
+    return result

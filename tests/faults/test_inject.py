@@ -1,0 +1,138 @@
+"""FaultInjector: coercion, hook behavior, end-to-end determinism."""
+
+import pytest
+
+from repro.core.registry import get_property
+from repro.faults import (
+    DropRecords,
+    FaultInjector,
+    FaultPlan,
+    MessageLatencyNoise,
+    RankStragglers,
+    TimingJitter,
+)
+from repro.simmpi import run_mpi
+from repro.trace.io import write_trace
+
+
+def test_coerce_none_and_noop_to_none():
+    assert FaultInjector.coerce(None) is None
+    assert FaultInjector.coerce(FaultPlan.of()) is None
+    assert FaultInjector.coerce(FaultPlan.default().scaled(0.0)) is None
+
+
+def test_coerce_plan_and_passthrough():
+    injector = FaultInjector.coerce(FaultPlan.default(), seed=7)
+    assert isinstance(injector, FaultInjector)
+    assert injector.seed == 7
+    assert FaultInjector.coerce(injector) is injector
+
+
+def test_coerce_rejects_garbage():
+    with pytest.raises(TypeError, match="FaultPlan or FaultInjector"):
+        FaultInjector.coerce(0.5)
+
+
+def test_has_trace_faults_flag():
+    assert not FaultInjector(
+        FaultPlan.of(TimingJitter(0.1))
+    ).has_trace_faults
+    assert FaultInjector(
+        FaultPlan.of(DropRecords(0.1))
+    ).has_trace_faults
+
+
+class _FakeProc:
+    def __init__(self, rank=None):
+        self.context = {} if rank is None else {"mpi_rank": rank}
+
+
+def test_straggler_slows_only_listed_ranks():
+    injector = FaultInjector(
+        FaultPlan.of(RankStragglers(ranks=(1,), slowdown=0.5))
+    )
+    assert injector.perturb_hold(_FakeProc(rank=1), 1.0) == pytest.approx(1.5)
+    assert injector.perturb_hold(_FakeProc(rank=0), 1.0) == 1.0
+    # no rank in context -> treated as rank 0
+    assert injector.perturb_hold(_FakeProc(), 1.0) == 1.0
+
+
+def test_jitter_bounded_and_nonnegative():
+    injector = FaultInjector(FaultPlan.of(TimingJitter(0.2)), seed=3)
+    for _ in range(200):
+        out = injector.perturb_hold(_FakeProc(), 0.01)
+        assert 0.0 <= out
+        assert abs(out - 0.01) <= 0.01 * 0.2 + 1e-12
+
+
+def test_wire_delay_nonnegative_and_scaled_by_latency():
+    injector = FaultInjector(FaultPlan.of(MessageLatencyNoise(2.0)), seed=1)
+    for _ in range(100):
+        extra = injector.wire_delay(1e-5)
+        assert 0.0 <= extra < 2.0 * 1e-5
+
+
+def test_reorder_keeps_queue_contents():
+    from repro.faults import MessageReorder
+
+    injector = FaultInjector(
+        FaultPlan.of(MessageReorder(probability=1.0, window=3)), seed=5
+    )
+    queue = list(range(10))
+    injector.reorder_sends(queue)
+    assert sorted(queue) == list(range(10))
+    # displacement bounded by the window
+    assert queue.index(9) >= 10 - 1 - 3
+
+
+def _perturbed_trace_bytes(tmp_path, seed, name):
+    spec = get_property("late_sender")
+    injector = FaultInjector.coerce(FaultPlan.default(), seed=seed)
+    run = spec.run(size=6, num_threads=2, seed=seed, faults=injector)
+    path = tmp_path / f"{name}.jsonl"
+    write_trace(path, run.events, faults=injector)
+    return path.read_bytes()
+
+
+def test_same_seed_same_plan_byte_identical_traces(tmp_path):
+    a = _perturbed_trace_bytes(tmp_path, seed=11, name="a")
+    b = _perturbed_trace_bytes(tmp_path, seed=11, name="b")
+    assert a == b
+
+
+def test_different_seed_different_trace(tmp_path):
+    a = _perturbed_trace_bytes(tmp_path, seed=11, name="a")
+    b = _perturbed_trace_bytes(tmp_path, seed=12, name="b")
+    assert a != b
+
+
+def test_perturbed_run_differs_from_clean_and_stays_valid():
+    from repro.simmpi import MPI_INT, alloc_mpi_buf
+    from repro.work import do_work
+
+    def pingpong(comm):
+        rank = comm.rank()
+        buf = alloc_mpi_buf(MPI_INT, 16)
+        do_work(0.01)
+        if rank == 0:
+            comm.send(buf, 1)
+            comm.recv(buf, 1)
+        else:
+            comm.recv(buf, 0)
+            comm.send(buf, 0)
+
+    clean = run_mpi(pingpong, size=2, seed=0)
+    noisy = run_mpi(
+        pingpong,
+        size=2,
+        seed=0,
+        faults=FaultPlan.of(
+            TimingJitter(0.2), MessageLatencyNoise(5.0)
+        ),
+    )
+    assert noisy.final_time > 0
+    assert noisy.final_time != clean.final_time
+    # same structure: perturbations change timings, never the events
+    assert [type(e) for e in noisy.events] == [
+        type(e) for e in clean.events
+    ]

@@ -1,0 +1,85 @@
+"""Perturbation specs: scaling, no-op detection, serialization."""
+
+import pytest
+
+from repro.faults import (
+    DropRecords,
+    DuplicateRecords,
+    FaultPlan,
+    MessageLatencyNoise,
+    MessageReorder,
+    Perturbation,
+    RankStragglers,
+    TimingJitter,
+    TruncateTrace,
+)
+from repro.faults.spec import perturbation_from_dict
+
+ALL_KINDS = [
+    RankStragglers(ranks=(1,), slowdown=0.4),
+    TimingJitter(magnitude=0.1),
+    MessageLatencyNoise(magnitude=3.0),
+    MessageReorder(probability=0.5, window=3),
+    DropRecords(rate=0.05),
+    DuplicateRecords(rate=0.05),
+    TruncateTrace(drop_fraction=0.2),
+]
+
+
+@pytest.mark.parametrize("p", ALL_KINDS, ids=lambda p: p.kind)
+def test_roundtrips_through_dict(p):
+    assert perturbation_from_dict(p.to_dict()) == p
+
+
+@pytest.mark.parametrize("p", ALL_KINDS, ids=lambda p: p.kind)
+def test_scaling_to_zero_is_noop(p):
+    assert not p.is_noop
+    assert p.scaled(0.0).is_noop
+
+
+def test_scaling_clamps_probabilities():
+    assert DropRecords(rate=0.5).scaled(10.0).rate == 1.0
+    assert MessageReorder(probability=0.8).scaled(2.0).probability == 1.0
+    assert TruncateTrace(drop_fraction=0.5).scaled(10.0).drop_fraction < 1.0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown perturbation"):
+        perturbation_from_dict({"kind": "cosmic_rays"})
+
+
+def test_plan_noop_and_trace_fault_flags():
+    assert FaultPlan.of().is_noop
+    assert FaultPlan.of(TimingJitter(0.0)).is_noop
+    runtime_only = FaultPlan.of(TimingJitter(0.1))
+    assert not runtime_only.is_noop
+    assert not runtime_only.has_trace_faults
+    assert FaultPlan.of(DropRecords(0.1)).has_trace_faults
+    assert FaultPlan.of(TruncateTrace(0.1)).has_trace_faults
+
+
+def test_plan_scaled_and_only():
+    plan = FaultPlan.default()
+    assert plan.scaled(0.0).is_noop
+    with pytest.raises(ValueError):
+        plan.scaled(-1.0)
+    jitter_only = plan.only(TimingJitter)
+    assert [p.kind for p in jitter_only.perturbations] == ["timing_jitter"]
+
+
+def test_plan_roundtrips_through_dict():
+    plan = FaultPlan.default()
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_describe_mentions_every_kind():
+    text = FaultPlan.default().describe()
+    for p in FaultPlan.default().perturbations:
+        assert p.kind in text
+
+
+def test_perturbations_are_immutable():
+    p = TimingJitter(magnitude=0.1)
+    assert isinstance(p, Perturbation)
+    with pytest.raises(AttributeError):
+        p.magnitude = 0.5

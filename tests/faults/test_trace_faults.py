@@ -1,0 +1,105 @@
+"""Write-time trace faults and the salvage recovery path."""
+
+import pytest
+
+from repro.core.registry import get_property
+from repro.faults import (
+    DropRecords,
+    DuplicateRecords,
+    FaultInjector,
+    FaultPlan,
+    TruncateTrace,
+)
+from repro.trace.io import (
+    TraceFormatError,
+    read_trace,
+    write_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def events():
+    run = get_property("late_sender").run(size=4, num_threads=2, seed=0)
+    return run.events
+
+
+def _faulty(plan, seed=0):
+    return FaultInjector.coerce(plan, seed=seed)
+
+
+def test_drop_records_shrinks_the_trace(tmp_path, events):
+    path = tmp_path / "t.jsonl"
+    write_trace(
+        path, events, faults=_faulty(FaultPlan.of(DropRecords(0.3)))
+    )
+    kept, _ = read_trace(path)
+    assert 0 < len(kept) < len(events)
+
+
+def test_duplicate_records_grows_the_trace(tmp_path, events):
+    path = tmp_path / "t.jsonl"
+    write_trace(
+        path, events, faults=_faulty(FaultPlan.of(DuplicateRecords(0.3)))
+    )
+    kept, _ = read_trace(path)
+    assert len(kept) > len(events)
+
+
+def test_truncation_leaves_partial_final_record(tmp_path, events):
+    path = tmp_path / "t.jsonl"
+    write_trace(
+        path, events, faults=_faulty(FaultPlan.of(TruncateTrace(0.3)))
+    )
+    # the cut lands mid-line: a plain read fails on the last line...
+    with pytest.raises(TraceFormatError):
+        read_trace(path)
+    # ...and salvage recovers everything before it
+    kept, metadata = read_trace(path, salvage=True)
+    assert metadata["truncated"] is True
+    assert 0 < len(kept) < len(events)
+
+
+def test_salvage_does_not_mask_midfile_corruption(tmp_path, events):
+    path = tmp_path / "t.jsonl"
+    write_trace(path, events[:10])
+    lines = path.read_text().splitlines(keepends=True)
+    lines[4] = "{broken json\n"  # corruption followed by more records
+    path.write_text("".join(lines))
+    with pytest.raises(TraceFormatError, match=":5:"):
+        read_trace(path, salvage=True)
+    # skip-bad-lines still gets past it
+    kept, metadata = read_trace(path, skip_bad_lines=True)
+    assert metadata["skipped_lines"] == 1
+    assert len(kept) == 9
+
+
+def test_trace_faults_deterministic(tmp_path, events):
+    plan = FaultPlan.of(
+        DropRecords(0.1), DuplicateRecords(0.1), TruncateTrace(0.1)
+    )
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    write_trace(a, events, faults=_faulty(plan, seed=4))
+    write_trace(b, events, faults=_faulty(plan, seed=4))
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_recorder_dump_applies_faults(tmp_path):
+    run = get_property("late_sender").run(size=4, num_threads=2, seed=0)
+    path = tmp_path / "dumped.jsonl"
+    run.recorder.dump(
+        path,
+        metadata={"program": "late_sender"},
+        faults=_faulty(FaultPlan.of(DropRecords(0.3))),
+    )
+    kept, metadata = read_trace(path)
+    assert 0 < len(kept) < len(run.events)
+    assert metadata["program"] == "late_sender"
+
+
+def test_no_faults_means_untouched_trace(tmp_path, events):
+    clean = tmp_path / "clean.jsonl"
+    via_none = tmp_path / "none.jsonl"
+    write_trace(clean, events)
+    write_trace(via_none, events, faults=None)
+    assert clean.read_bytes() == via_none.read_bytes()

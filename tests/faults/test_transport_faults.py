@@ -1,0 +1,77 @@
+"""Message-level faults observed through real MPI runs."""
+
+from repro.faults import (
+    FaultPlan,
+    MessageLatencyNoise,
+    MessageReorder,
+    RankStragglers,
+)
+from repro.simmpi import ANY_SOURCE, MPI_INT, alloc_mpi_buf, run_mpi
+from repro.work import do_work
+
+FAST = dict(model_init_overhead=False)
+
+
+def _manymsg(comm):
+    """Ranks 1..n-1 each send 4 tagged messages to rank 0 (wildcard)."""
+    me = comm.rank()
+    buf = alloc_mpi_buf(MPI_INT, 8)
+    if me == 0:
+        sources = []
+        for _ in range(4 * (comm.size() - 1)):
+            status = comm.recv(buf, ANY_SOURCE)
+            sources.append(status.source)
+        return sources
+    do_work(0.001 * me)
+    for _ in range(4):
+        comm.send(buf, 0)
+        do_work(0.0005)
+    return None
+
+
+def test_latency_noise_slows_the_run():
+    clean = run_mpi(_manymsg, 4, seed=0, **FAST)
+    noisy = run_mpi(
+        _manymsg,
+        4,
+        seed=0,
+        # base latency is 5us; magnitude 5000 pushes the last arrival
+        # past the senders' trailing compute, so the receiver finishes
+        # last and the noise is visible in the final time
+        faults=FaultPlan.of(MessageLatencyNoise(magnitude=5000.0)),
+        **FAST,
+    )
+    assert noisy.final_time > clean.final_time
+
+
+def test_straggler_rank_dominates_runtime():
+    clean = run_mpi(_manymsg, 4, seed=0, **FAST)
+    slow = run_mpi(
+        _manymsg,
+        4,
+        seed=0,
+        faults=FaultPlan.of(RankStragglers(ranks=(3,), slowdown=5.0)),
+        **FAST,
+    )
+    assert slow.final_time > clean.final_time
+
+
+def test_reorder_changes_wildcard_match_order_but_loses_nothing():
+    plan = FaultPlan.of(MessageReorder(probability=1.0, window=4))
+    clean = run_mpi(_manymsg, 4, seed=0, **FAST)
+    noisy = run_mpi(_manymsg, 4, seed=0, faults=plan, **FAST)
+    # every message is still matched exactly once (strict mode would
+    # have raised on leftovers) and the multiset of sources is intact
+    assert sorted(noisy.results[0]) == sorted(clean.results[0])
+
+
+def test_message_faults_are_deterministic():
+    plan = FaultPlan.of(
+        MessageLatencyNoise(magnitude=10.0),
+        MessageReorder(probability=0.5, window=3),
+    )
+    a = run_mpi(_manymsg, 4, seed=9, faults=plan, **FAST)
+    b = run_mpi(_manymsg, 4, seed=9, faults=plan, **FAST)
+    assert a.final_time == b.final_time
+    assert a.results[0] == b.results[0]
+    assert [e.to_dict() for e in a.events] == [e.to_dict() for e in b.events]

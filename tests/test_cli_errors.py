@@ -1,0 +1,151 @@
+"""CLI error paths: every expected failure is one stderr line, exit 2.
+
+Regression tests for the crash reports: missing trace file, empty or
+header-corrupt trace, unknown property name and unknown distribution
+name used to surface as raw tracebacks.
+"""
+
+import json
+
+from repro.cli import main
+
+
+def _run(capsys, *argv):
+    rc = main(list(argv))
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+def _write_trace(tmp_path, *cli_args):
+    trace = tmp_path / "t.jsonl"
+    assert main([
+        "run", "late_sender", "--size", "4", "--no-analyze",
+        "--trace-out", str(trace), *cli_args,
+    ]) == 0
+    return trace
+
+
+def assert_clean_error(rc, err, needle):
+    assert rc == 2
+    assert err.count("\n") == 1, f"expected one stderr line, got: {err!r}"
+    assert err.startswith("ats: error: ")
+    assert needle in err
+    assert "Traceback" not in err
+
+
+def test_analyze_missing_file(capsys):
+    rc, _, err = _run(capsys, "analyze", "/missing/file.trace")
+    assert_clean_error(rc, err, "trace file not found: /missing/file.trace")
+
+
+def test_analyze_directory(tmp_path, capsys):
+    rc, _, err = _run(capsys, "analyze", str(tmp_path))
+    assert_clean_error(rc, err, "is a directory")
+
+
+def test_analyze_empty_trace(tmp_path, capsys):
+    empty = tmp_path / "empty.trace"
+    empty.touch()
+    rc, _, err = _run(capsys, "analyze", str(empty))
+    assert_clean_error(rc, err, f"{empty}: empty trace file")
+
+
+def test_analyze_corrupt_header(tmp_path, capsys):
+    bad = tmp_path / "bad.trace"
+    bad.write_text("this is not json\n")
+    rc, _, err = _run(capsys, "analyze", str(bad))
+    assert_clean_error(rc, err, f"{bad}:1: corrupt header")
+
+
+def test_analyze_wrong_format(tmp_path, capsys):
+    bad = tmp_path / "bad.trace"
+    bad.write_text('{"format": "something-else"}\n')
+    rc, _, err = _run(capsys, "analyze", str(bad))
+    assert_clean_error(rc, err, "not an ats-trace file")
+
+
+def test_run_unknown_program_suggests(capsys):
+    rc, _, err = _run(capsys, "run", "late_sneder")
+    assert_clean_error(rc, err, "unknown property function 'late_sneder'")
+    assert "did you mean 'late_sender'?" in err
+
+
+def test_metrics_and_sweep_unknown_program(capsys):
+    for argv in (["metrics", "nope"], ["sweep", "nope"]):
+        rc, _, err = _run(capsys, *argv)
+        assert_clean_error(rc, err, "unknown property function 'nope'")
+
+
+def test_run_unknown_distribution_suggests(capsys):
+    rc, _, err = _run(
+        capsys, "run", "imbalance_at_mpi_barrier", "--dist", "blok2"
+    )
+    assert_clean_error(rc, err, "unknown distribution 'blok2'")
+    assert "did you mean 'block2'?" in err
+
+
+def test_run_dist_on_distless_property(capsys):
+    rc, _, err = _run(capsys, "run", "late_sender", "--dist", "block2")
+    assert_clean_error(rc, err, "takes no distribution parameter")
+
+
+def test_run_dist_bad_values(capsys):
+    rc, _, err = _run(
+        capsys, "run", "imbalance_at_mpi_barrier", "--dist", "block2:x,y"
+    )
+    assert_clean_error(rc, err, "expected SHAPE:V1,V2,...")
+
+
+def test_run_dist_wrong_arity(capsys):
+    rc, _, err = _run(
+        capsys, "run", "imbalance_at_mpi_barrier",
+        "--dist", "peak:0.01,0.02",
+    )
+    assert_clean_error(rc, err, "does not take 2 value(s)")
+
+
+def test_run_dist_override_works(capsys):
+    rc, out, _ = _run(
+        capsys, "run", "imbalance_at_mpi_barrier", "--size", "4",
+        "--no-analyze", "--dist", "linear:0.002,0.02",
+    )
+    assert rc == 0
+    assert "finished in" in out
+
+
+def test_analyze_salvage_recovers_truncated_trace(tmp_path, capsys):
+    trace = _write_trace(tmp_path)
+    capsys.readouterr()
+    data = trace.read_bytes()
+    trace.write_bytes(data[: int(len(data) * 0.8)])
+    rc, _, err = _run(capsys, "analyze", str(trace))
+    assert_clean_error(rc, err, "bad event")
+    rc, out, err = _run(capsys, "analyze", str(trace), "--salvage")
+    assert rc == 0
+    assert "trace truncated mid-record" in err
+    assert "ANALYSIS REPORT" in out
+
+
+def test_robustness_cli_smoke(tmp_path, capsys):
+    out_json = tmp_path / "rob.json"
+    rc, out, _ = _run(
+        capsys,
+        "robustness", "--program", "late_sender",
+        "--magnitudes", "0,0.5,1", "--seeds", "2", "--size", "4",
+        "--threads", "2", "--json", str(out_json),
+    )
+    assert rc == 0
+    assert "late_sender" in out
+    data = json.loads(out_json.read_text())
+    assert data["format"] == "ats-robustness"
+    assert data["magnitudes"] == [0.0, 0.5, 1.0]
+    assert len(data["curves"]["late_sender"]) == 3
+
+
+def test_robustness_cli_rejects_bad_args(capsys):
+    rc, _, err = _run(capsys, "robustness", "--magnitudes", "0,zap")
+    assert_clean_error(rc, err, "bad --magnitudes value")
+    rc, _, err = _run(capsys, "robustness", "--seeds", "0")
+    assert_clean_error(rc, err, "--seeds must be >= 1")
+    rc, _, err = _run(capsys, "robustness", "--program", "nope")
+    assert_clean_error(rc, err, "unknown property function 'nope'")
