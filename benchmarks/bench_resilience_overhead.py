@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Supervision-layer overhead benchmark.
+
+Runs the hybrid-64 composite (the same shape ``bench_perf_core``
+sweeps) under three supervision modes and records the wall-time deltas
+into ``BENCH_RESILIENCE.json`` at the repository root:
+
+* ``direct``     -- no supervisor at all (the PR 1/2 baseline path),
+* ``supervised`` -- each run goes through ``Supervisor.run_cell`` with
+  ``timeout=None``: the *disabled path*, a plain inline call.  Its cost
+  must stay within noise of ``direct`` (< 2% is the acceptance bar),
+* ``timed``      -- ``timeout`` armed: the cell runs on a watcher
+  thread (the price of wall-clock protection, paid only when asked).
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience_overhead.py           # full
+    PYTHONPATH=src python benchmarks/bench_resilience_overhead.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import run_hybrid_composite  # noqa: E402
+from repro.resilience import Supervisor  # noqa: E402
+
+from bench_perf_core import (  # noqa: E402
+    HYBRID_MPI_STEPS,
+    HYBRID_OMP_STEPS,
+)
+
+OUT_PATH = REPO_ROOT / "BENCH_RESILIENCE.json"
+
+
+def _run(size: int, num_threads: int):
+    return run_hybrid_composite(
+        HYBRID_MPI_STEPS,
+        HYBRID_OMP_STEPS,
+        size=size,
+        num_threads=num_threads,
+    )
+
+
+def _measure(size: int, num_threads: int, repeats: int, mode: str) -> dict:
+    """Best-of-``repeats`` wall time for one supervision mode."""
+    best = None
+    events = 0
+    for rep in range(repeats):
+        if mode == "direct":
+            supervisor = None
+        elif mode == "supervised":
+            supervisor = Supervisor()  # timeout=None: the disabled path
+        else:
+            supervisor = Supervisor(timeout=300.0)
+        t0 = time.perf_counter()
+        if supervisor is None:
+            result = _run(size, num_threads)
+        else:
+            outcome = supervisor.run_cell(
+                f"hybrid-{size}|rep{rep}",
+                lambda: _run(size, num_threads),
+            )
+            assert outcome.ok, outcome.failure
+            result = outcome.value
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+        events = len(result.recorder.events)
+    return {"wall_s": round(best, 6), "events": events}
+
+
+def run_modes(size: int, num_threads: int, repeats: int) -> dict:
+    _run(size, num_threads)  # warm-up: 'direct' runs first and must not eat import/JIT cost
+    rows = {}
+    for mode in ("direct", "supervised", "timed"):
+        rows[mode] = _measure(size, num_threads, repeats, mode)
+        print(f"{mode:>10}: {rows[mode]['wall_s']*1000:8.1f} ms "
+              f"({rows[mode]['events']} events)")
+    direct = rows["direct"]["wall_s"]
+    for mode in ("supervised", "timed"):
+        rel = rows[mode]["wall_s"] / direct - 1.0 if direct else 0.0
+        rows[mode]["overhead_vs_direct"] = round(rel, 4)
+        print(f"{mode:>10} overhead vs direct: {rel:+.2%}")
+    return {
+        "size": size,
+        "num_threads": num_threads,
+        "repeats": repeats,
+        "modes": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny parameters for CI smoke runs "
+             "(no BENCH_RESILIENCE.json write)",
+    )
+    parser.add_argument("--size", type=int, default=64)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the disabled-path overhead exceeds 2%%",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    if args.quick:
+        measurement = run_modes(size=4, num_threads=2, repeats=1)
+        print("quick smoke ok")
+    else:
+        measurement = run_modes(args.size, args.threads, args.repeats)
+        existing = {}
+        if OUT_PATH.exists():
+            existing = json.loads(OUT_PATH.read_text())
+        existing[f"hybrid-{args.size}"] = measurement
+        OUT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+        print(f"wrote {OUT_PATH}")
+
+    if args.check:
+        overhead = measurement["modes"]["supervised"]["overhead_vs_direct"]
+        if overhead > 0.02:
+            print(
+                f"FAIL: disabled-path supervision overhead {overhead:+.2%} "
+                f"exceeds the 2% budget"
+            )
+            return 1
+        print(f"disabled-path overhead {overhead:+.2%} within 2% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

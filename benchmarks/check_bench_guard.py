@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Performance-regression guard for CI.
+
+Measures the hybrid-64 composite fresh (best-of-N wall time) and
+compares it against every committed baseline that covers that shape:
+
+* ``BENCH_CORE.json``        -> ``current.rows[size].hybrid.wall_s``
+* ``BENCH_OBS.json``         -> ``hybrid-64.modes.off.wall_s``
+* ``BENCH_RESILIENCE.json``  -> ``hybrid-64.modes.direct.wall_s``
+
+A baseline that is missing (file or key) is reported and skipped, so
+the guard keeps working while baselines are introduced PR by PR.  The
+run fails (exit 1) when the fresh time exceeds a baseline by more than
+the slack factor -- default 25%, overridable for noisy runners with
+``ATS_BENCH_SLACK=0.5`` or ``--slack``.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/check_bench_guard.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import run_hybrid_composite  # noqa: E402
+
+from bench_perf_core import (  # noqa: E402
+    HYBRID_MPI_STEPS,
+    HYBRID_OMP_STEPS,
+)
+
+
+def measure(size: int, num_threads: int, repeats: int) -> float:
+    run_hybrid_composite(
+        HYBRID_MPI_STEPS, HYBRID_OMP_STEPS, size=size, num_threads=num_threads
+    )  # warm-up
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_hybrid_composite(
+            HYBRID_MPI_STEPS,
+            HYBRID_OMP_STEPS,
+            size=size,
+            num_threads=num_threads,
+        )
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _load(name: str):
+    path = REPO_ROOT / name
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def collect_baselines(size: int) -> dict:
+    """``label -> wall_s`` for every committed baseline covering hybrid-size."""
+    baselines = {}
+
+    core = _load("BENCH_CORE.json")
+    if core:
+        for row in core.get("current", {}).get("rows", []):
+            if row.get("size") == size and "hybrid" in row:
+                baselines["BENCH_CORE current.hybrid"] = row["hybrid"]["wall_s"]
+
+    obs = _load("BENCH_OBS.json")
+    if obs:
+        try:
+            baselines["BENCH_OBS modes.off"] = (
+                obs[f"hybrid-{size}"]["modes"]["off"]["wall_s"]
+            )
+        except KeyError:
+            pass
+
+    res = _load("BENCH_RESILIENCE.json")
+    if res:
+        try:
+            baselines["BENCH_RESILIENCE modes.direct"] = (
+                res[f"hybrid-{size}"]["modes"]["direct"]["wall_s"]
+            )
+        except KeyError:
+            pass
+
+    return baselines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=64)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=float(os.environ.get("ATS_BENCH_SLACK", "0.25")),
+        help="allowed fractional regression over a baseline "
+             "(default 0.25; env ATS_BENCH_SLACK overrides)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = collect_baselines(args.size)
+    if not baselines:
+        print(f"no committed baselines cover hybrid-{args.size}; nothing to guard")
+        return 0
+
+    fresh = measure(args.size, args.threads, args.repeats)
+    print(f"fresh hybrid-{args.size}: {fresh*1000:.1f} ms "
+          f"(best of {args.repeats}, slack {args.slack:.0%})")
+
+    failed = False
+    for label, wall_s in sorted(baselines.items()):
+        limit = wall_s * (1.0 + args.slack)
+        rel = fresh / wall_s - 1.0
+        verdict = "ok" if fresh <= limit else "REGRESSION"
+        failed = failed or fresh > limit
+        print(f"  {label:32} {wall_s*1000:7.1f} ms  ({rel:+.1%})  {verdict}")
+
+    if failed:
+        print("FAIL: hybrid composite slower than a committed baseline "
+              "beyond slack")
+        return 1
+    print("bench guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -159,6 +159,87 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         "event file")
 
 
+def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--supervise", action="store_true",
+                        help="run each sweep cell under the resilience "
+                        "supervisor (implied by the flags below)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock limit per cell; timed-out cells "
+                        "are quarantined")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="seed-deterministic retries for transient "
+                        "(timed-out) cells")
+    parser.add_argument("--checkpoint", metavar="FILE", default=None,
+                        help="append-only journal of completed cells "
+                        "(kill-safe; enables --resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already recorded in the "
+                        "--checkpoint journal")
+    parser.add_argument("--failures-out", metavar="FILE", default=None,
+                        help="write the quarantined-cell report as JSON "
+                        "('-' = stdout)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="VSECONDS",
+                        help="virtual-time watchdog per program run: "
+                        "hung programs raise a structured HangReport")
+
+
+def _make_supervisor(args):
+    """Build the Supervisor the flags ask for, or None for direct mode."""
+    from .resilience import CheckpointError, Supervisor
+
+    checkpoint = args.checkpoint
+    if args.resume and checkpoint is None:
+        raise CliError("--resume requires --checkpoint FILE")
+    if checkpoint is not None and not args.resume:
+        from pathlib import Path
+
+        if Path(checkpoint).exists():
+            raise CliError(
+                f"checkpoint {checkpoint} already exists; pass --resume "
+                "to continue it or remove the file to start fresh"
+            )
+    if args.retries < 0:
+        raise CliError("--retries must be >= 0")
+    wanted = (
+        args.supervise
+        or checkpoint is not None
+        or args.timeout is not None
+        or args.retries > 0
+        or args.failures_out is not None
+    )
+    if not wanted:
+        return None
+    try:
+        return Supervisor(
+            timeout=args.timeout,
+            retries=args.retries,
+            seed=args.seed,
+            checkpoint=checkpoint,
+        )
+    except (ValueError, CheckpointError) as exc:
+        raise CliError(str(exc)) from None
+
+
+def _emit_failures(args, supervisor) -> None:
+    """Print/write the quarantine report of a supervised sweep."""
+    if supervisor is None:
+        return
+    report = supervisor.failure_report()
+    if report.failures:
+        print(report.format_table())
+    if args.failures_out is not None:
+        text = report.to_json_str()
+        if args.failures_out == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.failures_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"failure report written to {args.failures_out}")
+    supervisor.close()
+
+
 def _enable_obs(args) -> None:
     """Turn on the observability layer if any obs output was requested.
 
@@ -243,6 +324,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         num_threads=args.threads,
         seed=args.seed,
         params=params,
+        time_budget=args.time_budget,
     )
     _report(result, args)
     return 0
@@ -305,6 +387,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
     if metadata:
         print(f"trace metadata: {metadata}")
+    if not events:
+        # A header-only trace is legal (a run that recorded nothing);
+        # an empty profile/report table would just look broken.
+        print("trace contains no event records; no findings")
+        return 0
     if args.profile:
         print(format_profile(profile_trace(events)))
     result = analyze_events(events)
@@ -333,10 +420,16 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def cmd_matrix(args: argparse.Namespace) -> int:
+    supervisor = _make_supervisor(args)
     matrix = run_validation_matrix(
-        size=args.size, num_threads=args.threads, seed=args.seed
+        size=args.size,
+        num_threads=args.threads,
+        seed=args.seed,
+        time_budget=args.time_budget,
+        supervisor=supervisor,
     )
     print(matrix.format_table())
+    _emit_failures(args, supervisor)
     return 0 if matrix.all_passed else 1
 
 
@@ -361,6 +454,7 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         magnitudes = DEFAULT_MAGNITUDES
     if args.seeds < 1:
         raise CliError("--seeds must be >= 1")
+    supervisor = _make_supervisor(args)
     result = run_robustness(
         specs=specs,
         magnitudes=magnitudes,
@@ -368,6 +462,8 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         size=args.size,
         num_threads=args.threads,
         threshold=args.threshold,
+        time_budget=args.time_budget,
+        supervisor=supervisor,
     )
     print(result.format_table())
     if args.json is not None:
@@ -378,6 +474,7 @@ def cmd_robustness(args: argparse.Namespace) -> int:
             with open(args.json, "w", encoding="utf-8") as fh:
                 fh.write(text)
             print(f"robustness curves written to {args.json}")
+    _emit_failures(args, supervisor)
     return 0
 
 
@@ -434,6 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the property's work distribution "
                    "(shape name from the distribution registry, with "
                    "optional descriptor values)")
+    p.add_argument("--time-budget", type=float, default=None,
+                   metavar="VSECONDS",
+                   help="virtual-time watchdog: tear the run down with "
+                   "a structured hang report past this simulated time")
     _add_run_options(p)
     p.set_defaults(fn=cmd_run)
 
@@ -485,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=8)
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    _add_supervision_options(p)
     p.set_defaults(fn=cmd_matrix)
 
     p = sub.add_parser(
@@ -509,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE", default=None,
                    help="also write the full curves as JSON "
                    "('-' = stdout)")
+    _add_supervision_options(p)
     p.set_defaults(fn=cmd_robustness)
 
     p = sub.add_parser("suites", help="print the external-suite catalog")
@@ -539,11 +642,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .simkernel import DeadlockError, HangError
+
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except CliError as exc:
         print(f"ats: error: {exc}", file=sys.stderr)
+        return 2
+    except (DeadlockError, HangError) as exc:
+        # The structured watchdog report goes to stdout (it is the
+        # diagnosis the user asked for); stderr keeps the one-line
+        # error contract.
+        report = getattr(exc, "report", None)
+        if report is not None:
+            print(report.format())
+        first_line = str(exc).splitlines()[0]
+        print(f"ats: error: {first_line}", file=sys.stderr)
         return 2
 
 

@@ -129,6 +129,7 @@ class PropertySpec:
         seed: int = 0,
         model_init_overhead: bool = False,
         faults=None,
+        time_budget: Optional[float] = None,
     ) -> Union[RunResult, OmpRunResult]:
         """Run the property function as a standalone program.
 
@@ -138,6 +139,9 @@ class PropertySpec:
         :class:`~repro.faults.FaultPlan` or
         :class:`~repro.faults.FaultInjector` to run the program under
         injected noise (the robustness harness's pipeline).
+        ``time_budget`` arms the kernel watchdog: a program whose
+        virtual clock exceeds it is torn down with a
+        :class:`~repro.simkernel.HangError` instead of running forever.
         """
         kwargs = self.materialize(params)
         if self.paradigm == "omp":
@@ -150,6 +154,7 @@ class PropertySpec:
                 trace=trace,
                 seed=seed,
                 faults=faults,
+                time_budget=time_budget,
             )
         if size < self.min_size:
             raise ValueError(
@@ -169,6 +174,7 @@ class PropertySpec:
             seed=seed,
             model_init_overhead=model_init_overhead,
             faults=faults,
+            time_budget=time_budget,
         )
 
 

@@ -30,12 +30,14 @@ __all__ = [
     "FaultMetrics",
     "KernelMetrics",
     "OmpMetrics",
+    "ResilienceMetrics",
     "TraceMetrics",
     "TransportMetrics",
     "analysis_metrics",
     "fault_metrics",
     "kernel_metrics",
     "omp_metrics",
+    "resilience_metrics",
     "trace_metrics",
     "transport_metrics",
 ]
@@ -321,6 +323,50 @@ class FaultMetrics:
 
 def fault_metrics() -> Optional[FaultMetrics]:
     return _bundle("faults", FaultMetrics)
+
+
+# ----------------------------------------------------------------------
+# resilience
+# ----------------------------------------------------------------------
+
+class ResilienceMetrics:
+    """Supervised-sweep activity: cells, retries, timeouts, quarantines."""
+
+    __slots__ = (
+        "cells",
+        "retries",
+        "timeouts",
+        "backoff_seconds",
+        "failures",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.cells = reg.counter(
+            "ats_resilience_cells_total",
+            "Sweep cells resolved, by outcome (ok/failed/resumed)",
+            labelnames=("status",),
+        )
+        self.retries = reg.counter(
+            "ats_resilience_retries_total",
+            "Cell attempts repeated after a transient failure",
+        )
+        self.timeouts = reg.counter(
+            "ats_resilience_timeouts_total",
+            "Cell attempts abandoned at the wall-clock limit",
+        )
+        self.backoff_seconds = reg.counter(
+            "ats_resilience_backoff_seconds_total",
+            "Host wall seconds slept in retry backoff",
+        )
+        self.failures = reg.counter(
+            "ats_resilience_failures_total",
+            "Cells quarantined, by failure kind",
+            labelnames=("kind",),
+        )
+
+
+def resilience_metrics() -> Optional[ResilienceMetrics]:
+    return _bundle("resilience", ResilienceMetrics)
 
 
 # ----------------------------------------------------------------------

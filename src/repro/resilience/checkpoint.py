@@ -1,0 +1,142 @@
+"""Append-only JSONL checkpoint journal for supervised sweeps.
+
+One line per completed cell, written (and flushed) the moment the cell
+finishes, so a killed sweep loses at most the cell that was in flight.
+The format is deliberately dumb:
+
+* line 1 -- a header record ``{"format": "ats-checkpoint", ...}``,
+* every further line -- ``{"key": <cell key>, "payload": {...}}``.
+
+``load()`` tolerates exactly the corruption a kill can produce: a
+partial JSON tail on the *final* line (the write that was interrupted)
+is discarded; corruption anywhere else is a real error and raises.
+Duplicate keys keep the last record, so re-running a cell simply
+supersedes its earlier outcome.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+_FORMAT = "ats-checkpoint"
+_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """The journal is corrupt beyond the tolerated partial tail."""
+
+
+class CheckpointJournal:
+    """Durable per-cell outcome journal (see module docstring)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # reading (resume)
+    # ------------------------------------------------------------------
+
+    def load(self) -> Dict[str, dict]:
+        """Return ``key -> payload`` for every journaled cell.
+
+        Missing file means a fresh sweep: an empty mapping.  A partial
+        final line (interrupted write) is silently dropped.
+        """
+        if not self.path.exists():
+            return {}
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"{self.path}:1: corrupt checkpoint header"
+            ) from exc
+        if header.get("format") != _FORMAT:
+            raise CheckpointError(
+                f"{self.path}: not an {_FORMAT} journal"
+            )
+        done: Dict[str, dict] = {}
+        last = len(lines) - 1
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno - 1 == last:
+                    break  # interrupted final write; the cell re-runs
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: corrupt checkpoint record"
+                ) from None
+            if "key" not in record or "payload" not in record:
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: malformed checkpoint record"
+                )
+            done[record["key"]] = record["payload"]
+        return done
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def _open(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self.path.exists():
+                self._heal_partial_tail()
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._fh.write(
+                    json.dumps({"format": _FORMAT, "version": _VERSION})
+                    + "\n"
+                )
+                self._fh.flush()
+        return self._fh
+
+    def _heal_partial_tail(self) -> None:
+        """Cut an interrupted final write before appending after it.
+
+        Without this, the first append of a resumed sweep would glue
+        its record onto the partial line, corrupting both.  ``load()``
+        already ignores the partial tail, so cutting it loses nothing.
+        """
+        data = self.path.read_bytes()
+        if data and not data.endswith(b"\n"):
+            cut = data.rfind(b"\n") + 1
+            with open(self.path, "r+b") as fh:
+                fh.truncate(cut)
+
+    def record(self, key: str, payload: dict) -> None:
+        """Append one completed cell and flush it to the OS immediately."""
+        fh = self._open()
+        fh.write(
+            json.dumps({"key": key, "payload": payload}, sort_keys=True)
+            + "\n"
+        )
+        fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def coerce_journal(
+    checkpoint: Union[None, str, Path, CheckpointJournal],
+) -> Optional[CheckpointJournal]:
+    """Accept a path or a journal; ``None`` stays ``None``."""
+    if checkpoint is None or isinstance(checkpoint, CheckpointJournal):
+        return checkpoint
+    return CheckpointJournal(checkpoint)

@@ -9,6 +9,7 @@ process at a time and breaking time ties in scheduling order.
 
 from .errors import (
     DeadlockError,
+    HangError,
     NotInProcessError,
     ProcessKilled,
     SimError,
@@ -39,12 +40,21 @@ from .sync import (
     SimMutex,
     SimSemaphore,
 )
+from .watchdog import (
+    DeadlockReport,
+    HangReport,
+    PendingCall,
+)
 
 __all__ = [
     "DeadlockError",
+    "DeadlockReport",
+    "HangError",
+    "HangReport",
     "Lcg64",
     "Mailbox",
     "NotInProcessError",
+    "PendingCall",
     "ProcState",
     "ProcessKilled",
     "SimBarrier",

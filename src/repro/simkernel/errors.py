@@ -16,12 +16,30 @@ class DeadlockError(SimError):
     were waiting for, which makes ATS pattern bugs easy to diagnose.
     """
 
-    def __init__(self, waiting: list[str]):
+    def __init__(self, waiting: list[str], report=None):
         self.waiting = list(waiting)
+        #: optional :class:`repro.simkernel.watchdog.DeadlockReport`
+        #: with per-process pending-call detail (rank, peer, queue state)
+        self.report = report
         super().__init__(
             "simulation deadlock: no runnable process, %d blocked: %s"
             % (len(self.waiting), ", ".join(self.waiting))
         )
+
+
+class HangError(SimError):
+    """Raised when a run exceeds its virtual-time budget or dispatch limit.
+
+    Unlike :class:`DeadlockError` the simulation still *had* runnable
+    work -- it was just never going to finish within its budget
+    (livelock, runaway loop, pathological slowdown).  ``report`` is an
+    optional :class:`repro.simkernel.watchdog.HangReport` snapshotting
+    every live process and what it was doing.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        super().__init__(message)
 
 
 class SimulationCrashed(SimError):

@@ -114,11 +114,13 @@ class _Worker:
             # and the next dispatch can reclaim this very thread (LIFO)
             # for a zero-switch continuation.
             kept = pool._park(self)
-            if proc.state is ProcState.FAILED:
-                sim._report_failure(proc)
-            elif sim._tearing_down:
+            if sim._tearing_down:
                 # Killed during teardown: handshake with the killer.
+                # Checked first -- whatever state the unwind left the
+                # process in, the killer is blocked on this lock.
                 self._yielded.release()
+            elif proc.state is ProcState.FAILED:
+                sim._report_failure(proc)
             else:
                 sim._dispatch_onward()
             if not kept:
@@ -244,8 +246,15 @@ class SimProcess:
             except ProcessKilled:
                 self.state = ProcState.KILLED
             except BaseException as exc:  # noqa: BLE001 - report any crash
-                self.exception = exc
-                self.state = ProcState.FAILED
+                if self._kill_requested:
+                    # Collateral of the forced unwind: a finally block
+                    # tripped over the half-torn-down runtime.  The kill
+                    # still succeeded; reporting this as a crash would
+                    # desync the teardown handshake.
+                    self.state = ProcState.KILLED
+                else:
+                    self.exception = exc
+                    self.state = ProcState.FAILED
         finally:
             _tls.process = None
             self._worker = None
@@ -258,6 +267,10 @@ class SimProcess:
         the next process (possibly on another thread) runs as soon as
         the handoff happens.
         """
+        if self._kill_requested:
+            # Re-entry during the forced unwind (a finally block calling
+            # back into the scheduler): do not dispatch anything.
+            raise ProcessKilled()
         if not self.sim._chain_from(self):
             self._worker._resume.acquire()
         if self._kill_requested:

@@ -37,6 +37,7 @@ from typing import Any, Callable, Optional
 from ..obs.instruments import kernel_metrics
 from .errors import (
     DeadlockError,
+    HangError,
     NotInProcessError,
     SimError,
     SimulationCrashed,
@@ -49,6 +50,7 @@ _IDLE = "idle"
 _UNTIL = "until"
 _FAILED = "failed"
 _LIMIT = "limit"
+_BUDGET = "budget"
 
 
 class Simulator:
@@ -83,6 +85,12 @@ class Simulator:
         self._tearing_down = False
         self._until: float | None = None
         self._max_dispatches: int | None = None
+        #: which wake reason the time horizon maps to: _UNTIL for a
+        #: plain ``until`` stop, _BUDGET when a virtual-time budget is
+        #: the binding limit.  One attribute instead of a second hot-path
+        #: comparison in ``_next_runnable``.
+        self._horizon_reason = _UNTIL
+        self._budget: float | None = None
         # run() blocks on this (pre-held) lock while the dispatch chain
         # runs; the chain releases it exactly once, with _wake_reason
         # (and _failed_proc for crashes) set beforehand.
@@ -231,7 +239,7 @@ class Simulator:
                 use_ready = False
                 at = heap[0][0]
             if until is not None and at > until:
-                self._wake_reason = _UNTIL
+                self._wake_reason = self._horizon_reason
                 return None
             if use_ready:
                 proc = ready.popleft()[2]
@@ -304,13 +312,19 @@ class Simulator:
         self,
         until: float | None = None,
         max_dispatches: int | None = None,
+        budget: float | None = None,
     ) -> float:
         """Run the simulation to completion and return the final time.
 
         ``until`` stops the clock at a given virtual time (remaining
-        events stay queued).  ``max_dispatches`` bounds scheduler steps
-        as a runaway guard.  Raises :class:`DeadlockError` if all
-        remaining processes are blocked forever, and
+        events stay queued).  ``budget`` is a virtual-time watchdog: a
+        simulation still dispatching past it is declared hung and torn
+        down with a :class:`HangError` carrying a structured
+        :class:`~repro.simkernel.watchdog.HangReport`.
+        ``max_dispatches`` bounds scheduler steps as a runaway guard
+        (also a :class:`HangError`).  Raises :class:`DeadlockError`
+        (with a :class:`~repro.simkernel.watchdog.DeadlockReport`) if
+        all remaining processes are blocked forever, and
         :class:`SimulationCrashed` (chained to the original traceback)
         if any process raises.
         """
@@ -321,7 +335,17 @@ class Simulator:
         if maybe_current_process() is not None:
             raise SimError("run() must not be called from inside a process")
         self._running = True
-        self._until = until
+        # Fold ``budget`` into the single ``until`` horizon comparison
+        # the dispatch loop already performs: the earlier limit wins,
+        # and _horizon_reason records which semantics apply when it
+        # trips.  Ties go to ``until`` (a graceful stop beats a hang).
+        if budget is not None and (until is None or budget < until):
+            self._until = budget
+            self._horizon_reason = _BUDGET
+        else:
+            self._until = until
+            self._horizon_reason = _UNTIL
+        self._budget = budget
         self._max_dispatches = max_dispatches
         try:
             first = self._next_runnable()
@@ -332,10 +356,26 @@ class Simulator:
             if reason == _UNTIL:
                 self.now = until
                 return self.now
-            if reason == _LIMIT:
+            if reason == _BUDGET:
+                from .watchdog import build_hang_report
+
+                report = build_hang_report(self, budget=budget)
                 self._teardown_all()
-                raise SimError(
-                    f"exceeded max_dispatches={max_dispatches}"
+                raise HangError(
+                    f"simulation hang: {report.reason} at "
+                    f"t={report.time:.6f}\n{report.format()}",
+                    report=report,
+                )
+            if reason == _LIMIT:
+                from .watchdog import build_hang_report
+
+                report = build_hang_report(
+                    self, max_dispatches=max_dispatches
+                )
+                self._teardown_all()
+                raise HangError(
+                    f"exceeded max_dispatches={max_dispatches}",
+                    report=report,
                 )
             if reason == _FAILED:
                 failed = self._failed_proc
@@ -352,8 +392,11 @@ class Simulator:
                 if p.state is ProcState.PASSIVE
             ]
             if stuck:
+                from .watchdog import build_deadlock_report
+
+                report = build_deadlock_report(self)
                 self._teardown_all()
-                raise DeadlockError(stuck)
+                raise DeadlockError(stuck, report=report)
             self._finished = True
             return self.now
         finally:

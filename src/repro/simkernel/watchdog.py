@@ -1,0 +1,293 @@
+"""Structured hang/deadlock diagnosis for the simulation kernel.
+
+When a simulation stops making progress the scheduler already *detects*
+it -- no runnable process, a virtual-time budget overrun, a dispatch
+limit hit.  This module turns those detections into structured,
+actionable reports instead of generic one-line errors:
+
+* :class:`DeadlockReport` -- built when no process is runnable but
+  passive processes remain.  One :class:`PendingCall` per blocked
+  process names the rank/thread and classifies what it is blocked on
+  (``recv``, ``send``, ``barrier``, ``lock``, ...), enriched by walking
+  the MPI matching engine's unmatched queues (which peer a pending
+  receive is waiting for, which destination a rendezvous send is stuck
+  on) and the OpenMP team-barrier arrival state (how many threads have
+  arrived out of how many parties).
+
+* :class:`HangReport` -- built when a virtual-time budget
+  (``Simulator.run(budget=...)``) or the dispatch limit is exceeded: a
+  livelocked or pathologically slow program.  It snapshots every live
+  process with the same classification, so "where is it spinning" is
+  answerable from the exception alone.
+
+The enrichment is deliberately duck-typed through ``proc.context``
+(``mpi_world``, ``omp_team``): the kernel never imports the MPI or
+OpenMP layers, and programs built directly on the kernel still get the
+generic wait-reason classification.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from .process import ProcState, SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Simulator
+
+#: wait-reason prefixes -> pending-call kind
+_KIND_PREFIXES = (
+    ("MPI_Wait(recv", "recv"),
+    ("MPI_Wait(send", "send"),
+    ("barrier(", "barrier"),
+    ("lock(", "lock"),
+    ("acquire(", "semaphore"),
+    ("cond(", "condition"),
+    ("wait(", "event"),
+    ("mailbox(", "mailbox"),
+    ("hold(", "hold"),
+)
+
+
+def classify_wait(reason: str) -> str:
+    """Map a raw ``waiting_on`` string to a pending-call kind."""
+    for prefix, kind in _KIND_PREFIXES:
+        if reason.startswith(prefix):
+            return kind
+    return "passive"
+
+
+@dataclass(frozen=True)
+class PendingCall:
+    """One blocked (or live) process and the call it is stuck in."""
+
+    process: str
+    pid: int
+    kind: str
+    detail: str
+    rank: Optional[int] = None
+    thread: Optional[int] = None
+
+    def describe(self) -> str:
+        where = self.process
+        if self.rank is not None:
+            where += f" (rank {self.rank}"
+            if self.thread is not None:
+                where += f", thread {self.thread}"
+            where += ")"
+        elif self.thread is not None:
+            where += f" (thread {self.thread})"
+        return f"{where}: {self.kind} -- {self.detail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "process": self.process,
+            "pid": self.pid,
+            "kind": self.kind,
+            "detail": self.detail,
+            "rank": self.rank,
+            "thread": self.thread,
+        }
+
+
+def _mpi_pending_detail(proc: SimProcess, kind: str) -> Optional[str]:
+    """What the MPI transport says this process is waiting on.
+
+    Walks the matching engine's unmatched queues for requests owned by
+    ``proc``: a blocked receive names the peer it expects (or the
+    wildcard), a stuck rendezvous send names its destination.
+    """
+    world = proc.context.get("mpi_world")
+    if world is None:
+        return None
+    engine = getattr(world, "engine", None)
+    if engine is None:
+        return None
+    parts = []
+    if kind == "recv":
+        for (comm_id, dst), queue in engine._recvs.items():
+            for ritem in queue:
+                if ritem.request.owner is not proc:
+                    continue
+                src = (
+                    "any" if ritem.src_spec < 0 else str(ritem.src_spec)
+                )
+                tag = "any" if ritem.tag_spec < 0 else str(ritem.tag_spec)
+                parts.append(
+                    f"recv from {src} tag {tag} comm {comm_id}"
+                    + (" (internal)" if ritem.internal else "")
+                )
+    elif kind == "send":
+        for (comm_id, dst), queue in engine._sends.items():
+            for item in queue:
+                if item.request.owner is not proc:
+                    continue
+                proto = "eager" if item.eager else "rendezvous"
+                parts.append(
+                    f"send to {dst} tag {item.tag} comm {comm_id} "
+                    f"({item.nbytes}B {proto})"
+                    + (" (internal)" if item.internal else "")
+                )
+    if not parts:
+        return None
+    return "; ".join(parts)
+
+
+def _omp_pending_detail(proc: SimProcess) -> Optional[str]:
+    """Barrier arrival state of the process's OpenMP team, if any."""
+    team = proc.context.get("omp_team")
+    if team is None:
+        return None
+    barrier = getattr(team, "_barrier", None)
+    if barrier is None:
+        return None
+    arrived = len(barrier._arrived)
+    return (
+        f"team {team.team_id} barrier: {arrived}/{barrier.parties} arrived"
+    )
+
+
+def pending_call_of(proc: SimProcess) -> PendingCall:
+    """Classify what ``proc`` is blocked on, with MPI/OpenMP enrichment."""
+    reason = proc.waiting_reason()
+    kind = classify_wait(reason)
+    detail = reason or "passive"
+    if kind in ("recv", "send"):
+        extra = _mpi_pending_detail(proc, kind)
+        if extra is not None:
+            detail = extra
+    elif kind == "barrier":
+        extra = _omp_pending_detail(proc)
+        if extra is not None:
+            detail = f"{reason}: {extra}"
+    return PendingCall(
+        process=proc.name,
+        pid=proc.pid,
+        kind=kind,
+        detail=detail,
+        rank=proc.context.get("mpi_rank"),
+        thread=proc.context.get("omp_thread_num"),
+    )
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """No process is runnable; these are the ones blocked forever."""
+
+    time: float
+    entries: Tuple[PendingCall, ...]
+
+    @property
+    def blocked(self) -> int:
+        return len(self.entries)
+
+    def blocked_ranks(self) -> Tuple[int, ...]:
+        """Distinct MPI ranks among the blocked processes, sorted."""
+        return tuple(
+            sorted({e.rank for e in self.entries if e.rank is not None})
+        )
+
+    def format(self) -> str:
+        lines = [
+            f"DEADLOCK at t={self.time:.6f}: "
+            f"{self.blocked} blocked process(es)"
+        ]
+        lines.extend(f"  {entry.describe()}" for entry in self.entries)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "deadlock",
+            "time": self.time,
+            "blocked": self.blocked,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def to_json_str(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+
+@dataclass(frozen=True)
+class HangReport:
+    """The run exceeded its budget; these are the live processes.
+
+    ``budget`` is the virtual-time limit when that is what tripped,
+    ``max_dispatches`` the dispatch limit otherwise; exactly one is set.
+    """
+
+    time: float
+    dispatch_count: int
+    entries: Tuple[PendingCall, ...]
+    budget: Optional[float] = None
+    max_dispatches: Optional[int] = None
+
+    @property
+    def reason(self) -> str:
+        if self.budget is not None:
+            return f"virtual-time budget {self.budget:g}s exceeded"
+        return f"dispatch limit {self.max_dispatches} exceeded"
+
+    def format(self) -> str:
+        lines = [
+            f"HANG at t={self.time:.6f}: {self.reason} "
+            f"({self.dispatch_count} dispatches); "
+            f"{len(self.entries)} live process(es)"
+        ]
+        lines.extend(f"  {entry.describe()}" for entry in self.entries)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "hang",
+            "time": self.time,
+            "reason": self.reason,
+            "dispatch_count": self.dispatch_count,
+            "budget": self.budget,
+            "max_dispatches": self.max_dispatches,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def to_json_str(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+
+def build_deadlock_report(sim: "Simulator") -> DeadlockReport:
+    """Snapshot every passive process of a deadlocked simulation."""
+    entries = tuple(
+        pending_call_of(p)
+        for p in sim.processes
+        if p.state is ProcState.PASSIVE
+    )
+    return DeadlockReport(time=sim.now, entries=entries)
+
+
+def build_hang_report(
+    sim: "Simulator",
+    budget: Optional[float] = None,
+    max_dispatches: Optional[int] = None,
+) -> HangReport:
+    """Snapshot every live process of a budget-exceeded simulation."""
+    entries = []
+    for proc in sim.processes:
+        if proc.state is ProcState.PASSIVE:
+            entries.append(pending_call_of(proc))
+        elif proc.state in (ProcState.SCHEDULED, ProcState.RUNNING):
+            entries.append(
+                PendingCall(
+                    process=proc.name,
+                    pid=proc.pid,
+                    kind="runnable",
+                    detail=proc.waiting_reason() or proc.state.value,
+                    rank=proc.context.get("mpi_rank"),
+                    thread=proc.context.get("omp_thread_num"),
+                )
+            )
+    return HangReport(
+        time=sim.now,
+        dispatch_count=sim.dispatch_count,
+        entries=tuple(entries),
+        budget=budget,
+        max_dispatches=max_dispatches,
+    )

@@ -187,15 +187,21 @@ class MpiWorld:
                 name=f"rank{rank}",
             )
 
-    def run(self, strict: bool = True) -> "RunResult":
+    def run(
+        self,
+        strict: bool = True,
+        time_budget: float | None = None,
+    ) -> "RunResult":
         """Run to completion and return the packaged result.
 
         With ``strict`` (default) a program that leaks unmatched
         messages or unbalanced trace regions fails loudly -- the test
         suite should never silently accept a malformed synthetic
-        program.
+        program.  ``time_budget`` arms the kernel watchdog: a program
+        still running past that virtual time is torn down with a
+        :class:`~repro.simkernel.HangError`.
         """
-        final_time = self.sim.run()
+        final_time = self.sim.run(budget=time_budget)
         leftovers = self.engine.unmatched()
         if strict and (leftovers["sends"] or leftovers["recvs"]):
             raise MpiError(
@@ -256,6 +262,7 @@ def run_mpi(
     strict: bool = True,
     collectives: Optional[CollectiveTuning] = None,
     faults=None,
+    time_budget: Optional[float] = None,
     **kwargs: Any,
 ) -> RunResult:
     """Run ``main(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -264,7 +271,8 @@ def run_mpi(
     single-property programs.  ``faults`` accepts a
     :class:`~repro.faults.FaultPlan` (bound to ``seed``) or a prebuilt
     :class:`~repro.faults.FaultInjector`; no-op plans resolve to the
-    clean path.
+    clean path.  ``time_budget`` caps virtual time (see
+    :meth:`MpiWorld.run`).
     """
     from ..faults.inject import FaultInjector
 
@@ -281,4 +289,4 @@ def run_mpi(
         faults=FaultInjector.coerce(faults, seed=seed),
     )
     world.launch(main, *args, **kwargs)
-    return world.run(strict=strict)
+    return world.run(strict=strict, time_budget=time_budget)

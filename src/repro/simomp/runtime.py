@@ -49,6 +49,7 @@ def run_omp(
     intrusion: float = 0.0,
     seed: int = 0,
     faults=None,
+    time_budget: Optional[float] = None,
     **kwargs: Any,
 ) -> OmpRunResult:
     """Run ``main(*args, **kwargs)`` as an OpenMP master process.
@@ -59,6 +60,8 @@ def run_omp(
     :class:`~repro.faults.FaultInjector`, as in
     :func:`repro.simmpi.run_mpi` (message perturbations are inert in a
     shared-memory run; timing jitter and stragglers apply).
+    ``time_budget`` arms the kernel watchdog (see
+    :meth:`repro.simkernel.Simulator.run`).
     """
     from ..faults.inject import FaultInjector
 
@@ -80,7 +83,7 @@ def run_omp(
         return main(*args, **kwargs)
 
     sim.spawn(master, name="master")
-    final_time = sim.run()
+    final_time = sim.run(budget=time_budget)
     if recorder is not None:
         recorder.finish()
     return OmpRunResult(

@@ -70,6 +70,11 @@ def region(name: str) -> Iterator[None]:
     try:
         yield
     finally:
-        rec.exit(proc.sim.now, loc, name)
-        if rec.intrusion_per_event:
-            proc.sim.hold(rec.intrusion_per_event)
+        # A forced teardown unwind (watchdog kill) tears through inner
+        # regions without exiting them; recording the exit here would
+        # raise an unbalanced-region error and calling hold() would
+        # re-enter the dying scheduler, so skip both.
+        if not proc._kill_requested:
+            rec.exit(proc.sim.now, loc, name)
+            if rec.intrusion_per_event:
+                proc.sim.hold(rec.intrusion_per_event)

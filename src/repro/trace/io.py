@@ -200,7 +200,9 @@ def read_trace(
     the end of the trace: everything before the cut is returned and
     ``metadata["truncated"]`` is set.  Mid-file corruption (bad line
     followed by more records) still raises, so salvage never silently
-    papers over structural damage.
+    papers over structural damage.  When both flags are given, a
+    trailing truncation is classified as ``truncated`` (not as a
+    skipped line): the two report different facts about the file.
     """
     path = Path(path)
     events: list[Event] = []
@@ -226,28 +228,38 @@ def read_trace(
                 lineno=1,
             )
         metadata = header.get("metadata", {})
-        for lineno, line in enumerate(fh, start=2):
-            line = line.strip()
-            if not line:
+        lines = fh.readlines()
+    # Index of the last line with content: a bad line *there* is the
+    # signature of a mid-record truncation, which salvage must report
+    # as such even when skip_bad_lines would also tolerate it --
+    # "skipped one line" and "the file was cut" are different facts.
+    last_content = -1
+    for i, raw in enumerate(lines):
+        if raw.strip():
+            last_content = i
+    for offset, line in enumerate(lines):
+        lineno = offset + 2
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(event_from_dict(json.loads(line)))
+        except (
+            json.JSONDecodeError,
+            ValueError,
+            TypeError,
+            KeyError,
+            AttributeError,
+        ) as exc:
+            if salvage and offset == last_content:
+                truncated = True
+                break
+            if skip_bad_lines:
+                skipped += 1
                 continue
-            try:
-                events.append(event_from_dict(json.loads(line)))
-            except (
-                json.JSONDecodeError,
-                ValueError,
-                TypeError,
-                KeyError,
-                AttributeError,
-            ) as exc:
-                if skip_bad_lines:
-                    skipped += 1
-                    continue
-                if salvage and not fh.read().strip():
-                    truncated = True
-                    break
-                raise TraceFormatError(
-                    path, f"bad event: {exc}", lineno=lineno
-                ) from exc
+            raise TraceFormatError(
+                path, f"bad event: {exc}", lineno=lineno
+            ) from exc
     if skipped or truncated:
         metadata = dict(metadata)
         if skipped:

@@ -27,6 +27,7 @@ from .robustness import (
     CurvePoint,
     RobustnessCell,
     RobustnessResult,
+    cell_key,
     run_robustness,
 )
 from .semantics import SemanticsReport, check_semantics
@@ -51,6 +52,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "ToolCertificate",
+    "cell_key",
     "certify_tool",
     "run_sweep",
     "all_entries",

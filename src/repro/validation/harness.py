@@ -54,13 +54,48 @@ class MatrixRow:
     #: localization requirement); None when not checkable (negative
     #: rows, or tools that do not localize)
     localized: Optional[bool] = None
+    #: exception text when the program itself failed under supervision
+    #: (deadlock, hang, crash); a failed row detects nothing
+    error: Optional[str] = None
 
     @property
     def passed(self) -> bool:
         return (
-            not self.missing
+            self.error is None
+            and not self.missing
             and not self.spurious
             and self.localized is not False
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "paradigm": self.paradigm,
+            "negative": self.negative,
+            "expected": list(self.expected),
+            "detected": list(self.detected),
+            "missing": list(self.missing),
+            "spurious": list(self.spurious),
+            "severity": self.severity,
+            "final_time": self.final_time,
+            "localized": self.localized,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MatrixRow":
+        return cls(
+            name=d["name"],
+            paradigm=d["paradigm"],
+            negative=d["negative"],
+            expected=tuple(d["expected"]),
+            detected=tuple(d["detected"]),
+            missing=tuple(d["missing"]),
+            spurious=tuple(d["spurious"]),
+            severity=d["severity"],
+            final_time=d["final_time"],
+            localized=d.get("localized"),
+            error=d.get("error"),
         )
 
 
@@ -138,10 +173,16 @@ def validate_spec(
     size: int = 8,
     num_threads: int = 4,
     seed: int = 0,
+    time_budget: Optional[float] = None,
 ) -> MatrixRow:
     """Validate one property function against the tool under test."""
     tool = tool or default_tool()
-    run = spec.run(size=size, num_threads=num_threads, seed=seed)
+    run = spec.run(
+        size=size,
+        num_threads=num_threads,
+        seed=seed,
+        time_budget=time_budget,
+    )
     detected = tuple(tool(run))
     tolerated = set(spec.expected) | set(spec.allowed) | set(
         GLOBALLY_ALLOWED
@@ -180,26 +221,73 @@ def validate_spec(
     )
 
 
+def _failed_row(spec: PropertySpec, error: str) -> MatrixRow:
+    """The row a quarantined program contributes to the matrix."""
+    return MatrixRow(
+        name=spec.name,
+        paradigm=spec.paradigm,
+        negative=spec.negative,
+        expected=spec.expected,
+        detected=(),
+        missing=spec.expected,
+        spurious=(),
+        severity=0.0,
+        final_time=0.0,
+        localized=None,
+        error=error,
+    )
+
+
 def run_validation_matrix(
     specs: Optional[Sequence[PropertySpec]] = None,
     tool: Optional[DetectorFn] = None,
     size: int = 8,
     num_threads: int = 4,
     seed: int = 0,
+    time_budget: Optional[float] = None,
+    supervisor=None,
 ) -> MatrixResult:
-    """Validate every (or the given) property function; see module doc."""
+    """Validate every (or the given) property function; see module doc.
+
+    With a ``supervisor`` (:class:`repro.resilience.Supervisor`) each
+    program runs supervised -- a deadlocking or hung program is
+    quarantined as a failed row instead of aborting the whole matrix,
+    and a checkpoint-carrying supervisor resumes a killed run.
+    """
     specs = list_properties() if specs is None else list(specs)
     result = MatrixResult()
     for spec in specs:
-        result.rows.append(
-            validate_spec(
+        if supervisor is None:
+            result.rows.append(
+                validate_spec(
+                    spec,
+                    tool=tool,
+                    size=size,
+                    num_threads=num_threads,
+                    seed=seed,
+                    time_budget=time_budget,
+                )
+            )
+            continue
+        outcome = supervisor.run_cell(
+            f"{spec.name}|size{size}|s{seed}",
+            lambda spec=spec: validate_spec(
                 spec,
                 tool=tool,
                 size=size,
                 num_threads=num_threads,
                 seed=seed,
-            )
+                time_budget=time_budget,
+            ),
+            encode=lambda row: row.to_dict(),
+            decode=MatrixRow.from_dict,
         )
+        if outcome.ok:
+            result.rows.append(outcome.value)
+        else:
+            result.rows.append(
+                _failed_row(spec, outcome.failure.error)
+            )
     return result
 
 

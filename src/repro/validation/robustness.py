@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis import AnalysisConfig, analyze_events, analyze_run
 from ..core.registry import PropertySpec, list_properties
 from ..faults import FaultInjector, FaultPlan
-from ..trace.io import TraceFormatError, read_trace, write_trace
+from ..trace.io import read_trace, write_trace
 from .harness import GLOBALLY_ALLOWED
 
 #: default magnitude grid (>= 3 nonzero-capable points, anchored at 0)
@@ -74,10 +74,30 @@ class RobustnessCell:
             "detected": list(self.detected),
             "missing": list(self.missing),
             "spurious": list(self.spurious),
+            "allowed": list(self.allowed),
             "events": self.events,
             "error": self.error,
             "salvaged": self.salvaged,
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RobustnessCell":
+        """Inverse of :meth:`to_dict` (checkpoint replay)."""
+        return cls(
+            program=d["program"],
+            paradigm=d["paradigm"],
+            negative=d["negative"],
+            magnitude=d["magnitude"],
+            seed=d["seed"],
+            expected=tuple(d["expected"]),
+            detected=tuple(d["detected"]),
+            missing=tuple(d["missing"]),
+            spurious=tuple(d["spurious"]),
+            allowed=tuple(d["allowed"]),
+            events=d["events"],
+            error=d.get("error"),
+            salvaged=d.get("salvaged", False),
+        )
 
 
 @dataclass(frozen=True)
@@ -221,7 +241,41 @@ class RobustnessResult:
 # execution
 # ----------------------------------------------------------------------
 
-def _run_cell(
+def _build_cell(
+    spec: PropertySpec,
+    magnitude: float,
+    seed: int,
+    detected: Sequence[str] = (),
+    events: int = 0,
+    error: Optional[str] = None,
+    salvaged: bool = False,
+) -> RobustnessCell:
+    tolerated = tuple(
+        sorted(set(spec.allowed) | set(GLOBALLY_ALLOWED))
+    )
+    detected = tuple(detected)
+    return RobustnessCell(
+        program=spec.name,
+        paradigm=spec.paradigm,
+        negative=spec.negative,
+        magnitude=magnitude,
+        seed=seed,
+        expected=spec.expected,
+        detected=detected,
+        missing=tuple(p for p in spec.expected if p not in detected),
+        spurious=tuple(
+            p
+            for p in detected
+            if p not in spec.expected and p not in tolerated
+        ),
+        allowed=tolerated,
+        events=events,
+        error=error,
+        salvaged=salvaged,
+    )
+
+
+def _run_cell_checked(
     spec: PropertySpec,
     magnitude: float,
     seed: int,
@@ -230,47 +284,32 @@ def _run_cell(
     num_threads: int,
     threshold: float,
     workdir: Path,
+    time_budget: Optional[float] = None,
 ) -> RobustnessCell:
-    tolerated = tuple(
-        sorted(set(spec.allowed) | set(GLOBALLY_ALLOWED))
-    )
+    """One cell, raising on failure (the supervisor's entry point).
 
-    def cell(detected=(), events=0, error=None, salvaged=False):
-        detected = tuple(detected)
-        return RobustnessCell(
-            program=spec.name,
-            paradigm=spec.paradigm,
-            negative=spec.negative,
-            magnitude=magnitude,
-            seed=seed,
-            expected=spec.expected,
-            detected=detected,
-            missing=tuple(
-                p for p in spec.expected if p not in detected
-            ),
-            spurious=tuple(
-                p
-                for p in detected
-                if p not in spec.expected and p not in tolerated
-            ),
-            allowed=tolerated,
-            events=events,
-            error=error,
-            salvaged=salvaged,
-        )
-
+    A deadlocking or hung program raises
+    :class:`~repro.simkernel.DeadlockError` /
+    :class:`~repro.simkernel.HangError` out of here so the supervisor
+    can classify and quarantine it with its structured report intact.
+    """
     scaled = plan.scaled(magnitude)
     injector = FaultInjector.coerce(scaled, seed=seed)
-    try:
-        run = spec.run(
-            size=size, num_threads=num_threads, seed=seed, faults=injector
-        )
-    except Exception as exc:  # a fault broke the run itself
-        return cell(error=f"{type(exc).__name__}: {exc}")
+    run = spec.run(
+        size=size,
+        num_threads=num_threads,
+        seed=seed,
+        faults=injector,
+        time_budget=time_budget,
+    )
     if injector is None or not injector.has_trace_faults:
         analysis = analyze_run(run)
-        return cell(
-            detected=analysis.detected(threshold), events=len(run.events)
+        return _build_cell(
+            spec,
+            magnitude,
+            seed,
+            detected=analysis.detected(threshold),
+            events=len(run.events),
         )
     # Trace faults: round-trip through the fault-injecting writer and
     # the salvaging reader -- the analyzer sees what landed on disk.
@@ -283,12 +322,9 @@ def _run_cell(
         metadata={"program": spec.name, "seed": seed},
         faults=injector,
     )
-    try:
-        events, metadata = read_trace(
-            path, skip_bad_lines=True, salvage=True
-        )
-    except TraceFormatError as exc:
-        return cell(error=f"TraceFormatError: {exc}")
+    events, metadata = read_trace(
+        path, skip_bad_lines=True, salvage=True
+    )
     transport = getattr(run, "transport", None)
     config = (
         AnalysisConfig(eager_threshold=transport.eager_threshold)
@@ -298,11 +334,49 @@ def _run_cell(
     analysis = analyze_events(
         events, total_time=run.final_time, config=config
     )
-    return cell(
+    return _build_cell(
+        spec,
+        magnitude,
+        seed,
         detected=analysis.detected(threshold),
         events=len(events),
         salvaged=bool(metadata.get("truncated")),
     )
+
+
+def _run_cell(
+    spec: PropertySpec,
+    magnitude: float,
+    seed: int,
+    plan: FaultPlan,
+    size: int,
+    num_threads: int,
+    threshold: float,
+    workdir: Path,
+    time_budget: Optional[float] = None,
+) -> RobustnessCell:
+    """One cell with failures folded into the cell itself (direct mode)."""
+    try:
+        return _run_cell_checked(
+            spec,
+            magnitude,
+            seed,
+            plan,
+            size,
+            num_threads,
+            threshold,
+            workdir,
+            time_budget,
+        )
+    except Exception as exc:  # a fault broke the run or its trace
+        return _build_cell(
+            spec, magnitude, seed, error=f"{type(exc).__name__}: {exc}"
+        )
+
+
+def cell_key(spec_name: str, magnitude: float, seed: int) -> str:
+    """Stable checkpoint key of one sweep cell."""
+    return f"{spec_name}|m{magnitude:g}|s{seed}"
 
 
 def run_robustness(
@@ -313,12 +387,22 @@ def run_robustness(
     size: int = 8,
     num_threads: int = 4,
     threshold: float = 0.01,
+    time_budget: Optional[float] = None,
+    supervisor=None,
 ) -> RobustnessResult:
     """Sweep perturbation magnitude across the validation programs.
 
     ``specs`` defaults to every registered program (positive and
     negative); ``plan`` defaults to :meth:`FaultPlan.default`.  Returns
     the full cell grid with per-detector TP/FP curves.
+
+    ``time_budget`` arms the per-run virtual-time watchdog, and
+    ``supervisor`` (a :class:`repro.resilience.Supervisor`) runs each
+    cell supervised: wall-clock timeout, retry, quarantine, and -- when
+    the supervisor carries a checkpoint journal -- resume.  Failed
+    cells surface identically in both modes (as error cells counting as
+    "detected nothing"), so a supervised sweep's artifact is
+    byte-identical to a direct one unless wall-clock timeouts fire.
     """
     specs = list_properties() if specs is None else list(specs)
     plan = FaultPlan.default() if plan is None else plan
@@ -336,16 +420,48 @@ def run_robustness(
         for spec in specs:
             for magnitude in magnitudes:
                 for seed in seeds:
-                    result.cells.append(
-                        _run_cell(
-                            spec,
-                            magnitude,
-                            seed,
-                            plan,
-                            size,
-                            num_threads,
-                            threshold,
-                            workdir,
+                    if supervisor is None:
+                        result.cells.append(
+                            _run_cell(
+                                spec,
+                                magnitude,
+                                seed,
+                                plan,
+                                size,
+                                num_threads,
+                                threshold,
+                                workdir,
+                                time_budget,
+                            )
                         )
+                        continue
+                    outcome = supervisor.run_cell(
+                        cell_key(spec.name, magnitude, seed),
+                        lambda spec=spec, m=magnitude, s=seed: (
+                            _run_cell_checked(
+                                spec,
+                                m,
+                                s,
+                                plan,
+                                size,
+                                num_threads,
+                                threshold,
+                                workdir,
+                                time_budget,
+                            )
+                        ),
+                        encode=lambda c: c.to_dict(),
+                        decode=RobustnessCell.from_dict,
                     )
+                    if outcome.ok:
+                        result.cells.append(outcome.value)
+                    else:
+                        result.cells.append(
+                            _build_cell(
+                                spec,
+                                magnitude,
+                                seed,
+                                error=outcome.failure.error,
+                            )
+                        )
     return result

@@ -83,3 +83,78 @@ def test_perturbations_are_immutable():
     assert isinstance(p, Perturbation)
     with pytest.raises(AttributeError):
         p.magnitude = 0.5
+
+
+# ----------------------------------------------------------------------
+# property-based round trips (hypothesis)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_rates = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+_magnitudes = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+_fractions = st.floats(
+    min_value=0.0,
+    max_value=0.999,
+    allow_nan=False,
+    allow_infinity=False,
+    exclude_max=False,
+)
+
+perturbations = st.one_of(
+    st.builds(
+        RankStragglers,
+        ranks=st.tuples(st.integers(min_value=0, max_value=63)),
+        slowdown=_magnitudes,
+    ),
+    st.builds(TimingJitter, magnitude=_magnitudes),
+    st.builds(MessageLatencyNoise, magnitude=_magnitudes),
+    st.builds(
+        MessageReorder,
+        probability=_rates,
+        window=st.integers(min_value=1, max_value=16),
+    ),
+    st.builds(DropRecords, rate=_rates),
+    st.builds(DuplicateRecords, rate=_rates),
+    st.builds(TruncateTrace, drop_fraction=_fractions),
+)
+
+_scale_factors = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(p=perturbations)
+def test_any_perturbation_roundtrips(p):
+    d = p.to_dict()
+    assert perturbation_from_dict(d) == p
+    # the dict is pure JSON data (stable wire format)
+    import json
+
+    assert perturbation_from_dict(json.loads(json.dumps(d))) == p
+
+
+@settings(max_examples=200, deadline=None)
+@given(p=perturbations, factor=_scale_factors)
+def test_scaled_perturbation_roundtrips(p, factor):
+    scaled = p.scaled(factor)
+    assert perturbation_from_dict(scaled.to_dict()) == scaled
+    if factor == 0.0:
+        assert scaled.is_noop
+
+
+@settings(max_examples=100, deadline=None)
+@given(ps=st.lists(perturbations, max_size=5), factor=_scale_factors)
+def test_any_plan_roundtrips_and_scales(ps, factor):
+    plan = FaultPlan.of(*ps)
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    scaled = plan.scaled(factor)
+    assert FaultPlan.from_dict(scaled.to_dict()) == scaled
+    if factor == 0.0:
+        assert scaled.is_noop

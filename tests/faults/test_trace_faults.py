@@ -73,6 +73,26 @@ def test_salvage_does_not_mask_midfile_corruption(tmp_path, events):
     assert len(kept) == 9
 
 
+def test_trailing_truncation_with_skip_bad_lines_reports_truncated(
+    tmp_path, events
+):
+    # Regression: with *both* recovery flags (the robustness sweep's
+    # invocation) a trailing mid-record truncation used to be counted
+    # as one skipped line, with ``truncated`` never set.
+    path = tmp_path / "t.jsonl"
+    write_trace(
+        path, events, faults=_faulty(FaultPlan.of(TruncateTrace(0.3)))
+    )
+    kept, metadata = read_trace(path, skip_bad_lines=True, salvage=True)
+    assert metadata["truncated"] is True
+    assert "skipped_lines" not in metadata
+    assert 0 < len(kept) < len(events)
+    # and both flags agree with salvage alone
+    salvage_only, salvage_md = read_trace(path, salvage=True)
+    assert len(salvage_only) == len(kept)
+    assert salvage_md["truncated"] is True
+
+
 def test_trace_faults_deterministic(tmp_path, events):
     plan = FaultPlan.of(
         DropRecords(0.1), DuplicateRecords(0.1), TruncateTrace(0.1)

@@ -1,0 +1,80 @@
+"""Checkpoint journal: append, flush, tolerate a killed final write."""
+
+import json
+
+import pytest
+
+from repro.resilience import CheckpointError, CheckpointJournal
+
+
+def test_missing_file_means_fresh_sweep(tmp_path):
+    journal = CheckpointJournal(tmp_path / "ck.jsonl")
+    assert journal.load() == {}
+
+
+def test_record_and_load_round_trip(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with CheckpointJournal(path) as journal:
+        journal.record("a|m0|s0", {"status": "ok", "cell": {"x": 1}})
+        journal.record("a|m1|s0", {"status": "failed", "attempts": 2})
+    done = CheckpointJournal(path).load()
+    assert done["a|m0|s0"]["cell"] == {"x": 1}
+    assert done["a|m1|s0"]["attempts"] == 2
+    # first line is the header, exactly once
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[0])["format"] == "ats-checkpoint"
+    assert len(lines) == 3
+
+
+def test_reopen_appends_without_second_header(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with CheckpointJournal(path) as journal:
+        journal.record("a", {"status": "ok", "cell": {}})
+    with CheckpointJournal(path) as journal:
+        journal.record("b", {"status": "ok", "cell": {}})
+    lines = path.read_text().splitlines()
+    headers = [l for l in lines if "ats-checkpoint" in l]
+    assert len(headers) == 1
+    assert set(CheckpointJournal(path).load()) == {"a", "b"}
+
+
+def test_duplicate_keys_last_record_wins(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with CheckpointJournal(path) as journal:
+        journal.record("a", {"status": "ok", "cell": {"try": 1}})
+        journal.record("a", {"status": "ok", "cell": {"try": 2}})
+    assert CheckpointJournal(path).load()["a"]["cell"] == {"try": 2}
+
+
+def test_partial_final_line_is_dropped(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with CheckpointJournal(path) as journal:
+        journal.record("a", {"status": "ok", "cell": {}})
+        journal.record("b", {"status": "ok", "cell": {}})
+    # simulate a kill mid-write of the final record
+    data = path.read_bytes()
+    path.write_bytes(data[:-9])
+    done = CheckpointJournal(path).load()
+    assert set(done) == {"a"}
+
+
+def test_midfile_corruption_raises(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with CheckpointJournal(path) as journal:
+        journal.record("a", {"status": "ok", "cell": {}})
+        journal.record("b", {"status": "ok", "cell": {}})
+    lines = path.read_text().splitlines(keepends=True)
+    lines[1] = "{broken\n"
+    path.write_text("".join(lines))
+    with pytest.raises(CheckpointError, match="corrupt checkpoint record"):
+        CheckpointJournal(path).load()
+
+
+def test_foreign_file_rejected(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text('{"format": "something-else"}\n')
+    with pytest.raises(CheckpointError, match="not an ats-checkpoint"):
+        CheckpointJournal(path).load()
+    path.write_text("not json at all\n")
+    with pytest.raises(CheckpointError, match="corrupt checkpoint header"):
+        CheckpointJournal(path).load()

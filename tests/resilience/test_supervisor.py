@@ -1,0 +1,198 @@
+"""Supervisor: classification, retry with deterministic backoff, quarantine."""
+
+import time
+
+import pytest
+
+from repro.core.registry import PropertySpec
+from repro.resilience import (
+    FAILURE_KINDS,
+    CellTimeout,
+    Supervisor,
+    classify_failure,
+)
+from repro.simkernel import DeadlockError, HangError
+from repro.simmpi import MPI_DOUBLE, alloc_mpi_buf
+from repro.trace.io import TraceFormatError
+from repro.validation import run_robustness
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "exc, kind",
+    [
+        (DeadlockError(["rank0 (recv)"]), "deadlock"),
+        (HangError("budget"), "hang"),
+        (CellTimeout("wall"), "timeout"),
+        (TraceFormatError("/tmp/x", "bad event", lineno=3), "trace-corrupt"),
+        (ValueError("boom"), "crash"),
+    ],
+)
+def test_classify_failure(exc, kind):
+    assert kind in FAILURE_KINDS
+    assert classify_failure(exc) == kind
+
+
+# ----------------------------------------------------------------------
+# cell lifecycle
+# ----------------------------------------------------------------------
+
+def test_ok_cell_passes_value_through():
+    sup = Supervisor()
+    outcome = sup.run_cell("k", lambda: {"answer": 42})
+    assert outcome.ok
+    assert outcome.value == {"answer": 42}
+    assert outcome.attempts == 1
+    assert not outcome.from_checkpoint
+    assert sup.failures == []
+
+
+def test_persistent_failure_is_quarantined_not_raised():
+    sup = Supervisor()
+
+    def bad():
+        raise ValueError("synthetic crash")
+
+    outcome = sup.run_cell("cell-1", bad)
+    assert not outcome.ok
+    assert outcome.failure.kind == "crash"
+    assert outcome.failure.error == "ValueError: synthetic crash"
+    assert outcome.failure.attempts == 1
+    report = sup.failure_report()
+    assert report.counts() == {"crash": 1}
+    assert "cell-1" in report.format_table()
+    assert report.to_json_dict()["format"] == "ats-failures"
+
+
+def test_transient_failures_retry_then_succeed():
+    delays = []
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise ValueError("transient glitch")
+        return "ok"
+
+    sup = Supervisor(
+        retries=3, transient=("crash",), sleep=delays.append
+    )
+    outcome = sup.run_cell("flaky-cell", flaky)
+    assert outcome.ok
+    assert outcome.value == "ok"
+    assert outcome.attempts == 3
+    assert len(delays) == 2
+    # the slept schedule is exactly the advertised pure function
+    assert delays == [
+        sup.backoff_delay("flaky-cell", 1),
+        sup.backoff_delay("flaky-cell", 2),
+    ]
+
+
+def test_retries_exhausted_quarantines_with_attempt_count():
+    sup = Supervisor(retries=2, transient=("crash",), sleep=lambda _: None)
+
+    def always_bad():
+        raise RuntimeError("still broken")
+
+    outcome = sup.run_cell("k", always_bad)
+    assert not outcome.ok
+    assert outcome.failure.attempts == 3  # 1 initial + 2 retries
+
+
+def test_non_transient_kinds_never_retry():
+    calls = {"n": 0}
+
+    def deadlocks():
+        calls["n"] += 1
+        raise DeadlockError(["rank0 (recv)"])
+
+    sup = Supervisor(retries=5, sleep=lambda _: None)  # transient=timeout
+    outcome = sup.run_cell("k", deadlocks)
+    assert calls["n"] == 1
+    assert outcome.failure.kind == "deadlock"
+
+
+def test_backoff_is_deterministic_and_seed_keyed():
+    a = Supervisor(seed=7)
+    b = Supervisor(seed=7)
+    c = Supervisor(seed=8)
+    key = "late_sender|m0.5|s1"
+    assert a.backoff_delay(key, 1) == b.backoff_delay(key, 1)
+    assert a.backoff_delay(key, 1) != c.backoff_delay(key, 1)
+    assert a.backoff_delay(key, 1) != a.backoff_delay("other", 1)
+    # capped exponential envelope with jitter in [0.5, 1.0] * base
+    for attempt in range(1, 8):
+        delay = a.backoff_delay(key, attempt)
+        base = min(a.backoff_cap, a.backoff_base * 2 ** (attempt - 1))
+        assert 0.5 * base <= delay <= base
+
+
+def test_wall_clock_timeout_classified_and_quarantined():
+    sup = Supervisor(timeout=0.05)
+
+    def stuck():
+        time.sleep(5)
+
+    start = time.monotonic()
+    outcome = sup.run_cell("k", stuck)
+    assert time.monotonic() - start < 2
+    assert not outcome.ok
+    assert outcome.failure.kind == "timeout"
+    assert "wall-clock timeout" in outcome.failure.error
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="timeout"):
+        Supervisor(timeout=0.0)
+    with pytest.raises(ValueError, match="retries"):
+        Supervisor(retries=-1)
+    with pytest.raises(ValueError, match="unknown transient"):
+        Supervisor(transient=("cosmic-rays",))
+
+
+# ----------------------------------------------------------------------
+# quarantine inside a real sweep
+# ----------------------------------------------------------------------
+
+def _crossed_sends(comm):
+    buf = alloc_mpi_buf(MPI_DOUBLE, 4096)  # rendezvous-sized
+    peer = 1 - comm.rank()
+    comm.send(buf, peer, tag=0)
+    comm.recv(buf, source=peer, tag=0)
+
+
+def test_deadlocking_program_is_quarantined_and_sweep_completes():
+    from repro.core.registry import get_property
+
+    bad = PropertySpec(
+        name="crossed_sends",
+        func=_crossed_sends,
+        paradigm="mpi",
+        expected=(),
+        negative=True,
+    )
+    good = get_property("late_sender")
+    sup = Supervisor()
+    result = run_robustness(
+        specs=[bad, good],
+        magnitudes=(0.0,),
+        seeds=(0,),
+        size=2,
+        num_threads=2,
+        supervisor=sup,
+    )
+    # the deadlocked cell is an error cell; the good cell is intact
+    cells = {c.program: c for c in result.cells}
+    assert cells["crossed_sends"].error is not None
+    assert cells["crossed_sends"].error.startswith("DeadlockError")
+    assert cells["late_sender"].error is None
+    # the failure report carries the structured deadlock diagnosis
+    (failure,) = sup.failures
+    assert failure.kind == "deadlock"
+    assert failure.report is not None
+    assert failure.report["kind"] == "deadlock"
+    assert {e["rank"] for e in failure.report["entries"]} == {0, 1}

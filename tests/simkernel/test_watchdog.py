@@ -1,0 +1,207 @@
+"""Watchdog: budget/dispatch hang reports and deadlock diagnosis."""
+
+import json
+
+import pytest
+
+from repro.core.registry import get_property
+from repro.simkernel import (
+    DeadlockError,
+    HangError,
+    Simulator,
+)
+from repro.simkernel.watchdog import (
+    DeadlockReport,
+    HangReport,
+    PendingCall,
+    classify_wait,
+)
+from repro.simkernel.scheduler import current_sim
+from repro.simmpi import MPI_DOUBLE, alloc_mpi_buf, run_mpi
+from repro.simomp import (
+    omp_barrier,
+    omp_get_thread_num,
+    omp_parallel,
+    run_omp,
+)
+
+
+def _spinner(sim, dt=0.01):
+    while True:
+        sim.hold(dt)
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "reason, kind",
+    [
+        ("MPI_Wait(recv src=1 tag=0)", "recv"),
+        ("MPI_Wait(send dst=2 tag=0)", "send"),
+        ("barrier(team 0)", "barrier"),
+        ("lock(l)", "lock"),
+        ("acquire(sem)", "semaphore"),
+        ("cond(cv)", "condition"),
+        ("wait(ev)", "event"),
+        ("mailbox(mb)", "mailbox"),
+        ("hold(0.5)", "hold"),
+        ("", "passive"),
+        ("something odd", "passive"),
+    ],
+)
+def test_classify_wait(reason, kind):
+    assert classify_wait(reason) == kind
+
+
+def test_pending_call_describe_and_dict():
+    call = PendingCall(
+        process="rank1", pid=1, kind="recv",
+        detail="recv from 0 tag 3 comm 0", rank=1,
+    )
+    assert call.describe() == (
+        "rank1 (rank 1): recv -- recv from 0 tag 3 comm 0"
+    )
+    assert call.to_dict()["rank"] == 1
+
+
+# ----------------------------------------------------------------------
+# virtual-time budget (HangError)
+# ----------------------------------------------------------------------
+
+def test_budget_trips_on_bare_simulator():
+    sim = Simulator()
+    sim.spawn(_spinner, sim, name="a")
+    sim.spawn(_spinner, sim, name="b")
+    with pytest.raises(HangError) as excinfo:
+        sim.run(budget=0.05)
+    report = excinfo.value.report
+    assert isinstance(report, HangReport)
+    assert report.budget == 0.05
+    assert "virtual-time budget" in report.reason
+    assert {e.process for e in report.entries} == {"a", "b"}
+    # the report is JSON-serializable end to end
+    parsed = json.loads(report.to_json_str())
+    assert parsed["kind"] == "hang"
+    assert len(parsed["entries"]) == 2
+
+
+def test_budget_within_limit_is_transparent():
+    def short(sim):
+        sim.hold(0.01)
+        return "done"
+
+    sim = Simulator()
+    sim.spawn(short, sim, name="p")
+    final = sim.run(budget=10.0)
+    assert final == pytest.approx(0.01)
+    assert sim.results()["p"] == "done"
+
+
+def test_max_dispatches_carries_hang_report():
+    sim = Simulator()
+    sim.spawn(_spinner, sim, name="mill")
+    with pytest.raises(HangError, match="exceeded max_dispatches=32") as ei:
+        sim.run(max_dispatches=32)
+    report = ei.value.report
+    assert report is not None
+    assert report.max_dispatches == 32
+    assert "dispatch limit" in report.reason
+
+
+def test_budget_kills_mpi_program_inside_trace_region():
+    # Regression: teardown used to deadlock when the forced unwind
+    # crossed an open trace region (the region exit raised, the worker
+    # reported a failure instead of completing the kill handshake).
+    with pytest.raises(HangError) as excinfo:
+        get_property("late_sender").run(
+            size=4, num_threads=2, seed=0, time_budget=0.0001
+        )
+    report = excinfo.value.report
+    assert report.budget == 0.0001
+    # every rank shows up with its rank number attached
+    assert sorted(
+        e.rank for e in report.entries if e.rank is not None
+    ) == [0, 1, 2, 3]
+
+
+def test_budget_reports_omp_barrier_arrival_state():
+    def body():
+        if omp_get_thread_num() == 0:
+            while True:
+                current_sim().hold(0.01)
+        omp_barrier()
+
+    with pytest.raises(HangError) as excinfo:
+        run_omp(
+            lambda: omp_parallel(body, num_threads=4),
+            num_threads=4,
+            time_budget=0.05,
+        )
+    entries = excinfo.value.report.entries
+    barrier_waits = [e for e in entries if e.kind == "barrier"]
+    assert barrier_waits, entries
+    assert any("3/4 arrived" in e.detail for e in barrier_waits)
+
+
+# ----------------------------------------------------------------------
+# deadlock reports
+# ----------------------------------------------------------------------
+
+def _crossed_sends(comm):
+    # both ranks post a rendezvous-sized blocking send first: classic
+    # unsafe crossed send, deadlocks under the rendezvous protocol
+    n = 4096  # 32768 bytes of doubles, past the 8192B eager threshold
+    buf = alloc_mpi_buf(MPI_DOUBLE, n)
+    peer = 1 - comm.rank()
+    comm.send(buf, peer, tag=0)
+    comm.recv(buf, source=peer, tag=0)
+
+
+def test_crossed_rendezvous_sends_name_every_rank():
+    with pytest.raises(DeadlockError) as excinfo:
+        run_mpi(_crossed_sends, size=2, model_init_overhead=False)
+    report = excinfo.value.report
+    assert isinstance(report, DeadlockReport)
+    assert report.blocked == 2
+    assert report.blocked_ranks() == (0, 1)
+    by_rank = {e.rank: e for e in report.entries}
+    assert by_rank[0].kind == "send"
+    assert "send to 1" in by_rank[0].detail
+    assert "rendezvous" in by_rank[0].detail
+    assert "send to 0" in by_rank[1].detail
+    text = report.format()
+    assert "DEADLOCK" in text
+    assert "2 blocked process(es)" in text
+
+
+def _recv_from_silence(comm):
+    if comm.rank() == 0:
+        buf = alloc_mpi_buf(MPI_DOUBLE, 4)
+        comm.recv(buf, source=1, tag=7)
+    # rank 1 exits immediately; rank 0 waits forever
+
+
+def test_pending_recv_names_peer_and_tag():
+    with pytest.raises(DeadlockError) as excinfo:
+        run_mpi(
+            _recv_from_silence,
+            size=2,
+            model_init_overhead=False,
+            strict=False,
+        )
+    report = excinfo.value.report
+    assert report.blocked_ranks() == (0,)
+    (entry,) = report.entries
+    assert entry.kind == "recv"
+    assert "recv from 1 tag 7" in entry.detail
+
+
+def test_deadlock_report_json_round_trip():
+    with pytest.raises(DeadlockError) as excinfo:
+        run_mpi(_crossed_sends, size=2, model_init_overhead=False)
+    parsed = json.loads(excinfo.value.report.to_json_str())
+    assert parsed["kind"] == "deadlock"
+    assert parsed["blocked"] == 2
+    assert {e["rank"] for e in parsed["entries"]} == {0, 1}

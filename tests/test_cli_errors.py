@@ -142,6 +142,73 @@ def test_robustness_cli_smoke(tmp_path, capsys):
     assert len(data["curves"]["late_sender"]) == 3
 
 
+def test_analyze_zero_event_trace_is_clean(tmp_path, capsys):
+    # a header-only trace is legal: a run that recorded nothing
+    trace = tmp_path / "empty-events.trace"
+    trace.write_text('{"format": "ats-trace", "version": 1}\n')
+    rc, out, err = _run(capsys, "analyze", str(trace))
+    assert rc == 0
+    assert "trace contains no event records; no findings" in out
+    assert err == ""
+    assert "Traceback" not in out
+    # the profile path must not crash on zero events either
+    rc, out, _ = _run(capsys, "analyze", str(trace), "--profile")
+    assert rc == 0
+    assert "no findings" in out
+
+
+def test_run_time_budget_hang_reports_and_exits_2(capsys):
+    rc, out, err = _run(
+        capsys,
+        "run", "late_sender", "--size", "4", "--no-analyze",
+        "--time-budget", "0.0001",
+    )
+    assert_clean_error(rc, err, "simulation hang")
+    assert "HANG at" in out
+    assert "rank 0" in out
+
+
+def test_resume_requires_checkpoint(capsys):
+    rc, _, err = _run(
+        capsys, "robustness", "--program", "late_sender", "--resume"
+    )
+    assert_clean_error(rc, err, "--resume requires --checkpoint")
+
+
+def test_existing_checkpoint_requires_resume(tmp_path, capsys):
+    ck = tmp_path / "ck.jsonl"
+    ck.write_text('{"format": "ats-checkpoint", "version": 1}\n')
+    rc, _, err = _run(
+        capsys,
+        "robustness", "--program", "late_sender",
+        "--checkpoint", str(ck),
+    )
+    assert_clean_error(rc, err, "pass --resume")
+
+
+def test_robustness_checkpoint_resume_round_trip(tmp_path, capsys):
+    argv = [
+        "robustness", "--program", "late_sender",
+        "--magnitudes", "0,1", "--seeds", "1", "--size", "4",
+        "--threads", "2",
+    ]
+    full = tmp_path / "full.json"
+    assert main([*argv, "--json", str(full)]) == 0
+    ck = tmp_path / "ck.jsonl"
+    first = tmp_path / "first.json"
+    assert main([
+        *argv, "--json", str(first), "--checkpoint", str(ck),
+    ]) == 0
+    resumed = tmp_path / "resumed.json"
+    assert main([
+        *argv, "--json", str(resumed),
+        "--checkpoint", str(ck), "--resume",
+    ]) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == full.read_bytes()
+    assert resumed.read_bytes() == full.read_bytes()
+
+
 def test_robustness_cli_rejects_bad_args(capsys):
     rc, _, err = _run(capsys, "robustness", "--magnitudes", "0,zap")
     assert_clean_error(rc, err, "bad --magnitudes value")
