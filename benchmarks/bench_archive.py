@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Archive cache benchmark: cold vs warm full-registry re-analysis.
+
+Archives one run of every registered property function, then analyzes
+the whole history twice:
+
+* **cold** -- a fresh archive: every detector cell misses and is
+  computed from the trace blob (this is what populates the cache),
+* **warm** -- the same history again: every cell hits and the trace
+  blobs are never read.
+
+The ratio is the headline number (acceptance bar: warm >= 5x faster
+than cold), and every warm result is asserted byte-identical (canonical
+JSON) to a fresh ``analyze_events`` over the stored trace before any
+number is written.  Results land in ``BENCH_ARCHIVE.json`` at the
+repository root, which ``check_bench_guard.py`` validates.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_archive.py           # full
+    PYTHONPATH=src python benchmarks/bench_archive.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import AnalysisConfig, analyze_events  # noqa: E402
+from repro.archive import (  # noqa: E402
+    Archive,
+    CacheStats,
+    result_to_json_bytes,
+)
+from repro.core import list_properties  # noqa: E402
+from repro.trace.io import events_from_jsonl  # noqa: E402
+
+OUT_PATH = REPO_ROOT / "BENCH_ARCHIVE.json"
+
+#: modest-but-real shape; every registered program runs at this size
+SIZE = 8
+THREADS = 4
+SEED = 0
+
+
+def build_archive(root: Path, specs) -> Archive:
+    archive = Archive(root)
+    for spec in specs:
+        archive.archive_run(
+            spec, size=SIZE, num_threads=THREADS, seed=SEED
+        )
+    return archive
+
+
+def analyze_all(archive: Archive) -> tuple[float, CacheStats, dict]:
+    stats = CacheStats()
+    t0 = time.perf_counter()
+    results = archive.analyze_many(stats=stats)
+    return time.perf_counter() - t0, stats, results
+
+
+def assert_byte_identical(archive: Archive, results: dict) -> None:
+    """Every cached result must equal a fresh analysis, byte for byte."""
+    for run in archive.history():
+        events, _ = events_from_jsonl(
+            archive.store.get_blob(run.trace_digest).decode("utf-8")
+        )
+        config = (
+            AnalysisConfig(eager_threshold=run.eager_threshold)
+            if run.eager_threshold is not None
+            else AnalysisConfig()
+        )
+        fresh = analyze_events(
+            events, total_time=run.final_time, config=config
+        )
+        cached = results[run.run_id]
+        assert result_to_json_bytes(cached) == result_to_json_bytes(
+            fresh
+        ), f"cached result of {run.run_id} ({run.program}) diverged"
+
+
+def run_benchmark(specs, repeats: int) -> dict:
+    # Cold needs a pristine store per repeat (the first pass populates
+    # the cache); warm is best-of-N on the final populated store.
+    cold_best = None
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="ats-bench-arch-") as tmp:
+            archive = build_archive(Path(tmp), specs)
+            cold_s, cold_stats, _ = analyze_all(archive)
+            archive.close()
+        if cold_best is None or cold_s < cold_best:
+            cold_best = cold_s
+
+    with tempfile.TemporaryDirectory(prefix="ats-bench-arch-") as tmp:
+        archive = build_archive(Path(tmp), specs)
+        _, _, cold_results = analyze_all(archive)  # populate
+        warm_best = None
+        warm_stats = None
+        for _ in range(repeats):
+            warm_s, stats, warm_results = analyze_all(archive)
+            if warm_best is None or warm_s < warm_best:
+                warm_best = warm_s
+                warm_stats = stats
+        assert warm_stats.misses == 0, (
+            f"warm pass missed {warm_stats.misses} cells"
+        )
+        assert_byte_identical(archive, warm_results)
+        runs = len(archive.history())
+        archive.close()
+
+    return {
+        "programs": len(specs),
+        "runs": runs,
+        "size": SIZE,
+        "num_threads": THREADS,
+        "repeats": repeats,
+        "cold_s": round(cold_best, 6),
+        "warm_s": round(warm_best, 6),
+        "speedup": round(cold_best / warm_best, 2),
+        "warm_cache": {
+            "hits": warm_stats.hits,
+            "misses": warm_stats.misses,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="subset of programs, 1 repeat (CI smoke); "
+                        "does not overwrite the committed baseline")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    specs = list_properties()
+    repeats = args.repeats
+    if args.quick:
+        specs = specs[:6]
+        repeats = 1
+
+    result = run_benchmark(specs, repeats)
+    print(
+        f"archive analyze-all over {result['runs']} runs "
+        f"({result['programs']} programs, size {SIZE}):"
+    )
+    print(
+        f"  cold {result['cold_s']*1000:8.1f} ms   "
+        f"warm {result['warm_s']*1000:8.1f} ms   "
+        f"speedup {result['speedup']:.1f}x"
+    )
+    print(
+        f"  warm cache: {result['warm_cache']['hits']} hits, "
+        f"{result['warm_cache']['misses']} misses; results "
+        "byte-identical to fresh analysis"
+    )
+
+    if args.quick:
+        print("quick mode: baseline not written")
+        return 0
+    OUT_PATH.write_text(
+        json.dumps({"archive-registry": result}, indent=2) + "\n"
+    )
+    print(f"baseline written to {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,10 @@ run fails (exit 1) when the fresh time exceeds a baseline by more than
 the slack factor -- default 25%, overridable for noisy runners with
 ``ATS_BENCH_SLACK=0.5`` or ``--slack``.
 
+It also validates ``BENCH_ARCHIVE.json`` (written by
+``bench_archive.py``): the committed warm-cache speedup must stay at or
+above the 5x acceptance bar with a fully-hitting warm pass.
+
 Run directly (not via pytest)::
 
     PYTHONPATH=src python benchmarks/check_bench_guard.py
@@ -96,6 +100,33 @@ def collect_baselines(size: int) -> dict:
     return baselines
 
 
+#: acceptance bar for the archive cache (warm analyze-all vs cold)
+ARCHIVE_MIN_SPEEDUP = 5.0
+
+
+def check_archive_baseline() -> bool:
+    """Validate the committed archive-cache numbers; True when OK."""
+    data = _load("BENCH_ARCHIVE.json")
+    if not data:
+        print("no BENCH_ARCHIVE.json baseline; archive check skipped")
+        return True
+    try:
+        entry = data["archive-registry"]
+        speedup = entry["speedup"]
+        misses = entry["warm_cache"]["misses"]
+    except KeyError as exc:
+        print(f"BENCH_ARCHIVE.json malformed (missing {exc}); FAIL")
+        return False
+    ok = speedup >= ARCHIVE_MIN_SPEEDUP and misses == 0
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"  BENCH_ARCHIVE warm speedup       {speedup:7.1f}x "
+        f"(bar {ARCHIVE_MIN_SPEEDUP:.0f}x, "
+        f"{misses} warm misses)  {verdict}"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=64)
@@ -110,10 +141,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    archive_ok = check_archive_baseline()
+
     baselines = collect_baselines(args.size)
     if not baselines:
         print(f"no committed baselines cover hybrid-{args.size}; nothing to guard")
-        return 0
+        return 0 if archive_ok else 1
 
     fresh = measure(args.size, args.threads, args.repeats)
     print(f"fresh hybrid-{args.size}: {fresh*1000:.1f} ms "
@@ -130,6 +163,10 @@ def main(argv=None) -> int:
     if failed:
         print("FAIL: hybrid composite slower than a committed baseline "
               "beyond slack")
+        return 1
+    if not archive_ok:
+        print("FAIL: committed archive-cache baseline below the "
+              "acceptance bar")
         return 1
     print("bench guard passed")
     return 0

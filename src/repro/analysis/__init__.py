@@ -7,7 +7,7 @@ performance property, ASL-style severities, and results on EXPERT's
 three axes (property x call path x location).
 """
 
-from .analyzer import analyze_events, analyze_run
+from .analyzer import ANALYZER_VERSION, analyze_events, analyze_run
 from .index import RegionVisit, TraceIndex, replay_region_visits
 from .compare import ComparisonReport, PropertyDelta, compare_analyses
 from .hierarchy import (
@@ -24,6 +24,7 @@ from .model import AnalysisResult, Finding
 from .report import format_expert_report, format_summary_table
 
 __all__ = [
+    "ANALYZER_VERSION",
     "AnalysisConfig",
     "AnalysisResult",
     "ComparisonReport",

@@ -25,6 +25,11 @@ from .detectors import DEFAULT_DETECTORS, AnalysisConfig
 from .index import TraceIndex
 from .model import AnalysisResult, Finding
 
+#: bumped whenever analyzer semantics change in a way that invalidates
+#: previously computed results; part of every archive cache key and
+#: recorded in run manifests (see :mod:`repro.archive`).
+ANALYZER_VERSION = "1"
+
 
 def _is_time_sorted(events: Sequence[Event]) -> bool:
     prev = float("-inf")

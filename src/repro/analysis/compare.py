@@ -10,7 +10,7 @@ and a human-readable regression report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from .model import AnalysisResult
 
@@ -33,6 +33,24 @@ class PropertyDelta:
             return float("inf") if self.after > 0 else 0.0
         return self.delta / self.before
 
+    @property
+    def new_property(self) -> bool:
+        """The property appeared from nothing (``relative`` is inf)."""
+        return self.before == 0 and self.after > 0
+
+    def to_dict(self) -> dict:
+        """JSON-safe view: an infinite ``relative`` serializes as
+        ``null`` with ``new_property`` set, so ``ats diff --json``
+        stays valid JSON (``inf`` is not a JSON value)."""
+        return {
+            "property": self.property,
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+            "relative": None if self.new_property else self.relative,
+            "new_property": self.new_property,
+        }
+
 
 @dataclass
 class ComparisonReport:
@@ -54,6 +72,49 @@ class ComparisonReport:
         return max(
             (abs(d.delta) for d in self.deltas.values()), default=0.0
         )
+
+    def severity_regressions(
+        self, epsilon: Optional[float] = None
+    ) -> Tuple[str, ...]:
+        """Properties whose severity *fell* by more than ``epsilon``.
+
+        ``epsilon`` defaults to the report's detection threshold: a
+        drop a tool's sensitivity would notice.  This is the second leg
+        of the CI gate (``ats diff --gate``) next to :attr:`lost`.
+        """
+        if epsilon is None:
+            epsilon = self.threshold
+        return tuple(
+            name
+            for name in sorted(self.deltas)
+            if self.deltas[name].delta <= -epsilon
+        )
+
+    def gate_failures(self, epsilon: Optional[float] = None) -> list[str]:
+        """Human-readable reasons the regression gate should fail."""
+        reasons = [
+            f"property lost: {name}" for name in self.lost
+        ]
+        for name in self.severity_regressions(epsilon):
+            d = self.deltas[name]
+            reasons.append(
+                f"severity regression: {name} "
+                f"{d.before:.2%} -> {d.after:.2%} ({d.delta:+.2%})"
+            )
+        return reasons
+
+    def to_dict(self) -> dict:
+        """JSON-safe structured diff (see :meth:`PropertyDelta.to_dict`)."""
+        return {
+            "threshold": self.threshold,
+            "lost": list(self.lost),
+            "gained": list(self.gained),
+            "is_regression": self.is_regression,
+            "deltas": [
+                self.deltas[name].to_dict()
+                for name in sorted(self.deltas)
+            ],
+        }
 
     def format(self) -> str:
         lines = [

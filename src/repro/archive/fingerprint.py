@@ -1,0 +1,91 @@
+"""Fingerprints: what makes a cached analysis cell valid.
+
+A cached cell is keyed by ``(trace digest, detector fingerprint)``.
+The detector fingerprint digests everything that could change that
+detector's output on a fixed trace:
+
+* the detector class's own source code *and* the source of its
+  defining module (so editing a helper next to the class invalidates
+  its cells, while an edit to an unrelated detector module does not),
+* the detector instance's configuration attributes,
+* the :class:`~repro.analysis.AnalysisConfig` in effect,
+* the global :data:`~repro.analysis.ANALYZER_VERSION` -- the manual
+  escape hatch for changes in shared analyzer infrastructure.
+
+This is deliberately *over*-eager at module granularity: a comment
+edit in ``p2p.py`` recomputes the three p2p detectors' cells and
+nothing else, which is exactly the "only recompute affected cells"
+contract -- stale results are the one unacceptable outcome.
+"""
+
+from __future__ import annotations
+
+import inspect
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from ..analysis import ANALYZER_VERSION, AnalysisConfig
+from .store import canonical_json, sha256_hex
+
+
+@lru_cache(maxsize=None)
+def _class_source_hash(cls: type) -> str:
+    """Digest of the class source + its defining module's source.
+
+    Builtins or classes without retrievable source fall back to the
+    qualified name -- fingerprints stay stable, just less sensitive.
+    """
+    try:
+        class_src = inspect.getsource(cls)
+    except (OSError, TypeError):
+        class_src = cls.__qualname__
+    module = inspect.getmodule(cls)
+    try:
+        module_src = inspect.getsource(module) if module else ""
+    except (OSError, TypeError):
+        module_src = ""
+    return sha256_hex(class_src + "\n" + module_src)
+
+
+def config_fingerprint(config: Optional[AnalysisConfig]) -> str:
+    config = config or AnalysisConfig()
+    return sha256_hex(
+        canonical_json(
+            {
+                "eager_threshold": config.eager_threshold,
+                "noise_floor": config.noise_floor,
+            }
+        )
+    )
+
+
+def detector_fingerprint(
+    detector, config: Optional[AnalysisConfig] = None
+) -> str:
+    """Cache-key component for one detector under one config."""
+    cls = type(detector)
+    state = getattr(detector, "__dict__", None) or {}
+    payload = {
+        "analyzer": ANALYZER_VERSION,
+        "module": cls.__module__,
+        "class": cls.__qualname__,
+        "source": _class_source_hash(cls),
+        "state": {k: repr(v) for k, v in sorted(state.items())},
+        "config": config_fingerprint(config),
+    }
+    return sha256_hex(canonical_json(payload))
+
+
+def detector_set_fingerprint(
+    detectors: Sequence, config: Optional[AnalysisConfig] = None
+) -> str:
+    """Order-sensitive digest of a whole battery (manifest provenance).
+
+    Order matters because the analyzer's finding list is the
+    concatenation of per-detector outputs in battery order.
+    """
+    return sha256_hex(
+        canonical_json(
+            [detector_fingerprint(d, config) for d in detectors]
+        )
+    )

@@ -1,0 +1,175 @@
+"""Content-addressed blob store + append-only run manifest.
+
+The store is a directory::
+
+    <root>/
+      manifest.jsonl      append-only run journal (healed like a
+                          resilience checkpoint: a partial final line
+                          from a killed process is cut, never fatal)
+      objects/ab/cdef...  gzip-compressed blobs
+
+Blobs come in two flavours sharing one object directory:
+
+* **content-addressed** (:meth:`put_blob`): named by the SHA-256 of
+  the *uncompressed* payload, so identical traces deduplicate for free
+  and the digest doubles as the trace's identity in cache keys;
+* **key-addressed** (:meth:`put_named`): named by the SHA-256 of a
+  caller-supplied key string -- how the incremental analysis cache
+  finds a ``(trace digest, detector fingerprint)`` cell without any
+  index file.
+
+All blobs go through the deterministic gzip codec traces use
+(:func:`repro.trace.io.gzip_bytes`, ``mtime=0``), so a trace blob
+copied to a ``.jsonl.gz`` file *is* a readable trace.  Writes are
+atomic (temp file + rename) so concurrent batch analysis never
+exposes a half-written cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..obs.instruments import archive_metrics
+from ..resilience.checkpoint import CheckpointError, CheckpointJournal
+from ..trace.io import gunzip_bytes, gzip_bytes
+
+MANIFEST_FORMAT = "ats-archive-manifest"
+
+
+class ArchiveError(Exception):
+    """A structural problem with an archive (missing blob, bad root)."""
+
+
+def sha256_hex(data: Union[str, bytes]) -> str:
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_json(obj) -> str:
+    """Stable serialization for identities and fingerprints."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class ArchiveStore:
+    """One archive directory: blobs + the run manifest journal."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self._manifest = CheckpointJournal(
+            self.root / "manifest.jsonl", fmt=MANIFEST_FORMAT
+        )
+
+    # ------------------------------------------------------------------
+    # blobs
+    # ------------------------------------------------------------------
+
+    def _blob_path(self, digest: str) -> Path:
+        return self.objects / digest[:2] / digest[2:]
+
+    def _write_blob(self, digest: str, data: bytes) -> bool:
+        """Compress and atomically store; False when already present."""
+        path = self._blob_path(digest)
+        if path.exists():
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        compressed = gzip_bytes(data)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".blob"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(compressed)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        metrics = archive_metrics()
+        if metrics is not None:
+            metrics.blob_bytes.inc(len(compressed))
+        return True
+
+    def put_blob(self, data: bytes) -> str:
+        """Store content-addressed; returns the payload digest."""
+        digest = sha256_hex(data)
+        self._write_blob(digest, data)
+        return digest
+
+    def has_blob(self, digest: str) -> bool:
+        return self._blob_path(digest).exists()
+
+    def get_blob(self, digest: str) -> bytes:
+        """Load and decompress a content-addressed blob."""
+        path = self._blob_path(digest)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            raise ArchiveError(
+                f"archive {self.root}: missing blob {digest[:12]}"
+            ) from None
+        data = gunzip_bytes(raw)
+        if sha256_hex(data) != digest:
+            raise ArchiveError(
+                f"archive {self.root}: blob {digest[:12]} fails its "
+                "digest check (corrupt object)"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # key-addressed cells (the analysis cache)
+    # ------------------------------------------------------------------
+
+    def put_named(self, key: str, data: bytes) -> str:
+        """Store under the digest of ``key``; returns that digest."""
+        digest = sha256_hex(key)
+        self._write_blob(digest, data)
+        return digest
+
+    def get_named(self, key: str) -> Optional[bytes]:
+        """Load a key-addressed cell, or None when absent."""
+        path = self._blob_path(sha256_hex(key))
+        try:
+            return gunzip_bytes(path.read_bytes())
+        except FileNotFoundError:
+            return None
+
+    def has_named(self, key: str) -> bool:
+        return self._blob_path(sha256_hex(key)).exists()
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+
+    def record_run(self, run_id: str, payload: dict) -> None:
+        """Append one run record (flushed immediately, kill-safe)."""
+        self._manifest.record(run_id, payload)
+
+    def load_manifest(self) -> Dict[str, dict]:
+        """``run_id -> payload`` in first-recorded order (last wins).
+
+        A partial final line (killed writer) is healed away exactly
+        like a resilience checkpoint; deeper corruption raises
+        :class:`ArchiveError`.
+        """
+        try:
+            return self._manifest.load()
+        except CheckpointError as exc:
+            raise ArchiveError(str(exc)) from exc
+
+    def close(self) -> None:
+        self._manifest.close()
+
+    def __enter__(self) -> "ArchiveStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -7,11 +7,14 @@ Subcommands::
     ats chain [...]                  run the figure-3.3 all-MPI chain
     ats split [...]                  run the figure-3.4 split program
     ats generate <outdir>            emit standalone test programs
-    ats analyze <trace.jsonl>        analyze a persisted trace
+    ats analyze <trace>...           analyze persisted traces
     ats metrics [property]           run + dump runtime metrics
     ats matrix [...]                 run the validation matrix
     ats robustness [...]             detector TP/FP curves under faults
     ats suites                       print the chapter-2/4 catalog
+    ats archive run|analyze|export   trace archive with cached analysis
+    ats history                      list archived runs
+    ats diff <runA> <runB>           cross-run regression diff (--gate)
 
 Observability flags on the run-style commands (``run``/``chain``/
 ``split``) enable the :mod:`repro.obs` layer for that invocation:
@@ -357,19 +360,55 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_analyze(args: argparse.Namespace) -> int:
+def _expand_traces(patterns: Sequence[str]) -> list:
+    """Expand ``ats analyze`` operands: files, directories, globs.
+
+    A directory contributes its ``*.jsonl`` / ``*.jsonl.gz`` entries
+    (sorted); a pattern with glob characters expands via ``glob`` --
+    both fail loudly when they match nothing, a plain filename passes
+    through so the missing-file error names it.
+    """
+    import glob as globmod
+    from pathlib import Path
+
+    suffixes = (".jsonl", ".jsonl.gz")
+    paths: list = []
+    for pattern in patterns:
+        path = Path(pattern)
+        if path.is_dir():
+            found = sorted(
+                p for p in path.iterdir()
+                if p.is_file() and p.name.endswith(suffixes)
+            )
+            if not found:
+                raise CliError(
+                    f"no trace files (*.jsonl, *.jsonl.gz) in "
+                    f"directory {pattern}"
+                )
+            paths.extend(found)
+        elif any(ch in pattern for ch in "*?["):
+            found = sorted(globmod.glob(pattern))
+            if not found:
+                raise CliError(f"no trace files match {pattern!r}")
+            paths.extend(Path(p) for p in found)
+        else:
+            paths.append(path)
+    return paths
+
+
+def _analyze_one_trace(path, args) -> int:
     try:
         events, metadata = read_trace(
-            args.trace,
+            path,
             skip_bad_lines=args.skip_bad_lines,
             salvage=args.salvage,
         )
     except FileNotFoundError:
-        raise CliError(f"trace file not found: {args.trace}") from None
+        raise CliError(f"trace file not found: {path}") from None
     except IsADirectoryError:
-        raise CliError(f"{args.trace} is a directory, not a trace") from None
+        raise CliError(f"{path} is a directory, not a trace") from None
     except PermissionError:
-        raise CliError(f"cannot read trace file: {args.trace}") from None
+        raise CliError(f"cannot read trace file: {path}") from None
     except TraceFormatError as exc:
         # already rendered as "path:line: message"
         raise CliError(str(exc)) from None
@@ -397,6 +436,31 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     result = analyze_events(events)
     print(format_expert_report(result, threshold=args.threshold))
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Analyze one or many traces; exit status is the worst per-trace.
+
+    With several traces each report is headed by its path, and a
+    failing trace (missing, corrupt) is reported inline without
+    aborting the rest of the batch.
+    """
+    paths = _expand_traces(args.traces)
+    many = len(paths) > 1
+    status = 0
+    for i, path in enumerate(paths):
+        if many:
+            if i:
+                print()
+            print(f"== {path} ==")
+        try:
+            status = max(status, _analyze_one_trace(path, args))
+        except CliError as exc:
+            if not many:
+                raise
+            print(f"ats: error: {exc}", file=sys.stderr)
+            status = max(status, 2)
+    return status
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -427,8 +491,11 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         seed=args.seed,
         time_budget=args.time_budget,
         supervisor=supervisor,
+        archive=args.archive,
     )
     print(matrix.format_table())
+    if args.archive is not None:
+        print(f"runs archived in {args.archive}")
     _emit_failures(args, supervisor)
     return 0 if matrix.all_passed else 1
 
@@ -464,8 +531,11 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         time_budget=args.time_budget,
         supervisor=supervisor,
+        archive=args.archive,
     )
     print(result.format_table())
+    if args.archive is not None:
+        print(f"runs archived in {args.archive}")
     if args.json is not None:
         text = result.to_json_str()
         if args.json == "-":
@@ -507,6 +577,155 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(result.to_csv())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# archive commands
+# ----------------------------------------------------------------------
+
+def _open_archive(args):
+    from .archive import Archive
+
+    return Archive(args.archive)
+
+
+def cmd_archive_run(args: argparse.Namespace) -> int:
+    from .archive import ArchiveError
+
+    spec = _resolve_property(args.property)
+    params = _dist_override(spec, args.dist) if args.dist else None
+    if args.severity_scale is not None and args.severity_scale <= 0:
+        raise CliError("--severity-scale must be > 0")
+    with _open_archive(args) as arch:
+        try:
+            run = arch.archive_run(
+                spec,
+                size=args.size,
+                num_threads=args.threads,
+                seed=args.seed,
+                params=params,
+                severity_scale=args.severity_scale,
+                time_budget=args.time_budget,
+            )
+        except ArchiveError as exc:
+            raise CliError(str(exc)) from None
+    print(
+        f"archived {run.run_id} {run.program} size={run.size} "
+        f"threads={run.threads} seed={run.seed} events={run.events} "
+        f"trace={run.trace_digest[:12]}"
+    )
+    return 0
+
+
+def cmd_archive_analyze(args: argparse.Namespace) -> int:
+    from .archive import ArchiveError, CacheStats
+
+    stats = CacheStats()
+    with _open_archive(args) as arch:
+        try:
+            runs = (
+                [arch.resolve(ref) for ref in args.run]
+                if args.run
+                else arch.history()
+            )
+            if not runs:
+                raise CliError(
+                    f"archive {arch.root} is empty; record runs with "
+                    "'ats archive run' first"
+                )
+            results = arch.analyze_many(
+                runs,
+                stats=stats,
+                parallel=args.parallel,
+                max_workers=args.workers,
+            )
+        except ArchiveError as exc:
+            raise CliError(str(exc)) from None
+    for run in runs:
+        ranked = [
+            f"{name}={sev:.1%}"
+            for name, sev in results[run.run_id].ranked()
+            if sev >= args.threshold
+        ]
+        print(
+            f"{run.run_id} {run.program}: "
+            + (", ".join(ranked) if ranked else "no findings above "
+               f"{args.threshold:.1%}")
+        )
+    print(stats.format())
+    return 0
+
+
+def cmd_archive_export(args: argparse.Namespace) -> int:
+    from .archive import ArchiveError
+
+    with _open_archive(args) as arch:
+        try:
+            run = arch.resolve(args.run)
+            path = arch.export_trace(run, args.out)
+        except ArchiveError as exc:
+            raise CliError(str(exc)) from None
+    print(f"trace {run.trace_digest[:12]} of {run.run_id} written to {path}")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from .archive import ArchiveError, format_history, history_to_json_str
+
+    with _open_archive(args) as arch:
+        try:
+            runs = arch.history()
+        except ArchiveError as exc:
+            raise CliError(str(exc)) from None
+    sys.stdout.write(
+        history_to_json_str(runs) if args.json else format_history(runs)
+    )
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Cross-run regression diff; ``--gate`` makes it a CI check."""
+    import json
+
+    from .archive import ArchiveError, CacheStats
+
+    stats = CacheStats()
+    with _open_archive(args) as arch:
+        try:
+            before = arch.resolve(args.before)
+            after = arch.resolve(args.after)
+            report = arch.diff(
+                before, after, threshold=args.threshold, stats=stats
+            )
+        except ArchiveError as exc:
+            raise CliError(str(exc)) from None
+    print(
+        f"diff {before.run_id} ({before.program}) -> "
+        f"{after.run_id} ({after.program})"
+    )
+    print(report.format())
+    print(stats.format())
+    if args.json is not None:
+        payload = dict(
+            {"format": "ats-diff", "version": 1,
+             "before": before.run_id, "after": after.run_id},
+            **report.to_dict(),
+        )
+        text = json.dumps(payload, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"diff written to {args.json}")
+    if args.gate:
+        failures = report.gate_failures()
+        if failures:
+            for reason in failures:
+                print(f"ats: gate: {reason}", file=sys.stderr)
+            return 1
+        print("gate: no regressions")
     return 0
 
 
@@ -556,8 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None)
     p.set_defaults(fn=cmd_generate)
 
-    p = sub.add_parser("analyze", help="analyze a persisted trace")
-    p.add_argument("trace")
+    p = sub.add_parser("analyze", help="analyze persisted traces")
+    p.add_argument("traces", nargs="+", metavar="trace",
+                   help="trace files, directories (all *.jsonl[.gz] "
+                   "inside) or glob patterns")
     p.add_argument("--threshold", type=float, default=0.005)
     p.add_argument("--profile", action="store_true",
                    help="print the per-region trace profile first")
@@ -586,6 +807,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=8)
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--archive", metavar="DIR", default=None,
+                   help="also record every executed run's trace in "
+                   "this archive directory")
     _add_supervision_options(p)
     p.set_defaults(fn=cmd_matrix)
 
@@ -611,6 +835,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE", default=None,
                    help="also write the full curves as JSON "
                    "('-' = stdout)")
+    p.add_argument("--archive", metavar="DIR", default=None,
+                   help="also record every analyzed trace in this "
+                   "archive directory (under its scaled fault plan)")
     _add_supervision_options(p)
     p.set_defaults(fn=cmd_robustness)
 
@@ -637,6 +864,83 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_sweep)
+
+    def _add_archive_option(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--archive", metavar="DIR",
+                            default=".ats-archive",
+                            help="archive directory (default "
+                            ".ats-archive)")
+
+    p = sub.add_parser(
+        "archive",
+        help="record runs in a content-addressed trace archive",
+    )
+    asub = p.add_subparsers(dest="archive_command", required=True)
+
+    pa = asub.add_parser(
+        "run", help="execute a property function and archive its trace"
+    )
+    pa.add_argument("property")
+    _add_archive_option(pa)
+    pa.add_argument("--size", type=int, default=8)
+    pa.add_argument("--threads", type=int, default=4)
+    pa.add_argument("--seed", type=int, default=0)
+    pa.add_argument("--dist", metavar="SHAPE[:V1,V2,...]", default=None,
+                    help="override the property's work distribution")
+    pa.add_argument("--severity-scale", type=float, default=None,
+                    metavar="FACTOR",
+                    help="scale the property's severity parameters "
+                    "(a distinct archived identity; used to exercise "
+                    "the diff gate)")
+    pa.add_argument("--time-budget", type=float, default=None,
+                    metavar="VSECONDS")
+    pa.set_defaults(fn=cmd_archive_run)
+
+    pa = asub.add_parser(
+        "analyze",
+        help="analyze archived runs through the incremental cache",
+    )
+    pa.add_argument("run", nargs="*",
+                    help="run ids or unique prefixes (default: all)")
+    _add_archive_option(pa)
+    pa.add_argument("--threshold", type=float, default=0.005)
+    pa.add_argument("--parallel", action="store_true",
+                    help="fan the batch out over the worker pool")
+    pa.add_argument("--workers", type=int, default=8)
+    pa.set_defaults(fn=cmd_archive_analyze)
+
+    pa = asub.add_parser(
+        "export", help="write an archived trace back to a file"
+    )
+    pa.add_argument("run", help="run id or unique prefix")
+    pa.add_argument("out",
+                    help="destination (.gz for compressed JSONL)")
+    _add_archive_option(pa)
+    pa.set_defaults(fn=cmd_archive_export)
+
+    p = sub.add_parser("history", help="list archived runs")
+    _add_archive_option(p)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable history on stdout")
+    p.set_defaults(fn=cmd_history)
+
+    p = sub.add_parser(
+        "diff",
+        help="regression diff between two archived runs",
+    )
+    p.add_argument("before", help="baseline run id or unique prefix")
+    p.add_argument("after", help="candidate run id or unique prefix")
+    _add_archive_option(p)
+    p.add_argument("--threshold", type=float, default=0.01,
+                   help="detection threshold for lost/gained "
+                   "properties (default 0.01)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the structured diff as JSON "
+                   "('-' = stdout)")
+    p.add_argument("--gate", action="store_true",
+                   help="exit 1 on lost properties or severity "
+                   "regressions (CI regression gate)")
+    p.set_defaults(fn=cmd_diff)
 
     return parser
 

@@ -32,6 +32,7 @@ from .chrome import build_chrome_trace, write_chrome_trace
 from .export import to_json, to_json_str, to_prometheus
 from .instruments import (
     analysis_metrics,
+    archive_metrics,
     fault_metrics,
     kernel_metrics,
     omp_metrics,
@@ -71,6 +72,7 @@ __all__ = [
     "Span",
     "SpanLog",
     "analysis_metrics",
+    "archive_metrics",
     "build_chrome_trace",
     "fault_metrics",
     "get_registry",

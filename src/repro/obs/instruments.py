@@ -27,6 +27,7 @@ from .metrics import (
 
 __all__ = [
     "AnalysisMetrics",
+    "ArchiveMetrics",
     "FaultMetrics",
     "KernelMetrics",
     "OmpMetrics",
@@ -34,6 +35,7 @@ __all__ = [
     "TraceMetrics",
     "TransportMetrics",
     "analysis_metrics",
+    "archive_metrics",
     "fault_metrics",
     "kernel_metrics",
     "omp_metrics",
@@ -405,3 +407,47 @@ class AnalysisMetrics:
 
 def analysis_metrics() -> Optional[AnalysisMetrics]:
     return _bundle("analysis", AnalysisMetrics)
+
+
+# ----------------------------------------------------------------------
+# archive
+# ----------------------------------------------------------------------
+
+class ArchiveMetrics:
+    """Trace-archive and analysis-cache activity (see :mod:`repro.archive`).
+
+    ``hits``/``misses`` are labeled by cache stage: ``detector`` (one
+    per detector cell), ``meta`` (the per-trace summary record) and
+    ``trace`` (blob deduplication on archive writes).
+    """
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "runs_archived",
+        "blob_bytes",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.hits = reg.counter(
+            "ats_archive_hits_total",
+            "Archive cache lookups served from stored blobs, by stage",
+            labelnames=("stage",),
+        )
+        self.misses = reg.counter(
+            "ats_archive_misses_total",
+            "Archive cache lookups that required recomputation, by stage",
+            labelnames=("stage",),
+        )
+        self.runs_archived = reg.counter(
+            "ats_archive_runs_total",
+            "Runs recorded into an archive manifest",
+        )
+        self.blob_bytes = reg.counter(
+            "ats_archive_blob_bytes_total",
+            "Compressed bytes written to archive object stores",
+        )
+
+
+def archive_metrics() -> Optional[ArchiveMetrics]:
+    return _bundle("archive", ArchiveMetrics)

@@ -29,10 +29,17 @@ class CheckpointError(Exception):
 
 
 class CheckpointJournal:
-    """Durable per-cell outcome journal (see module docstring)."""
+    """Durable per-cell outcome journal (see module docstring).
 
-    def __init__(self, path: Union[str, Path]):
+    ``fmt`` names the journal format in the header line; other
+    subsystems reuse the healing/append machinery under their own
+    format name (the archive manifest is ``ats-archive-manifest``),
+    and a journal refuses to load a file of a different format.
+    """
+
+    def __init__(self, path: Union[str, Path], fmt: str = _FORMAT):
         self.path = Path(path)
+        self.fmt = fmt
         self._fh = None
 
     # ------------------------------------------------------------------
@@ -56,9 +63,9 @@ class CheckpointJournal:
             raise CheckpointError(
                 f"{self.path}:1: corrupt checkpoint header"
             ) from exc
-        if header.get("format") != _FORMAT:
+        if header.get("format") != self.fmt:
             raise CheckpointError(
-                f"{self.path}: not an {_FORMAT} journal"
+                f"{self.path}: not an {self.fmt} journal"
             )
         done: Dict[str, dict] = {}
         last = len(lines) - 1
@@ -93,7 +100,7 @@ class CheckpointJournal:
             self._fh = open(self.path, "a", encoding="utf-8")
             if fresh:
                 self._fh.write(
-                    json.dumps({"format": _FORMAT, "version": _VERSION})
+                    json.dumps({"format": self.fmt, "version": _VERSION})
                     + "\n"
                 )
                 self._fh.flush()

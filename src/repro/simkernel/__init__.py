@@ -21,6 +21,7 @@ from .process import (
     WorkerPool,
     current_process,
     maybe_current_process,
+    run_host_tasks,
     worker_pool,
 )
 from .rng import Lcg64
@@ -74,5 +75,6 @@ __all__ = [
     "maybe_current_process",
     "now",
     "passivate",
+    "run_host_tasks",
     "worker_pool",
 ]

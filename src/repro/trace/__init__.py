@@ -26,7 +26,17 @@ from .events import (
     Send,
     event_from_dict,
 )
-from .io import TraceFormatError, TraceWriter, read_trace, write_trace
+from .io import (
+    TraceFormatError,
+    TraceWriter,
+    events_from_jsonl,
+    events_to_jsonl,
+    gunzip_bytes,
+    gzip_bytes,
+    is_gzip_bytes,
+    read_trace,
+    write_trace,
+)
 from .recorder import TraceError, TraceRecorder
 from .stats import (
     RegionInterval,
@@ -66,6 +76,11 @@ __all__ = [
     "by_time_window",
     "current_instrumentation",
     "event_from_dict",
+    "events_from_jsonl",
+    "events_to_jsonl",
+    "gunzip_bytes",
+    "gzip_bytes",
+    "is_gzip_bytes",
     "format_profile",
     "profile_trace",
     "read_trace",

@@ -8,7 +8,12 @@ envisions between the ATS programs and the analysis tools under test.
 :class:`TraceWriter` buffers serialized lines and writes them in large
 chunks; it is a context manager with explicit ``flush``/``close`` so
 buffered tails cannot be silently dropped when a run crashes --
-``close`` always drains the buffer first.
+``close`` always drains the buffer first.  A ``.gz`` destination
+(conventionally ``.jsonl.gz``) writes through a deterministic gzip
+stream -- ``mtime=0``, no embedded filename -- so compressed traces of
+the same run are byte-identical across invocations, which is what lets
+the content-addressed archive (:mod:`repro.archive`) key blobs by
+digest.
 
 Reading is hardened against the real world: a truncated or corrupt
 file raises :class:`TraceFormatError` carrying the path and the exact
@@ -18,7 +23,10 @@ line number, and :func:`read_trace` can instead *skip* bad event lines
 remains analyzable.  ``salvage=True`` (``ats analyze --salvage``)
 additionally forgives a corrupt *final* line -- the signature of a
 mid-file truncation -- returning every record up to the cut and
-flagging ``metadata["truncated"]``.
+flagging ``metadata["truncated"]``.  Gzip input is auto-detected from
+the magic bytes regardless of suffix, and a gzip stream cut mid-file
+is salvaged the same way: whatever decompresses cleanly is parsed,
+the partial tail line is dropped.
 
 Both writer-side trace faults (record drop/duplication, mid-file
 truncation -- see :mod:`repro.faults`) enter through the optional
@@ -28,7 +36,10 @@ exercise exactly the production serialization path.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
+import zlib
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
@@ -39,6 +50,9 @@ FORMAT_VERSION = 1
 
 #: buffered lines before an automatic drain to the file
 _BUFFER_LINES = 1024
+
+#: the two magic bytes opening every gzip member (RFC 1952)
+GZIP_MAGIC = b"\x1f\x8b"
 
 
 class TraceFormatError(ValueError):
@@ -62,11 +76,83 @@ class TraceFormatError(ValueError):
         super().__init__(f"{prefix}: {message}")
 
 
+# ----------------------------------------------------------------------
+# codec helpers (shared with the archive blob store)
+# ----------------------------------------------------------------------
+
+def is_gzip_bytes(data: bytes) -> bool:
+    """True when ``data`` starts a gzip stream."""
+    return data[:2] == GZIP_MAGIC
+
+
+def gzip_bytes(data: bytes) -> bytes:
+    """Deterministically gzip ``data`` (``mtime=0``, no filename).
+
+    Plain :func:`gzip.compress` embeds the current time in the header,
+    which would give the same trace a different digest on every call;
+    this helper is the codec both ``.jsonl.gz`` traces and archive
+    blobs go through.
+    """
+    return gzip.compress(data, mtime=0)
+
+
+def gunzip_bytes(data: bytes, salvage: bool = False) -> bytes:
+    """Decompress a gzip stream; optionally salvage a truncated one.
+
+    With ``salvage``, a stream cut mid-file (missing trailer, partial
+    deflate block) yields everything that decompresses cleanly instead
+    of raising.  Corruption *inside* the stream still raises
+    :class:`zlib.error` / :class:`EOFError` either way.
+    """
+    if not salvage:
+        return gzip.decompress(data)
+    decomp = zlib.decompressobj(wbits=16 + zlib.MAX_WBITS)
+    return decomp.decompress(data)
+
+
+def _header_line(metadata: Optional[dict]) -> str:
+    header: dict = {"format": "ats-trace", "version": FORMAT_VERSION}
+    if metadata:
+        header["metadata"] = metadata
+    return json.dumps(header) + "\n"
+
+
+def events_to_jsonl(
+    events: Iterable[Event], metadata: Optional[dict] = None
+) -> str:
+    """Serialize events to the exact text a :class:`TraceWriter` emits.
+
+    The archive stores this string's UTF-8 bytes as the trace blob, so
+    a blob dumped to a file *is* a valid trace file and the blob digest
+    doubles as the trace's identity.
+    """
+    parts = [_header_line(metadata)]
+    parts.extend(json.dumps(e.to_dict()) + "\n" for e in events)
+    return "".join(parts)
+
+
+def events_from_jsonl(
+    text: str,
+    label: Union[str, Path] = "<memory>",
+    skip_bad_lines: bool = False,
+    salvage: bool = False,
+) -> tuple[list[Event], dict]:
+    """Parse trace text (the inverse of :func:`events_to_jsonl`).
+
+    ``label`` only decorates error messages; semantics match
+    :func:`read_trace`.
+    """
+    return _parse_trace_text(
+        text, label, skip_bad_lines=skip_bad_lines, salvage=salvage
+    )
+
+
 class TraceWriter:
     """Buffered JSONL trace writer.
 
     Opens ``path`` immediately and queues the header; event lines are
-    serialized eagerly but written in chunks of ``buffer_lines``.
+    serialized eagerly but written in chunks of ``buffer_lines``.  A
+    path ending in ``.gz`` writes through a deterministic gzip stream.
     Always use as a context manager (or call :meth:`close`)::
 
         with TraceWriter(path, metadata={"program": name}) as writer:
@@ -90,11 +176,22 @@ class TraceWriter:
         #: per record whether to drop/duplicate it, and whether to
         #: truncate the finished file mid-line on close.
         self._faults = faults
-        self._fh = self.path.open("w", encoding="utf-8")
-        header = {"format": "ats-trace", "version": FORMAT_VERSION}
-        if metadata:
-            header["metadata"] = metadata
-        self._buf.append(json.dumps(header) + "\n")
+        if self.path.suffix == ".gz":
+            # Deterministic gzip: mtime pinned to 0 and no filename in
+            # the member header, so identical events yield identical
+            # compressed bytes (digest-stable traces).
+            self._raw = self.path.open("wb")
+            # filename="" keeps the destination path out of the member
+            # header (GzipFile would otherwise embed fileobj.name).
+            self._gz = gzip.GzipFile(
+                filename="", fileobj=self._raw, mode="wb", mtime=0
+            )
+            self._fh = io.TextIOWrapper(self._gz, encoding="utf-8")
+        else:
+            self._raw = None
+            self._gz = None
+            self._fh = self.path.open("w", encoding="utf-8")
+        self._buf.append(_header_line(metadata))
 
     def write(self, event: Event) -> None:
         """Queue one event line (drains when the buffer fills)."""
@@ -133,6 +230,8 @@ class TraceWriter:
         """Drain the line buffer and flush the underlying file."""
         self._drain()
         self._fh.flush()
+        if self._raw is not None:
+            self._raw.flush()
 
     def close(self) -> None:
         """Drain, flush and close (idempotent)."""
@@ -143,7 +242,11 @@ class TraceWriter:
             self._fh.flush()
         finally:
             self.closed = True
+            # Closing the text wrapper closes the gzip member (writing
+            # its trailer); the raw handle is ours to close separately.
             self._fh.close()
+            if self._raw is not None:
+                self._raw.close()
         if self._faults is not None:
             self._apply_truncation()
 
@@ -151,7 +254,8 @@ class TraceWriter:
         """Cut the closed file mid-stream if the fault plan says so.
 
         Done on the raw bytes after the text handle is closed, so the
-        cut point is exact and usually lands inside a record line.
+        cut point is exact and usually lands inside a record line (or,
+        for gzip output, inside the compressed stream).
         """
         size = self.path.stat().st_size
         cut = self._faults.truncate_at(size)
@@ -177,8 +281,9 @@ def write_trace(
 
     The first line is a header record with the format version and
     optional run metadata (program name, size, transport parameters...).
-    ``faults`` (a :class:`~repro.faults.FaultInjector`) applies
-    write-time record faults -- see :class:`TraceWriter`.
+    A ``.gz`` path writes deterministic gzip.  ``faults`` (a
+    :class:`~repro.faults.FaultInjector`) applies write-time record
+    faults -- see :class:`TraceWriter`.
     """
     with TraceWriter(path, metadata, faults=faults) as writer:
         return writer.write_many(events)
@@ -191,6 +296,7 @@ def read_trace(
 ) -> tuple[list[Event], dict]:
     """Read a JSONL trace; returns ``(events, metadata)``.
 
+    Gzip input is detected from the magic bytes (any suffix).
     Malformed files raise :class:`TraceFormatError` with the offending
     line number.  With ``skip_bad_lines`` corrupt *event* lines are
     dropped instead (the header must still be intact) and the count of
@@ -198,37 +304,82 @@ def read_trace(
     With ``salvage``, a corrupt line with nothing but whitespace after
     it -- the signature of a file truncated mid-record -- is treated as
     the end of the trace: everything before the cut is returned and
-    ``metadata["truncated"]`` is set.  Mid-file corruption (bad line
-    followed by more records) still raises, so salvage never silently
-    papers over structural damage.  When both flags are given, a
-    trailing truncation is classified as ``truncated`` (not as a
-    skipped line): the two report different facts about the file.
+    ``metadata["truncated"]`` is set; a gzip stream truncated mid-file
+    is recovered the same way from whatever decompresses cleanly.
+    Mid-file corruption (bad line followed by more records) still
+    raises, so salvage never silently papers over structural damage.
+    When both flags are given, a trailing truncation is classified as
+    ``truncated`` (not as a skipped line): the two report different
+    facts about the file.
     """
     path = Path(path)
+    data = path.read_bytes()
+    gz_truncated = False
+    if is_gzip_bytes(data):
+        try:
+            data = gunzip_bytes(data)
+        except (EOFError, zlib.error, OSError) as exc:
+            # gzip.decompress signals a stream cut mid-file (missing
+            # trailer) with EOFError; anything else is corruption.
+            kind = (
+                "truncated gzip stream"
+                if isinstance(exc, EOFError)
+                else "corrupt gzip stream"
+            )
+            if not salvage:
+                raise TraceFormatError(path, f"{kind}: {exc}") from exc
+            try:
+                data = gunzip_bytes(data, salvage=True)
+            except zlib.error as exc2:
+                raise TraceFormatError(
+                    path, f"corrupt gzip stream: {exc2}"
+                ) from exc2
+            gz_truncated = True
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError:
+        if not (salvage or skip_bad_lines):
+            raise TraceFormatError(path, "trace is not UTF-8 text") from None
+        text = data.decode("utf-8", errors="replace")
+    events, metadata = _parse_trace_text(
+        text, path, skip_bad_lines=skip_bad_lines, salvage=salvage
+    )
+    if gz_truncated and not metadata.get("truncated"):
+        metadata = dict(metadata)
+        metadata["truncated"] = True
+    return events, metadata
+
+
+def _parse_trace_text(
+    text: str,
+    path: Union[str, Path],
+    skip_bad_lines: bool = False,
+    salvage: bool = False,
+) -> tuple[list[Event], dict]:
+    """Shared line-level parser behind :func:`read_trace`."""
+    all_lines = text.splitlines()
     events: list[Event] = []
     metadata: dict = {}
     skipped = 0
     truncated = False
-    with path.open("r", encoding="utf-8") as fh:
-        first = fh.readline()
-        if not first:
-            raise TraceFormatError(path, "empty trace file")
-        try:
-            header = json.loads(first)
-        except json.JSONDecodeError as exc:
-            raise TraceFormatError(
-                path, f"corrupt header: {exc}", lineno=1
-            ) from exc
-        if not isinstance(header, dict) or header.get("format") != "ats-trace":
-            raise TraceFormatError(path, "not an ats-trace file", lineno=1)
-        if header.get("version") != FORMAT_VERSION:
-            raise TraceFormatError(
-                path,
-                f"unsupported trace version {header.get('version')}",
-                lineno=1,
-            )
-        metadata = header.get("metadata", {})
-        lines = fh.readlines()
+    if not all_lines:
+        raise TraceFormatError(path, "empty trace file")
+    try:
+        header = json.loads(all_lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            path, f"corrupt header: {exc}", lineno=1
+        ) from exc
+    if not isinstance(header, dict) or header.get("format") != "ats-trace":
+        raise TraceFormatError(path, "not an ats-trace file", lineno=1)
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            path,
+            f"unsupported trace version {header.get('version')}",
+            lineno=1,
+        )
+    metadata = header.get("metadata", {})
+    lines = all_lines[1:]
     # Index of the last line with content: a bad line *there* is the
     # signature of a mid-record truncation, which salvage must report
     # as such even when skip_bad_lines would also tolerate it --

@@ -174,8 +174,14 @@ def validate_spec(
     num_threads: int = 4,
     seed: int = 0,
     time_budget: Optional[float] = None,
+    archive=None,
 ) -> MatrixRow:
-    """Validate one property function against the tool under test."""
+    """Validate one property function against the tool under test.
+
+    ``archive`` (a :class:`repro.archive.Archive` or directory path)
+    records each executed run's trace in the archive, so a matrix pass
+    doubles as baseline collection for ``ats diff``.
+    """
     tool = tool or default_tool()
     run = spec.run(
         size=size,
@@ -183,6 +189,23 @@ def validate_spec(
         seed=seed,
         time_budget=time_budget,
     )
+    if archive is not None:
+        from ..archive import coerce_archive, params_to_jsonable
+
+        transport = getattr(run, "transport", None)
+        coerce_archive(archive).record(
+            program=spec.name,
+            events=run.events,
+            final_time=run.final_time,
+            paradigm=spec.paradigm,
+            params=params_to_jsonable(spec.default_params),
+            size=size,
+            threads=num_threads,
+            seed=seed,
+            eager_threshold=(
+                transport.eager_threshold if transport is not None else None
+            ),
+        )
     detected = tuple(tool(run))
     tolerated = set(spec.expected) | set(spec.allowed) | set(
         GLOBALLY_ALLOWED
@@ -246,15 +269,23 @@ def run_validation_matrix(
     seed: int = 0,
     time_budget: Optional[float] = None,
     supervisor=None,
+    archive=None,
 ) -> MatrixResult:
     """Validate every (or the given) property function; see module doc.
 
     With a ``supervisor`` (:class:`repro.resilience.Supervisor`) each
     program runs supervised -- a deadlocking or hung program is
     quarantined as a failed row instead of aborting the whole matrix,
-    and a checkpoint-carrying supervisor resumes a killed run.
+    and a checkpoint-carrying supervisor resumes a killed run.  With an
+    ``archive``, every executed run's trace is recorded (cells replayed
+    from a checkpoint are not re-executed, so they contribute nothing
+    new to the archive).
     """
     specs = list_properties() if specs is None else list(specs)
+    if archive is not None:
+        from ..archive import coerce_archive
+
+        archive = coerce_archive(archive)
     result = MatrixResult()
     for spec in specs:
         if supervisor is None:
@@ -266,6 +297,7 @@ def run_validation_matrix(
                     num_threads=num_threads,
                     seed=seed,
                     time_budget=time_budget,
+                    archive=archive,
                 )
             )
             continue
@@ -278,6 +310,7 @@ def run_validation_matrix(
                 num_threads=num_threads,
                 seed=seed,
                 time_budget=time_budget,
+                archive=archive,
             ),
             encode=lambda row: row.to_dict(),
             decode=MatrixRow.from_dict,

@@ -285,6 +285,7 @@ def _run_cell_checked(
     threshold: float,
     workdir: Path,
     time_budget: Optional[float] = None,
+    archive=None,
 ) -> RobustnessCell:
     """One cell, raising on failure (the supervisor's entry point).
 
@@ -292,7 +293,32 @@ def _run_cell_checked(
     :class:`~repro.simkernel.DeadlockError` /
     :class:`~repro.simkernel.HangError` out of here so the supervisor
     can classify and quarantine it with its structured report intact.
+
+    With an ``archive``, the events the analyzer actually saw (after
+    any trace-fault round trip) are recorded under the scaled plan --
+    the faulty-run side of an ``ats diff`` against a clean baseline.
     """
+
+    def _archive(events, final_time, transport) -> None:
+        if archive is None:
+            return
+        from ..archive import params_to_jsonable
+
+        archive.record(
+            program=spec.name,
+            events=events,
+            final_time=final_time,
+            paradigm=spec.paradigm,
+            params=params_to_jsonable(spec.default_params),
+            size=size,
+            threads=num_threads,
+            seed=seed,
+            plan=dict(scaled.to_dict(), magnitude=magnitude),
+            eager_threshold=(
+                transport.eager_threshold if transport is not None else None
+            ),
+        )
+
     scaled = plan.scaled(magnitude)
     injector = FaultInjector.coerce(scaled, seed=seed)
     run = spec.run(
@@ -303,6 +329,7 @@ def _run_cell_checked(
         time_budget=time_budget,
     )
     if injector is None or not injector.has_trace_faults:
+        _archive(run.events, run.final_time, getattr(run, "transport", None))
         analysis = analyze_run(run)
         return _build_cell(
             spec,
@@ -326,6 +353,7 @@ def _run_cell_checked(
         path, skip_bad_lines=True, salvage=True
     )
     transport = getattr(run, "transport", None)
+    _archive(events, run.final_time, transport)
     config = (
         AnalysisConfig(eager_threshold=transport.eager_threshold)
         if transport is not None
@@ -354,6 +382,7 @@ def _run_cell(
     threshold: float,
     workdir: Path,
     time_budget: Optional[float] = None,
+    archive=None,
 ) -> RobustnessCell:
     """One cell with failures folded into the cell itself (direct mode)."""
     try:
@@ -367,6 +396,7 @@ def _run_cell(
             threshold,
             workdir,
             time_budget,
+            archive,
         )
     except Exception as exc:  # a fault broke the run or its trace
         return _build_cell(
@@ -389,6 +419,7 @@ def run_robustness(
     threshold: float = 0.01,
     time_budget: Optional[float] = None,
     supervisor=None,
+    archive=None,
 ) -> RobustnessResult:
     """Sweep perturbation magnitude across the validation programs.
 
@@ -403,8 +434,14 @@ def run_robustness(
     cells surface identically in both modes (as error cells counting as
     "detected nothing"), so a supervised sweep's artifact is
     byte-identical to a direct one unless wall-clock timeouts fire.
+    ``archive`` records every analyzed (possibly fault-damaged) trace
+    in a :class:`repro.archive.Archive` under its scaled fault plan.
     """
     specs = list_properties() if specs is None else list(specs)
+    if archive is not None:
+        from ..archive import coerce_archive
+
+        archive = coerce_archive(archive)
     plan = FaultPlan.default() if plan is None else plan
     magnitudes = tuple(magnitudes)
     seeds = tuple(seeds)
@@ -432,6 +469,7 @@ def run_robustness(
                                 threshold,
                                 workdir,
                                 time_budget,
+                                archive,
                             )
                         )
                         continue
@@ -448,6 +486,7 @@ def run_robustness(
                                 threshold,
                                 workdir,
                                 time_budget,
+                                archive,
                             )
                         ),
                         encode=lambda c: c.to_dict(),

@@ -1,0 +1,151 @@
+"""The incremental analysis cache: hits, misses, invalidation."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    DEFAULT_DETECTORS,
+    analyze_events,
+)
+from repro.archive import (
+    Archive,
+    CacheStats,
+    detector_fingerprint,
+    result_to_json_bytes,
+)
+from repro.core import get_property
+from repro.trace.io import events_from_jsonl
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_property("late_sender")
+
+
+def _fresh_reference(archive, run):
+    events, _ = events_from_jsonl(
+        archive.store.get_blob(run.trace_digest).decode("utf-8")
+    )
+    return analyze_events(
+        events,
+        total_time=run.final_time,
+        config=AnalysisConfig(eager_threshold=run.eager_threshold),
+    )
+
+
+def test_cold_then_warm(tmp_path, spec):
+    archive = Archive(tmp_path)
+    run = archive.archive_run(spec, size=4, seed=3)
+
+    cold = CacheStats()
+    r1 = archive.analyze(run, stats=cold)
+    # one lookup per detector plus the meta cell, all missing
+    assert cold.misses == len(DEFAULT_DETECTORS) + 1
+    assert cold.hits == 0
+
+    warm = CacheStats()
+    r2 = archive.analyze(run, stats=warm)
+    assert warm.hits == len(DEFAULT_DETECTORS) + 1
+    assert warm.misses == 0
+
+    assert result_to_json_bytes(r1) == result_to_json_bytes(r2)
+
+
+def test_cached_result_byte_identical_to_fresh(tmp_path, spec):
+    archive = Archive(tmp_path)
+    run = archive.archive_run(spec, size=4, seed=3)
+    archive.analyze(run)  # populate
+    cached = archive.analyze(run)
+    fresh = _fresh_reference(archive, run)
+    assert result_to_json_bytes(cached) == result_to_json_bytes(fresh)
+
+
+class _TunableDetector:
+    """A detector whose instance state is part of its fingerprint."""
+
+    produces = ()
+
+    def __init__(self, cutoff: float):
+        self.cutoff = cutoff
+
+    def detect(self, index, config):
+        return []
+
+
+def test_detector_change_recomputes_only_its_cell(tmp_path, spec):
+    archive = Archive(tmp_path)
+    run = archive.archive_run(spec, size=4, seed=3)
+    battery = list(DEFAULT_DETECTORS) + [_TunableDetector(cutoff=0.5)]
+
+    cold = CacheStats()
+    archive.analyze(run, detectors=battery, stats=cold)
+    assert cold.misses == len(battery) + 1
+
+    # Reconfiguring one detector invalidates exactly its own cell.
+    battery[-1] = _TunableDetector(cutoff=0.9)
+    partial = CacheStats()
+    archive.analyze(run, detectors=battery, stats=partial)
+    assert partial.misses == 1
+    assert partial.hits == len(DEFAULT_DETECTORS) + 1
+
+
+def test_detector_fingerprint_sees_instance_state():
+    a = detector_fingerprint(_TunableDetector(cutoff=0.5))
+    b = detector_fingerprint(_TunableDetector(cutoff=0.9))
+    c = detector_fingerprint(_TunableDetector(cutoff=0.5))
+    assert a != b
+    assert a == c
+
+
+def test_config_change_invalidates(tmp_path, spec):
+    archive = Archive(tmp_path)
+    run = archive.archive_run(spec, size=4, seed=3)
+    archive.analyze(run)  # populate under the recorded config
+    other = CacheStats()
+    archive.analyze(
+        run, config=AnalysisConfig(noise_floor=1e-3), stats=other
+    )
+    # every detector cell misses; the meta cell is config-independent
+    assert other.misses == len(DEFAULT_DETECTORS)
+    assert other.hits == 1
+
+
+def test_warm_path_never_reads_the_trace_blob(tmp_path, spec):
+    archive = Archive(tmp_path)
+    run = archive.archive_run(spec, size=4, seed=3)
+    archive.analyze(run)  # populate
+    # Destroy the trace blob: a fully warm analysis must not notice.
+    archive.store._blob_path(run.trace_digest).unlink()
+    result = archive.analyze(run)
+    assert result.findings
+
+
+def test_obs_counters_wired(tmp_path, spec):
+    from repro.obs import reset_metrics, set_metrics_enabled, to_json
+
+    set_metrics_enabled(True)
+    reset_metrics()
+    try:
+        archive = Archive(tmp_path)
+        run = archive.archive_run(spec, size=4, seed=3)
+        archive.analyze(run)
+        archive.analyze(run)
+        families = {
+            m["name"]: m["samples"]
+            for m in to_json()["metrics"]
+            if m["name"].startswith("ats_archive")
+        }
+        total = lambda name: sum(  # noqa: E731
+            s["value"] for s in families.get(name, [])
+        )
+        assert total("ats_archive_runs_total") == 1
+        assert total("ats_archive_misses_total") == (
+            len(DEFAULT_DETECTORS) + 1
+        )
+        assert total("ats_archive_hits_total") == (
+            len(DEFAULT_DETECTORS) + 1
+        )
+        assert total("ats_archive_blob_bytes_total") > 0
+    finally:
+        set_metrics_enabled(False)
+        reset_metrics()

@@ -1,0 +1,119 @@
+"""History listing, run resolution, regression diffing, the gate."""
+
+import json
+
+import pytest
+
+from repro.archive import (
+    Archive,
+    ArchiveError,
+    format_history,
+    history_to_json_str,
+)
+from repro.core import get_property
+
+
+@pytest.fixture(scope="module")
+def populated(tmp_path_factory):
+    """An archive with a healthy run and a severity-collapsed run."""
+    root = tmp_path_factory.mktemp("archive")
+    archive = Archive(root)
+    spec = get_property("late_sender")
+    healthy = archive.archive_run(spec, size=4, seed=1)
+    collapsed = archive.archive_run(
+        spec, size=4, seed=1, severity_scale=0.05
+    )
+    other = archive.archive_run(
+        get_property("imbalance_at_omp_barrier"), seed=2
+    )
+    return archive, healthy, collapsed, other
+
+
+def test_history_order_and_render(populated):
+    archive, healthy, collapsed, other = populated
+    runs = archive.history()
+    assert [r.run_id for r in runs] == [
+        healthy.run_id,
+        collapsed.run_id,
+        other.run_id,
+    ]
+    table = format_history(runs)
+    assert healthy.run_id in table
+    assert "3 archived run(s)" in table
+    payload = json.loads(history_to_json_str(runs))
+    assert payload["format"] == "ats-archive-history"
+    assert len(payload["runs"]) == 3
+
+
+def test_resolve_prefix(populated):
+    archive, healthy, *_ = populated
+    assert archive.resolve(healthy.run_id).run_id == healthy.run_id
+    assert archive.resolve(healthy.run_id[:6]).run_id == healthy.run_id
+    with pytest.raises(ArchiveError, match="no run"):
+        archive.resolve("zzzzzz")
+    with pytest.raises(ArchiveError, match="ambiguous"):
+        archive.resolve("")  # every id matches the empty prefix
+
+
+def test_severity_scale_changes_identity(populated):
+    _, healthy, collapsed, _ = populated
+    assert healthy.run_id != collapsed.run_id
+    assert healthy.trace_digest != collapsed.trace_digest
+    assert healthy.params != collapsed.params
+
+
+def test_diff_self_is_clean(populated):
+    archive, healthy, *_ = populated
+    report = archive.diff(healthy.run_id, healthy.run_id)
+    assert not report.lost
+    assert not report.gained
+    assert not report.gate_failures()
+
+
+def test_diff_catches_severity_regression(populated):
+    archive, healthy, collapsed, _ = populated
+    report = archive.diff(healthy.run_id, collapsed.run_id)
+    failures = report.gate_failures()
+    assert failures
+    assert any("severity regression" in f for f in failures)
+    assert "late_sender" in report.severity_regressions()
+
+
+def test_diff_catches_lost_property(populated):
+    archive, healthy, _, other = populated
+    # Different programs: late_sender vanishes entirely.
+    report = archive.diff(healthy.run_id, other.run_id)
+    assert "late_sender" in report.lost
+    assert any("property lost" in f for f in report.gate_failures())
+
+
+def test_diff_json_is_valid_and_inf_free(populated):
+    archive, healthy, _, other = populated
+    report = archive.diff(healthy.run_id, other.run_id)
+    text = json.dumps(report.to_dict())
+    assert "Infinity" not in text
+    payload = json.loads(text)
+    by_name = {d["property"]: d for d in payload["deltas"]}
+    # The gained property appeared from nothing: relative is null.
+    gained = by_name["imbalance_at_omp_barrier"]
+    assert gained["new_property"] is True
+    assert gained["relative"] is None
+    lost = by_name["late_sender"]
+    assert lost["new_property"] is False
+    assert lost["relative"] == pytest.approx(-1.0)
+
+
+def test_export_trace_round_trips(populated, tmp_path):
+    from repro.trace import read_trace
+
+    archive, healthy, *_ = populated
+    plain = archive.export_trace(healthy.run_id, tmp_path / "t.jsonl")
+    gz = archive.export_trace(healthy.run_id, tmp_path / "t.jsonl.gz")
+    events_a, meta_a = read_trace(plain)
+    events_b, meta_b = read_trace(gz)
+    assert len(events_a) == healthy.events
+    assert [e.to_dict() for e in events_a] == [
+        e.to_dict() for e in events_b
+    ]
+    assert meta_a == meta_b
+    assert meta_a["program"] == "late_sender"

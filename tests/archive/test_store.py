@@ -1,0 +1,98 @@
+"""ArchiveStore: blobs, cells, manifest healing."""
+
+import gzip
+
+import pytest
+
+from repro.archive import ArchiveError, ArchiveStore, sha256_hex
+
+
+def test_blob_round_trip_and_digest(tmp_path):
+    store = ArchiveStore(tmp_path)
+    data = b'{"hello": "world"}\n' * 100
+    digest = store.put_blob(data)
+    assert digest == sha256_hex(data)
+    assert store.has_blob(digest)
+    assert store.get_blob(digest) == data
+
+
+def test_blobs_are_gzip_on_disk(tmp_path):
+    store = ArchiveStore(tmp_path)
+    data = b"x" * 10_000
+    digest = store.put_blob(data)
+    raw = store._blob_path(digest).read_bytes()
+    assert raw[:2] == b"\x1f\x8b"
+    assert len(raw) < len(data)
+    assert gzip.decompress(raw) == data
+
+
+def test_identical_blobs_deduplicate(tmp_path):
+    store = ArchiveStore(tmp_path)
+    d1 = store.put_blob(b"same payload")
+    d2 = store.put_blob(b"same payload")
+    assert d1 == d2
+    objects = [
+        p for p in (tmp_path / "objects").rglob("*") if p.is_file()
+    ]
+    assert len(objects) == 1
+
+
+def test_corrupt_blob_fails_digest_check(tmp_path):
+    store = ArchiveStore(tmp_path)
+    digest = store.put_blob(b"precious data")
+    path = store._blob_path(digest)
+    path.write_bytes(gzip.compress(b"tampered"))
+    with pytest.raises(ArchiveError, match="digest check"):
+        store.get_blob(digest)
+
+
+def test_missing_blob_raises(tmp_path):
+    store = ArchiveStore(tmp_path)
+    with pytest.raises(ArchiveError, match="missing blob"):
+        store.get_blob("ab" * 32)
+
+
+def test_named_cells(tmp_path):
+    store = ArchiveStore(tmp_path)
+    assert store.get_named("findings|x|y") is None
+    assert not store.has_named("findings|x|y")
+    store.put_named("findings|x|y", b"[1, 2, 3]")
+    assert store.get_named("findings|x|y") == b"[1, 2, 3]"
+    assert store.has_named("findings|x|y")
+
+
+def test_manifest_round_trip_and_last_wins(tmp_path):
+    with ArchiveStore(tmp_path) as store:
+        store.record_run("run-a", {"v": 1})
+        store.record_run("run-b", {"v": 2})
+        store.record_run("run-a", {"v": 3})  # re-archive supersedes
+    manifest = ArchiveStore(tmp_path).load_manifest()
+    assert list(manifest) == ["run-a", "run-b"]
+    assert manifest["run-a"] == {"v": 3}
+
+
+def test_manifest_heals_partial_tail(tmp_path):
+    with ArchiveStore(tmp_path) as store:
+        store.record_run("run-a", {"v": 1})
+        store.record_run("run-b", {"v": 2})
+    manifest_path = tmp_path / "manifest.jsonl"
+    data = manifest_path.read_bytes()
+    # Simulate a kill mid-append: cut the final record in half.
+    manifest_path.write_bytes(data[: len(data) - 10])
+    store = ArchiveStore(tmp_path)
+    assert store.load_manifest() == {"run-a": {"v": 1}}
+    # Appending after healing keeps the journal consistent.
+    store.record_run("run-c", {"v": 3})
+    store.close()
+    assert list(ArchiveStore(tmp_path).load_manifest()) == [
+        "run-a",
+        "run-c",
+    ]
+
+
+def test_manifest_rejects_foreign_journal(tmp_path):
+    (tmp_path / "manifest.jsonl").write_text(
+        '{"format": "ats-checkpoint", "version": 1}\n'
+    )
+    with pytest.raises(ArchiveError, match="ats-archive-manifest"):
+        ArchiveStore(tmp_path).load_manifest()

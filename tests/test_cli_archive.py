@@ -1,0 +1,181 @@
+"""CLI surface of the trace archive: run, analyze, history, diff.
+
+Exit-code contract: 0 clean, 1 gate failure, 2 usage/data error --
+the gate code is what CI keys regression blocking off, so it gets
+explicit coverage here.
+"""
+
+import json
+
+from repro.cli import main
+
+
+def _run(capsys, *argv):
+    rc = main(list(argv))
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+def _archive_run(capsys, tmp_path, *extra):
+    rc, out, err = _run(
+        capsys, "archive", "run", "late_sender", "--size", "4",
+        "--seed", "1", "--archive", str(tmp_path / "arch"), *extra,
+    )
+    assert rc == 0, err
+    assert out.startswith("archived ")
+    return out.split()[1]  # run_id
+
+
+def test_archive_run_and_history(capsys, tmp_path):
+    run_id = _archive_run(capsys, tmp_path)
+    rc, out, _ = _run(
+        capsys, "history", "--archive", str(tmp_path / "arch")
+    )
+    assert rc == 0
+    assert run_id in out
+    assert "1 archived run(s)" in out
+
+
+def test_history_json(capsys, tmp_path):
+    run_id = _archive_run(capsys, tmp_path)
+    rc, out, _ = _run(
+        capsys, "history", "--archive", str(tmp_path / "arch"), "--json"
+    )
+    assert rc == 0
+    payload = json.loads(out)
+    assert payload["format"] == "ats-archive-history"
+    assert payload["runs"][0]["run_id"] == run_id
+
+
+def test_archive_analyze_reports_cache(capsys, tmp_path):
+    run_id = _archive_run(capsys, tmp_path)
+    arch = str(tmp_path / "arch")
+    rc, cold, _ = _run(capsys, "archive", "analyze", "--archive", arch)
+    assert rc == 0
+    assert run_id in cold
+    assert "late_sender" in cold
+    assert "misses" in cold
+    rc, warm, _ = _run(capsys, "archive", "analyze", "--archive", arch)
+    assert rc == 0
+    assert "0 misses" in warm
+
+
+def test_archive_export_roundtrip(capsys, tmp_path):
+    run_id = _archive_run(capsys, tmp_path)
+    out_path = tmp_path / "exported.jsonl.gz"
+    rc, _, _ = _run(
+        capsys, "archive", "export", run_id, str(out_path),
+        "--archive", str(tmp_path / "arch"),
+    )
+    assert rc == 0
+    rc, out, _ = _run(capsys, "analyze", str(out_path))
+    assert rc == 0
+    assert "late_sender" in out
+
+
+def test_diff_self_gate_passes(capsys, tmp_path):
+    run_id = _archive_run(capsys, tmp_path)
+    rc, out, _ = _run(
+        capsys, "diff", run_id, run_id,
+        "--archive", str(tmp_path / "arch"), "--gate",
+    )
+    assert rc == 0
+    assert "gate: no regressions" in out
+
+
+def test_diff_gate_blocks_regression(capsys, tmp_path):
+    healthy = _archive_run(capsys, tmp_path)
+    collapsed = _archive_run(
+        capsys, tmp_path, "--severity-scale", "0.05"
+    )
+    assert healthy != collapsed
+    rc, _, err = _run(
+        capsys, "diff", healthy, collapsed,
+        "--archive", str(tmp_path / "arch"), "--gate",
+    )
+    assert rc == 1
+    assert "ats: gate: " in err
+    assert "severity regression" in err
+
+
+def test_diff_json_output(capsys, tmp_path):
+    healthy = _archive_run(capsys, tmp_path)
+    collapsed = _archive_run(
+        capsys, tmp_path, "--severity-scale", "0.05"
+    )
+    json_path = tmp_path / "diff.json"
+    rc, out, _ = _run(
+        capsys, "diff", healthy, collapsed,
+        "--archive", str(tmp_path / "arch"),
+        "--json", str(json_path),
+    )
+    assert rc == 0
+    assert f"diff written to {json_path}" in out
+    text = json_path.read_text()
+    assert "Infinity" not in text
+    payload = json.loads(text)
+    assert payload["format"] == "ats-diff"
+    assert payload["before"] == healthy
+    assert payload["after"] == collapsed
+
+
+def test_diff_unknown_run_is_clean_error(capsys, tmp_path):
+    _archive_run(capsys, tmp_path)
+    rc, _, err = _run(
+        capsys, "diff", "zzzz", "zzzz",
+        "--archive", str(tmp_path / "arch"),
+    )
+    assert rc == 2
+    assert err.startswith("ats: error: ")
+    assert "no run" in err
+
+
+def test_archive_run_rejects_bad_severity_scale(capsys, tmp_path):
+    rc, _, err = _run(
+        capsys, "archive", "run", "late_sender",
+        "--archive", str(tmp_path / "arch"),
+        "--severity-scale", "0",
+    )
+    assert rc == 2
+    assert "--severity-scale must be > 0" in err
+
+
+def test_analyze_many_traces_from_directory(capsys, tmp_path):
+    for i in range(2):
+        assert main([
+            "run", "late_sender", "--size", "4", "--no-analyze",
+            "--trace-out", str(tmp_path / f"t{i}.jsonl"),
+        ]) == 0
+    capsys.readouterr()
+    rc, out, _ = _run(capsys, "analyze", str(tmp_path))
+    assert rc == 0
+    assert out.count("== ") == 2
+    assert out.count("ANALYSIS REPORT") == 2
+
+
+def test_analyze_glob_with_missing_trace_keeps_going(capsys, tmp_path):
+    good = tmp_path / "good.jsonl"
+    assert main([
+        "run", "late_sender", "--size", "4", "--no-analyze",
+        "--trace-out", str(good),
+    ]) == 0
+    (tmp_path / "bad.jsonl").write_text("not a trace\n")
+    capsys.readouterr()
+    rc, out, err = _run(capsys, "analyze", str(tmp_path / "*.jsonl"))
+    # the good trace is analyzed, the bad one reports, exit is 2
+    assert rc == 2
+    assert "ANALYSIS REPORT" in out
+    assert "ats: error: " in err
+
+
+def test_matrix_archive_flag_records_runs(capsys, tmp_path):
+    arch = tmp_path / "arch"
+    rc, out, _ = _run(
+        capsys, "matrix", "--size", "4", "--threads", "2",
+        "--archive", str(arch),
+    )
+    assert rc == 0
+    assert f"runs archived in {arch}" in out
+    rc, out, _ = _run(capsys, "history", "--archive", str(arch))
+    assert rc == 0
+    assert "late_sender" in out

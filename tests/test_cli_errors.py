@@ -38,9 +38,11 @@ def test_analyze_missing_file(capsys):
     assert_clean_error(rc, err, "trace file not found: /missing/file.trace")
 
 
-def test_analyze_directory(tmp_path, capsys):
+def test_analyze_empty_directory(tmp_path, capsys):
+    # Directories expand to their *.jsonl / *.jsonl.gz traces; an
+    # empty one is an error rather than a silent no-op.
     rc, _, err = _run(capsys, "analyze", str(tmp_path))
-    assert_clean_error(rc, err, "is a directory")
+    assert_clean_error(rc, err, "no trace files")
 
 
 def test_analyze_empty_trace(tmp_path, capsys):
