@@ -14,9 +14,15 @@ run fails (exit 1) when the fresh time exceeds a baseline by more than
 the slack factor -- default 25%, overridable for noisy runners with
 ``ATS_BENCH_SLACK=0.5`` or ``--slack``.
 
-It also validates ``BENCH_ARCHIVE.json`` (written by
-``bench_archive.py``): the committed warm-cache speedup must stay at or
-above the 5x acceptance bar with a fully-hitting warm pass.
+It also validates committed acceptance bars:
+
+* ``BENCH_ARCHIVE.json`` -- warm-cache speedup >= 5x with zero warm
+  misses,
+* ``BENCH_CORE.json`` ``current.kilo`` -- the size-1024 row must hold
+  the ranks-per-second floor,
+* ``BENCH_CORE.json`` ``current.parallel_sweep`` -- the fork-sweep
+  speedup must meet the bar for the CPU count it was measured on
+  (>=2x at 4+ cores; relaxed below, skipped on one core).
 
 Run directly (not via pytest)::
 
@@ -103,6 +109,76 @@ def collect_baselines(size: int) -> dict:
 #: acceptance bar for the archive cache (warm analyze-all vs cold)
 ARCHIVE_MIN_SPEEDUP = 5.0
 
+#: ranks-per-second floor on the committed size-1024 BENCH_CORE row.
+#: Conservative (the reference box measures ~500-650 ranks/s) so noisy
+#: CI runners do not flap, but low enough that a scheduler regression
+#: to super-linear event cost would trip it.
+KILO_MIN_RANKS_PER_S = 250.0
+
+#: minimum parallel-sweep speedup, tiered by the CPU count the
+#: benchmark recorded: a >=2x fork speedup is physically impossible on
+#: fewer than 2 cores, so the bar only fully applies at 4+ cores.
+PARALLEL_MIN_SPEEDUP_4CPU = 2.0
+PARALLEL_MIN_SPEEDUP_2CPU = 1.2
+
+
+def check_kilo_baseline() -> bool:
+    """Validate the committed size-1024 throughput row; True when OK."""
+    core = _load("BENCH_CORE.json")
+    kilo = (core or {}).get("current", {}).get("kilo")
+    if not kilo:
+        print("no BENCH_CORE kilo baseline; kilo check skipped")
+        return True
+    try:
+        ranks_per_s = float(kilo["ranks_per_s"])
+        size = kilo["size"]
+    except KeyError as exc:
+        print(f"BENCH_CORE kilo entry malformed (missing {exc}); FAIL")
+        return False
+    ok = ranks_per_s >= KILO_MIN_RANKS_PER_S
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"  BENCH_CORE kilo-{size} throughput {ranks_per_s:7.1f} ranks/s "
+        f"(floor {KILO_MIN_RANKS_PER_S:.0f})  {verdict}"
+    )
+    return ok
+
+
+def check_parallel_sweep_baseline() -> bool:
+    """Validate the committed fork-sweep speedup; True when OK."""
+    core = _load("BENCH_CORE.json")
+    entry = (core or {}).get("current", {}).get("parallel_sweep")
+    if not entry:
+        print("no BENCH_CORE parallel_sweep baseline; "
+              "parallel check skipped")
+        return True
+    try:
+        speedup = float(entry["speedup"])
+        cpus = int(entry["cpus"])
+        workers = entry["workers"]
+    except KeyError as exc:
+        print(f"BENCH_CORE parallel_sweep entry malformed "
+              f"(missing {exc}); FAIL")
+        return False
+    if cpus >= 4:
+        bar = PARALLEL_MIN_SPEEDUP_4CPU
+    elif cpus >= 2:
+        bar = PARALLEL_MIN_SPEEDUP_2CPU
+    else:
+        print(
+            f"  BENCH_CORE parallel sweep        {speedup:7.2f}x "
+            f"(x{workers} workers, {cpus} cpu: no speedup possible, "
+            "skipped)"
+        )
+        return True
+    ok = speedup >= bar
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"  BENCH_CORE parallel sweep        {speedup:7.2f}x "
+        f"(x{workers} workers on {cpus} cpus, bar {bar:.1f}x)  {verdict}"
+    )
+    return ok
+
 
 def check_archive_baseline() -> bool:
     """Validate the committed archive-cache numbers; True when OK."""
@@ -142,11 +218,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     archive_ok = check_archive_baseline()
+    kilo_ok = check_kilo_baseline()
+    parallel_ok = check_parallel_sweep_baseline()
+    committed_ok = archive_ok and kilo_ok and parallel_ok
 
     baselines = collect_baselines(args.size)
     if not baselines:
         print(f"no committed baselines cover hybrid-{args.size}; nothing to guard")
-        return 0 if archive_ok else 1
+        return 0 if committed_ok else 1
 
     fresh = measure(args.size, args.threads, args.repeats)
     print(f"fresh hybrid-{args.size}: {fresh*1000:.1f} ms "
@@ -164,9 +243,8 @@ def main(argv=None) -> int:
         print("FAIL: hybrid composite slower than a committed baseline "
               "beyond slack")
         return 1
-    if not archive_ok:
-        print("FAIL: committed archive-cache baseline below the "
-              "acceptance bar")
+    if not committed_ok:
+        print("FAIL: a committed baseline is below its acceptance bar")
         return 1
     print("bench guard passed")
     return 0

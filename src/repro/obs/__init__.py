@@ -39,6 +39,7 @@ from .instruments import (
     trace_metrics,
     transport_metrics,
 )
+from .merge import merge_state, registry_state, state_delta
 from .metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -77,9 +78,11 @@ __all__ = [
     "fault_metrics",
     "get_registry",
     "kernel_metrics",
+    "merge_state",
     "metrics_enabled",
     "null_registry",
     "omp_metrics",
+    "registry_state",
     "reset_metrics",
     "reset_spans",
     "set_metrics_enabled",
@@ -87,6 +90,7 @@ __all__ = [
     "span",
     "span_log",
     "spans_enabled",
+    "state_delta",
     "to_json",
     "to_json_str",
     "to_prometheus",

@@ -1,0 +1,178 @@
+"""Merging forked-child metrics back into the parent registry.
+
+The fork-per-cell sweep executor (:mod:`repro.work.forkexec`) runs each
+cell in a child process.  The child inherits a *copy* of the parent's
+metrics registry at fork time, so its counts are invisible to the
+parent; without a merge step, ``ats metrics`` after a parallel sweep
+would silently report only parent-side numbers.
+
+The protocol is snapshot/delta/merge:
+
+* the child snapshots its registry right after the fork
+  (:func:`registry_state`),
+* just before exiting it computes what *it* added
+  (:func:`state_delta` -- counters and histograms subtracted against
+  the baseline, gauges carried as their final value),
+* the parent replays each child's delta in completion order
+  (:func:`merge_state` -- counters and histogram cells summed, gauges
+  last-write-wins).
+
+Two worker-pool metrics need special handling.  The pool's
+``ats_workers_spawned_total``/``ats_workers_reused_total`` counters are
+*harvested*: a collector overwrites them from the pool object's plain
+attributes at every ``collect()``, so merging into the registry child
+would be clobbered by the next harvest.  Their deltas are folded into
+the pool object itself instead.  ``ats_workers_parked`` is a gauge
+describing live parent threads, which a child's exit report says
+nothing about, so it is skipped entirely.
+
+Everything in the state dict is plain JSON (strings, numbers, lists),
+so a delta travels unchanged through the fork executor's result pipe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "registry_state",
+    "state_delta",
+    "merge_state",
+]
+
+#: harvested counters folded into ``worker_pool()`` attributes instead
+#: of the registry (a collector would overwrite registry merges).
+_POOL_COUNTERS = {
+    "ats_workers_spawned_total": "created",
+    "ats_workers_reused_total": "reused",
+}
+
+#: gauges describing live parent-process state; meaningless to merge.
+_SKIP_GAUGES = {"ats_workers_parked"}
+
+State = Dict[str, dict]
+
+
+def registry_state(registry: Optional[MetricsRegistry] = None) -> State:
+    """JSON-safe snapshot of every family in ``registry``.
+
+    Runs the registry's collectors first so harvested metrics (worker
+    pool counters and the like) are current.
+    """
+    if registry is None:
+        registry = get_registry()
+    state: State = {}
+    for family in registry.collect():
+        samples = []
+        for key, child in family.samples():
+            if family.type == "histogram":
+                value = {
+                    "counts": list(child.counts),
+                    "sum": child.sum,
+                    "count": child.count,
+                }
+            else:
+                value = child.value
+            samples.append([list(key), value])
+        state[family.name] = {
+            "help": family.help,
+            "type": family.type,
+            "labelnames": list(family.labelnames),
+            "buckets": list(family.buckets),
+            "samples": samples,
+        }
+    return state
+
+
+def state_delta(base: State, current: State) -> State:
+    """What ``current`` added on top of ``base``.
+
+    Counters and histograms are subtracted sample-by-sample (samples
+    absent from ``base`` contribute their full value); gauges carry
+    their current value, implementing last-write-wins at merge time.
+    Families and samples whose delta is all-zero are dropped to keep
+    the fork executor's result envelope small.
+    """
+    delta: State = {}
+    for name, fam in current.items():
+        base_samples = {}
+        base_fam = base.get(name)
+        if base_fam is not None and base_fam["type"] == fam["type"]:
+            base_samples = {tuple(k): v for k, v in base_fam["samples"]}
+        out = []
+        for key, value in fam["samples"]:
+            prior = base_samples.get(tuple(key))
+            if fam["type"] == "histogram":
+                if prior is not None:
+                    counts = [
+                        c - p
+                        for c, p in zip(value["counts"], prior["counts"])
+                    ]
+                    value = {
+                        "counts": counts,
+                        "sum": value["sum"] - prior["sum"],
+                        "count": value["count"] - prior["count"],
+                    }
+                if value["count"] == 0 and not any(value["counts"]):
+                    continue
+            elif fam["type"] == "counter":
+                if prior is not None:
+                    value = value - prior
+                if value == 0:
+                    continue
+            # gauges: ship the current value as-is
+            out.append([key, value])
+        if out:
+            delta[name] = {**fam, "samples": out}
+    return delta
+
+
+def merge_state(
+    delta: State, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Fold a child's delta (from :func:`state_delta`) into ``registry``.
+
+    Counters and histogram cells are summed, gauges take the delta's
+    value (callers merge children in completion order, making this
+    last-write-wins).  Families unknown to the parent are declared on
+    the fly, so a child that exercised a subsystem the parent never
+    touched still shows up in ``ats metrics``.
+    """
+    if registry is None:
+        registry = get_registry()
+    from ..simkernel.process import worker_pool
+
+    pool = worker_pool()
+    for name, fam in delta.items():
+        if name in _POOL_COUNTERS and fam["type"] == "counter":
+            attr = _POOL_COUNTERS[name]
+            for _key, value in fam["samples"]:
+                setattr(pool, attr, getattr(pool, attr) + int(value))
+            continue
+        if name in _SKIP_GAUGES and fam["type"] == "gauge":
+            continue
+        family = registry._family(
+            name,
+            fam["help"],
+            fam["type"],
+            tuple(fam["labelnames"]),
+            tuple(fam["buckets"]) if fam["type"] == "histogram" else None,
+        )
+        for key, value in fam["samples"]:
+            key = tuple(key)
+            child = family.children.get(key)
+            if child is None:
+                child = family.children[key] = family._new_child()
+            if fam["type"] == "counter":
+                child.value += value
+            elif fam["type"] == "gauge":
+                child.value = value
+            else:
+                counts = value["counts"]
+                if len(counts) == len(child.counts):
+                    for i, c in enumerate(counts):
+                        child.counts[i] += c
+                    child.sum += value["sum"]
+                    child.count += value["count"]

@@ -11,6 +11,10 @@ Three cooperating pieces:
   quarantine,
 * the :class:`CheckpointJournal` makes completed cells durable so an
   interrupted sweep resumes instead of restarting.
+
+:func:`run_cells_forked` (:mod:`repro.resilience.forked`) lifts the
+whole cell lifecycle onto the fork-per-cell executor for true multicore
+sweeps with identical journals and artifacts.
 """
 
 from .checkpoint import (
@@ -18,6 +22,7 @@ from .checkpoint import (
     CheckpointJournal,
     coerce_journal,
 )
+from .forked import run_cells_forked
 from .supervisor import (
     FAILURE_KINDS,
     CellFailure,
@@ -39,4 +44,5 @@ __all__ = [
     "Supervisor",
     "classify_failure",
     "coerce_journal",
+    "run_cells_forked",
 ]

@@ -1,0 +1,196 @@
+"""Supervised fork-per-cell sweep execution.
+
+:func:`run_cells_forked` is the multiprocess twin of calling
+:meth:`Supervisor.run_cell` in a loop: the same cell lifecycle --
+checkpoint replay, wall-clock timeout, failure classification, retry
+with deterministic backoff, quarantine, journaling, metrics -- but with
+cell *attempts* fanned out over ``os.fork`` children via
+:mod:`repro.work.forkexec` instead of running inline.
+
+Division of labour:
+
+* the **child** runs the cell callable, classifies any exception with
+  the same :func:`classify_failure` taxonomy the serial path uses
+  (structured watchdog reports ride along), and ships a JSON envelope;
+* the **parent** merges each child's obs-metrics delta, journals the
+  outcome the moment the child completes (so a killed sweep resumes
+  from real progress), decides retries, and assembles results in
+  submission order.
+
+Because the journal payloads are identical to the serial path's, a
+sweep checkpointed under ``--workers N`` can resume serially and vice
+versa; and because results are ordered by submission, the final
+artifact is byte-identical to a serial run regardless of completion
+order.  Timeouts are *stronger* here than in serial supervision: the
+child is ``SIGKILL``\\ ed, reclaiming the CPU a stuck cell was burning,
+where the serial path can only abandon the stuck thread.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from ..obs.merge import merge_state
+from ..work.forkexec import run_forked_tasks
+from .supervisor import (
+    CellFailure,
+    CellOutcome,
+    Supervisor,
+    classify_failure,
+    failure_report_of,
+)
+
+__all__ = ["run_cells_forked"]
+
+
+def _child_cell(fn: Callable[[], Any]) -> Callable[[], dict]:
+    """Wrap a cell callable for in-child classification.
+
+    Classification happens in the child, where the live exception (and
+    its watchdog report) still exists; only the classified record
+    crosses the pipe.
+    """
+
+    def run() -> dict:
+        try:
+            return {"ok": True, "cell": fn()}
+        except Exception as exc:  # noqa: BLE001 - classified, shipped
+            return {
+                "ok": False,
+                "kind": classify_failure(exc),
+                "error": f"{type(exc).__name__}: {exc}",
+                "report": failure_report_of(exc),
+            }
+
+    return run
+
+
+def _to_outcome(
+    key: str, attempt: int, out, timeout: Optional[float]
+) -> CellOutcome:
+    """Map one fork-executor outcome to the supervisor's vocabulary."""
+    if out.status == "ok":
+        env = out.payload or {}
+        if env.get("ok"):
+            return CellOutcome(
+                key=key, status="ok", value=env.get("cell"),
+                attempts=attempt,
+            )
+        failure = CellFailure(
+            key=key,
+            kind=env.get("kind", "crash"),
+            error=env.get("error", "cell failed"),
+            attempts=attempt,
+            report=env.get("report"),
+        )
+    elif out.status == "timeout":
+        # Same record a serial CellTimeout would have produced, so
+        # failure artifacts and journals stay path-independent.
+        failure = CellFailure(
+            key=key,
+            kind="timeout",
+            error=f"CellTimeout: wall-clock timeout after {timeout:g}s",
+            attempts=attempt,
+        )
+    else:
+        failure = CellFailure(
+            key=key,
+            kind="crash",
+            error=out.error or "child process crashed",
+            attempts=attempt,
+        )
+    return CellOutcome(
+        key=key, status="failed", failure=failure, attempts=attempt
+    )
+
+
+def run_cells_forked(
+    cells: Iterable[Tuple[str, Callable[[], Any]]],
+    workers: int,
+    supervisor: Optional[Supervisor] = None,
+    decode: Optional[Callable[[dict], Any]] = None,
+    extras_fn: Optional[Callable[[], Any]] = None,
+    on_extras: Optional[Callable[[str, Any], None]] = None,
+    echo_output: bool = True,
+) -> List[CellOutcome]:
+    """Run ``(key, fn)`` cells in forked children; submission-order results.
+
+    Cell callables must return JSON-serializable values (they cross a
+    pipe).  With a ``supervisor``, journaled cells are replayed instead
+    of re-run, fresh outcomes are journaled as each child completes,
+    transient failures are retried with the supervisor's deterministic
+    backoff, and persistent ones are quarantined -- all with the exact
+    payloads the serial path writes.  Without one, cells run once with
+    no timeout and failures simply come back as failed outcomes.
+
+    ``extras_fn`` runs inside each child after its cell;
+    ``on_extras(key, value)`` receives what it returned, in the parent,
+    as each child completes (deferred archive-manifest replay uses
+    this).  ``echo_output`` re-emits each child's captured stdout+stderr
+    on the parent's stdout in completion order.
+    """
+    cells = list(cells)
+    results: dict = {}
+    pending: List[Tuple[str, Callable[[], Any], int]] = []
+    for key, fn in cells:
+        if supervisor is not None:
+            cached = supervisor.replay(key, decode)
+            if cached is not None:
+                results[key] = cached
+                continue
+        pending.append((key, fn, 1))
+
+    timeout = supervisor.timeout if supervisor is not None else None
+    retries = supervisor.retries if supervisor is not None else 0
+    transient = supervisor.transient if supervisor is not None else ()
+    metrics = supervisor._metrics if supervisor is not None else None
+
+    while pending:
+        batch = pending
+        pending = []
+        retry_delay = 0.0
+
+        def handle(index: int, out, batch=batch) -> None:
+            nonlocal retry_delay
+            key, fn, attempt = batch[index]
+            if out is None:  # pragma: no cover - defensive
+                return
+            merge_state(out.metrics)
+            if echo_output and out.output:
+                sys.stdout.write(out.output)
+            if out.extras is not None and on_extras is not None:
+                on_extras(key, out.extras)
+            if out.status == "timeout" and metrics is not None:
+                metrics.timeouts.inc()
+            outcome = _to_outcome(key, attempt, out, timeout)
+            if (
+                not outcome.ok
+                and supervisor is not None
+                and outcome.failure.kind in transient
+                and attempt <= retries
+            ):
+                delay = supervisor.backoff_delay(key, attempt)
+                if metrics is not None:
+                    metrics.retries.inc()
+                    metrics.backoff_seconds.inc(delay)
+                retry_delay = max(retry_delay, delay)
+                pending.append((key, fn, attempt + 1))
+                return
+            if supervisor is not None:
+                supervisor.finalize(outcome)
+            results[key] = outcome
+
+        run_forked_tasks(
+            [_child_cell(fn) for _key, fn, _attempt in batch],
+            workers=workers,
+            timeout=timeout,
+            extras_fn=extras_fn,
+            on_outcome=handle,
+        )
+        if pending and retry_delay > 0.0 and supervisor is not None:
+            # One consolidated pause covering the round's longest
+            # backoff; per-cell delays still feed the metrics above.
+            supervisor._sleep(retry_delay)
+
+    return [results[key] for key, _fn in cells]

@@ -235,11 +235,40 @@ class Supervisor:
         JSON payload journaled for resume; both default to identity
         (the result must then already be a JSON-able dict).
         """
-        cached = self._done.get(key)
+        cached = self.replay(key, decode)
         if cached is not None:
-            return self._replay(key, cached, decode)
+            return cached
         outcome = self._execute(key, fn)
-        self._journal_outcome(key, outcome, encode)
+        return self.finalize(outcome, encode)
+
+    def replay(
+        self,
+        key: str,
+        decode: Optional[Callable[[dict], Any]] = None,
+    ) -> Optional[CellOutcome]:
+        """The journaled outcome for ``key``, or ``None`` if not cached.
+
+        Replayed failures re-enter :attr:`failures`, exactly as if the
+        cell had just been quarantined.
+        """
+        cached = self._done.get(key)
+        if cached is None:
+            return None
+        return self._replay(key, cached, decode)
+
+    def finalize(
+        self,
+        outcome: CellOutcome,
+        encode: Optional[Callable[[Any], dict]] = None,
+    ) -> CellOutcome:
+        """Journal and account an outcome resolved outside ``run_cell``.
+
+        The fork-per-cell executor (:mod:`repro.resilience.forked`)
+        produces outcomes in the parent from child envelopes; this is
+        the shared tail of the cell lifecycle -- checkpoint journaling,
+        quarantine bookkeeping and metrics -- for both paths.
+        """
+        self._journal_outcome(outcome.key, outcome, encode)
         if outcome.failure is not None:
             self.failures.append(outcome.failure)
             m = self._metrics

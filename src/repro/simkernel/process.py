@@ -31,6 +31,7 @@ Two mechanisms keep the handoff cheap:
 from __future__ import annotations
 
 import enum
+import os
 import threading
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
@@ -179,6 +180,24 @@ class WorkerPool:
 
 #: the process-global pool; ``worker_pool()`` is the public accessor.
 _pool = WorkerPool()
+
+
+def _reset_pool_after_fork() -> None:
+    """Discard inherited pool state in a forked child.
+
+    Parked workers are OS threads, and threads do not survive ``fork``:
+    the child inherits ``_Worker`` objects whose threads no longer
+    exist, so releasing their ``_resume`` locks would wake nobody and
+    the first dispatch would hang forever.  Reusing the counters would
+    likewise double-count parent history in the child's metrics delta.
+    """
+    _pool._parked.clear()
+    _pool.created = 0
+    _pool.reused = 0
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX-only guard
+    os.register_at_fork(after_in_child=_reset_pool_after_fork)
 
 
 def worker_pool() -> WorkerPool:

@@ -15,26 +15,34 @@ successor directly (one context switch instead of a round trip through
 dispatch, then sleeps until the chain reports back -- completion,
 deadlock, a crash, the ``until`` horizon or the dispatch limit.
 
-Two further fast paths keep dispatching cheap at scale:
+Three fast paths keep dispatching cheap at scale:
 
 * events scheduled for the *current* timestamp (``hold(0)``, immediate
   ``activate`` -- the bulk of sync-primitive traffic) go to a FIFO run
-  queue instead of the heap; because sequence numbers only grow, FIFO
-  order *is* ``(time, seq)`` order for same-time entries, so the merge
-  with the heap preserves the exact event ordering of a heap-only
-  scheduler (traces are bit-identical),
+  queue instead of the pending-event queue; because sequence numbers
+  only grow, FIFO order *is* ``(time, seq)`` order for same-time
+  entries, so the merge with the pending queue preserves the exact
+  event ordering of a heap-only scheduler (traces are bit-identical),
+* *future* events live in a calendar queue bucketed by exact timestamp
+  (:mod:`repro.simkernel.eventq`): SPMD programs schedule whole rank
+  cohorts for the same instant, so pushes are O(1) bucket appends and
+  advancing the clock transfers an entire bucket onto the FIFO in one
+  batched step instead of popping a heap once per rank,
 * blocked-reason strings are stored lazily (see
   :meth:`SimProcess.waiting_reason`), so no f-string is built per hold.
+
+``ATS_SCHEDULER=heap`` falls back to the single-heap pending queue;
+both implementations serve the identical ``(time, seq)`` order.
 """
 
 from __future__ import annotations
 
-import heapq
 import threading
 from collections import deque
 from typing import Any, Callable, Optional
 
 from ..obs.instruments import kernel_metrics
+from .eventq import default_queue_class
 from .errors import (
     DeadlockError,
     HangError,
@@ -73,8 +81,11 @@ class Simulator:
         #: property: it is read on every scheduling call and every
         #: recorded event, where descriptor dispatch is measurable.
         self.now = 0.0
-        self._heap: list[tuple[float, int, SimProcess]] = []
-        #: same-timestamp FIFO run queue (the heap-bypass fast path)
+        #: pending *future* events, ordered by (time, seq); a calendar
+        #: bucket queue by default, a plain heap with ATS_SCHEDULER=heap
+        self._eventq = default_queue_class()()
+        #: same-timestamp FIFO run queue (the queue-bypass fast path);
+        #: also receives whole buckets via batched transfer
         self._ready: deque[tuple[float, int, SimProcess]] = deque()
         self._seq = 0
         self._pid = 0
@@ -158,7 +169,7 @@ class Simulator:
         if at == self.now:
             self._ready.append((at, seq, proc))
         else:
-            heapq.heappush(self._heap, (at, seq, proc))
+            self._eventq.push(at, seq, proc)
 
     # ------------------------------------------------------------------
     # process-side API (callable only from inside a simulated process)
@@ -218,33 +229,49 @@ class Simulator:
 
         Returns ``None`` when the chain must stop, with
         ``_wake_reason`` set to why (queues empty, ``until`` horizon,
-        dispatch limit).  Merges the FIFO run queue with the heap in
-        exact ``(time, seq)`` order: ready entries always carry the
-        current timestamp, so a heap entry wins only when it is earlier
-        or same-time with a smaller sequence number.
+        dispatch limit).  Merges the FIFO run queue with the pending
+        queue in exact ``(time, seq)`` order.  Two invariants make the
+        merge cheap:
+
+        * ready entries always carry the current timestamp, so a
+          pending entry wins only when same-time with a smaller
+          sequence number (it was scheduled before the clock reached
+          that instant, hence before every same-time ready entry
+          *after* its own bucket head),
+        * the clock only advances while the FIFO is empty, so advancing
+          can batch-transfer the earliest bucket -- every event of the
+          new instant -- onto the FIFO in one step and serve the rest
+          through the cheap FIFO path.
         """
-        heap = self._heap
+        q = self._eventq
         ready = self._ready
         until = self._until
-        while ready or heap:
+        while True:
             if ready:
-                use_ready = True
-                at = ready[0][0]
-                if heap:
-                    h = heap[0]
-                    if h[0] < at or (h[0] == at and h[1] < ready[0][1]):
-                        use_ready = False
-                        at = h[0]
+                at, rseq, proc = ready[0]
+                head = q.head()
+                if head is not None and (
+                    head[0] < at or (head[0] == at and head[1] < rseq)
+                ):
+                    if until is not None and head[0] > until:
+                        self._wake_reason = self._horizon_reason
+                        return None
+                    at, _seq, proc = q.pop()
+                else:
+                    if until is not None and at > until:
+                        self._wake_reason = self._horizon_reason
+                        return None
+                    ready.popleft()
+            elif len(q):
+                head = q.head()
+                if until is not None and head[0] > until:
+                    self._wake_reason = self._horizon_reason
+                    return None
+                q.transfer(ready)
+                continue  # serve the transferred bucket via the FIFO
             else:
-                use_ready = False
-                at = heap[0][0]
-            if until is not None and at > until:
-                self._wake_reason = self._horizon_reason
+                self._wake_reason = _IDLE
                 return None
-            if use_ready:
-                proc = ready.popleft()[2]
-            else:
-                proc = heapq.heappop(heap)[2]
             if proc.state is not ProcState.SCHEDULED:
                 # Stale entry (process was killed meanwhile).
                 continue
@@ -253,7 +280,7 @@ class Simulator:
             m = self._metrics
             if m is not None:
                 m.dispatches.inc()
-                m.queue_depth.observe(len(ready) + len(heap))
+                m.queue_depth.observe(len(ready) + len(q))
             if (
                 self._max_dispatches is not None
                 and self.dispatch_count > self._max_dispatches
@@ -261,8 +288,6 @@ class Simulator:
                 self._wake_reason = _LIMIT
                 return None
             return proc
-        self._wake_reason = _IDLE
-        return None
 
     def _chain_from(self, proc: SimProcess) -> bool:
         """Dispatch the successor of a process that is blocking.

@@ -261,6 +261,86 @@ def _failed_row(spec: PropertySpec, error: str) -> MatrixRow:
     )
 
 
+def matrix_cell_key(spec_name: str, size: int, seed: int) -> str:
+    """Stable checkpoint key of one matrix cell."""
+    return f"{spec_name}|size{size}|s{seed}"
+
+
+def _forked_matrix_cell(
+    spec: PropertySpec,
+    tool: Optional[DetectorFn],
+    size: int,
+    num_threads: int,
+    seed: int,
+    time_budget: Optional[float],
+    archive,
+) -> dict:
+    """Child-side matrix cell (see :mod:`repro.resilience.forked`)."""
+    if archive is not None:
+        archive.store.begin_deferred()
+    return validate_spec(
+        spec,
+        tool=tool,
+        size=size,
+        num_threads=num_threads,
+        seed=seed,
+        time_budget=time_budget,
+        archive=archive,
+    ).to_dict()
+
+
+def _run_matrix_forked(
+    specs,
+    tool,
+    size,
+    num_threads,
+    seed,
+    time_budget,
+    supervisor,
+    archive,
+    workers,
+    result,
+) -> None:
+    """Fan the matrix out over forked workers (see run_validation_matrix)."""
+    from ..resilience.forked import run_cells_forked
+
+    cells = [
+        (
+            matrix_cell_key(spec.name, size, seed),
+            lambda spec=spec: _forked_matrix_cell(
+                spec, tool, size, num_threads, seed, time_budget, archive
+            ),
+        )
+        for spec in specs
+    ]
+    extras_fn = None
+    on_extras = None
+    if archive is not None:
+        extras_fn = archive.store.drain_deferred
+
+        def on_extras(key, records):
+            for run_id, payload in records:
+                archive.store.record_run(run_id, payload)
+
+    outcomes = run_cells_forked(
+        cells,
+        workers=workers,
+        supervisor=supervisor,
+        extras_fn=extras_fn,
+        on_extras=on_extras,
+    )
+    for spec, outcome in zip(specs, outcomes):
+        if outcome.ok:
+            value = outcome.value
+            if not isinstance(value, MatrixRow):
+                value = MatrixRow.from_dict(value)
+            result.rows.append(value)
+        else:
+            result.rows.append(
+                _failed_row(spec, outcome.failure.error)
+            )
+
+
 def run_validation_matrix(
     specs: Optional[Sequence[PropertySpec]] = None,
     tool: Optional[DetectorFn] = None,
@@ -270,6 +350,7 @@ def run_validation_matrix(
     time_budget: Optional[float] = None,
     supervisor=None,
     archive=None,
+    workers: int = 1,
 ) -> MatrixResult:
     """Validate every (or the given) property function; see module doc.
 
@@ -279,14 +360,36 @@ def run_validation_matrix(
     and a checkpoint-carrying supervisor resumes a killed run.  With an
     ``archive``, every executed run's trace is recorded (cells replayed
     from a checkpoint are not re-executed, so they contribute nothing
-    new to the archive).
+    new to the archive).  ``workers > 1`` runs the programs in forked
+    child processes; rows come back in spec order either way, so the
+    matrix is identical to a serial pass.
+
+    Note the tool under test crosses a ``fork`` in parallel mode: a
+    ``tool`` callable must therefore not depend on parent-side mutable
+    state if it is to behave identically under ``workers > 1``.
     """
     specs = list_properties() if specs is None else list(specs)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     if archive is not None:
         from ..archive import coerce_archive
 
         archive = coerce_archive(archive)
     result = MatrixResult()
+    if workers > 1:
+        _run_matrix_forked(
+            specs,
+            tool,
+            size,
+            num_threads,
+            seed,
+            time_budget,
+            supervisor,
+            archive,
+            workers,
+            result,
+        )
+        return result
     for spec in specs:
         if supervisor is None:
             result.rows.append(
@@ -302,7 +405,7 @@ def run_validation_matrix(
             )
             continue
         outcome = supervisor.run_cell(
-            f"{spec.name}|size{size}|s{seed}",
+            matrix_cell_key(spec.name, size, seed),
             lambda spec=spec: validate_spec(
                 spec,
                 tool=tool,

@@ -409,6 +409,115 @@ def cell_key(spec_name: str, magnitude: float, seed: int) -> str:
     return f"{spec_name}|m{magnitude:g}|s{seed}"
 
 
+def _forked_cell(
+    runner,
+    spec: PropertySpec,
+    magnitude: float,
+    seed: int,
+    plan: FaultPlan,
+    size: int,
+    num_threads: int,
+    threshold: float,
+    workdir: Path,
+    time_budget: Optional[float],
+    archive,
+) -> dict:
+    """Child-side cell body for the fork executor.
+
+    Flips the inherited archive into deferred-manifest mode (blob
+    writes are fork-safe; journal appends are not -- the queued records
+    ride home on the extras channel) and returns the cell as the JSON
+    dict that crosses the result pipe.
+    """
+    if archive is not None:
+        archive.store.begin_deferred()
+    return runner(
+        spec,
+        magnitude,
+        seed,
+        plan,
+        size,
+        num_threads,
+        threshold,
+        workdir,
+        time_budget,
+        archive,
+    ).to_dict()
+
+
+def _run_grid_forked(
+    specs,
+    magnitudes,
+    seeds,
+    plan,
+    size,
+    num_threads,
+    threshold,
+    workdir,
+    time_budget,
+    supervisor,
+    archive,
+    workers,
+    result,
+) -> None:
+    """Fan the cell grid out over forked workers (see run_robustness)."""
+    from ..resilience.forked import run_cells_forked
+
+    runner = _run_cell_checked if supervisor is not None else _run_cell
+    grid = []
+    cells = []
+    for spec in specs:
+        for magnitude in magnitudes:
+            for seed in seeds:
+                grid.append((spec, magnitude, seed))
+                cells.append(
+                    (
+                        cell_key(spec.name, magnitude, seed),
+                        lambda spec=spec, m=magnitude, s=seed: _forked_cell(
+                            runner,
+                            spec,
+                            m,
+                            s,
+                            plan,
+                            size,
+                            num_threads,
+                            threshold,
+                            workdir,
+                            time_budget,
+                            archive,
+                        ),
+                    )
+                )
+    extras_fn = None
+    on_extras = None
+    if archive is not None:
+        extras_fn = archive.store.drain_deferred
+
+        def on_extras(key, records):
+            for run_id, payload in records:
+                archive.store.record_run(run_id, payload)
+
+    outcomes = run_cells_forked(
+        cells,
+        workers=workers,
+        supervisor=supervisor,
+        extras_fn=extras_fn,
+        on_extras=on_extras,
+    )
+    for (spec, magnitude, seed), outcome in zip(grid, outcomes):
+        if outcome.ok:
+            value = outcome.value
+            if not isinstance(value, RobustnessCell):
+                value = RobustnessCell.from_dict(value)
+            result.cells.append(value)
+        else:
+            result.cells.append(
+                _build_cell(
+                    spec, magnitude, seed, error=outcome.failure.error
+                )
+            )
+
+
 def run_robustness(
     specs: Optional[Sequence[PropertySpec]] = None,
     magnitudes: Sequence[float] = DEFAULT_MAGNITUDES,
@@ -420,6 +529,7 @@ def run_robustness(
     time_budget: Optional[float] = None,
     supervisor=None,
     archive=None,
+    workers: int = 1,
 ) -> RobustnessResult:
     """Sweep perturbation magnitude across the validation programs.
 
@@ -436,8 +546,16 @@ def run_robustness(
     byte-identical to a direct one unless wall-clock timeouts fire.
     ``archive`` records every analyzed (possibly fault-damaged) trace
     in a :class:`repro.archive.Archive` under its scaled fault plan.
+
+    ``workers > 1`` fans the cell grid out over forked child processes
+    (:mod:`repro.resilience.forked`) -- true multicore throughput.
+    Cells are independent and seed-deterministic, and results are
+    assembled in grid order, so the returned result (and its JSON) is
+    byte-identical to a serial sweep for any worker count.
     """
     specs = list_properties() if specs is None else list(specs)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     if archive is not None:
         from ..archive import coerce_archive
 
@@ -454,6 +572,23 @@ def run_robustness(
     )
     with tempfile.TemporaryDirectory(prefix="ats-robustness-") as tmp:
         workdir = Path(tmp)
+        if workers > 1:
+            _run_grid_forked(
+                specs,
+                magnitudes,
+                seeds,
+                plan,
+                size,
+                num_threads,
+                threshold,
+                workdir,
+                time_budget,
+                supervisor,
+                archive,
+                workers,
+                result,
+            )
+            return result
         for spec in specs:
             for magnitude in magnitudes:
                 for seed in seeds:

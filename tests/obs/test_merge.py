@@ -1,0 +1,152 @@
+"""Snapshot/delta/merge of metrics registries across forked children."""
+
+from repro.obs import (
+    get_registry,
+    merge_state,
+    registry_state,
+    set_metrics_enabled,
+    state_delta,
+)
+from repro.simkernel.process import worker_pool
+
+
+def _setup():
+    set_metrics_enabled(True)
+    return get_registry()
+
+
+def test_counter_delta_and_merge():
+    reg = _setup()
+    counter = reg.counter("t_total", "test counter")
+    counter.inc(3)
+    base = registry_state(reg)
+    counter.inc(4)
+    delta = state_delta(base, registry_state(reg))
+    assert delta["t_total"]["samples"] == [[[], 4.0]]
+    merge_state(delta, reg)
+    assert counter.value == 11.0  # 7 recorded + 4 merged
+
+
+def test_zero_delta_families_are_dropped():
+    reg = _setup()
+    reg.counter("untouched_total", "never incremented").inc(2)
+    base = registry_state(reg)
+    delta = state_delta(base, registry_state(reg))
+    assert delta == {}
+
+
+def test_labeled_counter_merges_per_child():
+    reg = _setup()
+    family = reg.counter("cells_total", "cells", labelnames=("status",))
+    family.labels(status="ok").inc(2)
+    base = registry_state(reg)
+    family.labels(status="ok").inc()
+    family.labels(status="failed").inc()
+    delta = state_delta(base, registry_state(reg))
+    merge_state(delta, reg)
+    assert family.labels(status="ok").value == 4.0
+    assert family.labels(status="failed").value == 2.0
+
+
+def test_gauge_is_last_write_wins():
+    reg = _setup()
+    gauge = reg.gauge("depth", "queue depth")
+    gauge.set(5)
+    base = registry_state(reg)
+    gauge.set(9)
+    delta = state_delta(base, registry_state(reg))
+    gauge.set(1)
+    merge_state(delta, reg)
+    assert gauge.value == 9.0
+
+
+def test_histogram_cells_sum():
+    reg = _setup()
+    hist = reg.histogram("lat", "latency", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    base = registry_state(reg)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    delta = state_delta(base, registry_state(reg))
+    value = delta["lat"]["samples"][0][1]
+    assert value["count"] == 2
+    assert value["counts"] == [0, 1, 1]
+    merge_state(delta, reg)
+    assert hist.count == 5
+    assert hist.counts == [1, 2, 2]
+    assert hist.sum == 0.05 + 2 * (0.5 + 5.0)
+
+
+def test_unknown_family_is_declared_on_merge():
+    reg = _setup()
+    delta = {
+        "child_only_total": {
+            "help": "created in a child",
+            "type": "counter",
+            "labelnames": [],
+            "buckets": list(
+                __import__("repro.obs.metrics", fromlist=["x"]).DEFAULT_BUCKETS
+            ),
+            "samples": [[[], 3.0]],
+        }
+    }
+    merge_state(delta, reg)
+    assert reg.counter("child_only_total", "created in a child").value == 3.0
+
+
+def test_worker_pool_counters_fold_into_pool_not_registry():
+    """Harvested pool counters merge into the pool object itself.
+
+    The kernel's collector overwrites ``ats_workers_spawned_total`` via
+    ``set_total`` at every collect; merging into the registry child
+    would be clobbered, so the delta lands on ``pool.created`` instead.
+    """
+    reg = _setup()
+    pool = worker_pool()
+    before_created = pool.created
+    before_reused = pool.reused
+    delta = {
+        "ats_workers_spawned_total": {
+            "help": "", "type": "counter", "labelnames": [],
+            "buckets": [], "samples": [[[], 2.0]],
+        },
+        "ats_workers_reused_total": {
+            "help": "", "type": "counter", "labelnames": [],
+            "buckets": [], "samples": [[[], 5.0]],
+        },
+        "ats_workers_parked": {
+            "help": "", "type": "gauge", "labelnames": [],
+            "buckets": [], "samples": [[[], 40.0]],
+        },
+    }
+    try:
+        merge_state(delta, reg)
+        assert pool.created == before_created + 2
+        assert pool.reused == before_reused + 5
+        # none of the three went into the registry
+        assert "ats_workers_spawned_total" not in reg._families
+        assert "ats_workers_parked" not in reg._families
+    finally:
+        pool.created = before_created
+        pool.reused = before_reused
+
+
+def test_forked_sweep_reports_whole_campaign_metrics():
+    """End to end: child sim dispatches show up in the parent registry."""
+    from repro.core import get_property
+    from repro.resilience import run_cells_forked
+    from repro.work.forkexec import fork_available
+
+    if not fork_available():
+        return
+    reg = _setup()
+    spec = get_property("imbalance_at_mpi_barrier")
+
+    def cell():
+        run = spec.run(size=4, num_threads=2, seed=0)
+        return {"events": len(run.events)}
+
+    run_cells_forked([("a", cell), ("b", cell)], workers=2)
+    fam = reg._families.get("ats_sim_dispatches_total")
+    assert fam is not None
+    assert fam.default.value > 0

@@ -1,0 +1,151 @@
+"""run_cells_forked: the supervised lifecycle on forked workers."""
+
+import json
+import time
+
+import pytest
+
+from repro.resilience import Supervisor, run_cells_forked
+from repro.work.forkexec import fork_available
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork executor needs POSIX"
+)
+
+
+def _ok_cell(value):
+    def fn():
+        return {"value": value}
+
+    return fn
+
+
+def _crash_cell():
+    raise RuntimeError("cell exploded")
+
+
+def test_unsupervised_results_in_submission_order():
+    cells = [(f"c{i}", _ok_cell(i)) for i in range(5)]
+    outcomes = run_cells_forked(cells, workers=2)
+    assert [o.key for o in outcomes] == [f"c{i}" for i in range(5)]
+    assert [o.value["value"] for o in outcomes] == list(range(5))
+    assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+
+def test_unsupervised_failure_is_failed_outcome():
+    outcomes = run_cells_forked(
+        [("good", _ok_cell(1)), ("bad", _crash_cell)],
+        workers=2,
+    )
+    good, bad = outcomes
+    assert good.ok
+    assert not bad.ok
+    assert bad.failure.kind == "crash"
+    assert "RuntimeError: cell exploded" in bad.failure.error
+
+
+def test_supervised_quarantine_and_failure_report():
+    sup = Supervisor()
+    outcomes = run_cells_forked(
+        [("ok", _ok_cell(7)), ("boom", _crash_cell)],
+        workers=2,
+        supervisor=sup,
+    )
+    assert outcomes[0].ok
+    assert outcomes[1].failure.kind == "crash"
+    report = sup.failure_report()
+    assert [f.key for f in report.failures] == ["boom"]
+    assert report.counts() == {"crash": 1}
+
+
+def test_classification_matches_serial_taxonomy():
+    def deadlockish():
+        from repro.simkernel.errors import DeadlockError
+
+        raise DeadlockError("stuck ranks")
+
+    sup = Supervisor()
+    outcome = run_cells_forked(
+        [("dl", deadlockish)], workers=1, supervisor=sup
+    )[0]
+    assert outcome.failure.kind == "deadlock"
+
+
+def test_timeout_kills_and_quarantines_with_serial_error_text():
+    def hang():
+        time.sleep(60)
+
+    sup = Supervisor(timeout=0.3)
+    outcome = run_cells_forked([("h", hang)], workers=1, supervisor=sup)[0]
+    assert outcome.failure.kind == "timeout"
+    assert outcome.failure.error == (
+        "CellTimeout: wall-clock timeout after 0.3s"
+    )
+
+
+def test_transient_timeout_is_retried_then_quarantined():
+    def hang():
+        time.sleep(60)
+
+    sleeps = []
+    sup = Supervisor(timeout=0.2, retries=1, sleep=sleeps.append)
+    outcome = run_cells_forked([("h", hang)], workers=1, supervisor=sup)[0]
+    assert not outcome.ok
+    assert outcome.attempts == 2
+    assert outcome.failure.attempts == 2
+    assert len(sleeps) == 1  # one backoff round between the attempts
+    assert sleeps[0] == sup.backoff_delay("h", 1)
+
+
+def test_journal_matches_serial_supervisor(tmp_path):
+    def run(path, forked):
+        sup = Supervisor(checkpoint=path)
+        cells = [("a", _ok_cell(1)), ("b", _crash_cell)]
+        if forked:
+            run_cells_forked(cells, workers=2, supervisor=sup)
+        else:
+            for key, fn in cells:
+                sup.run_cell(key, fn)
+        sup.close()
+        entries = {}
+        for line in path.read_text().splitlines()[1:]:
+            record = json.loads(line)
+            entries[record["key"]] = record["payload"]
+        return entries
+
+    serial = run(tmp_path / "serial.ckpt", forked=False)
+    forked = run(tmp_path / "forked.ckpt", forked=True)
+    assert serial == forked
+
+
+def test_forked_resumes_from_journal(tmp_path):
+    path = tmp_path / "resume.ckpt"
+    sup = Supervisor(checkpoint=path)
+    run_cells_forked([("a", _ok_cell(5))], workers=1, supervisor=sup)
+    sup.close()
+
+    ran = []
+
+    def must_not_run():
+        ran.append(True)
+        return {"value": -1}
+
+    sup2 = Supervisor(checkpoint=path)
+    outcome = run_cells_forked(
+        [("a", must_not_run)], workers=1, supervisor=sup2
+    )[0]
+    sup2.close()
+    assert outcome.from_checkpoint
+    assert outcome.value == {"value": 5}
+    assert not ran
+
+
+def test_on_extras_receives_child_side_channel():
+    seen = {}
+    run_cells_forked(
+        [("k1", _ok_cell(1)), ("k2", _ok_cell(2))],
+        workers=2,
+        extras_fn=lambda: ["extra-record"],
+        on_extras=lambda key, extras: seen.__setitem__(key, extras),
+    )
+    assert seen == {"k1": ["extra-record"], "k2": ["extra-record"]}

@@ -1,0 +1,151 @@
+"""The fork-per-cell executor: ordering, capture, failure modes."""
+
+import os
+import time
+
+import pytest
+
+from repro.work.forkexec import (
+    ForkOutcome,
+    fork_available,
+    run_forked_tasks,
+)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork executor needs POSIX"
+)
+
+
+def _value_task(i, delay=0.0):
+    def fn():
+        if delay:
+            time.sleep(delay)
+        return {"i": i}
+
+    return fn
+
+
+def test_results_in_submission_order_despite_completion_order():
+    # Earlier tasks sleep longer, so completion order is reversed.
+    fns = [_value_task(i, delay=0.08 * (3 - i)) for i in range(4)]
+    outcomes = run_forked_tasks(fns, workers=4)
+    assert [o.payload for o in outcomes] == [{"i": i} for i in range(4)]
+    assert all(o.ok for o in outcomes)
+
+
+def test_more_tasks_than_workers_all_complete():
+    outcomes = run_forked_tasks(
+        [_value_task(i) for i in range(9)], workers=2
+    )
+    assert [o.payload["i"] for o in outcomes] == list(range(9))
+
+
+def test_empty_and_bad_args():
+    assert run_forked_tasks([], workers=2) == []
+    with pytest.raises(ValueError, match="workers"):
+        run_forked_tasks([_value_task(0)], workers=0)
+
+
+def test_exception_becomes_failed_outcome():
+    def boom():
+        raise ValueError("broken cell")
+
+    outcome = run_forked_tasks([boom], workers=1)[0]
+    assert outcome.status == "failed"
+    assert not outcome.ok
+    assert outcome.kind == "ValueError"
+    assert "ValueError: broken cell" in outcome.error
+    assert "broken cell" in outcome.report  # traceback rides along
+
+
+def test_timeout_kills_child():
+    def hang():
+        time.sleep(60)
+
+    t0 = time.monotonic()
+    outcome = run_forked_tasks([hang], workers=1, timeout=0.3)[0]
+    assert outcome.status == "timeout"
+    assert outcome.kind == "timeout"
+    assert time.monotonic() - t0 < 30
+
+
+def test_silent_child_death_is_crashed():
+    def die():
+        os._exit(7)
+
+    outcome = run_forked_tasks([die], workers=1)[0]
+    assert outcome.status == "crashed"
+    assert outcome.kind == "crash"
+    assert "status 7" in outcome.error
+
+
+def test_stdout_and_stderr_captured_per_child():
+    import sys
+
+    def chatty():
+        print("to stdout")
+        print("to stderr", file=sys.stderr)
+        return 1
+
+    outcome = run_forked_tasks([chatty], workers=1)[0]
+    assert outcome.ok
+    assert "to stdout" in outcome.output
+    assert "to stderr" in outcome.output
+
+
+def test_extras_fn_rides_on_envelope():
+    outcomes = run_forked_tasks(
+        [_value_task(0), _value_task(1)],
+        workers=2,
+        extras_fn=lambda: {"note": "side-channel"},
+    )
+    assert all(o.extras == {"note": "side-channel"} for o in outcomes)
+
+
+def test_on_outcome_fires_per_completion():
+    seen = []
+    run_forked_tasks(
+        [_value_task(i) for i in range(3)],
+        workers=3,
+        on_outcome=lambda i, o: seen.append((i, o.ok)),
+    )
+    assert sorted(seen) == [(0, True), (1, True), (2, True)]
+
+
+def test_parent_state_untouched_by_child_mutation():
+    state = {"value": 1}
+
+    def mutate():
+        state["value"] = 99
+        return state["value"]
+
+    outcome = run_forked_tasks([mutate], workers=1)[0]
+    assert outcome.payload == 99
+    assert state["value"] == 1  # copy-on-write isolation
+
+
+def test_simulations_run_inside_forked_children():
+    """Worker-pool fork safety: parked parent threads never hang a child."""
+    from repro.core import get_property
+
+    spec = get_property("imbalance_at_mpi_barrier")
+    parent = spec.run(size=4, num_threads=2, seed=0)
+
+    def cell(seed):
+        def fn():
+            run = spec.run(size=4, num_threads=2, seed=seed)
+            return {"events": len(run.events), "t": run.final_time}
+
+        return fn
+
+    outcomes = run_forked_tasks([cell(0), cell(1)], workers=2, timeout=60)
+    assert all(o.ok for o in outcomes)
+    assert outcomes[0].payload["events"] == len(parent.events)
+    assert outcomes[0].payload["t"] == parent.final_time
+
+
+def test_fork_outcome_defaults():
+    outcome = ForkOutcome(status="ok", payload=3)
+    assert outcome.ok
+    assert outcome.metrics == {}
+    assert outcome.extras is None
