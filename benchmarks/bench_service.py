@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""Analysis-service load benchmark: 1000-way burst + warm latency.
+
+Stands up a real ``AnalysisService`` (thread-hosted asyncio HTTP
+server, metrics on) over an archive whose detector cache is already
+warm, then measures two scenarios:
+
+* **burst** -- ``N`` (default 1000) concurrent identical
+  ``POST /analyze?wait=1`` requests, one client thread each, while
+  the service's single worker is held by a gated blocker job.  The
+  gate opens only once the service has counted every submission, so
+  the whole burst is in flight simultaneously -- no race against
+  client ramp-up.  Every request targets the same ``(trace digest,
+  detector fingerprint)`` pair, so the duplicates must coalesce onto
+  ONE queued executor cell.  Headline numbers: the *collapse ratio*
+  (coalesced submissions over total analyze submissions, acceptance
+  bar >= 0.9) and the *fan-out latency* -- gate-release to response
+  for each of the N waiters.
+* **warm** -- a closed loop of ``CONCURRENCY`` clients issuing
+  identical warm-cache analyzes against an idle 8-worker service
+  (every detector cell hits, no trace blobs are read).  Per-request
+  end-to-end latency is recorded client-side; the acceptance bar is
+  p99 < 50 ms.
+
+Results land in ``BENCH_SERVICE.json`` at the repository root, which
+``check_bench_guard.py`` validates (``check_service_baseline``).
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.archive import Archive  # noqa: E402
+from repro.core import get_property  # noqa: E402
+from repro.obs import reset_metrics, set_metrics_enabled  # noqa: E402
+from repro.service import (  # noqa: E402
+    AnalysisService,
+    ServiceClient,
+    run_service_in_thread,
+)
+
+OUT_PATH = REPO_ROOT / "BENCH_SERVICE.json"
+
+#: archived-run shape: small and fixed -- the bench measures the
+#: service path (HTTP, queue, coalescing, cache hits), not detectors.
+SIZE = 4
+THREADS = 2
+SEED = 1
+
+BURST_REQUESTS = 1000
+WARM_REQUESTS = 400
+WARM_CONCURRENCY = 8
+
+
+def percentile(sorted_samples, q):
+    """Nearest-rank-interpolated percentile of a pre-sorted list."""
+    if not sorted_samples:
+        return None
+    pos = (len(sorted_samples) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_samples) - 1)
+    frac = pos - lo
+    return sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac
+
+
+def stand_up_service(root: Path, max_workers: int):
+    """Archive one run, warm its cache, return (service, handle, run)."""
+    archive = Archive(root)
+    run = archive.archive_run(
+        get_property("late_sender"), size=SIZE, num_threads=THREADS,
+        seed=SEED,
+    )
+    service = AnalysisService(
+        archive,
+        max_workers=max_workers,
+        rate=1e6,  # the bench measures the service, not the limiter
+        burst=max(BURST_REQUESTS * 4, 4096),
+    )
+    handle = run_service_in_thread(service)
+    # warm every detector cell so the measured requests are pure hits
+    ServiceClient(handle.url).analyze(run.run_id, wait=True)
+    return service, handle, run
+
+
+def run_burst(tmp: Path, n: int) -> dict:
+    """n concurrent identical analyzes while the one worker is held."""
+    service, handle, run = stand_up_service(tmp / "burst", max_workers=1)
+    try:
+        # a gated job holds the single worker; the gate opens only
+        # after the service has counted all n submissions, so every
+        # duplicate is in flight at once (the dispatch honors
+        # instance attributes precisely for this kind of hosting).
+        gate = threading.Event()
+        service._job_history = lambda job: gate.wait(600) or {"count": 0}
+        blocker, _ = service.submit("history", {})
+
+        submitted_before = service.counts["submitted"]
+        executed_before = service.counts["executed"]
+        coalesced_before = service.counts["coalesced"]
+
+        done_at = [None] * n
+        errors = []
+
+        def fire(i: int):
+            client = ServiceClient(handle.url, tenant="bench",
+                                   timeout=600.0)
+            try:
+                out = client.analyze(run.run_id, wait=True)
+                if out["state"] != "done":
+                    raise RuntimeError(f"job ended {out['state']}")
+            except Exception as exc:
+                errors.append(f"{type(exc).__name__}: {exc}")
+                return
+            done_at[i] = time.perf_counter()
+
+        threads = [
+            threading.Thread(target=fire, args=(i,), daemon=True)
+            for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 300
+        while service.counts["submitted"] - submitted_before < n:
+            if errors:
+                raise SystemExit(f"burst: request failed ({errors[0]})")
+            if time.monotonic() > deadline:
+                raise SystemExit(
+                    "burst: submissions never all arrived "
+                    f"({service.counts['submitted'] - submitted_before}"
+                    f"/{n})"
+                )
+            time.sleep(0.005)
+        released = time.perf_counter()
+        gate.set()
+        for t in threads:
+            t.join(timeout=600)
+        wall = time.perf_counter() - released
+        if errors:
+            raise SystemExit(
+                f"burst: {len(errors)}/{n} requests failed "
+                f"(first: {errors[0]})"
+            )
+        if not blocker.wait(timeout=600):
+            raise SystemExit("burst: blocker job never finished")
+
+        # the blocker (history) executes too; only analyzes count here
+        analyze_cells = service.counts["executed"] - executed_before - 1
+        coalesced = service.counts["coalesced"] - coalesced_before
+        submissions = analyze_cells + coalesced
+        samples = sorted(
+            t_done - released for t_done in done_at if t_done is not None
+        )
+        return {
+            "requests": n,
+            "fanout_wall_s": round(wall, 4),
+            "executed_analyzes": analyze_cells,
+            "coalesced": coalesced,
+            "collapse": round(coalesced / submissions, 4),
+            "fanout_p50_ms": round(percentile(samples, 0.50) * 1000, 2),
+            "fanout_p99_ms": round(percentile(samples, 0.99) * 1000, 2),
+        }
+    finally:
+        handle.stop(drain=False)
+
+
+def run_warm(tmp: Path, total: int, concurrency: int) -> dict:
+    """Closed-loop warm-cache analyzes; per-request latency client-side."""
+    service, handle, run = stand_up_service(tmp / "warm", max_workers=8)
+    try:
+        executed_before = service.counts["executed"]
+        coalesced_before = service.counts["coalesced"]
+        per_client = total // concurrency
+        latencies = []
+        lock = threading.Lock()
+        errors = []
+        barrier = threading.Barrier(concurrency + 1)
+
+        def loop():
+            client = ServiceClient(handle.url, tenant="bench",
+                                   timeout=120.0)
+            mine = []
+            barrier.wait()
+            try:
+                for _ in range(per_client):
+                    t0 = time.perf_counter()
+                    out = client.analyze(run.run_id, wait=True)
+                    mine.append(time.perf_counter() - t0)
+                    if out["state"] != "done":
+                        raise RuntimeError(f"job ended {out['state']}")
+            except Exception as exc:
+                errors.append(f"{type(exc).__name__}: {exc}")
+            with lock:
+                latencies.extend(mine)
+
+        threads = [
+            threading.Thread(target=loop, daemon=True)
+            for _ in range(concurrency)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join(timeout=300)
+        wall = time.perf_counter() - t0
+        if errors:
+            raise SystemExit(f"warm: a client failed (first: {errors[0]})")
+
+        status = ServiceClient(handle.url).status()
+        samples = sorted(latencies)
+        return {
+            "requests": len(samples),
+            "concurrency": concurrency,
+            "wall_s": round(wall, 4),
+            "rps": round(len(samples) / wall, 1),
+            "p50_ms": round(percentile(samples, 0.50) * 1000, 2),
+            "p95_ms": round(percentile(samples, 0.95) * 1000, 2),
+            "p99_ms": round(percentile(samples, 0.99) * 1000, 2),
+            "executed_analyzes": (
+                service.counts["executed"] - executed_before
+            ),
+            "coalesced": service.counts["coalesced"] - coalesced_before,
+            "cache_hit_ratio": status["cache_hit_ratio"],
+        }
+    finally:
+        handle.stop(drain=False)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 100-way burst, 80 warm requests, no JSON write",
+    )
+    args = parser.parse_args(argv)
+
+    burst_n = 100 if args.quick else BURST_REQUESTS
+    warm_n = 80 if args.quick else WARM_REQUESTS
+
+    set_metrics_enabled(True)
+    reset_metrics()
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        root = Path(tmp)
+        burst = run_burst(root, burst_n)
+        print(
+            f"  burst  {burst['requests']:5d} concurrent: "
+            f"collapse {burst['collapse']:.4f} "
+            f"({burst['executed_analyzes']} analyze cells), "
+            f"fan-out p50 {burst['fanout_p50_ms']:.0f} ms / "
+            f"p99 {burst['fanout_p99_ms']:.0f} ms"
+        )
+        warm = run_warm(root, warm_n, WARM_CONCURRENCY)
+        print(
+            f"  warm   {warm['requests']:5d} x{warm['concurrency']}: "
+            f"{warm['rps']:7.1f} req/s, "
+            f"p50 {warm['p50_ms']:.1f} ms, p99 {warm['p99_ms']:.1f} ms, "
+            f"cache hit {warm['cache_hit_ratio']:.2f}"
+        )
+
+    payload = {
+        "service": {
+            "burst": burst,
+            "warm": warm,
+        },
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    if args.quick:
+        print("quick mode: BENCH_SERVICE.json not rewritten")
+        return 0
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,7 +22,10 @@ It also validates committed acceptance bars:
   the ranks-per-second floor,
 * ``BENCH_CORE.json`` ``current.parallel_sweep`` -- the fork-sweep
   speedup must meet the bar for the CPU count it was measured on
-  (>=2x at 4+ cores; relaxed below, skipped on one core).
+  (>=2x at 4+ cores; relaxed below, skipped on one core),
+* ``BENCH_SERVICE.json`` -- the 1000-request burst must have
+  collapsed >= 90% of duplicate in-flight analyzes, and warm-cache
+  analyzes must hold p99 < 50 ms.
 
 Run directly (not via pytest)::
 
@@ -203,6 +206,45 @@ def check_archive_baseline() -> bool:
     return ok
 
 
+#: acceptance bars for the analysis service (BENCH_SERVICE.json):
+#: the burst must collapse >= 90% of its duplicate in-flight analyzes
+#: onto shared executor cells, at >= 1000 concurrent requests, and
+#: warm-cache analyzes must answer under 50 ms at the 99th percentile.
+SERVICE_MIN_BURST_REQUESTS = 1000
+SERVICE_MIN_COLLAPSE = 0.9
+SERVICE_MAX_WARM_P99_MS = 50.0
+
+
+def check_service_baseline() -> bool:
+    """Validate the committed service load numbers; True when OK."""
+    data = _load("BENCH_SERVICE.json")
+    if not data:
+        print("no BENCH_SERVICE.json baseline; service check skipped")
+        return True
+    try:
+        burst = data["service"]["burst"]
+        requests = int(burst["requests"])
+        collapse = float(burst["collapse"])
+        warm_p99 = float(data["service"]["warm"]["p99_ms"])
+    except KeyError as exc:
+        print(f"BENCH_SERVICE.json malformed (missing {exc}); FAIL")
+        return False
+    ok = (
+        requests >= SERVICE_MIN_BURST_REQUESTS
+        and collapse >= SERVICE_MIN_COLLAPSE
+        and warm_p99 < SERVICE_MAX_WARM_P99_MS
+    )
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"  BENCH_SERVICE burst collapse     {collapse:7.4f} "
+        f"({requests} reqs, bar {SERVICE_MIN_COLLAPSE:.1f} at "
+        f">={SERVICE_MIN_BURST_REQUESTS}), "
+        f"warm p99 {warm_p99:.1f} ms "
+        f"(bar {SERVICE_MAX_WARM_P99_MS:.0f} ms)  {verdict}"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=64)
@@ -220,7 +262,8 @@ def main(argv=None) -> int:
     archive_ok = check_archive_baseline()
     kilo_ok = check_kilo_baseline()
     parallel_ok = check_parallel_sweep_baseline()
-    committed_ok = archive_ok and kilo_ok and parallel_ok
+    service_ok = check_service_baseline()
+    committed_ok = archive_ok and kilo_ok and parallel_ok and service_ok
 
     baselines = collect_baselines(args.size)
     if not baselines:

@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -68,6 +69,11 @@ class ArchiveStore:
         #: queued ``(run_id, payload)`` records while deferred (see
         #: :meth:`begin_deferred`); ``None`` means write-through.
         self._deferred: Optional[list] = None
+        #: serializes manifest appends/reads: blob writes are already
+        #: atomic-rename safe under concurrency, but the journal is one
+        #: shared buffered fd, and the analysis service records runs
+        #: from multiple worker threads at once.
+        self._manifest_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # blobs
@@ -161,7 +167,8 @@ class ArchiveStore:
         if self._deferred is not None:
             self._deferred.append([run_id, payload])
             return
-        self._manifest.record(run_id, payload)
+        with self._manifest_lock:
+            self._manifest.record(run_id, payload)
 
     def begin_deferred(self) -> None:
         """Queue manifest records in memory instead of writing them.
@@ -201,7 +208,8 @@ class ArchiveStore:
         :class:`ArchiveError`.
         """
         try:
-            return self._manifest.load()
+            with self._manifest_lock:
+                return self._manifest.load()
         except CheckpointError as exc:
             raise ArchiveError(str(exc)) from exc
 

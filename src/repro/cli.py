@@ -15,6 +15,9 @@ Subcommands::
     ats archive run|analyze|export   trace archive with cached analysis
     ats history                      list archived runs
     ats diff <runA> <runB>           cross-run regression diff (--gate)
+    ats serve [...]                  analysis-as-a-service HTTP server
+    ats submit <kind> [...]          submit a job to a running server
+    ats watch --server URL           live terminal dashboard
 
 Observability flags on the run-style commands (``run``/``chain``/
 ``split``) enable the :mod:`repro.obs` layer for that invocation:
@@ -750,6 +753,159 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# service commands
+# ----------------------------------------------------------------------
+
+def _service_client(args):
+    from .service import ServiceClient
+
+    return ServiceClient(args.server, tenant=args.tenant)
+
+
+def _service_call(fn):
+    """Run one client call with CLI-grade connection errors."""
+    from urllib.error import URLError
+
+    from .service import ServiceHTTPError
+
+    try:
+        return fn()
+    except ServiceHTTPError as exc:
+        raise CliError(str(exc)) from None
+    except (URLError, OSError) as exc:
+        raise CliError(f"cannot reach service: {exc}") from None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .archive import Archive
+    from .service import AnalysisService, run_service_in_thread
+    from .service.dashboard import render_watch
+
+    set_metrics_enabled(True)
+    if args.spans:
+        set_spans_enabled(True)
+    service = AnalysisService(
+        Archive(args.archive),
+        max_workers=args.workers,
+        rate=args.rate,
+        burst=args.burst,
+    )
+    handle = run_service_in_thread(
+        service, host=args.host, port=args.port
+    )
+    print(f"ats service listening on {handle.url} "
+          f"(archive {service.archive.root})")
+    print("endpoints: /submit-run /analyze /diff /campaign /history "
+          "/jobs/<id> /status /dashboard /metrics /metrics.json /drain")
+    sys.stdout.flush()
+    try:
+        while True:
+            if args.watch:
+                frame = render_watch(service.status())
+                sys.stdout.write("\x1b[2J\x1b[H" + frame)
+                sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("\ninterrupt: draining...", file=sys.stderr)
+    handle.stop()
+    print("service stopped (drained)")
+    return 0
+
+
+def _print_submission(response: dict) -> int:
+    import json
+
+    if "result" in response or response.get("state") in (
+        "done", "failed"
+    ):
+        print(json.dumps(response, indent=2, default=str))
+        return 0 if response.get("state") == "done" else 1
+    coalesced = " (coalesced)" if response.get("coalesced") else ""
+    print(f"submitted {response['job']}{coalesced}; poll with "
+          f"'ats submit job {response['job']}'")
+    return 0
+
+
+def cmd_submit_run(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    return _print_submission(_service_call(lambda: client.submit_run(
+        args.property, size=args.size, threads=args.threads,
+        seed=args.seed, wait=args.wait,
+    )))
+
+
+def cmd_submit_analyze(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    return _print_submission(_service_call(lambda: client.analyze(
+        args.run, wait=args.wait,
+    )))
+
+
+def cmd_submit_diff(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    return _print_submission(_service_call(lambda: client.diff(
+        args.before, args.after, threshold=args.threshold,
+        wait=args.wait,
+    )))
+
+
+def cmd_submit_campaign(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    params = {}
+    if args.properties:
+        params["properties"] = args.properties.split(",")
+    return _print_submission(_service_call(lambda: client.campaign(
+        size=args.size, threads=args.threads, seed=args.seed,
+        wait=args.wait, **params,
+    )))
+
+
+def cmd_submit_history(args: argparse.Namespace) -> int:
+    import json
+
+    client = _service_client(args)
+    print(json.dumps(_service_call(client.history), indent=2))
+    return 0
+
+
+def cmd_submit_job(args: argparse.Namespace) -> int:
+    import json
+
+    client = _service_client(args)
+    response = _service_call(
+        lambda: client.job(args.job, wait=args.wait)
+    )
+    print(json.dumps(response, indent=2, default=str))
+    return 0 if response.get("state") != "failed" else 1
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from .service.dashboard import render_watch
+
+    client = _service_client(args)
+    frames = 0
+    while True:
+        status = _service_call(client.status)
+        frame = render_watch(status)
+        if args.plain:
+            sys.stdout.write(frame)
+        else:
+            sys.stdout.write("\x1b[2J\x1b[H" + frame)
+        sys.stdout.flush()
+        frames += 1
+        if args.count and frames >= args.count:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ats",
@@ -962,6 +1118,102 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 1 on lost properties or severity "
                    "regressions (CI regression gate)")
     p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the analysis-as-a-service HTTP server",
+    )
+    _add_archive_option(p)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8313,
+                   help="bind port; 0 = ephemeral (default 8313)")
+    p.add_argument("--workers", type=int, default=8,
+                   help="max concurrently executing jobs (default 8)")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="per-tenant submissions/second (default 200)")
+    p.add_argument("--burst", type=int, default=400,
+                   help="per-tenant burst budget (default 400)")
+    p.add_argument("--spans", action="store_true",
+                   help="record request-tracing obs spans")
+    p.add_argument("--watch", action="store_true",
+                   help="redraw the live dashboard while serving")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="dashboard refresh seconds (default 1)")
+    p.set_defaults(fn=cmd_serve)
+
+    def _add_server_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--server",
+                            default="http://127.0.0.1:8313",
+                            help="service base URL "
+                            "(default http://127.0.0.1:8313)")
+        parser.add_argument("--tenant", default="default",
+                            help="X-Tenant rate-limit identity")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job to a running 'ats serve'",
+    )
+    ssub = p.add_subparsers(dest="submit_command", required=True)
+
+    ps = ssub.add_parser("run", help="execute + archive a property run")
+    ps.add_argument("property")
+    ps.add_argument("--size", type=int, default=8)
+    ps.add_argument("--threads", type=int, default=4)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--wait", action="store_true",
+                    help="block until the job resolves")
+    _add_server_options(ps)
+    ps.set_defaults(fn=cmd_submit_run)
+
+    ps = ssub.add_parser("analyze", help="analyze an archived run")
+    ps.add_argument("run", help="run id or unique prefix")
+    ps.add_argument("--wait", action="store_true")
+    _add_server_options(ps)
+    ps.set_defaults(fn=cmd_submit_analyze)
+
+    ps = ssub.add_parser("diff", help="regression diff of two runs")
+    ps.add_argument("before")
+    ps.add_argument("after")
+    ps.add_argument("--threshold", type=float, default=0.01)
+    ps.add_argument("--wait", action="store_true")
+    _add_server_options(ps)
+    ps.set_defaults(fn=cmd_submit_diff)
+
+    ps = ssub.add_parser(
+        "campaign", help="run a validation campaign server-side"
+    )
+    ps.add_argument("--properties", default=None,
+                    help="comma-separated property names (default all)")
+    ps.add_argument("--size", type=int, default=8)
+    ps.add_argument("--threads", type=int, default=4)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--wait", action="store_true")
+    _add_server_options(ps)
+    ps.set_defaults(fn=cmd_submit_campaign)
+
+    ps = ssub.add_parser("history", help="server-side archive history")
+    _add_server_options(ps)
+    ps.set_defaults(fn=cmd_submit_history)
+
+    ps = ssub.add_parser("job", help="poll one job by id")
+    ps.add_argument("job")
+    ps.add_argument("--wait", action="store_true")
+    _add_server_options(ps)
+    ps.set_defaults(fn=cmd_submit_job)
+
+    p = sub.add_parser(
+        "watch",
+        help="live terminal dashboard for a running service",
+    )
+    _add_server_options(p)
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="poll seconds (default 1)")
+    p.add_argument("--count", type=int, default=0,
+                   help="frames to render before exiting (0 = forever)")
+    p.add_argument("--plain", action="store_true",
+                   help="no screen clearing (scripts/tests)")
+    p.set_defaults(fn=cmd_watch)
 
     return parser
 

@@ -29,13 +29,14 @@ metrics``.  See ``docs/OBSERVABILITY.md``.
 """
 
 from .chrome import build_chrome_trace, write_chrome_trace
-from .export import to_json, to_json_str, to_prometheus
+from .export import SNAPSHOT_QUANTILES, to_json, to_json_str, to_prometheus
 from .instruments import (
     analysis_metrics,
     archive_metrics,
     fault_metrics,
     kernel_metrics,
     omp_metrics,
+    service_metrics,
     trace_metrics,
     transport_metrics,
 )
@@ -50,6 +51,7 @@ from .metrics import (
     get_registry,
     metrics_enabled,
     null_registry,
+    quantile_from_counts,
     reset_metrics,
     set_metrics_enabled,
 )
@@ -70,6 +72,7 @@ __all__ = [
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "SNAPSHOT_QUANTILES",
     "Span",
     "SpanLog",
     "analysis_metrics",
@@ -82,9 +85,11 @@ __all__ = [
     "metrics_enabled",
     "null_registry",
     "omp_metrics",
+    "quantile_from_counts",
     "registry_state",
     "reset_metrics",
     "reset_spans",
+    "service_metrics",
     "set_metrics_enabled",
     "set_spans_enabled",
     "span",

@@ -19,9 +19,19 @@ from .metrics import (
     MetricFamily,
     MetricsRegistry,
     get_registry,
+    quantile_from_counts,
 )
 
-__all__ = ["to_json", "to_json_str", "to_prometheus"]
+#: quantiles derived into every histogram's JSON sample; the service's
+#: latency reporting and BENCH_SERVICE.json read these same fields
+SNAPSHOT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+__all__ = [
+    "SNAPSHOT_QUANTILES",
+    "to_json",
+    "to_json_str",
+    "to_prometheus",
+]
 
 
 def _escape_help(text: str) -> str:
@@ -59,8 +69,9 @@ def _prometheus_family(family: MetricFamily, out: list[str]) -> None:
     out.append(f"# TYPE {family.name} {family.type}")
     for labelvalues, child in family.samples():
         if isinstance(child, Histogram):
+            counts, total_sum, total = child.snapshot()
             cumulative = 0
-            for bound, count in zip(child.boundaries, child.counts):
+            for bound, count in zip(child.boundaries, counts):
                 cumulative += count
                 labels = _label_str(
                     family.labelnames, labelvalues,
@@ -70,12 +81,12 @@ def _prometheus_family(family: MetricFamily, out: list[str]) -> None:
             labels = _label_str(
                 family.labelnames, labelvalues, extra=("le", "+Inf")
             )
-            out.append(f"{family.name}_bucket{labels} {child.count}")
+            out.append(f"{family.name}_bucket{labels} {total}")
             base = _label_str(family.labelnames, labelvalues)
             out.append(
-                f"{family.name}_sum{base} {_format_value(child.sum)}"
+                f"{family.name}_sum{base} {_format_value(total_sum)}"
             )
-            out.append(f"{family.name}_count{base} {child.count}")
+            out.append(f"{family.name}_count{base} {total}")
         else:
             labels = _label_str(family.labelnames, labelvalues)
             out.append(
@@ -95,15 +106,22 @@ def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
 def _json_sample(family: MetricFamily, labelvalues, child) -> dict:
     labels = dict(zip(family.labelnames, labelvalues))
     if isinstance(child, Histogram):
+        counts, total_sum, total = child.snapshot()
         return {
             "labels": labels,
             "buckets": {
                 _format_value(b): c
-                for b, c in zip(child.boundaries, child.counts)
+                for b, c in zip(child.boundaries, counts)
             },
-            "overflow": child.counts[-1],
-            "sum": child.sum,
-            "count": child.count,
+            "overflow": counts[-1],
+            "sum": total_sum,
+            "count": total,
+            "quantiles": {
+                name: quantile_from_counts(
+                    child.boundaries, counts, total, q
+                )
+                for name, q in SNAPSHOT_QUANTILES
+            },
         }
     assert isinstance(child, (Counter, Gauge))
     return {"labels": labels, "value": child.value}

@@ -32,6 +32,7 @@ __all__ = [
     "KernelMetrics",
     "OmpMetrics",
     "ResilienceMetrics",
+    "ServiceMetrics",
     "TraceMetrics",
     "TransportMetrics",
     "analysis_metrics",
@@ -40,6 +41,7 @@ __all__ = [
     "kernel_metrics",
     "omp_metrics",
     "resilience_metrics",
+    "service_metrics",
     "trace_metrics",
     "transport_metrics",
 ]
@@ -48,6 +50,13 @@ __all__ = [
 _DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
 #: virtual-seconds latency buckets (transport latency is ~5us)
 _VSEC_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+#: host wall-clock latency buckets for service endpoints; the fine
+#: 1-50ms region is where warm-cache analyzes land, and the service
+#: bench derives its p99 bar from these edges
+_WALL_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
+)
 
 
 def _bundle(key: str, factory):
@@ -407,6 +416,92 @@ class AnalysisMetrics:
 
 def analysis_metrics() -> Optional[AnalysisMetrics]:
     return _bundle("analysis", AnalysisMetrics)
+
+
+# ----------------------------------------------------------------------
+# service
+# ----------------------------------------------------------------------
+
+class ServiceMetrics:
+    """Analysis-service instruments (see :mod:`repro.service`).
+
+    Per-endpoint request latency is a labeled histogram over
+    ``_WALL_BUCKETS``; ``/status`` and ``BENCH_SERVICE.json`` derive
+    p50/p99 from it via :meth:`Histogram.quantile`.  ``queue_depth``
+    and ``inflight`` are gauges maintained by the job queue;
+    ``coalesced`` counts submissions deduplicated onto an in-flight
+    identical job, ``executed`` the jobs that actually computed.
+    """
+
+    __slots__ = (
+        "requests",
+        "request_seconds",
+        "queue_depth",
+        "inflight",
+        "jobs",
+        "coalesced",
+        "executed",
+        "rate_limited",
+        "queue_wait_seconds",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.requests = reg.counter(
+            "ats_service_requests_total",
+            "HTTP requests served, by endpoint and status code",
+            labelnames=("endpoint", "code"),
+        )
+        self.request_seconds = reg.histogram(
+            "ats_service_request_seconds",
+            "Wall-clock request latency, by endpoint",
+            labelnames=("endpoint",),
+            buckets=_WALL_BUCKETS,
+        )
+        self.queue_depth = reg.gauge(
+            "ats_service_queue_depth",
+            "Jobs waiting in the work queue",
+        )
+        self.inflight = reg.gauge(
+            "ats_service_inflight_jobs",
+            "Jobs currently executing on pooled workers",
+        )
+        self.jobs = reg.counter(
+            "ats_service_jobs_total",
+            "Jobs resolved, by kind and final status",
+            labelnames=("kind", "status"),
+        )
+        self.coalesced = reg.counter(
+            "ats_service_coalesced_total",
+            "Submissions coalesced onto an identical in-flight job",
+        )
+        self.executed = reg.counter(
+            "ats_service_jobs_executed_total",
+            "Jobs that actually ran a computation (coalescing primary)",
+        )
+        self.rate_limited = reg.counter(
+            "ats_service_rate_limited_total",
+            "Submissions rejected 429 by the per-tenant token bucket",
+            labelnames=("tenant",),
+        )
+        self.queue_wait_seconds = reg.histogram(
+            "ats_service_queue_wait_seconds",
+            "Wall-clock time jobs spent queued before execution",
+            buckets=_WALL_BUCKETS,
+        )
+        self.cache_hits = reg.counter(
+            "ats_service_cache_hits_total",
+            "Archive analysis-cache hits accumulated across jobs",
+        )
+        self.cache_misses = reg.counter(
+            "ats_service_cache_misses_total",
+            "Archive analysis-cache misses accumulated across jobs",
+        )
+
+
+def service_metrics() -> Optional[ServiceMetrics]:
+    return _bundle("service", ServiceMetrics)
 
 
 # ----------------------------------------------------------------------

@@ -68,10 +68,11 @@ def registry_state(registry: Optional[MetricsRegistry] = None) -> State:
         samples = []
         for key, child in family.samples():
             if family.type == "histogram":
+                counts, total_sum, total = child.snapshot()
                 value = {
-                    "counts": list(child.counts),
-                    "sum": child.sum,
-                    "count": child.count,
+                    "counts": counts,
+                    "sum": total_sum,
+                    "count": total,
                 }
             else:
                 value = child.value
@@ -164,7 +165,12 @@ def merge_state(
             key = tuple(key)
             child = family.children.get(key)
             if child is None:
-                child = family.children[key] = family._new_child()
+                with family._lock:
+                    child = family.children.get(key)
+                    if child is None:
+                        child = family.children[key] = (
+                            family._new_child()
+                        )
             if fam["type"] == "counter":
                 child.value += value
             elif fam["type"] == "gauge":
@@ -172,7 +178,8 @@ def merge_state(
             else:
                 counts = value["counts"]
                 if len(counts) == len(child.counts):
-                    for i, c in enumerate(counts):
-                        child.counts[i] += c
-                    child.sum += value["sum"]
-                    child.count += value["count"]
+                    with child._lock:
+                        for i, c in enumerate(counts):
+                            child.counts[i] += c
+                        child.sum += value["sum"]
+                        child.count += value["count"]

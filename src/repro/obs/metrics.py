@@ -19,8 +19,28 @@ Design constraints, in order of importance:
    metric objects are shared no-op singletons.
 3. **Enabled mode stays cheap.**  ``Counter.inc`` is one float add;
    ``Histogram.observe`` is a linear scan over a handful of fixed
-   bucket boundaries.  No locks: the simulation kernel guarantees at
-   most one runnable thread, and CPython's GIL covers the rest.
+   bucket boundaries plus one uncontended lock.
+
+Thread-safety contract (audited for the analysis service, which
+scrapes the registry from an event loop while pooled worker threads
+record):
+
+* ``Counter``/``Gauge`` hold a single float; reads and single-opcode
+  writes are atomic under the GIL, so a scrape can never observe a
+  torn scalar.  (Concurrent ``inc`` from many threads may still lose
+  updates -- the simulation kernel's one-runnable-thread guarantee
+  covers the sim-side families, and service-side counters are only
+  incremented from the event-loop thread.)
+* ``Histogram`` updates three fields per observation; without mutual
+  exclusion a scrape could see ``count`` without the matching bucket
+  increment.  ``observe`` and :meth:`Histogram.snapshot` therefore
+  share a per-histogram lock, and exporters only read through
+  ``snapshot()``.
+* Family and child creation mutate dicts that exporters iterate, so
+  creation takes a registry-wide lock and iteration happens over
+  locked copies (:meth:`MetricFamily.samples`,
+  :meth:`MetricsRegistry.collect`).  The steady-state recording path
+  (cached child, ``inc``/``observe``) never touches the registry lock.
 
 Metrics are grouped into *families* (one name, one type, fixed label
 names); a family with labels hands out per-label-value children via
@@ -31,7 +51,8 @@ allocates nothing.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -43,6 +64,7 @@ __all__ = [
     "get_registry",
     "metrics_enabled",
     "null_registry",
+    "quantile_from_counts",
     "reset_metrics",
     "set_metrics_enabled",
 ]
@@ -98,7 +120,7 @@ class Histogram:
     exporter accumulates), ``counts[-1]`` the overflow count.
     """
 
-    __slots__ = ("boundaries", "counts", "sum", "count")
+    __slots__ = ("boundaries", "counts", "sum", "count", "_lock")
 
     def __init__(self, boundaries: Sequence[float]) -> None:
         bounds = tuple(float(b) for b in boundaries)
@@ -110,15 +132,70 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.boundaries):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.boundaries):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
+
+    def snapshot(self) -> Tuple[List[int], float, int]:
+        """A consistent ``(counts, sum, count)`` view for exporters.
+
+        Taken under the observation lock so a scrape never sees a
+        ``count`` without its matching bucket increment (a torn read).
+        """
+        with self._lock:
+            return list(self.counts), self.sum, self.count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        The estimate assumes observations are uniformly distributed
+        within their bucket (the standard Prometheus
+        ``histogram_quantile`` model): the first finite bucket
+        interpolates from 0, and any rank landing in the ``+Inf``
+        overflow bucket clamps to the highest finite boundary.
+        Returns ``None`` for an empty histogram.
+        """
+        counts, _, total = self.snapshot()
+        return quantile_from_counts(self.boundaries, counts, total, q)
+
+
+def quantile_from_counts(
+    boundaries: Sequence[float],
+    counts: Sequence[int],
+    total: int,
+    q: float,
+) -> Optional[float]:
+    """Linear bucket interpolation over an already-taken snapshot.
+
+    Shared by :meth:`Histogram.quantile` and the JSON exporter (which
+    derives p50/p95/p99 from the one snapshot it is already writing,
+    so the reported quantiles always match the reported buckets).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if total == 0:
+        return None
+    target = q * total
+    cumulative = 0
+    lower = 0.0
+    for i, bound in enumerate(boundaries):
+        in_bucket = counts[i]
+        if cumulative + in_bucket >= target:
+            if in_bucket == 0:
+                return bound
+            fraction = (target - cumulative) / in_bucket
+            return lower + fraction * (bound - lower)
+        cumulative += in_bucket
+        lower = bound
+    return boundaries[-1]
 
 
 class _NoopMetric:
@@ -147,6 +224,12 @@ class _NoopMetric:
     def observe(self, value: float) -> None:
         pass
 
+    def snapshot(self) -> Tuple[List[int], float, int]:
+        return [], 0.0, 0
+
+    def quantile(self, q: float) -> None:
+        return None
+
     def labels(self, **kwargs: str) -> "_NoopMetric":
         return self
 
@@ -164,7 +247,10 @@ class MetricFamily:
     return the same instance.
     """
 
-    __slots__ = ("name", "help", "type", "labelnames", "buckets", "children")
+    __slots__ = (
+        "name", "help", "type", "labelnames", "buckets", "children",
+        "_lock",
+    )
 
     _TYPES = ("counter", "gauge", "histogram")
 
@@ -186,6 +272,7 @@ class MetricFamily:
             tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
         )
         self.children: Dict[LabelValues, object] = {}
+        self._lock = threading.Lock()
         if not self.labelnames:
             self.children[()] = self._new_child()
 
@@ -206,7 +293,13 @@ class MetricFamily:
         key = tuple(str(labels[name]) for name in self.labelnames)
         child = self.children.get(key)
         if child is None:
-            child = self.children[key] = self._new_child()
+            # Creation is rare; take the family lock so a concurrent
+            # exporter never iterates a dict mid-mutation and two
+            # threads never race to install different children.
+            with self._lock:
+                child = self.children.get(key)
+                if child is None:
+                    child = self.children[key] = self._new_child()
         return child
 
     @property
@@ -217,8 +310,13 @@ class MetricFamily:
         return self.children[()]
 
     def samples(self) -> Iterator[Tuple[LabelValues, object]]:
-        """(label values, child) pairs in insertion order."""
-        return iter(self.children.items())
+        """(label values, child) pairs in insertion order.
+
+        Iterates a locked copy, so exporters are safe against a worker
+        thread creating a new labeled child mid-scrape.
+        """
+        with self._lock:
+            return iter(list(self.children.items()))
 
 
 class MetricsRegistry:
@@ -243,6 +341,8 @@ class MetricsRegistry:
         self._collectors: list[Callable[["MetricsRegistry"], None]] = []
         #: per-subsystem instrument-bundle cache (see instruments.py)
         self._bundles: Dict[str, object] = {}
+        #: guards family declaration and collect-time iteration
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # declaration
@@ -257,15 +357,20 @@ class MetricsRegistry:
         buckets: Optional[Sequence[float]] = None,
     ) -> MetricFamily:
         family = self._families.get(name)
-        if family is not None:
-            if family.type != type or family.labelnames != tuple(labelnames):
-                raise ValueError(
-                    f"metric {name} re-declared with different "
-                    f"type/labels"
-                )
-            return family
-        family = MetricFamily(name, help, type, labelnames, buckets)
-        self._families[name] = family
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(
+                        name, help, type, labelnames, buckets
+                    )
+                    self._families[name] = family
+                    return family
+        if family.type != type or family.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name} re-declared with different "
+                f"type/labels"
+            )
         return family
 
     def counter(self, name: str, help: str, labelnames: Sequence[str] = ()):
@@ -296,10 +401,17 @@ class MetricsRegistry:
         self._collectors.append(fn)
 
     def collect(self) -> list[MetricFamily]:
-        """Run collectors, then return families sorted by name."""
+        """Run collectors, then return families sorted by name.
+
+        The returned list is built from a locked copy of the family
+        table, so a scrape that overlaps concurrent family declaration
+        sees a consistent (if momentarily stale) set.
+        """
         for fn in self._collectors:
             fn(self)
-        return [self._families[k] for k in sorted(self._families)]
+        with self._lock:
+            families = dict(self._families)
+        return [families[k] for k in sorted(families)]
 
 
 class _NullRegistry:

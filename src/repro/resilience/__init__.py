@@ -25,6 +25,7 @@ from .checkpoint import (
 from .forked import run_cells_forked
 from .supervisor import (
     FAILURE_KINDS,
+    PROGRESS_EVENTS,
     CellFailure,
     CellOutcome,
     CellTimeout,
@@ -41,6 +42,7 @@ __all__ = [
     "CheckpointError",
     "CheckpointJournal",
     "FailureReport",
+    "PROGRESS_EVENTS",
     "Supervisor",
     "classify_failure",
     "coerce_journal",

@@ -174,6 +174,10 @@ def run_cells_forked(
                 if metrics is not None:
                     metrics.retries.inc()
                     metrics.backoff_seconds.inc(delay)
+                supervisor._emit(
+                    "cell-retry", key, attempt=attempt,
+                    kind=outcome.failure.kind, delay=delay,
+                )
                 retry_delay = max(retry_delay, delay)
                 pending.append((key, fn, attempt + 1))
                 return
@@ -181,6 +185,9 @@ def run_cells_forked(
                 supervisor.finalize(outcome)
             results[key] = outcome
 
+        if supervisor is not None:
+            for key, _fn, attempt in batch:
+                supervisor._emit("cell-started", key, attempt=attempt)
         run_forked_tasks(
             [_child_cell(fn) for _key, fn, _attempt in batch],
             workers=workers,

@@ -31,6 +31,16 @@ down the sweep:
   is journaled as it completes and replayed on the next run, so
   ``--resume`` skips finished cells and reproduces the exact artifact
   an uninterrupted sweep would have written.
+* **progress events** -- an optional ``on_event`` callback receives a
+  structured dict at every cell transition (``cell-started``,
+  ``cell-retry``, ``cell-done``, ``cell-quarantined``,
+  ``cell-resumed``), each stamped with a wall-clock ``ts``.  This is
+  how live observers -- the analysis service's ``/status`` campaign
+  view, a progress bar -- watch a sweep *while it runs* instead of
+  post-hoc through the checkpoint journal.  The callback is purely
+  additive: journals stay byte-identical whether or not one is set,
+  and it runs on the supervising thread, so it must be fast and must
+  not raise.
 """
 
 from __future__ import annotations
@@ -48,6 +58,15 @@ from .checkpoint import CheckpointJournal, coerce_journal
 
 #: the failure taxonomy, in rough order of diagnosability
 FAILURE_KINDS = ("deadlock", "hang", "timeout", "trace-corrupt", "crash")
+
+#: event names emitted to a Supervisor's ``on_event`` callback
+PROGRESS_EVENTS = (
+    "cell-started",
+    "cell-retry",
+    "cell-done",
+    "cell-quarantined",
+    "cell-resumed",
+)
 
 
 class CellTimeout(Exception):
@@ -182,6 +201,7 @@ class Supervisor:
         seed: int = 0,
         checkpoint=None,
         sleep: Callable[[float], None] = time.sleep,
+        on_event: Optional[Callable[[dict], None]] = None,
     ):
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
@@ -200,11 +220,24 @@ class Supervisor:
             checkpoint
         )
         self._sleep = sleep
+        self.on_event = on_event
         self._done: Dict[str, dict] = (
             self.journal.load() if self.journal is not None else {}
         )
         self.failures: List[CellFailure] = []
         self._metrics = resilience_metrics()
+
+    def _emit(self, event: str, key: str, **fields) -> None:
+        """Deliver one progress event to the optional observer.
+
+        No-op without a callback, so an unobserved sweep takes exactly
+        the pre-existing code path (and its journal stays
+        byte-identical).
+        """
+        if self.on_event is None:
+            return
+        self.on_event(dict({"event": event, "key": key,
+                            "ts": time.time()}, **fields))
 
     # ------------------------------------------------------------------
     # introspection
@@ -274,6 +307,14 @@ class Supervisor:
             m = self._metrics
             if m is not None:
                 m.failures.labels(kind=outcome.failure.kind).inc()
+            self._emit(
+                "cell-quarantined", outcome.key,
+                kind=outcome.failure.kind, attempts=outcome.attempts,
+            )
+        else:
+            self._emit(
+                "cell-done", outcome.key, attempts=outcome.attempts
+            )
         if self._metrics is not None:
             self._metrics.cells.labels(status=outcome.status).inc()
         return outcome
@@ -287,6 +328,7 @@ class Supervisor:
         m = self._metrics
         if m is not None:
             m.cells.labels(status="resumed").inc()
+        self._emit("cell-resumed", key, status=payload["status"])
         if payload["status"] == "ok":
             cell = payload["cell"]
             return CellOutcome(
@@ -310,11 +352,16 @@ class Supervisor:
         attempt = 0
         while True:
             attempt += 1
+            self._emit("cell-started", key, attempt=attempt)
             try:
                 value = self._attempt(fn)
             except Exception as exc:  # noqa: BLE001 - classified below
                 kind = classify_failure(exc)
                 if kind in self.transient and attempt <= self.retries:
+                    self._emit(
+                        "cell-retry", key, attempt=attempt, kind=kind,
+                        delay=self.backoff_delay(key, attempt),
+                    )
                     self._backoff(key, attempt)
                     continue
                 return CellOutcome(

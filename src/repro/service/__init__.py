@@ -1,0 +1,60 @@
+"""Analysis-as-a-service: the async job server behind ``ats serve``.
+
+Everything the rest of the test suite does in-process -- execute a
+property function, analyze an archived trace, diff two runs, sweep a
+validation campaign -- becomes an **asynchronous job** submitted over
+HTTP, queued, executed on the shared pooled workers, and observable
+while it runs.  The layers, bottom up:
+
+* :mod:`~repro.service.ratelimit` -- per-tenant token buckets (429 +
+  ``Retry-After`` for over-budget tenants);
+* :mod:`~repro.service.jobs` -- the :class:`Job` model, coalescing
+  keys, and :class:`CampaignProgress` (Supervisor events -> live
+  counters);
+* :mod:`~repro.service.server` -- :class:`AnalysisService`: the work
+  queue, request coalescing on ``(trace digest, detector
+  fingerprint)``, graceful drain, and end-to-end request tracing into
+  obs spans;
+* :mod:`~repro.service.http` -- the stdlib asyncio HTTP front end
+  (``/submit-run``, ``/analyze``, ``/diff``, ``/campaign``,
+  ``/history``, ``/jobs/<id>``, ``/status``, ``/dashboard``,
+  ``/metrics``, ``/metrics.json``, ``/drain``);
+* :mod:`~repro.service.dashboard` -- the ``ats watch`` terminal view
+  and the self-refreshing HTML status page;
+* :mod:`~repro.service.client` -- the urllib client the CLI, bench
+  and tests use.
+
+See ``docs/SERVICE.md`` for the HTTP contract and operational notes.
+"""
+
+from .client import ServiceClient, ServiceHTTPError
+from .dashboard import render_html, render_watch
+from .http import ServiceHTTP, ServiceHandle, run_service_in_thread
+from .jobs import JOB_KINDS, JOB_STATES, CampaignProgress, Job
+from .ratelimit import RateLimiter, TokenBucket
+from .server import (
+    AnalysisService,
+    JobError,
+    RateLimited,
+    ServiceDraining,
+)
+
+__all__ = [
+    "AnalysisService",
+    "CampaignProgress",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobError",
+    "RateLimited",
+    "RateLimiter",
+    "ServiceClient",
+    "ServiceDraining",
+    "ServiceHTTP",
+    "ServiceHTTPError",
+    "ServiceHandle",
+    "TokenBucket",
+    "render_html",
+    "render_watch",
+    "run_service_in_thread",
+]

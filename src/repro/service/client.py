@@ -1,0 +1,147 @@
+"""A tiny urllib client for the analysis service.
+
+Used by ``ats submit``/``ats watch``, the load bench and the tests --
+anything that talks to a running ``ats serve`` without pulling in a
+third-party HTTP library.  Every method returns the decoded JSON
+payload; non-2xx responses raise :class:`ServiceHTTPError` carrying
+the status code and (for 429) the parsed ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+__all__ = ["ServiceClient", "ServiceHTTPError"]
+
+
+class ServiceHTTPError(Exception):
+    """A non-2xx service response."""
+
+    def __init__(
+        self,
+        status: int,
+        payload: Optional[dict] = None,
+        retry_after: Optional[float] = None,
+    ):
+        message = (payload or {}).get("error", f"HTTP {status}")
+        super().__init__(f"{status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Synchronous client bound to one service base URL."""
+
+    def __init__(
+        self,
+        base_url: str,
+        tenant: str = "default",
+        timeout: float = 30.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        raw: bool = False,
+    ):
+        data = None
+        headers = {"X-Tenant": self.tenant}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method,
+        )
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+                payload = resp.read()
+        except urlerror.HTTPError as exc:
+            detail = None
+            try:
+                detail = json.loads(exc.read())
+            except ValueError:
+                pass
+            retry_after = exc.headers.get("Retry-After")
+            raise ServiceHTTPError(
+                exc.code,
+                detail,
+                float(retry_after) if retry_after else None,
+            ) from None
+        if raw:
+            return payload.decode("utf-8")
+        return json.loads(payload)
+
+    # ------------------------------------------------------------------
+    # submissions
+    # ------------------------------------------------------------------
+
+    def submit_run(
+        self, property: str, wait: bool = False, **params: Any
+    ) -> dict:
+        body: Dict[str, Any] = {"property": property, **params}
+        if wait:
+            body["wait"] = True
+        return self._request("POST", "/submit-run", body)
+
+    def analyze(self, run: str, wait: bool = False, **params: Any) -> dict:
+        body: Dict[str, Any] = {"run": run, **params}
+        if wait:
+            body["wait"] = True
+        return self._request("POST", "/analyze", body)
+
+    def diff(
+        self, before: str, after: str, wait: bool = False, **params: Any
+    ) -> dict:
+        body: Dict[str, Any] = {
+            "before": before, "after": after, **params
+        }
+        if wait:
+            body["wait"] = True
+        return self._request("POST", "/diff", body)
+
+    def campaign(self, wait: bool = False, **params: Any) -> dict:
+        body: Dict[str, Any] = dict(params)
+        if wait:
+            body["wait"] = True
+        return self._request("POST", "/campaign", body)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def history(self) -> dict:
+        return self._request("GET", "/history")
+
+    def job(self, job_id: str, wait: bool = False) -> dict:
+        suffix = "?wait=1" if wait else ""
+        return self._request("GET", f"/jobs/{job_id}{suffix}")
+
+    def status(self) -> dict:
+        return self._request("GET", "/status")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """Prometheus text exposition (raw string)."""
+        return self._request("GET", "/metrics", raw=True)
+
+    def metrics_json(self) -> dict:
+        return self._request("GET", "/metrics.json")
+
+    def drain(self) -> dict:
+        return self._request("POST", "/drain", {})

@@ -1,0 +1,194 @@
+"""Status rendering: the ``ats watch`` terminal view and the HTML page.
+
+Both views render the same ``/status`` JSON snapshot
+(:meth:`AnalysisService.status`): queue depth and in-flight jobs,
+cumulative job counters, per-endpoint latency quantiles (when obs
+metrics are enabled), the archive cache hit ratio, and a live block
+per campaign fed by :class:`repro.resilience.Supervisor` progress
+events.  The HTML page self-refreshes with a plain ``<meta>`` refresh
+-- no JavaScript, so it renders anywhere -- and the terminal view is
+redrawn by ``ats watch`` on its poll interval.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Optional
+
+__all__ = ["render_watch", "render_html"]
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def _fmt_ratio(ratio: Optional[float]) -> str:
+    return "-" if ratio is None else f"{ratio:.0%}"
+
+
+def _campaign_bar(snap: dict, width: int = 30) -> str:
+    total = snap.get("total") or 0
+    resolved = snap.get("done", 0) + snap.get("failed", 0)
+    if total <= 0:
+        return "[" + "?" * width + "]"
+    filled = int(width * min(1.0, resolved / total))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def render_watch(status: dict) -> str:
+    """One frame of the terminal dashboard (``ats serve --watch``)."""
+    counts = status.get("counts", {})
+    lines = [
+        "ats analysis service"
+        + ("" if status.get("accepting", True) else "  [DRAINING]"),
+        f"  uptime {status.get('uptime', 0.0):8.1f}s"
+        f"   queue {status.get('queue_depth', 0):>4}"
+        f"   inflight {status.get('inflight', 0)}/"
+        f"{status.get('max_workers', 0)}",
+        f"  jobs: {counts.get('submitted', 0)} submitted, "
+        f"{counts.get('executed', 0)} executed, "
+        f"{counts.get('coalesced', 0)} coalesced, "
+        f"{counts.get('failed', 0)} failed, "
+        f"{counts.get('rate_limited', 0)} rate-limited",
+        f"  cache: {counts.get('cache_hits', 0)} hits / "
+        f"{counts.get('cache_misses', 0)} misses "
+        f"({_fmt_ratio(status.get('cache_hit_ratio'))})",
+    ]
+    latency = status.get("latency")
+    if latency:
+        lines.append("  latency (p50 / p99):")
+        for endpoint in sorted(latency):
+            sample = latency[endpoint]
+            lines.append(
+                f"    {endpoint:<12} {_fmt_ms(sample.get('p50')):>10} "
+                f"/ {_fmt_ms(sample.get('p99')):>10}  "
+                f"({sample.get('count', 0)} reqs)"
+            )
+    campaigns = status.get("campaigns") or []
+    for snap in campaigns:
+        resolved = snap.get("done", 0) + snap.get("failed", 0)
+        lines.append(
+            f"  campaign {snap.get('job_id', '?')}: "
+            f"{_campaign_bar(snap)} {resolved}/{snap.get('total', 0)}"
+            f"  (retried {snap.get('retried', 0)}, "
+            f"failed {snap.get('failed', 0)})"
+        )
+        for event in list(snap.get("recent", []))[-3:]:
+            lines.append(
+                f"      {event.get('event', '?'):<16} "
+                f"{event.get('key', '')}"
+            )
+    if not campaigns:
+        lines.append("  no campaigns")
+    return "\n".join(lines) + "\n"
+
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>ats analysis service</title>
+<style>
+body {{ font-family: monospace; margin: 2em; background: #111;
+       color: #dcdcdc; }}
+h1 {{ font-size: 1.2em; }}
+table {{ border-collapse: collapse; margin: 0.8em 0; }}
+td, th {{ border: 1px solid #444; padding: 0.25em 0.8em;
+          text-align: right; }}
+th {{ background: #222; }}
+.bar {{ background: #333; width: 240px; height: 0.9em;
+        display: inline-block; }}
+.bar > div {{ background: #4c8; height: 100%; }}
+.drain {{ color: #e66; }}
+</style>
+</head>
+<body>
+<h1>ats analysis service{drain}</h1>
+<p>uptime {uptime:.1f}s &mdash; queue {queue} &mdash;
+inflight {inflight}/{workers} &mdash;
+cache hit ratio {cache}</p>
+<table>
+<tr><th>submitted</th><th>executed</th><th>coalesced</th>
+<th>failed</th><th>rate-limited</th></tr>
+<tr><td>{submitted}</td><td>{executed}</td><td>{coalesced}</td>
+<td>{failed}</td><td>{rate_limited}</td></tr>
+</table>
+{latency}
+{campaigns}
+<p>endpoints: <a href="/status">/status</a> &middot;
+<a href="/metrics">/metrics</a> &middot;
+<a href="/metrics.json">/metrics.json</a></p>
+</body>
+</html>
+"""
+
+
+def _latency_table(latency: Optional[dict]) -> str:
+    if not latency:
+        return "<p>per-endpoint latency: obs metrics disabled</p>"
+    rows = [
+        "<table><tr><th>endpoint</th><th>p50</th><th>p99</th>"
+        "<th>requests</th></tr>"
+    ]
+    for endpoint in sorted(latency):
+        sample = latency[endpoint]
+        rows.append(
+            "<tr><td>{0}</td><td>{1}</td><td>{2}</td><td>{3}</td></tr>"
+            .format(
+                _html.escape(endpoint),
+                _fmt_ms(sample.get("p50")),
+                _fmt_ms(sample.get("p99")),
+                sample.get("count", 0),
+            )
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _campaign_blocks(campaigns) -> str:
+    if not campaigns:
+        return "<p>no campaigns</p>"
+    blocks = []
+    for snap in campaigns:
+        total = snap.get("total") or 0
+        resolved = snap.get("done", 0) + snap.get("failed", 0)
+        pct = int(100 * min(1.0, resolved / total)) if total else 0
+        blocks.append(
+            "<p>campaign {0}: <span class=\"bar\">"
+            "<div style=\"width:{1}%\"></div></span> "
+            "{2}/{3} (retried {4}, failed {5})</p>".format(
+                _html.escape(str(snap.get("job_id", "?"))),
+                pct,
+                resolved,
+                total,
+                snap.get("retried", 0),
+                snap.get("failed", 0),
+            )
+        )
+    return "".join(blocks)
+
+
+def render_html(status: dict) -> str:
+    """The self-refreshing ``/dashboard`` page for one snapshot."""
+    counts = status.get("counts", {})
+    return _PAGE.format(
+        drain=(
+            "" if status.get("accepting", True)
+            else " <span class=\"drain\">[draining]</span>"
+        ),
+        uptime=status.get("uptime", 0.0),
+        queue=status.get("queue_depth", 0),
+        inflight=status.get("inflight", 0),
+        workers=status.get("max_workers", 0),
+        cache=_fmt_ratio(status.get("cache_hit_ratio")),
+        submitted=counts.get("submitted", 0),
+        executed=counts.get("executed", 0),
+        coalesced=counts.get("coalesced", 0),
+        failed=counts.get("failed", 0),
+        rate_limited=counts.get("rate_limited", 0),
+        latency=_latency_table(status.get("latency")),
+        campaigns=_campaign_blocks(status.get("campaigns")),
+    )

@@ -1,0 +1,245 @@
+"""Job model for the analysis service.
+
+A :class:`Job` is one unit of asynchronous work flowing through
+:class:`~repro.service.server.AnalysisService`: submitted over HTTP,
+queued, executed on a pooled worker thread, and polled (or awaited)
+by its submitter.  Jobs carry the request id of the submission that
+created them end to end -- the same id shows up in the HTTP response,
+the ``/jobs/<id>`` record, and every obs span the job's lifecycle
+records.
+
+Coalescing is keyed by :meth:`Job.coalesce_key`: two jobs whose keys
+match are *the same computation* -- for an analyze job the key is the
+``(trace digest, detector-set fingerprint)`` pair that also keys the
+archive's incremental cache, so "identical" here means identical by
+construction, not by request text.  The service maps each in-flight
+key to its primary job and hands duplicates that job back instead of
+queueing a second copy.
+
+:class:`CampaignProgress` adapts :class:`repro.resilience.Supervisor`
+progress events into a thread-safe live counter block that ``/status``
+and the dashboards render while a campaign is still running.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "CampaignProgress",
+    "Job",
+]
+
+#: every job kind the service executes.
+JOB_KINDS = ("run", "analyze", "diff", "history", "campaign")
+
+#: lifecycle: queued -> running -> done | failed.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+_ids = itertools.count(1)
+
+
+def _next_job_id() -> str:
+    return f"job-{next(_ids):06d}"
+
+
+class Job:
+    """One queued/running/finished unit of service work."""
+
+    __slots__ = (
+        "id", "kind", "params", "tenant", "request_id", "state",
+        "result", "error", "coalesced", "coalesce_key",
+        "created", "started", "finished",
+        "_done_event", "_callbacks", "_lock",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        params: Dict[str, Any],
+        tenant: str = "default",
+        request_id: str = "",
+        coalesce_key: Optional[Tuple] = None,
+    ):
+        if kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {kind!r}")
+        self.id = _next_job_id()
+        self.kind = kind
+        self.params = params
+        self.tenant = tenant
+        self.request_id = request_id
+        self.state = "queued"
+        self.result: Optional[dict] = None
+        self.error: Optional[str] = None
+        #: how many duplicate submissions this job absorbed.
+        self.coalesced = 0
+        self.coalesce_key = coalesce_key
+        self.created = time.monotonic()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self._done_event = threading.Event()
+        self._callbacks: List[Callable[["Job"], None]] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle (driven by the service, under its queue lock)
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def mark_running(self) -> None:
+        self.state = "running"
+        self.started = time.monotonic()
+
+    def resolve(
+        self, result: Optional[dict], error: Optional[str]
+    ) -> None:
+        """Finish the job and fire every completion callback.
+
+        Callbacks registered after resolution fire immediately from
+        :meth:`add_done_callback`, so there is no window where a
+        late awaiter misses the result.
+        """
+        with self._lock:
+            self.finished = time.monotonic()
+            if error is None:
+                self.state = "done"
+                self.result = result
+            else:
+                self.state = "failed"
+                self.error = error
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+        self._done_event.set()
+        for callback in callbacks:
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # waiting
+    # ------------------------------------------------------------------
+
+    def add_done_callback(
+        self, callback: Callable[["Job"], None]
+    ) -> None:
+        """Invoke ``callback(job)`` at resolution (now, if resolved).
+
+        Callbacks run on whichever thread resolves the job -- a pooled
+        worker.  Event-loop callers must bounce through
+        ``loop.call_soon_threadsafe``.
+        """
+        with self._lock:
+            if not self._done_event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until resolved; False on timeout (sync callers/tests)."""
+        return self._done_event.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def queue_wait(self) -> Optional[float]:
+        """Seconds spent queued, once execution has started."""
+        if self.started is None:
+            return None
+        return self.started - self.created
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        out = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "coalesced": self.coalesced,
+            "queue_wait": self.queue_wait(),
+            "elapsed": (
+                (self.finished - self.created)
+                if self.finished is not None
+                else time.monotonic() - self.created
+            ),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if include_result and self.result is not None:
+            out["result"] = self.result
+        return out
+
+    def __repr__(self) -> str:
+        return f"<Job {self.id} {self.kind} {self.state}>"
+
+
+class CampaignProgress:
+    """Thread-safe live cell counters fed by Supervisor events.
+
+    An instance's :meth:`on_event` is handed to
+    :class:`~repro.resilience.Supervisor` as the ``on_event`` callback;
+    the supervised sweep then drives these counters from whatever
+    thread runs cells.  ``/status`` snapshots the counters while the
+    campaign is in flight, which is what makes ``ats watch`` and the
+    HTML dashboard live rather than after-the-fact.
+    """
+
+    __slots__ = (
+        "job_id", "total", "started", "done", "failed",
+        "retried", "resumed", "recent", "_lock",
+    )
+
+    def __init__(self, job_id: str, total: int = 0):
+        self.job_id = job_id
+        self.total = total
+        self.started = 0
+        self.done = 0
+        self.failed = 0
+        self.retried = 0
+        self.resumed = 0
+        #: most recent events, newest last (dashboard tail).
+        self.recent: deque = deque(maxlen=16)
+        self._lock = threading.Lock()
+
+    def on_event(self, event: dict) -> None:
+        """Supervisor ``on_event`` callback (see PROGRESS_EVENTS)."""
+        with self._lock:
+            name = event.get("event")
+            if name == "cell-started":
+                if event.get("attempt", 1) == 1:
+                    self.started += 1
+            elif name == "cell-retry":
+                self.retried += 1
+            elif name == "cell-done":
+                self.done += 1
+            elif name == "cell-quarantined":
+                self.failed += 1
+            elif name == "cell-resumed":
+                self.resumed += 1
+            self.recent.append(
+                {
+                    "event": name,
+                    "key": event.get("key", ""),
+                    "ts": event.get("ts"),
+                }
+            )
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "job_id": self.job_id,
+                "total": self.total,
+                "started": self.started,
+                "done": self.done,
+                "failed": self.failed,
+                "retried": self.retried,
+                "resumed": self.resumed,
+                "recent": list(self.recent),
+            }

@@ -1,0 +1,106 @@
+"""Per-tenant token-bucket rate limiting for the analysis service.
+
+Each tenant (the ``X-Tenant`` request header, ``"default"`` when
+absent) gets an independent :class:`TokenBucket`: ``burst`` tokens of
+capacity refilled continuously at ``rate`` tokens per second.  A
+submission costs one token; when the bucket is empty the limiter
+returns how long until the next token accrues, which the HTTP layer
+surfaces as ``429 Too Many Requests`` with a ``Retry-After`` header.
+Because buckets are per tenant, one tenant hammering the service never
+starves another -- the satellite test drives exactly that scenario.
+
+Everything is thread-safe: submissions arrive from the asyncio
+accept loop while tests and the CLI poke the limiter directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (one per tenant)."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock", "_lock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive (tokens/second)")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate
+            )
+        self._stamp = now
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; 0.0 on success, else seconds to wait.
+
+        The returned wait is how long until the bucket will hold
+        ``cost`` tokens again at the current refill rate -- the value
+        a ``Retry-After`` header should round up from.
+        """
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return 0.0
+            return (cost - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        """Current token count (refilled to now); diagnostics only."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class RateLimiter:
+    """Lazy per-tenant bucket map with one shared rate/burst policy."""
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        burst: int = 100,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            with self._lock:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = self._buckets[tenant] = TokenBucket(
+                        self.rate, self.burst, clock=self._clock
+                    )
+        return bucket
+
+    def check(self, tenant: str) -> float:
+        """Charge one submission; 0.0 = admitted, else retry-after."""
+        return self.bucket(tenant).try_acquire()

@@ -1,0 +1,568 @@
+"""The analysis service core: queue, coalescing, workers, drain.
+
+:class:`AnalysisService` is the transport-agnostic heart of ``ats
+serve``: submissions come in (from the HTTP layer, the CLI, or tests
+calling :meth:`submit` directly), become :class:`~.jobs.Job` records
+on a FIFO queue, and execute on the process-global pooled workers via
+:func:`repro.simkernel.submit_host_task` -- the same threads that run
+simulations and batch analysis, so the service adds no thread pool of
+its own.  At most ``max_workers`` jobs run concurrently; the rest
+wait in queue, with their wait time recorded into the
+``ats_service_queue_wait_seconds`` histogram.
+
+Three policies sit on the submission path:
+
+* **rate limiting** -- a per-tenant token bucket
+  (:mod:`~repro.service.ratelimit`); over-budget tenants get a
+  :class:`RateLimited` carrying the retry-after hint;
+* **coalescing** -- a submission whose
+  :meth:`~repro.service.jobs.Job.coalesce_key` matches an in-flight
+  job joins that job instead of queueing a duplicate computation
+  (analyze keys are the archive cache's own ``(trace digest,
+  detector fingerprint)`` pair, so coalesced responses are identical
+  by construction);
+* **drain** -- :meth:`drain` stops intake (:class:`ServiceDraining`,
+  surfaced as 503) and waits for the queue and in-flight jobs to
+  empty, the graceful half of shutdown.
+
+Simulation-running jobs (``run``, ``campaign``) serialize on one
+internal lock: the simulator's worker-pool handoff protocol assumes
+one simulation at a time per process.  Pure host-side jobs (analyze,
+diff, history) run fully concurrently.
+
+Request tracing: every job carries its submission's request id, and
+the service records ``queue-wait`` / ``execute`` / ``archive-cache``
+obs spans tagged with it, completing the HTTP-accept span the HTTP
+layer records.  One Chrome-trace export shows a request's whole life.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Dict, Optional, Tuple
+
+from ..archive import Archive, ArchiveError, CacheStats
+from ..archive.fingerprint import detector_set_fingerprint
+from ..obs.instruments import service_metrics
+from ..obs.spans import span_log, spans_enabled
+from ..simkernel.process import submit_host_task
+from .jobs import CampaignProgress, Job
+from .ratelimit import RateLimiter
+
+__all__ = [
+    "AnalysisService",
+    "JobError",
+    "RateLimited",
+    "ServiceDraining",
+]
+
+
+class JobError(Exception):
+    """A submission the service cannot accept (bad params, unknown run)."""
+
+
+class RateLimited(Exception):
+    """Tenant over budget; ``retry_after`` is the seconds-until-token."""
+
+    def __init__(self, tenant: str, retry_after: float):
+        super().__init__(
+            f"tenant {tenant!r} over rate budget; "
+            f"retry in {retry_after:.2f}s"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class ServiceDraining(Exception):
+    """The service is draining; no new submissions are accepted."""
+
+
+def _span(name: str, t0: float, t1: float, **args: Any) -> None:
+    if spans_enabled():
+        span_log().record(name, "service", t0, t1, args)
+
+
+class AnalysisService:
+    """Async job server over one trace archive (see module doc)."""
+
+    #: resolved jobs kept for ``GET /jobs/<id>`` before eviction.
+    MAX_FINISHED_JOBS = 4096
+
+    def __init__(
+        self,
+        archive: Archive,
+        max_workers: int = 8,
+        rate: float = 200.0,
+        burst: int = 400,
+        default_detection_threshold: float = 0.01,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.archive = archive
+        self.max_workers = max_workers
+        self.limiter = RateLimiter(rate=rate, burst=burst)
+        self.threshold = default_detection_threshold
+        self.started_at = time.monotonic()
+
+        self._lock = threading.Lock()
+        self._queue: deque = deque()
+        self._inflight = 0
+        self._accepting = True
+        self._idle = threading.Condition(self._lock)
+        #: coalesce_key -> unresolved primary job.
+        self._active_keys: Dict[Tuple, Job] = {}
+        #: job id -> job, submission order (bounded).
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        #: campaign job id -> live progress (bounded with _jobs).
+        self._campaigns: Dict[str, CampaignProgress] = {}
+        #: one simulation at a time (worker-pool handoff invariant).
+        self._sim_lock = threading.Lock()
+
+        #: plain counters so ``/status`` works with obs disabled.
+        self.counts = {
+            "submitted": 0,
+            "executed": 0,
+            "coalesced": 0,
+            "done": 0,
+            "failed": 0,
+            "rate_limited": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        tenant: str = "default",
+        request_id: str = "",
+    ) -> Tuple[Job, bool]:
+        """Queue one job; returns ``(job, coalesced)``.
+
+        ``coalesced`` is True when the submission joined an identical
+        in-flight job -- the returned job is then the shared primary,
+        and its eventual result answers every coalesced submitter.
+        Raises :class:`RateLimited`, :class:`ServiceDraining` or
+        :class:`JobError`.
+        """
+        params = dict(params or {})
+        if not self._accepting:
+            raise ServiceDraining("service is draining")
+        retry_after = self.limiter.check(tenant)
+        if retry_after > 0.0:
+            self._count("rate_limited")
+            metrics = service_metrics()
+            if metrics is not None:
+                metrics.rate_limited.labels(tenant=tenant).inc()
+            raise RateLimited(tenant, retry_after)
+
+        key = self._coalesce_key(kind, params)
+        with self._lock:
+            if not self._accepting:
+                raise ServiceDraining("service is draining")
+            self._count_locked("submitted")
+            if key is not None:
+                primary = self._active_keys.get(key)
+                if primary is not None and not primary.done:
+                    primary.coalesced += 1
+                    self._count_locked("coalesced")
+                    metrics = service_metrics()
+                    if metrics is not None:
+                        metrics.coalesced.inc()
+                    return primary, True
+            job = Job(
+                kind,
+                params,
+                tenant=tenant,
+                request_id=request_id,
+                coalesce_key=key,
+            )
+            if key is not None:
+                self._active_keys[key] = job
+            self._remember(job)
+            if kind == "campaign":
+                progress = CampaignProgress(
+                    job.id, total=len(params.get("_specs", ()))
+                )
+                self._campaigns[job.id] = progress
+                params["_progress"] = progress
+            self._queue.append(job)
+            metrics = service_metrics()
+            if metrics is not None:
+                metrics.queue_depth.set(len(self._queue))
+            self._pump_locked()
+        return job, False
+
+    def _coalesce_key(
+        self, kind: str, params: Dict[str, Any]
+    ) -> Optional[Tuple]:
+        """Derive the dedup key; resolves archive refs as a side effect.
+
+        Unknown refs surface here, at submit time, as
+        :class:`JobError` -- a 404 the client gets immediately rather
+        than a failed job it would have to poll for.
+        """
+        if kind == "analyze":
+            record = self._resolve_ref(params.get("run"))
+            params["_record"] = record
+            return (
+                "analyze",
+                record["trace_digest"],
+                detector_set_fingerprint(_default_detectors()),
+            )
+        if kind == "diff":
+            before = self._resolve_ref(params.get("before"), "before")
+            after = self._resolve_ref(params.get("after"), "after")
+            params["_before"] = before
+            params["_after"] = after
+            return (
+                "diff",
+                before["trace_digest"],
+                after["trace_digest"],
+                detector_set_fingerprint(_default_detectors()),
+                float(params.get("threshold", self.threshold)),
+            )
+        if kind == "run":
+            spec, run_kwargs = self._resolve_run_params(params)
+            params["_spec"] = spec
+            params["_kwargs"] = run_kwargs
+            return (
+                "run",
+                spec.name,
+                run_kwargs["size"],
+                run_kwargs["num_threads"],
+                run_kwargs["seed"],
+            )
+        if kind == "campaign":
+            params["_specs"] = self._resolve_campaign_specs(params)
+        return None
+
+    def _resolve_ref(self, ref, label: str = "run") -> dict:
+        if not ref or not isinstance(ref, str):
+            raise JobError(f"missing {label!r} run reference")
+        try:
+            return self.archive.resolve(ref).to_payload()
+        except ArchiveError as exc:
+            raise JobError(str(exc)) from None
+
+    def _resolve_run_params(self, params: Dict[str, Any]):
+        from ..core import get_property
+
+        name = params.get("property")
+        if not name or not isinstance(name, str):
+            raise JobError("missing 'property' name")
+        try:
+            spec = get_property(name)
+        except KeyError:
+            raise JobError(
+                f"unknown property function {name!r}"
+            ) from None
+        run_kwargs = {
+            "size": int(params.get("size", 8)),
+            "num_threads": int(params.get("threads", 4)),
+            "seed": int(params.get("seed", 0)),
+        }
+        scale = params.get("severity_scale")
+        if scale is not None:
+            run_kwargs["severity_scale"] = float(scale)
+        return spec, run_kwargs
+
+    def _resolve_campaign_specs(self, params: Dict[str, Any]):
+        from ..core import get_property, list_properties
+
+        names = params.get("properties")
+        if not names:
+            return list_properties()
+        specs = []
+        for name in names:
+            try:
+                specs.append(get_property(name))
+            except KeyError:
+                raise JobError(
+                    f"unknown property function {name!r}"
+                ) from None
+        return specs
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _pump_locked(self) -> None:
+        """Start queued jobs while worker slots are free (lock held)."""
+        metrics = service_metrics()
+        while self._inflight < self.max_workers and self._queue:
+            job = self._queue.popleft()
+            job.mark_running()
+            self._inflight += 1
+            wait = job.queue_wait() or 0.0
+            if metrics is not None:
+                metrics.queue_depth.set(len(self._queue))
+                metrics.inflight.set(self._inflight)
+                metrics.queue_wait_seconds.observe(wait)
+            _span(
+                "queue-wait", job.created, job.started,
+                request_id=job.request_id, job=job.id, kind=job.kind,
+            )
+            submit_host_task(
+                lambda job=job: self._execute(job),
+                lambda task, job=job: self._on_done(job, task),
+            )
+
+    def _execute(self, job: Job) -> dict:
+        """Job body -- runs on a pooled worker thread."""
+        t0 = time.monotonic()
+        try:
+            handler = getattr(self, f"_job_{job.kind}")
+            return handler(job)
+        finally:
+            _span(
+                "execute", t0, time.monotonic(),
+                request_id=job.request_id, job=job.id, kind=job.kind,
+            )
+
+    def _on_done(self, job: Job, task) -> None:
+        """Worker-side completion: bookkeeping, resolve, pump next."""
+        metrics = service_metrics()
+        with self._lock:
+            self._inflight -= 1
+            if job.coalesce_key is not None:
+                if self._active_keys.get(job.coalesce_key) is job:
+                    del self._active_keys[job.coalesce_key]
+            status = "failed" if task.exception is not None else "done"
+            self._count_locked(status)
+            self._count_locked("executed")
+            if metrics is not None:
+                metrics.inflight.set(self._inflight)
+                metrics.jobs.labels(kind=job.kind, status=status).inc()
+                metrics.executed.inc()
+            self._idle.notify_all()
+        if task.exception is not None:
+            exc = task.exception
+            job.resolve(None, f"{type(exc).__name__}: {exc}")
+        else:
+            job.resolve(task.result, None)
+        with self._lock:
+            self._pump_locked()
+
+    # ------------------------------------------------------------------
+    # job bodies
+    # ------------------------------------------------------------------
+
+    def _count_cache(self, job: Job, stats: CacheStats) -> None:
+        with self._lock:
+            self.counts["cache_hits"] += stats.hits
+            self.counts["cache_misses"] += stats.misses
+        metrics = service_metrics()
+        if metrics is not None:
+            if stats.hits:
+                metrics.cache_hits.inc(stats.hits)
+            if stats.misses:
+                metrics.cache_misses.inc(stats.misses)
+        now = time.monotonic()
+        _span(
+            "archive-cache", now, now,
+            request_id=job.request_id, job=job.id,
+            hits=stats.hits, misses=stats.misses,
+        )
+
+    def _job_run(self, job: Job) -> dict:
+        spec = job.params["_spec"]
+        kwargs = job.params["_kwargs"]
+        with self._sim_lock:
+            run = self.archive.archive_run(spec, **kwargs)
+        return {
+            "run_id": run.run_id,
+            "program": run.program,
+            "trace_digest": run.trace_digest,
+            "events": run.events,
+            "final_time": run.final_time,
+        }
+
+    def _job_analyze(self, job: Job) -> dict:
+        record = job.params["_record"]
+        stats = CacheStats()
+        from ..archive.cache import analyze_archived
+
+        analysis = analyze_archived(
+            self.archive.store, record, stats=stats
+        )
+        self._count_cache(job, stats)
+        threshold = float(job.params.get("threshold", self.threshold))
+        return {
+            "run_id": job.params.get("run"),
+            "program": record.get("program"),
+            "severities": analysis.severities_by_property(),
+            "detected": list(analysis.detected(threshold)),
+            "findings": len(analysis.findings),
+            "total_time": analysis.total_time,
+            "cache": {"hits": stats.hits, "misses": stats.misses},
+        }
+
+    def _job_diff(self, job: Job) -> dict:
+        from ..analysis.compare import compare_analyses
+        from ..archive.cache import analyze_archived
+
+        stats = CacheStats()
+        threshold = float(job.params.get("threshold", self.threshold))
+        before = analyze_archived(
+            self.archive.store, job.params["_before"], stats=stats
+        )
+        after = analyze_archived(
+            self.archive.store, job.params["_after"], stats=stats
+        )
+        self._count_cache(job, stats)
+        report = compare_analyses(before, after, threshold=threshold)
+        return {
+            "before": job.params.get("before"),
+            "after": job.params.get("after"),
+            "report": report.to_dict(),
+            "gate_failures": report.gate_failures(),
+            "cache": {"hits": stats.hits, "misses": stats.misses},
+        }
+
+    def _job_history(self, job: Job) -> dict:
+        runs = self.archive.history()
+        return {
+            "count": len(runs),
+            "runs": [
+                dict(run.to_payload(), run_id=run.run_id)
+                for run in runs
+            ],
+        }
+
+    def _job_campaign(self, job: Job) -> dict:
+        from ..resilience import Supervisor
+        from ..validation import run_validation_matrix
+
+        specs = job.params["_specs"]
+        progress: CampaignProgress = job.params["_progress"]
+        supervisor = Supervisor(
+            timeout=job.params.get("timeout"),
+            retries=int(job.params.get("retries", 0)),
+            on_event=progress.on_event,
+        )
+        with self._sim_lock:
+            matrix = run_validation_matrix(
+                specs,
+                size=int(job.params.get("size", 8)),
+                num_threads=int(job.params.get("threads", 4)),
+                seed=int(job.params.get("seed", 0)),
+                supervisor=supervisor,
+                archive=self.archive,
+            )
+        return {
+            "rows": [row.to_dict() for row in matrix.rows],
+            "all_passed": matrix.all_passed,
+            "positive_detection_rate": matrix.positive_detection_rate,
+            "false_positive_rate": matrix.false_positive_rate,
+            "progress": progress.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def _remember(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        while len(self._jobs) > self.MAX_FINISHED_JOBS:
+            oldest_id, oldest = next(iter(self._jobs.items()))
+            if not oldest.done:
+                break
+            del self._jobs[oldest_id]
+            self._campaigns.pop(oldest_id, None)
+
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self._count_locked(name)
+
+    def _count_locked(self, name: str) -> None:
+        self.counts[name] += 1
+
+    def status(self) -> dict:
+        """Live service snapshot (``GET /status`` / dashboards)."""
+        with self._lock:
+            queue_depth = len(self._queue)
+            inflight = self._inflight
+            accepting = self._accepting
+            counts = dict(self.counts)
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            campaigns = [
+                progress.snapshot()
+                for progress in self._campaigns.values()
+            ]
+        lookups = counts["cache_hits"] + counts["cache_misses"]
+        out = {
+            "uptime": time.monotonic() - self.started_at,
+            "accepting": accepting,
+            "queue_depth": queue_depth,
+            "inflight": inflight,
+            "max_workers": self.max_workers,
+            "counts": counts,
+            "jobs_by_state": states,
+            "cache_hit_ratio": (
+                counts["cache_hits"] / lookups if lookups else None
+            ),
+            "campaigns": campaigns,
+        }
+        metrics = service_metrics()
+        if metrics is not None:
+            latency = {}
+            for (endpoint,), child in sorted(
+                metrics.request_seconds.samples()
+            ):
+                latency[endpoint] = {
+                    "p50": child.quantile(0.50),
+                    "p99": child.quantile(0.99),
+                    "count": child.snapshot()[2],
+                }
+            out["latency"] = latency
+        return out
+
+    # ------------------------------------------------------------------
+    # drain / shutdown
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop intake and wait for queue + in-flight to empty.
+
+        Returns False when ``timeout`` elapsed with work still
+        pending (the jobs keep running; drain just stopped waiting).
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._lock:
+            self._accepting = False
+            while self._queue or self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    def close(self) -> None:
+        self.archive.close()
+
+
+def _default_detectors():
+    from ..analysis import DEFAULT_DETECTORS
+
+    return DEFAULT_DETECTORS

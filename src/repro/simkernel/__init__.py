@@ -22,6 +22,7 @@ from .process import (
     current_process,
     maybe_current_process,
     run_host_tasks,
+    submit_host_task,
     worker_pool,
 )
 from .rng import Lcg64
@@ -76,5 +77,6 @@ __all__ = [
     "now",
     "passivate",
     "run_host_tasks",
+    "submit_host_task",
     "worker_pool",
 ]

@@ -411,6 +411,62 @@ class _HostTask:
             self.state = ProcState.FAILED
 
 
+class _CallbackBatch:
+    """Batch stand-in for a single fire-and-forget host task.
+
+    Instead of releasing a semaphore a joiner waits on, completion
+    invokes a caller-supplied callback **on the worker thread** -- the
+    hook :func:`submit_host_task` builds on to bridge pooled workers to
+    event loops (the analysis service resolves asyncio futures from the
+    callback via ``loop.call_soon_threadsafe``).
+    """
+
+    __slots__ = ("_task", "_on_done")
+
+    _tearing_down = False
+
+    def __init__(self, on_done: Callable[["_HostTask"], None]) -> None:
+        self._task: Optional["_HostTask"] = None
+        self._on_done = on_done
+
+    def _dispatch_onward(self) -> None:
+        self._on_done(self._task)
+
+    def _report_failure(self, task: "_HostTask") -> None:
+        self._on_done(task)
+
+
+def submit_host_task(
+    fn: Callable[[], Any],
+    on_done: Callable[["_HostTask"], None],
+) -> "_HostTask":
+    """Run one host-side callable on a pooled worker, asynchronously.
+
+    The returned task's ``result``/``exception``/``state`` fields are
+    only meaningful once ``on_done(task)`` has fired; the callback runs
+    on the worker thread immediately after the task body returns (or
+    raises), after the worker has re-parked itself.  Callbacks must be
+    quick and must not raise -- an exception would kill the pooled
+    worker's loop.  Event-loop callers should do nothing but hand the
+    task back to their loop (``loop.call_soon_threadsafe``).
+
+    Like :func:`run_host_tasks` this must not be called from inside a
+    simulated process, and the work runs under the GIL -- it overlaps
+    blocking I/O, not pure-Python compute.
+    """
+    if maybe_current_process() is not None:
+        raise NotInProcessError(
+            "submit_host_task cannot be used from inside a simulation"
+        )
+    batch = _CallbackBatch(on_done)
+    task = _HostTask(batch, fn)
+    batch._task = task
+    task.state = ProcState.RUNNING
+    worker = _pool._obtain(task)
+    worker._resume.release()
+    return task
+
+
 def run_host_tasks(
     fns,
     max_workers: int = 8,

@@ -1,0 +1,105 @@
+"""Histogram quantile estimation and its JSON-exporter surfacing."""
+
+import pytest
+
+from repro.obs import quantile_from_counts, reset_metrics, to_json
+from repro.obs.export import SNAPSHOT_QUANTILES
+
+
+# ----------------------------------------------------------------------
+# quantile_from_counts
+# ----------------------------------------------------------------------
+
+def test_empty_histogram_has_no_quantiles():
+    assert quantile_from_counts((1.0, 2.0), [0, 0], 0, 0.5) is None
+
+
+def test_out_of_range_q_rejected():
+    with pytest.raises(ValueError):
+        quantile_from_counts((1.0,), [1], 1, -0.1)
+    with pytest.raises(ValueError):
+        quantile_from_counts((1.0,), [1], 1, 1.1)
+
+
+def test_linear_interpolation_within_bucket():
+    # 10 observations in (0, 1]: the median interpolates to the
+    # middle of the first bucket, Prometheus histogram_quantile style.
+    boundaries = (1.0, 2.0)
+    counts = [10, 0]
+    assert quantile_from_counts(boundaries, counts, 10, 0.5) == (
+        pytest.approx(0.5)
+    )
+    assert quantile_from_counts(boundaries, counts, 10, 1.0) == (
+        pytest.approx(1.0)
+    )
+
+
+def test_quantile_across_buckets():
+    # 50 in (0,1], 40 in (1,2], 10 in (2,4].
+    boundaries = (1.0, 2.0, 4.0)
+    counts = [50, 40, 10]
+    total = 100
+    assert quantile_from_counts(boundaries, counts, total, 0.25) == (
+        pytest.approx(0.5)
+    )
+    # p50 lands exactly on the first boundary.
+    assert quantile_from_counts(boundaries, counts, total, 0.50) == (
+        pytest.approx(1.0)
+    )
+    # p90 exhausts the second bucket exactly.
+    assert quantile_from_counts(boundaries, counts, total, 0.90) == (
+        pytest.approx(2.0)
+    )
+    # p95: halfway through the (2,4] bucket.
+    assert quantile_from_counts(boundaries, counts, total, 0.95) == (
+        pytest.approx(3.0)
+    )
+
+
+def test_overflow_clamps_to_highest_finite_boundary():
+    boundaries = (1.0, 2.0)
+    counts = [1, 0]
+    # one observation beyond every finite bucket
+    assert quantile_from_counts(boundaries, counts, 2, 1.0) == (
+        pytest.approx(2.0)
+    )
+
+
+# ----------------------------------------------------------------------
+# Histogram.quantile
+# ----------------------------------------------------------------------
+
+def test_histogram_quantile_method():
+    reg = reset_metrics()
+    h = reg.histogram("t_q", "help", buckets=(1.0, 2.0, 4.0, 8.0))
+    for v in [0.5] * 50 + [1.5] * 30 + [3.0] * 15 + [6.0] * 5:
+        h.observe(v)
+    assert h.quantile(0.50) == pytest.approx(1.0)
+    assert h.quantile(0.95) == pytest.approx(4.0)
+    assert h.quantile(0.99) == pytest.approx(7.2, rel=1e-3)
+
+
+def test_histogram_quantile_empty_is_none():
+    reg = reset_metrics()
+    h = reg.histogram("t_q_empty", "help", buckets=(1.0,))
+    assert h.quantile(0.5) is None
+
+
+# ----------------------------------------------------------------------
+# JSON exporter carries quantiles
+# ----------------------------------------------------------------------
+
+def test_json_export_includes_snapshot_quantiles():
+    reg = reset_metrics()
+    h = reg.histogram("t_export", "help", buckets=(1.0, 2.0))
+    for v in (0.5, 0.5, 1.5, 1.5):
+        h.observe(v)
+    payload = to_json(reg)
+    fam = next(
+        m for m in payload["metrics"] if m["name"] == "t_export"
+    )
+    sample = fam["samples"][0]
+    names = [name for name, _q in SNAPSHOT_QUANTILES]
+    assert set(sample["quantiles"]) == set(names)
+    assert sample["quantiles"]["p50"] == pytest.approx(1.0)
+    assert sample["quantiles"]["p99"] == pytest.approx(1.98, rel=1e-3)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the analysis-service tests.
+
+Obs state is isolated per test (the service records into the global
+registry), and ``service_env`` stands up a full archive + service +
+HTTP thread with one pre-archived run -- the common scaffolding of
+the integration tests.
+"""
+
+import pytest
+
+from repro.archive import Archive
+from repro.obs import (
+    metrics_enabled,
+    reset_metrics,
+    reset_spans,
+    set_metrics_enabled,
+    set_spans_enabled,
+    spans_enabled,
+)
+from repro.service import AnalysisService, run_service_in_thread
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    prev_metrics = metrics_enabled()
+    prev_spans = spans_enabled()
+    reset_metrics()
+    reset_spans()
+    yield
+    set_metrics_enabled(prev_metrics)
+    set_spans_enabled(prev_spans)
+    reset_metrics()
+    reset_spans()
+
+
+class ServiceEnv:
+    """One running service plus the identity of its seeded run."""
+
+    def __init__(self, service, handle, run):
+        self.service = service
+        self.handle = handle
+        self.run = run
+
+    @property
+    def url(self):
+        return self.handle.url
+
+
+@pytest.fixture
+def service_env(tmp_path):
+    set_metrics_enabled(True)
+    archive = Archive(tmp_path / "archive")
+    from repro.core import get_property
+
+    run = archive.archive_run(
+        get_property("late_sender"), size=4, num_threads=2, seed=1
+    )
+    service = AnalysisService(archive, max_workers=2)
+    handle = run_service_in_thread(service)
+    env = ServiceEnv(service, handle, run)
+    yield env
+    handle.stop(drain=False)

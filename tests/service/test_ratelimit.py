@@ -1,0 +1,79 @@
+"""Token-bucket rate limiting: refill math and tenant isolation."""
+
+import threading
+
+import pytest
+
+from repro.service import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_burst_then_empty_then_retry_after():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    wait = bucket.try_acquire()
+    # empty: one token accrues in 1/rate seconds
+    assert wait == pytest.approx(0.5)
+
+
+def test_continuous_refill_up_to_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+    for _ in range(3):
+        bucket.try_acquire()
+    clock.advance(0.5)  # one token back
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0.0
+    clock.advance(100.0)  # refill caps at burst, not rate*elapsed
+    assert bucket.available == pytest.approx(3.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=3)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0)
+
+
+def test_tenants_get_independent_buckets():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=1.0, burst=2, clock=clock)
+    # greedy exhausts its own bucket...
+    assert limiter.check("greedy") == 0.0
+    assert limiter.check("greedy") == 0.0
+    assert limiter.check("greedy") > 0.0
+    # ...without costing calm anything
+    assert limiter.check("calm") == 0.0
+    assert limiter.check("calm") == 0.0
+
+
+def test_limiter_thread_safety_conserves_tokens():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=1.0, burst=100, clock=clock)
+    admitted = []
+
+    def spam():
+        for _ in range(50):
+            if limiter.check("shared") == 0.0:
+                admitted.append(1)
+
+    threads = [threading.Thread(target=spam) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # frozen clock: exactly the burst budget may be admitted
+    assert len(admitted) == 100
