@@ -25,7 +25,10 @@ It also validates committed acceptance bars:
   (>=2x at 4+ cores; relaxed below, skipped on one core),
 * ``BENCH_SERVICE.json`` -- the 1000-request burst must have
   collapsed >= 90% of duplicate in-flight analyzes, and warm-cache
-  analyzes must hold p99 < 50 ms.
+  analyzes must hold p99 < 50 ms,
+* ``BENCH_SYNTH.json`` -- the synthesized-campaign executor must hold
+  its cells/s floor and project the CI 1000-scenario smoke campaign
+  inside its wall-clock budget.
 
 Run directly (not via pytest)::
 
@@ -245,6 +248,46 @@ def check_service_baseline() -> bool:
     return ok
 
 
+#: acceptance bars for synthesized campaigns (BENCH_SYNTH.json): the
+#: serial executor must sustain the cells/s floor, and the committed
+#: scored rate (the full ``ats synth campaign --json`` path) must
+#: project the CI 1000-scenario smoke campaign inside its wall-clock
+#: budget.  Floors are conservative -- the reference box measures
+#: ~200-300 cells/s -- so noisy runners do not flap.
+SYNTH_MIN_CELLS_PER_S = 40.0
+SYNTH_SMOKE_SCENARIOS = 1000
+SYNTH_SMOKE_BUDGET_S = 120.0
+
+
+def check_synth_baseline() -> bool:
+    """Validate the committed synth-campaign throughput; True when OK."""
+    data = _load("BENCH_SYNTH.json")
+    if not data:
+        print("no BENCH_SYNTH.json baseline; synth check skipped")
+        return True
+    try:
+        serial_rate = float(data["synth"]["serial"]["cells_per_s"])
+        scored_rate = float(data["synth"]["scored"]["cells_per_s"])
+        errors = int(data["synth"]["serial"]["errors"])
+    except KeyError as exc:
+        print(f"BENCH_SYNTH.json malformed (missing {exc}); FAIL")
+        return False
+    projected = SYNTH_SMOKE_SCENARIOS / scored_rate
+    ok = (
+        serial_rate >= SYNTH_MIN_CELLS_PER_S
+        and errors == 0
+        and projected <= SYNTH_SMOKE_BUDGET_S
+    )
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"  BENCH_SYNTH serial throughput    {serial_rate:7.1f} cells/s "
+        f"(floor {SYNTH_MIN_CELLS_PER_S:.0f}, {errors} errors), "
+        f"projected {SYNTH_SMOKE_SCENARIOS}-cell smoke "
+        f"{projected:.1f} s (budget {SYNTH_SMOKE_BUDGET_S:.0f} s)  {verdict}"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=64)
@@ -263,7 +306,10 @@ def main(argv=None) -> int:
     kilo_ok = check_kilo_baseline()
     parallel_ok = check_parallel_sweep_baseline()
     service_ok = check_service_baseline()
-    committed_ok = archive_ok and kilo_ok and parallel_ok and service_ok
+    synth_ok = check_synth_baseline()
+    committed_ok = (
+        archive_ok and kilo_ok and parallel_ok and service_ok and synth_ok
+    )
 
     baselines = collect_baselines(args.size)
     if not baselines:

@@ -63,9 +63,12 @@ class ArchivedRun:
     eager_threshold: Optional[int]
     detector_set: str
     analyzer_version: str
+    #: optional ground-truth manifest (synthesized runs only): expected
+    #: properties, locations and severity bands sampled by repro.synth
+    manifest: Optional[dict] = None
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "program": self.program,
             "paradigm": self.paradigm,
             "params": self.params,
@@ -80,6 +83,11 @@ class ArchivedRun:
             "detector_set": self.detector_set,
             "analyzer_version": self.analyzer_version,
         }
+        # Only synthesized runs carry ground truth; leaving the key out
+        # otherwise keeps pre-existing manifest journals byte-stable.
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest
+        return payload
 
     @classmethod
     def from_payload(cls, run_id: str, payload: dict) -> "ArchivedRun":
@@ -98,6 +106,7 @@ class ArchivedRun:
             eager_threshold=payload.get("eager_threshold"),
             detector_set=payload.get("detector_set", ""),
             analyzer_version=payload.get("analyzer_version", ""),
+            manifest=payload.get("manifest"),
         )
 
 
@@ -149,12 +158,14 @@ class Archive:
         seed: int = 0,
         plan: Optional[dict] = None,
         eager_threshold: Optional[int] = None,
+        manifest: Optional[dict] = None,
     ) -> ArchivedRun:
         """Archive an existing event stream (the sweep-sink entry point).
 
         ``params`` must already be JSON-safe (see
         :func:`params_to_jsonable`); ``plan`` is a FaultPlan dict or
-        None.  Returns the manifest record, with the trace stored (or
+        None; ``manifest`` is a synthesized run's ground-truth dict.
+        Returns the manifest record, with the trace stored (or
         deduplicated) as a content-addressed blob.
         """
         params = params or {}
@@ -178,6 +189,7 @@ class Archive:
             eager_threshold=eager_threshold,
             detector_set=detector_set_fingerprint(DEFAULT_DETECTORS),
             analyzer_version=ANALYZER_VERSION,
+            manifest=manifest,
         )
         self.store.record_run(run_id, run.to_payload())
         metrics = archive_metrics()

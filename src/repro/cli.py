@@ -572,6 +572,208 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# scenario synthesis commands
+# ----------------------------------------------------------------------
+
+def _parse_csv(text: str, kind, option: str):
+    try:
+        return tuple(kind(part) for part in text.split(","))
+    except ValueError:
+        raise CliError(
+            f"bad {option} value {text!r}: expected comma-separated "
+            f"{kind.__name__} values"
+        ) from None
+
+
+def _load_campaign_spec(args):
+    """Build the CampaignSpec from --spec FILE or the sampling flags."""
+    import json
+
+    from .synth import CampaignSpec, NoiseConfig, SynthError
+
+    if args.spec is not None:
+        try:
+            with open(args.spec, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except OSError as exc:
+            raise CliError(f"cannot read spec file: {exc}") from None
+        except ValueError as exc:
+            raise CliError(
+                f"bad JSON in spec file {args.spec}: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise CliError(
+                f"spec file {args.spec} must hold a JSON object"
+            )
+        if payload.get("format") == "ats-synth-campaign":
+            # Re-running a campaign artifact reuses its embedded spec.
+            payload = payload.get("spec", {})
+        try:
+            return CampaignSpec.from_dict(payload)
+        except SynthError as exc:
+            raise CliError(str(exc)) from None
+    if not args.name:
+        raise CliError("need a campaign NAME (or --spec FILE)")
+    kwargs = dict(
+        name=args.name,
+        strategy=args.strategy,
+        scenarios=args.scenarios,
+        threads=args.threads,
+        seed=args.seed,
+        max_properties=args.max_properties,
+        max_failures=args.max_failures,
+        max_retries=getattr(args, "retries", 0),
+        adversarial_rounds=args.adversarial_rounds,
+        adversarial_top=args.adversarial_top,
+    )
+    if args.properties:
+        kwargs["properties"] = tuple(args.properties.split(","))
+    if args.skeletons:
+        kwargs["skeletons"] = tuple(args.skeletons.split(","))
+    if args.sizes:
+        kwargs["sizes"] = _parse_csv(args.sizes, int, "--sizes")
+    if args.bands:
+        kwargs["bands"] = tuple(args.bands.split(","))
+    if args.placements:
+        kwargs["placements"] = tuple(args.placements.split(","))
+    noise = (
+        NoiseConfig.default() if args.noise == "default"
+        else NoiseConfig()
+    )
+    if args.magnitudes:
+        noise = NoiseConfig(
+            plan=noise.plan,
+            magnitudes=_parse_csv(
+                args.magnitudes, float, "--magnitudes"
+            ),
+        )
+    kwargs["noise"] = noise
+    try:
+        return CampaignSpec(**kwargs)
+    except SynthError as exc:
+        raise CliError(str(exc)) from None
+
+
+def _write_json_artifact(dest, text: str, label: str) -> None:
+    if dest is None:
+        return
+    if dest == "-":
+        sys.stdout.write(text)
+        return
+    with open(dest, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"{label} written to {dest}")
+
+
+def cmd_synth_generate(args: argparse.Namespace) -> int:
+    """Sample a campaign's scenario list without running it."""
+    import json
+
+    from .synth import SynthError, generate_scenarios
+
+    spec = _load_campaign_spec(args)
+    try:
+        scenarios = generate_scenarios(spec)
+    except SynthError as exc:
+        raise CliError(str(exc)) from None
+    print(
+        f"{'scenario':<22}{'doses':<46}{'place':>7}{'skel':>14}"
+        f"{'size':>6}{'noise':>7}"
+    )
+    for sc in scenarios:
+        doses = ",".join(
+            f"{d.property}@{d.band}" for d in sc.doses
+        ) or "-"
+        print(
+            f"{sc.name:<22}{doses:<46}{sc.placement:>7}"
+            f"{sc.skeleton:>14}{sc.size:>6}{sc.noise_magnitude:>7g}"
+        )
+    print(f"{len(scenarios)} scenario(s), strategy={spec.strategy}")
+    if args.json is not None:
+        payload = {
+            "format": "ats-synth-scenarios",
+            "version": 1,
+            "spec": spec.to_dict(),
+            "scenarios": [
+                dict(sc.to_dict(), manifest=sc.manifest().to_dict())
+                for sc in scenarios
+            ],
+        }
+        _write_json_artifact(
+            args.json,
+            json.dumps(payload, indent=2) + "\n",
+            "scenario list",
+        )
+    return 0
+
+
+def cmd_synth_campaign(args: argparse.Namespace) -> int:
+    """Execute a synthesis campaign on the supervised sweep engine."""
+    from .synth import (
+        CampaignError,
+        SynthError,
+        run_campaign,
+        score_result,
+    )
+
+    spec = _load_campaign_spec(args)
+    supervisor = _make_supervisor(args)
+    aborted = None
+    try:
+        result = run_campaign(
+            spec,
+            threshold=args.threshold,
+            time_budget=args.time_budget,
+            supervisor=supervisor,
+            archive=args.archive,
+            workers=_workers_of(args),
+        )
+    except SynthError as exc:
+        raise CliError(str(exc)) from None
+    except CampaignError as exc:
+        result = exc.result
+        aborted = str(exc)
+    print(result.format_summary())
+    print(score_result(result).format_table())
+    if args.archive is not None:
+        print(f"runs archived in {args.archive}")
+    _write_json_artifact(
+        args.json, result.to_json_str(), "campaign artifact"
+    )
+    _emit_failures(args, supervisor)
+    if aborted is not None:
+        print(f"ats: error: {aborted}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_synth_score(args: argparse.Namespace) -> int:
+    """Grade detectors against a campaign artifact's manifests."""
+    import json
+
+    from .synth import score_campaign_json
+
+    try:
+        with open(args.campaign, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise CliError(f"cannot read campaign file: {exc}") from None
+    except ValueError as exc:
+        raise CliError(
+            f"bad JSON in campaign file {args.campaign}: {exc}"
+        ) from None
+    try:
+        report = score_campaign_json(payload)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CliError(
+            f"{args.campaign}: not a campaign artifact ({exc})"
+        ) from None
+    print(report.format_table())
+    _write_json_artifact(args.json, report.to_json_str(), "score")
+    return 0
+
+
 def cmd_suites(args: argparse.Namespace) -> int:
     print(format_catalog())
     return 0
@@ -798,8 +1000,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"ats service listening on {handle.url} "
           f"(archive {service.archive.root})")
-    print("endpoints: /submit-run /analyze /diff /campaign /history "
-          "/jobs/<id> /status /dashboard /metrics /metrics.json /drain")
+    print("endpoints: /submit-run /analyze /diff /campaign /synth "
+          "/history /jobs/<id> /status /dashboard /metrics "
+          "/metrics.json /drain")
     sys.stdout.flush()
     try:
         while True:
@@ -860,6 +1063,28 @@ def cmd_submit_campaign(args: argparse.Namespace) -> int:
     return _print_submission(_service_call(lambda: client.campaign(
         size=args.size, threads=args.threads, seed=args.seed,
         wait=args.wait, **params,
+    )))
+
+
+def cmd_submit_synth(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        with open(args.spec, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise CliError(f"cannot read spec file: {exc}") from None
+    except ValueError as exc:
+        raise CliError(
+            f"bad JSON in spec file {args.spec}: {exc}"
+        ) from None
+    if isinstance(payload, dict) and (
+        payload.get("format") == "ats-synth-campaign"
+    ):
+        payload = payload.get("spec", {})
+    client = _service_client(args)
+    return _print_submission(_service_call(lambda: client.synth(
+        payload, wait=args.wait,
     )))
 
 
@@ -1017,6 +1242,94 @@ def build_parser() -> argparse.ArgumentParser:
                    "archive directory (under its scaled fault plan)")
     _add_supervision_options(p)
     p.set_defaults(fn=cmd_robustness)
+
+    def _add_synth_spec_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("name", nargs="?", default=None,
+                            help="campaign name (or pass --spec FILE)")
+        parser.add_argument("--spec", metavar="FILE", default=None,
+                            help="load the CampaignSpec from a JSON "
+                            "file instead of the flags below")
+        parser.add_argument("--strategy", default="grid",
+                            choices=("grid", "random", "adversarial"))
+        parser.add_argument("--scenarios", type=int, default=100,
+                            metavar="N",
+                            help="base scenario count (default 100)")
+        parser.add_argument("--properties", default=None,
+                            help="comma-separated property pool "
+                            "(default: all registered programs)")
+        parser.add_argument("--skeletons", default=None,
+                            help="comma-separated app skeletons "
+                            "(none,jacobi,pipeline,master_worker)")
+        parser.add_argument("--sizes", default=None,
+                            help="comma-separated world sizes "
+                            "(default 4)")
+        parser.add_argument("--bands", default=None,
+                            help="comma-separated severity bands "
+                            "(low,medium,high)")
+        parser.add_argument("--placements", default=None,
+                            help="comma-separated placements "
+                            "(all,lower,upper)")
+        parser.add_argument("--threads", type=int, default=2)
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument("--max-properties", type=int, default=2,
+                            metavar="N",
+                            help="max property doses per scenario")
+        parser.add_argument("--max-failures", type=int, default=-1,
+                            metavar="N",
+                            help="abort after more than N errored "
+                            "cells (-1: unlimited)")
+        parser.add_argument("--noise", choices=("none", "default"),
+                            default="none",
+                            help="fault-plan noise: 'default' sweeps "
+                            "the standard plan (default: none)")
+        parser.add_argument("--magnitudes", default=None,
+                            help="comma-separated noise magnitudes "
+                            "scenarios sample from")
+        parser.add_argument("--adversarial-rounds", type=int, default=2,
+                            metavar="N")
+        parser.add_argument("--adversarial-top", type=int, default=4,
+                            metavar="N")
+
+    p = sub.add_parser(
+        "synth",
+        help="synthesized ground-truth campaigns (generate/run/score)",
+    )
+    ysub = p.add_subparsers(dest="synth_command", required=True)
+
+    py = ysub.add_parser(
+        "generate",
+        help="sample a campaign's scenario list (no execution)",
+    )
+    _add_synth_spec_options(py)
+    py.add_argument("--json", metavar="FILE", default=None,
+                    help="write scenarios + ground-truth manifests as "
+                    "JSON ('-' = stdout)")
+    py.set_defaults(fn=cmd_synth_generate)
+
+    py = ysub.add_parser(
+        "campaign",
+        help="execute a synthesis campaign and grade the detectors",
+    )
+    _add_synth_spec_options(py)
+    py.add_argument("--threshold", type=float, default=0.01)
+    py.add_argument("--json", metavar="FILE", default=None,
+                    help="write the campaign artifact (cells + "
+                    "manifests) as JSON ('-' = stdout)")
+    py.add_argument("--archive", metavar="DIR", default=None,
+                    help="record every analyzed trace (with its "
+                    "ground-truth manifest) in this archive directory")
+    _add_supervision_options(py)
+    py.set_defaults(fn=cmd_synth_campaign)
+
+    py = ysub.add_parser(
+        "score",
+        help="re-score a campaign artifact against its manifests",
+    )
+    py.add_argument("campaign", help="ats-synth-campaign JSON file")
+    py.add_argument("--json", metavar="FILE", default=None,
+                    help="write the score report as JSON "
+                    "('-' = stdout)")
+    py.set_defaults(fn=cmd_synth_score)
 
     p = sub.add_parser("suites", help="print the external-suite catalog")
     p.set_defaults(fn=cmd_suites)
@@ -1191,6 +1504,14 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--wait", action="store_true")
     _add_server_options(ps)
     ps.set_defaults(fn=cmd_submit_campaign)
+
+    ps = ssub.add_parser(
+        "synth", help="run a synthesized-scenario campaign server-side"
+    )
+    ps.add_argument("spec", help="CampaignSpec JSON file")
+    ps.add_argument("--wait", action="store_true")
+    _add_server_options(ps)
+    ps.set_defaults(fn=cmd_submit_synth)
 
     ps = ssub.add_parser("history", help="server-side archive history")
     _add_server_options(ps)

@@ -27,8 +27,10 @@ from .generator import (
 )
 from .registry import (
     DistParam,
+    DuplicatePropertyError,
     PropertySpec,
     get_property,
+    has_property,
     list_properties,
     register_property,
 )
@@ -36,6 +38,7 @@ from .registry import (
 __all__ = [
     "ALL_MPI_PROPERTY_CHAIN",
     "DistParam",
+    "DuplicatePropertyError",
     "PropertySpec",
     "Step",
     "alloc_base_buf",
@@ -43,6 +46,7 @@ __all__ = [
     "base_type",
     "generate_single_property_script",
     "get_property",
+    "has_property",
     "list_properties",
     "properties",
     "register_property",

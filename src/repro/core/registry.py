@@ -181,12 +181,37 @@ class PropertySpec:
 _REGISTRY: Dict[str, PropertySpec] = {}
 
 
+class DuplicatePropertyError(ValueError):
+    """A registration would shadow an already-registered program.
+
+    Raised instead of silently replacing the existing spec: lookups by
+    name must never be ambiguous between a hand-written program and a
+    later (e.g. synthesized) one.  ``existing`` carries the spec that
+    holds the name.
+    """
+
+    def __init__(self, spec: PropertySpec, existing: PropertySpec):
+        super().__init__(
+            f"property {spec.name!r} already registered "
+            f"({existing.paradigm} program: {existing.description or 'no description'}); "
+            "registered names are unique -- pick a distinct name"
+        )
+        self.spec = spec
+        self.existing = existing
+
+
 def register_property(spec: PropertySpec) -> PropertySpec:
     """Add a spec to the registry; duplicate names are an error."""
-    if spec.name in _REGISTRY:
-        raise ValueError(f"property {spec.name!r} already registered")
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        raise DuplicatePropertyError(spec, existing)
     _REGISTRY[spec.name] = spec
     return spec
+
+
+def has_property(name: str) -> bool:
+    """True when ``name`` is a registered property program."""
+    return name in _REGISTRY
 
 
 def get_property(name: str) -> PropertySpec:

@@ -119,6 +119,15 @@ class ServiceClient:
             body["wait"] = True
         return self._request("POST", "/campaign", body)
 
+    def synth(
+        self, spec: Dict[str, Any], wait: bool = False, **params: Any
+    ) -> dict:
+        """Submit a synthesized-scenario campaign (a CampaignSpec dict)."""
+        body: Dict[str, Any] = dict(params, spec=spec)
+        if wait:
+            body["wait"] = True
+        return self._request("POST", "/synth", body)
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

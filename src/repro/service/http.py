@@ -9,6 +9,7 @@ keep-alive), and a small route table over
     POST /analyze           {run, threshold?, wait?}
     POST /diff              {before, after, threshold?, wait?}
     POST /campaign          {properties?, size?, threads?, seed?, wait?}
+    POST /synth             {spec, threshold?, timeout?, retries?, wait?}
     GET  /history[?wait=0]  archive manifest as an async job
     GET  /jobs/<id>         poll one job (state, result when done)
     GET  /status            live service snapshot (JSON)
@@ -67,6 +68,7 @@ _SUBMIT_ROUTES = {
     "/analyze": "analyze",
     "/diff": "diff",
     "/campaign": "campaign",
+    "/synth": "synth",
 }
 
 

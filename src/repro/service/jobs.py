@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 #: every job kind the service executes.
-JOB_KINDS = ("run", "analyze", "diff", "history", "campaign")
+JOB_KINDS = ("run", "analyze", "diff", "history", "campaign", "synth")
 
 #: lifecycle: queued -> running -> done | failed.
 JOB_STATES = ("queued", "running", "done", "failed")

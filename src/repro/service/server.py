@@ -25,8 +25,8 @@ Three policies sit on the submission path:
   surfaced as 503) and waits for the queue and in-flight jobs to
   empty, the graceful half of shutdown.
 
-Simulation-running jobs (``run``, ``campaign``) serialize on one
-internal lock: the simulator's worker-pool handoff protocol assumes
+Simulation-running jobs (``run``, ``campaign``, ``synth``) serialize
+on one internal lock: the simulator's worker-pool handoff protocol assumes
 one simulation at a time per process.  Pure host-side jobs (analyze,
 diff, history) run fully concurrently.
 
@@ -186,10 +186,13 @@ class AnalysisService:
             if key is not None:
                 self._active_keys[key] = job
             self._remember(job)
-            if kind == "campaign":
-                progress = CampaignProgress(
-                    job.id, total=len(params.get("_specs", ()))
+            if kind in ("campaign", "synth"):
+                total = (
+                    params["_campaign"].scenarios
+                    if kind == "synth"
+                    else len(params.get("_specs", ()))
                 )
+                progress = CampaignProgress(job.id, total=total)
                 self._campaigns[job.id] = progress
                 params["_progress"] = progress
             self._queue.append(job)
@@ -241,6 +244,8 @@ class AnalysisService:
             )
         if kind == "campaign":
             params["_specs"] = self._resolve_campaign_specs(params)
+        if kind == "synth":
+            params["_campaign"] = self._resolve_synth_spec(params)
         return None
 
     def _resolve_ref(self, ref, label: str = "run") -> dict:
@@ -288,6 +293,19 @@ class AnalysisService:
                     f"unknown property function {name!r}"
                 ) from None
         return specs
+
+    def _resolve_synth_spec(self, params: Dict[str, Any]):
+        from ..synth import CampaignSpec, SynthError
+
+        spec = params.get("spec")
+        if not isinstance(spec, dict):
+            raise JobError(
+                "synth jobs need a 'spec' object (a CampaignSpec dict)"
+            )
+        try:
+            return CampaignSpec.from_dict(spec)
+        except SynthError as exc:
+            raise JobError(str(exc)) from None
 
     # ------------------------------------------------------------------
     # execution
@@ -461,6 +479,39 @@ class AnalysisService:
             "all_passed": matrix.all_passed,
             "positive_detection_rate": matrix.positive_detection_rate,
             "false_positive_rate": matrix.false_positive_rate,
+            "progress": progress.snapshot(),
+        }
+
+    def _job_synth(self, job: Job) -> dict:
+        from ..resilience import Supervisor
+        from ..synth import CampaignError, run_campaign, score_result
+
+        spec = job.params["_campaign"]
+        progress: CampaignProgress = job.params["_progress"]
+        supervisor = Supervisor(
+            timeout=job.params.get("timeout"),
+            retries=int(job.params.get("retries", spec.max_retries)),
+            on_event=progress.on_event,
+        )
+        aborted = None
+        try:
+            with self._sim_lock:
+                result = run_campaign(
+                    spec,
+                    threshold=float(
+                        job.params.get("threshold", self.threshold)
+                    ),
+                    supervisor=supervisor,
+                    archive=self.archive,
+                )
+        except CampaignError as exc:
+            result = exc.result
+            aborted = str(exc)
+        score = score_result(result)
+        return {
+            "campaign": result.to_json_dict(),
+            "score": score.to_json_dict(),
+            "aborted": aborted,
             "progress": progress.snapshot(),
         }
 

@@ -25,7 +25,7 @@ from .process import (
     submit_host_task,
     worker_pool,
 )
-from .rng import Lcg64
+from .rng import Lcg64, derive_seed
 from .scheduler import (
     Simulator,
     activate,
@@ -54,6 +54,7 @@ __all__ = [
     "HangError",
     "HangReport",
     "Lcg64",
+    "derive_seed",
     "Mailbox",
     "NotInProcessError",
     "PendingCall",

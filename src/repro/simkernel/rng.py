@@ -28,6 +28,19 @@ def _splitmix64(x: int) -> int:
     return z ^ (z >> 31)
 
 
+def derive_seed(parent_seed: int, index: int) -> int:
+    """An independent child *seed* from a parent seed and an index.
+
+    The integer equivalent of :meth:`Lcg64.spawn`: the child seed is
+    splitmix-decorrelated from both the parent and every sibling, so
+    sweep frameworks that must hand out plain ``int`` seeds (campaign
+    cells, forked tasks, synthesized scenarios) never fall back to
+    low-entropy ``seed + i`` arithmetic.  ``Lcg64(derive_seed(p, i))``
+    draws the same stream as ``Lcg64(p).spawn(i)``.
+    """
+    return _splitmix64((parent_seed & _MASK64) ^ _splitmix64(index))
+
+
 class Lcg64:
     """A small, fast, lock-free PRNG stream.
 

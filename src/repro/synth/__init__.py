@@ -1,0 +1,81 @@
+"""Scenario synthesis engine: generative campaigns with ground truth.
+
+The hand-written registry covers ~35 programs; this package samples the
+property x severity x placement x skeleton x noise space into
+synthesized :class:`~repro.core.registry.PropertySpec`-compatible
+programs, each carrying a machine-checkable ground-truth manifest
+derived from the same sampling decisions.  Campaigns are declared with
+:class:`CampaignSpec`, executed on the supervised sweep engine
+(:func:`run_campaign`), archived with manifests attached, and graded
+with :func:`score_result` / :func:`score_campaign_json`.
+"""
+
+from .campaign import (
+    CampaignError,
+    CampaignResult,
+    ScenarioCell,
+    cell_key,
+    run_campaign,
+)
+from .generate import (
+    adversarial_rng,
+    generate_scenarios,
+    mutate_scenario,
+    resolve_pool,
+)
+from .scenario import (
+    SKELETONS,
+    GroundTruthManifest,
+    PropertyDose,
+    Scenario,
+    run_skeleton,
+)
+from .score import (
+    BandScore,
+    DetectorScore,
+    ScoreReport,
+    score_campaign_json,
+    score_cells,
+    score_result,
+)
+from .spec import (
+    BAND_FACTORS,
+    BANDS,
+    GENERATORS,
+    PLACEMENTS,
+    STRATEGIES,
+    CampaignSpec,
+    NoiseConfig,
+    SynthError,
+)
+
+__all__ = [
+    "BAND_FACTORS",
+    "BANDS",
+    "BandScore",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
+    "DetectorScore",
+    "GENERATORS",
+    "GroundTruthManifest",
+    "NoiseConfig",
+    "PLACEMENTS",
+    "PropertyDose",
+    "STRATEGIES",
+    "SKELETONS",
+    "Scenario",
+    "ScenarioCell",
+    "ScoreReport",
+    "SynthError",
+    "adversarial_rng",
+    "cell_key",
+    "generate_scenarios",
+    "mutate_scenario",
+    "resolve_pool",
+    "run_campaign",
+    "run_skeleton",
+    "score_campaign_json",
+    "score_cells",
+    "score_result",
+]

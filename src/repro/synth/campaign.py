@@ -1,0 +1,470 @@
+"""Campaign execution on the supervised sweep engine.
+
+Each scenario cell runs the same pipeline as the robustness harness: a
+seed-deterministic simulated run under the scaled noise plan, an
+optional trace-fault round trip through the salvaging reader, analysis,
+and a verdict against the scenario's ground-truth manifest.  Cells run
+serially, under a :class:`repro.resilience.Supervisor` (wall-clock
+timeout / retry / quarantine / checkpoint resume), or fanned out over
+forked workers -- results are assembled in scenario order, so the
+campaign JSON is byte-identical across all three modes.
+
+The adversarial strategy loops here: after the base sample, each
+refinement round ranks cells by disagreement (missing + spurious
+findings vs. the manifest), perturbs the worst offenders
+(:func:`.generate.mutate_scenario`), and executes the mutants.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis import AnalysisConfig, analyze_events, analyze_run
+from ..faults import FaultInjector
+from ..trace.io import read_trace, write_trace
+from .generate import adversarial_rng, generate_scenarios, mutate_scenario
+from .scenario import GroundTruthManifest, Scenario
+from .spec import CampaignSpec
+
+
+class CampaignError(RuntimeError):
+    """Campaign aborted (max_failures exceeded); carries the partial result."""
+
+    def __init__(self, message: str, result: "CampaignResult"):
+        super().__init__(message)
+        self.result = result
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One executed scenario graded against its manifest."""
+
+    scenario: Scenario
+    manifest: GroundTruthManifest
+    detected: Tuple[str, ...]
+    missing: Tuple[str, ...]
+    spurious: Tuple[str, ...]
+    events: int
+    #: archive run id when the campaign archives, else None
+    run_id: Optional[str] = None
+    error: Optional[str] = None
+    salvaged: bool = False
+
+    @property
+    def disagreement(self) -> int:
+        return len(self.missing) + len(self.spurious)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "manifest": self.manifest.to_dict(),
+            "detected": list(self.detected),
+            "missing": list(self.missing),
+            "spurious": list(self.spurious),
+            "events": self.events,
+            "run_id": self.run_id,
+            "error": self.error,
+            "salvaged": self.salvaged,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScenarioCell":
+        return cls(
+            scenario=Scenario.from_dict(d["scenario"]),
+            manifest=GroundTruthManifest.from_dict(d["manifest"]),
+            detected=tuple(d["detected"]),
+            missing=tuple(d["missing"]),
+            spurious=tuple(d["spurious"]),
+            events=d["events"],
+            run_id=d.get("run_id"),
+            error=d.get("error"),
+            salvaged=d.get("salvaged", False),
+        )
+
+
+def _build_cell(
+    scenario: Scenario,
+    detected: Sequence[str] = (),
+    events: int = 0,
+    run_id: Optional[str] = None,
+    error: Optional[str] = None,
+    salvaged: bool = False,
+) -> ScenarioCell:
+    manifest = scenario.manifest()
+    detected = tuple(detected)
+    return ScenarioCell(
+        scenario=scenario,
+        manifest=manifest,
+        detected=detected,
+        missing=tuple(
+            p for p in manifest.expected if p not in detected
+        ),
+        spurious=tuple(
+            p
+            for p in detected
+            if p not in manifest.expected and p not in manifest.allowed
+        ),
+        events=events,
+        run_id=run_id,
+        error=error,
+        salvaged=salvaged,
+    )
+
+
+def cell_key(scenario: Scenario) -> str:
+    """Stable checkpoint key of one campaign cell."""
+    return (
+        f"{scenario.name}|m{scenario.noise_magnitude:g}|s{scenario.seed}"
+    )
+
+
+def _run_scenario_checked(
+    scenario: Scenario,
+    spec: CampaignSpec,
+    threshold: float,
+    workdir: Path,
+    time_budget: Optional[float] = None,
+    archive=None,
+) -> ScenarioCell:
+    """One cell, raising on failure (the supervisor's entry point).
+
+    Mirrors the robustness pipeline; additionally the archived record
+    carries the scenario's ground-truth manifest, so ``ats diff`` and
+    the scorer can grade detectors against synthesized truth straight
+    from the archive.
+    """
+    pspec = scenario.build_spec()
+    manifest = scenario.manifest()
+    manifest.validate()
+    scaled = spec.noise.plan.scaled(scenario.noise_magnitude)
+    injector = FaultInjector.coerce(scaled, seed=scenario.seed)
+
+    def _archive(events, final_time, transport) -> Optional[str]:
+        if archive is None:
+            return None
+        record = archive.record(
+            program=scenario.name,
+            events=events,
+            final_time=final_time,
+            paradigm=pspec.paradigm,
+            params={},
+            size=scenario.size,
+            threads=scenario.threads,
+            seed=scenario.seed,
+            plan=dict(
+                scaled.to_dict(), magnitude=scenario.noise_magnitude
+            ),
+            eager_threshold=(
+                transport.eager_threshold
+                if transport is not None
+                else None
+            ),
+            manifest=manifest.to_dict(),
+        )
+        return record.run_id
+
+    run = pspec.run(
+        size=scenario.size,
+        num_threads=scenario.threads,
+        seed=scenario.seed,
+        faults=injector,
+        time_budget=time_budget,
+    )
+    transport = getattr(run, "transport", None)
+    if injector is None or not injector.has_trace_faults:
+        run_id = _archive(run.events, run.final_time, transport)
+        analysis = analyze_run(run)
+        return _build_cell(
+            scenario,
+            detected=analysis.detected(threshold),
+            events=len(run.events),
+            run_id=run_id,
+        )
+    # Trace faults: round-trip through the fault-injecting writer and
+    # the salvaging reader -- the analyzer sees what landed on disk.
+    path = workdir / (
+        f"synth-{scenario.index:05d}-s{scenario.seed}.trace.jsonl"
+    )
+    write_trace(
+        path,
+        run.events,
+        metadata={"program": scenario.name, "seed": scenario.seed},
+        faults=injector,
+    )
+    events, metadata = read_trace(path, skip_bad_lines=True, salvage=True)
+    run_id = _archive(events, run.final_time, transport)
+    config = (
+        AnalysisConfig(eager_threshold=transport.eager_threshold)
+        if transport is not None
+        else None
+    )
+    analysis = analyze_events(
+        events, total_time=run.final_time, config=config
+    )
+    return _build_cell(
+        scenario,
+        detected=analysis.detected(threshold),
+        events=len(events),
+        run_id=run_id,
+        salvaged=bool(metadata.get("truncated")),
+    )
+
+
+def _run_scenario(
+    scenario: Scenario,
+    spec: CampaignSpec,
+    threshold: float,
+    workdir: Path,
+    time_budget: Optional[float] = None,
+    archive=None,
+) -> ScenarioCell:
+    """One cell with failures folded into the cell (direct mode)."""
+    try:
+        return _run_scenario_checked(
+            scenario, spec, threshold, workdir, time_budget, archive
+        )
+    except Exception as exc:
+        return _build_cell(
+            scenario, error=f"{type(exc).__name__}: {exc}"
+        )
+
+
+def _forked_cell(
+    runner,
+    scenario: Scenario,
+    spec: CampaignSpec,
+    threshold: float,
+    workdir: Path,
+    time_budget: Optional[float],
+    archive,
+) -> dict:
+    """Child-side cell body (deferred archive manifests, dict result)."""
+    if archive is not None:
+        archive.store.begin_deferred()
+    return runner(
+        scenario, spec, threshold, workdir, time_budget, archive
+    ).to_dict()
+
+
+@dataclass
+class CampaignResult:
+    """All executed cells of one campaign."""
+
+    spec: CampaignSpec
+    cells: List[ScenarioCell] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[ScenarioCell]:
+        return [c for c in self.cells if c.error is not None]
+
+    def disagreements(self) -> List[ScenarioCell]:
+        return [
+            c
+            for c in self.cells
+            if c.error is None and c.disagreement > 0
+        ]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "format": "ats-synth-campaign",
+            "version": 1,
+            "spec": self.spec.to_dict(),
+            "scenarios": len(self.cells),
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    def to_json_str(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2) + "\n"
+
+    def format_summary(self) -> str:
+        perfect = sum(
+            1
+            for c in self.cells
+            if c.error is None and c.disagreement == 0
+        )
+        lines = [
+            f"campaign {self.spec.name}: {len(self.cells)} scenario(s), "
+            f"strategy={self.spec.strategy}, seed={self.spec.seed}",
+            f"  agree with manifest: {perfect}",
+            f"  disagreements:       {len(self.disagreements())}",
+            f"  errors:              {len(self.errors)}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def _execute_batch(
+    scenarios: Sequence[Scenario],
+    spec: CampaignSpec,
+    threshold: float,
+    workdir: Path,
+    time_budget: Optional[float],
+    supervisor,
+    archive,
+    workers: int,
+) -> List[ScenarioCell]:
+    """Run one batch of scenarios in scenario order."""
+    if workers > 1:
+        from ..resilience.forked import run_cells_forked
+
+        runner = (
+            _run_scenario_checked
+            if supervisor is not None
+            else _run_scenario
+        )
+        cells = [
+            (
+                cell_key(sc),
+                lambda sc=sc: _forked_cell(
+                    runner,
+                    sc,
+                    spec,
+                    threshold,
+                    workdir,
+                    time_budget,
+                    archive,
+                ),
+            )
+            for sc in scenarios
+        ]
+        extras_fn = None
+        on_extras = None
+        if archive is not None:
+            extras_fn = archive.store.drain_deferred
+
+            def on_extras(key, records):
+                for run_id, payload in records:
+                    archive.store.record_run(run_id, payload)
+
+        outcomes = run_cells_forked(
+            cells,
+            workers=workers,
+            supervisor=supervisor,
+            extras_fn=extras_fn,
+            on_extras=on_extras,
+        )
+        out = []
+        for scenario, outcome in zip(scenarios, outcomes):
+            if outcome.ok:
+                value = outcome.value
+                if not isinstance(value, ScenarioCell):
+                    value = ScenarioCell.from_dict(value)
+                out.append(value)
+            else:
+                out.append(
+                    _build_cell(scenario, error=outcome.failure.error)
+                )
+        return out
+    out = []
+    for scenario in scenarios:
+        if supervisor is None:
+            out.append(
+                _run_scenario(
+                    scenario,
+                    spec,
+                    threshold,
+                    workdir,
+                    time_budget,
+                    archive,
+                )
+            )
+            continue
+        outcome = supervisor.run_cell(
+            cell_key(scenario),
+            lambda sc=scenario: _run_scenario_checked(
+                sc, spec, threshold, workdir, time_budget, archive
+            ),
+            encode=lambda c: c.to_dict(),
+            decode=ScenarioCell.from_dict,
+        )
+        if outcome.ok:
+            out.append(outcome.value)
+        else:
+            out.append(
+                _build_cell(scenario, error=outcome.failure.error)
+            )
+    return out
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    threshold: float = 0.01,
+    time_budget: Optional[float] = None,
+    supervisor=None,
+    archive=None,
+    workers: int = 1,
+) -> CampaignResult:
+    """Execute one synthesis campaign (see module docstring).
+
+    ``supervisor`` runs every cell supervised (build it with
+    ``retries=spec.max_retries`` to honor the spec); ``archive``
+    records every analyzed trace with its ground-truth manifest
+    attached; ``workers > 1`` forks the batch over child processes.
+    The result (and its JSON) is byte-identical across all execution
+    modes and across checkpoint resume.
+
+    ``spec.max_failures >= 0`` aborts the campaign with a
+    :class:`CampaignError` (carrying the partial result) once more
+    than that many cells have errored.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if archive is not None:
+        from ..archive import coerce_archive
+
+        archive = coerce_archive(archive)
+    result = CampaignResult(spec=spec)
+
+    def check_failures() -> None:
+        if spec.max_failures < 0:
+            return
+        failed = len(result.errors)
+        if failed > spec.max_failures:
+            raise CampaignError(
+                f"campaign {spec.name}: aborted after {failed} failed "
+                f"cell(s) (max_failures={spec.max_failures})",
+                result,
+            )
+
+    scenarios = generate_scenarios(spec)
+    next_index = len(scenarios)
+    with tempfile.TemporaryDirectory(prefix="ats-synth-") as tmp:
+        workdir = Path(tmp)
+
+        def run_batch(batch: Sequence[Scenario]) -> None:
+            result.cells.extend(
+                _execute_batch(
+                    batch,
+                    spec,
+                    threshold,
+                    workdir,
+                    time_budget,
+                    supervisor,
+                    archive,
+                    workers,
+                )
+            )
+            check_failures()
+
+        run_batch(scenarios)
+        if spec.strategy == "adversarial":
+            for round_index in range(spec.adversarial_rounds):
+                worst = sorted(
+                    result.disagreements(),
+                    key=lambda c: (-c.disagreement, c.scenario.index),
+                )[: spec.adversarial_top]
+                if not worst:
+                    break
+                rng = adversarial_rng(spec, round_index)
+                mutants = [
+                    mutate_scenario(
+                        spec, cell.scenario, next_index + j, rng
+                    )
+                    for j, cell in enumerate(worst)
+                ]
+                next_index += len(mutants)
+                run_batch(mutants)
+    return result

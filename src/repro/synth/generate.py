@@ -1,0 +1,282 @@
+"""Scenario generation strategies: grid, random, adversarial mutation.
+
+All strategies are pure functions of the :class:`CampaignSpec`: the
+same spec always yields the same scenario list, and every scenario's
+run seed is splitmix-derived from the campaign seed and the scenario
+index (:func:`repro.simkernel.derive_seed`), so sibling cells draw
+independent random streams -- never ``seed + i`` arithmetic.
+
+The adversarial strategy's *mutation* step lives here too
+(:func:`mutate_scenario`); the search loop that picks which cells to
+perturb needs detector verdicts and therefore lives in
+:mod:`.campaign`.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.registry import (
+    PropertySpec,
+    get_property,
+    has_property,
+    list_properties,
+)
+from ..simkernel import Lcg64, derive_seed
+from .scenario import SKELETONS, PropertyDose, Scenario
+from .spec import CampaignSpec, SynthError
+
+#: Lcg64 spawn indices reserved by the synthesis engine (arbitrary but
+#: fixed: distinct subsystems must never share a derived stream)
+_RANDOM_STREAM = 0x5CE_A01
+_ADVERSARIAL_STREAM = 0xAD_0B5
+
+
+def resolve_pool(spec: CampaignSpec) -> List[PropertySpec]:
+    """The property specs a campaign samples doses from."""
+    if not spec.properties:
+        pool = list_properties()
+    else:
+        pool = []
+        for name in spec.properties:
+            if not has_property(name):
+                candidates = [s.name for s in list_properties()]
+                close = difflib.get_close_matches(name, candidates, n=1)
+                hint = f"; did you mean {close[0]!r}?" if close else ""
+                raise SynthError(
+                    f"campaign {spec.name!r}: unknown property "
+                    f"{name!r}{hint}"
+                )
+            pool.append(get_property(name))
+    max_size = max(spec.sizes)
+    usable = [p for p in pool if p.min_size <= max(2, max_size)]
+    if not usable:
+        raise SynthError(
+            f"campaign {spec.name!r}: no usable properties "
+            f"(every candidate needs more than {max_size} ranks)"
+        )
+    return usable
+
+
+def validate_skeletons(spec: CampaignSpec) -> None:
+    for name in spec.skeletons:
+        if name not in SKELETONS:
+            close = difflib.get_close_matches(name, SKELETONS, n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            raise SynthError(
+                f"campaign {spec.name!r}: unknown skeleton "
+                f"{name!r}{hint}"
+            )
+
+
+def _make_scenario(
+    spec: CampaignSpec,
+    index: int,
+    doses: Sequence[PropertyDose],
+    placement: str,
+    skeleton: str,
+    size: int,
+    magnitude: float,
+) -> Scenario:
+    """Canonicalize one sampled point into a runnable Scenario.
+
+    Placement and size are adjusted so the scenario is actually
+    launchable: pure-OpenMP mixes collapse to placement "all" (there is
+    no communicator to split), and undersized cells are bumped to the
+    smallest spec size that satisfies every step's rank floor.
+    """
+    doses = tuple(doses)
+    omp_only = doses and all(
+        d.spec().paradigm == "omp" for d in doses
+    )
+    if omp_only and skeleton == "none":
+        placement = "all"
+    scenario = Scenario(
+        campaign=spec.name,
+        index=index,
+        doses=doses,
+        placement=placement,
+        skeleton=skeleton,
+        size=size,
+        threads=spec.threads,
+        seed=derive_seed(spec.seed, index),
+        noise_magnitude=magnitude,
+    )
+    required = scenario.min_size()
+    split = placement in ("lower", "upper")
+    if scenario.paradigm == "mpi":
+        ok = size >= required and not (split and size % 2)
+        if not ok:
+            fits = [
+                s
+                for s in sorted(spec.sizes)
+                if s >= required and not (split and s % 2)
+            ]
+            size = fits[0] if fits else required + (required % 2)
+            scenario = Scenario(
+                campaign=spec.name,
+                index=index,
+                doses=doses,
+                placement=placement,
+                skeleton=skeleton,
+                size=size,
+                threads=spec.threads,
+                seed=scenario.seed,
+                noise_magnitude=magnitude,
+            )
+    return scenario
+
+
+def _grid_mixes(
+    spec: CampaignSpec, pool: Sequence[PropertySpec]
+) -> List[Tuple[str, ...]]:
+    """Deterministic mix axis: every single plus adjacent pairs."""
+    names = [p.name for p in pool]
+    mixes: List[Tuple[str, ...]] = [(n,) for n in names]
+    if spec.max_properties >= 2:
+        mixes.extend(
+            (names[i], names[i + 1])
+            for i in range(0, len(names) - 1, 2)
+        )
+    return mixes
+
+
+def _generate_grid(
+    spec: CampaignSpec, pool: Sequence[PropertySpec]
+) -> List[Scenario]:
+    # The mix axis varies fastest so short campaigns still sample the
+    # whole property pool before revisiting any mix.
+    combos = []
+    for band in spec.bands:
+        for placement in spec.placements:
+            for skeleton in spec.skeletons:
+                for size in spec.sizes:
+                    for magnitude in spec.noise.magnitudes:
+                        for mix in _grid_mixes(spec, pool):
+                            combos.append(
+                                (mix, band, placement, skeleton,
+                                 size, magnitude)
+                            )
+    out = []
+    for index in range(spec.scenarios):
+        mix, band, placement, skeleton, size, magnitude = combos[
+            index % len(combos)
+        ]
+        doses = [PropertyDose(name, band) for name in mix]
+        out.append(
+            _make_scenario(
+                spec, index, doses, placement, skeleton, size, magnitude
+            )
+        )
+    return out
+
+
+def _sample_scenario(
+    spec: CampaignSpec,
+    pool: Sequence[PropertySpec],
+    index: int,
+    rng: Lcg64,
+) -> Scenario:
+    k = 1 + rng.randrange(spec.max_properties)
+    k = min(k, len(pool))
+    chosen: List[int] = []
+    while len(chosen) < k:
+        pick = rng.randrange(len(pool))
+        if pick not in chosen:
+            chosen.append(pick)
+    doses = [
+        PropertyDose(
+            pool[i].name, spec.bands[rng.randrange(len(spec.bands))]
+        )
+        for i in chosen
+    ]
+    placement = spec.placements[rng.randrange(len(spec.placements))]
+    skeleton = spec.skeletons[rng.randrange(len(spec.skeletons))]
+    size = spec.sizes[rng.randrange(len(spec.sizes))]
+    magnitude = spec.noise.magnitudes[
+        rng.randrange(len(spec.noise.magnitudes))
+    ]
+    return _make_scenario(
+        spec, index, doses, placement, skeleton, size, magnitude
+    )
+
+
+def _generate_random(
+    spec: CampaignSpec, pool: Sequence[PropertySpec]
+) -> List[Scenario]:
+    rng = Lcg64(spec.seed).spawn(_RANDOM_STREAM)
+    return [
+        _sample_scenario(spec, pool, index, rng)
+        for index in range(spec.scenarios)
+    ]
+
+
+def generate_scenarios(
+    spec: CampaignSpec,
+    pool: Optional[Sequence[PropertySpec]] = None,
+) -> List[Scenario]:
+    """The base scenario list of one campaign (strategy-dispatched).
+
+    The adversarial strategy starts from the random sample; its guided
+    refinement rounds are appended during execution (see
+    :func:`.campaign.run_campaign`).
+    """
+    validate_skeletons(spec)
+    if pool is None:
+        pool = resolve_pool(spec)
+    if spec.strategy == "grid":
+        return _generate_grid(spec, pool)
+    return _generate_random(spec, pool)
+
+
+def adversarial_rng(spec: CampaignSpec, round_index: int) -> Lcg64:
+    """The dedicated stream of one adversarial refinement round."""
+    return Lcg64(spec.seed).spawn(_ADVERSARIAL_STREAM).spawn(round_index)
+
+
+def mutate_scenario(
+    spec: CampaignSpec,
+    scenario: Scenario,
+    index: int,
+    rng: Lcg64,
+) -> Scenario:
+    """Perturb one axis of a disagreement cell (adversarial search).
+
+    The mutant keeps the parent's property mix but moves one sampled
+    axis -- severity bands, placement, noise magnitude, or size -- to
+    probe the FP/FN boundary the parent sits near.  Its seed is derived
+    from its own (fresh) index, so the mutant's trace is independent.
+    """
+    doses = scenario.doses
+    placement = scenario.placement
+    magnitude = scenario.noise_magnitude
+    size = scenario.size
+    axis = rng.randrange(4)
+    if axis == 0 and doses:
+        doses = tuple(
+            PropertyDose(
+                d.property,
+                spec.bands[rng.randrange(len(spec.bands))],
+            )
+            for d in doses
+        )
+    elif axis == 1:
+        placement = spec.placements[
+            rng.randrange(len(spec.placements))
+        ]
+    elif axis == 2:
+        magnitude = spec.noise.magnitudes[
+            rng.randrange(len(spec.noise.magnitudes))
+        ]
+    else:
+        size = spec.sizes[rng.randrange(len(spec.sizes))]
+    return _make_scenario(
+        spec,
+        index,
+        doses,
+        placement,
+        scenario.skeleton,
+        size,
+        magnitude,
+    )

@@ -1,0 +1,194 @@
+"""Grade detectors against synthesized ground-truth manifests.
+
+Works from a campaign result (or its JSON artifact): for every analyzer
+property id, each cell is a trial -- expected properties count toward
+recall (TP/FN), properties neither expected nor allowed count toward
+precision (FP/TN).  Errored cells count as detecting nothing, matching
+the robustness harness.  Output is deterministic: the same campaign
+JSON always scores to the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DetectorScore:
+    """Confusion counts of one analyzer property over a campaign."""
+
+    property: str
+    tp: int
+    fn: int
+    fp: int
+    tn: int
+
+    @property
+    def recall(self) -> Optional[float]:
+        total = self.tp + self.fn
+        return self.tp / total if total else None
+
+    @property
+    def precision(self) -> Optional[float]:
+        total = self.tp + self.fp
+        return self.tp / total if total else None
+
+    def to_dict(self) -> dict:
+        return {
+            "property": self.property,
+            "tp": self.tp,
+            "fn": self.fn,
+            "fp": self.fp,
+            "tn": self.tn,
+            "recall": self.recall,
+            "precision": self.precision,
+        }
+
+
+@dataclass(frozen=True)
+class BandScore:
+    """Recall of expected findings within one severity band."""
+
+    band: str
+    opportunities: int
+    detections: int
+
+    @property
+    def recall(self) -> Optional[float]:
+        if not self.opportunities:
+            return None
+        return self.detections / self.opportunities
+
+    def to_dict(self) -> dict:
+        return {
+            "band": self.band,
+            "opportunities": self.opportunities,
+            "detections": self.detections,
+            "recall": self.recall,
+        }
+
+
+@dataclass(frozen=True)
+class ScoreReport:
+    """Per-detector and per-band grades of one campaign."""
+
+    campaign: str
+    cells: int
+    errors: int
+    detectors: Tuple[DetectorScore, ...]
+    bands: Tuple[BandScore, ...]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "format": "ats-synth-score",
+            "version": 1,
+            "campaign": self.campaign,
+            "cells": self.cells,
+            "errors": self.errors,
+            "detectors": [d.to_dict() for d in self.detectors],
+            "bands": [b.to_dict() for b in self.bands],
+        }
+
+    def to_json_str(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2) + "\n"
+
+    def format_table(self) -> str:
+        def pct(rate: Optional[float]) -> str:
+            return "    -" if rate is None else f"{rate:5.0%}"
+
+        lines = []
+        if self.campaign:
+            lines.append(f"campaign {self.campaign}")
+        lines.append(
+            f"{'detector':<28}{'TP':>6}{'FN':>6}{'FP':>6}{'TN':>6}"
+            f"{'recall':>9}{'prec':>7}"
+        )
+        for d in self.detectors:
+            lines.append(
+                f"{d.property:<28}{d.tp:>6}{d.fn:>6}{d.fp:>6}{d.tn:>6}"
+                f"{pct(d.recall):>9}{pct(d.precision):>7}"
+            )
+        for b in self.bands:
+            lines.append(
+                f"band {b.band:<23}{b.detections:>6}"
+                f"{b.opportunities - b.detections:>6}{'':>12}"
+                f"{pct(b.recall):>9}"
+            )
+        lines.append(
+            f"{self.cells} scenario cell(s)"
+            + (f", {self.errors} errored" if self.errors else "")
+        )
+        return "\n".join(lines) + "\n"
+
+
+def score_cells(cells: List[dict], campaign: str = "") -> ScoreReport:
+    """Score raw cell dicts (the campaign JSON's ``cells`` list)."""
+    properties: set = set()
+    for cell in cells:
+        properties.update(cell["manifest"]["expected"])
+        properties.update(cell["detected"])
+    counts: Dict[str, List[int]] = {
+        p: [0, 0, 0, 0] for p in sorted(properties)
+    }
+    band_counts: Dict[str, List[int]] = {}
+    errors = 0
+    for cell in cells:
+        if cell.get("error") is not None:
+            errors += 1
+        manifest = cell["manifest"]
+        expected = set(manifest["expected"])
+        allowed = set(manifest["allowed"])
+        detected = set(cell["detected"])
+        for prop, c in counts.items():
+            if prop in expected:
+                if prop in detected:
+                    c[0] += 1  # TP
+                else:
+                    c[1] += 1  # FN
+            elif prop not in allowed:
+                if prop in detected:
+                    c[2] += 1  # FP
+                else:
+                    c[3] += 1  # TN
+        for prop, band in sorted(
+            manifest.get("severity_bands", {}).items()
+        ):
+            bc = band_counts.setdefault(band, [0, 0])
+            bc[0] += 1
+            if prop in detected:
+                bc[1] += 1
+    return ScoreReport(
+        campaign=campaign,
+        cells=len(cells),
+        errors=errors,
+        detectors=tuple(
+            DetectorScore(p, c[0], c[1], c[2], c[3])
+            for p, c in counts.items()
+        ),
+        bands=tuple(
+            BandScore(band, bc[0], bc[1])
+            for band, bc in sorted(band_counts.items())
+        ),
+    )
+
+
+def score_campaign_json(payload: dict) -> ScoreReport:
+    """Score an ``ats-synth-campaign`` JSON payload."""
+    if payload.get("format") != "ats-synth-campaign":
+        raise ValueError(
+            "not an ats-synth-campaign artifact "
+            f"(format={payload.get('format')!r})"
+        )
+    return score_cells(
+        payload.get("cells", []),
+        campaign=payload.get("spec", {}).get("name", ""),
+    )
+
+
+def score_result(result) -> ScoreReport:
+    """Score a :class:`.campaign.CampaignResult` in memory."""
+    return score_cells(
+        [c.to_dict() for c in result.cells], campaign=result.spec.name
+    )

@@ -65,6 +65,28 @@ def test_register_duplicate_rejected():
         register_property(spec)
 
 
+def test_register_duplicate_raises_typed_error_with_both_specs():
+    from repro.core import DuplicatePropertyError
+
+    existing = get_property("late_sender")
+    clone = PropertySpec(
+        name="late_sender", func=lambda: None, paradigm="mpi", expected=()
+    )
+    with pytest.raises(DuplicatePropertyError) as exc:
+        register_property(clone)
+    assert exc.value.spec is clone
+    assert exc.value.existing is existing
+    # The collision must not shadow the original registration.
+    assert get_property("late_sender") is existing
+
+
+def test_has_property():
+    from repro.core import has_property
+
+    assert has_property("late_sender")
+    assert not has_property("nonexistent_property")
+
+
 def test_bad_paradigm_rejected():
     with pytest.raises(ValueError, match="paradigm"):
         PropertySpec(

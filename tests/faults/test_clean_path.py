@@ -1,0 +1,44 @@
+"""Magnitude-0 and empty fault plans must BE the clean path.
+
+Regression suite for the guarantee that ``FaultInjector.coerce``
+resolves no-op plans to ``None`` before any hook is armed: a run at
+noise magnitude 0 has to produce byte-for-byte the trace of a run
+with no ``faults=`` argument at all, not merely an equivalent one.
+"""
+
+from repro.core.registry import get_property
+from repro.faults import FaultInjector, FaultPlan
+from repro.trace.io import events_to_jsonl
+
+
+def test_empty_plan_coerces_to_exact_clean_path():
+    assert FaultInjector.coerce(FaultPlan()) is None
+    assert FaultInjector.coerce(FaultPlan(), seed=123) is None
+
+
+def test_magnitude_zero_plan_coerces_to_exact_clean_path():
+    scaled = FaultPlan.default().scaled(0.0)
+    assert all(p.is_noop for p in scaled.perturbations)
+    assert FaultInjector.coerce(scaled) is None
+    assert FaultInjector.coerce(scaled, seed=99) is None
+
+
+def _trace(spec, faults):
+    run = spec.run(size=4, num_threads=2, seed=11, faults=faults)
+    return events_to_jsonl(run.events)
+
+
+def test_clean_run_byte_identical_to_magnitude_zero_run():
+    spec = get_property("late_sender")
+    clean = _trace(spec, None)
+    assert _trace(spec, FaultPlan.default().scaled(0.0)) == clean
+    assert _trace(spec, FaultPlan()) == clean
+
+
+def test_clean_run_byte_identical_across_seeds_without_faults():
+    # Without an injector the seed must not leak into the trace: the
+    # clean path never touches the fault RNG streams.
+    spec = get_property("late_sender")
+    run_a = spec.run(size=4, num_threads=2, seed=1)
+    run_b = spec.run(size=4, num_threads=2, seed=2)
+    assert events_to_jsonl(run_a.events) == events_to_jsonl(run_b.events)

@@ -1,0 +1,179 @@
+"""Scenario generation: determinism, seed independence, ground truth."""
+
+import pytest
+
+from repro.core import get_property
+from repro.simkernel import Lcg64, derive_seed
+from repro.synth import (
+    CampaignSpec,
+    NoiseConfig,
+    SynthError,
+    generate_scenarios,
+    mutate_scenario,
+    adversarial_rng,
+)
+from repro.faults import FaultPlan
+
+
+def _spec(**over):
+    kwargs = dict(
+        name="gen", strategy="grid", scenarios=20,
+        sizes=(4,), threads=2, seed=5,
+    )
+    kwargs.update(over)
+    return CampaignSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+def test_same_spec_same_scenarios_and_manifests():
+    a = generate_scenarios(_spec())
+    b = generate_scenarios(_spec())
+    assert [s.to_dict() for s in a] == [s.to_dict() for s in b]
+    assert [s.manifest().to_dict() for s in a] == [
+        s.manifest().to_dict() for s in b
+    ]
+
+
+def test_random_strategy_is_deterministic_and_seed_sensitive():
+    a = generate_scenarios(_spec(strategy="random"))
+    b = generate_scenarios(_spec(strategy="random"))
+    c = generate_scenarios(_spec(strategy="random", seed=6))
+    assert [s.to_dict() for s in a] == [s.to_dict() for s in b]
+    assert [s.to_dict() for s in a] != [s.to_dict() for s in c]
+
+
+# ----------------------------------------------------------------------
+# seed independence (the derived-seed bugfix regression)
+# ----------------------------------------------------------------------
+
+def test_derive_seed_matches_lcg64_spawn():
+    for parent in (0, 1, 7, 2**61 + 5):
+        for index in (0, 1, 2, 1000):
+            child = Lcg64(derive_seed(parent, index))
+            spawned = Lcg64(parent).spawn(index)
+            assert [child.next_u64() for _ in range(4)] == [
+                spawned.next_u64() for _ in range(4)
+            ]
+
+
+def test_scenario_seeds_are_splitmix_derived_not_sequential():
+    scenarios = generate_scenarios(_spec(scenarios=50))
+    seeds = [s.seed for s in scenarios]
+    assert len(set(seeds)) == len(seeds)
+    # No low-entropy seed + i arithmetic: consecutive deltas vary.
+    deltas = {b - a for a, b in zip(seeds, seeds[1:])}
+    assert len(deltas) > 1
+    assert seeds == [derive_seed(5, i) for i in range(50)]
+
+
+def test_sibling_cells_produce_different_traces():
+    """Regression: sibling scenarios of one campaign must not share a
+    fault-injection stream -- identical noisy programs at different
+    indices have to draw different perturbations."""
+    from repro.faults import FaultInjector
+    from repro.trace.io import events_to_jsonl
+
+    spec = _spec(
+        scenarios=2,
+        properties=("imbalance_at_mpi_barrier",),
+        bands=("medium",),
+        placements=("all",),
+        noise=NoiseConfig(
+            plan=FaultPlan.default(), magnitudes=(0.7,)
+        ),
+    )
+    a, b = generate_scenarios(spec)
+    # Same sampled program, different index -> different derived seed.
+    assert [d.to_dict() for d in a.doses] == [d.to_dict() for d in b.doses]
+    assert a.seed != b.seed
+
+    def trace(scenario):
+        plan = spec.noise.plan.scaled(scenario.noise_magnitude)
+        injector = FaultInjector.coerce(plan, scenario.seed)
+        run = scenario.build_spec().run(
+            size=scenario.size,
+            num_threads=scenario.threads,
+            seed=scenario.seed,
+            faults=injector,
+        )
+        return events_to_jsonl(run.events)
+
+    assert trace(a) != trace(b)
+
+
+# ----------------------------------------------------------------------
+# ground truth / canonicalization
+# ----------------------------------------------------------------------
+
+def test_manifests_validate_and_match_registry_truth():
+    for scenario in generate_scenarios(_spec(scenarios=40)):
+        manifest = scenario.manifest()
+        manifest.validate()
+        expected = set()
+        for dose in scenario.doses:
+            expected.update(get_property(dose.property).expected)
+        assert set(manifest.expected) == expected
+        assert not (set(manifest.expected) & set(manifest.allowed))
+        for pid, region, ranks in scenario.manifest().locations:
+            assert pid in manifest.expected
+            assert ranks == scenario.pathological_ranks()
+
+
+def test_split_placements_get_even_feasible_sizes():
+    spec = _spec(scenarios=60, sizes=(2, 4), placements=("lower", "upper"))
+    for scenario in generate_scenarios(spec):
+        if scenario.paradigm == "mpi":
+            assert scenario.size >= scenario.min_size()
+            assert scenario.size % 2 == 0
+
+
+def test_omp_only_mix_collapses_to_omp_paradigm():
+    spec = _spec(
+        properties=("imbalance_at_omp_barrier",),
+        placements=("lower",),
+        scenarios=2,
+    )
+    scenario = generate_scenarios(spec)[0]
+    assert scenario.paradigm == "omp"
+    assert scenario.placement == "all"
+    assert scenario.min_size() == 1
+
+
+def test_unknown_property_gets_difflib_suggestion():
+    with pytest.raises(SynthError, match="late_sender"):
+        generate_scenarios(_spec(properties=("late_snder",)))
+
+
+def test_unknown_skeleton_rejected():
+    with pytest.raises(SynthError, match="skeleton"):
+        generate_scenarios(_spec(skeletons=("mapreduce",)))
+
+
+def test_grid_covers_property_pool_before_repeating():
+    spec = _spec(scenarios=10, bands=("low",), placements=("all",))
+    scenarios = generate_scenarios(spec)
+    first_props = [s.doses[0].property for s in scenarios]
+    assert len(set(first_props)) == len(first_props)
+
+
+def test_mutation_is_deterministic_and_moves_one_axis():
+    spec = _spec(
+        strategy="adversarial",
+        sizes=(4, 8),
+        noise=NoiseConfig(
+            plan=FaultPlan.default(), magnitudes=(0.0, 0.5)
+        ),
+    )
+    base = generate_scenarios(spec)[0]
+    m1 = mutate_scenario(spec, base, 100, adversarial_rng(spec, 0))
+    m2 = mutate_scenario(spec, base, 100, adversarial_rng(spec, 0))
+    assert m1 == m2
+    assert m1.index == 100
+    assert m1.seed == derive_seed(spec.seed, 100)
+    # The mix is preserved; only sampled axes move.
+    assert [d.property for d in m1.doses] == [
+        d.property for d in base.doses
+    ]
