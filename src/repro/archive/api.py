@@ -135,8 +135,8 @@ def run_identity(
 class Archive:
     """A trace archive rooted at one directory (created lazily)."""
 
-    def __init__(self, root: Union[str, Path]):
-        self.store = ArchiveStore(root)
+    def __init__(self, root: Union[str, Path], fsync: bool = False):
+        self.store = ArchiveStore(root, fsync=fsync)
 
     @property
     def root(self) -> Path:

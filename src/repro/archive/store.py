@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 import threading
 from pathlib import Path
@@ -40,6 +41,12 @@ from ..resilience.checkpoint import CheckpointError, CheckpointJournal
 from ..trace.io import gunzip_bytes, gzip_bytes
 
 MANIFEST_FORMAT = "ats-archive-manifest"
+
+
+def _chaos_injector():
+    """The installed host-fault injector, or None (see chaos.inject)."""
+    mod = sys.modules.get("repro.chaos.inject")
+    return None if mod is None else mod.active()
 
 
 class ArchiveError(Exception):
@@ -60,11 +67,16 @@ def canonical_json(obj) -> str:
 class ArchiveStore:
     """One archive directory: blobs + the run manifest journal."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path], fsync: bool = False):
         self.root = Path(root)
         self.objects = self.root / "objects"
+        #: durable mode: blob temp files are fsync'd before the rename
+        #: and manifest records before acknowledgment -- what the
+        #: crash-safe analysis service runs with.
+        self.fsync = fsync
         self._manifest = CheckpointJournal(
-            self.root / "manifest.jsonl", fmt=MANIFEST_FORMAT
+            self.root / "manifest.jsonl", fmt=MANIFEST_FORMAT,
+            fsync=fsync,
         )
         #: queued ``(run_id, payload)`` records while deferred (see
         #: :meth:`begin_deferred`); ``None`` means write-through.
@@ -89,12 +101,18 @@ class ArchiveStore:
             return False
         path.parent.mkdir(parents=True, exist_ok=True)
         compressed = gzip_bytes(data)
+        injector = _chaos_injector()
+        if injector is not None:
+            injector.blob_write(path, compressed)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".blob"
         )
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(compressed)
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -212,6 +230,11 @@ class ArchiveStore:
                 return self._manifest.load()
         except CheckpointError as exc:
             raise ArchiveError(str(exc)) from exc
+
+    def flush(self) -> None:
+        """Force buffered manifest records to disk (drain/shutdown)."""
+        with self._manifest_lock:
+            self._manifest.flush()
 
     def close(self) -> None:
         self._manifest.close()

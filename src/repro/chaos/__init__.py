@@ -1,0 +1,72 @@
+"""Deterministic chaos testing for the analysis service.
+
+Seeded, composable *host-level* fault plans (:mod:`repro.chaos.spec`),
+an in-process injector that fires them at exact counted IO sites
+(:mod:`repro.chaos.inject`), and a harness that runs a real ``ats
+serve`` subprocess under a plan -- SIGKILL and all -- then asserts the
+crash-safety invariants (:mod:`repro.chaos.harness`): no acknowledged
+job lost, no corrupt blob or manifest, recovered campaign artifacts
+byte-identical to an uninterrupted run, metrics still consistent.
+
+This package is the host-level sibling of :mod:`repro.faults`: faults
+perturbs simulations, chaos perturbs the service hosting them.
+
+The harness (which imports the service stack) loads lazily so that the
+low-level IO call sites can probe ``repro.chaos.inject`` through
+``sys.modules`` without dragging the whole service layer in.
+"""
+
+from .inject import (
+    ENV_VAR,
+    HostFaultInjector,
+    active,
+    install,
+    install_from_env,
+    uninstall,
+)
+from .spec import (
+    ArchiveWriteFault,
+    ChaosPlan,
+    DropConnection,
+    HostFault,
+    JournalWriteFault,
+    KillServer,
+    StuckJob,
+    TornJournalTail,
+    host_fault_from_dict,
+    mixed_plans,
+)
+
+__all__ = [
+    "ArchiveWriteFault",
+    "ChaosPlan",
+    "ChaosReport",
+    "ChaosRunResult",
+    "DropConnection",
+    "ENV_VAR",
+    "HostFault",
+    "HostFaultInjector",
+    "JournalWriteFault",
+    "KillServer",
+    "StuckJob",
+    "TornJournalTail",
+    "active",
+    "host_fault_from_dict",
+    "install",
+    "install_from_env",
+    "mixed_plans",
+    "run_chaos",
+    "run_chaos_battery",
+    "uninstall",
+]
+
+_HARNESS = ("ChaosReport", "ChaosRunResult", "run_chaos",
+            "run_chaos_battery")
+
+
+def __getattr__(name):
+    if name in _HARNESS:
+        from . import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

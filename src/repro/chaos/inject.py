@@ -1,0 +1,167 @@
+"""The in-process half of chaos delivery: armed, counted fault sites.
+
+A :class:`HostFaultInjector` is installed process-globally (usually by
+``ats serve`` reading the ``ATS_CHAOS`` environment variable the
+harness set) and consulted from three low-level sites:
+
+* :meth:`journal_record` -- every append-only journal record write
+  (service job journal, archive manifest, checkpoint journals) passes
+  through here; a :class:`~repro.chaos.spec.JournalWriteFault` makes
+  the *n*-th write raise, optionally after tearing a partial prefix
+  into the file, which is exactly the failure the journals' tail
+  healing is specified against;
+* :meth:`blob_write` -- archive blob writes; an
+  :class:`~repro.chaos.spec.ArchiveWriteFault` raises ``OSError``
+  (``ENOSPC`` by default) before any byte is written;
+* :meth:`execute` / :meth:`drop_connection` -- service-level sites for
+  stuck cells and dropped client connections.
+
+The call sites find the injector through ``sys.modules`` probes (see
+``repro.resilience.checkpoint._chaos_injector``), so a process that
+never imports :mod:`repro.chaos` pays nothing.  Counters are
+monotonic and lock-protected: given the same workload, the same plan
+fires at the same points.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from .spec import (
+    ArchiveWriteFault,
+    ChaosPlan,
+    DropConnection,
+    JournalWriteFault,
+    StuckJob,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "HostFaultInjector",
+    "active",
+    "install",
+    "install_from_env",
+    "uninstall",
+]
+
+#: the environment variable a chaos harness plants a plan in.
+ENV_VAR = "ATS_CHAOS"
+
+_active: Optional["HostFaultInjector"] = None
+
+
+def _os_error(name: str) -> OSError:
+    code = getattr(_errno, name, _errno.EIO)
+    return OSError(code, f"injected chaos fault ({name})")
+
+
+class HostFaultInjector:
+    """Counted delivery of a plan's injected faults (see module doc)."""
+
+    def __init__(self, plan: ChaosPlan, sleep=time.sleep):
+        self.plan = plan
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        #: site -> calls seen so far (1-based when compared to nth).
+        self.counts = {
+            "journal_record": 0,
+            "blob_write": 0,
+            "execute": 0,
+            "respond": 0,
+        }
+        self._journal_faults = [
+            f for f in plan.faults if isinstance(f, JournalWriteFault)
+        ]
+        self._blob_faults = [
+            f for f in plan.faults if isinstance(f, ArchiveWriteFault)
+        ]
+        self._stuck = [
+            f for f in plan.faults if isinstance(f, StuckJob)
+        ]
+        self._drops = [
+            f for f in plan.faults if isinstance(f, DropConnection)
+        ]
+
+    def _bump(self, site: str) -> int:
+        with self._lock:
+            self.counts[site] += 1
+            return self.counts[site]
+
+    @staticmethod
+    def _hits(fault, n: int) -> bool:
+        return fault.nth <= n < fault.nth + fault.count
+
+    # ------------------------------------------------------------------
+    # sites
+    # ------------------------------------------------------------------
+
+    def journal_record(self, path: Path, fh, line: str) -> None:
+        """Consulted before every journal record append; may raise."""
+        n = self._bump("journal_record")
+        for fault in self._journal_faults:
+            if self._hits(fault, n):
+                if fault.torn:
+                    cut = max(1, len(line) // 2)
+                    fh.write(line[:cut])
+                    fh.flush()
+                raise _os_error(fault.error)
+
+    def blob_write(self, path: Path, data: bytes) -> None:
+        """Consulted before every archive blob write; may raise."""
+        n = self._bump("blob_write")
+        for fault in self._blob_faults:
+            if self._hits(fault, n):
+                raise _os_error(fault.error)
+
+    def execute(self, kind: str) -> None:
+        """Consulted at job-execution start; may wedge the worker."""
+        n = self._bump("execute")
+        for fault in self._stuck:
+            if n == fault.nth:
+                self._sleep(fault.hold)
+
+    def drop_connection(self) -> bool:
+        """True when the current HTTP response should be dropped."""
+        n = self._bump("respond")
+        return any(self._hits(fault, n) for fault in self._drops)
+
+
+# ----------------------------------------------------------------------
+# process-global installation
+# ----------------------------------------------------------------------
+
+def active() -> Optional[HostFaultInjector]:
+    """The installed injector, or None (the fast path)."""
+    return _active
+
+
+def install(injector: HostFaultInjector) -> HostFaultInjector:
+    global _active
+    _active = injector
+    return injector
+
+
+def uninstall() -> None:
+    global _active
+    _active = None
+
+
+def install_from_env(environ=None) -> Optional[HostFaultInjector]:
+    """Arm the injector from ``ATS_CHAOS`` when present.
+
+    Called by ``ats serve`` at startup; the variable carries a
+    :meth:`ChaosPlan.to_dict` JSON payload.  Returns the installed
+    injector, or None when the variable is absent/empty.
+    """
+    import json
+    import os
+
+    raw = (environ or os.environ).get(ENV_VAR, "")
+    if not raw:
+        return None
+    plan = ChaosPlan.from_dict(json.loads(raw))
+    return install(HostFaultInjector(plan))

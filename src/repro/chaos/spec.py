@@ -1,0 +1,307 @@
+"""Host-level fault specifications for the chaos harness.
+
+The :mod:`repro.faults` package perturbs what happens *inside* a
+simulation; this module perturbs the host the analysis service runs
+on: processes get SIGKILLed, archive writes hit ``ENOSPC``, journal
+appends tear mid-record, client connections drop.  The design mirrors
+:class:`repro.faults.spec.FaultPlan` deliberately -- every fault is a
+small frozen value object, a :class:`ChaosPlan` composes any number of
+them with a seed, and all serialization is plain JSON so a plan can
+ride an environment variable into the server process it sabotages.
+
+Two delivery mechanisms share the plan:
+
+* **injected faults** (:class:`StuckJob`, :class:`ArchiveWriteFault`,
+  :class:`JournalWriteFault`, :class:`DropConnection`) are armed inside
+  the server process by :class:`repro.chaos.inject.HostFaultInjector`
+  and fire at exact, counted call sites -- the *n*-th blob write, the
+  *n*-th journal record -- so a seeded plan reproduces the same fault
+  at the same point on every run;
+* **external faults** (:class:`KillServer`, :class:`TornJournalTail`)
+  are applied by the harness from outside: a real ``SIGKILL`` against
+  a real PID, file surgery on the journal between kill and recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Tuple, Type
+
+from ..simkernel.rng import Lcg64
+
+__all__ = [
+    "ArchiveWriteFault",
+    "ChaosPlan",
+    "DropConnection",
+    "HostFault",
+    "JournalWriteFault",
+    "KillServer",
+    "StuckJob",
+    "TornJournalTail",
+    "host_fault_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class HostFault:
+    """Base class: one named host-level fault."""
+
+    kind = "host-fault"
+
+    #: faults the injector arms inside the server process.
+    injected = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            d[f.name] = list(value) if isinstance(value, tuple) else value
+        return d
+
+
+@dataclass(frozen=True)
+class KillServer(HostFault):
+    """SIGKILL the server once ``after_resolved`` jobs have resolved.
+
+    Applied by the harness, which polls ``/status`` until the resolved
+    count (done + failed) reaches the threshold and then kills the
+    process mid-flight -- no drain, no journal flush, exactly the crash
+    the durable journal exists for.
+    """
+
+    after_resolved: int = 1
+
+    kind = "kill_server"
+
+    def __post_init__(self) -> None:
+        if self.after_resolved < 0:
+            raise ValueError("after_resolved must be >= 0")
+
+
+@dataclass(frozen=True)
+class StuckJob(HostFault):
+    """The ``nth`` executed job wedges for ``hold`` wall-clock seconds.
+
+    Injected around the service's job execution, so when the kill
+    lands there is a genuinely in-flight job for recovery to deal
+    with (resume for campaigns, orphan/requeue otherwise).
+    """
+
+    nth: int = 1
+    hold: float = 3600.0
+
+    kind = "stuck_job"
+    injected = True
+
+    def __post_init__(self) -> None:
+        if self.nth < 1:
+            raise ValueError("nth must be >= 1")
+        if self.hold < 0:
+            raise ValueError("hold must be >= 0")
+
+
+@dataclass(frozen=True)
+class ArchiveWriteFault(HostFault):
+    """Blob writes ``nth .. nth+count-1`` raise ``OSError(errno)``.
+
+    Fires *before* the temp file is created, so the atomic
+    tmp+rename discipline guarantees no partial blob ever appears --
+    the write simply fails and the job reports the error.
+    """
+
+    nth: int = 1
+    count: int = 1
+    error: str = "ENOSPC"
+
+    kind = "archive_write_fault"
+    injected = True
+
+    def __post_init__(self) -> None:
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count must be >= 1")
+
+
+@dataclass(frozen=True)
+class JournalWriteFault(HostFault):
+    """Journal record ``nth`` fails -- cleanly, or as a torn write.
+
+    With ``torn`` the injector writes a prefix of the record before
+    raising, leaving exactly the partial final line the journal's
+    tail-healing is specified against.  Either way the exception
+    propagates, so the caller never acknowledges the record.
+    """
+
+    nth: int = 1
+    count: int = 1
+    torn: bool = False
+    error: str = "EIO"
+
+    kind = "journal_write_fault"
+    injected = True
+
+    def __post_init__(self) -> None:
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count must be >= 1")
+
+
+@dataclass(frozen=True)
+class TornJournalTail(HostFault):
+    """After the kill, cut ``drop_bytes`` off the service journal tail.
+
+    Harness-applied file surgery simulating a torn final write that the
+    kernel never completed: recovery must heal the partial record and
+    lose nothing that was acknowledged before it.
+    """
+
+    drop_bytes: int = 7
+
+    kind = "torn_journal_tail"
+
+    def __post_init__(self) -> None:
+        if self.drop_bytes < 1:
+            raise ValueError("drop_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
+class DropConnection(HostFault):
+    """Close connections ``nth .. nth+count-1`` before responding.
+
+    Exercises the client side of crash safety: an idempotent GET must
+    reconnect and retry; an interrupted submission must be observable
+    via ``/jobs/<id>`` after the fact.
+    """
+
+    nth: int = 1
+    count: int = 1
+
+    kind = "drop_connection"
+    injected = True
+
+    def __post_init__(self) -> None:
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count must be >= 1")
+
+
+_FAULT_TYPES: Dict[str, Type[HostFault]] = {
+    cls.kind: cls
+    for cls in (
+        KillServer, StuckJob, ArchiveWriteFault, JournalWriteFault,
+        TornJournalTail, DropConnection,
+    )
+}
+
+
+def host_fault_from_dict(d: Dict[str, Any]) -> HostFault:
+    kind = d.get("kind")
+    cls = _FAULT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown host fault kind {kind!r}")
+    kwargs = {k: v for k, v in d.items() if k != "kind"}
+    for f in fields(cls):
+        if f.name in kwargs and isinstance(kwargs[f.name], list):
+            kwargs[f.name] = tuple(kwargs[f.name])
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded composition of host faults applied to one service run."""
+
+    faults: Tuple[HostFault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if not isinstance(f, HostFault):
+                raise TypeError(f"not a HostFault: {f!r}")
+
+    @classmethod
+    def of(cls, *faults: HostFault, seed: int = 0) -> "ChaosPlan":
+        return cls(tuple(faults), seed=seed)
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.faults
+
+    @property
+    def injected_faults(self) -> Tuple[HostFault, ...]:
+        return tuple(f for f in self.faults if f.injected)
+
+    @property
+    def external_faults(self) -> Tuple[HostFault, ...]:
+        return tuple(f for f in self.faults if not f.injected)
+
+    def only(self, *kinds: Type[HostFault]) -> "ChaosPlan":
+        return ChaosPlan(
+            tuple(f for f in self.faults if isinstance(f, kinds)),
+            seed=self.seed,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ChaosPlan":
+        return cls(
+            tuple(host_fault_from_dict(f) for f in d.get("faults", ())),
+            seed=int(d.get("seed", 0)),
+        )
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "no-op plan"
+        return " + ".join(f.kind for f in self.faults)
+
+
+def mixed_plans(seed: int, count: int) -> Tuple[ChaosPlan, ...]:
+    """``count`` seeded plans cycling through the fault families.
+
+    The canonical acceptance battery: SIGKILL-mid-campaign, IO faults
+    on archive writes, torn journal records, stuck cells and dropped
+    connections, each parameterized from an :class:`Lcg64` stream
+    spawned off ``(seed, index)`` so run *i* of seed *s* is the same
+    plan on every host.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    plans = []
+    root = Lcg64(seed)
+    for index in range(count):
+        stream = root.spawn(index)
+        after = 1 + stream.randrange(4)
+        nth = 1 + stream.randrange(5)
+        family = index % 5
+        if family == 0:
+            faults: Tuple[HostFault, ...] = (
+                KillServer(after_resolved=after),
+            )
+        elif family == 1:
+            faults = (
+                ArchiveWriteFault(
+                    nth=nth, count=1 + stream.randrange(2)
+                ),
+                KillServer(after_resolved=after),
+            )
+        elif family == 2:
+            faults = (
+                JournalWriteFault(nth=nth, torn=True),
+                KillServer(after_resolved=after),
+            )
+        elif family == 3:
+            faults = (
+                StuckJob(nth=1 + stream.randrange(3)),
+                KillServer(after_resolved=after),
+                TornJournalTail(drop_bytes=1 + stream.randrange(24)),
+            )
+        else:
+            faults = (
+                DropConnection(nth=nth, count=1 + stream.randrange(2)),
+                KillServer(after_resolved=after),
+            )
+        plans.append(
+            ChaosPlan(faults, seed=Lcg64(seed).spawn(index).seed)
+        )
+    return tuple(plans)

@@ -969,52 +969,76 @@ def _service_call(fn):
     """Run one client call with CLI-grade connection errors."""
     from urllib.error import URLError
 
-    from .service import ServiceHTTPError
+    from .service import ServiceHTTPError, ServiceUnreachable
 
     try:
         return fn()
     except ServiceHTTPError as exc:
         raise CliError(str(exc)) from None
+    except ServiceUnreachable as exc:
+        raise CliError(f"cannot reach service: {exc}") from None
     except (URLError, OSError) as exc:
         raise CliError(f"cannot reach service: {exc}") from None
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    import time
+    import signal
+    import threading
 
     from .archive import Archive
+    from .chaos.inject import install_from_env
     from .service import AnalysisService, run_service_in_thread
     from .service.dashboard import render_watch
 
     set_metrics_enabled(True)
     if args.spans:
         set_spans_enabled(True)
+    # fault-injection harness hook: a no-op unless ATS_CHAOS carries a
+    # plan (the chaos harness sets it on the server it supervises).
+    install_from_env()
+    durable = args.state_dir is not None
     service = AnalysisService(
-        Archive(args.archive),
+        Archive(args.archive, fsync=durable),
         max_workers=args.workers,
         rate=args.rate,
         burst=args.burst,
+        state_dir=args.state_dir,
+        recover=args.recover,
     )
     handle = run_service_in_thread(
         service, host=args.host, port=args.port
     )
     print(f"ats service listening on {handle.url} "
           f"(archive {service.archive.root})")
+    if durable:
+        print(f"durable state in {service.state_dir}"
+              + (
+                  "  (recovered {recovered}, requeued {requeued}, "
+                  "orphaned {orphaned})".format(**service.counts)
+                  if args.recover else ""
+              ))
     print("endpoints: /submit-run /analyze /diff /campaign /synth "
           "/history /jobs/<id> /status /dashboard /metrics "
           "/metrics.json /drain")
     sys.stdout.flush()
+    # SIGTERM = graceful shutdown: stop intake, wait for in-flight
+    # jobs, flush the journal + manifest, then exit -- same path as
+    # Ctrl-C, so orchestrators get drain semantics for free.
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
     try:
-        while True:
+        while not stop.is_set():
             if args.watch:
                 frame = render_watch(service.status())
                 sys.stdout.write("\x1b[2J\x1b[H" + frame)
                 sys.stdout.flush()
-            time.sleep(args.interval)
+            stop.wait(args.interval)
     except KeyboardInterrupt:
         print("\ninterrupt: draining...", file=sys.stderr)
     handle.stop()
+    service.close()
     print("service stopped (drained)")
+    sys.stdout.flush()
     return 0
 
 
@@ -1114,8 +1138,25 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
     client = _service_client(args)
     frames = 0
+    outages = 0
     while True:
-        status = _service_call(client.status)
+        try:
+            # the client already rides out brief restarts with its
+            # seeded backoff; this outer loop covers the long ones, so
+            # a watch session survives any service restart.
+            status = _service_call(client.status)
+        except CliError as exc:
+            if args.no_reconnect:
+                raise
+            outages += 1
+            sys.stdout.write(f"[watch] {exc}; reconnecting...\n")
+            sys.stdout.flush()
+            try:
+                time.sleep(min(5.0, args.interval * outages))
+            except KeyboardInterrupt:
+                return 0
+            continue
+        outages = 0
         frame = render_watch(status)
         if args.plain:
             sys.stdout.write(frame)
@@ -1129,6 +1170,39 @@ def cmd_watch(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
         except KeyboardInterrupt:
             return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .chaos.harness import run_chaos_battery
+
+    def progress(result):
+        mark = "ok" if result.ok else "FAIL"
+        print(f"[{mark}] run {result.index}: {result.plan} "
+              f"({result.acknowledged} acked, "
+              f"{result.duration:.1f}s)")
+        for violation in result.violations:
+            print(f"     violation: {violation}")
+        sys.stdout.flush()
+
+    report = run_chaos_battery(
+        seed=args.seed,
+        runs=args.runs,
+        workdir=args.workdir,
+        timeout=args.timeout,
+        keep=args.keep,
+        progress=progress,
+    )
+    print(report.format(), end="")
+    if args.json_out:
+        payload = json.dumps(report.to_dict(), indent=2) + "\n"
+        if args.json_out == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1453,6 +1527,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="redraw the live dashboard while serving")
     p.add_argument("--interval", type=float, default=1.0,
                    help="dashboard refresh seconds (default 1)")
+    p.add_argument("--state-dir", default=None,
+                   help="durable mode: journal every accepted job "
+                   "(fsync'd) and checkpoint campaigns here")
+    p.add_argument("--recover", action="store_true",
+                   help="replay the --state-dir journal: restore "
+                   "finished jobs, requeue interrupted ones")
     p.set_defaults(fn=cmd_serve)
 
     def _add_server_options(parser: argparse.ArgumentParser) -> None:
@@ -1534,7 +1614,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="frames to render before exiting (0 = forever)")
     p.add_argument("--plain", action="store_true",
                    help="no screen clearing (scripts/tests)")
+    p.add_argument("--no-reconnect", action="store_true",
+                   help="exit instead of retrying when the service "
+                   "restarts or goes away")
     p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser(
+        "chaos",
+        help="crash-test a service under a seeded host-fault plan",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="battery seed (default 0)")
+    p.add_argument("--runs", type=int, default=5,
+                   help="seeded plans to execute (default 5)")
+    p.add_argument("--workdir", default=None,
+                   help="scratch root (default: a temp dir, removed "
+                   "on success)")
+    p.add_argument("--keep", action="store_true",
+                   help="keep per-run scratch dirs and server logs")
+    p.add_argument("--timeout", type=float, default=180.0,
+                   help="per-run wall-clock budget (default 180s)")
+    p.add_argument("--json", dest="json_out", default=None,
+                   help="also write the report as JSON ('-' = stdout)")
+    p.set_defaults(fn=cmd_chaos)
 
     return parser
 

@@ -445,6 +445,11 @@ class ServiceMetrics:
         "queue_wait_seconds",
         "cache_hits",
         "cache_misses",
+        "journal_records",
+        "recovered",
+        "expired",
+        "breaker_transitions",
+        "breaker_open_cells",
     )
 
     def __init__(self, reg: MetricsRegistry) -> None:
@@ -497,6 +502,28 @@ class ServiceMetrics:
         self.cache_misses = reg.counter(
             "ats_service_cache_misses_total",
             "Archive analysis-cache misses accumulated across jobs",
+        )
+        self.journal_records = reg.counter(
+            "ats_service_journal_records_total",
+            "State transitions appended to the durable job journal",
+        )
+        self.recovered = reg.counter(
+            "ats_service_recovered_jobs_total",
+            "Jobs replayed from the journal at restart, by outcome",
+            labelnames=("outcome",),
+        )
+        self.expired = reg.counter(
+            "ats_service_expired_jobs_total",
+            "Queued jobs cancelled because their client deadline passed",
+        )
+        self.breaker_transitions = reg.counter(
+            "ats_service_breaker_transitions_total",
+            "Circuit-breaker state transitions, by new state",
+            labelnames=("state",),
+        )
+        self.breaker_open_cells = reg.gauge(
+            "ats_service_breaker_open_cells",
+            "Executor cells currently evicted (open or half-open)",
         )
 
 

@@ -17,11 +17,24 @@ supersedes its earlier outcome.
 from __future__ import annotations
 
 import json
+import os
+import sys
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 _FORMAT = "ats-checkpoint"
 _VERSION = 1
+
+
+def _chaos_injector():
+    """The installed host-fault injector, or None.
+
+    Looked up through ``sys.modules`` so the resilience layer never
+    imports :mod:`repro.chaos`: unless a chaos harness explicitly
+    installed an injector, this is one dict probe and a ``None``.
+    """
+    mod = sys.modules.get("repro.chaos.inject")
+    return None if mod is None else mod.active()
 
 
 class CheckpointError(Exception):
@@ -37,10 +50,22 @@ class CheckpointJournal:
     and a journal refuses to load a file of a different format.
     """
 
-    def __init__(self, path: Union[str, Path], fmt: str = _FORMAT):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fmt: str = _FORMAT,
+        fsync: bool = False,
+    ):
         self.path = Path(path)
         self.fmt = fmt
+        #: with ``fsync`` the journal survives power loss, not just
+        #: process death: every record is fdatasync'd before the write
+        #: is considered acknowledged.
+        self.fsync = fsync
         self._fh = None
+        #: set when a failed append could not be rolled back; further
+        #: appends would corrupt the file mid-stream, so they refuse.
+        self._broken = False
 
     # ------------------------------------------------------------------
     # reading (resume)
@@ -54,7 +79,15 @@ class CheckpointJournal:
         """
         if not self.path.exists():
             return {}
-        lines = self.path.read_text().splitlines()
+        text = self.path.read_text()
+        lines = text.splitlines()
+        if lines and not text.endswith("\n"):
+            # the final write never reached its newline terminator, so
+            # it was never acknowledged -- even when the JSON happens
+            # to be complete.  Dropping it here keeps read-only
+            # recovery consistent with ``_heal_partial_tail``, which
+            # cuts the same line before appending.
+            lines = lines[:-1]
         if not lines:
             return {}
         try:
@@ -120,16 +153,59 @@ class CheckpointJournal:
                 fh.truncate(cut)
 
     def record(self, key: str, payload: dict) -> None:
-        """Append one completed cell and flush it to the OS immediately."""
-        fh = self._open()
-        fh.write(
+        """Append one completed cell and flush it to the OS immediately.
+
+        With :attr:`fsync` the record is also forced to stable storage
+        before returning, so a caller that acknowledges work *after*
+        ``record()`` never acknowledges something a crash can lose.
+
+        A failed write (disk error, injected chaos fault) is **rolled
+        back**: the file is truncated to its pre-record length, so a
+        journal that keeps running after an IO error never buries a
+        torn record mid-file -- the one corruption shape ``load()``
+        cannot heal.  The exception then propagates (the record is not
+        acknowledged).  If even the rollback fails, the journal marks
+        itself broken and refuses further appends, keeping the torn
+        record on the final line where tail healing handles it.
+        """
+        if self._broken:
+            raise CheckpointError(
+                f"{self.path}: journal is broken after an unrolled-"
+                "back write failure; refusing to append"
+            )
+        line = (
             json.dumps({"key": key, "payload": payload}, sort_keys=True)
             + "\n"
         )
+        fh = self._open()
         fh.flush()
+        start = fh.tell()
+        try:
+            injector = _chaos_injector()
+            if injector is not None:
+                injector.journal_record(self.path, fh, line)
+            fh.write(line)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        except BaseException:
+            try:
+                fh.truncate(start)
+                fh.seek(start)
+            except OSError:
+                self._broken = True
+            raise
+
+    def flush(self) -> None:
+        """Force buffered records to disk (fsync'd when enabled)."""
+        if self._fh is not None:
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         if self._fh is not None:
+            self.flush()
             self._fh.close()
             self._fh = None
 

@@ -24,13 +24,27 @@ while it runs.  The layers, bottom up:
 * :mod:`~repro.service.client` -- the urllib client the CLI, bench
   and tests use.
 
-See ``docs/SERVICE.md`` for the HTTP contract and operational notes.
+Durability (``--state-dir``): :mod:`~repro.service.journal` appends
+every accepted job and state transition to an fsync'd journal;
+:meth:`AnalysisService._recover` replays it after a restart (restore
+terminal jobs, requeue interrupted ones through the checkpoint/resume
+path, orphan the unresolvable); :mod:`~repro.service.breaker` evicts
+executor cells that crash repeatedly.  See ``docs/SERVICE.md`` and
+``docs/CHAOS.md``.
 """
 
-from .client import ServiceClient, ServiceHTTPError
+from .breaker import BreakerOpen, CircuitBreaker
+from .client import ServiceClient, ServiceHTTPError, ServiceUnreachable
 from .dashboard import render_html, render_watch
 from .http import ServiceHTTP, ServiceHandle, run_service_in_thread
-from .jobs import JOB_KINDS, JOB_STATES, CampaignProgress, Job
+from .jobs import (
+    JOB_KINDS,
+    JOB_STATES,
+    TERMINAL_STATES,
+    CampaignProgress,
+    Job,
+)
+from .journal import ServiceJournal, ServiceJournalError
 from .ratelimit import RateLimiter, TokenBucket
 from .server import (
     AnalysisService,
@@ -41,7 +55,9 @@ from .server import (
 
 __all__ = [
     "AnalysisService",
+    "BreakerOpen",
     "CampaignProgress",
+    "CircuitBreaker",
     "JOB_KINDS",
     "JOB_STATES",
     "Job",
@@ -53,6 +69,10 @@ __all__ = [
     "ServiceHTTP",
     "ServiceHTTPError",
     "ServiceHandle",
+    "ServiceJournal",
+    "ServiceJournalError",
+    "ServiceUnreachable",
+    "TERMINAL_STATES",
     "TokenBucket",
     "render_html",
     "render_watch",

@@ -28,6 +28,17 @@ def _fmt_ratio(ratio: Optional[float]) -> str:
     return "-" if ratio is None else f"{ratio:.0%}"
 
 
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "eta -"
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"eta {seconds:.0f}s"
+    if seconds < 3600:
+        return f"eta {seconds / 60:.1f}m"
+    return f"eta {seconds / 3600:.1f}h"
+
+
 def _campaign_bar(snap: dict, width: int = 30) -> str:
     total = snap.get("total") or 0
     resolved = snap.get("done", 0) + snap.get("failed", 0)
@@ -56,6 +67,22 @@ def render_watch(status: dict) -> str:
         f"{counts.get('cache_misses', 0)} misses "
         f"({_fmt_ratio(status.get('cache_hit_ratio'))})",
     ]
+    if status.get("durable"):
+        lines.append(
+            f"  durable: journal at {status.get('state_dir', '?')}"
+            f"  ({counts.get('recovered', 0)} recovered, "
+            f"{counts.get('requeued', 0)} requeued, "
+            f"{counts.get('orphaned', 0)} orphaned, "
+            f"{counts.get('expired', 0)} expired)"
+        )
+    breakers = status.get("breakers") or []
+    for cell in breakers:
+        lines.append(
+            f"  breaker {cell.get('state', '?'):<9} "
+            f"{cell.get('cell', '?')}  "
+            f"({cell.get('failures', 0)} failures, "
+            f"retry in {cell.get('retry_after', 0.0):.0f}s)"
+        )
     latency = status.get("latency")
     if latency:
         lines.append("  latency (p50 / p99):")
@@ -73,7 +100,8 @@ def render_watch(status: dict) -> str:
             f"  campaign {snap.get('job_id', '?')}: "
             f"{_campaign_bar(snap)} {resolved}/{snap.get('total', 0)}"
             f"  (retried {snap.get('retried', 0)}, "
-            f"failed {snap.get('failed', 0)})"
+            f"failed {snap.get('failed', 0)}, "
+            f"{_fmt_eta(snap.get('eta_seconds'))})"
         )
         for event in list(snap.get("recent", []))[-3:]:
             lines.append(
@@ -116,6 +144,8 @@ cache hit ratio {cache}</p>
 <tr><td>{submitted}</td><td>{executed}</td><td>{coalesced}</td>
 <td>{failed}</td><td>{rate_limited}</td></tr>
 </table>
+{durable}
+{breakers}
 {latency}
 {campaigns}
 <p>endpoints: <a href="/status">/status</a> &middot;
@@ -159,16 +189,54 @@ def _campaign_blocks(campaigns) -> str:
         blocks.append(
             "<p>campaign {0}: <span class=\"bar\">"
             "<div style=\"width:{1}%\"></div></span> "
-            "{2}/{3} (retried {4}, failed {5})</p>".format(
+            "{2}/{3} (retried {4}, failed {5}, {6})</p>".format(
                 _html.escape(str(snap.get("job_id", "?"))),
                 pct,
                 resolved,
                 total,
                 snap.get("retried", 0),
                 snap.get("failed", 0),
+                _html.escape(_fmt_eta(snap.get("eta_seconds"))),
             )
         )
     return "".join(blocks)
+
+
+def _durable_block(status: dict) -> str:
+    if not status.get("durable"):
+        return ""
+    counts = status.get("counts", {})
+    return (
+        "<p>durable: journal at {0} ({1} recovered, {2} requeued, "
+        "{3} orphaned, {4} expired)</p>".format(
+            _html.escape(str(status.get("state_dir", "?"))),
+            counts.get("recovered", 0),
+            counts.get("requeued", 0),
+            counts.get("orphaned", 0),
+            counts.get("expired", 0),
+        )
+    )
+
+
+def _breaker_table(breakers) -> str:
+    if not breakers:
+        return ""
+    rows = [
+        "<table><tr><th>evicted cell</th><th>state</th>"
+        "<th>failures</th><th>retry in</th></tr>"
+    ]
+    for cell in breakers:
+        rows.append(
+            "<tr><td>{0}</td><td>{1}</td><td>{2}</td>"
+            "<td>{3:.0f}s</td></tr>".format(
+                _html.escape(str(cell.get("cell", "?"))),
+                _html.escape(str(cell.get("state", "?"))),
+                cell.get("failures", 0),
+                cell.get("retry_after", 0.0),
+            )
+        )
+    rows.append("</table>")
+    return "".join(rows)
 
 
 def render_html(status: dict) -> str:
@@ -189,6 +257,8 @@ def render_html(status: dict) -> str:
         coalesced=counts.get("coalesced", 0),
         failed=counts.get("failed", 0),
         rate_limited=counts.get("rate_limited", 0),
+        durable=_durable_block(status),
+        breakers=_breaker_table(status.get("breakers")),
         latency=_latency_table(status.get("latency")),
         campaigns=_campaign_blocks(status.get("campaigns")),
     )

@@ -42,6 +42,7 @@ import asyncio
 import itertools
 import json
 import math
+import sys
 import threading
 import time
 from typing import Optional, Tuple
@@ -49,6 +50,7 @@ from typing import Optional, Tuple
 from ..obs.export import to_json_str, to_prometheus
 from ..obs.instruments import service_metrics
 from ..obs.spans import span_log, spans_enabled
+from .breaker import BreakerOpen
 from .dashboard import render_html
 from .server import (
     AnalysisService,
@@ -76,6 +78,11 @@ def _json_bytes(payload: dict) -> bytes:
     return (json.dumps(payload) + "\n").encode("utf-8")
 
 
+def _chaos_injector():
+    mod = sys.modules.get("repro.chaos.inject")
+    return None if mod is None else mod.active()
+
+
 class _Request:
     __slots__ = (
         "method", "path", "query", "headers", "body", "request_id",
@@ -98,6 +105,35 @@ class _Request:
 
     def tenant(self) -> str:
         return self.headers.get("x-tenant", "default")
+
+    def deadline(self) -> Optional[float]:
+        """Client deadline in seconds, from ``X-Deadline-Ms``.
+
+        The header wins; a ``deadline`` body key (seconds) is the
+        JSON-only fallback.  Malformed or non-positive values raise
+        :class:`~repro.service.server.JobError` (a 400), because a
+        silently-dropped deadline is worse than a rejected request.
+        """
+        raw = self.headers.get("x-deadline-ms")
+        if raw is not None:
+            try:
+                value = float(raw) / 1000.0
+            except ValueError:
+                raise JobError(
+                    f"X-Deadline-Ms is not a number: {raw!r}"
+                ) from None
+        elif isinstance(self.body, dict) and "deadline" in self.body:
+            try:
+                value = float(self.body["deadline"])
+            except (TypeError, ValueError):
+                raise JobError(
+                    "deadline must be a number of seconds"
+                ) from None
+        else:
+            return None
+        if value <= 0:
+            raise JobError("deadline must be positive")
+        return value
 
     def flag(self, name: str, default: bool = False) -> bool:
         raw = self.query.get(name)
@@ -211,6 +247,12 @@ class ServiceHTTP:
     async def _respond(
         self, writer, request, status: int, payload, headers: dict
     ) -> None:
+        injector = _chaos_injector()
+        if injector is not None and injector.drop_connection():
+            # chaos: tear the socket down before the response bytes
+            # leave -- the client sees a reset mid-request.
+            writer.transport.abort()
+            raise ConnectionResetError("chaos: connection dropped")
         if isinstance(payload, (dict, list)):
             body = _json_bytes(payload)
             ctype = "application/json"
@@ -252,6 +294,13 @@ class ServiceHTTP:
             status, payload, headers = await handler(request)
         except RateLimited as exc:
             status = 429
+            payload = {"error": str(exc),
+                       "retry_after": exc.retry_after}
+            headers = {"Retry-After": str(
+                max(1, math.ceil(exc.retry_after))
+            )}
+        except BreakerOpen as exc:
+            status = 503
             payload = {"error": str(exc),
                        "retry_after": exc.retry_after}
             headers = {"Retry-After": str(
@@ -329,6 +378,7 @@ class ServiceHTTP:
             body,
             tenant=request.tenant(),
             request_id=request.request_id,
+            deadline=request.deadline(),
         )
         if request.flag("wait"):
             await self._await_job(job)
@@ -384,9 +434,18 @@ class ServiceHTTP:
         return 200, {"ok": True}, {}
 
     async def _handle_drain(self, request):
+        body = request.json()
+        try:
+            timeout = float(body.get("timeout", 30.0))
+        except (TypeError, ValueError):
+            return 400, {"error": "timeout must be a number"}, {}
         loop = asyncio.get_running_loop()
+        # drain() itself flushes the journal + archive manifest before
+        # returning, so "drained: true" means the durable state is on
+        # disk -- the caller may kill the process the moment it reads
+        # this response.
         drained = await loop.run_in_executor(
-            None, self.service.drain, 30.0
+            None, self.service.drain, timeout
         )
         return 200, {
             "drained": drained,

@@ -23,7 +23,6 @@ and the dashboards render while a campaign is still running.
 
 from __future__ import annotations
 
-import itertools
 import threading
 import time
 from collections import deque
@@ -32,21 +31,66 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 __all__ = [
     "JOB_KINDS",
     "JOB_STATES",
+    "TERMINAL_STATES",
     "CampaignProgress",
     "Job",
+    "advance_job_ids",
 ]
 
 #: every job kind the service executes.
 JOB_KINDS = ("run", "analyze", "diff", "history", "campaign", "synth")
 
-#: lifecycle: queued -> running -> done | failed.
-JOB_STATES = ("queued", "running", "done", "failed")
+#: lifecycle: queued -> running -> done | failed.  Two further terminal
+#: states exist only on the durability path: ``expired`` (a queued
+#: job's client deadline passed before a worker picked it up) and
+#: ``orphaned`` (a journaled job whose spec could not be resolved
+#: after a restart -- kept visible instead of silently dropped).
+JOB_STATES = (
+    "queued", "running", "done", "failed", "expired", "orphaned",
+)
 
-_ids = itertools.count(1)
+#: states a job can never leave.
+TERMINAL_STATES = ("done", "failed", "expired", "orphaned")
+
+
+class _IdSource:
+    """Monotonic job-id counter that recovery can advance past.
+
+    Replays of a durable journal restore jobs with their original ids;
+    the counter then resumes *after* the highest recovered id so a
+    restarted service never hands out an id twice.
+    """
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._lock = threading.Lock()
+
+    def take(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    def advance_past(self, value: int) -> None:
+        with self._lock:
+            if value >= self._next:
+                self._next = value + 1
+
+
+_ids = _IdSource()
 
 
 def _next_job_id() -> str:
-    return f"job-{next(_ids):06d}"
+    return f"job-{_ids.take():06d}"
+
+
+def advance_job_ids(job_id: str) -> None:
+    """Ensure future ids sort after ``job_id`` (journal recovery)."""
+    try:
+        numeric = int(job_id.rsplit("-", 1)[-1])
+    except (ValueError, IndexError):
+        return
+    _ids.advance_past(numeric)
 
 
 class Job:
@@ -55,7 +99,7 @@ class Job:
     __slots__ = (
         "id", "kind", "params", "tenant", "request_id", "state",
         "result", "error", "coalesced", "coalesce_key",
-        "created", "started", "finished",
+        "created", "started", "finished", "deadline", "recovered",
         "_done_event", "_callbacks", "_lock",
     )
 
@@ -66,10 +110,14 @@ class Job:
         tenant: str = "default",
         request_id: str = "",
         coalesce_key: Optional[Tuple] = None,
+        deadline: Optional[float] = None,
+        job_id: Optional[str] = None,
     ):
         if kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {kind!r}")
-        self.id = _next_job_id()
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        self.id = job_id if job_id is not None else _next_job_id()
         self.kind = kind
         self.params = params
         self.tenant = tenant
@@ -81,6 +129,13 @@ class Job:
         self.coalesced = 0
         self.coalesce_key = coalesce_key
         self.created = time.monotonic()
+        #: absolute monotonic instant the client stops caring; the
+        #: queue cancels jobs it cannot start before their deadline.
+        self.deadline = (
+            None if deadline is None else self.created + deadline
+        )
+        #: True when this record was rebuilt from a durable journal.
+        self.recovered = False
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
         self._done_event = threading.Event()
@@ -93,24 +148,41 @@ class Job:
 
     @property
     def done(self) -> bool:
-        return self.state in ("done", "failed")
+        return self.state in TERMINAL_STATES
 
     def mark_running(self) -> None:
         self.state = "running"
         self.started = time.monotonic()
 
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True when the client deadline passed before execution."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
     def resolve(
-        self, result: Optional[dict], error: Optional[str]
+        self,
+        result: Optional[dict],
+        error: Optional[str],
+        state: Optional[str] = None,
     ) -> None:
         """Finish the job and fire every completion callback.
 
-        Callbacks registered after resolution fire immediately from
+        ``state`` overrides the default done/failed mapping for the
+        durability terminals (``expired``, ``orphaned``).  Callbacks
+        registered after resolution fire immediately from
         :meth:`add_done_callback`, so there is no window where a
         late awaiter misses the result.
         """
+        if state is not None and state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal state: {state!r}")
         with self._lock:
             self.finished = time.monotonic()
-            if error is None:
+            if state is not None:
+                self.state = state
+                self.result = result
+                self.error = error
+            elif error is None:
                 self.state = "done"
                 self.result = result
             else:
@@ -121,6 +193,28 @@ class Job:
         self._done_event.set()
         for callback in callbacks:
             callback(self)
+
+    @classmethod
+    def restore(cls, job_id: str, payload: dict) -> "Job":
+        """Rebuild a *terminal* job from its durable-journal payload.
+
+        Restart recovery uses this so ``GET /jobs/<id>`` keeps
+        answering for work that finished before the crash.
+        """
+        job = cls(
+            payload["kind"],
+            dict(payload.get("params") or {}),
+            tenant=payload.get("tenant", "default"),
+            request_id=payload.get("request_id", ""),
+            job_id=job_id,
+        )
+        job.recovered = True
+        job.resolve(
+            payload.get("result"),
+            payload.get("error"),
+            state=payload.get("state", "failed"),
+        )
+        return job
 
     # ------------------------------------------------------------------
     # waiting
@@ -170,6 +264,10 @@ class Job:
                 else time.monotonic() - self.created
             ),
         }
+        if self.recovered:
+            out["recovered"] = True
+        if self.deadline is not None and not self.done:
+            out["deadline_remaining"] = self.deadline - time.monotonic()
         if self.error is not None:
             out["error"] = self.error
         if include_result and self.result is not None:
@@ -194,6 +292,8 @@ class CampaignProgress:
     __slots__ = (
         "job_id", "total", "started", "done", "failed",
         "retried", "resumed", "recent", "_lock",
+        "_first_start_ts", "_last_event_ts", "_cell_started_ts",
+        "_cell_seconds", "_cells_timed",
     )
 
     def __init__(self, job_id: str, total: int = 0):
@@ -207,33 +307,94 @@ class CampaignProgress:
         #: most recent events, newest last (dashboard tail).
         self.recent: deque = deque(maxlen=16)
         self._lock = threading.Lock()
+        #: wall-time history feeding the ETA estimate: when the first
+        #: cell started, when the latest event landed, and the summed
+        #: per-cell wall time of every resolved cell.
+        self._first_start_ts: Optional[float] = None
+        self._last_event_ts: Optional[float] = None
+        self._cell_started_ts: Dict[str, float] = {}
+        self._cell_seconds = 0.0
+        self._cells_timed = 0
 
     def on_event(self, event: dict) -> None:
         """Supervisor ``on_event`` callback (see PROGRESS_EVENTS)."""
         with self._lock:
             name = event.get("event")
+            key = event.get("key", "")
+            ts = event.get("ts")
+            if ts is not None:
+                if self._first_start_ts is None:
+                    self._first_start_ts = ts
+                self._last_event_ts = ts
             if name == "cell-started":
                 if event.get("attempt", 1) == 1:
                     self.started += 1
+                if ts is not None:
+                    self._cell_started_ts[key] = ts
             elif name == "cell-retry":
                 self.retried += 1
             elif name == "cell-done":
                 self.done += 1
+                self._time_cell(key, ts)
             elif name == "cell-quarantined":
                 self.failed += 1
+                self._time_cell(key, ts)
             elif name == "cell-resumed":
                 self.resumed += 1
             self.recent.append(
                 {
                     "event": name,
-                    "key": event.get("key", ""),
-                    "ts": event.get("ts"),
+                    "key": key,
+                    "ts": ts,
                 }
             )
 
+    def _time_cell(self, key: str, ts: Optional[float]) -> None:
+        started = self._cell_started_ts.pop(key, None)
+        if started is None or ts is None:
+            return
+        self._cell_seconds += max(0.0, ts - started)
+        self._cells_timed += 1
+
+    def _eta(self) -> dict:
+        """Throughput + ETA derived from per-cell wall-time history.
+
+        Rate is executed cells over the observed span (robust to
+        concurrency -- it measures what actually got done per wall
+        second); checkpoint-replayed cells count as resolved but not
+        toward the rate, since their replay is near-instant.  The
+        average per-cell seconds rides along for operators sizing
+        timeouts.  ``None`` until one cell resolves.
+        """
+        executed = self.done + self.failed
+        resolved = executed + self.resumed
+        out = {
+            "avg_cell_seconds": (
+                self._cell_seconds / self._cells_timed
+                if self._cells_timed else None
+            ),
+            "cells_per_second": None,
+            "eta_seconds": None,
+        }
+        if (
+            executed <= 0
+            or self._first_start_ts is None
+            or self._last_event_ts is None
+        ):
+            return out
+        span = self._last_event_ts - self._first_start_ts
+        if span <= 0:
+            return out
+        rate = executed / span
+        out["cells_per_second"] = rate
+        remaining = max(0, self.total - resolved)
+        if rate > 0:
+            out["eta_seconds"] = remaining / rate
+        return out
+
     def snapshot(self) -> dict:
         with self._lock:
-            return {
+            snap = {
                 "job_id": self.job_id,
                 "total": self.total,
                 "started": self.started,
@@ -243,3 +404,5 @@ class CampaignProgress:
                 "resumed": self.resumed,
                 "recent": list(self.recent),
             }
+            snap.update(self._eta())
+            return snap

@@ -38,25 +38,36 @@ layer records.  One Chrome-trace export shows a request's whole life.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from collections import OrderedDict, deque
-from typing import Any, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..archive import Archive, ArchiveError, CacheStats
 from ..archive.fingerprint import detector_set_fingerprint
 from ..obs.instruments import service_metrics
 from ..obs.spans import span_log, spans_enabled
 from ..simkernel.process import submit_host_task
-from .jobs import CampaignProgress, Job
+from .breaker import BreakerOpen, CircuitBreaker
+from .jobs import CampaignProgress, Job, advance_job_ids
+from .journal import ServiceJournal, ServiceJournalError
 from .ratelimit import RateLimiter
 
 __all__ = [
     "AnalysisService",
+    "BreakerOpen",
     "JobError",
     "RateLimited",
     "ServiceDraining",
 ]
+
+
+def _chaos_injector():
+    """The installed chaos injector, or None (see chaos.inject)."""
+    mod = sys.modules.get("repro.chaos.inject")
+    return None if mod is None else mod.active()
 
 
 class JobError(Exception):
@@ -97,6 +108,10 @@ class AnalysisService:
         rate: float = 200.0,
         burst: int = 400,
         default_detection_threshold: float = 0.01,
+        state_dir: Optional[Union[str, Path]] = None,
+        recover: bool = False,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -119,6 +134,11 @@ class AnalysisService:
         self._campaigns: Dict[str, CampaignProgress] = {}
         #: one simulation at a time (worker-pool handoff invariant).
         self._sim_lock = threading.Lock()
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold,
+            cooldown=breaker_cooldown,
+            on_transition=self._on_breaker_transition,
+        )
 
         #: plain counters so ``/status`` works with obs disabled.
         self.counts = {
@@ -130,7 +150,22 @@ class AnalysisService:
             "rate_limited": 0,
             "cache_hits": 0,
             "cache_misses": 0,
+            "expired": 0,
+            "evicted": 0,
+            "recovered": 0,
+            "requeued": 0,
+            "orphaned": 0,
         }
+
+        #: durable mode: the job journal + per-job checkpoint files.
+        self.state_dir = None if state_dir is None else Path(state_dir)
+        self.journal: Optional[ServiceJournal] = None
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            (self.state_dir / "checkpoints").mkdir(exist_ok=True)
+            self.journal = ServiceJournal(self.state_dir / "jobs.jsonl")
+            if recover:
+                self._recover()
 
     # ------------------------------------------------------------------
     # submission
@@ -142,14 +177,21 @@ class AnalysisService:
         params: Optional[Dict[str, Any]] = None,
         tenant: str = "default",
         request_id: str = "",
+        deadline: Optional[float] = None,
     ) -> Tuple[Job, bool]:
         """Queue one job; returns ``(job, coalesced)``.
 
         ``coalesced`` is True when the submission joined an identical
         in-flight job -- the returned job is then the shared primary,
         and its eventual result answers every coalesced submitter.
-        Raises :class:`RateLimited`, :class:`ServiceDraining` or
-        :class:`JobError`.
+        ``deadline`` (seconds) bounds how long the *client* cares: a
+        job still queued past its deadline is cancelled (``expired``)
+        instead of burning a worker.  Raises :class:`RateLimited`,
+        :class:`ServiceDraining`, :class:`BreakerOpen` or
+        :class:`JobError`.  In durable mode the job is journaled
+        (fsync'd) before this returns -- a journal write failure rolls
+        the submission back, so an acknowledged job is always a
+        recoverable one.
         """
         params = dict(params or {})
         if not self._accepting:
@@ -161,6 +203,11 @@ class AnalysisService:
             if metrics is not None:
                 metrics.rate_limited.labels(tenant=tenant).inc()
             raise RateLimited(tenant, retry_after)
+        try:
+            self.breaker.check(self._cell_key(kind, params))
+        except BreakerOpen:
+            self._count("evicted")
+            raise
 
         key = self._coalesce_key(kind, params)
         with self._lock:
@@ -182,25 +229,93 @@ class AnalysisService:
                 tenant=tenant,
                 request_id=request_id,
                 coalesce_key=key,
+                deadline=deadline,
             )
-            if key is not None:
-                self._active_keys[key] = job
-            self._remember(job)
-            if kind in ("campaign", "synth"):
-                total = (
-                    params["_campaign"].scenarios
-                    if kind == "synth"
-                    else len(params.get("_specs", ()))
-                )
-                progress = CampaignProgress(job.id, total=total)
-                self._campaigns[job.id] = progress
-                params["_progress"] = progress
-            self._queue.append(job)
-            metrics = service_metrics()
-            if metrics is not None:
-                metrics.queue_depth.set(len(self._queue))
+            self._enqueue_locked(job)
             self._pump_locked()
         return job, False
+
+    def _enqueue_locked(self, job: Job) -> None:
+        """Register, journal and queue one accepted job (lock held).
+
+        The journal write is the acknowledgment point: if it fails,
+        every registration is rolled back and the error propagates, so
+        the client never holds an id a restart would not recognize.
+        """
+        if job.coalesce_key is not None:
+            self._active_keys[job.coalesce_key] = job
+        self._remember(job)
+        if job.kind in ("campaign", "synth"):
+            total = (
+                job.params["_campaign"].scenarios
+                if job.kind == "synth"
+                else len(job.params.get("_specs", ()))
+            )
+            progress = CampaignProgress(job.id, total=total)
+            self._campaigns[job.id] = progress
+            job.params["_progress"] = progress
+        self._queue.append(job)
+        try:
+            self._journal_state(job)
+        except BaseException:
+            self._queue.remove(job)
+            self._jobs.pop(job.id, None)
+            self._campaigns.pop(job.id, None)
+            if self._active_keys.get(job.coalesce_key) is job:
+                del self._active_keys[job.coalesce_key]
+            raise
+        metrics = service_metrics()
+        if metrics is not None:
+            metrics.queue_depth.set(len(self._queue))
+
+    def _cell_key(self, kind: str, params: Dict[str, Any]) -> str:
+        """The executor-cell identity the circuit breaker trips on.
+
+        Deterministic simulation means a crash is a property of the
+        cell, not of the moment -- so eviction keys on what would
+        recompute (program/size/seed, archived run, synth spec), not
+        on tenant or request.
+        """
+        if kind == "run":
+            return (
+                f"run:{params.get('property')}"
+                f":{params.get('size', 8)}:{params.get('threads', 4)}"
+                f":{params.get('seed', 0)}"
+            )
+        if kind == "analyze":
+            return f"analyze:{params.get('run')}"
+        if kind == "diff":
+            return f"diff:{params.get('before')}:{params.get('after')}"
+        if kind == "synth":
+            spec = params.get("spec")
+            name = spec.get("name") if isinstance(spec, dict) else None
+            return f"synth:{name}"
+        return kind
+
+    def _on_breaker_transition(self, key: str, state: str) -> None:
+        metrics = service_metrics()
+        if metrics is not None:
+            metrics.breaker_transitions.labels(state=state).inc()
+            metrics.breaker_open_cells.set(self.breaker.open_count())
+
+    def _journal_state(self, job: Job) -> None:
+        """Append one state transition to the durable journal."""
+        if self.journal is None:
+            return
+        self.journal.record_state(job)
+        metrics = service_metrics()
+        if metrics is not None:
+            metrics.journal_records.inc()
+
+    def _checkpoint_path(self, job: Job) -> Optional[str]:
+        """Where a campaign/synth job checkpoints its cells.
+
+        Keyed by job id, which recovery preserves -- so a resumed job
+        replays exactly the cells its pre-crash incarnation finished.
+        """
+        if self.state_dir is None:
+            return None
+        return str(self.state_dir / "checkpoints" / f"{job.id}.jsonl")
 
     def _coalesce_key(
         self, kind: str, params: Dict[str, Any]
@@ -316,7 +431,16 @@ class AnalysisService:
         metrics = service_metrics()
         while self._inflight < self.max_workers and self._queue:
             job = self._queue.popleft()
+            if job.expired():
+                self._expire_locked(job)
+                continue
             job.mark_running()
+            try:
+                self._journal_state(job)
+            except OSError:
+                # The accept record is already durable; a failed
+                # running-transition write must not kill the job.
+                pass
             self._inflight += 1
             wait = job.queue_wait() or 0.0
             if metrics is not None:
@@ -332,9 +456,33 @@ class AnalysisService:
                 lambda task, job=job: self._on_done(job, task),
             )
 
+    def _expire_locked(self, job: Job) -> None:
+        """Cancel a queued job whose client deadline already passed."""
+        metrics = service_metrics()
+        self._count_locked("expired")
+        if job.coalesce_key is not None:
+            if self._active_keys.get(job.coalesce_key) is job:
+                del self._active_keys[job.coalesce_key]
+        if metrics is not None:
+            metrics.expired.inc()
+            metrics.jobs.labels(kind=job.kind, status="expired").inc()
+            metrics.queue_depth.set(len(self._queue))
+        job.resolve(
+            None,
+            "client deadline expired before execution started",
+            state="expired",
+        )
+        try:
+            self._journal_state(job)
+        except OSError:
+            pass
+
     def _execute(self, job: Job) -> dict:
         """Job body -- runs on a pooled worker thread."""
         t0 = time.monotonic()
+        injector = _chaos_injector()
+        if injector is not None:
+            injector.execute(job.kind)
         try:
             handler = getattr(self, f"_job_{job.kind}")
             return handler(job)
@@ -360,11 +508,21 @@ class AnalysisService:
                 metrics.jobs.labels(kind=job.kind, status=status).inc()
                 metrics.executed.inc()
             self._idle.notify_all()
+        cell = self._cell_key(job.kind, job.params)
         if task.exception is not None:
             exc = task.exception
             job.resolve(None, f"{type(exc).__name__}: {exc}")
+            self.breaker.record_failure(cell)
         else:
             job.resolve(task.result, None)
+            self.breaker.record_success(cell)
+        try:
+            self._journal_state(job)
+        except OSError:
+            # the result is already in memory and served from there;
+            # losing the terminal record only means a restart re-runs
+            # the job (idempotent through the archive cache).
+            pass
         with self._lock:
             self._pump_locked()
 
@@ -464,16 +622,20 @@ class AnalysisService:
             timeout=job.params.get("timeout"),
             retries=int(job.params.get("retries", 0)),
             on_event=progress.on_event,
+            checkpoint=self._checkpoint_path(job),
         )
-        with self._sim_lock:
-            matrix = run_validation_matrix(
-                specs,
-                size=int(job.params.get("size", 8)),
-                num_threads=int(job.params.get("threads", 4)),
-                seed=int(job.params.get("seed", 0)),
-                supervisor=supervisor,
-                archive=self.archive,
-            )
+        try:
+            with self._sim_lock:
+                matrix = run_validation_matrix(
+                    specs,
+                    size=int(job.params.get("size", 8)),
+                    num_threads=int(job.params.get("threads", 4)),
+                    seed=int(job.params.get("seed", 0)),
+                    supervisor=supervisor,
+                    archive=self.archive,
+                )
+        finally:
+            supervisor.close()
         return {
             "rows": [row.to_dict() for row in matrix.rows],
             "all_passed": matrix.all_passed,
@@ -492,6 +654,7 @@ class AnalysisService:
             timeout=job.params.get("timeout"),
             retries=int(job.params.get("retries", spec.max_retries)),
             on_event=progress.on_event,
+            checkpoint=self._checkpoint_path(job),
         )
         aborted = None
         try:
@@ -507,6 +670,8 @@ class AnalysisService:
         except CampaignError as exc:
             result = exc.result
             aborted = str(exc)
+        finally:
+            supervisor.close()
         score = score_result(result)
         return {
             "campaign": result.to_json_dict(),
@@ -514,6 +679,108 @@ class AnalysisService:
             "aborted": aborted,
             "progress": progress.snapshot(),
         }
+
+    # ------------------------------------------------------------------
+    # restart recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the durable journal after a restart.
+
+        * terminal jobs (``done``/``failed``/``expired``/``orphaned``)
+          are restored into the job table so ``GET /jobs/<id>`` keeps
+          answering;
+        * ``queued`` and ``running`` jobs are re-enqueued from their
+          journaled client spec -- campaign/synth jobs find their
+          per-job checkpoint file and resume through the supervised
+          sweep's replay path, reproducing the artifact an
+          uninterrupted run would have written byte for byte;
+        * jobs whose spec no longer resolves (archived run vanished,
+          property renamed) become ``orphaned`` -- visible, queryable,
+          never silently dropped.
+
+        Client deadlines do not survive a restart: the monotonic clock
+        they were armed against died with the old process, so
+        recovered jobs run to completion.
+        """
+        assert self.journal is not None
+        try:
+            records = self.journal.load()
+        except ServiceJournalError as exc:
+            raise JobError(
+                f"cannot recover service state: {exc}"
+            ) from exc
+        metrics = service_metrics()
+        for job_id in records:
+            advance_job_ids(job_id)
+        with self._lock:
+            for job_id, payload in records.items():
+                state = payload.get("state", "failed")
+                if state in ("queued", "running"):
+                    self._requeue_locked(job_id, payload, metrics)
+                else:
+                    job = Job.restore(job_id, payload)
+                    self._jobs[job.id] = job
+                    self._count_locked("recovered")
+                    if metrics is not None:
+                        metrics.recovered.labels(
+                            outcome="restored"
+                        ).inc()
+            self._pump_locked()
+
+    def _requeue_locked(
+        self, job_id: str, payload: dict, metrics
+    ) -> None:
+        """Re-enqueue one interrupted job under its original id."""
+        kind = payload.get("kind", "")
+        params = dict(payload.get("params") or {})
+        try:
+            key = self._coalesce_key(kind, params)
+            job = Job(
+                kind,
+                params,
+                tenant=payload.get("tenant", "default"),
+                request_id=payload.get("request_id", ""),
+                coalesce_key=key,
+                job_id=job_id,
+            )
+        except (JobError, ValueError) as exc:
+            self._orphan_locked(job_id, payload, str(exc), metrics)
+            return
+        job.recovered = True
+        self._enqueue_locked(job)
+        self._count_locked("requeued")
+        if metrics is not None:
+            metrics.recovered.labels(outcome="requeued").inc()
+
+    def _orphan_locked(
+        self, job_id: str, payload: dict, reason: str, metrics
+    ) -> None:
+        """Keep an unrecoverable job visible instead of dropping it."""
+        from .jobs import JOB_KINDS
+
+        kind = payload.get("kind", "")
+        job = Job(
+            kind if kind in JOB_KINDS else "history",
+            dict(payload.get("params") or {}),
+            tenant=payload.get("tenant", "default"),
+            request_id=payload.get("request_id", ""),
+            job_id=job_id,
+        )
+        job.recovered = True
+        job.resolve(
+            None,
+            f"unrecoverable after restart: {reason}",
+            state="orphaned",
+        )
+        self._jobs[job.id] = job
+        self._count_locked("orphaned")
+        if metrics is not None:
+            metrics.recovered.labels(outcome="orphaned").inc()
+        try:
+            self._journal_state(job)
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # inspection
@@ -566,7 +833,11 @@ class AnalysisService:
                 counts["cache_hits"] / lookups if lookups else None
             ),
             "campaigns": campaigns,
+            "durable": self.journal is not None,
+            "breakers": self.breaker.snapshot(),
         }
+        if self.state_dir is not None:
+            out["state_dir"] = str(self.state_dir)
         metrics = service_metrics()
         if metrics is not None:
             latency = {}
@@ -586,14 +857,19 @@ class AnalysisService:
     # ------------------------------------------------------------------
 
     def drain(self, timeout: Optional[float] = None) -> bool:
-        """Stop intake and wait for queue + in-flight to empty.
+        """Stop intake, wait for in-flight work, flush everything.
 
         Returns False when ``timeout`` elapsed with work still
         pending (the jobs keep running; drain just stopped waiting).
+        Either way the durable journal and archive manifest are
+        flushed to disk before this returns -- the guarantee ``POST
+        /drain`` and the SIGTERM handler rely on before letting the
+        process exit.
         """
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
+        drained = True
         with self._lock:
             self._accepting = False
             while self._queue or self._inflight:
@@ -601,15 +877,32 @@ class AnalysisService:
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        return False
+                        drained = False
+                        break
                 self._idle.wait(remaining)
-        return True
+        self.flush_durable()
+        return drained
+
+    def flush_durable(self) -> None:
+        """Force journal + archive manifest to disk (best effort)."""
+        if self.journal is not None:
+            try:
+                self.journal.flush()
+            except OSError:
+                pass
+        try:
+            self.archive.store.flush()
+        except OSError:
+            pass
 
     @property
     def accepting(self) -> bool:
         return self._accepting
 
     def close(self) -> None:
+        self.flush_durable()
+        if self.journal is not None:
+            self.journal.close()
         self.archive.close()
 
 

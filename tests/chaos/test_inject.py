@@ -1,0 +1,162 @@
+"""The in-process injector: counted sites, torn writes, env install."""
+
+import errno
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import inject
+from repro.chaos.inject import HostFaultInjector, install_from_env
+from repro.chaos.spec import (
+    ArchiveWriteFault,
+    ChaosPlan,
+    DropConnection,
+    JournalWriteFault,
+    StuckJob,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    inject.uninstall()
+
+
+def _injector(*faults, sleep=None):
+    return HostFaultInjector(
+        ChaosPlan.of(*faults), sleep=sleep or (lambda s: None)
+    )
+
+
+class TestJournalSite:
+    def test_nth_write_raises_cleanly(self, tmp_path):
+        injector = _injector(JournalWriteFault(nth=2, error="EIO"))
+        fh = io.StringIO()
+        injector.journal_record(Path("j"), fh, '{"a": 1}\n')
+        with pytest.raises(OSError) as exc:
+            injector.journal_record(Path("j"), fh, '{"b": 2}\n')
+        assert exc.value.errno == errno.EIO
+        assert fh.getvalue() == ""  # clean failure: no bytes written
+        injector.journal_record(Path("j"), fh, '{"c": 3}\n')
+        assert injector.counts["journal_record"] == 3
+
+    def test_torn_write_leaves_partial_prefix(self):
+        injector = _injector(JournalWriteFault(nth=1, torn=True))
+        fh = io.StringIO()
+        line = '{"key": "cell", "payload": {}}\n'
+        with pytest.raises(OSError):
+            injector.journal_record(Path("j"), fh, line)
+        torn = fh.getvalue()
+        assert 0 < len(torn) < len(line)
+        assert line.startswith(torn)
+
+    def test_count_window(self):
+        injector = _injector(JournalWriteFault(nth=2, count=2))
+        fh = io.StringIO()
+        injector.journal_record(Path("j"), fh, "x\n")
+        for _ in range(2):
+            with pytest.raises(OSError):
+                injector.journal_record(Path("j"), fh, "x\n")
+        injector.journal_record(Path("j"), fh, "x\n")
+
+
+class TestBlobSite:
+    def test_enospc_at_counted_write(self):
+        injector = _injector(ArchiveWriteFault(nth=2))
+        injector.blob_write(Path("b"), b"data")
+        with pytest.raises(OSError) as exc:
+            injector.blob_write(Path("b"), b"data")
+        assert exc.value.errno == errno.ENOSPC
+        injector.blob_write(Path("b"), b"data")
+
+    def test_unknown_errno_falls_back_to_eio(self):
+        injector = _injector(
+            ArchiveWriteFault(nth=1, error="NOT_AN_ERRNO")
+        )
+        with pytest.raises(OSError) as exc:
+            injector.blob_write(Path("b"), b"data")
+        assert exc.value.errno == errno.EIO
+
+
+class TestExecuteAndRespond:
+    def test_stuck_job_wedges_nth_execution(self):
+        naps = []
+        injector = _injector(
+            StuckJob(nth=2, hold=3600.0), sleep=naps.append
+        )
+        injector.execute("run")
+        assert naps == []
+        injector.execute("run")
+        assert naps == [3600.0]
+        injector.execute("run")
+        assert naps == [3600.0]
+
+    def test_drop_connection_window(self):
+        injector = _injector(DropConnection(nth=1, count=2))
+        assert injector.drop_connection() is True
+        assert injector.drop_connection() is True
+        assert injector.drop_connection() is False
+
+
+class TestInstallation:
+    def test_active_defaults_none(self):
+        assert inject.active() is None
+
+    def test_install_uninstall(self):
+        injector = _injector()
+        assert inject.install(injector) is injector
+        assert inject.active() is injector
+        inject.uninstall()
+        assert inject.active() is None
+
+    def test_install_from_env(self):
+        plan = ChaosPlan.of(
+            JournalWriteFault(nth=3, torn=True), seed=5
+        )
+        env = {inject.ENV_VAR: json.dumps(plan.to_dict())}
+        injector = install_from_env(env)
+        assert injector is not None
+        assert injector.plan == plan
+        assert inject.active() is injector
+
+    def test_absent_env_is_noop(self):
+        assert install_from_env({}) is None
+        assert install_from_env({inject.ENV_VAR: ""}) is None
+
+
+class TestProbeSites:
+    """The sys.modules probes actually reach the injector."""
+
+    def test_checkpoint_journal_probe(self, tmp_path):
+        from repro.resilience.checkpoint import CheckpointJournal
+
+        inject.install(_injector(JournalWriteFault(nth=2, torn=True)))
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        journal.record("a", {})
+        with pytest.raises(OSError):
+            journal.record("b", {})
+        journal.record("c", {})  # rollback kept the file appendable
+        journal.close()
+        inject.uninstall()
+        loaded = CheckpointJournal(tmp_path / "j.jsonl").load()
+        assert sorted(loaded) == ["a", "c"]
+
+    def test_archive_blob_probe(self, tmp_path):
+        from repro.archive.store import ArchiveStore
+
+        inject.install(_injector(ArchiveWriteFault(nth=1)))
+        store = ArchiveStore(tmp_path / "archive")
+        with pytest.raises(OSError):
+            store.put_blob(b"payload")
+        inject.uninstall()
+        digest = store.put_blob(b"payload")
+        # the failed attempt left no partial object behind
+        assert store.get_blob(digest) == b"payload"
+        leftovers = [
+            p
+            for p in (tmp_path / "archive").rglob("*")
+            if p.is_file() and p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []

@@ -1,0 +1,122 @@
+"""Host-fault specs: validation, serialization, seeded batteries."""
+
+import pytest
+
+from repro.chaos.spec import (
+    ArchiveWriteFault,
+    ChaosPlan,
+    DropConnection,
+    JournalWriteFault,
+    KillServer,
+    StuckJob,
+    TornJournalTail,
+    host_fault_from_dict,
+    mixed_plans,
+)
+
+ALL_FAULTS = [
+    KillServer(after_resolved=2),
+    StuckJob(nth=3, hold=12.5),
+    ArchiveWriteFault(nth=2, count=3, error="EDQUOT"),
+    JournalWriteFault(nth=4, torn=True),
+    TornJournalTail(drop_bytes=11),
+    DropConnection(nth=1, count=2),
+]
+
+
+class TestFaults:
+    @pytest.mark.parametrize(
+        "fault", ALL_FAULTS, ids=lambda f: f.kind
+    )
+    def test_dict_roundtrip(self, fault):
+        assert host_fault_from_dict(fault.to_dict()) == fault
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown host fault"):
+            host_fault_from_dict({"kind": "meteor_strike"})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: KillServer(after_resolved=-1),
+            lambda: StuckJob(nth=0),
+            lambda: StuckJob(hold=-1.0),
+            lambda: ArchiveWriteFault(nth=0),
+            lambda: JournalWriteFault(count=0),
+            lambda: TornJournalTail(drop_bytes=0),
+            lambda: DropConnection(count=0),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+    def test_injected_flags(self):
+        injected = {f.kind for f in ALL_FAULTS if f.injected}
+        assert injected == {
+            "stuck_job", "archive_write_fault",
+            "journal_write_fault", "drop_connection",
+        }
+
+
+class TestPlan:
+    def test_roundtrip(self):
+        plan = ChaosPlan.of(*ALL_FAULTS, seed=42)
+        again = ChaosPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert again.seed == 42
+
+    def test_json_safe(self):
+        import json
+
+        plan = ChaosPlan.of(*ALL_FAULTS, seed=7)
+        wire = json.dumps(plan.to_dict())
+        assert ChaosPlan.from_dict(json.loads(wire)) == plan
+
+    def test_injected_external_split(self):
+        plan = ChaosPlan.of(*ALL_FAULTS)
+        assert all(f.injected for f in plan.injected_faults)
+        assert {f.kind for f in plan.external_faults} == {
+            "kill_server", "torn_journal_tail",
+        }
+
+    def test_noop_and_describe(self):
+        assert ChaosPlan().is_noop
+        assert ChaosPlan().describe() == "no-op plan"
+        plan = ChaosPlan.of(KillServer(), TornJournalTail())
+        assert plan.describe() == "kill_server + torn_journal_tail"
+
+    def test_only_filters_by_type(self):
+        plan = ChaosPlan.of(*ALL_FAULTS, seed=3)
+        kills = plan.only(KillServer)
+        assert len(kills.faults) == 1
+        assert kills.seed == 3
+
+    def test_rejects_non_faults(self):
+        with pytest.raises(TypeError):
+            ChaosPlan(("not-a-fault",))
+
+
+class TestMixedPlans:
+    def test_deterministic_per_seed(self):
+        assert mixed_plans(9, 10) == mixed_plans(9, 10)
+        assert mixed_plans(9, 10) != mixed_plans(10, 10)
+
+    def test_cycles_all_five_families(self):
+        plans = mixed_plans(1, 5)
+        families = [
+            tuple(sorted(f.kind for f in p.faults)) for p in plans
+        ]
+        assert len(set(families)) == 5
+        # every plan in the battery crashes the server
+        for plan in plans:
+            kinds = {f.kind for f in plan.faults}
+            assert "kill_server" in kinds
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            mixed_plans(1, 0)
+
+    def test_plans_survive_the_wire(self):
+        for plan in mixed_plans(5, 10):
+            assert ChaosPlan.from_dict(plan.to_dict()) == plan

@@ -1,0 +1,117 @@
+"""Client deadline propagation: expiry, headers, serialization."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.service.jobs import Job
+
+
+class TestJobDeadline:
+    def test_deadline_is_absolute(self):
+        job = Job("history", {}, deadline=30.0)
+        assert job.deadline == pytest.approx(job.created + 30.0)
+
+    def test_no_deadline_never_expires(self):
+        job = Job("history", {})
+        assert job.expired(now=1e12) is False
+
+    def test_expired_uses_injected_now(self):
+        job = Job("history", {}, deadline=5.0)
+        assert job.expired(now=job.created + 4.9) is False
+        assert job.expired(now=job.created + 5.1) is True
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Job("history", {}, deadline=0)
+        with pytest.raises(ValueError):
+            Job("history", {}, deadline=-3)
+
+    def test_dict_carries_remaining_until_done(self):
+        job = Job("history", {}, deadline=60.0)
+        remaining = job.to_dict()["deadline_remaining"]
+        assert 0 < remaining <= 60.0
+        job.resolve({}, None)
+        assert "deadline_remaining" not in job.to_dict()
+
+
+class TestServiceExpiry:
+    def test_queued_job_past_deadline_expires_not_runs(self, tmp_path):
+        from repro.archive import Archive
+        from repro.service.server import AnalysisService
+
+        service = AnalysisService(
+            Archive(tmp_path / "archive"), max_workers=1
+        )
+        # hold the (only) worker slot so the job stays queued, then
+        # rewind its deadline into the past before releasing the pump
+        with service._lock:
+            service._inflight = 1
+        job, _ = service.submit("history", {}, deadline=5.0)
+        assert job.state == "queued"
+        job.deadline = job.created - 1.0
+        with service._lock:
+            service._inflight = 0
+            service._pump_locked()
+        assert job.wait(10)
+        assert job.state == "expired"
+        assert "deadline expired" in job.error
+        assert service.counts["expired"] == 1
+        service.close()
+
+
+class TestHTTPDeadline:
+    def _post(self, url, path, body, headers=None):
+        req = urllib.request.Request(
+            url + path,
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json",
+                     **(headers or {})},
+            method="POST",
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def test_header_sets_deadline(self, service_env):
+        status, payload = self._post(
+            service_env.url, "/analyze",
+            {"run": service_env.run.run_id, "wait": True},
+            headers={"X-Deadline-Ms": "60000"},
+        )
+        assert status == 200
+        assert payload["state"] == "done"
+
+    def test_malformed_header_is_400(self, service_env):
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._post(
+                service_env.url, "/analyze",
+                {"run": service_env.run.run_id},
+                headers={"X-Deadline-Ms": "soon"},
+            )
+        assert exc.value.code == 400
+
+    def test_nonpositive_body_deadline_is_400(self, service_env):
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._post(
+                service_env.url, "/analyze",
+                {"run": service_env.run.run_id, "deadline": -1},
+            )
+        assert exc.value.code == 400
+
+    def test_client_helper_sends_header(self, service_env):
+        from repro.service import ServiceClient
+
+        client = ServiceClient(service_env.url)
+        response = client.analyze(
+            service_env.run.run_id, wait=True, deadline=60.0
+        )
+        assert response["state"] == "done"
+        assert ServiceClient._deadline_headers(2.5) == {
+            "X-Deadline-Ms": "2500"
+        }
+        assert ServiceClient._deadline_headers(None) is None

@@ -1,0 +1,131 @@
+"""Campaign ETA math driven by synthetic supervisor events."""
+
+import pytest
+
+from repro.service.jobs import CampaignProgress
+
+
+def _started(key, ts, attempt=1):
+    return {"event": "cell-started", "key": key, "ts": ts,
+            "attempt": attempt}
+
+
+def _done(key, ts):
+    return {"event": "cell-done", "key": key, "ts": ts}
+
+
+def _quarantined(key, ts):
+    return {"event": "cell-quarantined", "key": key, "ts": ts}
+
+
+def _resumed(key, ts):
+    return {"event": "cell-resumed", "key": key, "ts": ts}
+
+
+class TestEta:
+    def test_no_estimate_before_first_resolution(self):
+        progress = CampaignProgress("job-1", total=4)
+        progress.on_event(_started("a", 100.0))
+        snap = progress.snapshot()
+        assert snap["eta_seconds"] is None
+        assert snap["cells_per_second"] is None
+        assert snap["avg_cell_seconds"] is None
+
+    def test_rate_is_executed_cells_over_span(self):
+        progress = CampaignProgress("job-1", total=4)
+        progress.on_event(_started("a", 100.0))
+        progress.on_event(_done("a", 102.0))
+        progress.on_event(_started("b", 102.0))
+        progress.on_event(_done("b", 104.0))
+        snap = progress.snapshot()
+        # 2 cells over a 4s span -> 0.5 cells/s; 2 remaining -> 4s eta
+        assert snap["cells_per_second"] == pytest.approx(0.5)
+        assert snap["eta_seconds"] == pytest.approx(4.0)
+        assert snap["avg_cell_seconds"] == pytest.approx(2.0)
+
+    def test_quarantined_cells_count_as_executed(self):
+        progress = CampaignProgress("job-1", total=2)
+        progress.on_event(_started("a", 10.0))
+        progress.on_event(_quarantined("a", 12.0))
+        snap = progress.snapshot()
+        assert snap["cells_per_second"] == pytest.approx(0.5)
+        assert snap["eta_seconds"] == pytest.approx(2.0)
+
+    def test_resumed_cells_reduce_remaining_not_rate(self):
+        # 10 cells: 8 replayed from a checkpoint near-instantly, then
+        # one executed for real.  The rate must come from the executed
+        # cell alone, but the replayed ones are already resolved.
+        progress = CampaignProgress("job-1", total=10)
+        for i in range(8):
+            progress.on_event(_resumed(f"r{i}", 50.0))
+        progress.on_event(_started("a", 50.0))
+        progress.on_event(_done("a", 52.0))
+        snap = progress.snapshot()
+        assert snap["resumed"] == 8
+        # 1 executed over 2s span; remaining = 10 - (1 + 8) = 1
+        assert snap["cells_per_second"] == pytest.approx(0.5)
+        assert snap["eta_seconds"] == pytest.approx(2.0)
+
+    def test_finished_campaign_eta_is_zero(self):
+        progress = CampaignProgress("job-1", total=2)
+        progress.on_event(_started("a", 0.0))
+        progress.on_event(_done("a", 1.0))
+        progress.on_event(_started("b", 1.0))
+        progress.on_event(_done("b", 2.0))
+        assert progress.snapshot()["eta_seconds"] == pytest.approx(0.0)
+
+    def test_zero_span_yields_no_estimate(self):
+        progress = CampaignProgress("job-1", total=4)
+        progress.on_event(_started("a", 100.0))
+        progress.on_event(_done("a", 100.0))
+        snap = progress.snapshot()
+        assert snap["cells_per_second"] is None
+        assert snap["eta_seconds"] is None
+
+    def test_retry_attempts_do_not_double_count_start(self):
+        progress = CampaignProgress("job-1", total=2)
+        progress.on_event(_started("a", 0.0))
+        progress.on_event({"event": "cell-retry", "key": "a", "ts": 1.0})
+        progress.on_event(_started("a", 1.0, attempt=2))
+        progress.on_event(_done("a", 3.0))
+        snap = progress.snapshot()
+        assert snap["started"] == 1
+        assert snap["retried"] == 1
+        # wall time measured from the latest start of the cell
+        assert snap["avg_cell_seconds"] == pytest.approx(2.0)
+
+
+class TestFormatting:
+    def test_fmt_eta(self):
+        from repro.service.dashboard import _fmt_eta
+
+        assert _fmt_eta(None) == "eta -"
+        assert _fmt_eta(42.4) == "eta 42s"
+        assert _fmt_eta(150.0) == "eta 2.5m"
+        assert _fmt_eta(7300.0) == "eta 2.0h"
+        assert _fmt_eta(-3.0) == "eta 0s"
+
+    def test_watch_line_carries_eta(self):
+        from repro.service.dashboard import render_watch
+
+        status = {
+            "jobs_by_state": {"running": 1},
+            "queue_depth": 0,
+            "campaigns": [
+                {
+                    "job_id": "job-000001",
+                    "total": 4,
+                    "started": 2,
+                    "done": 1,
+                    "failed": 0,
+                    "retried": 0,
+                    "resumed": 0,
+                    "recent": [],
+                    "avg_cell_seconds": 2.0,
+                    "cells_per_second": 0.5,
+                    "eta_seconds": 6.0,
+                }
+            ],
+        }
+        text = render_watch(status)
+        assert "eta 6s" in text

@@ -1,0 +1,99 @@
+"""The durable service journal: record, replay, sanitize, heal."""
+
+import pytest
+
+from repro.service.journal import (
+    SERVICE_JOURNAL_FORMAT,
+    ServiceJournal,
+    ServiceJournalError,
+    sanitize_params,
+)
+from repro.service.jobs import Job
+
+
+def _job(kind="history", params=None, **kw):
+    return Job(kind, dict(params or {}), **kw)
+
+
+class TestSanitize:
+    def test_strips_private_keys(self):
+        params = {"property": "p", "_spec": object(), "_progress": 1}
+        assert sanitize_params(params) == {"property": "p"}
+
+    def test_none_is_empty(self):
+        assert sanitize_params(None) == {}
+
+
+class TestRoundTrip:
+    def test_spec_and_transitions_replay_last_wins(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = ServiceJournal(path)
+        job = _job("run", {"property": "p", "seed": 3, "_spec": "X"})
+        journal.record_state(job)
+        job.mark_running()
+        journal.record_state(job)
+        job.resolve({"answer": 42}, None)
+        journal.record_state(job)
+        journal.close()
+
+        records = ServiceJournal(path).load()
+        assert list(records) == [job.id]
+        payload = records[job.id]
+        assert payload["state"] == "done"
+        assert payload["result"] == {"answer": 42}
+        assert payload["params"] == {"property": "p", "seed": 3}
+
+    def test_failed_jobs_keep_error_not_result(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "jobs.jsonl")
+        job = _job()
+        job.resolve(None, "boom")
+        journal.record_state(job)
+        journal.close()
+        payload = ServiceJournal(tmp_path / "jobs.jsonl").load()[job.id]
+        assert payload["error"] == "boom"
+        assert "result" not in payload
+
+    def test_acceptance_order_preserved(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "jobs.jsonl")
+        jobs = [_job() for _ in range(3)]
+        for job in jobs:
+            journal.record_state(job)
+        # later transition for the first job must not reorder it
+        jobs[0].resolve(None, None)
+        journal.record_state(jobs[0])
+        journal.close()
+        records = ServiceJournal(tmp_path / "jobs.jsonl").load()
+        assert list(records) == [j.id for j in jobs]
+
+    def test_fsync_defaults_on(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "jobs.jsonl")
+        assert journal._journal.fsync is True
+
+
+class TestHealing:
+    def test_partial_tail_heals(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = ServiceJournal(path)
+        job = _job()
+        journal.record_state(job)
+        journal.close()
+        with open(path, "ab") as fh:
+            fh.write(b'{"k": "job-9999", "payl')
+        records = ServiceJournal(path).load()
+        assert list(records) == [job.id]
+
+    def test_mid_file_corruption_raises_service_error(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = ServiceJournal(path)
+        journal.record_state(_job())
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{corrupt")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ServiceJournalError):
+            ServiceJournal(path).load()
+
+    def test_format_name_is_distinct(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        ServiceJournal(path).record_state(_job())
+        assert SERVICE_JOURNAL_FORMAT in path.read_text()

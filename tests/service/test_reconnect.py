@@ -1,0 +1,149 @@
+"""ServiceClient restart tolerance: GET retries, POST never."""
+
+import io
+import json
+
+import pytest
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceHTTPError,
+    ServiceUnreachable,
+)
+
+
+class FakeResponse:
+    def __init__(self, payload):
+        self._payload = payload
+        self.status = 200
+
+    def read(self):
+        return json.dumps(self._payload).encode()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class FlakyTransport:
+    """urlopen stand-in failing the first ``failures`` calls."""
+
+    def __init__(self, failures, payload=None, exc=ConnectionRefusedError):
+        self.failures = failures
+        self.payload = payload if payload is not None else {"ok": True}
+        self.exc = exc
+        self.calls = []
+
+    def __call__(self, req, timeout=None):
+        self.calls.append((req.get_method(), req.full_url))
+        if len(self.calls) <= self.failures:
+            raise self.exc("connection refused")
+        return FakeResponse(self.payload)
+
+
+@pytest.fixture
+def sleeps():
+    return []
+
+
+def _client(monkeypatch, transport, sleeps, **kw):
+    monkeypatch.setattr(
+        "repro.service.client.urlrequest.urlopen", transport
+    )
+    kw.setdefault("retries", 4)
+    return ServiceClient(
+        "http://127.0.0.1:1", sleep=sleeps.append, **kw
+    )
+
+
+class TestGetRetries:
+    def test_rides_through_restart(self, monkeypatch, sleeps):
+        transport = FlakyTransport(failures=2)
+        client = _client(monkeypatch, transport, sleeps)
+        assert client.status() == {"ok": True}
+        assert len(transport.calls) == 3
+        assert len(sleeps) == 2
+
+    def test_exhaustion_raises_unreachable(self, monkeypatch, sleeps):
+        transport = FlakyTransport(failures=99)
+        client = _client(monkeypatch, transport, sleeps, retries=3)
+        with pytest.raises(ServiceUnreachable) as exc:
+            client.status()
+        assert exc.value.attempts == 4
+        assert "/status" in str(exc.value)
+        assert isinstance(exc.value.last, ConnectionRefusedError)
+
+    def test_zero_retries_disables_reconnect(self, monkeypatch, sleeps):
+        transport = FlakyTransport(failures=1)
+        client = _client(monkeypatch, transport, sleeps, retries=0)
+        with pytest.raises(ServiceUnreachable):
+            client.status()
+        assert len(transport.calls) == 1
+        assert sleeps == []
+
+
+class TestPostNeverRetries:
+    def test_submission_fails_fast(self, monkeypatch, sleeps):
+        transport = FlakyTransport(failures=1)
+        client = _client(monkeypatch, transport, sleeps)
+        with pytest.raises(ServiceUnreachable) as exc:
+            client.submit_run("balanced_omp_loop", size=4)
+        assert exc.value.attempts == 1
+        assert len(transport.calls) == 1
+        assert sleeps == []
+
+    def test_http_error_never_retried(self, monkeypatch, sleeps):
+        class HTTPErrorTransport:
+            calls = 0
+
+            def __call__(self, req, timeout=None):
+                import urllib.error
+
+                type(self).calls += 1
+                raise urllib.error.HTTPError(
+                    req.full_url, 404, "not found", {},
+                    io.BytesIO(b'{"error": "no such job"}'),
+                )
+
+        transport = HTTPErrorTransport()
+        client = _client(monkeypatch, transport, sleeps)
+        with pytest.raises(ServiceHTTPError) as exc:
+            client.job("job-000001")
+        assert exc.value.status == 404
+        assert type(transport).calls == 1
+        assert sleeps == []
+
+
+class TestBackoff:
+    def test_schedule_is_deterministic_per_seed(self):
+        a = ServiceClient("http://x", backoff_seed=7)
+        b = ServiceClient("http://x", backoff_seed=7)
+        c = ServiceClient("http://x", backoff_seed=8)
+        sched_a = [a._backoff(i) for i in range(6)]
+        sched_b = [b._backoff(i) for i in range(6)]
+        sched_c = [c._backoff(i) for i in range(6)]
+        assert sched_a == sched_b
+        assert sched_a != sched_c
+
+    def test_exponential_and_capped(self):
+        client = ServiceClient(
+            "http://x", backoff_base=0.1, backoff_cap=2.0
+        )
+        delays = [client._backoff(i) for i in range(10)]
+        # jitter keeps every delay within [base/2, base] of its rung
+        for i, delay in enumerate(delays):
+            rung = min(2.0, 0.1 * (2 ** i))
+            assert rung * 0.5 <= delay <= rung
+        assert max(delays) <= 2.0
+
+    def test_sleeps_follow_backoff(self, monkeypatch, sleeps):
+        transport = FlakyTransport(failures=3)
+        client = _client(
+            monkeypatch, transport, sleeps, backoff_seed=11
+        )
+        client.status()
+        oracle = ServiceClient("http://x", backoff_seed=11)
+        expected = [oracle._backoff(i) for i in range(3)]
+        assert sleeps == expected
