@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Statistical-layer throughput benchmark.
+
+Measures the ``repro.stats`` pipeline on two shapes:
+
+* **hybrid-64** -- the standard hybrid composite (the cross-bench
+  reference shape): feature extraction rows/s and the full statistical
+  battery (clustering + phase scan) through ``analyze_events``,
+* **kilo** -- the 1024-rank barrier program from ``BENCH_CORE``:
+  feature derivation and clustering at three decimal orders more rows
+  than the typical 8-rank cell, the scale ceiling of the layer,
+* **export** -- ``dataset_rows`` over a small archived ground-truth
+  campaign, cold (trace blobs decoded, features derived) vs warm
+  (assembled from cached feature cells alone).
+
+The guard (``check_bench_guard.check_stats_baseline``) holds
+conservative floors on the committed rates so a quadratic slip in the
+feature/clustering path trips CI.
+
+Results land in ``BENCH_STATS.json`` at the repository root.
+
+Run directly (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_stats.py           # full
+    PYTHONPATH=src python benchmarks/bench_stats.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import analyze_events  # noqa: E402
+from repro.archive import Archive, CacheStats  # noqa: E402
+from repro.core import get_property, run_hybrid_composite  # noqa: E402
+from repro.stats import (  # noqa: E402
+    STATISTICAL_DETECTORS,
+    behavior_matrix,
+    dataset_rows,
+)
+from repro.synth import CampaignSpec, run_campaign  # noqa: E402
+
+from bench_perf_core import (  # noqa: E402
+    HYBRID_MPI_STEPS,
+    HYBRID_OMP_STEPS,
+    KILO_PROGRAM,
+)
+
+OUT_PATH = REPO_ROOT / "BENCH_STATS.json"
+
+FULL_KILO_SIZE = 1024
+QUICK_KILO_SIZE = 256
+FULL_EXPORT_SCENARIOS = 30
+QUICK_EXPORT_SCENARIOS = 8
+
+
+def _best(fn, repeats: int):
+    result = fn()  # warm-up
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def run_hybrid(size: int, repeats: int) -> dict:
+    run = run_hybrid_composite(
+        HYBRID_MPI_STEPS, HYBRID_OMP_STEPS, size=size, num_threads=4
+    )
+    events = list(run.events)
+
+    matrix, feat_wall = _best(
+        lambda: behavior_matrix(events, total_time=run.final_time),
+        repeats,
+    )
+    result, detect_wall = _best(
+        lambda: analyze_events(
+            events,
+            total_time=run.final_time,
+            detectors=STATISTICAL_DETECTORS,
+        ),
+        repeats,
+    )
+    return {
+        "size": size,
+        "events": len(events),
+        "rows": len(matrix),
+        "features": len(matrix.names),
+        "feature_wall_s": round(feat_wall, 6),
+        "feature_rows_per_s": round(len(matrix) / feat_wall, 1),
+        "detect_wall_s": round(detect_wall, 6),
+        "detect_events_per_s": round(len(events) / detect_wall),
+        "findings": len(result.findings),
+    }
+
+
+def run_kilo(size: int, repeats: int) -> dict:
+    run = get_property(KILO_PROGRAM).run(size=size, num_threads=2, seed=0)
+    events = list(run.events)
+    matrix, feat_wall = _best(
+        lambda: behavior_matrix(events, total_time=run.final_time),
+        repeats,
+    )
+    result, detect_wall = _best(
+        lambda: analyze_events(
+            events,
+            total_time=run.final_time,
+            detectors=STATISTICAL_DETECTORS,
+        ),
+        repeats,
+    )
+    total = feat_wall + detect_wall
+    return {
+        "program": KILO_PROGRAM,
+        "size": size,
+        "events": len(events),
+        "rows": len(matrix),
+        "feature_wall_s": round(feat_wall, 6),
+        "feature_rows_per_s": round(len(matrix) / feat_wall, 1),
+        "detect_wall_s": round(detect_wall, 6),
+        "ranks_per_s": round(size / total, 1),
+        "findings": len(result.findings),
+    }
+
+
+def run_export(scenarios: int) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = Archive(Path(tmp) / "archive")
+        spec = CampaignSpec(
+            name="bench-stats",
+            scenarios=scenarios,
+            sizes=(8,),
+            threads=2,
+            seed=42,
+        )
+        run_campaign(spec, archive=archive)
+
+        cold_stats = CacheStats()
+        t0 = time.perf_counter()
+        rows = dataset_rows(archive, stats=cold_stats)
+        cold_wall = time.perf_counter() - t0
+
+        warm_stats = CacheStats()
+        t0 = time.perf_counter()
+        dataset_rows(archive, stats=warm_stats)
+        warm_wall = time.perf_counter() - t0
+
+    return {
+        "scenarios": scenarios,
+        "rows": len(rows),
+        "cold_wall_s": round(cold_wall, 6),
+        "cold_rows_per_s": round(len(rows) / cold_wall, 1),
+        "warm_wall_s": round(warm_wall, 6),
+        "warm_rows_per_s": round(len(rows) / warm_wall, 1),
+        "warm_misses": warm_stats.misses,
+        "speedup": round(cold_wall / warm_wall, 2) if warm_wall else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: smaller shapes, no JSON write",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    kilo_size = QUICK_KILO_SIZE if args.quick else FULL_KILO_SIZE
+    export_n = (
+        QUICK_EXPORT_SCENARIOS if args.quick else FULL_EXPORT_SCENARIOS
+    )
+
+    hybrid = run_hybrid(size=64, repeats=args.repeats)
+    print(
+        f"  hybrid-64  features {hybrid['feature_wall_s']*1000:8.1f} ms "
+        f"({hybrid['feature_rows_per_s']:8.1f} rows/s), "
+        f"battery {hybrid['detect_wall_s']*1000:8.1f} ms "
+        f"({hybrid['findings']} findings)"
+    )
+
+    kilo = run_kilo(size=kilo_size, repeats=max(1, args.repeats - 2))
+    print(
+        f"  kilo-{kilo['size']}  features {kilo['feature_wall_s']*1000:8.1f} ms "
+        f"({kilo['feature_rows_per_s']:8.1f} rows/s), "
+        f"pipeline {kilo['ranks_per_s']:8.1f} ranks/s"
+    )
+
+    export = run_export(export_n)
+    print(
+        f"  export     cold {export['cold_wall_s']*1000:8.1f} ms "
+        f"({export['cold_rows_per_s']:8.1f} rows/s), "
+        f"warm {export['warm_wall_s']*1000:8.1f} ms "
+        f"(x{export['speedup']}, {export['warm_misses']} misses)"
+    )
+
+    payload = {
+        "stats": {
+            "hybrid": hybrid,
+            "kilo": kilo,
+            "export": export,
+        },
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    if args.quick:
+        print("quick mode: BENCH_STATS.json not rewritten")
+        return 0
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,10 @@ It also validates committed acceptance bars:
   analyzes must hold p99 < 50 ms,
 * ``BENCH_SYNTH.json`` -- the synthesized-campaign executor must hold
   its cells/s floor and project the CI 1000-scenario smoke campaign
-  inside its wall-clock budget.
+  inside its wall-clock budget,
+* ``BENCH_STATS.json`` -- the statistical layer must hold its
+  feature-extraction and kilo-pipeline rate floors, and the warm
+  dataset export must assemble from cached feature cells alone.
 
 Run directly (not via pytest)::
 
@@ -288,6 +291,48 @@ def check_synth_baseline() -> bool:
     return ok
 
 
+#: acceptance bars for the statistical layer (BENCH_STATS.json).
+#: Conservative -- the reference box measures ~1300 feature rows/s on
+#: hybrid-64, ~300 ranks/s through the kilo pipeline and a ~15x warm
+#: export speedup -- so noisy runners do not flap, while a quadratic
+#: slip in the feature or clustering path still trips the floor.
+STATS_MIN_HYBRID_ROWS_PER_S = 300.0
+STATS_MIN_KILO_RANKS_PER_S = 75.0
+STATS_MIN_EXPORT_SPEEDUP = 3.0
+
+
+def check_stats_baseline() -> bool:
+    """Validate the committed statistical-layer rates; True when OK."""
+    data = _load("BENCH_STATS.json")
+    if not data:
+        print("no BENCH_STATS.json baseline; stats check skipped")
+        return True
+    try:
+        hybrid_rate = float(data["stats"]["hybrid"]["feature_rows_per_s"])
+        kilo_rate = float(data["stats"]["kilo"]["ranks_per_s"])
+        export = data["stats"]["export"]
+        speedup = float(export["speedup"])
+        warm_misses = int(export["warm_misses"])
+    except KeyError as exc:
+        print(f"BENCH_STATS.json malformed (missing {exc}); FAIL")
+        return False
+    ok = (
+        hybrid_rate >= STATS_MIN_HYBRID_ROWS_PER_S
+        and kilo_rate >= STATS_MIN_KILO_RANKS_PER_S
+        and speedup >= STATS_MIN_EXPORT_SPEEDUP
+        and warm_misses == 0
+    )
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"  BENCH_STATS features/kilo/export {hybrid_rate:7.1f} rows/s "
+        f"(floor {STATS_MIN_HYBRID_ROWS_PER_S:.0f}), "
+        f"{kilo_rate:.1f} ranks/s (floor {STATS_MIN_KILO_RANKS_PER_S:.0f}), "
+        f"warm x{speedup:.1f} (bar {STATS_MIN_EXPORT_SPEEDUP:.0f}x, "
+        f"{warm_misses} misses)  {verdict}"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=64)
@@ -307,8 +352,10 @@ def main(argv=None) -> int:
     parallel_ok = check_parallel_sweep_baseline()
     service_ok = check_service_baseline()
     synth_ok = check_synth_baseline()
+    stats_ok = check_stats_baseline()
     committed_ok = (
-        archive_ok and kilo_ok and parallel_ok and service_ok and synth_ok
+        archive_ok and kilo_ok and parallel_ok and service_ok
+        and synth_ok and stats_ok
     )
 
     baselines = collect_baselines(args.size)

@@ -17,62 +17,50 @@ short-circuit to the precomputed views when given an index.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Tuple
 
 from ..trace.events import CallPath, CollExit, Event, Location, Recv, Send
+from ..trace.stats import RegionInterval, region_intervals
+
+#: One completed region instance at one location.  The analysis layer
+#: historically had its own ``RegionVisit`` duplicating the profile
+#: replay in :mod:`repro.trace.stats`; both now share the single
+#: :class:`~repro.trace.stats.RegionInterval` implementation.
+RegionVisit = RegionInterval
+
+#: Replay enter/exit events into completed visits -- the canonical
+#: implementation lives in :func:`repro.trace.stats.region_intervals`.
+replay_region_visits = region_intervals
+
+#: region names whose exclusive time is synchronization wait: the MPI
+#: barrier and completion calls plus every OpenMP barrier (explicit and
+#: the implicit ``omp_ibarrier_*`` family), critical sections and locks
+_WAIT_REGIONS = frozenset(
+    {
+        "MPI_Barrier",
+        "MPI_Wait",
+        "MPI_Waitall",
+        "MPI_Waitany",
+        "omp_barrier",
+        "omp_critical",
+        "omp_lock",
+    }
+)
 
 
-@dataclass(frozen=True)
-class RegionVisit:
-    """One completed region instance at one location."""
+def classify_region(region: str) -> str:
+    """Bucket a region name: ``"comm"``, ``"comp"`` or ``"wait"``.
 
-    loc: Location
-    region: str
-    path: CallPath
-    enter: float
-    exit: float
-    child_time: float
-
-    @property
-    def inclusive(self) -> float:
-        return self.exit - self.enter
-
-    @property
-    def exclusive(self) -> float:
-        return self.inclusive - self.child_time
-
-
-def replay_region_visits(events: Iterable[Event]) -> Iterator[RegionVisit]:
-    """Replay enter/exit events into completed :class:`RegionVisit`\\ s.
-
-    Events must be time-ordered per location (they are, as recorded).
-    Unclosed regions at the end of the trace are ignored.
+    * **wait** -- barrier / completion / lock regions, where exclusive
+      time is time spent blocked on other ranks or threads,
+    * **comm** -- every other ``MPI_*`` call (data movement),
+    * **comp** -- everything else (user work, I/O, OpenMP bodies).
     """
-    stacks: dict[Location, list[list]] = {}
-    # stack entry: [region, enter_time, path, child_time]
-    for event in events:
-        kind = event.kind
-        if kind == "enter":
-            stacks.setdefault(event.loc, []).append(
-                [event.region, event.time, event.path, 0.0]
-            )
-        elif kind == "exit":
-            stack = stacks.get(event.loc)
-            if not stack or stack[-1][0] != event.region:
-                continue
-            region, enter, path, child_time = stack.pop()
-            inclusive = event.time - enter
-            if stack:
-                stack[-1][3] += inclusive
-            yield RegionVisit(
-                loc=event.loc,
-                region=region,
-                path=path,
-                enter=enter,
-                exit=event.time,
-                child_time=child_time,
-            )
+    if region in _WAIT_REGIONS or region.startswith("omp_ibarrier"):
+        return "wait"
+    if region.startswith("MPI_"):
+        return "comm"
+    return "comp"
 
 
 class TraceIndex(Sequence):
@@ -137,6 +125,7 @@ class TraceIndex(Sequence):
                         path=path,
                         enter=enter,
                         exit=event.time,
+                        depth=len(stack),
                         child_time=child_time,
                     )
                 )
@@ -160,6 +149,55 @@ class TraceIndex(Sequence):
         ]
         self.collectives = collectives
         self.locations = sorted(by_location)
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+
+    def per_location_region_seconds(
+        self,
+    ) -> Dict[Location, Dict[CallPath, Dict[str, float]]]:
+        """Exclusive seconds per location, call path and time bucket.
+
+        ``location -> call path -> {"comm", "comp", "wait"} -> seconds``
+        where the bucket of each completed region visit is decided by
+        :func:`classify_region` and its *exclusive* time is charged, so
+        nested regions partition busy time without double counting.
+        Iteration order is the precomputed exit-order visit list, so the
+        float accumulation (and therefore the result) is deterministic
+        for a given trace.
+        """
+        out: Dict[Location, Dict[CallPath, Dict[str, float]]] = {}
+        for visit in self.region_visits:
+            bucket = classify_region(visit.region)
+            per_path = out.setdefault(visit.loc, {})
+            buckets = per_path.setdefault(
+                visit.path, {"comm": 0.0, "comp": 0.0, "wait": 0.0}
+            )
+            buckets[bucket] += visit.exclusive
+        return out
+
+    def per_rank_region_seconds(
+        self,
+    ) -> Dict[int, Dict[CallPath, Dict[str, float]]]:
+        """Exclusive seconds per rank, call path and time bucket.
+
+        The per-location view aggregated over threads of the same rank:
+        ``rank -> call path -> {"comm", "comp", "wait"} -> seconds``.
+        This is the feature substrate of :mod:`repro.stats` -- the
+        wall-time split the similarity detectors cluster over -- and it
+        shares the one region replay with the
+        :func:`repro.trace.stats.profile_trace` view.
+        """
+        out: Dict[int, Dict[CallPath, Dict[str, float]]] = {}
+        for visit in self.region_visits:
+            bucket = classify_region(visit.region)
+            per_path = out.setdefault(visit.loc.rank, {})
+            buckets = per_path.setdefault(
+                visit.path, {"comm": 0.0, "comp": 0.0, "wait": 0.0}
+            )
+            buckets[bucket] += visit.exclusive
+        return out
 
     # ------------------------------------------------------------------
     # Sequence protocol: an index is usable anywhere the raw event list

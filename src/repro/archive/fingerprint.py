@@ -7,7 +7,15 @@ detector's output on a fixed trace:
 * the detector class's own source code *and* the source of its
   defining module (so editing a helper next to the class invalidates
   its cells, while an edit to an unrelated detector module does not),
-* the detector instance's configuration attributes,
+* the source of every module the detector declares in
+  ``fingerprint_modules`` -- detectors that delegate real work to
+  helper modules (the statistical family computes in
+  ``repro.stats.features`` / ``repro.stats.similarity``) would
+  otherwise serve stale cells after an algorithm change that never
+  touches the detector's own module,
+* the detector instance's configuration attributes (``__dict__`` and
+  ``__slots__``-declared state both count, so a slotted or dataclass
+  detector cannot silently fingerprint as stateless),
 * the :class:`~repro.analysis.AnalysisConfig` in effect,
 * the global :data:`~repro.analysis.ANALYZER_VERSION` -- the manual
   escape hatch for changes in shared analyzer infrastructure.
@@ -47,6 +55,46 @@ def _class_source_hash(cls: type) -> str:
     return sha256_hex(class_src + "\n" + module_src)
 
 
+@lru_cache(maxsize=None)
+def _module_source_hash(name: str) -> str:
+    """Digest of a named module's source (see ``fingerprint_modules``).
+
+    An unimportable or sourceless module falls back to its name, so
+    fingerprints stay stable rather than erroring -- just insensitive
+    to that module.
+    """
+    import importlib
+
+    try:
+        module = importlib.import_module(name)
+        src = inspect.getsource(module)
+    except (ImportError, OSError, TypeError):
+        src = name
+    return sha256_hex(src)
+
+
+def _instance_state(detector) -> dict:
+    """Every configuration attribute of a detector instance.
+
+    Collects ``__dict__`` *and* ``__slots__`` entries across the MRO;
+    private (underscore) attributes are skipped as caches/plumbing.
+    """
+    state = {
+        k: v
+        for k, v in (getattr(detector, "__dict__", None) or {}).items()
+        if not k.startswith("_")
+    }
+    for cls in type(detector).__mro__:
+        for name in getattr(cls, "__slots__", ()):
+            if name.startswith("_") or name in state:
+                continue
+            try:
+                state[name] = getattr(detector, name)
+            except AttributeError:
+                continue
+    return state
+
+
 def config_fingerprint(config: Optional[AnalysisConfig]) -> str:
     config = config or AnalysisConfig()
     return sha256_hex(
@@ -64,12 +112,16 @@ def detector_fingerprint(
 ) -> str:
     """Cache-key component for one detector under one config."""
     cls = type(detector)
-    state = getattr(detector, "__dict__", None) or {}
+    state = _instance_state(detector)
     payload = {
         "analyzer": ANALYZER_VERSION,
         "module": cls.__module__,
         "class": cls.__qualname__,
         "source": _class_source_hash(cls),
+        "delegates": {
+            name: _module_source_hash(name)
+            for name in getattr(detector, "fingerprint_modules", ())
+        },
         "state": {k: repr(v) for k, v in sorted(state.items())},
         "config": config_fingerprint(config),
     }

@@ -523,10 +523,20 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     return 0 if matrix.all_passed else 1
 
 
+def _parse_families_arg(args):
+    from .stats import parse_families
+
+    try:
+        return parse_families(args.families)
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+
+
 def cmd_robustness(args: argparse.Namespace) -> int:
     """Sweep fault magnitude, print per-detector TP/FP curves."""
     from .validation import DEFAULT_MAGNITUDES, run_robustness
 
+    families = _parse_families_arg(args)
     specs = None
     if args.program:
         specs = [_resolve_property(name) for name in args.program]
@@ -556,6 +566,7 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         supervisor=supervisor,
         archive=args.archive,
         workers=_workers_of(args),
+        families=families,
     )
     print(result.format_table())
     if args.archive is not None:
@@ -718,6 +729,7 @@ def cmd_synth_campaign(args: argparse.Namespace) -> int:
     )
 
     spec = _load_campaign_spec(args)
+    families = _parse_families_arg(args)
     supervisor = _make_supervisor(args)
     aborted = None
     try:
@@ -728,6 +740,7 @@ def cmd_synth_campaign(args: argparse.Namespace) -> int:
             supervisor=supervisor,
             archive=args.archive,
             workers=_workers_of(args),
+            families=families,
         )
     except SynthError as exc:
         raise CliError(str(exc)) from None
@@ -803,6 +816,171 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(result.to_csv())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# statistical analysis commands
+# ----------------------------------------------------------------------
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Similarity analysis of one trace: features, clusters, outliers."""
+    import json
+
+    from .analysis import AnalysisConfig
+    from .analysis.index import TraceIndex
+    from .stats import SimilarityDetector, behavior_matrix, cluster_rows
+
+    if args.trace is not None:
+        try:
+            events, _ = read_trace(args.trace)
+        except FileNotFoundError:
+            raise CliError(
+                f"trace file not found: {args.trace}"
+            ) from None
+        except TraceFormatError as exc:
+            raise CliError(str(exc)) from None
+        if not events:
+            print("trace contains no event records; nothing to cluster")
+            return 0
+        index = TraceIndex(sorted(events, key=lambda e: e.time))
+        total_time = None
+    else:
+        if not args.property:
+            raise CliError("need a property program (or --trace FILE)")
+        spec = _resolve_property(args.property)
+        run = spec.run(
+            size=args.size, num_threads=args.threads, seed=args.seed
+        )
+        index = TraceIndex(list(run.events))
+        total_time = run.final_time
+    matrix = behavior_matrix(index, total_time=total_time)
+    label = "rank" if matrix.kind == "rank" else "location"
+    print(
+        f"behavior matrix: {len(matrix)} {label} row(s) x "
+        f"{len(matrix.names)} feature(s)"
+    )
+    if len(matrix) < 2:
+        print("fewer than 2 rows; nothing to cluster")
+        return 0
+    k = min(args.k, len(matrix))
+    assign = cluster_rows(
+        matrix.rows,
+        k=k,
+        metric=args.metric,
+        method=args.method,
+        seed=args.seed,
+    )
+    print(
+        f"clusters: {assign.method} k={assign.k} "
+        f"metric={assign.metric} silhouette={assign.silhouette:.3f}"
+    )
+    members = {
+        lbl: assign.members(lbl) for lbl in sorted(set(assign.labels))
+    }
+    means = {
+        lbl: sum(matrix.overhead(i) for i in rows) / len(rows)
+        for lbl, rows in sorted(members.items())
+    }
+    baseline = min(sorted(means), key=lambda lbl: means[lbl])
+    for lbl, rows in sorted(members.items()):
+        tag = " (baseline)" if lbl == baseline else ""
+        keys = ",".join(matrix.keys[i] for i in rows)
+        print(
+            f"  cluster {lbl}{tag}: {len(rows)} row(s), "
+            f"mean overhead {means[lbl]:.4f}s  [{keys}]"
+        )
+    detector = SimilarityDetector(
+        k=args.k,
+        metric=args.metric,
+        method=args.method,
+        threshold=args.silhouette,
+        seed=args.seed,
+    )
+    findings = sorted(
+        detector.detect(index, AnalysisConfig()),
+        key=lambda f: (-f.wait_time, f.loc),
+    )
+    if findings:
+        print("outliers:")
+        for f in findings:
+            path = "/".join(f.callpath)
+            print(
+                f"  {label} {f.loc}: overhead excess "
+                f"{f.wait_time:.4f}s @ {path}"
+            )
+    else:
+        print(
+            "no outlier rows (silhouette below "
+            f"{args.silhouette:g} or no excess overhead)"
+        )
+    if args.json is not None:
+        payload = {
+            "format": "ats-stats",
+            "version": 1,
+            "matrix": matrix.to_dict(),
+            "clusters": {
+                "method": assign.method,
+                "metric": assign.metric,
+                "k": assign.k,
+                "labels": list(assign.labels),
+                "medoids": list(assign.medoids),
+                "silhouette": assign.silhouette,
+            },
+            "outliers": [
+                {
+                    "location": str(f.loc),
+                    "callpath": list(f.callpath),
+                    "excess_seconds": f.wait_time,
+                }
+                for f in findings
+            ],
+        }
+        _write_json_artifact(
+            args.json,
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            "stats report",
+        )
+    return 0
+
+
+def cmd_export_dataset(args: argparse.Namespace) -> int:
+    """Export (features, labels) tables from archived ground truth."""
+    from .archive import ArchiveError, CacheStats
+    from .stats import dataset_rows, rows_to_csv, rows_to_jsonl
+
+    if args.jsonl is None and args.csv is None:
+        raise CliError(
+            "need --jsonl FILE and/or --csv FILE ('-' = stdout)"
+        )
+    stats = CacheStats()
+    with _open_archive(args) as arch:
+        try:
+            runs = (
+                [arch.resolve(ref) for ref in args.run]
+                if args.run
+                else None
+            )
+            rows = dataset_rows(arch, runs=runs, stats=stats)
+        except ArchiveError as exc:
+            raise CliError(str(exc)) from None
+    if not rows:
+        raise CliError(
+            f"archive {args.archive} holds no ground-truth runs; "
+            "record some with 'ats synth campaign --archive' first"
+        )
+    if args.jsonl is not None:
+        _write_json_artifact(
+            args.jsonl, rows_to_jsonl(rows), "dataset (JSONL)"
+        )
+    if args.csv is not None:
+        _write_json_artifact(
+            args.csv, rows_to_csv(rows), "dataset (CSV)"
+        )
+    print(
+        f"{len(rows)} sample(s) from "
+        f"{len({r.run_id for r in rows})} run(s); {stats.format()}"
+    )
     return 0
 
 
@@ -1314,6 +1492,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--archive", metavar="DIR", default=None,
                    help="also record every analyzed trace in this "
                    "archive directory (under its scaled fault plan)")
+    p.add_argument("--families", default="rule", metavar="LIST",
+                   help="comma-separated detector families to run "
+                   "(rule,similarity; default rule)")
     _add_supervision_options(p)
     p.set_defaults(fn=cmd_robustness)
 
@@ -1392,6 +1573,9 @@ def build_parser() -> argparse.ArgumentParser:
     py.add_argument("--archive", metavar="DIR", default=None,
                     help="record every analyzed trace (with its "
                     "ground-truth manifest) in this archive directory")
+    py.add_argument("--families", default="rule", metavar="LIST",
+                    help="comma-separated detector families to run "
+                    "(rule,similarity; default rule)")
     _add_supervision_options(py)
     py.set_defaults(fn=cmd_synth_campaign)
 
@@ -1428,6 +1612,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "stats",
+        help="similarity analysis: per-rank behavior clusters and "
+        "outliers",
+    )
+    p.add_argument("property", nargs="?", default=None,
+                   help="property program to run (or pass --trace)")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="cluster a persisted trace instead of running "
+                   "a program")
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--k", type=int, default=2,
+                   help="cluster count (default 2)")
+    p.add_argument("--metric", choices=("euclidean", "manhattan"),
+                   default="euclidean")
+    p.add_argument("--method", choices=("kmedoids", "single_link"),
+                   default="kmedoids")
+    p.add_argument("--silhouette", type=float, default=0.35,
+                   metavar="Q",
+                   help="outlier gate: emit nothing below this cluster "
+                   "quality (default 0.35)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write matrix + clusters + outliers as JSON "
+                   "('-' = stdout)")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "export",
+        help="export ground-truth datasets from an archive",
+    )
+    esub = p.add_subparsers(dest="export_command", required=True)
+
+    pe = esub.add_parser(
+        "dataset",
+        help="(features, labels) tables from archived ground-truth "
+        "campaign runs",
+    )
+    pe.add_argument("run", nargs="*",
+                    help="run ids or unique prefixes (default: every "
+                    "manifest-carrying archived run)")
+    pe.add_argument("--archive", metavar="DIR", default=".ats-archive",
+                    help="archive directory (default .ats-archive)")
+    pe.add_argument("--jsonl", metavar="FILE", default=None,
+                    help="write JSON-lines rows ('-' = stdout)")
+    pe.add_argument("--csv", metavar="FILE", default=None,
+                    help="write a flat CSV table ('-' = stdout)")
+    pe.set_defaults(fn=cmd_export_dataset)
 
     def _add_archive_option(parser: argparse.ArgumentParser) -> None:
         parser.add_argument("--archive", metavar="DIR",

@@ -33,6 +33,7 @@ __all__ = [
     "OmpMetrics",
     "ResilienceMetrics",
     "ServiceMetrics",
+    "StatsMetrics",
     "TraceMetrics",
     "TransportMetrics",
     "analysis_metrics",
@@ -42,6 +43,7 @@ __all__ = [
     "omp_metrics",
     "resilience_metrics",
     "service_metrics",
+    "stats_metrics",
     "trace_metrics",
     "transport_metrics",
 ]
@@ -529,6 +531,54 @@ class ServiceMetrics:
 
 def service_metrics() -> Optional[ServiceMetrics]:
     return _bundle("service", ServiceMetrics)
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+
+class StatsMetrics:
+    """Statistical-analysis pipeline metrics (see :mod:`repro.stats`).
+
+    Feature extraction and clustering are the two stages of every
+    similarity detection; dataset export additionally counts the
+    (features, labels) rows it emits so an export job's cost is
+    visible on ``ats metrics``.
+    """
+
+    __slots__ = (
+        "feature_seconds",
+        "feature_rows",
+        "cluster_seconds",
+        "export_rows",
+        "export_runs",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.feature_seconds = reg.counter(
+            "ats_stats_feature_seconds_total",
+            "Host wall seconds spent deriving behavior vectors",
+        )
+        self.feature_rows = reg.counter(
+            "ats_stats_feature_rows_total",
+            "Behavior vectors (ranks or locations) derived",
+        )
+        self.cluster_seconds = reg.counter(
+            "ats_stats_cluster_seconds_total",
+            "Host wall seconds spent in similarity clustering",
+        )
+        self.export_rows = reg.counter(
+            "ats_stats_export_rows_total",
+            "Dataset rows emitted by ats export dataset",
+        )
+        self.export_runs = reg.counter(
+            "ats_stats_export_runs_total",
+            "Archived runs joined into exported datasets",
+        )
+
+
+def stats_metrics() -> Optional[StatsMetrics]:
+    return _bundle("stats", StatsMetrics)
 
 
 # ----------------------------------------------------------------------

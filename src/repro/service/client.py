@@ -241,6 +241,27 @@ class ServiceClient:
             headers=self._deadline_headers(deadline),
         )
 
+    def export(
+        self,
+        runs: Optional[list] = None,
+        csv: bool = False,
+        wait: bool = False,
+        deadline: Optional[float] = None,
+        **params: Any,
+    ) -> dict:
+        """Submit a ground-truth dataset export over the archive."""
+        body: Dict[str, Any] = dict(params)
+        if runs:
+            body["runs"] = list(runs)
+        if csv:
+            body["csv"] = True
+        if wait:
+            body["wait"] = True
+        return self._request(
+            "POST", "/export", body,
+            headers=self._deadline_headers(deadline),
+        )
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

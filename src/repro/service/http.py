@@ -10,6 +10,7 @@ keep-alive), and a small route table over
     POST /diff              {before, after, threshold?, wait?}
     POST /campaign          {properties?, size?, threads?, seed?, wait?}
     POST /synth             {spec, threshold?, timeout?, retries?, wait?}
+    POST /export            {runs?, csv?, wait?}  ground-truth dataset
     GET  /history[?wait=0]  archive manifest as an async job
     GET  /jobs/<id>         poll one job (state, result when done)
     GET  /status            live service snapshot (JSON)
@@ -71,6 +72,7 @@ _SUBMIT_ROUTES = {
     "/diff": "diff",
     "/campaign": "campaign",
     "/synth": "synth",
+    "/export": "export",
 }
 
 

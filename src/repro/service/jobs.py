@@ -38,7 +38,9 @@ __all__ = [
 ]
 
 #: every job kind the service executes.
-JOB_KINDS = ("run", "analyze", "diff", "history", "campaign", "synth")
+JOB_KINDS = (
+    "run", "analyze", "diff", "history", "campaign", "synth", "export",
+)
 
 #: lifecycle: queued -> running -> done | failed.  Two further terminal
 #: states exist only on the durability path: ``expired`` (a queued

@@ -361,6 +361,8 @@ class AnalysisService:
             params["_specs"] = self._resolve_campaign_specs(params)
         if kind == "synth":
             params["_campaign"] = self._resolve_synth_spec(params)
+        if kind == "export":
+            params["_runs"] = self._resolve_export_runs(params)
         return None
 
     def _resolve_ref(self, ref, label: str = "run") -> dict:
@@ -421,6 +423,28 @@ class AnalysisService:
             return CampaignSpec.from_dict(spec)
         except SynthError as exc:
             raise JobError(str(exc)) from None
+
+    def _resolve_export_runs(self, params: Dict[str, Any]):
+        """Resolve an export job's run filter at submit time.
+
+        ``runs`` is an optional list of archive run refs (id prefixes);
+        unknown refs surface as an immediate 400 instead of a failed
+        job.  ``None`` means export every labeled run in the archive.
+        """
+        refs = params.get("runs")
+        if not refs:
+            return None
+        if not isinstance(refs, list):
+            raise JobError("'runs' must be a list of run references")
+        records = []
+        for ref in refs:
+            if not ref or not isinstance(ref, str):
+                raise JobError("'runs' entries must be run references")
+            try:
+                records.append(self.archive.resolve(ref))
+            except ArchiveError as exc:
+                raise JobError(str(exc)) from None
+        return records
 
     # ------------------------------------------------------------------
     # execution
@@ -679,6 +703,24 @@ class AnalysisService:
             "aborted": aborted,
             "progress": progress.snapshot(),
         }
+
+    def _job_export(self, job: Job) -> dict:
+        from ..stats import dataset_rows, rows_to_csv, rows_to_jsonl
+
+        stats = CacheStats()
+        rows = dataset_rows(
+            self.archive, runs=job.params.get("_runs"), stats=stats
+        )
+        self._count_cache(job, stats)
+        result = {
+            "rows": len(rows),
+            "runs": len({row.run_id for row in rows}),
+            "jsonl": rows_to_jsonl(rows),
+            "cache": {"hits": stats.hits, "misses": stats.misses},
+        }
+        if job.params.get("csv"):
+            result["csv"] = rows_to_csv(rows)
+        return result
 
     # ------------------------------------------------------------------
     # restart recovery

@@ -1,0 +1,279 @@
+"""The statistical detector family: similarity analysis as a Detector.
+
+Rule-based detectors name the exact ASL property a wait belongs to; a
+statistical detector cannot -- it only knows that some ranks behave
+unlike the others.  The family therefore emits its own property ids
+(``similarity_rank_outlier``, ``similarity_phase_anomaly``) and a
+**class taxonomy** maps them onto the analyzer catalog: every ASL
+property id belongs to one behavior class (imbalance, straggler,
+contention, ordering, overhead, io), and each statistical property
+declares which classes an emission of it plausibly explains.  The
+robustness harness and the synth scorer use that mapping to grade
+rule-based and statistical recall side by side on the same
+ground-truth manifests.
+
+Both detectors satisfy the :class:`~repro.analysis.detectors.Detector`
+protocol, so they run through ``analyze()``, the archive's incremental
+cache (their fingerprints cover the delegated feature/similarity
+modules -- see ``fingerprint_modules``), the robustness harness and
+synth campaign scoring like any rule-based detector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
+
+from ..analysis.detectors.base import AnalysisConfig
+from ..analysis.index import TraceIndex
+from ..analysis.model import Finding
+from ..obs.instruments import stats_metrics
+from ..obs.spans import span
+from ..trace.events import Event
+from .features import FeatureMatrix, behavior_matrix
+from .similarity import cluster_rows
+
+#: analyzer property id -> behavior class
+PROPERTY_CLASSES: Dict[str, str] = {
+    "late_sender": "straggler",
+    "late_receiver": "straggler",
+    "late_broadcast": "straggler",
+    "late_scatter": "straggler",
+    "late_scatterv": "straggler",
+    "early_reduce": "straggler",
+    "early_gather": "straggler",
+    "early_gatherv": "straggler",
+    "wait_at_barrier": "imbalance",
+    "wait_at_nxn": "imbalance",
+    "imbalance_at_omp_barrier": "imbalance",
+    "imbalance_in_omp_pregion": "imbalance",
+    "imbalance_in_omp_loop": "imbalance",
+    "imbalance_in_omp_sections": "imbalance",
+    "imbalance_at_omp_single": "imbalance",
+    "imbalance_at_omp_reduce": "imbalance",
+    "omp_critical_contention": "contention",
+    "omp_lock_contention": "contention",
+    "messages_in_wrong_order": "ordering",
+    "mpi_init_overhead": "overhead",
+    "io_bound": "io",
+}
+
+#: statistical property id -> behavior classes an emission reliably
+#: explains.  Deliberately conservative: the "io" class maps to
+#: nothing because IO-boundedness is uniform across ranks -- there is
+#: no outlier structure for a similarity method to find -- and
+#: contention (serialized access, every thread delayed) shows up as a
+#: per-phase anomaly rather than a whole-vector outlier.
+SIMILARITY_COVERS: Dict[str, FrozenSet[str]] = {
+    "similarity_rank_outlier": frozenset(
+        {"imbalance", "straggler", "ordering"}
+    ),
+    "similarity_phase_anomaly": frozenset(
+        {"imbalance", "straggler", "contention"}
+    ),
+}
+
+#: every property id the statistical family can emit
+SIMILARITY_PROPERTY_IDS: Tuple[str, ...] = tuple(
+    sorted(SIMILARITY_COVERS)
+)
+
+
+def property_class(pid: str) -> str:
+    """Behavior class of an analyzer property id ('' when unknown)."""
+    return PROPERTY_CLASSES.get(pid, "")
+
+
+def covers(stat_pid: str, pid: str) -> bool:
+    """Does a statistical emission plausibly explain analyzer ``pid``?"""
+    return property_class(pid) in SIMILARITY_COVERS.get(
+        stat_pid, frozenset()
+    )
+
+
+def statistical_expectations(
+    expected: Iterable[str],
+) -> Tuple[str, ...]:
+    """The statistical property ids a ground truth obliges to fire.
+
+    Given a manifest's expected analyzer property ids, returns the
+    sorted statistical ids whose covered classes intersect them --
+    what the robustness harness adds to a cell's ``expected`` when the
+    similarity family is enabled.
+    """
+    classes = {property_class(pid) for pid in expected} - {""}
+    return tuple(
+        pid
+        for pid in SIMILARITY_PROPERTY_IDS
+        if SIMILARITY_COVERS[pid] & classes
+    )
+
+
+def _as_matrix(
+    events: Sequence[Event], total_time_hint: float = 0.0
+) -> FeatureMatrix:
+    index = (
+        events
+        if isinstance(events, TraceIndex)
+        else TraceIndex(list(events))
+    )
+    metrics = stats_metrics()
+    with span("stats:features", cat="stats", rows=len(index.locations)):
+        if metrics is None:
+            return behavior_matrix(index)
+        from time import perf_counter
+
+        t0 = perf_counter()
+        matrix = behavior_matrix(index)
+        metrics.feature_seconds.inc(perf_counter() - t0)
+        metrics.feature_rows.inc(len(matrix))
+        return matrix
+
+
+class SimilarityDetector:
+    """Flags ranks whose behavior vector separates from the baseline.
+
+    Clusters the per-rank vectors (``k`` clusters, ``metric``
+    distance, seeded deterministic k-medoids by default) and gates on
+    the silhouette coefficient: below ``threshold`` the trace has no
+    statistically separable structure and nothing is emitted -- the
+    guard that keeps negative programs clean.  With structure present,
+    the cluster with the *lowest* mean overhead (comm + wait seconds)
+    is the healthy baseline, and every row outside it yields one
+    ``similarity_rank_outlier`` finding whose wait time is the row's
+    overhead excess over that baseline -- a statistical deviation
+    expressed in the analyzer's severity currency.
+    """
+
+    produces = ("similarity_rank_outlier",)
+    #: delegate modules digested into this detector's cache fingerprint
+    fingerprint_modules = (
+        "repro.stats.features",
+        "repro.stats.similarity",
+    )
+
+    def __init__(
+        self,
+        k: int = 2,
+        metric: str = "euclidean",
+        method: str = "kmedoids",
+        threshold: float = 0.35,
+        min_rows: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.k = k
+        self.metric = metric
+        self.method = method
+        self.threshold = threshold
+        self.min_rows = min_rows
+        self.seed = seed
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        matrix = _as_matrix(events)
+        if len(matrix) < self.min_rows:
+            return
+        metrics = stats_metrics()
+        with span("stats:cluster", cat="stats", rows=len(matrix)):
+            if metrics is None:
+                assign = cluster_rows(
+                    matrix.rows,
+                    k=self.k,
+                    metric=self.metric,
+                    method=self.method,
+                    seed=self.seed,
+                )
+            else:
+                from time import perf_counter
+
+                t0 = perf_counter()
+                assign = cluster_rows(
+                    matrix.rows,
+                    k=self.k,
+                    metric=self.metric,
+                    method=self.method,
+                    seed=self.seed,
+                )
+                metrics.cluster_seconds.inc(perf_counter() - t0)
+        if assign.silhouette < self.threshold:
+            return
+        by_label: Dict[int, list] = {}
+        for i, label in enumerate(assign.labels):
+            by_label.setdefault(label, []).append(i)
+        means = {
+            label: sum(matrix.overhead(i) for i in rows) / len(rows)
+            for label, rows in sorted(by_label.items())
+        }
+        baseline = min(sorted(means), key=lambda label: means[label])
+        floor = means[baseline]
+        for i in range(len(matrix)):
+            if assign.labels[i] == baseline:
+                continue
+            excess = matrix.overhead(i) - floor
+            if excess <= config.noise_floor:
+                continue
+            yield Finding(
+                "similarity_rank_outlier",
+                matrix.dominant_path(i),
+                matrix.locs[i],
+                excess,
+            )
+
+
+class PhaseAnomalyDetector:
+    """Flags call paths where a rank's overhead dwarfs the quiet floor.
+
+    Per significant call path (the feature layer's ``path:*``
+    columns), compares each row's overhead seconds against the column
+    minimum -- the quiet floor.  Any higher percentile (median, lower
+    quartile) gets dragged up when most ranks are pathological, as in
+    collective stragglers where n-1 ranks wait on one.  A row at least
+    ``ratio`` times the floor (and above the noise floor) yields one
+    ``similarity_phase_anomaly`` finding carrying the excess over the
+    floor.  Catches localized phase
+    problems -- ranks stuck in one phase -- that whole-vector
+    clustering can average away.
+    """
+
+    produces = ("similarity_phase_anomaly",)
+    fingerprint_modules = (
+        "repro.stats.features",
+        "repro.stats.similarity",
+    )
+
+    def __init__(self, ratio: float = 3.0, min_rows: int = 4) -> None:
+        self.ratio = ratio
+        self.min_rows = min_rows
+
+    def detect(
+        self, events: Sequence[Event], config: AnalysisConfig
+    ) -> Iterable[Finding]:
+        matrix = _as_matrix(events)
+        n = len(matrix)
+        if n < self.min_rows:
+            return
+        for j, path in enumerate(matrix.paths):
+            floor = min(
+                matrix.path_overhead[i][j] for i in range(n)
+            )
+            for i in range(n):
+                value = matrix.path_overhead[i][j]
+                excess = value - floor
+                if excess <= config.noise_floor:
+                    continue
+                if floor > 0.0 and value < self.ratio * floor:
+                    continue
+                yield Finding(
+                    "similarity_phase_anomaly",
+                    path,
+                    matrix.locs[i],
+                    excess,
+                )
+
+
+#: the statistical battery, the peer of
+#: :data:`repro.analysis.detectors.DEFAULT_DETECTORS`
+STATISTICAL_DETECTORS: Tuple[object, ...] = (
+    SimilarityDetector(),
+    PhaseAnomalyDetector(),
+)

@@ -1,0 +1,312 @@
+"""Per-rank behavior vectors derived from the one-pass TraceIndex.
+
+The similarity detectors (Liu et al.'s SPMD-debugging approach: cluster
+process behavior instead of matching event patterns) need every rank's
+execution summarized as a fixed-length numeric vector.  This module
+builds that vector from views the :class:`~repro.analysis.TraceIndex`
+already precomputes -- no second pass over the trace:
+
+* the wall-time split into **communication / computation / wait**
+  exclusive seconds per call path
+  (:meth:`TraceIndex.per_rank_region_seconds`),
+* point-to-point **message counts and bytes** (``by_kind``),
+* **collective excess** -- how much longer than the fastest
+  participant each rank spent inside every collective instance
+  (``collectives``), the barrier-wait share.
+
+Vectors are normalized to [0, 1] -- time buckets as fractions of the
+row's busy time, counts and bytes as fractions of the per-trace maximum
+-- and **deterministic**: rows are ordered by rank/location, per-path
+features by sorted call path, and every float accumulation follows the
+index's fixed exit-order visit list, so the same trace always produces
+byte-identical vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.index import TraceIndex, classify_region
+from ..trace.events import CallPath, Event, Location
+
+#: bumped whenever the feature schema or its derivation changes; part
+#: of the archive's feature-cell cache key (see :mod:`.dataset`)
+FEATURE_VERSION = "1"
+
+#: base (path-independent) feature names, in vector order
+BASE_FEATURES: Tuple[str, ...] = (
+    "comm_frac",
+    "comp_frac",
+    "wait_frac",
+    "busy_frac",
+    "sends_frac",
+    "recvs_frac",
+    "bytes_sent_frac",
+    "bytes_recv_frac",
+    "colls_frac",
+    "coll_excess_frac",
+)
+
+#: call paths whose exclusive time is below this fraction of the whole
+#: trace's busy time contribute no per-path features (noise control)
+DEFAULT_PATH_FLOOR = 0.02
+
+
+def _frac(value: float, denom: float) -> float:
+    return value / denom if denom > 0.0 else 0.0
+
+
+@dataclass(frozen=True)
+class FeatureMatrix:
+    """Aligned, normalized behavior vectors for one trace.
+
+    ``rows[i]`` is the vector of ``keys[i]`` (a rank, or a
+    ``rank.thread`` location for single-rank traces), aligned to
+    ``names``.  Raw per-row seconds (``comm``/``comp``/``wait``) and
+    per-path overhead seconds survive alongside the normalized vectors
+    so detectors can convert a statistical deviation back into wall
+    seconds -- the unit a :class:`~repro.analysis.Finding` carries.
+    """
+
+    kind: str  # "rank" | "location"
+    names: Tuple[str, ...]
+    keys: Tuple[str, ...]
+    locs: Tuple[Location, ...]
+    rows: Tuple[Tuple[float, ...], ...]
+    comm: Tuple[float, ...]
+    comp: Tuple[float, ...]
+    wait: Tuple[float, ...]
+    paths: Tuple[CallPath, ...]
+    #: rows x paths: raw comm+wait seconds spent under each path
+    path_overhead: Tuple[Tuple[float, ...], ...]
+    total_time: float
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def busy(self, i: int) -> float:
+        return self.comm[i] + self.comp[i] + self.wait[i]
+
+    def overhead(self, i: int) -> float:
+        """Raw non-computation seconds of row ``i`` (comm + wait)."""
+        return self.comm[i] + self.wait[i]
+
+    def dominant_path(self, i: int) -> CallPath:
+        """The call path charging row ``i`` with the most overhead."""
+        best: CallPath = ()
+        best_value = 0.0
+        for j, path in enumerate(self.paths):
+            value = self.path_overhead[i][j]
+            if value > best_value:
+                best_value = value
+                best = path
+        return best
+
+    def feature(self, i: int, name: str) -> float:
+        return self.rows[i][self.names.index(name)]
+
+    # ------------------------------------------------------------------
+    # (de)serialization -- the archive's feature-cell blob format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": FEATURE_VERSION,
+            "kind": self.kind,
+            "names": list(self.names),
+            "keys": list(self.keys),
+            "locs": [str(loc) for loc in self.locs],
+            "rows": [list(row) for row in self.rows],
+            "comm": list(self.comm),
+            "comp": list(self.comp),
+            "wait": list(self.wait),
+            "paths": [list(path) for path in self.paths],
+            "path_overhead": [list(row) for row in self.path_overhead],
+            "total_time": self.total_time,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FeatureMatrix":
+        return cls(
+            kind=d["kind"],
+            names=tuple(d["names"]),
+            keys=tuple(d["keys"]),
+            locs=tuple(Location.parse(text) for text in d["locs"]),
+            rows=tuple(tuple(row) for row in d["rows"]),
+            comm=tuple(d["comm"]),
+            comp=tuple(d["comp"]),
+            wait=tuple(d["wait"]),
+            paths=tuple(tuple(p) for p in d["paths"]),
+            path_overhead=tuple(
+                tuple(row) for row in d["path_overhead"]
+            ),
+            total_time=d["total_time"],
+        )
+
+
+def _coll_excess_by_group(index: TraceIndex, by_rank: bool) -> Dict:
+    """Group key -> seconds spent in collectives beyond the fastest
+    participant of each instance (the barrier-wait share)."""
+    excess: Dict = {}
+    for key in sorted(index.collectives):
+        parts = index.collectives[key]
+        fastest = min(e.time - e.enter_time for e in parts)
+        for event in parts:
+            group = event.loc.rank if by_rank else event.loc
+            excess[group] = excess.get(group, 0.0) + (
+                (event.time - event.enter_time) - fastest
+            )
+    return excess
+
+
+def behavior_matrix(
+    events: Union[Sequence[Event], TraceIndex],
+    total_time: Optional[float] = None,
+    group: str = "auto",
+    path_floor: float = DEFAULT_PATH_FLOOR,
+) -> FeatureMatrix:
+    """Build the normalized per-rank behavior vectors of one trace.
+
+    ``group`` selects the row granularity: ``"rank"`` (threads of a
+    rank aggregate into one row), ``"location"`` (one row per
+    ``(rank, thread)``), or ``"auto"`` -- rank rows when the trace has
+    more than one rank, location rows otherwise (so single-rank OpenMP
+    traces still cluster over threads).
+    """
+    index = (
+        events
+        if isinstance(events, TraceIndex)
+        else TraceIndex(list(events))
+    )
+    if total_time is None:
+        total_time = max((e.time for e in index.events), default=0.0)
+
+    ranks = sorted({loc.rank for loc in index.locations})
+    if group == "auto":
+        group = "rank" if len(ranks) > 1 else "location"
+    if group not in ("rank", "location"):
+        raise ValueError(f"unknown feature grouping {group!r}")
+    by_rank = group == "rank"
+
+    if by_rank:
+        groups: List = ranks
+        locs = tuple(Location(rank, 0) for rank in ranks)
+        keys = tuple(str(rank) for rank in ranks)
+        seconds = index.per_rank_region_seconds()
+    else:
+        groups = list(index.locations)
+        locs = tuple(groups)
+        keys = tuple(str(loc) for loc in groups)
+        seconds = index.per_location_region_seconds()
+
+    # -- time buckets, total and per call path --------------------------
+    comm = []
+    comp = []
+    wait = []
+    path_totals: Dict[CallPath, float] = {}
+    for g in groups:
+        per_path = seconds.get(g, {})
+        c = x = w = 0.0
+        for path in sorted(per_path):
+            buckets = per_path[path]
+            c += buckets["comm"]
+            x += buckets["comp"]
+            w += buckets["wait"]
+            path_totals[path] = path_totals.get(path, 0.0) + (
+                buckets["comm"] + buckets["comp"] + buckets["wait"]
+            )
+        comm.append(c)
+        comp.append(x)
+        wait.append(w)
+    trace_busy = sum(comm) + sum(comp) + sum(wait)
+    paths = tuple(
+        path
+        for path in sorted(path_totals)
+        if path_totals[path] >= path_floor * trace_busy
+    )
+
+    # -- message traffic ------------------------------------------------
+    sends: Dict = {}
+    recvs: Dict = {}
+    bytes_sent: Dict = {}
+    bytes_recv: Dict = {}
+    colls: Dict = {}
+
+    def _key(loc: Location):
+        return loc.rank if by_rank else loc
+
+    for event in index.by_kind.get("send", ()):
+        if event.internal:
+            continue
+        k = _key(event.loc)
+        sends[k] = sends.get(k, 0) + 1
+        bytes_sent[k] = bytes_sent.get(k, 0) + event.nbytes
+    for event in index.by_kind.get("recv", ()):
+        if event.internal:
+            continue
+        k = _key(event.loc)
+        recvs[k] = recvs.get(k, 0) + 1
+        bytes_recv[k] = bytes_recv.get(k, 0) + event.nbytes
+    for event in index.by_kind.get("coll", ()):
+        k = _key(event.loc)
+        colls[k] = colls.get(k, 0) + 1
+    coll_excess = _coll_excess_by_group(index, by_rank)
+
+    # -- assemble normalized rows --------------------------------------
+    busy = [comm[i] + comp[i] + wait[i] for i in range(len(groups))]
+    max_busy = max(busy, default=0.0)
+    max_sends = max((sends.get(g, 0) for g in groups), default=0)
+    max_recvs = max((recvs.get(g, 0) for g in groups), default=0)
+    max_bsent = max((bytes_sent.get(g, 0) for g in groups), default=0)
+    max_brecv = max((bytes_recv.get(g, 0) for g in groups), default=0)
+    max_colls = max((colls.get(g, 0) for g in groups), default=0)
+
+    names = BASE_FEATURES + tuple(
+        f"path:{'/'.join(path)}:{bucket}"
+        for path in paths
+        for bucket in ("comm", "comp", "wait")
+    )
+
+    rows = []
+    path_overhead = []
+    for i, g in enumerate(groups):
+        b = busy[i]
+        row = [
+            _frac(comm[i], b),
+            _frac(comp[i], b),
+            _frac(wait[i], b),
+            _frac(b, max_busy),
+            _frac(sends.get(g, 0), max_sends),
+            _frac(recvs.get(g, 0), max_recvs),
+            _frac(bytes_sent.get(g, 0), max_bsent),
+            _frac(bytes_recv.get(g, 0), max_brecv),
+            _frac(colls.get(g, 0), max_colls),
+            _frac(coll_excess.get(g, 0.0), b),
+        ]
+        per_path = seconds.get(g, {})
+        overhead_row = []
+        for path in paths:
+            buckets = per_path.get(
+                path, {"comm": 0.0, "comp": 0.0, "wait": 0.0}
+            )
+            row.append(_frac(buckets["comm"], b))
+            row.append(_frac(buckets["comp"], b))
+            row.append(_frac(buckets["wait"], b))
+            overhead_row.append(buckets["comm"] + buckets["wait"])
+        rows.append(tuple(row))
+        path_overhead.append(tuple(overhead_row))
+
+    return FeatureMatrix(
+        kind=group,
+        names=names,
+        keys=keys,
+        locs=locs,
+        rows=tuple(rows),
+        comm=tuple(comm),
+        comp=tuple(comp),
+        wait=tuple(wait),
+        paths=paths,
+        path_overhead=tuple(path_overhead),
+        total_time=total_time,
+    )

@@ -32,6 +32,7 @@ from .scenario import (
 )
 from .score import (
     BandScore,
+    ClassScore,
     DetectorScore,
     ScoreReport,
     score_campaign_json,
@@ -56,6 +57,7 @@ __all__ = [
     "CampaignError",
     "CampaignResult",
     "CampaignSpec",
+    "ClassScore",
     "DetectorScore",
     "GENERATORS",
     "GroundTruthManifest",

@@ -93,20 +93,40 @@ def _build_cell(
     run_id: Optional[str] = None,
     error: Optional[str] = None,
     salvaged: bool = False,
+    families: Tuple[str, ...] = ("rule",),
 ) -> ScenarioCell:
     manifest = scenario.manifest()
     detected = tuple(detected)
+    expected = set(manifest.expected)
+    allowed = set(manifest.allowed)
+    if "similarity" in families:
+        # Manifests name analyzer properties only; the statistical
+        # family is graded through the class taxonomy.  Obliged
+        # statistical ids become expected; on pathological scenarios
+        # the rest are tolerated (a statistical anomaly flag on a
+        # scenario that injects a pathology is correct at the family's
+        # granularity), while clean scenarios tolerate none, so false
+        # alarms stay visible in ``spurious``.
+        from ..stats import (
+            SIMILARITY_PROPERTY_IDS,
+            statistical_expectations,
+        )
+
+        obliged = set(statistical_expectations(expected))
+        if expected:
+            allowed |= set(SIMILARITY_PROPERTY_IDS) - obliged
+        expected |= obliged
     return ScenarioCell(
         scenario=scenario,
         manifest=manifest,
         detected=detected,
         missing=tuple(
-            p for p in manifest.expected if p not in detected
+            p for p in sorted(expected) if p not in detected
         ),
         spurious=tuple(
             p
             for p in detected
-            if p not in manifest.expected and p not in manifest.allowed
+            if p not in expected and p not in allowed
         ),
         events=events,
         run_id=run_id,
@@ -129,6 +149,7 @@ def _run_scenario_checked(
     workdir: Path,
     time_budget: Optional[float] = None,
     archive=None,
+    families: Tuple[str, ...] = ("rule",),
 ) -> ScenarioCell:
     """One cell, raising on failure (the supervisor's entry point).
 
@@ -137,6 +158,9 @@ def _run_scenario_checked(
     the scorer can grade detectors against synthesized truth straight
     from the archive.
     """
+    from ..stats import battery_for
+
+    detectors = battery_for(families)
     pspec = scenario.build_spec()
     manifest = scenario.manifest()
     manifest.validate()
@@ -177,12 +201,13 @@ def _run_scenario_checked(
     transport = getattr(run, "transport", None)
     if injector is None or not injector.has_trace_faults:
         run_id = _archive(run.events, run.final_time, transport)
-        analysis = analyze_run(run)
+        analysis = analyze_run(run, detectors=detectors)
         return _build_cell(
             scenario,
             detected=analysis.detected(threshold),
             events=len(run.events),
             run_id=run_id,
+            families=families,
         )
     # Trace faults: round-trip through the fault-injecting writer and
     # the salvaging reader -- the analyzer sees what landed on disk.
@@ -203,7 +228,10 @@ def _run_scenario_checked(
         else None
     )
     analysis = analyze_events(
-        events, total_time=run.final_time, config=config
+        events,
+        total_time=run.final_time,
+        config=config,
+        detectors=detectors,
     )
     return _build_cell(
         scenario,
@@ -211,6 +239,7 @@ def _run_scenario_checked(
         events=len(events),
         run_id=run_id,
         salvaged=bool(metadata.get("truncated")),
+        families=families,
     )
 
 
@@ -221,15 +250,24 @@ def _run_scenario(
     workdir: Path,
     time_budget: Optional[float] = None,
     archive=None,
+    families: Tuple[str, ...] = ("rule",),
 ) -> ScenarioCell:
     """One cell with failures folded into the cell (direct mode)."""
     try:
         return _run_scenario_checked(
-            scenario, spec, threshold, workdir, time_budget, archive
+            scenario,
+            spec,
+            threshold,
+            workdir,
+            time_budget,
+            archive,
+            families,
         )
     except Exception as exc:
         return _build_cell(
-            scenario, error=f"{type(exc).__name__}: {exc}"
+            scenario,
+            error=f"{type(exc).__name__}: {exc}",
+            families=families,
         )
 
 
@@ -241,12 +279,13 @@ def _forked_cell(
     workdir: Path,
     time_budget: Optional[float],
     archive,
+    families: Tuple[str, ...],
 ) -> dict:
     """Child-side cell body (deferred archive manifests, dict result)."""
     if archive is not None:
         archive.store.begin_deferred()
     return runner(
-        scenario, spec, threshold, workdir, time_budget, archive
+        scenario, spec, threshold, workdir, time_budget, archive, families
     ).to_dict()
 
 
@@ -256,6 +295,8 @@ class CampaignResult:
 
     spec: CampaignSpec
     cells: List[ScenarioCell] = field(default_factory=list)
+    #: detector families the campaign ran (provenance)
+    families: Tuple[str, ...] = ("rule",)
 
     @property
     def errors(self) -> List[ScenarioCell]:
@@ -273,6 +314,7 @@ class CampaignResult:
             "format": "ats-synth-campaign",
             "version": 1,
             "spec": self.spec.to_dict(),
+            "families": list(self.families),
             "scenarios": len(self.cells),
             "cells": [c.to_dict() for c in self.cells],
         }
@@ -305,6 +347,7 @@ def _execute_batch(
     supervisor,
     archive,
     workers: int,
+    families: Tuple[str, ...] = ("rule",),
 ) -> List[ScenarioCell]:
     """Run one batch of scenarios in scenario order."""
     if workers > 1:
@@ -326,6 +369,7 @@ def _execute_batch(
                     workdir,
                     time_budget,
                     archive,
+                    families,
                 ),
             )
             for sc in scenarios
@@ -355,7 +399,11 @@ def _execute_batch(
                 out.append(value)
             else:
                 out.append(
-                    _build_cell(scenario, error=outcome.failure.error)
+                    _build_cell(
+                        scenario,
+                        error=outcome.failure.error,
+                        families=families,
+                    )
                 )
         return out
     out = []
@@ -369,13 +417,20 @@ def _execute_batch(
                     workdir,
                     time_budget,
                     archive,
+                    families,
                 )
             )
             continue
         outcome = supervisor.run_cell(
             cell_key(scenario),
             lambda sc=scenario: _run_scenario_checked(
-                sc, spec, threshold, workdir, time_budget, archive
+                sc,
+                spec,
+                threshold,
+                workdir,
+                time_budget,
+                archive,
+                families,
             ),
             encode=lambda c: c.to_dict(),
             decode=ScenarioCell.from_dict,
@@ -384,7 +439,11 @@ def _execute_batch(
             out.append(outcome.value)
         else:
             out.append(
-                _build_cell(scenario, error=outcome.failure.error)
+                _build_cell(
+                    scenario,
+                    error=outcome.failure.error,
+                    families=families,
+                )
             )
     return out
 
@@ -396,6 +455,7 @@ def run_campaign(
     supervisor=None,
     archive=None,
     workers: int = 1,
+    families: Sequence[str] = ("rule",),
 ) -> CampaignResult:
     """Execute one synthesis campaign (see module docstring).
 
@@ -409,14 +469,23 @@ def run_campaign(
     ``spec.max_failures >= 0`` aborts the campaign with a
     :class:`CampaignError` (carrying the partial result) once more
     than that many cells have errored.
+
+    ``families`` selects the detector families to run (see
+    :func:`repro.stats.battery_for`); with ``"similarity"`` enabled,
+    cells are graded through the class taxonomy and the scorer reports
+    rule-based vs. statistical recall side by side.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    families = tuple(families)
+    from ..stats import battery_for
+
+    battery_for(families)  # validates family names
     if archive is not None:
         from ..archive import coerce_archive
 
         archive = coerce_archive(archive)
-    result = CampaignResult(spec=spec)
+    result = CampaignResult(spec=spec, families=families)
 
     def check_failures() -> None:
         if spec.max_failures < 0:
@@ -445,6 +514,7 @@ def run_campaign(
                     supervisor,
                     archive,
                     workers,
+                    families,
                 )
             )
             check_failures()

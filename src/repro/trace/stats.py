@@ -122,14 +122,24 @@ def region_intervals(
 
 
 def profile_trace(events: Sequence[Event]) -> TraceProfile:
-    """Compute inclusive/exclusive region times from enter/exit events."""
+    """Compute inclusive/exclusive region times from enter/exit events.
+
+    Accepts either a raw event sequence or anything carrying a
+    precomputed ``region_visits`` list (a
+    :class:`repro.analysis.index.TraceIndex`), in which case the replay
+    is skipped entirely -- profile and analysis share one interval
+    implementation.
+    """
     profile = TraceProfile()
     max_time = 0.0
     for event in events:
         if event.time > max_time:
             max_time = event.time
-    ordered = sorted(events, key=lambda e: e.time)
-    for interval in region_intervals(ordered):
+    intervals = getattr(events, "region_visits", None)
+    if intervals is None:
+        ordered = sorted(events, key=lambda e: e.time)
+        intervals = region_intervals(ordered)
+    for interval in intervals:
         key = (interval.region, interval.loc)
         rp = profile.per_region.setdefault(
             key, RegionProfile(interval.region, interval.loc)

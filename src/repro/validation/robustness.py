@@ -144,6 +144,8 @@ class RobustnessResult:
     seeds: Tuple[int, ...]
     plan: FaultPlan
     cells: List[RobustnessCell] = field(default_factory=list)
+    #: detector families the sweep ran (provenance)
+    families: Tuple[str, ...] = ("rule",)
 
     # ------------------------------------------------------------------
     # curve derivation
@@ -201,6 +203,7 @@ class RobustnessResult:
             "version": 1,
             "magnitudes": list(self.magnitudes),
             "seeds": list(self.seeds),
+            "families": list(self.families),
             "plan": self.plan.to_dict(),
             "programs": sorted({c.program for c in self.cells}),
             "curves": {
@@ -249,10 +252,37 @@ def _build_cell(
     events: int = 0,
     error: Optional[str] = None,
     salvaged: bool = False,
+    families: Tuple[str, ...] = ("rule",),
 ) -> RobustnessCell:
     tolerated = tuple(
         sorted(set(spec.allowed) | set(GLOBALLY_ALLOWED))
     )
+    expected = spec.expected
+    if "similarity" in families:
+        # The statistical family is graded through the class taxonomy:
+        # every statistical property whose covered classes intersect
+        # the registry ground truth becomes expected, so its TP/FP
+        # curves are as well-defined as the rule-based ones.  On
+        # *positive* programs the remaining statistical ids are
+        # tolerated -- a statistical anomaly flag on a run that is
+        # pathological by construction is correct at the family's
+        # granularity -- while on negative programs no statistical id
+        # is allowed, so false alarms are measured honestly.
+        from ..stats import (
+            SIMILARITY_PROPERTY_IDS,
+            statistical_expectations,
+        )
+
+        expected = tuple(
+            sorted(set(expected) | set(statistical_expectations(expected)))
+        )
+        if not spec.negative:
+            tolerated = tuple(
+                sorted(
+                    set(tolerated)
+                    | (set(SIMILARITY_PROPERTY_IDS) - set(expected))
+                )
+            )
     detected = tuple(detected)
     return RobustnessCell(
         program=spec.name,
@@ -260,13 +290,13 @@ def _build_cell(
         negative=spec.negative,
         magnitude=magnitude,
         seed=seed,
-        expected=spec.expected,
+        expected=expected,
         detected=detected,
-        missing=tuple(p for p in spec.expected if p not in detected),
+        missing=tuple(p for p in expected if p not in detected),
         spurious=tuple(
             p
             for p in detected
-            if p not in spec.expected and p not in tolerated
+            if p not in expected and p not in tolerated
         ),
         allowed=tolerated,
         events=events,
@@ -286,6 +316,7 @@ def _run_cell_checked(
     workdir: Path,
     time_budget: Optional[float] = None,
     archive=None,
+    families: Tuple[str, ...] = ("rule",),
 ) -> RobustnessCell:
     """One cell, raising on failure (the supervisor's entry point).
 
@@ -319,6 +350,9 @@ def _run_cell_checked(
             ),
         )
 
+    from ..stats import battery_for
+
+    detectors = battery_for(families)
     scaled = plan.scaled(magnitude)
     injector = FaultInjector.coerce(scaled, seed=seed)
     run = spec.run(
@@ -330,13 +364,14 @@ def _run_cell_checked(
     )
     if injector is None or not injector.has_trace_faults:
         _archive(run.events, run.final_time, getattr(run, "transport", None))
-        analysis = analyze_run(run)
+        analysis = analyze_run(run, detectors=detectors)
         return _build_cell(
             spec,
             magnitude,
             seed,
             detected=analysis.detected(threshold),
             events=len(run.events),
+            families=families,
         )
     # Trace faults: round-trip through the fault-injecting writer and
     # the salvaging reader -- the analyzer sees what landed on disk.
@@ -360,7 +395,10 @@ def _run_cell_checked(
         else None
     )
     analysis = analyze_events(
-        events, total_time=run.final_time, config=config
+        events,
+        total_time=run.final_time,
+        config=config,
+        detectors=detectors,
     )
     return _build_cell(
         spec,
@@ -369,6 +407,7 @@ def _run_cell_checked(
         detected=analysis.detected(threshold),
         events=len(events),
         salvaged=bool(metadata.get("truncated")),
+        families=families,
     )
 
 
@@ -383,6 +422,7 @@ def _run_cell(
     workdir: Path,
     time_budget: Optional[float] = None,
     archive=None,
+    families: Tuple[str, ...] = ("rule",),
 ) -> RobustnessCell:
     """One cell with failures folded into the cell itself (direct mode)."""
     try:
@@ -397,10 +437,15 @@ def _run_cell(
             workdir,
             time_budget,
             archive,
+            families,
         )
     except Exception as exc:  # a fault broke the run or its trace
         return _build_cell(
-            spec, magnitude, seed, error=f"{type(exc).__name__}: {exc}"
+            spec,
+            magnitude,
+            seed,
+            error=f"{type(exc).__name__}: {exc}",
+            families=families,
         )
 
 
@@ -421,6 +466,7 @@ def _forked_cell(
     workdir: Path,
     time_budget: Optional[float],
     archive,
+    families: Tuple[str, ...],
 ) -> dict:
     """Child-side cell body for the fork executor.
 
@@ -442,6 +488,7 @@ def _forked_cell(
         workdir,
         time_budget,
         archive,
+        families,
     ).to_dict()
 
 
@@ -459,6 +506,7 @@ def _run_grid_forked(
     archive,
     workers,
     result,
+    families,
 ) -> None:
     """Fan the cell grid out over forked workers (see run_robustness)."""
     from ..resilience.forked import run_cells_forked
@@ -485,6 +533,7 @@ def _run_grid_forked(
                             workdir,
                             time_budget,
                             archive,
+                            families,
                         ),
                     )
                 )
@@ -513,7 +562,11 @@ def _run_grid_forked(
         else:
             result.cells.append(
                 _build_cell(
-                    spec, magnitude, seed, error=outcome.failure.error
+                    spec,
+                    magnitude,
+                    seed,
+                    error=outcome.failure.error,
+                    families=families,
                 )
             )
 
@@ -530,6 +583,7 @@ def run_robustness(
     supervisor=None,
     archive=None,
     workers: int = 1,
+    families: Sequence[str] = ("rule",),
 ) -> RobustnessResult:
     """Sweep perturbation magnitude across the validation programs.
 
@@ -552,6 +606,14 @@ def run_robustness(
     Cells are independent and seed-deterministic, and results are
     assembled in grid order, so the returned result (and its JSON) is
     byte-identical to a serial sweep for any worker count.
+
+    ``families`` selects the detector families to run (see
+    :func:`repro.stats.battery_for`).  With ``"similarity"`` enabled,
+    each cell's ``expected`` set is augmented with the statistical
+    property ids the ground truth obliges (class-taxonomy mapping), so
+    the statistical family gets TP/FP curves of its own -- and the
+    statistical ids are *not* added to ``allowed``, so a statistical
+    detection on a negative program counts as a false positive.
     """
     specs = list_properties() if specs is None else list(specs)
     if workers < 1:
@@ -563,12 +625,16 @@ def run_robustness(
     plan = FaultPlan.default() if plan is None else plan
     magnitudes = tuple(magnitudes)
     seeds = tuple(seeds)
+    families = tuple(families)
     if not magnitudes:
         raise ValueError("need at least one magnitude")
     if not seeds:
         raise ValueError("need at least one seed")
+    from ..stats import battery_for
+
+    battery_for(families)  # validates family names
     result = RobustnessResult(
-        magnitudes=magnitudes, seeds=seeds, plan=plan
+        magnitudes=magnitudes, seeds=seeds, plan=plan, families=families
     )
     with tempfile.TemporaryDirectory(prefix="ats-robustness-") as tmp:
         workdir = Path(tmp)
@@ -587,6 +653,7 @@ def run_robustness(
                 archive,
                 workers,
                 result,
+                families,
             )
             return result
         for spec in specs:
@@ -605,6 +672,7 @@ def run_robustness(
                                 workdir,
                                 time_budget,
                                 archive,
+                                families,
                             )
                         )
                         continue
@@ -622,6 +690,7 @@ def run_robustness(
                                 workdir,
                                 time_budget,
                                 archive,
+                                families,
                             )
                         ),
                         encode=lambda c: c.to_dict(),
@@ -636,6 +705,7 @@ def run_robustness(
                                 magnitude,
                                 seed,
                                 error=outcome.failure.error,
+                                families=families,
                             )
                         )
     return result

@@ -97,6 +97,73 @@ def test_detector_fingerprint_sees_instance_state():
     assert a == c
 
 
+def test_similarity_config_change_invalidates_only_its_cell(
+    tmp_path, spec
+):
+    """Satellite of the stats layer: retuning one statistical detector
+    (k, metric, threshold -- plain instance state) must recompute
+    exactly that detector's cell, never the rule battery's."""
+    from repro.stats import PhaseAnomalyDetector, SimilarityDetector
+
+    archive = Archive(tmp_path)
+    run = archive.archive_run(spec, size=4, seed=3)
+    battery = list(DEFAULT_DETECTORS) + [
+        SimilarityDetector(),
+        PhaseAnomalyDetector(),
+    ]
+    cold = CacheStats()
+    archive.analyze(run, detectors=battery, stats=cold)
+    assert cold.misses == len(battery) + 1
+
+    for variant in (
+        SimilarityDetector(k=3),
+        SimilarityDetector(metric="manhattan"),
+        SimilarityDetector(threshold=0.5),
+    ):
+        battery[-2] = variant
+        partial = CacheStats()
+        archive.analyze(run, detectors=battery, stats=partial)
+        assert partial.misses == 1
+        assert partial.hits == len(battery)
+
+
+def test_similarity_fingerprint_stable_and_state_sensitive():
+    from repro.stats import SimilarityDetector
+
+    fp = detector_fingerprint(SimilarityDetector())
+    assert fp == detector_fingerprint(SimilarityDetector())
+    assert fp != detector_fingerprint(SimilarityDetector(k=3))
+    assert fp != detector_fingerprint(
+        SimilarityDetector(metric="manhattan")
+    )
+
+
+def _delegating_detector(modules):
+    """Same name, same (empty) state -- only the delegate list varies."""
+    cls = type(
+        "Delegating",
+        (),
+        {
+            "produces": (),
+            "fingerprint_modules": modules,
+            "detect": lambda self, index, config: [],
+        },
+    )
+    return cls()
+
+
+def test_fingerprint_digests_declared_delegate_modules():
+    """Detectors that compute in helper modules (the statistical
+    family) digest those modules' source into their cache key."""
+    one = _delegating_detector(("repro.stats.features",))
+    both = _delegating_detector(
+        ("repro.stats.features", "repro.stats.similarity")
+    )
+    again = _delegating_detector(("repro.stats.features",))
+    assert detector_fingerprint(one) != detector_fingerprint(both)
+    assert detector_fingerprint(one) == detector_fingerprint(again)
+
+
 def test_config_change_invalidates(tmp_path, spec):
     archive = Archive(tmp_path)
     run = archive.archive_run(spec, size=4, seed=3)

@@ -1,0 +1,84 @@
+"""The export job kind: ground-truth dataset over the service archive."""
+
+import json
+
+import pytest
+
+from repro.archive import Archive
+from repro.service import (
+    AnalysisService,
+    ServiceClient,
+    ServiceHTTPError,
+    run_service_in_thread,
+)
+from repro.stats import validate_row
+from repro.synth import CampaignSpec, run_campaign
+
+
+@pytest.fixture(scope="module")
+def export_env(tmp_path_factory):
+    archive = Archive(tmp_path_factory.mktemp("svc") / "archive")
+    spec = CampaignSpec(
+        name="svc-export", scenarios=5, sizes=(4,), seed=3
+    )
+    run_campaign(spec, archive=archive)
+    service = AnalysisService(archive, max_workers=2)
+    handle = run_service_in_thread(service)
+    yield handle, archive
+    handle.stop(drain=False)
+
+
+def test_export_returns_validating_jsonl(export_env):
+    handle, archive = export_env
+    client = ServiceClient(handle.url)
+    done = client.export(wait=True)
+    assert done["state"] == "done"
+    result = done["result"]
+    labeled = [r for r in archive.history() if r.manifest is not None]
+    assert result["runs"] == len(labeled)
+    lines = result["jsonl"].splitlines()
+    assert len(lines) == result["rows"] > 0
+    for line in lines:
+        validate_row(json.loads(line))
+    assert "csv" not in result
+
+
+def test_export_csv_on_request(export_env):
+    handle, _ = export_env
+    client = ServiceClient(handle.url)
+    result = client.export(wait=True, csv=True)["result"]
+    lines = result["csv"].splitlines()
+    assert lines[0].startswith("run_id,program,key,rank")
+    assert len(lines) == result["rows"] + 1
+
+
+def test_export_run_filter(export_env):
+    handle, archive = export_env
+    client = ServiceClient(handle.url)
+    run = next(r for r in archive.history() if r.manifest is not None)
+    result = client.export(runs=[run.run_id], wait=True)["result"]
+    assert result["runs"] == 1
+    for line in result["jsonl"].splitlines():
+        assert json.loads(line)["run_id"] == run.run_id
+
+
+def test_export_repeat_is_warm_and_identical(export_env):
+    handle, _ = export_env
+    client = ServiceClient(handle.url)
+    first = client.export(wait=True)["result"]
+    second = client.export(wait=True)["result"]
+    assert second["jsonl"] == first["jsonl"]
+    # every feature cell was populated by the earlier exports
+    assert second["cache"]["misses"] == 0
+    assert second["cache"]["hits"] == second["runs"]
+
+
+def test_export_bad_run_ref_is_400(export_env):
+    handle, _ = export_env
+    client = ServiceClient(handle.url)
+    with pytest.raises(ServiceHTTPError) as excinfo:
+        client.export(runs=["no-such-run"], wait=True)
+    assert excinfo.value.status == 400
+    with pytest.raises(ServiceHTTPError) as excinfo:
+        client.export(runs="not-a-list", wait=True)
+    assert excinfo.value.status == 400

@@ -1,0 +1,107 @@
+"""The statistical detector family through the standard analyze path."""
+
+import pytest
+
+from repro.analysis import analyze_run
+from repro.core import get_property
+from repro.stats import (
+    FAMILY_NAMES,
+    PROPERTY_CLASSES,
+    SIMILARITY_COVERS,
+    SIMILARITY_PROPERTY_IDS,
+    STATISTICAL_DETECTORS,
+    battery_for,
+    covers,
+    parse_families,
+    property_class,
+    statistical_expectations,
+)
+
+
+def _detected(name, detectors, size=8, seed=0, threshold=0.01):
+    run = get_property(name).run(size=size, seed=seed)
+    return set(analyze_run(run, detectors=detectors).detected(threshold))
+
+
+def test_rank_outlier_fires_on_late_sender():
+    detected = _detected("late_sender", STATISTICAL_DETECTORS)
+    assert "similarity_rank_outlier" in detected
+
+
+def test_phase_anomaly_fires_on_barrier_imbalance():
+    detected = _detected(
+        "imbalance_at_mpi_barrier", STATISTICAL_DETECTORS
+    )
+    assert "similarity_phase_anomaly" in detected
+
+
+@pytest.mark.parametrize(
+    "name", ["balanced_sendrecv", "balanced_mpi_barrier"]
+)
+def test_negative_programs_stay_clean(name):
+    assert _detected(name, STATISTICAL_DETECTORS) == set()
+
+
+def test_statistical_findings_carry_wall_seconds():
+    run = get_property("late_sender").run(size=8, seed=0)
+    result = analyze_run(run, detectors=STATISTICAL_DETECTORS)
+    outliers = [
+        f for f in result.findings
+        if f.property == "similarity_rank_outlier"
+    ]
+    assert outliers
+    assert all(f.wait_time > 0.0 for f in outliers)
+
+
+# ----------------------------------------------------------------------
+# class taxonomy
+# ----------------------------------------------------------------------
+
+def test_every_similarity_pid_covers_known_classes():
+    classes = set(PROPERTY_CLASSES.values())
+    for pid in SIMILARITY_PROPERTY_IDS:
+        assert SIMILARITY_COVERS[pid] <= classes
+
+
+def test_covers_goes_through_the_class_taxonomy():
+    assert covers("similarity_rank_outlier", "late_sender")
+    assert covers("similarity_phase_anomaly", "wait_at_barrier")
+    assert not covers("similarity_rank_outlier", "io_bound")
+    assert not covers("similarity_rank_outlier", "not_a_property")
+
+
+def test_statistical_expectations_derive_from_expected_classes():
+    assert statistical_expectations(["late_sender"]) == (
+        "similarity_phase_anomaly",
+        "similarity_rank_outlier",
+    )
+    # io maps to no statistical property: uniform across ranks
+    assert statistical_expectations(["io_bound"]) == ()
+    assert statistical_expectations([]) == ()
+    assert property_class("io_bound") == "io"
+    assert property_class("unknown") == ""
+
+
+# ----------------------------------------------------------------------
+# family batteries
+# ----------------------------------------------------------------------
+
+def test_battery_order_is_fixed_rule_first():
+    both = battery_for(("similarity", "rule"))
+    assert both == battery_for(("rule", "similarity"))
+    assert both[-len(STATISTICAL_DETECTORS):] == STATISTICAL_DETECTORS
+
+
+def test_battery_rejects_unknown_family():
+    with pytest.raises(ValueError, match="unknown detector families"):
+        battery_for(("rule", "bayesian"))
+
+
+def test_parse_families():
+    assert parse_families("rule, similarity") == ("rule", "similarity")
+    assert parse_families("rule") == ("rule",)
+    with pytest.raises(ValueError):
+        parse_families("  ,  ")
+    with pytest.raises(ValueError):
+        parse_families("nope")
+    assert set(FAMILY_NAMES) == {"rule", "similarity"}

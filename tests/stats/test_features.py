@@ -1,0 +1,87 @@
+"""The feature layer: per-rank behavior vectors from the TraceIndex."""
+
+import json
+
+import pytest
+
+from repro.core import get_property
+from repro.stats import BASE_FEATURES, FeatureMatrix, behavior_matrix
+
+
+@pytest.fixture(scope="module")
+def late_run():
+    return get_property("late_sender").run(size=6, seed=3)
+
+
+def _matrix(run):
+    return behavior_matrix(
+        list(run.recorder.events), total_time=run.final_time
+    )
+
+
+def test_one_row_per_rank_in_rank_order(late_run):
+    matrix = _matrix(late_run)
+    assert matrix.kind == "rank"
+    assert len(matrix) == 6
+    assert matrix.keys == tuple(str(r) for r in range(6))
+    assert [loc.rank for loc in matrix.locs] == list(range(6))
+
+
+def test_vector_layout_and_normalization(late_run):
+    matrix = _matrix(late_run)
+    assert matrix.names[: len(BASE_FEATURES)] == BASE_FEATURES
+    for name in matrix.names[len(BASE_FEATURES):]:
+        assert name.startswith("path:")
+    for i, row in enumerate(matrix.rows):
+        assert len(row) == len(matrix.names)
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in row)
+        # comm + comp + wait fractions partition busy time
+        assert row[0] + row[1] + row[2] == pytest.approx(1.0)
+        assert matrix.busy(i) == pytest.approx(
+            matrix.comm[i] + matrix.comp[i] + matrix.wait[i]
+        )
+
+
+def test_same_trace_builds_byte_identical_vectors(late_run):
+    a = _matrix(late_run)
+    b = _matrix(late_run)
+    assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+        b.to_dict(), sort_keys=True
+    )
+
+
+def test_round_trip_through_dict(late_run):
+    matrix = _matrix(late_run)
+    clone = FeatureMatrix.from_dict(
+        json.loads(json.dumps(matrix.to_dict()))
+    )
+    assert clone == matrix
+
+
+def test_omp_trace_groups_by_location():
+    run = get_property("omp_critical_contention").run(
+        num_threads=4, seed=1
+    )
+    matrix = behavior_matrix(
+        list(run.recorder.events), total_time=run.final_time
+    )
+    # single-rank traces fall back to one row per (rank, thread)
+    assert matrix.kind == "location"
+    assert len(matrix) == 4
+
+
+def test_straggler_rank_separates_in_overhead(late_run):
+    matrix = _matrix(late_run)
+    overhead = [
+        matrix.overhead(i) / matrix.busy(i)
+        for i in range(len(matrix))
+    ]
+    # late_sender starves its receivers: some rank spends a far larger
+    # share of its time in non-computation than the quietest one
+    assert max(overhead) > 2 * min(overhead)
+
+
+def test_empty_trace_is_an_empty_matrix():
+    matrix = behavior_matrix([], total_time=0.0)
+    assert len(matrix) == 0
+    assert matrix.paths == ()

@@ -1,0 +1,134 @@
+"""Scoring with the statistical family: class recall, taxonomy rows."""
+
+import pytest
+
+from repro.synth import (
+    CampaignSpec,
+    run_campaign,
+    score_campaign_json,
+    score_cells,
+    score_result,
+)
+
+FAMILIES = ("rule", "similarity")
+
+
+def _cell(expected, detected, allowed=(), bands=None, error=None):
+    return {
+        "manifest": {
+            "expected": list(expected),
+            "allowed": list(allowed),
+            "severity_bands": dict(bands or {}),
+        },
+        "detected": list(detected),
+        "error": error,
+    }
+
+
+def test_rule_only_report_has_no_statistical_sections():
+    report = score_cells(
+        [_cell(["late_sender"], ["late_sender"])],
+        families=("rule",),
+    )
+    assert report.classes == ()
+    assert all(
+        b.statistical_detections is None for b in report.bands
+    )
+    assert "classes" not in report.to_json_dict()
+
+
+def test_statistical_sections_from_families_provenance():
+    cells = [
+        _cell(
+            ["late_sender"],
+            ["late_sender", "similarity_rank_outlier"],
+            bands={"late_sender": "high"},
+        ),
+        _cell(["wait_at_barrier"], [], bands={"wait_at_barrier": "low"}),
+    ]
+    report = score_cells(cells, families=FAMILIES)
+    classes = {c.behavior_class: c for c in report.classes}
+    assert classes["straggler"].rule_detections == 1
+    assert classes["straggler"].statistical_detections == 1
+    assert classes["imbalance"].rule_detections == 0
+    assert classes["imbalance"].statistical_detections == 0
+    bands = {b.band: b for b in report.bands}
+    assert bands["high"].statistical_detections == 1
+    assert bands["low"].statistical_detections == 0
+
+
+def test_statistical_pids_graded_through_taxonomy():
+    cells = [
+        # obliged and fired: TP
+        _cell(["late_sender"], ["similarity_rank_outlier"]),
+        # pathological cell, stat pid quiet: tolerated, not an FN/TN
+        _cell(["io_bound"], []),
+        # clean cell, stat pid fired: an honest FP
+        _cell([], ["similarity_rank_outlier"]),
+    ]
+    report = score_cells(cells, families=FAMILIES)
+    row = next(
+        d for d in report.detectors
+        if d.property == "similarity_rank_outlier"
+    )
+    assert (row.tp, row.fn, row.fp, row.tn) == (1, 0, 1, 0)
+
+
+def test_inference_from_detected_pids_without_provenance():
+    cells = [_cell(["late_sender"], ["similarity_rank_outlier"])]
+    assert score_cells(cells).classes  # inferred statistical
+    assert not score_cells(
+        [_cell(["late_sender"], ["late_sender"])]
+    ).classes
+
+
+def test_campaign_with_families_scores_nonzero_statistical_recall():
+    spec = CampaignSpec(
+        name="score-fam", scenarios=8, sizes=(8,), seed=7
+    )
+    result = run_campaign(spec, families=FAMILIES)
+    assert result.families == FAMILIES
+    report = score_result(result)
+    assert report.classes
+    covered = {
+        c.behavior_class: c
+        for c in report.classes
+        if c.behavior_class in ("imbalance", "straggler")
+    }
+    assert covered
+    assert any(
+        c.statistical_recall and c.statistical_recall > 0
+        for c in covered.values()
+    )
+    # the JSON artifact round-trips the family provenance
+    payload = result.to_json_dict()
+    assert payload["families"] == list(FAMILIES)
+    again = score_campaign_json(payload)
+    assert again.to_json_str() == report.to_json_str()
+    # table renders the statistical columns
+    table = report.format_table()
+    assert "stat" in table and "class" in table
+
+
+def test_format_table_mentions_classes():
+    report = score_cells(
+        [
+            _cell(
+                ["late_sender"],
+                ["late_sender", "similarity_rank_outlier"],
+                bands={"late_sender": "high"},
+            )
+        ],
+        families=FAMILIES,
+    )
+    table = report.format_table()
+    assert "class straggler" in table
+    assert "stat" in table
+
+
+def test_errored_cells_counted():
+    report = score_cells(
+        [_cell(["late_sender"], [], error="boom")],
+        families=("rule",),
+    )
+    assert report.errors == 1

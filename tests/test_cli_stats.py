@@ -1,0 +1,125 @@
+"""CLI tests for ``ats stats``, ``ats export dataset``, ``--families``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_stats_on_property_run(capsys):
+    assert main(
+        ["stats", "late_sender", "--size", "8", "--seed", "0"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "behavior matrix" in out
+    assert "silhouette" in out
+    assert "overhead excess" in out
+
+
+def test_stats_json_artifact(tmp_path, capsys):
+    dest = tmp_path / "stats.json"
+    assert main(
+        [
+            "stats", "late_sender", "--size", "8",
+            "--json", str(dest),
+        ]
+    ) == 0
+    payload = json.loads(dest.read_text())
+    assert payload["format"] == "ats-stats"
+    assert payload["matrix"]["rows"]
+    assert payload["outliers"]
+
+
+def test_stats_balanced_program_reports_no_outliers(capsys):
+    assert main(["stats", "balanced_sendrecv", "--size", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "overhead excess" not in out
+
+
+def test_stats_unknown_property_fails(capsys):
+    assert main(["stats", "not_a_property"]) != 0
+
+
+def test_stats_on_trace_file(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    assert main(
+        [
+            "run", "late_sender", "--size", "6",
+            "--trace-out", str(trace),
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert main(["stats", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "behavior matrix" in out
+
+
+def test_export_dataset_roundtrip(tmp_path, capsys):
+    arch = tmp_path / "arch"
+    assert main(
+        [
+            "synth", "campaign", "cli-ds",
+            "--scenarios", "5", "--sizes", "4", "--threads", "2",
+            "--seed", "3", "--archive", str(arch),
+        ]
+    ) == 0
+    capsys.readouterr()
+    jsonl = tmp_path / "ds.jsonl"
+    csv_path = tmp_path / "ds.csv"
+    assert main(
+        [
+            "export", "dataset", "--archive", str(arch),
+            "--jsonl", str(jsonl), "--csv", str(csv_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "sample(s)" in out
+    from repro.stats import validate_row
+
+    lines = jsonl.read_text().splitlines()
+    assert lines
+    for line in lines:
+        validate_row(json.loads(line))
+    assert len(csv_path.read_text().splitlines()) == len(lines) + 1
+
+
+def test_export_dataset_requires_destination(tmp_path, capsys):
+    assert main(
+        ["export", "dataset", "--archive", str(tmp_path / "a")]
+    ) != 0
+
+
+def test_export_dataset_empty_archive_fails(tmp_path, capsys):
+    assert main(
+        [
+            "export", "dataset",
+            "--archive", str(tmp_path / "empty"),
+            "--jsonl", str(tmp_path / "ds.jsonl"),
+        ]
+    ) != 0
+
+
+def test_robustness_families_flag(tmp_path, capsys):
+    out_json = tmp_path / "rob.json"
+    assert main(
+        [
+            "robustness", "--program", "late_sender",
+            "--magnitudes", "0,0.5", "--seeds", "1",
+            "--size", "6", "--threads", "2",
+            "--families", "rule,similarity",
+            "--json", str(out_json),
+        ]
+    ) == 0
+    capsys.readouterr()
+    data = json.loads(out_json.read_text())
+    assert data["families"] == ["rule", "similarity"]
+
+
+def test_families_flag_rejects_unknown(capsys):
+    assert main(
+        [
+            "robustness", "--program", "late_sender",
+            "--families", "rule,bogus",
+        ]
+    ) != 0
